@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Ablation for the paper's Sec. VII partitioning defense: MIG-style
+ * isolated L2 way slices.
+ *
+ * Baseline: the full cross-GPU covert pipeline works (alignment finds
+ * colliding sets, the channel transmits). With 2-way-partitioned L2s
+ * and the trojan/spy assigned to different slices, the trojan's primes
+ * can no longer evict the spy's lines: Algorithm 2 finds no colliding
+ * group and the channel is dead. The attacker still works *within*
+ * its slice (it measures associativity 8), which is exactly the
+ * paper's point that MIG isolates co-tenants rather than fixing the
+ * microarchitecture.
+ */
+
+#include <cstdio>
+
+#include "attack/covert/channel.hh"
+#include "attack/evset_finder.hh"
+#include "attack/set_aligner.hh"
+#include "bench/bench_common.hh"
+#include "util/csv.hh"
+
+using namespace gpubox;
+
+namespace
+{
+
+struct Outcome
+{
+    unsigned assoc = 0;
+    int matched_groups = 0;
+    double error_pct = 100.0;
+    bool channel_possible = false;
+};
+
+Outcome
+runPipeline(std::uint64_t seed, unsigned slices)
+{
+    rt::SystemConfig cfg;
+    cfg.seed = seed;
+    rt::Runtime rt(cfg);
+    rt::Process &trojan = rt.createProcess("trojan");
+    rt::Process &spy = rt.createProcess("spy");
+
+    if (slices > 1) {
+        rt.enableMigPartitioning(slices);
+        rt.assignPartition(trojan, 0);
+        rt.assignPartition(spy, 1);
+    }
+
+    attack::TimingOracle oracle(rt, spy);
+    auto calib = oracle.calibrate(1, 0, 48, 6);
+
+    attack::FinderConfig fcfg;
+    fcfg.poolPages = 224;
+    attack::EvictionSetFinder tf(rt, trojan, 0, 0, calib.thresholds,
+                                 fcfg);
+    tf.run();
+    attack::EvictionSetFinder sf(rt, spy, 1, 0, calib.thresholds, fcfg);
+    sf.run();
+
+    Outcome out;
+    out.assoc = tf.associativity();
+
+    attack::SetAligner aligner(rt, trojan, spy, 0, 1, calib.thresholds);
+    setLogEnabled(false);
+    auto mapping = aligner.alignGroups(tf, sf);
+    for (int m : mapping)
+        out.matched_groups += m >= 0 ? 1 : 0;
+
+    if (out.matched_groups > 0) {
+        auto pairs = aligner.alignedPairs(tf, sf, mapping, 4);
+        attack::covert::CovertChannel channel(rt, trojan, spy, 0, 1,
+                                              pairs, calib.thresholds);
+        Rng rng(seed ^ 0x311c);
+        std::vector<std::uint8_t> bits(8192);
+        for (auto &b : bits)
+            b = rng.chance(0.5) ? 1 : 0;
+        std::vector<std::uint8_t> rx;
+        out.error_pct = 100.0 * channel.transmit(bits, rx).errorRate;
+        out.channel_possible = true;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setLogEnabled(false);
+    const std::uint64_t seed = bench::benchSeed(argc, argv);
+
+    bench::header("Sec. VII: MIG-style L2 way partitioning");
+    CsvWriter csv("ablation_mig_defense.csv");
+    csv.row("l2_slices", "attacker_measured_assoc", "matched_groups",
+            "channel_possible", "error_pct");
+
+    for (unsigned slices : {1u, 2u}) {
+        auto out = runPipeline(seed, slices);
+        std::printf("  %u slice(s): attacker measures associativity %2u, "
+                    "Algorithm-2 matches %d group(s) -> %s",
+                    slices, out.assoc, out.matched_groups,
+                    out.channel_possible ? "channel up" : "CHANNEL DEAD");
+        if (out.channel_possible)
+            std::printf(" (error %.2f%%)", out.error_pct);
+        std::printf("\n");
+        csv.row(slices, out.assoc, out.matched_groups,
+                out.channel_possible ? 1 : 0, out.error_pct);
+    }
+
+    std::printf("\n  with isolated slices the trojan cannot evict the "
+                "spy's lines, so no eviction set pair ever collides: "
+                "the paper's partitioning defense closes the channel "
+                "(at the cost of halving each tenant's effective L2 "
+                "associativity).\n");
+    std::printf("[csv] ablation_mig_defense.csv\n");
+    return 0;
+}

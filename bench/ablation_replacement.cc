@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Ablation: how much of the attack survives when the L2 replacement
+ * policy is not true LRU?
+ *
+ * The paper's Table I finds deterministic (LRU-like) replacement, and
+ * every stage of the attack leans on it: the eviction set finder's
+ * monotone eviction point, the validator's clean step at the
+ * associativity, and the covert channel's reliable eviction of the
+ * spy's lines. This bench re-runs those stages under true LRU,
+ * tree-PLRU and randomized replacement.
+ */
+
+#include <cstdio>
+
+#include "attack/covert/channel.hh"
+#include "attack/reverse_engineer.hh"
+#include "attack/set_aligner.hh"
+#include "bench/bench_common.hh"
+#include "util/csv.hh"
+
+using namespace gpubox;
+
+int
+main(int argc, char **argv)
+{
+    setLogEnabled(false);
+    const std::uint64_t seed = bench::benchSeed(argc, argv);
+
+    bench::header("replacement policy ablation");
+    CsvWriter csv("ablation_replacement.csv");
+    csv.row("policy", "finder_ok", "associativity", "policy_report",
+            "channel_error_pct");
+
+    for (auto policy : {cache::ReplPolicy::LRU,
+                        cache::ReplPolicy::TREE_PLRU,
+                        cache::ReplPolicy::RANDOM}) {
+        const std::string name = cache::replPolicyName(policy);
+        std::printf("\n-- policy: %s --\n", name.c_str());
+
+        rt::SystemConfig cfg;
+        cfg.seed = seed;
+        cfg.device.l2.policy = policy;
+        rt::Runtime rt(cfg);
+        rt::Process &trojan = rt.createProcess("trojan");
+        rt::Process &spy = rt.createProcess("spy");
+
+        attack::TimingOracle oracle(rt, spy);
+        auto calib = oracle.calibrate(1, 0, 48, 6);
+
+        bool finder_ok = true;
+        unsigned assoc = 0;
+        std::string policy_report = "n/a";
+        double error_pct = 100.0;
+        try {
+            attack::FinderConfig fcfg;
+            fcfg.poolPages = 140;
+            attack::EvictionSetFinder tf(rt, trojan, 0, 0,
+                                         calib.thresholds, fcfg);
+            tf.run();
+            assoc = tf.associativity();
+
+            attack::ReverseEngineer re(rt, trojan, 0, calib.thresholds);
+            policy_report = attack::ReverseEngineer::classifyPolicy(
+                re.evictionPoints(tf, 10), assoc);
+
+            attack::EvictionSetFinder sf(rt, spy, 1, 0, calib.thresholds,
+                                         fcfg);
+            sf.run();
+            attack::SetAligner aligner(rt, trojan, spy, 0, 1,
+                                       calib.thresholds);
+            auto mapping = aligner.alignGroups(tf, sf);
+            auto pairs = aligner.alignedPairs(tf, sf, mapping, 4);
+            attack::covert::CovertChannel channel(rt, trojan, spy, 0, 1,
+                                                  pairs,
+                                                  calib.thresholds);
+            Rng rng(seed ^ 0xab1a);
+            std::vector<std::uint8_t> bits(8192);
+            for (auto &b : bits)
+                b = rng.chance(0.5) ? 1 : 0;
+            std::vector<std::uint8_t> rx;
+            auto stats = channel.transmit(bits, rx);
+            error_pct = 100.0 * stats.errorRate;
+        } catch (const FatalError &e) {
+            finder_ok = false;
+            std::printf("  attack pipeline failed: %s\n", e.what());
+        }
+
+        std::printf("  finder: %s, measured associativity: %u\n",
+                    finder_ok ? "ok" : "FAILED", assoc);
+        std::printf("  inferred replacement: %s\n", policy_report.c_str());
+        std::printf("  covert channel error over 4 sets: %.2f%%\n",
+                    error_pct);
+        csv.row(name, finder_ok ? 1 : 0, assoc, policy_report,
+                error_pct);
+    }
+
+    std::printf("\n  expectation: LRU -> clean attack; tree-PLRU -> "
+                "attack still works (deterministic-ish eviction); "
+                "randomized -> eviction sets unreliable and the channel "
+                "degrades or fails.\n");
+    std::printf("[csv] ablation_replacement.csv\n");
+    return 0;
+}

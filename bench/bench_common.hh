@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shared helpers for the figure/table benches: standard attack setup
+ * (calibration + finders) on the full DGX-1 geometry and output paths.
+ */
+
+#ifndef GPUBOX_BENCH_BENCH_COMMON_HH
+#define GPUBOX_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "attack/evset_finder.hh"
+#include "attack/set_aligner.hh"
+#include "attack/timing_oracle.hh"
+#include "rt/runtime.hh"
+#include "util/log.hh"
+
+namespace gpubox::bench
+{
+
+/** Default seed for all figure benches (override via argv[1]). */
+inline std::uint64_t
+benchSeed(int argc, char **argv, std::uint64_t def = 2023)
+{
+    if (argc > 1)
+        return std::strtoull(argv[1], nullptr, 0);
+    return def;
+}
+
+/** Print a section header. */
+inline void
+header(const std::string &title)
+{
+    std::printf("\n==== %s ====\n", title.c_str());
+}
+
+/**
+ * The standard cross-GPU attack setup on a full DGX-1: a trojan (or
+ * victim) process on GPU 0 and a spy process on GPU 1, calibrated
+ * thresholds, and eviction-set finders for both processes over GPU 0
+ * memory.
+ */
+struct AttackSetup
+{
+    std::unique_ptr<rt::Runtime> rt;
+    rt::Process *local = nullptr;  // on GPU 0 (trojan / victim owner)
+    rt::Process *remote = nullptr; // on GPU 1 (spy)
+    attack::CalibrationResult calib;
+    std::unique_ptr<attack::EvictionSetFinder> localFinder;
+    std::unique_ptr<attack::EvictionSetFinder> remoteFinder;
+
+    static AttackSetup
+    create(std::uint64_t seed, bool need_local_finder = true,
+           bool need_remote_finder = true)
+    {
+        AttackSetup s;
+        rt::SystemConfig cfg;
+        cfg.seed = seed;
+        s.rt = std::make_unique<rt::Runtime>(cfg);
+        s.local = &s.rt->createProcess("local");
+        s.remote = &s.rt->createProcess("spy");
+
+        attack::TimingOracle oracle(*s.rt, *s.remote);
+        s.calib = oracle.calibrate(/*local=*/1, /*remote=*/0, 48, 6);
+
+        attack::FinderConfig fcfg;
+        fcfg.poolPages = 224; // ~56 pages per color: room for the
+                              // 48-line sweeps of Fig. 5
+        if (need_local_finder) {
+            s.localFinder = std::make_unique<attack::EvictionSetFinder>(
+                *s.rt, *s.local, 0, 0, s.calib.thresholds, fcfg);
+            s.localFinder->run();
+        }
+        if (need_remote_finder) {
+            s.remoteFinder = std::make_unique<attack::EvictionSetFinder>(
+                *s.rt, *s.remote, 1, 0, s.calib.thresholds, fcfg);
+            s.remoteFinder->run();
+        }
+        return s;
+    }
+};
+
+} // namespace gpubox::bench
+
+#endif // GPUBOX_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself: cache
+ * access throughput, indexer hashing, engine scheduling, end-to-end
+ * kernel memory access rate. These guard the simulation speed the
+ * figure benches depend on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/indexer.hh"
+#include "cache/set_assoc_cache.hh"
+#include "rt/runtime.hh"
+#include "sim/engine.hh"
+#include "util/log.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace gpubox;
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    cache::CacheConfig cfg; // P100 L2
+    cfg.policy = static_cast<cache::ReplPolicy>(state.range(0));
+    cache::LinearIndexer idx(cfg.numSets(), cfg.lineBytes);
+    cache::SetAssocCache cache(cfg, idx, Rng(1));
+    Rng rng(2);
+    PAddr a = 0;
+    for (auto _ : state) {
+        a = (a + 128 * (rng.uniform(4096) + 1)) & 0xffffff80ULL;
+        benchmark::DoNotOptimize(cache.access(a));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess)
+    ->Arg(static_cast<int>(cache::ReplPolicy::LRU))
+    ->Arg(static_cast<int>(cache::ReplPolicy::TREE_PLRU))
+    ->Arg(static_cast<int>(cache::ReplPolicy::RANDOM));
+
+void
+BM_HashedIndexer(benchmark::State &state)
+{
+    cache::HashedPageIndexer idx(2048, 128, 64 * 1024, 0x5a17);
+    PAddr a = 0;
+    for (auto _ : state) {
+        a += 128;
+        benchmark::DoNotOptimize(idx.setFor(a));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashedIndexer);
+
+void
+BM_EngineActorSwitch(benchmark::State &state)
+{
+    const int actors = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        state.PauseTiming();
+        sim::Engine eng(1);
+        for (int i = 0; i < actors; ++i) {
+            eng.spawn("a", [](sim::ActorCtx &) -> sim::Task {
+                for (int k = 0; k < 100; ++k)
+                    co_await sim::Delay{10};
+            });
+        }
+        state.ResumeTiming();
+        eng.run();
+    }
+    state.SetItemsProcessed(state.iterations() * actors * 100);
+}
+BENCHMARK(BM_EngineActorSwitch)->Arg(4)->Arg(64)->Arg(256);
+
+void
+BM_RuntimeLdcg(benchmark::State &state)
+{
+    setLogEnabled(false);
+    rt::SystemConfig cfg;
+    rt::Runtime rt(cfg);
+    rt::Process &p = rt.createProcess("bench");
+    const std::uint32_t line = cfg.device.l2.lineBytes;
+    const int n = 1024;
+    const VAddr buf = rt.deviceMalloc(p, 0, static_cast<std::uint64_t>(n) *
+                                                line);
+
+    for (auto _ : state) {
+        auto kernel = [&](rt::BlockCtx &ctx) -> sim::Task {
+            for (int i = 0; i < n; ++i)
+                co_await ctx.ldcg64(buf + (i % n) * line);
+        };
+        gpu::KernelConfig kcfg;
+        auto h = rt.launch(p, 0, kcfg, kernel);
+        rt.runUntilDone(h);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RuntimeLdcg);
+
+void
+BM_GroupProbe(benchmark::State &state)
+{
+    setLogEnabled(false);
+    rt::SystemConfig cfg;
+    rt::Runtime rt(cfg);
+    rt::Process &p = rt.createProcess("bench");
+    const std::uint32_t line = cfg.device.l2.lineBytes;
+    const VAddr buf = rt.deviceMalloc(p, 0, 16 * line);
+    std::vector<VAddr> lines;
+    for (int i = 0; i < 16; ++i)
+        lines.push_back(buf + i * line);
+
+    for (auto _ : state) {
+        auto kernel = [&](rt::BlockCtx &ctx) -> sim::Task {
+            for (int r = 0; r < 64; ++r)
+                co_await ctx.probeSet(lines);
+        };
+        gpu::KernelConfig kcfg;
+        auto h = rt.launch(p, 0, kcfg, kernel);
+        rt.runUntilDone(h);
+    }
+    state.SetItemsProcessed(state.iterations() * 64 * 16);
+}
+BENCHMARK(BM_GroupProbe);
+
+} // namespace

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Application fingerprinting demo (paper Sec. V-A): a spy on GPU 1
+ * monitors GPU 0's L2 through NVLink, records memorygrams of whatever
+ * runs there, trains a classifier, and then identifies "unknown"
+ * victim runs.
+ *
+ *   ./build/examples/app_fingerprint
+ */
+
+#include <cstdio>
+
+#include "attack/evset_finder.hh"
+#include "attack/side/fingerprint.hh"
+#include "attack/timing_oracle.hh"
+#include "ml/softmax.hh"
+#include "rt/runtime.hh"
+
+using namespace gpubox;
+
+int
+main()
+{
+    setLogEnabled(false);
+
+    rt::SystemConfig config;
+    config.seed = 21;
+    rt::Runtime rt(config);
+    rt::Process &spy = rt.createProcess("spy");
+    rt::Process &victim = rt.createProcess("victim");
+
+    std::printf("calibrating + building eviction sets on the victim "
+                "GPU...\n");
+    attack::TimingOracle oracle(rt, spy);
+    auto calib = oracle.calibrate(1, 0);
+    attack::EvictionSetFinder finder(rt, spy, 1, 0, calib.thresholds);
+    finder.run();
+
+    attack::side::FingerprintConfig cfg;
+    cfg.samplesPerApp = 12;
+    cfg.trainPerApp = 6;
+    cfg.valPerApp = 2;
+    cfg.prober.monitoredSets = 96;
+    cfg.prober.samplePeriod = 8000;
+    cfg.prober.windowCycles = 12000;
+    cfg.prober.duration = 1600000;
+    attack::side::Fingerprinter fp(rt, spy, 1, victim, 0, finder,
+                                   calib.thresholds, cfg);
+
+    std::printf("collecting %u memorygrams per app and training the "
+                "classifier...\n\n",
+                cfg.samplesPerApp);
+    auto result = fp.run();
+
+    std::printf("%s\n", result.confusion.render(result.classNames).c_str());
+
+    // Show one memorygram so the signal is visible.
+    std::printf("example memorygram (%s):\n",
+                victim::appName(victim::AppKind::WALSH_TRANSFORM).c_str());
+    auto gram =
+        fp.collectSample(victim::AppKind::WALSH_TRANSFORM, 999).trimmed();
+    HeatmapOptions opt;
+    opt.maxRows = 20;
+    opt.maxCols = 80;
+    std::printf("%s", gram.render(opt).c_str());
+
+    std::printf("\nthe spy never ran code on GPU 0; everything was "
+                "observed through GPU 0's L2 from GPU 1 via NVLink.\n");
+    return 0;
+}

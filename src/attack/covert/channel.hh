@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The cross-GPU prime+probe covert channel (paper Sec. IV, Figs. 8-10).
+ *
+ * The trojan runs on the GPU that owns the memory (local) and the spy
+ * on an NVLink peer (remote); both hold eviction sets aligned to the
+ * same physical L2 sets of the trojan's GPU. Per symbol window the
+ * trojan either primes the set (bit '1', evicting the spy's lines) or
+ * spins on dummy ALU work (bit '0'); the spy probes the set once per
+ * window and decodes a '1' from a quorum of missing lines. One thread
+ * block drives each cache set, so k aligned sets carry k parallel bit
+ * streams (Fig. 9's bandwidth scaling).
+ */
+
+#ifndef GPUBOX_ATTACK_COVERT_CHANNEL_HH
+#define GPUBOX_ATTACK_COVERT_CHANNEL_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "attack/evset.hh"
+#include "attack/timing_oracle.hh"
+#include "rt/runtime.hh"
+
+namespace gpubox::attack::covert
+{
+
+/** Channel timing parameters. */
+struct ChannelConfig
+{
+    /** Symbol (bit) period per set in cycles. */
+    Cycles symbolCycles = 1500;
+    /** Trojan primes this long after the symbol boundary. */
+    Cycles trojanLeadCycles = 30;
+    /** Spy probes at symbol start + spyPhase * symbolCycles. */
+    double spyPhase = 0.55;
+    /** Lines that must classify as miss to decode '1'. */
+    unsigned missQuorum = 6;
+    /** Cycles both sides wait before the first symbol. */
+    Cycles warmupCycles = 20000;
+    /**
+     * Symbol-clock drift gain. The spy paces its symbol clock from its
+     * own probe timing; queueing inflation of the probe duration
+     * (which grows with the number of concurrently probing blocks)
+     * turns into Gaussian slip of the next sample point. This is the
+     * contention-induced synchronization variability the paper blames
+     * for the error-rate growth with parallel sets (Sec. IV-C).
+     */
+    double driftGain = 40.0;
+    /**
+     * Latency spread (cycles) attributed to ordinary access jitter
+     * rather than queueing; spread below this does not feed the drift.
+     */
+    double spreadJitterAllowance = 25.0;
+    /**
+     * Baseline symbol-clock slip (cycles, Gaussian sigma) present even
+     * without contention: the two GPUs' clocks are synchronized only
+     * through the tuned access-frequency protocol of Sec. IV-C, not a
+     * shared clock.
+     */
+    double slipSigmaBase = 262.0;
+    /** Shared memory per attack block (Sec. VI uses 32 KiB). */
+    std::uint32_t sharedMemBytes = 32 * 1024;
+    /** Trojan block width (one warp; paper Sec. IV-B). */
+    std::uint32_t trojanThreads = 32;
+    /** Spy block width (extra threads drain the timing buffer). */
+    std::uint32_t spyThreads = 1024;
+};
+
+/** Result of one transmission. */
+struct ChannelStats
+{
+    std::size_t bitsSent = 0;
+    std::size_t bitErrors = 0;
+    double errorRate = 0.0;
+    Cycles elapsedCycles = 0;
+    /** Raw channel bandwidth in megabits per second. */
+    double bandwidthMbitPerSec = 0.0;
+    /** Same in megabytes per second. */
+    double bandwidthMBytePerSec = 0.0;
+    /**
+     * Spy-side probe trace of channel set 0 (average probe cycles per
+     * symbol) -- the series plotted in Fig. 10.
+     */
+    std::vector<double> probeTraceSet0;
+};
+
+/** A configured trojan/spy channel over aligned eviction set pairs. */
+class CovertChannel
+{
+  public:
+    /**
+     * @param pairs aligned (trojan set, spy set) pairs, one per
+     *              parallel channel set
+     */
+    CovertChannel(rt::Runtime &rt, rt::Process &trojan_proc,
+                  rt::Process &spy_proc, GpuId trojan_gpu, GpuId spy_gpu,
+                  std::vector<std::pair<EvictionSet, EvictionSet>> pairs,
+                  const TimingThresholds &thresholds,
+                  const ChannelConfig &config = ChannelConfig());
+
+    /**
+     * Transmit @p bits (values 0/1) trojan->spy.
+     *
+     * @param received decoded bits, same length as @p bits
+     * @param after_launch optional hook invoked once the trojan and
+     *        spy blocks are resident but before simulated time runs;
+     *        the Sec. VI experiment uses it to launch the SM-filler
+     *        blocks that occupy the leftover SM resources
+     */
+    ChannelStats transmit(const std::vector<std::uint8_t> &bits,
+                          std::vector<std::uint8_t> &received,
+                          const std::function<void()> &after_launch = {});
+
+    /** Convenience: send text, return decoded text + stats. */
+    ChannelStats transmitMessage(const std::string &message,
+                                 std::string &decoded);
+
+    unsigned numSets() const
+    {
+        return static_cast<unsigned>(pairs_.size());
+    }
+
+    /** @name Bit/byte packing helpers @{ */
+    static std::vector<std::uint8_t> toBits(const std::string &msg);
+    static std::string fromBits(const std::vector<std::uint8_t> &bits);
+    /** @} */
+
+  private:
+    rt::Runtime &rt_;
+    rt::Process &trojanProc_;
+    rt::Process &spyProc_;
+    GpuId trojanGpu_;
+    GpuId spyGpu_;
+    std::vector<std::pair<EvictionSet, EvictionSet>> pairs_;
+    TimingThresholds thresholds_;
+    ChannelConfig config_;
+};
+
+} // namespace gpubox::attack::covert
+
+#endif // GPUBOX_ATTACK_COVERT_CHANNEL_HH

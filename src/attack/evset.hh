@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Eviction set representation.
+ */
+
+#ifndef GPUBOX_ATTACK_EVSET_HH
+#define GPUBOX_ATTACK_EVSET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace gpubox::attack
+{
+
+/**
+ * A set of virtual line addresses that (the attacker believes) all hash
+ * to the same physical L2 cache set. With as many lines as the cache
+ * associativity, accessing the whole set replaces the set's contents.
+ */
+struct EvictionSet
+{
+    std::vector<VAddr> lines;
+
+    std::size_t size() const { return lines.size(); }
+    bool empty() const { return lines.empty(); }
+};
+
+} // namespace gpubox::attack
+
+#endif // GPUBOX_ATTACK_EVSET_HH

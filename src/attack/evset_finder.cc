@@ -1,0 +1,362 @@
+#include "attack/evset_finder.hh"
+
+#include <algorithm>
+
+#include "util/log.hh"
+
+namespace gpubox::attack
+{
+
+EvictionSetFinder::EvictionSetFinder(rt::Runtime &rt, rt::Process &proc,
+                                     GpuId exec_gpu, GpuId mem_gpu,
+                                     const TimingThresholds &thresholds,
+                                     const FinderConfig &config)
+    : rt_(rt), proc_(proc), execGpu_(exec_gpu), memGpu_(mem_gpu),
+      thresholds_(thresholds), config_(config)
+{
+    lineBytes_ = rt_.config().device.l2.lineBytes;
+    pageBytes_ = rt_.config().pageBytes;
+    linesPerPage_ = static_cast<std::uint32_t>(pageBytes_ / lineBytes_);
+
+    if (exec_gpu != mem_gpu) {
+        if (!rt_.topology().connected(exec_gpu, mem_gpu))
+            fatal("eviction set finder: GPUs ", exec_gpu, " and ", mem_gpu,
+                  " are not NVLink peers");
+        if (!proc.peerEnabled(exec_gpu, mem_gpu))
+            rt_.enablePeerAccess(proc, exec_gpu, mem_gpu);
+    }
+    pool_ = rt_.deviceMalloc(proc_, mem_gpu,
+                             static_cast<std::uint64_t>(config_.poolPages) *
+                                 pageBytes_);
+}
+
+EvictionSetFinder::~EvictionSetFinder()
+{
+    rt_.deviceFree(proc_, pool_);
+}
+
+VAddr
+EvictionSetFinder::lineAddr(int page, std::uint32_t line_in_page) const
+{
+    return pool_ + static_cast<VAddr>(page) * pageBytes_ +
+           static_cast<VAddr>(line_in_page) * lineBytes_;
+}
+
+bool
+EvictionSetFinder::isMiss(double cycles) const
+{
+    return execGpu_ == memGpu_ ? thresholds_.isLocalMiss(cycles)
+                               : thresholds_.isRemoteMiss(cycles);
+}
+
+bool
+EvictionSetFinder::targetEvictedBy(VAddr target,
+                                   const std::vector<VAddr> &chase)
+{
+    Cycles reprobe = 0;
+    auto kernel = [&, target](rt::BlockCtx &ctx) -> sim::Task {
+        // Prime the target (cold or hit -- either way it becomes MRU).
+        co_await ctx.ldcg64(target);
+        // Chase the candidate prefix.
+        for (VAddr a : chase)
+            co_await ctx.ldcg64(a);
+        // Timed re-probe of the target; store time via shared memory.
+        const Cycles t0 = ctx.clock();
+        co_await ctx.ldcg64(target);
+        const Cycles t1 = ctx.clock();
+        reprobe = t1 - t0;
+        co_await ctx.sharedAccess();
+    };
+
+    gpu::KernelConfig cfg;
+    cfg.name = "evset-chase";
+    cfg.sharedMemBytes = config_.sharedMemBytes;
+    auto handle = rt_.launch(proc_, execGpu_, cfg, kernel);
+    rt_.runUntilDone(handle);
+    ++launches_;
+    ++probes_;
+    return isMiss(static_cast<double>(reprobe));
+}
+
+std::vector<int>
+EvictionSetFinder::scanConflicts(int target, std::vector<int> &candidates)
+{
+    const VAddr target_addr = lineAddr(target, 0);
+    std::vector<int> found;
+
+    auto chase_prefix = [&](std::size_t k) {
+        std::vector<VAddr> chase;
+        chase.reserve(k);
+        for (std::size_t i = 0; i < k; ++i)
+            chase.push_back(lineAddr(candidates[i], 0));
+        return chase;
+    };
+
+    while (!candidates.empty()) {
+        // Does the full candidate list still evict the target?
+        if (!targetEvictedBy(target_addr, chase_prefix(candidates.size())))
+            break;
+        // Binary search the smallest evicting prefix; its last element
+        // is a same-set line (eviction is monotone in the prefix under
+        // LRU, which is what licenses skipping the linear scan).
+        std::size_t lo = 1;
+        std::size_t hi = candidates.size();
+        while (lo < hi) {
+            const std::size_t mid = lo + (hi - lo) / 2;
+            if (targetEvictedBy(target_addr, chase_prefix(mid)))
+                hi = mid;
+            else
+                lo = mid + 1;
+        }
+        found.push_back(candidates[lo - 1]);
+        candidates.erase(candidates.begin() +
+                         static_cast<std::ptrdiff_t>(lo - 1));
+    }
+    return found;
+}
+
+unsigned
+EvictionSetFinder::discoverAssocWith(VAddr target,
+                                     const std::vector<int> &members)
+{
+    // Access target then k known same-set lines; under LRU the target
+    // is evicted exactly when k reaches the associativity (Table I).
+    for (unsigned k = 1; k <= members.size(); ++k) {
+        std::vector<VAddr> chase;
+        chase.reserve(k);
+        for (unsigned i = 0; i < k; ++i)
+            chase.push_back(lineAddr(members[i], 0));
+        if (targetEvictedBy(target, chase))
+            return k;
+    }
+    return 0; // not enough members to fill the set
+}
+
+void
+EvictionSetFinder::boostScan(std::vector<int> &group,
+                             std::vector<int> &candidates)
+{
+    // Prepending `boost` known same-set lines lowers the number of
+    // hidden conflicts required to evict the target from `assoc` to
+    // `assoc - boost`; with boost = assoc - 1 even a single hidden
+    // conflict is detectable. The boost lines alone (target + assoc-1
+    // others) exactly fill the set, so the eviction point always lands
+    // inside the candidate portion of the chase.
+    const VAddr target_addr = lineAddr(group[0], 0);
+
+    while (!candidates.empty()) {
+        const unsigned boost = std::min<std::size_t>(
+            assoc_ - 1, group.size() - 1);
+        std::vector<VAddr> prefix;
+        for (unsigned i = 1; i <= boost; ++i)
+            prefix.push_back(lineAddr(group[i], 0));
+
+        auto chase_prefix = [&](std::size_t k) {
+            std::vector<VAddr> chase = prefix;
+            for (std::size_t i = 0; i < k; ++i)
+                chase.push_back(lineAddr(candidates[i], 0));
+            return chase;
+        };
+
+        if (!targetEvictedBy(target_addr, chase_prefix(candidates.size())))
+            break; // no hidden conflicts remain
+        std::size_t lo = 1;
+        std::size_t hi = candidates.size();
+        while (lo < hi) {
+            const std::size_t mid = lo + (hi - lo) / 2;
+            if (targetEvictedBy(target_addr, chase_prefix(mid)))
+                hi = mid;
+            else
+                lo = mid + 1;
+        }
+        group.push_back(candidates[lo - 1]);
+        candidates.erase(candidates.begin() +
+                         static_cast<std::ptrdiff_t>(lo - 1));
+    }
+}
+
+void
+EvictionSetFinder::run()
+{
+    std::vector<int> ungrouped;
+    for (int p = 0; p < config_.poolPages; ++p)
+        ungrouped.push_back(p);
+
+    groups_.clear();
+    assoc_ = 0;
+
+    // Phase 1: provisional grouping with plain Algorithm-1 scans.
+    // Each scan stalls once fewer than `associativity` conflicts
+    // remain hidden, so provisional groups miss up to assoc-1 pages.
+    std::vector<std::vector<int>> provisional;
+    std::vector<int> leftovers;
+    while (!ungrouped.empty()) {
+        const int target = ungrouped.front();
+        std::vector<int> candidates(ungrouped.begin() + 1,
+                                    ungrouped.end());
+        std::vector<int> members = scanConflicts(target, candidates);
+        if (members.empty()) {
+            // Fewer than `associativity` pool pages share this page's
+            // color: it cannot seed a group (by itself).
+            leftovers.push_back(target);
+            ungrouped.erase(ungrouped.begin());
+            continue;
+        }
+        std::vector<int> group;
+        group.push_back(target);
+        group.insert(group.end(), members.begin(), members.end());
+        provisional.push_back(group);
+
+        std::vector<int> next;
+        for (int p : ungrouped) {
+            if (std::find(group.begin(), group.end(), p) == group.end())
+                next.push_back(p);
+        }
+        ungrouped.swap(next);
+    }
+
+    if (provisional.empty())
+        fatal("evset finder: no conflicts found at all; "
+              "increase FinderConfig::poolPages");
+
+    // Phase 2: associativity from the best-endowed provisional group
+    // (its scan-found members are guaranteed same-set lines).
+    std::sort(provisional.begin(), provisional.end(),
+              [](const auto &a, const auto &b) {
+                  return a.size() > b.size();
+              });
+    {
+        const auto &big = provisional.front();
+        std::vector<int> members(big.begin() + 1, big.end());
+        assoc_ = discoverAssocWith(lineAddr(big[0], 0), members);
+    }
+    if (assoc_ == 0)
+        fatal("evset finder: could not determine associativity; "
+              "increase FinderConfig::poolPages");
+
+    // Phase 3: complete every group by boosted scans over the pages
+    // that ended up unassigned (each provisional group hides up to
+    // assoc-1 of its pages among the later groups' leftovers).
+    for (auto &group : provisional) {
+        boostScan(group, leftovers);
+        std::sort(group.begin(), group.end());
+        groups_.push_back(group);
+    }
+    for (int orphan : leftovers) {
+        warn("evset finder: page ", orphan, " matches no group; its "
+             "color has fewer pool pages than the associativity");
+    }
+
+    inform("evset finder: ", groups_.size(), " conflict groups, ",
+           "associativity ", assoc_, ", ", launches_, " kernel launches");
+}
+
+EvictionSet
+EvictionSetFinder::evictionSet(std::size_t group,
+                               std::uint32_t line_in_page,
+                               unsigned count) const
+{
+    if (group >= groups_.size())
+        fatal("evictionSet: group ", group, " out of range");
+    if (line_in_page >= linesPerPage_)
+        fatal("evictionSet: line offset ", line_in_page, " out of range");
+    const unsigned n = count ? count : assoc_;
+    const auto &pages = groups_[group];
+    if (pages.size() < n)
+        fatal("evictionSet: group ", group, " has only ", pages.size(),
+              " pages, need ", n);
+    EvictionSet set;
+    set.lines.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        set.lines.push_back(lineAddr(pages[i], line_in_page));
+    return set;
+}
+
+std::vector<EvictionSet>
+EvictionSetFinder::coveringSets(unsigned count) const
+{
+    std::vector<EvictionSet> sets;
+    sets.reserve(groups_.size() * linesPerPage_);
+    for (std::size_t g = 0; g < groups_.size(); ++g)
+        for (std::uint32_t l = 0; l < linesPerPage_; ++l)
+            sets.push_back(evictionSet(g, l, count));
+    return sets;
+}
+
+EvictionSet
+EvictionSetFinder::naiveSetFor(int target_page)
+{
+    if (assoc_ == 0)
+        fatal("naiveSetFor: run() must discover associativity first");
+    std::vector<int> candidates;
+    for (int p = 0; p < config_.poolPages; ++p)
+        if (p != target_page)
+            candidates.push_back(p);
+
+    std::vector<int> members = scanConflicts(target_page, candidates);
+    EvictionSet set;
+    set.lines.push_back(lineAddr(target_page, 0));
+    for (int m : members) {
+        if (set.lines.size() >= assoc_)
+            break;
+        set.lines.push_back(lineAddr(m, 0));
+    }
+    return set;
+}
+
+bool
+EvictionSetFinder::aliasTest(const EvictionSet &a, const EvictionSet &b)
+{
+    if (assoc_ == 0)
+        fatal("aliasTest: run() must discover associativity first");
+
+    // Union of assoc lines of a plus one line of b that is not
+    // already in a: if the sets alias, the union over-fills one
+    // physical set and the second chase pass misses; if they map to
+    // different sets, everything fits. When b is a subset of a the
+    // sets trivially alias.
+    std::vector<VAddr> combined;
+    for (unsigned i = 0; i < assoc_ && i < a.lines.size(); ++i)
+        combined.push_back(a.lines[i]);
+    VAddr extra = 0;
+    bool have_extra = false;
+    for (VAddr v : b.lines) {
+        if (std::find(combined.begin(), combined.end(), v) ==
+            combined.end()) {
+            extra = v;
+            have_extra = true;
+            break;
+        }
+    }
+    if (!have_extra)
+        return true; // b's lines all belong to a already
+    combined.push_back(extra);
+
+    std::uint32_t miss_count = 0;
+    auto kernel = [&](rt::BlockCtx &ctx) -> sim::Task {
+        for (VAddr v : combined)
+            co_await ctx.ldcg64(v);
+        for (VAddr v : combined) {
+            const Cycles t0 = ctx.clock();
+            co_await ctx.ldcg64(v);
+            const Cycles t1 = ctx.clock();
+            if (isMiss(static_cast<double>(t1 - t0)))
+                ++miss_count;
+            co_await ctx.sharedAccess();
+        }
+    };
+
+    gpu::KernelConfig cfg;
+    cfg.name = "alias-test";
+    cfg.sharedMemBytes = config_.sharedMemBytes;
+    auto handle = rt_.launch(proc_, execGpu_, cfg, kernel);
+    rt_.runUntilDone(handle);
+    ++launches_;
+    probes_ += combined.size();
+
+    // Aliasing thrashes the shared physical set: every access of the
+    // second pass misses. Distinct sets see (almost) no misses.
+    return miss_count * 2 > combined.size();
+}
+
+} // namespace gpubox::attack

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Online eviction set discovery from user level (paper Sec. III-B,
+ * Algorithm 1).
+ *
+ * The attacker allocates a pool of pages on the target GPU and, for a
+ * chosen target line, pointer-chases growing prefixes of candidate
+ * lines, re-probing the target after each chase: the first prefix that
+ * evicts the target identifies its last element as a same-set line.
+ * Removing found members and repeating recovers the conflict set.
+ *
+ * Two optimizations the paper alludes to ("we adopted some
+ * optimization methodologies by skipping some address accesses",
+ * "the data belonging to a page is indexed consecutively in the
+ * cache") are implemented explicitly:
+ *  - eviction is monotone in the chased prefix under LRU, so the
+ *    eviction point is found by binary instead of linear search;
+ *  - two lines conflict iff their pages have the same (hidden) color
+ *    and the lines share the in-page offset, so conflict grouping of
+ *    the pool pages at one offset yields eviction sets for *every*
+ *    set the pool covers.
+ */
+
+#ifndef GPUBOX_ATTACK_EVSET_FINDER_HH
+#define GPUBOX_ATTACK_EVSET_FINDER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/evset.hh"
+#include "attack/timing_oracle.hh"
+#include "rt/runtime.hh"
+
+namespace gpubox::attack
+{
+
+/** Tunables of the finder. */
+struct FinderConfig
+{
+    /**
+     * Pages in the probed pool. Must be large enough that every page
+     * color has > 2*associativity members (default 160 gives ~40 per
+     * color on the DGX-1 geometry).
+     */
+    int poolPages = 160;
+    /** Shared memory the measurement kernels reserve per block. */
+    std::uint32_t sharedMemBytes = 16 * 1024;
+};
+
+/** Discovers conflict groups and eviction sets on a target GPU. */
+class EvictionSetFinder
+{
+  public:
+    /**
+     * @param rt the box
+     * @param proc attacker process
+     * @param exec_gpu GPU the measurement kernels run on
+     * @param mem_gpu GPU whose memory (and hence L2) is probed; equal
+     *                to exec_gpu for a local attack, an NVLink peer
+     *                for the cross-GPU attack
+     * @param thresholds calibrated hit/miss boundaries
+     */
+    EvictionSetFinder(rt::Runtime &rt, rt::Process &proc, GpuId exec_gpu,
+                      GpuId mem_gpu, const TimingThresholds &thresholds,
+                      const FinderConfig &config = FinderConfig());
+
+    ~EvictionSetFinder();
+
+    EvictionSetFinder(const EvictionSetFinder &) = delete;
+    EvictionSetFinder &operator=(const EvictionSetFinder &) = delete;
+
+    /** Run the full discovery: conflict groups plus associativity. */
+    void run();
+
+    /** @name Results (valid after run()) @{ */
+
+    /** Measured cache associativity (paper Table I: 16). */
+    unsigned associativity() const { return assoc_; }
+
+    /** Conflict groups: page indices of the pool, one group per color. */
+    const std::vector<std::vector<int>> &groups() const { return groups_; }
+
+    std::size_t numGroups() const { return groups_.size(); }
+
+    /** Lines per page == sets covered per group. */
+    std::uint32_t linesPerPage() const { return linesPerPage_; }
+
+    /**
+     * Eviction set for (group, in-page line offset).
+     * @param count lines in the set; 0 means the associativity
+     */
+    EvictionSet evictionSet(std::size_t group, std::uint32_t line_in_page,
+                            unsigned count = 0) const;
+
+    /** Every derivable eviction set (groups x in-page offsets). */
+    std::vector<EvictionSet> coveringSets(unsigned count = 0) const;
+
+    /** @} */
+
+    /** @name Fig. 6 aliasing study @{ */
+
+    /**
+     * Naive per-target discovery: minimal eviction set (associativity
+     * lines) for one target page, without the grouping optimization.
+     * Sets found this way for same-color targets alias.
+     */
+    EvictionSet naiveSetFor(int target_page);
+
+    /**
+     * Test whether two eviction sets alias (map to the same physical
+     * set): chase the union twice; a same-set union of more than
+     * `associativity` lines thrashes and misses on the second pass.
+     */
+    bool aliasTest(const EvictionSet &a, const EvictionSet &b);
+
+    /** @} */
+
+    /** @name Attack-cost accounting @{ */
+    std::uint64_t kernelLaunches() const { return launches_; }
+    std::uint64_t timedProbes() const { return probes_; }
+    /** @} */
+
+    /** Pool line address for (page, in-page line). */
+    VAddr lineAddr(int page, std::uint32_t line_in_page) const;
+
+    VAddr poolBase() const { return pool_; }
+
+  private:
+    /**
+     * One Algorithm-1 kernel: access target, chase @p chase, re-probe
+     * target. @return true when the re-probe missed (target evicted).
+     */
+    bool targetEvictedBy(VAddr target, const std::vector<VAddr> &chase);
+
+    bool isMiss(double cycles) const;
+
+    /**
+     * Find same-set members of @p target among @p candidates by
+     * repeated binary-searched Algorithm-1 scans. Removes found
+     * members from @p candidates. Stalls once fewer than the
+     * associativity of conflicts remain hidden (no eviction possible).
+     */
+    std::vector<int> scanConflicts(int target, std::vector<int> &candidates);
+
+    /**
+     * Boosted scan: prepend up to associativity-1 already-known group
+     * members to the chase so that even a single hidden conflict among
+     * @p candidates evicts the target. Moves every conflicting
+     * candidate into @p group (complete conflict recovery; requires
+     * the associativity to be known).
+     */
+    void boostScan(std::vector<int> &group, std::vector<int> &candidates);
+
+    /** Smallest prefix count of same-set lines that evicts target. */
+    unsigned discoverAssocWith(VAddr target,
+                               const std::vector<int> &members);
+
+    rt::Runtime &rt_;
+    rt::Process &proc_;
+    GpuId execGpu_;
+    GpuId memGpu_;
+    TimingThresholds thresholds_;
+    FinderConfig config_;
+
+    VAddr pool_ = 0;
+    std::uint32_t lineBytes_;
+    std::uint64_t pageBytes_;
+    std::uint32_t linesPerPage_;
+
+    unsigned assoc_ = 0;
+    std::vector<std::vector<int>> groups_;
+    std::uint64_t launches_ = 0;
+    std::uint64_t probes_ = 0;
+};
+
+} // namespace gpubox::attack
+
+#endif // GPUBOX_ATTACK_EVSET_FINDER_HH

@@ -1,0 +1,89 @@
+#include "attack/evset_validator.hh"
+
+#include "util/log.hh"
+
+namespace gpubox::attack
+{
+
+EvictionSetValidator::EvictionSetValidator(rt::Runtime &rt,
+                                           rt::Process &proc,
+                                           GpuId exec_gpu, GpuId mem_gpu,
+                                           const TimingThresholds &th)
+    : rt_(rt), proc_(proc), execGpu_(exec_gpu), memGpu_(mem_gpu),
+      thresholds_(th)
+{}
+
+ValidationSeries
+EvictionSetValidator::sweep(const EvictionSet &set, unsigned max_lines)
+{
+    if (set.lines.size() < max_lines + 1)
+        fatal("validator sweep needs ", max_lines + 1,
+              " conflict lines, got ", set.lines.size());
+
+    ValidationSeries series;
+    const bool remote = execGpu_ != memGpu_;
+
+    for (unsigned n = 1; n <= max_lines; ++n) {
+        const VAddr target = set.lines[0];
+        Cycles probe = 0;
+
+        auto kernel = [&, target, n](rt::BlockCtx &ctx) -> sim::Task {
+            co_await ctx.ldcg64(target);
+            for (unsigned i = 1; i <= n; ++i)
+                co_await ctx.ldcg64(set.lines[i]);
+            const Cycles t0 = ctx.clock();
+            co_await ctx.ldcg64(target);
+            const Cycles t1 = ctx.clock();
+            probe = t1 - t0;
+            co_await ctx.sharedAccess();
+        };
+
+        gpu::KernelConfig cfg;
+        cfg.name = "evset-validate";
+        cfg.sharedMemBytes = 16 * 1024;
+        auto handle = rt_.launch(proc_, execGpu_, cfg, kernel);
+        rt_.runUntilDone(handle);
+
+        const double cycles = static_cast<double>(probe);
+        series.linesAccessed.push_back(n);
+        series.probeCycles.push_back(cycles);
+        series.probeMissed.push_back(remote
+                                         ? thresholds_.isRemoteMiss(cycles)
+                                         : thresholds_.isLocalMiss(cycles));
+    }
+    return series;
+}
+
+std::vector<double>
+EvictionSetValidator::cyclicTrace(const EvictionSet &set, unsigned k,
+                                  unsigned reps)
+{
+    if (set.lines.size() < k)
+        fatal("cyclicTrace needs ", k, " lines, got ", set.lines.size());
+
+    std::vector<Cycles> times(reps, 0);
+    auto kernel = [&, k, reps](rt::BlockCtx &ctx) -> sim::Task {
+        for (unsigned i = 0; i < reps; ++i) {
+            const VAddr a = set.lines[i % k];
+            const Cycles t0 = ctx.clock();
+            co_await ctx.ldcg64(a);
+            const Cycles t1 = ctx.clock();
+            times[i] = t1 - t0;
+            co_await ctx.sharedAccess();
+        }
+    };
+
+    gpu::KernelConfig cfg;
+    cfg.name = "evset-cyclic";
+    cfg.sharedMemBytes = 16 * 1024;
+    auto handle = rt_.launch(proc_, execGpu_, cfg, kernel);
+    rt_.runUntilDone(handle);
+
+    std::vector<double> out;
+    out.reserve(reps);
+    for (Cycles t : times)
+        out.push_back(static_cast<double>(t));
+    return out;
+}
+
+} // namespace gpubox::attack

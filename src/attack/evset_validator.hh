@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Eviction set validation (paper Fig. 5): sweep the number of
+ * conflict-set lines accessed between two probes of a target and watch
+ * the access time jump at exactly the associativity, on both the local
+ * and the remote GPU. Also provides the cyclic access trace that
+ * confirms the deterministic (LRU) replacement.
+ */
+
+#ifndef GPUBOX_ATTACK_EVSET_VALIDATOR_HH
+#define GPUBOX_ATTACK_EVSET_VALIDATOR_HH
+
+#include <vector>
+
+#include "attack/evset.hh"
+#include "attack/timing_oracle.hh"
+#include "rt/runtime.hh"
+
+namespace gpubox::attack
+{
+
+/** One point per number-of-lines-accessed. */
+struct ValidationSeries
+{
+    std::vector<unsigned> linesAccessed;
+    std::vector<double> probeCycles;
+    std::vector<bool> probeMissed;
+};
+
+/** Runs the Fig. 5 validation experiments. */
+class EvictionSetValidator
+{
+  public:
+    EvictionSetValidator(rt::Runtime &rt, rt::Process &proc, GpuId exec_gpu,
+                         GpuId mem_gpu, const TimingThresholds &thresholds);
+
+    /**
+     * For n = 1..max_lines: prime a target line, access the first n
+     * lines of @p set, re-probe the target and record its access time.
+     * The probe time steps from hit to miss at n == associativity.
+     *
+     * @param set conflict set with at least max_lines lines (the
+     *            target is set.lines[0]; the chase uses the rest)
+     */
+    ValidationSeries sweep(const EvictionSet &set, unsigned max_lines);
+
+    /**
+     * Access the first @p k lines of @p set cyclically for @p reps
+     * total accesses and record each access time. With k <=
+     * associativity every post-warmup access hits; with k =
+     * associativity + 1 LRU thrashes and every access misses --
+     * the deterministic pattern that rules out randomized replacement.
+     */
+    std::vector<double> cyclicTrace(const EvictionSet &set, unsigned k,
+                                    unsigned reps);
+
+  private:
+    rt::Runtime &rt_;
+    rt::Process &proc_;
+    GpuId execGpu_;
+    GpuId memGpu_;
+    TimingThresholds thresholds_;
+};
+
+} // namespace gpubox::attack
+
+#endif // GPUBOX_ATTACK_EVSET_VALIDATOR_HH

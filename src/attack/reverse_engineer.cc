@@ -1,0 +1,224 @@
+#include "attack/reverse_engineer.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "attack/evset_validator.hh"
+#include "util/log.hh"
+
+namespace gpubox::attack
+{
+
+std::string
+CacheArchReport::toTable() const
+{
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "%-24s %s\n"
+                  "%-24s %.0f MB\n"
+                  "%-24s %u\n"
+                  "%-24s %uB\n"
+                  "%-24s %u\n"
+                  "%-24s %s\n",
+                  "Cache Attribute", "Values",
+                  "L2 cache size",
+                  static_cast<double>(cacheBytes) / (1024.0 * 1024.0),
+                  "Number of Sets", numSets,
+                  "Cache line size", lineBytes,
+                  "Cache lines per set", associativity,
+                  "Replacement Policy", replacementPolicy.c_str());
+    return buf;
+}
+
+ReverseEngineer::ReverseEngineer(rt::Runtime &rt, rt::Process &proc,
+                                 GpuId gpu,
+                                 const TimingThresholds &thresholds)
+    : rt_(rt), proc_(proc), gpu_(gpu), thresholds_(thresholds)
+{}
+
+std::uint32_t
+ReverseEngineer::discoverLineSize(std::uint32_t max_stride)
+{
+    const std::uint64_t page = rt_.config().pageBytes;
+    // One fresh page per tested stride keeps the first access cold.
+    std::vector<std::uint32_t> strides;
+    for (std::uint32_t s = 8; s <= max_stride; s *= 2)
+        strides.push_back(s);
+
+    const VAddr buf =
+        rt_.deviceMalloc(proc_, gpu_, strides.size() * page);
+
+    std::uint32_t line_size = max_stride;
+    for (std::size_t i = 0; i < strides.size(); ++i) {
+        const VAddr base = buf + i * page;
+        const std::uint32_t stride = strides[i];
+        Cycles second = 0;
+
+        auto kernel = [&, base, stride](rt::BlockCtx &ctx) -> sim::Task {
+            co_await ctx.ldcg64(base); // cold: caches the whole line
+            const Cycles t0 = ctx.clock();
+            co_await ctx.ldcg64(base + stride);
+            const Cycles t1 = ctx.clock();
+            second = t1 - t0;
+            co_await ctx.sharedAccess();
+        };
+
+        gpu::KernelConfig cfg;
+        cfg.name = "line-size";
+        cfg.sharedMemBytes = 16 * 1024;
+        auto handle = rt_.launch(proc_, gpu_, cfg, kernel);
+        rt_.runUntilDone(handle);
+
+        if (thresholds_.isLocalMiss(static_cast<double>(second))) {
+            // First stride that escapes the cached line.
+            line_size = stride;
+            break;
+        }
+    }
+    rt_.deviceFree(proc_, buf);
+    return line_size;
+}
+
+std::vector<CapacityPoint>
+ReverseEngineer::capacitySweep(const std::vector<std::uint64_t> &line_counts)
+{
+    const std::uint32_t line = rt_.config().device.l2.lineBytes;
+    std::uint64_t max_lines = 0;
+    for (auto c : line_counts)
+        max_lines = std::max(max_lines, c);
+
+    const VAddr buf = rt_.deviceMalloc(proc_, gpu_, max_lines * line);
+    std::vector<CapacityPoint> points;
+
+    for (std::uint64_t count : line_counts) {
+        std::uint64_t misses = 0;
+        auto kernel = [&, count](rt::BlockCtx &ctx) -> sim::Task {
+            // Pass 1: make the working set resident.
+            for (std::uint64_t i = 0; i < count; ++i)
+                co_await ctx.ldcg64(buf + i * line);
+            // Pass 2: count misses. If the working set exceeds the
+            // capacity, LRU thrashes and the second pass misses.
+            for (std::uint64_t i = 0; i < count; ++i) {
+                const Cycles t0 = ctx.clock();
+                co_await ctx.ldcg64(buf + i * line);
+                const Cycles t1 = ctx.clock();
+                if (thresholds_.isLocalMiss(static_cast<double>(t1 - t0)))
+                    ++misses;
+                co_await ctx.sharedAccess();
+            }
+        };
+
+        gpu::KernelConfig cfg;
+        cfg.name = "capacity-sweep";
+        cfg.sharedMemBytes = 16 * 1024;
+        auto handle = rt_.launch(proc_, gpu_, cfg, kernel);
+        rt_.runUntilDone(handle);
+
+        points.push_back(CapacityPoint{
+            count, static_cast<double>(misses) /
+                       static_cast<double>(count)});
+    }
+    rt_.deviceFree(proc_, buf);
+    return points;
+}
+
+std::uint64_t
+ReverseEngineer::capacityFromSweep(const std::vector<CapacityPoint> &pts,
+                                   std::uint32_t line_bytes) const
+{
+    // The knee: the largest working set that still mostly hits on the
+    // second pass. Random page coloring makes the cliff fuzzy near the
+    // exact capacity, so snap to the nearest power of two.
+    std::uint64_t knee_lines = 0;
+    for (const auto &p : pts)
+        if (p.secondPassMissRate < 0.55)
+            knee_lines = std::max(knee_lines, p.residentLines);
+    if (knee_lines == 0)
+        return 0;
+    const double bytes =
+        static_cast<double>(knee_lines) * static_cast<double>(line_bytes);
+    const double exponent = std::round(std::log2(bytes));
+    return static_cast<std::uint64_t>(std::pow(2.0, exponent));
+}
+
+std::vector<unsigned>
+ReverseEngineer::evictionPoints(EvictionSetFinder &finder, int trials)
+{
+    EvictionSetValidator validator(rt_, proc_, gpu_, gpu_, thresholds_);
+    const unsigned assoc = finder.associativity();
+    const unsigned sweep_len = assoc + 4;
+
+    std::vector<unsigned> points;
+    for (int t = 0; t < trials; ++t) {
+        // A different in-page line offset each trial probes a
+        // different physical set.
+        const std::uint32_t offset =
+            1 + static_cast<std::uint32_t>(t) % (finder.linesPerPage() - 1);
+        EvictionSet set = finder.evictionSet(0, offset, sweep_len + 1);
+        ValidationSeries series = validator.sweep(set, sweep_len);
+        unsigned point = 0;
+        for (std::size_t i = 0; i < series.linesAccessed.size(); ++i) {
+            if (series.probeMissed[i]) {
+                point = series.linesAccessed[i];
+                break;
+            }
+        }
+        points.push_back(point);
+    }
+    return points;
+}
+
+std::string
+ReverseEngineer::classifyPolicy(const std::vector<unsigned> &points,
+                                unsigned associativity)
+{
+    if (points.empty())
+        return "unknown";
+    std::map<unsigned, int> hist;
+    for (unsigned p : points)
+        ++hist[p];
+    const auto mode = std::max_element(
+        hist.begin(), hist.end(),
+        [](const auto &a, const auto &b) { return a.second < b.second; });
+    const double mode_frac = static_cast<double>(mode->second) /
+                             static_cast<double>(points.size());
+
+    if (mode_frac == 1.0 && mode->first == associativity)
+        return "LRU";
+    if (mode_frac >= 0.75)
+        return "pseudo-LRU";
+    return "randomized";
+}
+
+CacheArchReport
+ReverseEngineer::run(EvictionSetFinder &finder)
+{
+    CacheArchReport report;
+    report.lineBytes = discoverLineSize();
+    report.associativity = finder.associativity();
+
+    const std::uint32_t line = rt_.config().device.l2.lineBytes;
+    const std::uint64_t cap_lines =
+        rt_.config().device.l2.sizeBytes / line;
+    // Sweep from half to twice the (to-be-discovered) capacity.
+    std::vector<std::uint64_t> counts;
+    for (double f : {0.5, 0.75, 0.875, 1.0, 1.125, 1.25, 1.5, 2.0}) {
+        counts.push_back(
+            static_cast<std::uint64_t>(f * static_cast<double>(cap_lines)));
+    }
+    auto pts = capacitySweep(counts);
+    report.cacheBytes = capacityFromSweep(pts, report.lineBytes);
+    if (report.lineBytes && report.associativity) {
+        report.numSets = static_cast<std::uint32_t>(
+            report.cacheBytes /
+            (static_cast<std::uint64_t>(report.lineBytes) *
+             report.associativity));
+    }
+    report.replacementPolicy =
+        classifyPolicy(evictionPoints(finder), report.associativity);
+    return report;
+}
+
+} // namespace gpubox::attack

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * End-to-end L2 architecture reverse engineering (paper Table I).
+ *
+ * Combines user-level experiments into the full parameter report:
+ *  - line size: co-residence test (loading one byte caches the whole
+ *    line; the first stride that stops co-hitting is the line size);
+ *  - cache capacity / number of sets: working-set sweep (second-pass
+ *    miss rate cliffs when the set of resident lines exceeds the
+ *    capacity);
+ *  - associativity: eviction-point measurement over a conflict group
+ *    (EvictionSetFinder);
+ *  - replacement policy: determinism of the eviction point across
+ *    repetitions (LRU evicts exactly at the associativity every time;
+ *    randomized policies scatter).
+ */
+
+#ifndef GPUBOX_ATTACK_REVERSE_ENGINEER_HH
+#define GPUBOX_ATTACK_REVERSE_ENGINEER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attack/evset_finder.hh"
+#include "attack/timing_oracle.hh"
+#include "rt/runtime.hh"
+
+namespace gpubox::attack
+{
+
+/** The recovered Table I. */
+struct CacheArchReport
+{
+    std::uint32_t lineBytes = 0;
+    std::uint64_t cacheBytes = 0;
+    std::uint32_t numSets = 0;
+    unsigned associativity = 0;
+    std::string replacementPolicy; // "LRU", "pseudo-LRU" or "randomized"
+
+    /** Render as the paper's Table I. */
+    std::string toTable() const;
+};
+
+/** Working-set sweep point (supporting evidence for the capacity). */
+struct CapacityPoint
+{
+    std::uint64_t residentLines;
+    double secondPassMissRate;
+};
+
+/** Orchestrates the reverse engineering experiments. */
+class ReverseEngineer
+{
+  public:
+    ReverseEngineer(rt::Runtime &rt, rt::Process &proc, GpuId gpu,
+                    const TimingThresholds &thresholds);
+
+    /** Run everything and return the recovered architecture. */
+    CacheArchReport run(EvictionSetFinder &finder);
+
+    /** Line-size co-residence experiment. */
+    std::uint32_t discoverLineSize(std::uint32_t max_stride = 1024);
+
+    /** Working-set sweep; the knee is the capacity. */
+    std::vector<CapacityPoint>
+    capacitySweep(const std::vector<std::uint64_t> &line_counts);
+
+    /** Capacity from the sweep: largest count with ~zero miss rate. */
+    std::uint64_t capacityFromSweep(const std::vector<CapacityPoint> &pts,
+                                    std::uint32_t line_bytes) const;
+
+    /**
+     * Eviction-point determinism over @p trials repetitions.
+     * @return observed eviction points (distinct same-set lines
+     *         accessed before the target missed)
+     */
+    std::vector<unsigned> evictionPoints(EvictionSetFinder &finder,
+                                         int trials = 12);
+
+    /** Classify the policy from the eviction points. */
+    static std::string classifyPolicy(const std::vector<unsigned> &points,
+                                      unsigned associativity);
+
+  private:
+    rt::Runtime &rt_;
+    rt::Process &proc_;
+    GpuId gpu_;
+    TimingThresholds thresholds_;
+};
+
+} // namespace gpubox::attack
+
+#endif // GPUBOX_ATTACK_REVERSE_ENGINEER_HH

@@ -1,0 +1,125 @@
+#include "attack/set_aligner.hh"
+
+#include "util/log.hh"
+
+namespace gpubox::attack
+{
+
+SetAligner::SetAligner(rt::Runtime &rt, rt::Process &trojan_proc,
+                       rt::Process &spy_proc, GpuId trojan_gpu,
+                       GpuId spy_gpu, const TimingThresholds &thresholds,
+                       const AlignerConfig &config)
+    : rt_(rt), trojanProc_(trojan_proc), spyProc_(spy_proc),
+      trojanGpu_(trojan_gpu), spyGpu_(spy_gpu), thresholds_(thresholds),
+      config_(config)
+{
+    if (!rt_.topology().connected(trojan_gpu, spy_gpu))
+        fatal("set aligner: GPUs ", trojan_gpu, " and ", spy_gpu,
+              " are not NVLink peers");
+}
+
+AlignmentRun
+SetAligner::testPair(const EvictionSet &trojan_set,
+                     const EvictionSet &spy_set)
+{
+    ++runs_;
+
+    // Trojan: hammer the set until stopped (the paper uses a larger
+    // fixed loop count on the trojan because its local accesses are
+    // faster; a cooperative stop expresses the same overlap).
+    auto trojan_kernel = [&](rt::BlockCtx &ctx) -> sim::Task {
+        while (!ctx.stopRequested())
+            co_await ctx.probeSet(trojan_set.lines);
+    };
+
+    // Spy: accumulate the average per-line access time over its own
+    // eviction set (Algorithm 2's timer2/numMainLoop).
+    double sum = 0.0;
+    std::uint64_t samples = 0;
+    auto spy_kernel = [&](rt::BlockCtx &ctx) -> sim::Task {
+        for (unsigned i = 0; i < config_.spyLoops; ++i) {
+            auto res = co_await ctx.probeSet(spy_set.lines);
+            for (Cycles c : res.perLineCycles) {
+                sum += static_cast<double>(c);
+                ++samples;
+            }
+            co_await ctx.sharedAccess();
+        }
+    };
+
+    gpu::KernelConfig tcfg;
+    tcfg.name = "align-trojan";
+    tcfg.sharedMemBytes = config_.sharedMemBytes;
+    gpu::KernelConfig scfg;
+    scfg.name = "align-spy";
+    scfg.threadsPerBlock = 1024;
+    scfg.sharedMemBytes = config_.sharedMemBytes;
+
+    auto trojan = rt_.launch(trojanProc_, trojanGpu_, tcfg, trojan_kernel);
+    auto spy = rt_.launch(spyProc_, spyGpu_, scfg, spy_kernel);
+
+    rt_.runUntilDone(spy);
+    trojan.requestStop();
+    rt_.runUntilDone(trojan);
+
+    AlignmentRun run;
+    run.avgProbeCycles = samples ? sum / static_cast<double>(samples) : 0.0;
+    run.matched = thresholds_.isRemoteMiss(run.avgProbeCycles);
+    return run;
+}
+
+std::vector<int>
+SetAligner::alignGroups(const EvictionSetFinder &trojan_finder,
+                        const EvictionSetFinder &spy_finder)
+{
+    std::vector<int> mapping(trojan_finder.numGroups(), -1);
+    std::vector<bool> spy_used(spy_finder.numGroups(), false);
+
+    for (std::size_t tg = 0; tg < trojan_finder.numGroups(); ++tg) {
+        const EvictionSet tset = trojan_finder.evictionSet(tg, 0);
+        for (std::size_t sg = 0; sg < spy_finder.numGroups(); ++sg) {
+            if (spy_used[sg])
+                continue;
+            const EvictionSet sset = spy_finder.evictionSet(sg, 0);
+            AlignmentRun run = testPair(tset, sset);
+            if (run.matched) {
+                mapping[tg] = static_cast<int>(sg);
+                spy_used[sg] = true;
+                break;
+            }
+        }
+        if (mapping[tg] < 0)
+            warn("set aligner: trojan group ", tg,
+                 " found no colliding spy group");
+    }
+    return mapping;
+}
+
+std::vector<std::pair<EvictionSet, EvictionSet>>
+SetAligner::alignedPairs(const EvictionSetFinder &trojan_finder,
+                         const EvictionSetFinder &spy_finder,
+                         const std::vector<int> &mapping, unsigned k) const
+{
+    std::vector<std::pair<EvictionSet, EvictionSet>> pairs;
+    const std::uint32_t lines_per_page = trojan_finder.linesPerPage();
+
+    for (std::size_t tg = 0; tg < mapping.size() && pairs.size() < k;
+         ++tg) {
+        if (mapping[tg] < 0)
+            continue;
+        const auto sg = static_cast<std::size_t>(mapping[tg]);
+        // A group match at offset 0 extends to every in-page offset:
+        // both sets at offset o live in physical set color*K + o.
+        for (std::uint32_t o = 1; o < lines_per_page && pairs.size() < k;
+             ++o) {
+            pairs.emplace_back(trojan_finder.evictionSet(tg, o),
+                               spy_finder.evictionSet(sg, o));
+        }
+    }
+    if (pairs.size() < k)
+        fatal("alignedPairs: only ", pairs.size(), " of ", k,
+              " requested channel sets available");
+    return pairs;
+}
+
+} // namespace gpubox::attack

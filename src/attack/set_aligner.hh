@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Cross-process eviction set alignment (paper Sec. IV-A, Algorithm 2,
+ * Fig. 7).
+ *
+ * After both the trojan and the spy independently discovered eviction
+ * sets over buffers that live in the same GPU's memory, neither knows
+ * which *physical* set each of their eviction sets maps to. To agree
+ * on channel sets, the trojan hammers one of its sets while the spy
+ * times repeated passes over one of its own candidate sets: an
+ * elevated average (misses) reveals that the two sets collide in the
+ * same physical set.
+ *
+ * Page-preserving index hashing makes the full alignment cheap: pages
+ * map to aligned windows of consecutive sets, so two eviction sets at
+ * in-page offsets o_t and o_s can only collide when o_t == o_s. Each
+ * trojan page group therefore needs to be tested against each spy
+ * group at a single offset, and a group match extends to every offset.
+ */
+
+#ifndef GPUBOX_ATTACK_SET_ALIGNER_HH
+#define GPUBOX_ATTACK_SET_ALIGNER_HH
+
+#include <utility>
+#include <vector>
+
+#include "attack/evset_finder.hh"
+#include "attack/timing_oracle.hh"
+#include "rt/runtime.hh"
+
+namespace gpubox::attack
+{
+
+/** Tunables of one Algorithm-2 run. */
+struct AlignerConfig
+{
+    /**
+     * Spy probe passes per run. The paper uses 150000 (and 400000
+     * trojan passes); the default here is scaled down for simulation
+     * speed -- contention is visible after a few hundred passes.
+     */
+    unsigned spyLoops = 400;
+    /** Shared memory per attack block. */
+    std::uint32_t sharedMemBytes = 32 * 1024;
+};
+
+/** Outcome of probing one (trojan set, spy set) pair. */
+struct AlignmentRun
+{
+    double avgProbeCycles = 0.0;
+    bool matched = false;
+};
+
+/** Runs eviction set alignment between two malicious processes. */
+class SetAligner
+{
+  public:
+    /**
+     * @param rt the box
+     * @param trojan_proc process on the GPU that owns the memory
+     * @param spy_proc process on the NVLink peer
+     * @param trojan_gpu GPU the trojan (and the buffers) live on
+     * @param spy_gpu GPU the spy runs on
+     */
+    SetAligner(rt::Runtime &rt, rt::Process &trojan_proc,
+               rt::Process &spy_proc, GpuId trojan_gpu, GpuId spy_gpu,
+               const TimingThresholds &thresholds,
+               const AlignerConfig &config = AlignerConfig());
+
+    /**
+     * One Algorithm-2 run: the trojan continuously accesses
+     * @p trojan_set while the spy measures the average pass time over
+     * @p spy_set. Matched when the average classifies as remote miss.
+     */
+    AlignmentRun testPair(const EvictionSet &trojan_set,
+                          const EvictionSet &spy_set);
+
+    /**
+     * Match every trojan page group to the colliding spy page group
+     * (testing offset 0 only; see file comment).
+     * @return mapping[trojan_group] = spy_group (or -1 if unmatched)
+     */
+    std::vector<int> alignGroups(const EvictionSetFinder &trojan_finder,
+                                 const EvictionSetFinder &spy_finder);
+
+    /**
+     * Derive @p k aligned (trojan set, spy set) pairs on distinct
+     * physical sets from a group mapping, stepping the in-page offset.
+     */
+    std::vector<std::pair<EvictionSet, EvictionSet>>
+    alignedPairs(const EvictionSetFinder &trojan_finder,
+                 const EvictionSetFinder &spy_finder,
+                 const std::vector<int> &mapping, unsigned k) const;
+
+    std::uint64_t runsExecuted() const { return runs_; }
+
+  private:
+    rt::Runtime &rt_;
+    rt::Process &trojanProc_;
+    rt::Process &spyProc_;
+    GpuId trojanGpu_;
+    GpuId spyGpu_;
+    TimingThresholds thresholds_;
+    AlignerConfig config_;
+    std::uint64_t runs_ = 0;
+};
+
+} // namespace gpubox::attack
+
+#endif // GPUBOX_ATTACK_SET_ALIGNER_HH

@@ -1,0 +1,141 @@
+#include "attack/side/fingerprint.hh"
+
+#include <algorithm>
+
+#include "ml/mlp.hh"
+#include "ml/softmax.hh"
+#include "util/log.hh"
+
+namespace gpubox::attack::side
+{
+
+Fingerprinter::Fingerprinter(rt::Runtime &rt, rt::Process &spy_proc,
+                             GpuId spy_gpu, rt::Process &victim_proc,
+                             GpuId victim_gpu,
+                             const EvictionSetFinder &finder,
+                             const TimingThresholds &thresholds,
+                             const FingerprintConfig &config)
+    : rt_(rt), spyProc_(spy_proc), spyGpu_(spy_gpu),
+      victimProc_(victim_proc), victimGpu_(victim_gpu), finder_(finder),
+      thresholds_(thresholds), config_(config)
+{}
+
+Memorygram
+Fingerprinter::collectSample(victim::AppKind kind, std::uint64_t seed)
+{
+    RemoteProber prober(rt_, spyProc_, spyGpu_, finder_, thresholds_,
+                        config_.prober);
+
+    Memorygram gram(config_.prober.monitoredSets, prober.numWindows());
+
+    const Cycles t0 = rt_.engine().now() + 2 * config_.prober.samplePeriod;
+    auto prober_handle = prober.launch(gram, t0);
+
+    victim::WorkloadConfig wcfg;
+    wcfg.seed = seed;
+    // The victim starts once the prober is priming.
+    wcfg.startDelayCycles = 3 * config_.prober.samplePeriod;
+    victim::Workload workload(rt_, victimProc_, victimGpu_, kind, wcfg);
+    auto victim_handle = workload.launch();
+
+    rt_.runUntilDone(victim_handle);
+    prober_handle.requestStop();
+    rt_.runUntilDone(prober_handle);
+    return gram;
+}
+
+std::vector<double>
+Fingerprinter::features(const Memorygram &gram) const
+{
+    // The pooled miss image plus two permutation-invariant profiles:
+    // eviction sets hash to arbitrary physical sets in every run
+    // (paper Sec. V-A, "these can be different in each run"), so the
+    // temporal activity profile and the sorted per-set intensity
+    // distribution carry the run-stable signal.
+    std::vector<double> f =
+        gram.pooledFeatures(config_.featureRows, config_.featureCols);
+
+    // Temporal profile: total misses per pooled time slice.
+    const std::size_t tbins = config_.featureCols;
+    std::vector<double> temporal(tbins, 0.0);
+    for (std::size_t w = 0; w < gram.numWindows(); ++w)
+        temporal[w * tbins / gram.numWindows()] +=
+            static_cast<double>(gram.windowMisses(w));
+    f.insert(f.end(), temporal.begin(), temporal.end());
+
+    // Sorted per-set totals, pooled: intensity distribution.
+    std::vector<double> per_set;
+    per_set.reserve(gram.numSets());
+    for (std::size_t s = 0; s < gram.numSets(); ++s)
+        per_set.push_back(static_cast<double>(gram.setMisses(s)));
+    std::sort(per_set.begin(), per_set.end());
+    const std::size_t sbins = config_.featureRows;
+    std::vector<double> intensity(sbins, 0.0);
+    for (std::size_t i = 0; i < per_set.size(); ++i)
+        intensity[i * sbins / per_set.size()] += per_set[i];
+    f.insert(f.end(), intensity.begin(), intensity.end());
+    return f;
+}
+
+ml::Dataset
+Fingerprinter::collectDataset(std::vector<Memorygram> *exemplars)
+{
+    ml::Dataset data;
+    const auto &kinds = victim::allAppKinds();
+    for (std::size_t label = 0; label < kinds.size(); ++label) {
+        for (unsigned s = 0; s < config_.samplesPerApp; ++s) {
+            const std::uint64_t seed =
+                config_.seed * 1000003ULL + label * 131ULL + s;
+            Memorygram gram = collectSample(kinds[label], seed);
+            if (exemplars && s == 0)
+                exemplars->push_back(gram);
+            data.push_back(ml::Sample{features(gram),
+                                      static_cast<int>(label)});
+        }
+        inform("fingerprint: collected ", config_.samplesPerApp,
+               " samples of ", victim::appName(kinds[label]));
+    }
+    return data;
+}
+
+FingerprintResult
+Fingerprinter::run()
+{
+    FingerprintResult result;
+    for (auto kind : victim::allAppKinds())
+        result.classNames.push_back(victim::appShortName(kind));
+
+    ml::Dataset data = collectDataset(&result.exemplars);
+
+    Rng rng(config_.seed ^ 0xf17eULL);
+    ml::Split split = ml::splitDataset(data, config_.trainPerApp,
+                                       config_.valPerApp, rng);
+
+    ml::Standardizer norm;
+    norm.fit(split.train);
+    const ml::Dataset train = norm.apply(split.train);
+    const ml::Dataset val = norm.apply(split.validation);
+    const ml::Dataset test = norm.apply(split.test);
+
+    const std::size_t dim = ml::featureDim(train);
+    const int classes = static_cast<int>(victim::allAppKinds().size());
+
+    result.confusion = ml::ConfusionMatrix(classes);
+    if (config_.useMlpClassifier) {
+        ml::MlpClassifier clf(dim, classes);
+        clf.fit(train, rng.split(1));
+        result.validationAccuracy = clf.score(val);
+        for (const ml::Sample &s : test)
+            result.confusion.add(s.label, clf.predict(s.x));
+    } else {
+        ml::SoftmaxClassifier clf(dim, classes);
+        clf.fit(train, rng.split(1));
+        result.validationAccuracy = clf.score(val);
+        for (const ml::Sample &s : test)
+            result.confusion.add(s.label, clf.predict(s.x));
+    }
+    result.testAccuracy = result.confusion.accuracy();
+    return result;
+}
+
+} // namespace gpubox::attack::side

@@ -1,0 +1,166 @@
+#include "attack/side/memorygram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hh"
+
+namespace gpubox::attack::side
+{
+
+Memorygram::Memorygram(std::size_t num_sets, std::size_t num_windows)
+    : sets_(num_sets), windows_(num_windows),
+      misses_(num_sets * num_windows, 0),
+      probes_(num_sets * num_windows, 0)
+{
+    if (num_sets == 0 || num_windows == 0)
+        fatal("Memorygram needs positive dimensions");
+}
+
+void
+Memorygram::addMiss(std::size_t set, std::size_t window,
+                    std::uint32_t count)
+{
+    if (set >= sets_ || window >= windows_)
+        return; // probes beyond the observation horizon are dropped
+    misses_[set * windows_ + window] += count;
+}
+
+void
+Memorygram::addProbe(std::size_t set, std::size_t window)
+{
+    if (set >= sets_ || window >= windows_)
+        return;
+    ++probes_[set * windows_ + window];
+}
+
+double
+Memorygram::missAt(std::size_t set, std::size_t window) const
+{
+    return misses_.at(set * windows_ + window);
+}
+
+std::uint64_t
+Memorygram::probesAt(std::size_t set, std::size_t window) const
+{
+    return probes_.at(set * windows_ + window);
+}
+
+std::uint64_t
+Memorygram::totalMisses() const
+{
+    std::uint64_t sum = 0;
+    for (auto m : misses_)
+        sum += m;
+    return sum;
+}
+
+std::uint64_t
+Memorygram::totalProbes() const
+{
+    std::uint64_t sum = 0;
+    for (auto p : probes_)
+        sum += p;
+    return sum;
+}
+
+std::uint64_t
+Memorygram::setMisses(std::size_t set) const
+{
+    std::uint64_t sum = 0;
+    for (std::size_t w = 0; w < windows_; ++w)
+        sum += misses_[set * windows_ + w];
+    return sum;
+}
+
+std::uint64_t
+Memorygram::windowMisses(std::size_t window) const
+{
+    std::uint64_t sum = 0;
+    for (std::size_t s = 0; s < sets_; ++s)
+        sum += misses_[s * windows_ + window];
+    return sum;
+}
+
+double
+Memorygram::avgMissesPerSet() const
+{
+    return static_cast<double>(totalMisses()) /
+           static_cast<double>(sets_);
+}
+
+std::vector<double>
+Memorygram::data() const
+{
+    std::vector<double> out;
+    out.reserve(misses_.size());
+    for (auto m : misses_)
+        out.push_back(static_cast<double>(m));
+    return out;
+}
+
+std::vector<double>
+Memorygram::pooledFeatures(std::size_t rows, std::size_t cols) const
+{
+    std::vector<double> pooled(rows * cols, 0.0);
+    std::vector<double> counts(rows * cols, 0.0);
+    for (std::size_t s = 0; s < sets_; ++s) {
+        const std::size_t pr = s * rows / sets_;
+        for (std::size_t w = 0; w < windows_; ++w) {
+            const std::size_t pc = w * cols / windows_;
+            pooled[pr * cols + pc] += missAt(s, w);
+            counts[pr * cols + pc] += 1.0;
+        }
+    }
+    for (std::size_t i = 0; i < pooled.size(); ++i)
+        if (counts[i] > 0.0)
+            pooled[i] /= counts[i];
+    return pooled;
+}
+
+std::string
+Memorygram::render(const HeatmapOptions &opt) const
+{
+    return renderHeatmap(data(), sets_, windows_, opt);
+}
+
+std::size_t
+Memorygram::activeWindows() const
+{
+    std::size_t last = 0;
+    for (std::size_t s = 0; s < sets_; ++s)
+        for (std::size_t w = 0; w < windows_; ++w)
+            if (probes_[s * windows_ + w] || misses_[s * windows_ + w])
+                last = std::max(last, w + 1);
+    return last;
+}
+
+Memorygram
+Memorygram::trimmed() const
+{
+    const std::size_t w_max = std::max<std::size_t>(1, activeWindows());
+    Memorygram out(sets_, w_max);
+    for (std::size_t s = 0; s < sets_; ++s) {
+        for (std::size_t w = 0; w < w_max; ++w) {
+            out.misses_[s * w_max + w] = misses_[s * windows_ + w];
+            out.probes_[s * w_max + w] = probes_[s * windows_ + w];
+        }
+    }
+    return out;
+}
+
+double
+Memorygram::distance(const Memorygram &a, const Memorygram &b)
+{
+    if (a.sets_ != b.sets_ || a.windows_ != b.windows_)
+        fatal("Memorygram::distance: shape mismatch");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.misses_.size(); ++i) {
+        const double d = static_cast<double>(a.misses_[i]) -
+                         static_cast<double>(b.misses_[i]);
+        sum += d * d;
+    }
+    return std::sqrt(sum);
+}
+
+} // namespace gpubox::attack::side

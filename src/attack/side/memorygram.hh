@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Memorygram: the (cache set x time window) miss matrix a remote spy
+ * recovers by prime+probing a victim GPU's L2 (paper Sec. V, Figs. 11,
+ * 14, 15). Provides the feature extraction the fingerprinting
+ * classifier consumes and ASCII/CSV rendering for the figure benches.
+ */
+
+#ifndef GPUBOX_ATTACK_SIDE_MEMORYGRAM_HH
+#define GPUBOX_ATTACK_SIDE_MEMORYGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/ascii_art.hh"
+
+namespace gpubox::attack::side
+{
+
+/** Row-major (set, window) miss-count matrix. */
+class Memorygram
+{
+  public:
+    Memorygram(std::size_t num_sets, std::size_t num_windows);
+
+    void addMiss(std::size_t set, std::size_t window,
+                 std::uint32_t count = 1);
+    void addProbe(std::size_t set, std::size_t window);
+
+    std::size_t numSets() const { return sets_; }
+    std::size_t numWindows() const { return windows_; }
+
+    double missAt(std::size_t set, std::size_t window) const;
+    std::uint64_t probesAt(std::size_t set, std::size_t window) const;
+
+    std::uint64_t totalMisses() const;
+    std::uint64_t totalProbes() const;
+
+    /** Total misses recorded for one set across all windows. */
+    std::uint64_t setMisses(std::size_t set) const;
+
+    /** Total misses in one time window across all sets. */
+    std::uint64_t windowMisses(std::size_t window) const;
+
+    /** Average of setMisses over all sets (paper Table II metric). */
+    double avgMissesPerSet() const;
+
+    /** Raw miss matrix, row-major (for heat maps). */
+    std::vector<double> data() const;
+
+    /**
+     * Average-pool the miss matrix to rows x cols and flatten row-major
+     * (the classifier feature vector).
+     */
+    std::vector<double> pooledFeatures(std::size_t rows,
+                                       std::size_t cols) const;
+
+    /** ASCII heat map of the miss matrix. */
+    std::string render(const HeatmapOptions &opt = HeatmapOptions()) const;
+
+    /** Index one past the last window that recorded any probe. */
+    std::size_t activeWindows() const;
+
+    /**
+     * Copy clipped to the observed horizon (the prober is stopped when
+     * the victim finishes, so trailing windows are empty).
+     */
+    Memorygram trimmed() const;
+
+    /** L2 distance between two equally shaped memorygrams. */
+    static double distance(const Memorygram &a, const Memorygram &b);
+
+  private:
+    std::size_t sets_;
+    std::size_t windows_;
+    std::vector<std::uint32_t> misses_;
+    std::vector<std::uint32_t> probes_;
+};
+
+} // namespace gpubox::attack::side
+
+#endif // GPUBOX_ATTACK_SIDE_MEMORYGRAM_HH

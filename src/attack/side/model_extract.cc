@@ -1,0 +1,132 @@
+#include "attack/side/model_extract.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hh"
+
+namespace gpubox::attack::side
+{
+
+ModelExtractor::ModelExtractor(rt::Runtime &rt, rt::Process &spy_proc,
+                               GpuId spy_gpu, rt::Process &victim_proc,
+                               GpuId victim_gpu,
+                               const EvictionSetFinder &finder,
+                               const TimingThresholds &thresholds,
+                               const ExtractionConfig &config)
+    : rt_(rt), spyProc_(spy_proc), spyGpu_(spy_gpu),
+      victimProc_(victim_proc), victimGpu_(victim_gpu), finder_(finder),
+      thresholds_(thresholds), config_(config)
+{}
+
+ExtractionRun
+ModelExtractor::observe(unsigned neurons, unsigned epochs)
+{
+    RemoteProber prober(rt_, spyProc_, spyGpu_, finder_, thresholds_,
+                        config_.prober);
+
+    ExtractionRun run;
+    run.neurons = neurons;
+    run.epochs = epochs;
+    run.gram = Memorygram(config_.prober.monitoredSets,
+                          prober.numWindows());
+
+    const Cycles t0 = rt_.engine().now() + 2 * config_.prober.samplePeriod;
+    auto prober_handle = prober.launch(run.gram, t0);
+
+    victim::MlpConfig mcfg = config_.mlpBase;
+    mcfg.hiddenNeurons = neurons;
+    mcfg.epochs = epochs;
+    mcfg.startDelayCycles = 3 * config_.prober.samplePeriod;
+    victim::MlpTrainer trainer(rt_, victimProc_, victimGpu_, mcfg);
+    auto victim_handle = trainer.launch();
+
+    rt_.runUntilDone(victim_handle);
+    prober_handle.requestStop();
+    rt_.runUntilDone(prober_handle);
+
+    run.totalMisses = run.gram.totalMisses();
+    run.avgMissesPerSet = run.gram.avgMissesPerSet();
+    return run;
+}
+
+std::vector<ExtractionRun>
+ModelExtractor::sweepNeurons()
+{
+    std::vector<ExtractionRun> runs;
+    for (unsigned n : config_.neuronCounts) {
+        runs.push_back(observe(n));
+        inform("model extraction: ", n, " neurons -> avg ",
+               runs.back().avgMissesPerSet, " misses/set");
+    }
+    return runs;
+}
+
+unsigned
+ModelExtractor::inferEpochs(const Memorygram &gram)
+{
+    // Column activity series, lightly smoothed.
+    const std::size_t w = gram.numWindows();
+    std::vector<double> activity(w, 0.0);
+    for (std::size_t i = 0; i < w; ++i)
+        activity[i] = static_cast<double>(gram.windowMisses(i));
+
+    std::vector<double> smooth(w, 0.0);
+    for (std::size_t i = 0; i < w; ++i) {
+        double sum = 0.0;
+        int cnt = 0;
+        for (int d = -1; d <= 1; ++d) {
+            const std::ptrdiff_t j = static_cast<std::ptrdiff_t>(i) + d;
+            if (j >= 0 && j < static_cast<std::ptrdiff_t>(w)) {
+                sum += activity[j];
+                ++cnt;
+            }
+        }
+        smooth[i] = sum / cnt;
+    }
+
+    double peak = 0.0;
+    for (double v : smooth)
+        peak = std::max(peak, v);
+    if (peak <= 0.0)
+        return 0;
+    const double threshold = 0.25 * peak;
+
+    // Count activity bursts separated by at least two quiet windows.
+    unsigned bursts = 0;
+    bool active = false;
+    unsigned quiet = 2;
+    for (std::size_t i = 0; i < w; ++i) {
+        if (smooth[i] >= threshold) {
+            if (!active && quiet >= 2)
+                ++bursts;
+            active = true;
+            quiet = 0;
+        } else {
+            ++quiet;
+            active = false;
+        }
+    }
+    return bursts;
+}
+
+unsigned
+ModelExtractor::inferNeurons(double avg_misses,
+                             const std::vector<ExtractionRun> &references)
+{
+    if (references.empty())
+        fatal("inferNeurons: empty reference set");
+    unsigned best = references.front().neurons;
+    double best_d = std::abs(avg_misses -
+                             references.front().avgMissesPerSet);
+    for (const auto &ref : references) {
+        const double d = std::abs(avg_misses - ref.avgMissesPerSet);
+        if (d < best_d) {
+            best_d = d;
+            best = ref.neurons;
+        }
+    }
+    return best;
+}
+
+} // namespace gpubox::attack::side

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * MLP model extraction side channel (paper Sec. V-B, Table II,
+ * Figs. 13-15).
+ *
+ * While a victim trains a one-hidden-layer MLP, the spy's per-set miss
+ * counts scale with the hidden-layer width (the weight matrices are
+ * streamed every minibatch), so the average misses per monitored set
+ * separate the candidate configurations (Table II / Fig. 13). The
+ * temporal structure of the memorygram additionally exposes the number
+ * of training epochs (Fig. 15).
+ */
+
+#ifndef GPUBOX_ATTACK_SIDE_MODEL_EXTRACT_HH
+#define GPUBOX_ATTACK_SIDE_MODEL_EXTRACT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/evset_finder.hh"
+#include "attack/side/memorygram.hh"
+#include "attack/side/prober.hh"
+#include "attack/timing_oracle.hh"
+#include "rt/runtime.hh"
+#include "victim/mlp_trainer.hh"
+
+namespace gpubox::attack::side
+{
+
+/** Extraction experiment parameters. */
+struct ExtractionConfig
+{
+    /** Candidate hidden-layer widths (paper Table II). */
+    std::vector<unsigned> neuronCounts = {64, 128, 256, 512};
+    /** Prober setup (paper monitors 1024 sets; scaled by default). */
+    ProberConfig prober;
+    /** Victim hyperparameters (hiddenNeurons/epochs overridden). */
+    victim::MlpConfig mlpBase;
+    std::uint64_t seed = 11;
+
+    ExtractionConfig()
+    {
+        prober.monitoredSets = 256;
+        prober.samplePeriod = 8000;
+        prober.windowCycles = 12000;
+        prober.duration = 1200000;
+    }
+};
+
+/** One observed training run. */
+struct ExtractionRun
+{
+    unsigned neurons = 0;
+    unsigned epochs = 1;
+    Memorygram gram{1, 1};
+    /** Table II metric. */
+    double avgMissesPerSet = 0.0;
+    std::uint64_t totalMisses = 0;
+};
+
+/** Drives the MLP victim under observation. */
+class ModelExtractor
+{
+  public:
+    ModelExtractor(rt::Runtime &rt, rt::Process &spy_proc, GpuId spy_gpu,
+                   rt::Process &victim_proc, GpuId victim_gpu,
+                   const EvictionSetFinder &finder,
+                   const TimingThresholds &thresholds,
+                   const ExtractionConfig &config = ExtractionConfig());
+
+    /** Observe one training run. */
+    ExtractionRun observe(unsigned neurons, unsigned epochs = 1);
+
+    /** Table II: one run per candidate width. */
+    std::vector<ExtractionRun> sweepNeurons();
+
+    /**
+     * Infer the epoch count from a memorygram: epochs appear as
+     * activity bursts separated by the inter-epoch synchronization
+     * gap (Fig. 15).
+     */
+    static unsigned inferEpochs(const Memorygram &gram);
+
+    /**
+     * Classify a run's width against reference average-miss levels:
+     * nearest candidate wins (the attack's final inference step).
+     */
+    static unsigned
+    inferNeurons(double avg_misses,
+                 const std::vector<ExtractionRun> &references);
+
+  private:
+    rt::Runtime &rt_;
+    rt::Process &spyProc_;
+    GpuId spyGpu_;
+    rt::Process &victimProc_;
+    GpuId victimGpu_;
+    const EvictionSetFinder &finder_;
+    TimingThresholds thresholds_;
+    ExtractionConfig config_;
+};
+
+} // namespace gpubox::attack::side
+
+#endif // GPUBOX_ATTACK_SIDE_MODEL_EXTRACT_HH

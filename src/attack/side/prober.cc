@@ -1,0 +1,118 @@
+#include "attack/side/prober.hh"
+
+#include "util/log.hh"
+
+namespace gpubox::attack::side
+{
+
+RemoteProber::RemoteProber(rt::Runtime &rt, rt::Process &spy_proc,
+                           GpuId spy_gpu, const EvictionSetFinder &finder,
+                           const TimingThresholds &thresholds,
+                           const ProberConfig &config)
+    : rt_(rt), spyProc_(spy_proc), spyGpu_(spy_gpu),
+      thresholds_(thresholds), config_(config)
+{
+    if (finder.numGroups() == 0)
+        fatal("RemoteProber: the eviction set finder has not run");
+
+    // Choose monitored sets round-robin across page groups so that
+    // every color window of the cache is sampled (victim pages land in
+    // random colors).
+    const std::size_t groups = finder.numGroups();
+    const std::uint32_t lines = finder.linesPerPage();
+    sets_.reserve(config_.monitoredSets);
+    for (unsigned i = 0; i < config_.monitoredSets; ++i) {
+        const std::size_t g = i % groups;
+        const std::uint32_t o = static_cast<std::uint32_t>(i / groups);
+        if (o >= lines)
+            fatal("RemoteProber: not enough sets per group for ",
+                  config_.monitoredSets, " monitored sets");
+        sets_.push_back(finder.evictionSet(g, o));
+    }
+}
+
+std::size_t
+RemoteProber::numWindows() const
+{
+    return static_cast<std::size_t>(config_.duration /
+                                    config_.windowCycles) +
+           1;
+}
+
+const EvictionSet &
+RemoteProber::monitoredSet(std::size_t i) const
+{
+    return sets_.at(i);
+}
+
+rt::KernelHandle
+RemoteProber::launch(Memorygram &out, Cycles t0)
+{
+    if (out.numSets() != sets_.size() || out.numWindows() < numWindows())
+        fatal("RemoteProber: memorygram shape (", out.numSets(), "x",
+              out.numWindows(), ") does not fit ", sets_.size(), "x",
+              numWindows());
+
+    const unsigned blocks = config_.blocks
+                                ? config_.blocks
+                                : static_cast<unsigned>(sets_.size());
+
+    auto kernel = [this, &out, t0, blocks](rt::BlockCtx &ctx) -> sim::Task {
+        const unsigned bid = ctx.blockIdx();
+        // Sets assigned to this block, round-robin.
+        std::vector<std::size_t> mine;
+        for (std::size_t s = bid; s < sets_.size(); s += blocks)
+            mine.push_back(s);
+        if (mine.empty())
+            co_return;
+
+        co_await ctx.waitUntil(t0 > config_.samplePeriod
+                                   ? t0 - config_.samplePeriod
+                                   : 0);
+        // Initial prime of every assigned set.
+        for (std::size_t s : mine)
+            co_await ctx.probeSet(sets_[s].lines);
+
+        const Cycles end = t0 + config_.duration;
+        // Stagger the blocks across the sample period so hundreds of
+        // probers do not hammer the L2 ports at the same instant.
+        const Cycles phase =
+            (static_cast<Cycles>(bid) * config_.samplePeriod) / blocks;
+        std::uint64_t round = 0;
+        while (!ctx.stopRequested()) {
+            const Cycles slot = t0 + phase + round * config_.samplePeriod;
+            if (slot >= end)
+                break;
+            co_await ctx.waitUntil(slot);
+            for (std::size_t s : mine) {
+                if (ctx.stopRequested())
+                    break;
+                auto res = co_await ctx.probeSet(sets_[s].lines);
+                std::uint32_t miss_count = 0;
+                for (Cycles c : res.perLineCycles) {
+                    if (thresholds_.isRemoteMiss(static_cast<double>(c)))
+                        ++miss_count;
+                }
+                const Cycles now = ctx.actor().now();
+                if (now >= t0) {
+                    const std::size_t w = static_cast<std::size_t>(
+                        (now - t0) / config_.windowCycles);
+                    out.addProbe(s, w);
+                    if (miss_count)
+                        out.addMiss(s, w, miss_count);
+                }
+                co_await ctx.sharedAccess();
+            }
+            ++round;
+        }
+    };
+
+    gpu::KernelConfig cfg;
+    cfg.name = "side-prober";
+    cfg.numBlocks = blocks;
+    cfg.threadsPerBlock = 32;
+    cfg.sharedMemBytes = config_.sharedMemBytes;
+    return rt_.launch(spyProc_, spyGpu_, cfg, kernel);
+}
+
+} // namespace gpubox::attack::side

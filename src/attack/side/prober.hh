@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Remote memorygram prober (paper Sec. V).
+ *
+ * The spy, on an NVLink peer of the victim GPU, continuously
+ * prime+probes a window of L2 sets using eviction sets it constructed
+ * over its own buffer *allocated in the victim GPU's memory*. A probe
+ * that misses means somebody (the victim) touched the set since the
+ * last probe. Misses are accumulated into a Memorygram.
+ *
+ * As in the paper, one thread block drives each monitored cache set.
+ */
+
+#ifndef GPUBOX_ATTACK_SIDE_PROBER_HH
+#define GPUBOX_ATTACK_SIDE_PROBER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/evset_finder.hh"
+#include "attack/side/memorygram.hh"
+#include "attack/timing_oracle.hh"
+#include "rt/runtime.hh"
+
+namespace gpubox::attack::side
+{
+
+/** Prober tunables. */
+struct ProberConfig
+{
+    /** L2 sets monitored (paper: 256 for apps, 1024 for the MLP). */
+    unsigned monitoredSets = 128;
+    /** Per-set probe period in cycles. */
+    Cycles samplePeriod = 6000;
+    /** Memorygram time bucket width. */
+    Cycles windowCycles = 8000;
+    /** Observation length in cycles. */
+    Cycles duration = 600000;
+    /**
+     * Shared memory per prober block (timing buffer). Kept small so
+     * that hundreds of prober blocks can be co-resident (2 KiB allows
+     * the full 32 blocks per SM).
+     */
+    std::uint32_t sharedMemBytes = 2048;
+    /**
+     * Blocks probing concurrently. One block per monitored set is the
+     * paper's layout; sets are distributed round-robin when fewer.
+     */
+    unsigned blocks = 0; // 0 = one per set
+};
+
+/** Drives the monitoring kernels and collects the memorygram. */
+class RemoteProber
+{
+  public:
+    /**
+     * @param finder eviction set finder of the *spy* process whose
+     *               pool lives on the victim GPU
+     */
+    RemoteProber(rt::Runtime &rt, rt::Process &spy_proc, GpuId spy_gpu,
+                 const EvictionSetFinder &finder,
+                 const TimingThresholds &thresholds,
+                 const ProberConfig &config = ProberConfig());
+
+    /**
+     * Launch the prober blocks. Monitoring covers
+     * [t0, t0 + config.duration); the memorygram has
+     * duration/windowCycles windows.
+     *
+     * @param out memorygram sized (monitoredSets, numWindows())
+     * @param t0 absolute start time
+     */
+    rt::KernelHandle launch(Memorygram &out, Cycles t0);
+
+    std::size_t numWindows() const;
+
+    /** Eviction set monitored as row @p i of the memorygram. */
+    const EvictionSet &monitoredSet(std::size_t i) const;
+
+    const ProberConfig &config() const { return config_; }
+
+  private:
+    rt::Runtime &rt_;
+    rt::Process &spyProc_;
+    GpuId spyGpu_;
+    TimingThresholds thresholds_;
+    ProberConfig config_;
+    std::vector<EvictionSet> sets_;
+};
+
+} // namespace gpubox::attack::side
+
+#endif // GPUBOX_ATTACK_SIDE_PROBER_HH

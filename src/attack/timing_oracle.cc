@@ -1,0 +1,113 @@
+#include "attack/timing_oracle.hh"
+
+#include "util/log.hh"
+
+namespace gpubox::attack
+{
+
+std::vector<double>
+CalibrationResult::allSamples() const
+{
+    std::vector<double> all;
+    all.reserve(localHitSamples.size() + localMissSamples.size() +
+                remoteHitSamples.size() + remoteMissSamples.size());
+    for (const auto *v : {&localHitSamples, &localMissSamples,
+                          &remoteHitSamples, &remoteMissSamples})
+        all.insert(all.end(), v->begin(), v->end());
+    return all;
+}
+
+TimingOracle::TimingOracle(rt::Runtime &rt, rt::Process &proc)
+    : rt_(rt), proc_(proc)
+{}
+
+void
+TimingOracle::measureBuffer(GpuId exec_gpu, VAddr buffer, int first_line,
+                            int count, std::vector<double> &cold,
+                            std::vector<double> &warm)
+{
+    const std::uint32_t line = rt_.config().device.l2.lineBytes;
+    std::vector<Cycles> cold_times(count, 0);
+    std::vector<Cycles> warm_times(count, 0);
+
+    auto kernel = [&, buffer, first_line,
+                   count](rt::BlockCtx &ctx) -> sim::Task {
+        // Cold pass: first touch of each line comes from DRAM. Each
+        // timed access is followed by a shared-memory store of the
+        // timer value (off the L2 path, paper Sec. III-A).
+        for (int i = 0; i < count; ++i) {
+            const VAddr a =
+                buffer + static_cast<VAddr>(first_line + i) * line;
+            const Cycles t0 = ctx.clock();
+            co_await ctx.ldcg64(a);
+            const Cycles t1 = ctx.clock();
+            cold_times[i] = t1 - t0;
+            co_await ctx.sharedAccess();
+        }
+        // Warm pass: the lines are now resident in the home GPU's L2.
+        for (int i = 0; i < count; ++i) {
+            const VAddr a =
+                buffer + static_cast<VAddr>(first_line + i) * line;
+            const Cycles t0 = ctx.clock();
+            co_await ctx.ldcg64(a);
+            const Cycles t1 = ctx.clock();
+            warm_times[i] = t1 - t0;
+            co_await ctx.sharedAccess();
+        }
+    };
+
+    gpu::KernelConfig cfg;
+    cfg.name = "timing-oracle";
+    cfg.sharedMemBytes = 16 * 1024;
+    auto handle = rt_.launch(proc_, exec_gpu, cfg, kernel);
+    rt_.runUntilDone(handle);
+
+    for (int i = 0; i < count; ++i) {
+        cold.push_back(static_cast<double>(cold_times[i]));
+        warm.push_back(static_cast<double>(warm_times[i]));
+    }
+}
+
+CalibrationResult
+TimingOracle::calibrate(GpuId local_gpu, GpuId remote_gpu,
+                        int lines_per_round, int rounds)
+{
+    if (!rt_.topology().connected(local_gpu, remote_gpu))
+        fatal("timing oracle requires NVLink-connected GPUs, got ",
+              local_gpu, " and ", remote_gpu);
+
+    rt_.enablePeerAccess(proc_, local_gpu, remote_gpu);
+
+    const std::uint32_t line = rt_.config().device.l2.lineBytes;
+    const std::uint64_t bytes_needed = static_cast<std::uint64_t>(rounds) *
+                                       lines_per_round * line;
+
+    // One buffer on the local GPU, one on the remote peer. Fresh lines
+    // every round keep the cold pass genuinely cold (no flush
+    // instruction exists at user level).
+    const VAddr local_buf = rt_.deviceMalloc(proc_, local_gpu,
+                                             bytes_needed);
+    const VAddr remote_buf = rt_.deviceMalloc(proc_, remote_gpu,
+                                              bytes_needed);
+
+    CalibrationResult res;
+    for (int r = 0; r < rounds; ++r) {
+        const int first = r * lines_per_round;
+        measureBuffer(local_gpu, local_buf, first, lines_per_round,
+                      res.localMissSamples, res.localHitSamples);
+        measureBuffer(local_gpu, remote_buf, first, lines_per_round,
+                      res.remoteMissSamples, res.remoteHitSamples);
+    }
+
+    rt_.deviceFree(proc_, local_buf);
+    rt_.deviceFree(proc_, remote_buf);
+
+    // Four clusters across the pooled samples (Fig. 4); boundaries
+    // between clusters 1/2 and 3/4 become the thresholds.
+    res.clusters = kmeans1d(res.allSamples(), 4);
+    res.thresholds.localBoundary = res.clusters.boundaries.at(0);
+    res.thresholds.remoteBoundary = res.clusters.boundaries.at(2);
+    return res;
+}
+
+} // namespace gpubox::attack

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Timing reverse engineering (paper Sec. III-A, Fig. 4).
+ *
+ * Reproduces the microbenchmark that discovers the four latency
+ * clusters of the NUMA cache hierarchy -- local L2 hit, local miss
+ * (HBM), remote L2 hit (via NVLink), remote miss -- and derives the
+ * hit/miss classification thresholds every later attack stage uses.
+ * Everything runs from user level: no flush instruction, no huge
+ * pages, only ldcg loads and clock() reads.
+ */
+
+#ifndef GPUBOX_ATTACK_TIMING_ORACLE_HH
+#define GPUBOX_ATTACK_TIMING_ORACLE_HH
+
+#include <vector>
+
+#include "rt/runtime.hh"
+#include "util/kmeans1d.hh"
+#include "util/types.hh"
+
+namespace gpubox::attack
+{
+
+/** Thresholds separating hits from misses, local and remote. */
+struct TimingThresholds
+{
+    /** Boundary between local L2 hit and local miss times. */
+    double localBoundary = 0.0;
+    /** Boundary between remote L2 hit and remote miss times. */
+    double remoteBoundary = 0.0;
+
+    bool isLocalMiss(double cycles) const { return cycles > localBoundary; }
+    bool isRemoteMiss(double cycles) const
+    {
+        return cycles > remoteBoundary;
+    }
+};
+
+/** Full calibration output including the raw Fig. 4 samples. */
+struct CalibrationResult
+{
+    TimingThresholds thresholds;
+    /** Cluster centers in ascending order: LH, LM, RH, RM. */
+    Kmeans1dResult clusters;
+    std::vector<double> localHitSamples;
+    std::vector<double> localMissSamples;
+    std::vector<double> remoteHitSamples;
+    std::vector<double> remoteMissSamples;
+
+    /** All samples pooled (for histogram rendering). */
+    std::vector<double> allSamples() const;
+};
+
+/** Runs the calibration microbenchmark. */
+class TimingOracle
+{
+  public:
+    /**
+     * @param rt the box
+     * @param proc attacker process (needs nothing but user level)
+     */
+    TimingOracle(rt::Runtime &rt, rt::Process &proc);
+
+    /**
+     * Measure local and remote hit/miss latencies.
+     *
+     * The kernel allocates a buffer on the target GPU, strides it at
+     * the line size with ldcg (cold pass = miss samples, warm pass =
+     * hit samples), once with the buffer local to the measuring GPU
+     * and once with the buffer on the NVLink peer. Measurement values
+     * are stored via shared memory, off the L2 path.
+     *
+     * @param local_gpu GPU the measuring kernel runs on
+     * @param remote_gpu NVLink peer whose memory is probed remotely
+     * @param lines_per_round lines accessed per round (paper: 48)
+     * @param rounds independent rounds (fresh lines each round)
+     */
+    CalibrationResult calibrate(GpuId local_gpu, GpuId remote_gpu,
+                                int lines_per_round = 48, int rounds = 20);
+
+  private:
+    /**
+     * Cold+warm timing of @p count fresh lines of @p buffer starting
+     * at @p first_line, from a kernel on @p exec_gpu.
+     */
+    void measureBuffer(GpuId exec_gpu, VAddr buffer, int first_line,
+                       int count, std::vector<double> &cold,
+                       std::vector<double> &warm);
+
+    rt::Runtime &rt_;
+    rt::Process &proc_;
+};
+
+} // namespace gpubox::attack
+
+#endif // GPUBOX_ATTACK_TIMING_ORACLE_HH

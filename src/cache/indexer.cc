@@ -1,0 +1,58 @@
+#include "cache/indexer.hh"
+
+#include "util/bitops.hh"
+#include "util/log.hh"
+
+namespace gpubox::cache
+{
+
+SetIndex
+LinearIndexer::setFor(PAddr line_addr) const
+{
+    return static_cast<SetIndex>((line_addr / lineBytes_) % numSets_);
+}
+
+HashedPageIndexer::HashedPageIndexer(std::uint32_t num_sets,
+                                     std::uint32_t line_bytes,
+                                     std::uint64_t page_bytes,
+                                     std::uint64_t salt)
+    : numSets_(num_sets), lineBytes_(line_bytes), pageBytes_(page_bytes),
+      salt_(salt)
+{
+    if (!isPowerOf2(num_sets) || !isPowerOf2(line_bytes) ||
+        !isPowerOf2(page_bytes)) {
+        fatal("HashedPageIndexer: geometry must be powers of two");
+    }
+    if (page_bytes < line_bytes)
+        fatal("HashedPageIndexer: page smaller than a cache line");
+    linesPerPage_ = static_cast<std::uint32_t>(page_bytes / line_bytes);
+    numColors_ = numSets_ > linesPerPage_ ? numSets_ / linesPerPage_ : 1;
+    pageShift_ = floorLog2(page_bytes);
+    frameFieldBits_ = 32; // matches mem::AddressCodec's layout
+}
+
+std::uint32_t
+HashedPageIndexer::colorOf(std::uint64_t frame, GpuId gpu) const
+{
+    // Scramble frame and owning GPU together so that the mapping is
+    // unpredictable without the salt but stable across runs.
+    const std::uint64_t h =
+        mix64(frame ^ (static_cast<std::uint64_t>(gpu) << 48) ^ salt_);
+    return static_cast<std::uint32_t>(h % numColors_);
+}
+
+SetIndex
+HashedPageIndexer::setFor(PAddr line_addr) const
+{
+    const std::uint64_t offset = line_addr & (pageBytes_ - 1);
+    const std::uint64_t frame =
+        (line_addr >> pageShift_) & ((1ULL << frameFieldBits_) - 1);
+    const GpuId gpu =
+        static_cast<GpuId>(line_addr >> (pageShift_ + frameFieldBits_));
+    const std::uint64_t line_in_page = offset / lineBytes_;
+    const std::uint64_t start =
+        static_cast<std::uint64_t>(colorOf(frame, gpu)) * linesPerPage_;
+    return static_cast<SetIndex>((start + line_in_page) % numSets_);
+}
+
+} // namespace gpubox::cache

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Physical-address-to-set index functions.
+ *
+ * The L2 is physically indexed and the index function is undocumented;
+ * the paper observes (Sec. V-A) that "the hashing preserves page
+ * boundaries; the addresses within a single page will hash to
+ * consecutive sets". HashedPageIndexer reproduces exactly that
+ * structure: the frame number is scrambled into a page "color" that
+ * selects which aligned window of consecutive sets the page occupies,
+ * and the line offset within the page walks that window linearly.
+ * An unprivileged attacker cannot compute the color (it depends on the
+ * physical frame), which is why eviction sets must be found online and
+ * aligned across processes (Algorithms 1 and 2).
+ */
+
+#ifndef GPUBOX_CACHE_INDEXER_HH
+#define GPUBOX_CACHE_INDEXER_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace gpubox::cache
+{
+
+/** Maps a physical line address to a cache set. */
+class SetIndexer
+{
+  public:
+    virtual ~SetIndexer() = default;
+
+    /**
+     * @param line_addr physical address of the first byte of the line
+     * @return set index in [0, numSets)
+     */
+    virtual SetIndex setFor(PAddr line_addr) const = 0;
+};
+
+/** Simple modulo indexing; used by unit tests as a transparent oracle. */
+class LinearIndexer : public SetIndexer
+{
+  public:
+    LinearIndexer(std::uint32_t num_sets, std::uint32_t line_bytes)
+        : numSets_(num_sets), lineBytes_(line_bytes)
+    {}
+
+    SetIndex setFor(PAddr line_addr) const override;
+
+  private:
+    std::uint32_t numSets_;
+    std::uint32_t lineBytes_;
+};
+
+/**
+ * Page-boundary-preserving scrambled indexing (see file comment).
+ * With the DGX-1 geometry (2048 sets, 128 B lines, 64 KiB pages) a page
+ * spans 512 consecutive sets and there are 4 possible page colors.
+ */
+class HashedPageIndexer : public SetIndexer
+{
+  public:
+    /**
+     * @param num_sets total sets; must be a multiple of lines per page
+     *                 (or vice versa)
+     * @param line_bytes cache line size
+     * @param page_bytes physical page size
+     * @param salt secret per-box scrambling salt
+     */
+    HashedPageIndexer(std::uint32_t num_sets, std::uint32_t line_bytes,
+                      std::uint64_t page_bytes, std::uint64_t salt);
+
+    SetIndex setFor(PAddr line_addr) const override;
+
+    /** Number of distinct page colors (set windows). */
+    std::uint32_t numColors() const { return numColors_; }
+
+    /** Ground-truth color of a frame; used only by tests/oracles. */
+    std::uint32_t colorOf(std::uint64_t frame, GpuId gpu) const;
+
+  private:
+    std::uint32_t numSets_;
+    std::uint32_t lineBytes_;
+    std::uint64_t pageBytes_;
+    std::uint32_t linesPerPage_;
+    std::uint32_t numColors_;
+    std::uint64_t salt_;
+    unsigned pageShift_;
+    unsigned frameFieldBits_;
+};
+
+} // namespace gpubox::cache
+
+#endif // GPUBOX_CACHE_INDEXER_HH

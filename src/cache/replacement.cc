@@ -1,0 +1,181 @@
+#include "cache/replacement.hh"
+
+#include "util/bitops.hh"
+#include "util/log.hh"
+
+namespace gpubox::cache
+{
+
+std::string
+replPolicyName(ReplPolicy p)
+{
+    switch (p) {
+      case ReplPolicy::LRU:
+        return "lru";
+      case ReplPolicy::TREE_PLRU:
+        return "tree-plru";
+      case ReplPolicy::RANDOM:
+        return "random";
+    }
+    return "unknown";
+}
+
+ReplPolicy
+replPolicyFromName(const std::string &name)
+{
+    if (name == "lru")
+        return ReplPolicy::LRU;
+    if (name == "tree-plru")
+        return ReplPolicy::TREE_PLRU;
+    if (name == "random")
+        return ReplPolicy::RANDOM;
+    fatal("unknown replacement policy '", name, "'");
+}
+
+// ---------------------------------------------------------------- LRU
+
+void
+LruPolicy::reset(std::size_t num_sets, unsigned ways)
+{
+    ways_ = ways;
+    tick_ = 0;
+    lastUse_.assign(num_sets * ways, 0);
+}
+
+void
+LruPolicy::touch(SetIndex set, unsigned way)
+{
+    lastUse_[static_cast<std::size_t>(set) * ways_ + way] = ++tick_;
+}
+
+unsigned
+LruPolicy::victim(SetIndex set)
+{
+    return victimInRange(set, 0, ways_);
+}
+
+unsigned
+LruPolicy::victimInRange(SetIndex set, unsigned way_begin,
+                         unsigned way_end)
+{
+    const std::size_t base = static_cast<std::size_t>(set) * ways_;
+    unsigned best = way_begin;
+    std::uint64_t best_tick = lastUse_[base + way_begin];
+    for (unsigned w = way_begin + 1; w < way_end; ++w) {
+        if (lastUse_[base + w] < best_tick) {
+            best_tick = lastUse_[base + w];
+            best = w;
+        }
+    }
+    return best;
+}
+
+// ---------------------------------------------------------- Tree PLRU
+
+void
+TreePlruPolicy::reset(std::size_t num_sets, unsigned ways)
+{
+    if (!isPowerOf2(ways))
+        fatal("tree-plru requires a power-of-two way count, got ", ways);
+    ways_ = ways;
+    bits_.assign(num_sets * (ways - 1), 0);
+}
+
+void
+TreePlruPolicy::touch(SetIndex set, unsigned way)
+{
+    // Walk from the root to the leaf, pointing each node away from the
+    // touched way.
+    const std::size_t base = static_cast<std::size_t>(set) * (ways_ - 1);
+    unsigned node = 0;
+    unsigned lo = 0;
+    unsigned hi = ways_;
+    while (hi - lo > 1) {
+        const unsigned mid = (lo + hi) / 2;
+        const bool right = way >= mid;
+        bits_[base + node] = right ? 0 : 1; // point away
+        node = 2 * node + (right ? 2 : 1);
+        if (right)
+            lo = mid;
+        else
+            hi = mid;
+    }
+}
+
+unsigned
+TreePlruPolicy::victimInRange(SetIndex set, unsigned way_begin,
+                              unsigned way_end)
+{
+    (void)set;
+    (void)way_begin;
+    (void)way_end;
+    fatal("tree-PLRU does not support way-range victims; "
+          "use LRU or random replacement with MIG partitioning");
+}
+
+unsigned
+TreePlruPolicy::victim(SetIndex set)
+{
+    const std::size_t base = static_cast<std::size_t>(set) * (ways_ - 1);
+    unsigned node = 0;
+    unsigned lo = 0;
+    unsigned hi = ways_;
+    while (hi - lo > 1) {
+        const unsigned mid = (lo + hi) / 2;
+        const bool right = bits_[base + node] != 0;
+        node = 2 * node + (right ? 2 : 1);
+        if (right)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+// ------------------------------------------------------------- Random
+
+void
+RandomPolicy::reset(std::size_t num_sets, unsigned ways)
+{
+    (void)num_sets;
+    ways_ = ways;
+}
+
+void
+RandomPolicy::touch(SetIndex set, unsigned way)
+{
+    (void)set;
+    (void)way;
+}
+
+unsigned
+RandomPolicy::victim(SetIndex set)
+{
+    (void)set;
+    return static_cast<unsigned>(rng_.uniform(ways_));
+}
+
+unsigned
+RandomPolicy::victimInRange(SetIndex set, unsigned way_begin,
+                            unsigned way_end)
+{
+    (void)set;
+    return way_begin +
+           static_cast<unsigned>(rng_.uniform(way_end - way_begin));
+}
+
+std::unique_ptr<ReplacementPolicy>
+makeReplacementPolicy(ReplPolicy p, Rng rng)
+{
+    switch (p) {
+      case ReplPolicy::LRU:
+        return std::make_unique<LruPolicy>();
+      case ReplPolicy::TREE_PLRU:
+        return std::make_unique<TreePlruPolicy>();
+      case ReplPolicy::RANDOM:
+        return std::make_unique<RandomPolicy>(rng);
+    }
+    fatal("unreachable replacement policy");
+}
+
+} // namespace gpubox::cache

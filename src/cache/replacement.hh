@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Cache replacement policies.
+ *
+ * The paper's reverse engineering (Table I, Fig. 5) finds the P100 L2
+ * behaves as (pseudo-)LRU without randomization: a target line is
+ * evicted deterministically after 16 distinct same-set accesses. We
+ * provide true LRU (the default), tree-PLRU and random replacement so
+ * the ablation benches can show how the attack degrades when the
+ * deterministic-eviction assumption breaks.
+ */
+
+#ifndef GPUBOX_CACHE_REPLACEMENT_HH
+#define GPUBOX_CACHE_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.hh"
+#include "util/types.hh"
+
+namespace gpubox::cache
+{
+
+/** Replacement policy selector. */
+enum class ReplPolicy
+{
+    LRU,
+    TREE_PLRU,
+    RANDOM,
+};
+
+/** Parse/print helpers for configs and bench flags. */
+std::string replPolicyName(ReplPolicy p);
+ReplPolicy replPolicyFromName(const std::string &name);
+
+/** Per-set replacement state shared interface. */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** (Re)initialize state for the given geometry. */
+    virtual void reset(std::size_t num_sets, unsigned ways) = 0;
+
+    /** Record a reference to @p way of @p set (hit or fill). */
+    virtual void touch(SetIndex set, unsigned way) = 0;
+
+    /** Choose the way to evict from @p set. */
+    virtual unsigned victim(SetIndex set) = 0;
+
+    /**
+     * Choose a victim restricted to ways [way_begin, way_end). Used by
+     * MIG-style way partitioning (paper Sec. VII). Policies that
+     * cannot honor a range (tree-PLRU) report so via
+     * supportsRangeVictim().
+     */
+    virtual unsigned victimInRange(SetIndex set, unsigned way_begin,
+                                   unsigned way_end) = 0;
+
+    virtual bool supportsRangeVictim() const { return true; }
+};
+
+/** True LRU via per-way timestamps. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    void reset(std::size_t num_sets, unsigned ways) override;
+    void touch(SetIndex set, unsigned way) override;
+    unsigned victim(SetIndex set) override;
+    unsigned victimInRange(SetIndex set, unsigned way_begin,
+                           unsigned way_end) override;
+
+  private:
+    unsigned ways_ = 0;
+    std::uint64_t tick_ = 0;
+    std::vector<std::uint64_t> lastUse_; // numSets * ways
+};
+
+/** Tree pseudo-LRU; requires the way count to be a power of two. */
+class TreePlruPolicy : public ReplacementPolicy
+{
+  public:
+    void reset(std::size_t num_sets, unsigned ways) override;
+    void touch(SetIndex set, unsigned way) override;
+    unsigned victim(SetIndex set) override;
+    unsigned victimInRange(SetIndex set, unsigned way_begin,
+                           unsigned way_end) override;
+    bool supportsRangeVictim() const override { return false; }
+
+  private:
+    unsigned ways_ = 0;
+    std::vector<std::uint8_t> bits_; // numSets * (ways-1) tree nodes
+};
+
+/** Uniform random victim selection (seeded). */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    explicit RandomPolicy(Rng rng) : rng_(rng) {}
+
+    void reset(std::size_t num_sets, unsigned ways) override;
+    void touch(SetIndex set, unsigned way) override;
+    unsigned victim(SetIndex set) override;
+    unsigned victimInRange(SetIndex set, unsigned way_begin,
+                           unsigned way_end) override;
+
+  private:
+    unsigned ways_ = 0;
+    Rng rng_;
+};
+
+/** Factory for a policy instance. */
+std::unique_ptr<ReplacementPolicy> makeReplacementPolicy(ReplPolicy p,
+                                                         Rng rng);
+
+} // namespace gpubox::cache
+
+#endif // GPUBOX_CACHE_REPLACEMENT_HH

@@ -1,0 +1,154 @@
+#include "cache/set_assoc_cache.hh"
+
+#include "util/bitops.hh"
+#include "util/log.hh"
+
+namespace gpubox::cache
+{
+
+SetAssocCache::SetAssocCache(const CacheConfig &config,
+                             const SetIndexer &indexer, Rng rng)
+    : config_(config), indexer_(indexer)
+{
+    if (!isPowerOf2(config.lineBytes))
+        fatal("cache line size must be a power of two");
+    if (config.ways == 0)
+        fatal("cache must have at least one way");
+    if (config.sizeBytes %
+        (static_cast<std::uint64_t>(config.lineBytes) * config.ways)) {
+        fatal("cache size must be a multiple of lineBytes*ways");
+    }
+    numSets_ = config.numSets();
+    lines_.assign(static_cast<std::size_t>(numSets_) * config.ways, Line{});
+    repl_ = makeReplacementPolicy(config.policy, rng);
+    repl_->reset(numSets_, config.ways);
+    perSetHits_.assign(numSets_, 0);
+    perSetMisses_.assign(numSets_, 0);
+}
+
+PAddr
+SetAssocCache::lineBase(PAddr addr) const
+{
+    return addr & ~(static_cast<PAddr>(config_.lineBytes) - 1);
+}
+
+SetIndex
+SetAssocCache::setOf(PAddr addr) const
+{
+    return indexer_.setFor(lineBase(addr));
+}
+
+void
+SetAssocCache::setWayPartitions(unsigned n)
+{
+    if (n == 0 || config_.ways % n != 0)
+        fatal("cannot split ", config_.ways, " ways into ", n,
+              " partitions");
+    if (n > 1 && !repl_->supportsRangeVictim())
+        fatal("replacement policy '", replPolicyName(config_.policy),
+              "' does not support way partitioning");
+    partitions_ = n;
+    flush(); // reconfiguration invalidates resident lines
+}
+
+AccessOutcome
+SetAssocCache::access(PAddr addr, unsigned partition)
+{
+    if (partition >= partitions_)
+        fatal("cache access in partition ", partition, " of ",
+              partitions_);
+    const PAddr line_addr = lineBase(addr);
+    const std::uint64_t tag = line_addr / config_.lineBytes;
+    const SetIndex set = indexer_.setFor(line_addr);
+    const std::size_t base = static_cast<std::size_t>(set) * config_.ways;
+
+    // The partition only sees its own slice of ways (isolated paths
+    // through the memory system, as in MIG).
+    const unsigned way_begin = partition * waysPerPartition();
+    const unsigned way_end = way_begin + waysPerPartition();
+
+    AccessOutcome out;
+    out.set = set;
+
+    int invalid_way = -1;
+    for (unsigned w = way_begin; w < way_end; ++w) {
+        Line &line = lines_[base + w];
+        if (line.valid && line.tag == tag) {
+            repl_->touch(set, w);
+            ++hits_;
+            ++perSetHits_[set];
+            out.hit = true;
+            return out;
+        }
+        if (!line.valid && invalid_way < 0)
+            invalid_way = static_cast<int>(w);
+    }
+
+    // Miss: fill, evicting if the slice is full.
+    ++misses_;
+    ++perSetMisses_[set];
+    unsigned way;
+    if (invalid_way >= 0) {
+        way = static_cast<unsigned>(invalid_way);
+    } else {
+        way = partitions_ == 1
+                  ? repl_->victim(set)
+                  : repl_->victimInRange(set, way_begin, way_end);
+        out.evicted = true;
+        out.evictedLine = lines_[base + way].tag * config_.lineBytes;
+        ++evictions_;
+    }
+    lines_[base + way].valid = true;
+    lines_[base + way].tag = tag;
+    repl_->touch(set, way);
+    return out;
+}
+
+bool
+SetAssocCache::probe(PAddr addr) const
+{
+    const PAddr line_addr = lineBase(addr);
+    const std::uint64_t tag = line_addr / config_.lineBytes;
+    const SetIndex set = indexer_.setFor(line_addr);
+    const std::size_t base = static_cast<std::size_t>(set) * config_.ways;
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        const Line &line = lines_[base + w];
+        if (line.valid && line.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+SetAssocCache::flush()
+{
+    for (auto &line : lines_)
+        line.valid = false;
+}
+
+bool
+SetAssocCache::invalidate(PAddr addr)
+{
+    const PAddr line_addr = lineBase(addr);
+    const std::uint64_t tag = line_addr / config_.lineBytes;
+    const SetIndex set = indexer_.setFor(line_addr);
+    const std::size_t base = static_cast<std::size_t>(set) * config_.ways;
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        Line &line = lines_[base + w];
+        if (line.valid && line.tag == tag) {
+            line.valid = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+SetAssocCache::resetStats()
+{
+    hits_ = misses_ = evictions_ = 0;
+    std::fill(perSetHits_.begin(), perSetHits_.end(), 0);
+    std::fill(perSetMisses_.begin(), perSetMisses_.end(), 0);
+}
+
+} // namespace gpubox::cache

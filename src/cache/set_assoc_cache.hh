@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Set-associative cache model (used for each GPU's L2 and the per-SM
+ * L1). Tag-only: data lives in the process backing store; the cache
+ * tracks presence and replacement state and exposes per-set hit/miss
+ * statistics that the side-channel memorygram benches aggregate.
+ */
+
+#ifndef GPUBOX_CACHE_SET_ASSOC_CACHE_HH
+#define GPUBOX_CACHE_SET_ASSOC_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/indexer.hh"
+#include "cache/replacement.hh"
+#include "util/rng.hh"
+#include "util/types.hh"
+
+namespace gpubox::cache
+{
+
+/** Geometry and policy of one cache. */
+struct CacheConfig
+{
+    std::uint64_t sizeBytes = 4ULL << 20; // 4 MiB, P100 L2
+    std::uint32_t lineBytes = 128;        // P100 L2 line
+    unsigned ways = 16;                   // paper Table I
+    ReplPolicy policy = ReplPolicy::LRU;
+
+    std::uint32_t
+    numSets() const
+    {
+        return static_cast<std::uint32_t>(
+            sizeBytes / (static_cast<std::uint64_t>(lineBytes) * ways));
+    }
+};
+
+/** Result of one cache access. */
+struct AccessOutcome
+{
+    bool hit = false;
+    bool evicted = false;
+    PAddr evictedLine = 0; // valid when evicted
+    SetIndex set = 0;
+};
+
+/** Tag-array set-associative cache with pluggable replacement. */
+class SetAssocCache
+{
+  public:
+    /**
+     * @param config geometry and replacement policy
+     * @param indexer set index function (not owned; must outlive)
+     * @param rng stream for the random replacement policy
+     */
+    SetAssocCache(const CacheConfig &config, const SetIndexer &indexer,
+                  Rng rng);
+
+    /**
+     * Reference a byte address: lookup, fill on miss, update policy.
+     * @param partition way-partition slice to operate in (always 0
+     *        unless way partitioning is enabled)
+     */
+    AccessOutcome access(PAddr addr, unsigned partition = 0);
+
+    /**
+     * MIG-style isolation (paper Sec. VII): split the ways into
+     * @p n equal, fully isolated slices. Lookups and fills of slice i
+     * only see ways [i*ways/n, (i+1)*ways/n). n == 1 disables.
+     * Resident lines are invalidated (the partitioning reconfiguration
+     * flushes the cache on real hardware too).
+     */
+    void setWayPartitions(unsigned n);
+
+    unsigned numWayPartitions() const { return partitions_; }
+
+    /** Ways visible to each partition slice. */
+    unsigned waysPerPartition() const
+    {
+        return config_.ways / partitions_;
+    }
+
+    /** @return true when the line holding @p addr is resident. */
+    bool probe(PAddr addr) const;
+
+    /** Invalidate everything (does not clear statistics). */
+    void flush();
+
+    /** Invalidate one line if present. @return true when it was. */
+    bool invalidate(PAddr addr);
+
+    SetIndex setOf(PAddr addr) const;
+    const CacheConfig &config() const { return config_; }
+    std::uint32_t numSets() const { return numSets_; }
+
+    /** @name Statistics @{ */
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t evictions() const { return evictions_; }
+    std::uint64_t setHits(SetIndex s) const { return perSetHits_[s]; }
+    std::uint64_t setMisses(SetIndex s) const { return perSetMisses_[s]; }
+    void resetStats();
+    /** @} */
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        std::uint64_t tag = 0; // line_addr / lineBytes
+    };
+
+    PAddr lineBase(PAddr addr) const;
+
+    CacheConfig config_;
+    const SetIndexer &indexer_;
+    std::uint32_t numSets_;
+    unsigned partitions_ = 1;
+    std::vector<Line> lines_; // numSets * ways
+    std::unique_ptr<ReplacementPolicy> repl_;
+
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::vector<std::uint64_t> perSetHits_;
+    std::vector<std::uint64_t> perSetMisses_;
+};
+
+} // namespace gpubox::cache
+
+#endif // GPUBOX_CACHE_SET_ASSOC_CACHE_HH

@@ -1,0 +1,85 @@
+#include "defense/dynamic_partitioner.hh"
+
+#include "util/log.hh"
+
+namespace gpubox::defense
+{
+
+DynamicPartitioner::DynamicPartitioner(
+    rt::Runtime &rt, GpuId a, GpuId b, unsigned slices,
+    std::vector<std::pair<rt::Process *, unsigned>> assignments,
+    const MonitorConfig &config)
+    : state_(std::make_shared<State>())
+{
+    if (!rt.topology().connected(a, b))
+        fatal("DynamicPartitioner: GPUs ", a, " and ", b,
+              " share no NVLink");
+    if (slices < 2)
+        fatal("DynamicPartitioner: need at least 2 slices");
+    for (const auto &[proc, slice] : assignments) {
+        if (!proc)
+            fatal("DynamicPartitioner: null process");
+        if (slice >= slices)
+            fatal("DynamicPartitioner: slice ", slice, " of ", slices);
+    }
+    state_->rt = &rt;
+    state_->a = a;
+    state_->b = b;
+    state_->slices = slices;
+    state_->assignments = std::move(assignments);
+    state_->config = config;
+}
+
+DynamicPartitioner::~DynamicPartitioner()
+{
+    state_->stopped = true;
+}
+
+void
+DynamicPartitioner::start()
+{
+    if (started_)
+        fatal("DynamicPartitioner already started");
+    started_ = true;
+
+    std::shared_ptr<State> state = state_;
+    state_->rt->engine().spawn(
+        "dynamic-partitioner",
+        [state](sim::ActorCtx &ctx) -> sim::Task {
+            std::uint64_t prev =
+                state->rt->fabric().linkTransfers(state->a, state->b);
+            unsigned hot_streak = 0;
+            while (!ctx.stopRequested() && !state->stopped &&
+                   !state->triggered) {
+                co_await sim::Delay{state->config.sampleWindow};
+                const std::uint64_t now_count =
+                    state->rt->fabric().linkTransfers(state->a,
+                                                      state->b);
+                const double rate =
+                    static_cast<double>(now_count - prev) * 1000.0 /
+                    static_cast<double>(state->config.sampleWindow);
+                prev = now_count;
+                hot_streak = rate >= state->config.flagRatePerKcycle
+                                 ? hot_streak + 1
+                                 : 0;
+                if (hot_streak >= state->config.consecutiveWindows) {
+                    // Contention detected: flip the box into isolated
+                    // slices (flushes resident lines, like the real
+                    // reconfiguration) and separate the suspects.
+                    state->rt->enableMigPartitioning(state->slices);
+                    for (auto &[proc, slice] : state->assignments)
+                        state->rt->assignPartition(*proc, slice);
+                    state->triggered = true;
+                    state->triggerTime = ctx.now();
+                }
+            }
+        });
+}
+
+void
+DynamicPartitioner::stop()
+{
+    state_->stopped = true;
+}
+
+} // namespace gpubox::defense

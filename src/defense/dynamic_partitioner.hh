@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Triggered partitioning defense (paper Sec. VII).
+ *
+ * "To minimize the performance overhead of these partitioning-based
+ * defense mechanisms, they can only be triggered when contention is
+ * detected on a shared resource (similar to the proposed framework
+ * in [GPUGuard])." DynamicPartitioner watches an NVLink with the same
+ * criterion as LinkMonitor and, on detection, flips every L2 into
+ * isolated way slices and confines the configured processes to
+ * different slices -- severing a covert channel mid-transmission while
+ * leaving the box unpartitioned (full associativity for everyone)
+ * under benign load.
+ */
+
+#ifndef GPUBOX_DEFENSE_DYNAMIC_PARTITIONER_HH
+#define GPUBOX_DEFENSE_DYNAMIC_PARTITIONER_HH
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "defense/link_monitor.hh"
+#include "rt/runtime.hh"
+
+namespace gpubox::defense
+{
+
+/** Watches a link; on sustained suspicious traffic, partitions. */
+class DynamicPartitioner
+{
+  public:
+    /**
+     * @param a,b the NVLink pair to watch
+     * @param slices L2 way slices to switch to on trigger
+     * @param assignments (process, slice) pairs applied on trigger
+     * @param config detection criterion
+     */
+    DynamicPartitioner(
+        rt::Runtime &rt, GpuId a, GpuId b, unsigned slices,
+        std::vector<std::pair<rt::Process *, unsigned>> assignments,
+        const MonitorConfig &config = MonitorConfig());
+
+    ~DynamicPartitioner();
+
+    DynamicPartitioner(const DynamicPartitioner &) = delete;
+    DynamicPartitioner &operator=(const DynamicPartitioner &) = delete;
+
+    /** Spawn the watcher actor. */
+    void start();
+
+    /** Stop watching (does not undo a performed partitioning). */
+    void stop();
+
+    /** @return true once partitioning was applied. */
+    bool triggered() const { return state_->triggered; }
+
+    /** Simulated time partitioning kicked in (0 if never). */
+    Cycles triggerTime() const { return state_->triggerTime; }
+
+  private:
+    struct State
+    {
+        rt::Runtime *rt;
+        GpuId a;
+        GpuId b;
+        unsigned slices;
+        std::vector<std::pair<rt::Process *, unsigned>> assignments;
+        MonitorConfig config;
+        bool stopped = false;
+        bool triggered = false;
+        Cycles triggerTime = 0;
+    };
+
+    std::shared_ptr<State> state_;
+    bool started_ = false;
+};
+
+} // namespace gpubox::defense
+
+#endif // GPUBOX_DEFENSE_DYNAMIC_PARTITIONER_HH

@@ -1,0 +1,82 @@
+#include "defense/link_monitor.hh"
+
+#include <algorithm>
+
+#include "util/log.hh"
+
+namespace gpubox::defense
+{
+
+LinkMonitor::LinkMonitor(rt::Runtime &rt, GpuId a, GpuId b,
+                         const MonitorConfig &config)
+    : state_(std::make_shared<State>())
+{
+    if (!rt.topology().connected(a, b))
+        fatal("LinkMonitor: GPUs ", a, " and ", b, " share no NVLink");
+    if (config.sampleWindow == 0)
+        fatal("LinkMonitor: zero sample window");
+    state_->rt = &rt;
+    state_->a = a;
+    state_->b = b;
+    state_->config = config;
+}
+
+LinkMonitor::~LinkMonitor()
+{
+    state_->stopped = true;
+}
+
+void
+LinkMonitor::start()
+{
+    if (started_)
+        fatal("LinkMonitor already started");
+    started_ = true;
+
+    // The coroutine shares ownership of the state so it can outlive
+    // the monitor object safely.
+    std::shared_ptr<State> state = state_;
+    state_->rt->engine().spawn(
+        "link-monitor", [state](sim::ActorCtx &ctx) -> sim::Task {
+            std::uint64_t prev =
+                state->rt->fabric().linkTransfers(state->a, state->b);
+            unsigned hot_streak = 0;
+            while (!ctx.stopRequested() && !state->stopped) {
+                co_await sim::Delay{state->config.sampleWindow};
+                const std::uint64_t now_count =
+                    state->rt->fabric().linkTransfers(state->a,
+                                                      state->b);
+                const double rate =
+                    static_cast<double>(now_count - prev) * 1000.0 /
+                    static_cast<double>(state->config.sampleWindow);
+                prev = now_count;
+                state->rates.push_back(rate);
+                if (rate >= state->config.flagRatePerKcycle) {
+                    ++hot_streak;
+                    if (hot_streak >= state->config.consecutiveWindows &&
+                        !state->flagged) {
+                        state->flagged = true;
+                        state->flagTime = ctx.now();
+                    }
+                } else {
+                    hot_streak = 0;
+                }
+            }
+        });
+}
+
+void
+LinkMonitor::stop()
+{
+    state_->stopped = true;
+}
+
+double
+LinkMonitor::peakRate() const
+{
+    if (state_->rates.empty())
+        return 0.0;
+    return *std::max_element(state_->rates.begin(), state_->rates.end());
+}
+
+} // namespace gpubox::defense

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * NVLink traffic monitoring defense (paper Sec. VII).
+ *
+ * The paper observes that cross-GPU covert and side channels are
+ * detectable "by monitoring the traffic over NVLinks and access
+ * patterns on L2 and memory (accessible through hardware performance
+ * counters)": the attacks need sustained fine-grained remote traffic,
+ * while benign multi-GPU applications make coarse-grained transfers.
+ * LinkMonitor samples a link's transfer counter periodically and flags
+ * sustained high-rate traffic.
+ */
+
+#ifndef GPUBOX_DEFENSE_LINK_MONITOR_HH
+#define GPUBOX_DEFENSE_LINK_MONITOR_HH
+
+#include <memory>
+#include <vector>
+
+#include "rt/runtime.hh"
+#include "util/types.hh"
+
+namespace gpubox::defense
+{
+
+/** Detection policy. */
+struct MonitorConfig
+{
+    /** Sampling window in cycles. */
+    Cycles sampleWindow = 20000;
+    /** Transfer legs per 1000 cycles that count as suspicious. */
+    double flagRatePerKcycle = 20.0;
+    /** Consecutive suspicious windows before raising the flag. */
+    unsigned consecutiveWindows = 5;
+};
+
+/** Samples one NVLink's transfer counter from the "driver" side. */
+class LinkMonitor
+{
+  public:
+    /**
+     * @param a,b the NVLink-connected GPU pair to watch
+     */
+    LinkMonitor(rt::Runtime &rt, GpuId a, GpuId b,
+                const MonitorConfig &config = MonitorConfig());
+
+    /**
+     * The sampling coroutine may be resumed by the engine after the
+     * monitor object goes out of scope; it only touches the shared
+     * state block, which the destructor marks stopped.
+     */
+    ~LinkMonitor();
+
+    LinkMonitor(const LinkMonitor &) = delete;
+    LinkMonitor &operator=(const LinkMonitor &) = delete;
+
+    /** Spawn the sampling actor. Runs until stop(). */
+    void start();
+
+    /** Request the sampler to stop (takes effect next window). */
+    void stop();
+
+    /** @return true once the detection criterion fired. */
+    bool attackFlagged() const { return state_->flagged; }
+
+    /** Simulated time of the first flag (0 if never). */
+    Cycles firstFlagTime() const { return state_->flagTime; }
+
+    /** Observed transfer rates (legs per 1000 cycles) per window. */
+    const std::vector<double> &
+    ratePerWindow() const
+    {
+        return state_->rates;
+    }
+
+    /** Peak observed rate. */
+    double peakRate() const;
+
+  private:
+    struct State
+    {
+        rt::Runtime *rt;
+        GpuId a;
+        GpuId b;
+        MonitorConfig config;
+        bool stopped = false;
+        bool flagged = false;
+        Cycles flagTime = 0;
+        std::vector<double> rates;
+    };
+
+    std::shared_ptr<State> state_;
+    bool started_ = false;
+};
+
+} // namespace gpubox::defense
+
+#endif // GPUBOX_DEFENSE_LINK_MONITOR_HH

@@ -1,0 +1,98 @@
+#include "gpu/block_scheduler.hh"
+
+#include "util/log.hh"
+
+namespace gpubox::gpu
+{
+
+BlockScheduler::BlockScheduler(int num_sms, const SmLimits &limits)
+    : limits_(limits)
+{
+    if (num_sms <= 0)
+        fatal("BlockScheduler needs at least one SM");
+    sms_.assign(num_sms, SmState{});
+}
+
+bool
+BlockScheduler::fits(const SmState &sm, const BlockRequirements &req) const
+{
+    return sm.usedSharedMem + req.sharedMemBytes <= limits_.sharedMemBytes &&
+           sm.usedThreads + req.threads <= limits_.maxThreads &&
+           sm.blocks + 1 <= limits_.maxBlocks;
+}
+
+std::optional<SmId>
+BlockScheduler::tryPlace(const BlockRequirements &req)
+{
+    if (req.sharedMemBytes > limits_.sharedMemBytes ||
+        req.threads > limits_.maxThreads) {
+        fatal("block demands (", req.threads, " threads, ",
+              req.sharedMemBytes, " B shared) exceed SM limits");
+    }
+    int best = -1;
+    for (int sm = 0; sm < numSms(); ++sm) {
+        if (!fits(sms_[sm], req))
+            continue;
+        if (best < 0 || sms_[sm].blocks < sms_[best].blocks)
+            best = sm;
+    }
+    if (best < 0)
+        return std::nullopt;
+    sms_[best].usedSharedMem += req.sharedMemBytes;
+    sms_[best].usedThreads += req.threads;
+    ++sms_[best].blocks;
+    return best;
+}
+
+void
+BlockScheduler::release(SmId sm, const BlockRequirements &req)
+{
+    if (sm < 0 || sm >= numSms())
+        fatal("BlockScheduler::release: bad SM id ", sm);
+    SmState &state = sms_[sm];
+    if (state.blocks == 0 || state.usedSharedMem < req.sharedMemBytes ||
+        state.usedThreads < req.threads) {
+        fatal("BlockScheduler::release: accounting underflow on SM ", sm);
+    }
+    state.usedSharedMem -= req.sharedMemBytes;
+    state.usedThreads -= req.threads;
+    --state.blocks;
+}
+
+bool
+BlockScheduler::canPlace(const BlockRequirements &req) const
+{
+    for (const auto &sm : sms_)
+        if (fits(sm, req))
+            return true;
+    return false;
+}
+
+std::uint32_t
+BlockScheduler::residentBlocks(SmId sm) const
+{
+    return sms_.at(sm).blocks;
+}
+
+std::uint32_t
+BlockScheduler::usedSharedMem(SmId sm) const
+{
+    return sms_.at(sm).usedSharedMem;
+}
+
+std::uint32_t
+BlockScheduler::usedThreads(SmId sm) const
+{
+    return sms_.at(sm).usedThreads;
+}
+
+std::uint32_t
+BlockScheduler::totalResidentBlocks() const
+{
+    std::uint32_t total = 0;
+    for (const auto &sm : sms_)
+        total += sm.blocks;
+    return total;
+}
+
+} // namespace gpubox::gpu

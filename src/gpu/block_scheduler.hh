@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Thread-block-to-SM placement with the "leftover" policy.
+ *
+ * Paper Sec. VI: blocks of the first application spread across SMs;
+ * a later application's blocks can only co-locate on an SM if that SM
+ * still has leftover shared memory / thread slots. The noise
+ * mitigation experiment exploits this by launching idle blocks that
+ * saturate shared memory so no other kernel can share the SMs.
+ */
+
+#ifndef GPUBOX_GPU_BLOCK_SCHEDULER_HH
+#define GPUBOX_GPU_BLOCK_SCHEDULER_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "gpu/kernel.hh"
+#include "util/types.hh"
+
+namespace gpubox::gpu
+{
+
+/** Per-SM occupancy limits. */
+struct SmLimits
+{
+    std::uint32_t sharedMemBytes = 64 * 1024; // P100: 64 KiB per SM
+    std::uint32_t maxThreads = 2048;
+    std::uint32_t maxBlocks = 32;
+};
+
+/** Tracks SM occupancy and places blocks. */
+class BlockScheduler
+{
+  public:
+    BlockScheduler(int num_sms, const SmLimits &limits);
+
+    /**
+     * Try to place a block; spreads load by preferring the SM with the
+     * fewest resident blocks among those with room.
+     * @return the chosen SM, or nullopt when no SM can host the block
+     */
+    std::optional<SmId> tryPlace(const BlockRequirements &req);
+
+    /** Release the resources of a completed block. */
+    void release(SmId sm, const BlockRequirements &req);
+
+    /** @return true if some SM could host the block right now. */
+    bool canPlace(const BlockRequirements &req) const;
+
+    int numSms() const { return static_cast<int>(sms_.size()); }
+    std::uint32_t residentBlocks(SmId sm) const;
+    std::uint32_t usedSharedMem(SmId sm) const;
+    std::uint32_t usedThreads(SmId sm) const;
+    const SmLimits &limits() const { return limits_; }
+
+    /** Total blocks currently resident on the device. */
+    std::uint32_t totalResidentBlocks() const;
+
+  private:
+    struct SmState
+    {
+        std::uint32_t usedSharedMem = 0;
+        std::uint32_t usedThreads = 0;
+        std::uint32_t blocks = 0;
+    };
+
+    bool fits(const SmState &sm, const BlockRequirements &req) const;
+
+    SmLimits limits_;
+    std::vector<SmState> sms_;
+};
+
+} // namespace gpubox::gpu
+
+#endif // GPUBOX_GPU_BLOCK_SCHEDULER_HH

@@ -1,0 +1,22 @@
+#include "gpu/device.hh"
+
+namespace gpubox::gpu
+{
+
+Device::Device(GpuId id, const DeviceParams &params,
+               const cache::SetIndexer &l2_indexer, Rng rng)
+    : id_(id), params_(params),
+      scheduler_(params.numSms, params.smLimits)
+{
+    l2_ = std::make_unique<cache::SetAssocCache>(params.l2, l2_indexer,
+                                                 rng.split(0));
+    l1Indexer_ = std::make_unique<cache::LinearIndexer>(
+        params.l1.numSets(), params.l1.lineBytes);
+    l1s_.reserve(params.numSms);
+    for (int sm = 0; sm < params.numSms; ++sm) {
+        l1s_.push_back(std::make_unique<cache::SetAssocCache>(
+            params.l1, *l1Indexer_, rng.split(sm + 1)));
+    }
+}
+
+} // namespace gpubox::gpu

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * One GPU of the box: L2 cache, per-SM L1 caches, block scheduler.
+ * Geometry defaults model the Tesla P100 of the DGX-1 (56 SMs, 4 MiB
+ * L2, 64 KiB shared memory per SM).
+ */
+
+#ifndef GPUBOX_GPU_DEVICE_HH
+#define GPUBOX_GPU_DEVICE_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/set_assoc_cache.hh"
+#include "gpu/block_scheduler.hh"
+#include "util/rng.hh"
+#include "util/types.hh"
+
+namespace gpubox::gpu
+{
+
+/** Static configuration of one GPU. */
+struct DeviceParams
+{
+    int numSms = 56;
+    SmLimits smLimits;
+    cache::CacheConfig l2; // defaults already match the P100
+    /** Per-SM L1; bypassed by ldcg loads. */
+    cache::CacheConfig l1 = {24 * 1024, 32, 8, cache::ReplPolicy::LRU};
+};
+
+/** A single simulated GPU. */
+class Device
+{
+  public:
+    /**
+     * @param id device index within the box
+     * @param params geometry
+     * @param l2_indexer shared (box-wide) physically hashed L2 indexer
+     * @param rng per-device random stream
+     */
+    Device(GpuId id, const DeviceParams &params,
+           const cache::SetIndexer &l2_indexer, Rng rng);
+
+    GpuId id() const { return id_; }
+    int numSms() const { return params_.numSms; }
+    const DeviceParams &params() const { return params_; }
+
+    cache::SetAssocCache &l2() { return *l2_; }
+    const cache::SetAssocCache &l2() const { return *l2_; }
+
+    cache::SetAssocCache &l1(SmId sm) { return *l1s_.at(sm); }
+
+    BlockScheduler &scheduler() { return scheduler_; }
+    const BlockScheduler &scheduler() const { return scheduler_; }
+
+  private:
+    GpuId id_;
+    DeviceParams params_;
+    std::unique_ptr<cache::SetIndexer> l1Indexer_;
+    std::unique_ptr<cache::SetAssocCache> l2_;
+    std::vector<std::unique_ptr<cache::SetAssocCache>> l1s_;
+    BlockScheduler scheduler_;
+};
+
+} // namespace gpubox::gpu
+
+#endif // GPUBOX_GPU_DEVICE_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Kernel launch configuration, CUDA-like.
+ */
+
+#ifndef GPUBOX_GPU_KERNEL_HH
+#define GPUBOX_GPU_KERNEL_HH
+
+#include <cstdint>
+#include <string>
+
+namespace gpubox::gpu
+{
+
+/** Grid/block shape and static resources of one kernel launch. */
+struct KernelConfig
+{
+    std::string name = "kernel";
+    std::uint32_t numBlocks = 1;
+    std::uint32_t threadsPerBlock = 32;
+    /** Static shared memory per block (drives SM occupancy). */
+    std::uint32_t sharedMemBytes = 0;
+};
+
+/** Per-block resource demand derived from a KernelConfig. */
+struct BlockRequirements
+{
+    std::uint32_t threads = 32;
+    std::uint32_t sharedMemBytes = 0;
+};
+
+} // namespace gpubox::gpu
+
+#endif // GPUBOX_GPU_KERNEL_HH

@@ -1,0 +1,73 @@
+#include "mem/address.hh"
+
+#include "util/bitops.hh"
+#include "util/log.hh"
+
+namespace gpubox::mem
+{
+
+namespace
+{
+constexpr unsigned kFrameBits = 32;
+constexpr std::uint64_t kFrameMask = (1ULL << kFrameBits) - 1;
+constexpr unsigned kGpuBits = 8;
+} // namespace
+
+AddressCodec::AddressCodec(std::uint64_t page_bytes)
+    : pageBytes_(page_bytes)
+{
+    if (!isPowerOf2(page_bytes))
+        fatal("page size must be a power of two, got ", page_bytes);
+    pageShift_ = floorLog2(page_bytes);
+    if (pageShift_ + kFrameBits + kGpuBits > 64)
+        fatal("page size too large for the PAddr layout");
+}
+
+PAddr
+AddressCodec::pack(GpuId gpu, std::uint64_t frame, std::uint64_t offset) const
+{
+    if (offset >= pageBytes_)
+        fatal("offset ", offset, " exceeds page size ", pageBytes_);
+    if (frame > kFrameMask)
+        fatal("frame number ", frame, " exceeds the frame field");
+    if (gpu < 0 || gpu >= (1 << kGpuBits))
+        fatal("gpu id ", gpu, " out of range");
+    return (static_cast<PAddr>(gpu) << (kFrameBits + pageShift_)) |
+           (frame << pageShift_) | offset;
+}
+
+PhysLoc
+AddressCodec::unpack(PAddr addr) const
+{
+    PhysLoc loc;
+    loc.offset = addr & (pageBytes_ - 1);
+    loc.frame = (addr >> pageShift_) & kFrameMask;
+    loc.gpu = static_cast<GpuId>(addr >> (kFrameBits + pageShift_));
+    return loc;
+}
+
+GpuId
+AddressCodec::gpuOf(PAddr addr) const
+{
+    return static_cast<GpuId>(addr >> (kFrameBits + pageShift_));
+}
+
+std::uint64_t
+AddressCodec::frameOf(PAddr addr) const
+{
+    return (addr >> pageShift_) & kFrameMask;
+}
+
+std::uint64_t
+AddressCodec::offsetOf(PAddr addr) const
+{
+    return addr & (pageBytes_ - 1);
+}
+
+PAddr
+AddressCodec::pageBase(PAddr addr) const
+{
+    return addr & ~(static_cast<PAddr>(pageBytes_) - 1);
+}
+
+} // namespace gpubox::mem

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Physical address codec for the multi-GPU NUMA address space.
+ *
+ * A physical address identifies the owning GPU (whose HBM holds the
+ * page and whose L2 caches it -- the paper's central reverse-engineered
+ * property), the frame number within that GPU's memory and the byte
+ * offset within the page.
+ */
+
+#ifndef GPUBOX_MEM_ADDRESS_HH
+#define GPUBOX_MEM_ADDRESS_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace gpubox::mem
+{
+
+/** Decoded form of a PAddr. */
+struct PhysLoc
+{
+    GpuId gpu;
+    std::uint64_t frame;
+    std::uint64_t offset;
+
+    bool
+    operator==(const PhysLoc &o) const
+    {
+        return gpu == o.gpu && frame == o.frame && offset == o.offset;
+    }
+};
+
+/**
+ * Packs/unpacks physical addresses for a given page size.
+ * Layout (msb..lsb): [gpu : 8][frame : 32][offset : pageShift].
+ */
+class AddressCodec
+{
+  public:
+    /** @param page_bytes page size; must be a power of two. */
+    explicit AddressCodec(std::uint64_t page_bytes);
+
+    std::uint64_t pageBytes() const { return pageBytes_; }
+    unsigned pageShift() const { return pageShift_; }
+
+    PAddr pack(GpuId gpu, std::uint64_t frame, std::uint64_t offset) const;
+    PhysLoc unpack(PAddr addr) const;
+
+    GpuId gpuOf(PAddr addr) const;
+    std::uint64_t frameOf(PAddr addr) const;
+    std::uint64_t offsetOf(PAddr addr) const;
+
+    /** Physical address of the first byte of the page holding @p addr. */
+    PAddr pageBase(PAddr addr) const;
+
+  private:
+    std::uint64_t pageBytes_;
+    unsigned pageShift_;
+};
+
+} // namespace gpubox::mem
+
+#endif // GPUBOX_MEM_ADDRESS_HH

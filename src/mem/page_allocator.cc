@@ -1,0 +1,54 @@
+#include "mem/page_allocator.hh"
+
+#include <algorithm>
+
+#include "util/log.hh"
+
+namespace gpubox::mem
+{
+
+PageAllocator::PageAllocator(std::uint64_t num_frames, Rng rng)
+    : numFrames_(num_frames), used_(num_frames, false)
+{
+    if (num_frames == 0)
+        fatal("PageAllocator with zero frames");
+    freeList_.resize(num_frames);
+    for (std::uint64_t i = 0; i < num_frames; ++i)
+        freeList_[i] = i;
+    rng.shuffle(freeList_);
+}
+
+std::uint64_t
+PageAllocator::alloc()
+{
+    if (freeList_.empty())
+        fatal("PageAllocator: out of physical frames (", numFrames_,
+              " total)");
+    const std::uint64_t frame = freeList_.back();
+    freeList_.pop_back();
+    used_[frame] = true;
+    return frame;
+}
+
+std::vector<std::uint64_t>
+PageAllocator::allocMany(std::uint64_t n)
+{
+    std::vector<std::uint64_t> frames;
+    frames.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i)
+        frames.push_back(alloc());
+    return frames;
+}
+
+void
+PageAllocator::free(std::uint64_t frame)
+{
+    if (frame >= numFrames_)
+        fatal("PageAllocator::free: frame ", frame, " out of range");
+    if (!used_[frame])
+        fatal("PageAllocator::free: double free of frame ", frame);
+    used_[frame] = false;
+    freeList_.push_back(frame);
+}
+
+} // namespace gpubox::mem

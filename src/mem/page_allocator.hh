@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Randomized physical frame allocator, one per GPU.
+ *
+ * Real GPU drivers hand out physically discontiguous frames; the attack
+ * paper exploits the fact that an unprivileged process cannot predict
+ * virtual-to-physical placement and must discover eviction sets online.
+ * The allocator therefore shuffles its free list with the system seed.
+ */
+
+#ifndef GPUBOX_MEM_PAGE_ALLOCATOR_HH
+#define GPUBOX_MEM_PAGE_ALLOCATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hh"
+#include "util/types.hh"
+
+namespace gpubox::mem
+{
+
+/** Allocates physical frames of one GPU's HBM in randomized order. */
+class PageAllocator
+{
+  public:
+    /**
+     * @param num_frames total frames of HBM managed
+     * @param rng seeded stream used to shuffle the free list
+     */
+    PageAllocator(std::uint64_t num_frames, Rng rng);
+
+    /** Allocate one frame; fatal() when memory is exhausted. */
+    std::uint64_t alloc();
+
+    /** Allocate @p n frames. */
+    std::vector<std::uint64_t> allocMany(std::uint64_t n);
+
+    /** Return a frame to the pool. */
+    void free(std::uint64_t frame);
+
+    std::uint64_t numFrames() const { return numFrames_; }
+    std::uint64_t freeFrames() const { return freeList_.size(); }
+    std::uint64_t usedFrames() const { return numFrames_ - freeList_.size(); }
+
+  private:
+    std::uint64_t numFrames_;
+    std::vector<std::uint64_t> freeList_; // back() is next to hand out
+    std::vector<bool> used_;
+};
+
+} // namespace gpubox::mem
+
+#endif // GPUBOX_MEM_PAGE_ALLOCATOR_HH

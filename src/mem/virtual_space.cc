@@ -1,0 +1,99 @@
+#include "mem/virtual_space.hh"
+
+#include "util/bitops.hh"
+
+namespace gpubox::mem
+{
+
+VirtualSpace::VirtualSpace(const AddressCodec &codec, VAddr base)
+    : codec_(codec), nextBase_(base)
+{}
+
+VAddr
+VirtualSpace::allocate(std::uint64_t bytes, GpuId gpu,
+                       PageAllocator &allocator)
+{
+    if (bytes == 0)
+        fatal("VirtualSpace::allocate: zero-byte allocation");
+    const std::uint64_t page = codec_.pageBytes();
+    const std::uint64_t pages = divCeil(bytes, page);
+
+    Region region;
+    region.alloc.base = nextBase_;
+    region.alloc.size = pages * page;
+    region.alloc.gpu = gpu;
+    region.alloc.frames = allocator.allocMany(pages);
+    region.bytes.assign(pages * page, 0);
+
+    for (std::uint64_t i = 0; i < pages; ++i) {
+        const VAddr vpage = region.alloc.base + i * page;
+        pageMap_[vpage] = codec_.pack(gpu, region.alloc.frames[i], 0);
+    }
+
+    const VAddr base = region.alloc.base;
+    bytesAllocated_ += region.alloc.size;
+    // Leave an unmapped guard gap between allocations.
+    nextBase_ += region.alloc.size + page;
+    regions_.emplace(base, std::move(region));
+    return base;
+}
+
+void
+VirtualSpace::release(VAddr base, PageAllocator &allocator)
+{
+    auto it = regions_.find(base);
+    if (it == regions_.end())
+        fatal("VirtualSpace::release: no allocation at ", base);
+    const Allocation &alloc = it->second.alloc;
+    const std::uint64_t page = codec_.pageBytes();
+    for (std::uint64_t i = 0; i < alloc.frames.size(); ++i) {
+        allocator.free(alloc.frames[i]);
+        pageMap_.erase(alloc.base + i * page);
+    }
+    bytesAllocated_ -= alloc.size;
+    regions_.erase(it);
+}
+
+PAddr
+VirtualSpace::translate(VAddr va) const
+{
+    const std::uint64_t page = codec_.pageBytes();
+    const VAddr vpage = va & ~(page - 1);
+    auto it = pageMap_.find(vpage);
+    if (it == pageMap_.end())
+        fatal("VirtualSpace::translate: unmapped address 0x", std::hex, va);
+    return it->second | (va & (page - 1));
+}
+
+bool
+VirtualSpace::isMapped(VAddr va) const
+{
+    const std::uint64_t page = codec_.pageBytes();
+    return pageMap_.count(va & ~(page - 1)) != 0;
+}
+
+const Allocation &
+VirtualSpace::allocationAt(VAddr base) const
+{
+    auto it = regions_.find(base);
+    if (it == regions_.end())
+        fatal("VirtualSpace::allocationAt: no allocation at ", base);
+    return it->second.alloc;
+}
+
+const std::uint8_t *
+VirtualSpace::bytePtr(VAddr va, std::uint64_t len) const
+{
+    auto it = regions_.upper_bound(va);
+    if (it == regions_.begin())
+        fatal("VirtualSpace: access to unmapped address 0x", std::hex, va);
+    --it;
+    const Region &region = it->second;
+    const VAddr off = va - region.alloc.base;
+    if (off + len > region.alloc.size)
+        fatal("VirtualSpace: access of ", len, " bytes at offset ", off,
+              " overruns allocation of ", region.alloc.size, " bytes");
+    return region.bytes.data() + off;
+}
+
+} // namespace gpubox::mem

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Per-process virtual address space: page table plus backing store.
+ *
+ * A process allocates buffers on a chosen GPU (device memory) and the
+ * space maps each virtual page to a randomly allocated physical frame
+ * of that GPU. Buffer bytes are backed by host vectors so pointer-chase
+ * attack kernels can store real next-indices in simulated memory.
+ */
+
+#ifndef GPUBOX_MEM_VIRTUAL_SPACE_HH
+#define GPUBOX_MEM_VIRTUAL_SPACE_HH
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/address.hh"
+#include "mem/page_allocator.hh"
+#include "util/log.hh"
+#include "util/types.hh"
+
+namespace gpubox::mem
+{
+
+/** One device-memory allocation within a virtual space. */
+struct Allocation
+{
+    VAddr base = 0;
+    std::uint64_t size = 0;
+    GpuId gpu = -1;
+    std::vector<std::uint64_t> frames; // one per page, in order
+};
+
+/** Per-process unified virtual address space over all GPUs. */
+class VirtualSpace
+{
+  public:
+    /**
+     * @param codec shared physical address codec
+     * @param base first virtual address handed out (CUDA-like high VA)
+     */
+    explicit VirtualSpace(const AddressCodec &codec,
+                          VAddr base = 0x7f0000000000ULL);
+
+    /**
+     * Allocate @p bytes of device memory on @p gpu using @p allocator
+     * for physical frames. Rounds up to whole pages.
+     * @return base virtual address of the new buffer
+     */
+    VAddr allocate(std::uint64_t bytes, GpuId gpu, PageAllocator &allocator);
+
+    /** Release a buffer previously returned by allocate(). */
+    void release(VAddr base, PageAllocator &allocator);
+
+    /** Translate a mapped virtual address; fatal() when unmapped. */
+    PAddr translate(VAddr va) const;
+
+    /** @return true when @p va falls inside a live allocation. */
+    bool isMapped(VAddr va) const;
+
+    /** Allocation metadata lookup by base address. */
+    const Allocation &allocationAt(VAddr base) const;
+
+    /** Typed backing-store access (host-side view of device memory). */
+    template <typename T>
+    T
+    read(VAddr va) const
+    {
+        const std::uint8_t *p = bytePtr(va, sizeof(T));
+        T v;
+        std::memcpy(&v, p, sizeof(T));
+        return v;
+    }
+
+    template <typename T>
+    void
+    write(VAddr va, const T &v)
+    {
+        std::uint8_t *p = const_cast<std::uint8_t *>(bytePtr(va, sizeof(T)));
+        std::memcpy(p, &v, sizeof(T));
+    }
+
+    std::uint64_t bytesAllocated() const { return bytesAllocated_; }
+
+  private:
+    /** Pointer into the backing store; checks bounds of the access. */
+    const std::uint8_t *bytePtr(VAddr va, std::uint64_t len) const;
+
+    struct Region
+    {
+        Allocation alloc;
+        std::vector<std::uint8_t> bytes;
+    };
+
+    const AddressCodec &codec_;
+    VAddr nextBase_;
+    std::map<VAddr, Region> regions_;             // keyed by base VA
+    std::unordered_map<VAddr, PAddr> pageMap_;    // vpage base -> frame base
+    std::uint64_t bytesAllocated_ = 0;
+};
+
+} // namespace gpubox::mem
+
+#endif // GPUBOX_MEM_VIRTUAL_SPACE_HH

@@ -1,0 +1,100 @@
+#include "ml/confusion.hh"
+
+#include <cstdio>
+
+#include "util/log.hh"
+
+namespace gpubox::ml
+{
+
+ConfusionMatrix::ConfusionMatrix(int num_classes)
+    : n_(num_classes)
+{
+    if (num_classes <= 0)
+        fatal("ConfusionMatrix needs a positive class count");
+    cells_.assign(static_cast<std::size_t>(n_) * n_, 0);
+}
+
+void
+ConfusionMatrix::add(int true_label, int predicted_label)
+{
+    if (true_label < 0 || true_label >= n_ || predicted_label < 0 ||
+        predicted_label >= n_) {
+        fatal("ConfusionMatrix::add: label out of range (",
+              true_label, ", ", predicted_label, ")");
+    }
+    ++cells_[static_cast<std::size_t>(true_label) * n_ + predicted_label];
+    ++total_;
+}
+
+std::uint64_t
+ConfusionMatrix::count(int true_label, int predicted_label) const
+{
+    return cells_.at(static_cast<std::size_t>(true_label) * n_ +
+                     predicted_label);
+}
+
+std::uint64_t
+ConfusionMatrix::rowTotal(int true_label) const
+{
+    std::uint64_t sum = 0;
+    for (int p = 0; p < n_; ++p)
+        sum += count(true_label, p);
+    return sum;
+}
+
+double
+ConfusionMatrix::accuracy() const
+{
+    if (total_ == 0)
+        return 0.0;
+    std::uint64_t diag = 0;
+    for (int i = 0; i < n_; ++i)
+        diag += count(i, i);
+    return static_cast<double>(diag) / static_cast<double>(total_);
+}
+
+double
+ConfusionMatrix::classAccuracy(int true_label) const
+{
+    const std::uint64_t row = rowTotal(true_label);
+    if (row == 0)
+        return 0.0;
+    return static_cast<double>(count(true_label, true_label)) /
+           static_cast<double>(row);
+}
+
+std::string
+ConfusionMatrix::render(const std::vector<std::string> &names) const
+{
+    if (static_cast<int>(names.size()) != n_)
+        fatal("ConfusionMatrix::render: ", names.size(), " names for ",
+              n_, " classes");
+
+    std::string out;
+    char buf[64];
+    out += "true\\pred";
+    for (const auto &name : names) {
+        std::snprintf(buf, sizeof(buf), "%8s", name.c_str());
+        out += buf;
+    }
+    out += "   recall\n";
+    for (int t = 0; t < n_; ++t) {
+        std::snprintf(buf, sizeof(buf), "%-9s", names[t].c_str());
+        out += buf;
+        for (int p = 0; p < n_; ++p) {
+            std::snprintf(buf, sizeof(buf), "%8llu",
+                          static_cast<unsigned long long>(count(t, p)));
+            out += buf;
+        }
+        std::snprintf(buf, sizeof(buf), "  %6.2f%%\n",
+                      100.0 * classAccuracy(t));
+        out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "overall accuracy: %.2f%%\n",
+                  100.0 * accuracy());
+    out += buf;
+    return out;
+}
+
+} // namespace gpubox::ml

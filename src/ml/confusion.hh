@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Confusion matrix and accuracy reporting (paper Fig. 12).
+ */
+
+#ifndef GPUBOX_ML_CONFUSION_HH
+#define GPUBOX_ML_CONFUSION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gpubox::ml
+{
+
+/** Square confusion matrix over n classes. */
+class ConfusionMatrix
+{
+  public:
+    explicit ConfusionMatrix(int num_classes);
+
+    void add(int true_label, int predicted_label);
+
+    int numClasses() const { return n_; }
+    std::uint64_t count(int true_label, int predicted_label) const;
+    std::uint64_t total() const { return total_; }
+    std::uint64_t rowTotal(int true_label) const;
+
+    /** Overall accuracy in [0, 1]. */
+    double accuracy() const;
+
+    /** Per-class recall (diagonal / row total). */
+    double classAccuracy(int true_label) const;
+
+    /**
+     * Render with class names along both axes, counts in cells and
+     * per-class accuracy on the right.
+     */
+    std::string render(const std::vector<std::string> &names) const;
+
+  private:
+    int n_;
+    std::vector<std::uint64_t> cells_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace gpubox::ml
+
+#endif // GPUBOX_ML_CONFUSION_HH

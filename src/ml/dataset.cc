@@ -1,0 +1,107 @@
+#include "ml/dataset.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/log.hh"
+
+namespace gpubox::ml
+{
+
+Split
+splitDataset(const Dataset &data, std::size_t train_per_class,
+             std::size_t val_per_class, Rng rng)
+{
+    std::map<int, Dataset> by_class;
+    for (const Sample &s : data)
+        by_class[s.label].push_back(s);
+
+    Split split;
+    for (auto &[label, samples] : by_class) {
+        (void)label;
+        rng.shuffle(samples);
+        if (samples.size() < train_per_class + val_per_class)
+            fatal("splitDataset: class ", label, " has ", samples.size(),
+                  " samples, need at least ",
+                  train_per_class + val_per_class);
+        for (std::size_t i = 0; i < samples.size(); ++i) {
+            if (i < train_per_class)
+                split.train.push_back(samples[i]);
+            else if (i < train_per_class + val_per_class)
+                split.validation.push_back(samples[i]);
+            else
+                split.test.push_back(samples[i]);
+        }
+    }
+    rng.shuffle(split.train);
+    return split;
+}
+
+int
+numClasses(const Dataset &data)
+{
+    int max_label = -1;
+    for (const Sample &s : data)
+        max_label = std::max(max_label, s.label);
+    return max_label + 1;
+}
+
+std::size_t
+featureDim(const Dataset &data)
+{
+    if (data.empty())
+        fatal("featureDim of empty dataset");
+    const std::size_t dim = data.front().x.size();
+    for (const Sample &s : data)
+        if (s.x.size() != dim)
+            fatal("inconsistent feature dimension: ", s.x.size(), " vs ",
+                  dim);
+    return dim;
+}
+
+void
+Standardizer::fit(const Dataset &data)
+{
+    const std::size_t dim = featureDim(data);
+    mean_.assign(dim, 0.0);
+    std_.assign(dim, 0.0);
+    for (const Sample &s : data)
+        for (std::size_t i = 0; i < dim; ++i)
+            mean_[i] += s.x[i];
+    for (double &m : mean_)
+        m /= static_cast<double>(data.size());
+    for (const Sample &s : data)
+        for (std::size_t i = 0; i < dim; ++i) {
+            const double d = s.x[i] - mean_[i];
+            std_[i] += d * d;
+        }
+    for (double &v : std_) {
+        v = std::sqrt(v / static_cast<double>(data.size()));
+        if (v < 1e-9)
+            v = 1.0; // constant feature: leave centered at zero
+    }
+}
+
+std::vector<double>
+Standardizer::apply(const std::vector<double> &x) const
+{
+    if (x.size() != mean_.size())
+        fatal("Standardizer: dimension mismatch");
+    std::vector<double> out(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        out[i] = (x[i] - mean_[i]) / std_[i];
+    return out;
+}
+
+Dataset
+Standardizer::apply(const Dataset &data) const
+{
+    Dataset out;
+    out.reserve(data.size());
+    for (const Sample &s : data)
+        out.push_back(Sample{apply(s.x), s.label});
+    return out;
+}
+
+} // namespace gpubox::ml

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Labeled feature vectors and split utilities for the fingerprinting
+ * classifier (paper Sec. V-A: 1500 samples per application, split into
+ * train / validation / test).
+ */
+
+#ifndef GPUBOX_ML_DATASET_HH
+#define GPUBOX_ML_DATASET_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace gpubox::ml
+{
+
+/** One labeled feature vector. */
+struct Sample
+{
+    std::vector<double> x;
+    int label = 0;
+};
+
+using Dataset = std::vector<Sample>;
+
+/** Per-class balanced split of a dataset. */
+struct Split
+{
+    Dataset train;
+    Dataset validation;
+    Dataset test;
+};
+
+/**
+ * Shuffle and split @p data per class: the first @p train_per_class
+ * samples of each class go to train, the next @p val_per_class to
+ * validation, the rest to test (mirrors the paper's 150/150/1200).
+ */
+Split splitDataset(const Dataset &data, std::size_t train_per_class,
+                   std::size_t val_per_class, Rng rng);
+
+/** Number of distinct labels (assumed 0..n-1). */
+int numClasses(const Dataset &data);
+
+/** Feature dimensionality (fatal on inconsistent data). */
+std::size_t featureDim(const Dataset &data);
+
+/**
+ * Feature standardization: mean/std computed on a reference set and
+ * applied to others (avoids test-set leakage).
+ */
+class Standardizer
+{
+  public:
+    void fit(const Dataset &data);
+    std::vector<double> apply(const std::vector<double> &x) const;
+    Dataset apply(const Dataset &data) const;
+
+  private:
+    std::vector<double> mean_;
+    std::vector<double> std_;
+};
+
+} // namespace gpubox::ml
+
+#endif // GPUBOX_ML_DATASET_HH

@@ -1,0 +1,148 @@
+#include "ml/mlp.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hh"
+
+namespace gpubox::ml
+{
+
+MlpClassifier::MlpClassifier(std::size_t dim, int num_classes,
+                             const MlpClassifierConfig &config)
+    : dim_(dim), classes_(num_classes), config_(config)
+{
+    if (dim == 0 || num_classes <= 1 || config.hidden == 0)
+        fatal("MlpClassifier: bad geometry");
+    w1_.assign(config.hidden * dim, 0.0);
+    b1_.assign(config.hidden, 0.0);
+    w2_.assign(static_cast<std::size_t>(num_classes) * config.hidden, 0.0);
+    b2_.assign(num_classes, 0.0);
+}
+
+std::vector<double>
+MlpClassifier::forward(const std::vector<double> &x,
+                       std::vector<double> &hidden_out) const
+{
+    if (x.size() != dim_)
+        fatal("MlpClassifier: feature dim ", x.size(), " != ", dim_);
+    hidden_out.assign(config_.hidden, 0.0);
+    for (std::size_t h = 0; h < config_.hidden; ++h) {
+        double z = b1_[h];
+        const double *row = &w1_[h * dim_];
+        for (std::size_t i = 0; i < dim_; ++i)
+            z += row[i] * x[i];
+        hidden_out[h] = z > 0.0 ? z : 0.0;
+    }
+    std::vector<double> logits(classes_, 0.0);
+    for (int c = 0; c < classes_; ++c) {
+        double z = b2_[c];
+        const double *row =
+            &w2_[static_cast<std::size_t>(c) * config_.hidden];
+        for (std::size_t h = 0; h < config_.hidden; ++h)
+            z += row[h] * hidden_out[h];
+        logits[c] = z;
+    }
+    const double zmax = *std::max_element(logits.begin(), logits.end());
+    double sum = 0.0;
+    for (double &z : logits) {
+        z = std::exp(z - zmax);
+        sum += z;
+    }
+    for (double &z : logits)
+        z /= sum;
+    return logits;
+}
+
+std::vector<double>
+MlpClassifier::predictProba(const std::vector<double> &x) const
+{
+    std::vector<double> hidden;
+    return forward(x, hidden);
+}
+
+int
+MlpClassifier::predict(const std::vector<double> &x) const
+{
+    const auto p = predictProba(x);
+    return static_cast<int>(std::max_element(p.begin(), p.end()) -
+                            p.begin());
+}
+
+void
+MlpClassifier::fit(const Dataset &train, Rng rng)
+{
+    if (train.empty())
+        fatal("MlpClassifier::fit on empty dataset");
+
+    // He initialization for the ReLU layer.
+    const double scale1 = std::sqrt(2.0 / static_cast<double>(dim_));
+    const double scale2 =
+        std::sqrt(2.0 / static_cast<double>(config_.hidden));
+    for (double &w : w1_)
+        w = rng.normal(0.0, scale1);
+    for (double &w : w2_)
+        w = rng.normal(0.0, scale2);
+
+    std::vector<std::size_t> order(train.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+
+    std::vector<double> hidden;
+    for (unsigned epoch = 0; epoch < config_.epochs; ++epoch) {
+        rng.shuffle(order);
+        for (std::size_t idx : order) {
+            const Sample &s = train[idx];
+            const auto p = forward(s.x, hidden);
+
+            // Output layer gradients.
+            std::vector<double> dout(classes_);
+            for (int c = 0; c < classes_; ++c)
+                dout[c] = p[c] - (c == s.label ? 1.0 : 0.0);
+
+            // Hidden gradients (through ReLU).
+            std::vector<double> dhid(config_.hidden, 0.0);
+            for (int c = 0; c < classes_; ++c) {
+                const double *row =
+                    &w2_[static_cast<std::size_t>(c) * config_.hidden];
+                for (std::size_t h = 0; h < config_.hidden; ++h)
+                    dhid[h] += dout[c] * row[h];
+            }
+            for (std::size_t h = 0; h < config_.hidden; ++h)
+                if (hidden[h] <= 0.0)
+                    dhid[h] = 0.0;
+
+            const double lr = config_.learningRate;
+            for (int c = 0; c < classes_; ++c) {
+                double *row =
+                    &w2_[static_cast<std::size_t>(c) * config_.hidden];
+                for (std::size_t h = 0; h < config_.hidden; ++h)
+                    row[h] -= lr * dout[c] * hidden[h];
+                b2_[c] -= lr * dout[c];
+            }
+            for (std::size_t h = 0; h < config_.hidden; ++h) {
+                if (dhid[h] == 0.0)
+                    continue;
+                double *row = &w1_[h * dim_];
+                for (std::size_t i = 0; i < dim_; ++i)
+                    row[i] -= lr * dhid[h] * s.x[i];
+                b1_[h] -= lr * dhid[h];
+            }
+        }
+    }
+}
+
+double
+MlpClassifier::score(const Dataset &data) const
+{
+    if (data.empty())
+        return 0.0;
+    std::size_t correct = 0;
+    for (const Sample &s : data)
+        if (predict(s.x) == s.label)
+            ++correct;
+    return static_cast<double>(correct) /
+           static_cast<double>(data.size());
+}
+
+} // namespace gpubox::ml

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * One-hidden-layer MLP classifier (ReLU + softmax head), the
+ * non-linear alternative to ml::SoftmaxClassifier for memorygram
+ * fingerprinting. Mirrors the deep-learning classifier the paper uses
+ * but stays dependency-free.
+ */
+
+#ifndef GPUBOX_ML_MLP_HH
+#define GPUBOX_ML_MLP_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/dataset.hh"
+#include "util/rng.hh"
+
+namespace gpubox::ml
+{
+
+/** Training hyperparameters. */
+struct MlpClassifierConfig
+{
+    std::size_t hidden = 32;
+    double learningRate = 0.05;
+    unsigned epochs = 80;
+    std::size_t batchSize = 16;
+};
+
+/** d -> hidden (ReLU) -> classes (softmax). */
+class MlpClassifier
+{
+  public:
+    MlpClassifier(std::size_t dim, int num_classes,
+                  const MlpClassifierConfig &config = MlpClassifierConfig());
+
+    void fit(const Dataset &train, Rng rng);
+    std::vector<double> predictProba(const std::vector<double> &x) const;
+    int predict(const std::vector<double> &x) const;
+    double score(const Dataset &data) const;
+
+  private:
+    /** Forward pass; fills @p hidden_out (post-ReLU) and probs. */
+    std::vector<double> forward(const std::vector<double> &x,
+                                std::vector<double> &hidden_out) const;
+
+    std::size_t dim_;
+    int classes_;
+    MlpClassifierConfig config_;
+    std::vector<double> w1_; // hidden x dim
+    std::vector<double> b1_; // hidden
+    std::vector<double> w2_; // classes x hidden
+    std::vector<double> b2_; // classes
+};
+
+} // namespace gpubox::ml
+
+#endif // GPUBOX_ML_MLP_HH

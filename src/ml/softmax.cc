@@ -1,0 +1,111 @@
+#include "ml/softmax.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hh"
+
+namespace gpubox::ml
+{
+
+SoftmaxClassifier::SoftmaxClassifier(std::size_t dim, int num_classes,
+                                     const SoftmaxConfig &config)
+    : dim_(dim), classes_(num_classes), config_(config)
+{
+    if (dim == 0 || num_classes <= 1)
+        fatal("SoftmaxClassifier: bad geometry (dim ", dim, ", classes ",
+              num_classes, ")");
+    w_.assign(dim * num_classes, 0.0);
+    b_.assign(num_classes, 0.0);
+}
+
+std::vector<double>
+SoftmaxClassifier::predictProba(const std::vector<double> &x) const
+{
+    if (x.size() != dim_)
+        fatal("SoftmaxClassifier: feature dim ", x.size(), " != ", dim_);
+    std::vector<double> logits(classes_, 0.0);
+    for (int c = 0; c < classes_; ++c) {
+        double z = b_[c];
+        const double *row = &w_[static_cast<std::size_t>(c) * dim_];
+        for (std::size_t i = 0; i < dim_; ++i)
+            z += row[i] * x[i];
+        logits[c] = z;
+    }
+    const double zmax = *std::max_element(logits.begin(), logits.end());
+    double sum = 0.0;
+    for (double &z : logits) {
+        z = std::exp(z - zmax);
+        sum += z;
+    }
+    for (double &z : logits)
+        z /= sum;
+    return logits;
+}
+
+int
+SoftmaxClassifier::predict(const std::vector<double> &x) const
+{
+    const auto p = predictProba(x);
+    return static_cast<int>(std::max_element(p.begin(), p.end()) -
+                            p.begin());
+}
+
+void
+SoftmaxClassifier::fit(const Dataset &train, Rng rng)
+{
+    if (train.empty())
+        fatal("SoftmaxClassifier::fit on empty dataset");
+
+    std::vector<std::size_t> order(train.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+
+    for (unsigned epoch = 0; epoch < config_.epochs; ++epoch) {
+        rng.shuffle(order);
+        for (std::size_t start = 0; start < order.size();
+             start += config_.batchSize) {
+            const std::size_t end =
+                std::min(start + config_.batchSize, order.size());
+            std::vector<double> gw(w_.size(), 0.0);
+            std::vector<double> gb(b_.size(), 0.0);
+
+            for (std::size_t k = start; k < end; ++k) {
+                const Sample &s = train[order[k]];
+                const auto p = predictProba(s.x);
+                for (int c = 0; c < classes_; ++c) {
+                    const double err =
+                        p[c] - (c == s.label ? 1.0 : 0.0);
+                    gb[c] += err;
+                    double *row =
+                        &gw[static_cast<std::size_t>(c) * dim_];
+                    for (std::size_t i = 0; i < dim_; ++i)
+                        row[i] += err * s.x[i];
+                }
+            }
+
+            const double scale = config_.learningRate /
+                                 static_cast<double>(end - start);
+            for (std::size_t i = 0; i < w_.size(); ++i) {
+                w_[i] -= scale * (gw[i] + config_.l2Penalty * w_[i]);
+            }
+            for (int c = 0; c < classes_; ++c)
+                b_[c] -= scale * gb[c];
+        }
+    }
+}
+
+double
+SoftmaxClassifier::score(const Dataset &data) const
+{
+    if (data.empty())
+        return 0.0;
+    std::size_t correct = 0;
+    for (const Sample &s : data)
+        if (predict(s.x) == s.label)
+            ++correct;
+    return static_cast<double>(correct) /
+           static_cast<double>(data.size());
+}
+
+} // namespace gpubox::ml

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Multinomial logistic regression (softmax) classifier trained with
+ * minibatch SGD. The paper trains an image classifier on memorygram
+ * images; for the well-separated synthetic workloads a linear model
+ * reaches the same near-perfect accuracy without any dependency.
+ */
+
+#ifndef GPUBOX_ML_SOFTMAX_HH
+#define GPUBOX_ML_SOFTMAX_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/dataset.hh"
+#include "util/rng.hh"
+
+namespace gpubox::ml
+{
+
+/** Training hyperparameters. */
+struct SoftmaxConfig
+{
+    double learningRate = 0.1;
+    double l2Penalty = 1e-4;
+    unsigned epochs = 60;
+    std::size_t batchSize = 16;
+};
+
+/** Linear softmax classifier. */
+class SoftmaxClassifier
+{
+  public:
+    SoftmaxClassifier(std::size_t dim, int num_classes,
+                      const SoftmaxConfig &config = SoftmaxConfig());
+
+    /** SGD training; labels must be in [0, numClasses). */
+    void fit(const Dataset &train, Rng rng);
+
+    /** Class probabilities for one feature vector. */
+    std::vector<double> predictProba(const std::vector<double> &x) const;
+
+    /** Argmax class. */
+    int predict(const std::vector<double> &x) const;
+
+    /** Mean accuracy over a dataset. */
+    double score(const Dataset &data) const;
+
+    std::size_t dim() const { return dim_; }
+    int numClasses() const { return classes_; }
+
+  private:
+    std::size_t dim_;
+    int classes_;
+    SoftmaxConfig config_;
+    std::vector<double> w_; // classes x dim
+    std::vector<double> b_; // classes
+};
+
+} // namespace gpubox::ml
+
+#endif // GPUBOX_ML_SOFTMAX_HH

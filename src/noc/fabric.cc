@@ -1,0 +1,58 @@
+#include "noc/fabric.hh"
+
+#include "util/log.hh"
+
+namespace gpubox::noc
+{
+
+Fabric::Fabric(const Topology &topo, const FabricParams &params)
+    : topo_(topo), params_(params)
+{
+    meters_.assign(topo.links().size(),
+                   ContentionMeter(params.windowCycles,
+                                   params.freeSlotsPerWindow,
+                                   params.queueCyclesPerExtra));
+    perLink_.assign(topo.links().size(), 0);
+}
+
+Cycles
+Fabric::traverse(GpuId from, GpuId to, Cycles now)
+{
+    const int link = topo_.linkIndex(from, to);
+    if (link < 0)
+        fatal("fabric traverse between non-adjacent GPUs ", from, " and ",
+              to, " (multi-hop routing is not peer-accessible)");
+    ++transfers_;
+    ++perLink_[link];
+    const Cycles queue = meters_[link].record(now);
+    return params_.hopCycles + queue;
+}
+
+std::uint32_t
+Fabric::linkOccupancy(GpuId from, GpuId to, Cycles now) const
+{
+    const int link = topo_.linkIndex(from, to);
+    if (link < 0)
+        return 0;
+    return meters_[link].occupancy(now);
+}
+
+std::uint64_t
+Fabric::linkTransfers(GpuId a, GpuId b) const
+{
+    const int link = topo_.linkIndex(a, b);
+    if (link < 0)
+        return 0;
+    return perLink_[link];
+}
+
+void
+Fabric::resetStats()
+{
+    for (auto &m : meters_)
+        m.reset();
+    std::fill(perLink_.begin(), perLink_.end(), 0);
+    transfers_ = 0;
+}
+
+} // namespace gpubox::noc

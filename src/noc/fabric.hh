@@ -1,0 +1,70 @@
+/**
+ * @file
+ * NVLink fabric timing: per-link latency plus windowed contention.
+ */
+
+#ifndef GPUBOX_NOC_FABRIC_HH
+#define GPUBOX_NOC_FABRIC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/topology.hh"
+#include "util/contention.hh"
+#include "util/types.hh"
+
+namespace gpubox::noc
+{
+
+/** Latency/contention parameters of the NVLink fabric. */
+struct FabricParams
+{
+    /** One-way cycles added per NVLink hop (request or response). */
+    Cycles hopCycles = 90;
+    /** Contention accounting window. */
+    Cycles windowCycles = 2000;
+    /** Transfers per window per link that see no queueing. */
+    std::uint32_t freeSlotsPerWindow = 24;
+    /** Queueing delay per transfer above the free threshold. */
+    Cycles queueCyclesPerExtra = 14;
+};
+
+/** Timing model over a Topology's links. */
+class Fabric
+{
+  public:
+    Fabric(const Topology &topo, const FabricParams &params);
+
+    /**
+     * Charge one single-hop transfer (request or response leg) between
+     * two directly connected GPUs.
+     *
+     * @param from source GPU
+     * @param to destination GPU (must be a single-hop peer)
+     * @param now current simulated time
+     * @return total cycles for this leg (hop latency + queueing)
+     */
+    Cycles traverse(GpuId from, GpuId to, Cycles now);
+
+    /** Occupancy of the (from,to) link in the current window. */
+    std::uint32_t linkOccupancy(GpuId from, GpuId to, Cycles now) const;
+
+    std::uint64_t totalTransfers() const { return transfers_; }
+    std::uint64_t linkTransfers(GpuId a, GpuId b) const;
+
+    const Topology &topology() const { return topo_; }
+    const FabricParams &params() const { return params_; }
+
+    void resetStats();
+
+  private:
+    const Topology &topo_;
+    FabricParams params_;
+    std::vector<ContentionMeter> meters_; // one per link
+    std::vector<std::uint64_t> perLink_;
+    std::uint64_t transfers_ = 0;
+};
+
+} // namespace gpubox::noc
+
+#endif // GPUBOX_NOC_FABRIC_HH

@@ -1,0 +1,101 @@
+#include "noc/topology.hh"
+
+#include <algorithm>
+
+#include "util/log.hh"
+
+namespace gpubox::noc
+{
+
+Topology::Topology(std::string name, int num_gpus, std::vector<Link> links)
+    : name_(std::move(name)), numGpus_(num_gpus), links_(std::move(links))
+{
+    if (num_gpus <= 0)
+        fatal("topology needs at least one GPU");
+    linkOf_.assign(static_cast<std::size_t>(numGpus_) * numGpus_, -1);
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+        auto [a, b] = links_[i];
+        if (a < 0 || b < 0 || a >= numGpus_ || b >= numGpus_ || a == b)
+            fatal("topology link (", a, ",", b, ") is invalid");
+        if (linkOf_[a * numGpus_ + b] != -1)
+            fatal("duplicate topology link (", a, ",", b, ")");
+        linkOf_[a * numGpus_ + b] = static_cast<int>(i);
+        linkOf_[b * numGpus_ + a] = static_cast<int>(i);
+    }
+}
+
+Topology
+Topology::dgx1()
+{
+    // Paper Fig. 1: two quads (0-3 and 4-7), each internally fully
+    // connected, plus one cross link per GPU. Degree 4 everywhere.
+    std::vector<Link> links = {
+        {0, 1}, {0, 2}, {0, 3}, {0, 4},
+        {1, 2}, {1, 3}, {1, 5},
+        {2, 3}, {2, 6},
+        {3, 7},
+        {4, 5}, {4, 6}, {4, 7},
+        {5, 6}, {5, 7},
+        {6, 7},
+    };
+    return Topology("dgx1", 8, std::move(links));
+}
+
+Topology
+Topology::fullyConnected(int num_gpus)
+{
+    std::vector<Link> links;
+    for (GpuId a = 0; a < num_gpus; ++a)
+        for (GpuId b = a + 1; b < num_gpus; ++b)
+            links.emplace_back(a, b);
+    return Topology("fully-connected", num_gpus, std::move(links));
+}
+
+Topology
+Topology::ring(int num_gpus)
+{
+    std::vector<Link> links;
+    if (num_gpus == 2) {
+        links.emplace_back(0, 1);
+    } else {
+        for (GpuId a = 0; a < num_gpus; ++a)
+            links.emplace_back(a, (a + 1) % num_gpus);
+    }
+    return Topology("ring", num_gpus, std::move(links));
+}
+
+bool
+Topology::connected(GpuId a, GpuId b) const
+{
+    return linkIndex(a, b) >= 0;
+}
+
+int
+Topology::linkIndex(GpuId a, GpuId b) const
+{
+    if (a < 0 || b < 0 || a >= numGpus_ || b >= numGpus_)
+        return -1;
+    return linkOf_[static_cast<std::size_t>(a) * numGpus_ + b];
+}
+
+int
+Topology::degree(GpuId gpu) const
+{
+    int d = 0;
+    for (GpuId other = 0; other < numGpus_; ++other)
+        if (other != gpu && connected(gpu, other))
+            ++d;
+    return d;
+}
+
+std::vector<GpuId>
+Topology::peersOf(GpuId gpu) const
+{
+    std::vector<GpuId> peers;
+    for (GpuId other = 0; other < numGpus_; ++other)
+        if (other != gpu && connected(gpu, other))
+            peers.push_back(other);
+    return peers;
+}
+
+} // namespace gpubox::noc

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Inter-GPU interconnect topologies.
+ *
+ * The default is the DGX-1 (P100) hybrid cube-mesh of Fig. 1 in the
+ * paper: eight GPUs, four NVLink-V1 ports each, two quads with cross
+ * links. Peer access -- and therefore the attack -- is only possible
+ * between directly connected (single-hop) GPUs; the runtime refuses
+ * to enable peer access otherwise, mirroring the real CUDA error.
+ */
+
+#ifndef GPUBOX_NOC_TOPOLOGY_HH
+#define GPUBOX_NOC_TOPOLOGY_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace gpubox::noc
+{
+
+/** Undirected link between two GPUs. */
+using Link = std::pair<GpuId, GpuId>;
+
+/** Static interconnect graph. */
+class Topology
+{
+  public:
+    /** The 8-GPU DGX-1 hybrid cube-mesh (NVLink-V1, degree 4). */
+    static Topology dgx1();
+
+    /** Every GPU pair directly linked (e.g. NVSwitch-style). */
+    static Topology fullyConnected(int num_gpus);
+
+    /** Simple ring; used by tests and small experiments. */
+    static Topology ring(int num_gpus);
+
+    int numGpus() const { return numGpus_; }
+    const std::string &name() const { return name_; }
+    const std::vector<Link> &links() const { return links_; }
+
+    /** @return true when a and b share a direct NVLink. */
+    bool connected(GpuId a, GpuId b) const;
+
+    /** Index into links() for the pair, or -1 when not connected. */
+    int linkIndex(GpuId a, GpuId b) const;
+
+    /** Number of NVLink ports in use on @p gpu. */
+    int degree(GpuId gpu) const;
+
+    /** All single-hop peers of @p gpu. */
+    std::vector<GpuId> peersOf(GpuId gpu) const;
+
+  private:
+    Topology(std::string name, int num_gpus, std::vector<Link> links);
+
+    std::string name_;
+    int numGpus_;
+    std::vector<Link> links_;
+    std::vector<int> linkOf_; // numGpus*numGpus -> link index or -1
+};
+
+} // namespace gpubox::noc
+
+#endif // GPUBOX_NOC_TOPOLOGY_HH

@@ -1,0 +1,49 @@
+#include "rt/block_ctx.hh"
+
+#include "rt/runtime.hh"
+
+namespace gpubox::rt
+{
+
+bool
+LoadAwait::await_ready()
+{
+    res_ = ctx_.runtime().memRead(ctx_, addr_, size_, bypassL1_);
+    return false;
+}
+
+bool
+StoreAwait::await_ready()
+{
+    res_ = ctx_.runtime().memWrite(ctx_, addr_, size_, value_, bypassL1_);
+    return false;
+}
+
+bool
+GroupProbeAwait::await_ready()
+{
+    res_ = ctx_.runtime().probeLines(ctx_, addrs_, bypassL1_);
+    return false;
+}
+
+Cycles
+BlockCtx::clock()
+{
+    actor_->charge(rt_->timing().clockReadCycles);
+    return actor_->now();
+}
+
+sim::Delay
+BlockCtx::compute(std::uint64_t ops)
+{
+    return sim::Delay{ops * rt_->timing().aluCyclesPerOp};
+}
+
+sim::Delay
+BlockCtx::sharedAccess(std::uint32_t count)
+{
+    return sim::Delay{static_cast<Cycles>(count) *
+                      rt_->timing().sharedMemCycles};
+}
+
+} // namespace gpubox::rt

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Per-thread-block device API handed to kernel coroutines.
+ *
+ * This mirrors the slice of CUDA the paper's attack kernels use:
+ * ldcg loads that bypass the L1 and hit only the L2 (`__ldcg`),
+ * regular loads through the L1, stores, `clock()` cycle reads,
+ * shared-memory accesses (off the L2 path, so timing buffers do not
+ * pollute the attacked cache) and dummy ALU work used to pace the
+ * trojan while transmitting a '0'.
+ */
+
+#ifndef GPUBOX_RT_BLOCK_CTX_HH
+#define GPUBOX_RT_BLOCK_CTX_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "gpu/kernel.hh"
+#include "sim/engine.hh"
+#include "sim/task.hh"
+#include "util/types.hh"
+
+namespace gpubox::rt
+{
+
+class Runtime;
+class Process;
+class BlockCtx;
+
+/** Value + latency of one device memory operation. */
+struct MemOpResult
+{
+    std::uint64_t value = 0;
+    Cycles cycles = 0;
+};
+
+/**
+ * Result of a pipelined group access (one warp touching a whole
+ * eviction set in parallel). perLineCycles[i] is the latency the
+ * thread accessing line i measured; totalCycles is the wall time the
+ * block was occupied (throughput-, not latency-bound, because the 32
+ * threads of the warp issue their loads concurrently).
+ */
+struct ProbeResult
+{
+    std::vector<Cycles> perLineCycles;
+    Cycles totalCycles = 0;
+};
+
+/**
+ * Awaitable global-memory load. The access (cache mutation + latency
+ * computation) happens at the actor's current simulated time; the
+ * actor then suspends for the computed latency.
+ */
+class LoadAwait
+{
+  public:
+    LoadAwait(BlockCtx &ctx, VAddr addr, unsigned size, bool bypass_l1)
+        : ctx_(ctx), addr_(addr), size_(size), bypassL1_(bypass_l1)
+    {}
+
+    bool await_ready();
+
+    void
+    await_suspend(sim::Task::Handle h)
+    {
+        h.promise().pendingDelay = res_.cycles;
+    }
+
+    std::uint64_t await_resume() const { return res_.value; }
+
+  private:
+    BlockCtx &ctx_;
+    VAddr addr_;
+    unsigned size_;
+    bool bypassL1_;
+    MemOpResult res_;
+};
+
+/** Awaitable global-memory store (write-allocate). */
+class StoreAwait
+{
+  public:
+    StoreAwait(BlockCtx &ctx, VAddr addr, unsigned size,
+               std::uint64_t value, bool bypass_l1)
+        : ctx_(ctx), addr_(addr), size_(size), value_(value),
+          bypassL1_(bypass_l1)
+    {}
+
+    bool await_ready();
+
+    void
+    await_suspend(sim::Task::Handle h)
+    {
+        h.promise().pendingDelay = res_.cycles;
+    }
+
+    void await_resume() const {}
+
+  private:
+    BlockCtx &ctx_;
+    VAddr addr_;
+    unsigned size_;
+    std::uint64_t value_;
+    bool bypassL1_;
+    MemOpResult res_;
+};
+
+/**
+ * Awaitable warp-parallel probe of a group of lines (an eviction set).
+ * All lines are referenced at the current instant; the block suspends
+ * for the pipelined duration.
+ */
+class GroupProbeAwait
+{
+  public:
+    GroupProbeAwait(BlockCtx &ctx, const std::vector<VAddr> &addrs,
+                    bool bypass_l1)
+        : ctx_(ctx), addrs_(addrs), bypassL1_(bypass_l1)
+    {}
+
+    bool await_ready();
+
+    void
+    await_suspend(sim::Task::Handle h)
+    {
+        h.promise().pendingDelay = res_.totalCycles;
+    }
+
+    ProbeResult await_resume() { return std::move(res_); }
+
+  private:
+    BlockCtx &ctx_;
+    const std::vector<VAddr> &addrs_;
+    bool bypassL1_;
+    ProbeResult res_;
+};
+
+/** Execution context of one thread block. */
+class BlockCtx
+{
+    friend class Runtime;
+
+  public:
+    Runtime &runtime() { return *rt_; }
+    Process &process() { return *proc_; }
+    GpuId gpu() const { return gpu_; }
+    SmId sm() const { return sm_; }
+    std::uint32_t blockIdx() const { return blockIdx_; }
+
+    /** Valid only after the block was placed on an SM. */
+    sim::ActorCtx &actor() { return *actor_; }
+    const sim::ActorCtx &actor() const { return *actor_; }
+
+    /** @return true once the block was placed and its actor spawned. */
+    bool started() const { return actor_ != nullptr; }
+
+    /** @return true when the block's coroutine ran to completion. */
+    bool finished() const { return actor_ && actor_->finished(); }
+
+    /**
+     * Read the SM cycle counter. Charges the read cost so that
+     * (end - start) around a load includes measurement overhead, as on
+     * real hardware.
+     */
+    Cycles clock();
+
+    /** Cooperative stop flag (set by the experiment harness). */
+    bool
+    stopRequested() const
+    {
+        return actor_ ? actor_->stopRequested() : earlyStop_;
+    }
+
+    /** Works for queued blocks too: they start already-stopped. */
+    void
+    requestStop()
+    {
+        if (actor_)
+            actor_->requestStop();
+        else
+            earlyStop_ = true;
+    }
+
+    /** @name Global memory, L1-bypassing (__ldcg / __stcg) @{ */
+    LoadAwait ldcg32(VAddr a) { return LoadAwait(*this, a, 4, true); }
+    LoadAwait ldcg64(VAddr a) { return LoadAwait(*this, a, 8, true); }
+    StoreAwait
+    stcg32(VAddr a, std::uint32_t v)
+    {
+        return StoreAwait(*this, a, 4, v, true);
+    }
+    StoreAwait
+    stcg64(VAddr a, std::uint64_t v)
+    {
+        return StoreAwait(*this, a, 8, v, true);
+    }
+    /** @} */
+
+    /** @name Global memory through the per-SM L1 @{ */
+    LoadAwait ld32(VAddr a) { return LoadAwait(*this, a, 4, false); }
+    LoadAwait ld64(VAddr a) { return LoadAwait(*this, a, 8, false); }
+    StoreAwait
+    st32(VAddr a, std::uint32_t v)
+    {
+        return StoreAwait(*this, a, 4, v, false);
+    }
+    StoreAwait
+    st64(VAddr a, std::uint64_t v)
+    {
+        return StoreAwait(*this, a, 8, v, false);
+    }
+    /** @} */
+
+    /**
+     * Warp-parallel ldcg of every line in @p addrs (prime or probe of
+     * a whole eviction set by the block's 32 threads).
+     */
+    GroupProbeAwait
+    probeSet(const std::vector<VAddr> &addrs)
+    {
+        return GroupProbeAwait(*this, addrs, true);
+    }
+
+    /** Dummy ALU work of @p ops operations (e.g. trigonometric spin). */
+    sim::Delay compute(std::uint64_t ops);
+
+    /** Suspend until absolute simulated time @p t (no-op if past). */
+    sim::Delay
+    waitUntil(Cycles t)
+    {
+        const Cycles now = actor_->now();
+        return sim::Delay{t > now ? t - now : 0};
+    }
+
+    /** @p count shared-memory accesses; never touches the L2. */
+    sim::Delay sharedAccess(std::uint32_t count = 1);
+
+  private:
+    Runtime *rt_ = nullptr;
+    Process *proc_ = nullptr;
+    GpuId gpu_ = -1;
+    SmId sm_ = -1;
+    std::uint32_t blockIdx_ = 0;
+    sim::ActorCtx *actor_ = nullptr;
+    bool earlyStop_ = false;
+    gpu::BlockRequirements req_;
+    /** Keeps the kernel closure alive while the coroutine runs. */
+    std::shared_ptr<const std::function<sim::Task(BlockCtx &)>> kernelFn_;
+};
+
+} // namespace gpubox::rt
+
+#endif // GPUBOX_RT_BLOCK_CTX_HH

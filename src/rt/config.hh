@@ -1,0 +1,92 @@
+/**
+ * @file
+ * System-level configuration: box topology, per-GPU geometry and the
+ * timing parameters calibrated against the paper's measurements.
+ */
+
+#ifndef GPUBOX_RT_CONFIG_HH
+#define GPUBOX_RT_CONFIG_HH
+
+#include <cstdint>
+
+#include "gpu/device.hh"
+#include "noc/fabric.hh"
+#include "noc/topology.hh"
+
+namespace gpubox::rt
+{
+
+/**
+ * Latency parameters of the memory system.
+ *
+ * Calibrated to the four clusters of paper Fig. 4: cached local access
+ * just over 250 cycles, local DRAM ~450, remote L2 hit ~630 and remote
+ * miss ~950 (the '0'/'1' levels of Fig. 10 are 630/950 cycles). Remote
+ * accesses add two NVLink hops (FabricParams::hopCycles each way) plus
+ * remoteMissExtra on the miss path.
+ */
+struct TimingParams
+{
+    Cycles l1HitCycles = 32;
+    Cycles l2HitCycles = 270;
+    /** Total latency of a local L2 miss serviced from HBM. */
+    Cycles hbmCycles = 450;
+    /** Extra cycles on the remote-miss path (DRAM + protocol). */
+    Cycles remoteMissExtra = 140;
+    /** Gaussian jitter applied to every memory access. */
+    double jitterSigma = 5.0;
+    /** Cost charged by clock(). */
+    Cycles clockReadCycles = 4;
+    /** Cost of one shared-memory access (off the L2 path). */
+    Cycles sharedMemCycles = 24;
+    /** Cycles per unit of dummy ALU work. */
+    Cycles aluCyclesPerOp = 4;
+    /**
+     * Per-line issue gap for warp-parallel group probes: a block's 32
+     * threads touch an eviction set concurrently, so the block is
+     * throughput- rather than latency-bound.
+     */
+    Cycles pipelineGapCycles = 14;
+
+    /**
+     * @name L2 port contention (per device)
+     * Short windows so that only instantaneously clustered traffic
+     * queues: ~4 attack blocks probing at the same phase stay within
+     * the hit/miss classification margin while 8+ push hit latencies
+     * across the threshold -- the error-rate growth of paper Fig. 9.
+     * Steady spread-out traffic (staggered probers, victims) is
+     * unaffected.
+     * @{
+     */
+    Cycles l2PortWindow = 256;
+    std::uint32_t l2PortFreeSlots = 24;
+    Cycles l2PortQueuePerExtra = 2;
+    /** @} */
+
+    /** Simulated core clock, used to convert cycles to seconds. */
+    double clockGhz = 1.48;
+};
+
+/** Full multi-GPU box configuration. */
+struct SystemConfig
+{
+    std::uint64_t seed = 42;
+    noc::Topology topology = noc::Topology::dgx1();
+    /** Device page size (GPU large page). */
+    std::uint64_t pageBytes = 64 * 1024;
+    /**
+     * HBM frames modelled per GPU. 4096 x 64 KiB = 256 MiB; a subset
+     * of the real 16 GiB that is still 64x the L2, which is all the
+     * attacks exercise.
+     */
+    std::uint64_t framesPerGpu = 4096;
+    gpu::DeviceParams device;
+    TimingParams timing;
+    /** NVLink: 180 cy/hop; queueing kicks in beyond ~120 transfer
+     *  legs per 256-cycle window per link (instantaneous bursts). */
+    noc::FabricParams fabric = {180, 256, 120, 2};
+};
+
+} // namespace gpubox::rt
+
+#endif // GPUBOX_RT_CONFIG_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * A process (CUDA context owner) on the box: its unified virtual
+ * address space and the set of peer-access grants it has enabled.
+ */
+
+#ifndef GPUBOX_RT_PROCESS_HH
+#define GPUBOX_RT_PROCESS_HH
+
+#include <set>
+#include <string>
+#include <utility>
+
+#include "mem/virtual_space.hh"
+#include "util/types.hh"
+
+namespace gpubox::rt
+{
+
+class Runtime;
+
+/** One user process with contexts on one or more GPUs. */
+class Process
+{
+    friend class Runtime;
+
+  public:
+    int id() const { return id_; }
+    const std::string &name() const { return name_; }
+
+    mem::VirtualSpace &space() { return space_; }
+    const mem::VirtualSpace &space() const { return space_; }
+
+    /** @return true when peer access @p from -> @p to was enabled. */
+    bool
+    peerEnabled(GpuId from, GpuId to) const
+    {
+        return peers_.count({from, to}) != 0;
+    }
+
+    /** MIG slice this process' L2 traffic is confined to. */
+    unsigned partition() const { return partition_; }
+
+  private:
+    Process(int id, std::string name, const mem::AddressCodec &codec)
+        : id_(id), name_(std::move(name)), space_(codec)
+    {}
+
+    int id_;
+    std::string name_;
+    mem::VirtualSpace space_;
+    std::set<std::pair<GpuId, GpuId>> peers_;
+    unsigned partition_ = 0;
+};
+
+} // namespace gpubox::rt
+
+#endif // GPUBOX_RT_PROCESS_HH

@@ -1,0 +1,363 @@
+#include "rt/runtime.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bitops.hh"
+#include "util/log.hh"
+
+namespace gpubox::rt
+{
+
+bool
+KernelHandle::finished() const
+{
+    for (const BlockCtx *b : blocks_)
+        if (!b->finished())
+            return false;
+    return true;
+}
+
+void
+KernelHandle::requestStop()
+{
+    for (BlockCtx *b : blocks_)
+        b->requestStop();
+}
+
+Runtime::Runtime(const SystemConfig &config)
+    : config_(config), codec_(config.pageBytes),
+      jitterRng_(Rng(config.seed).split(0xc0ffee))
+{
+    Rng root(config_.seed);
+
+    l2Indexer_ = std::make_unique<cache::HashedPageIndexer>(
+        config_.device.l2.numSets(), config_.device.l2.lineBytes,
+        config_.pageBytes, mix64(config_.seed ^ 0x5a17ULL));
+
+    engine_ = std::make_unique<sim::Engine>(config_.seed);
+    fabric_ = std::make_unique<noc::Fabric>(config_.topology,
+                                            config_.fabric);
+
+    const int n = config_.topology.numGpus();
+    for (GpuId g = 0; g < n; ++g) {
+        devices_.push_back(std::make_unique<gpu::Device>(
+            g, config_.device, *l2Indexer_, root.split(100 + g)));
+        allocators_.push_back(std::make_unique<mem::PageAllocator>(
+            config_.framesPerGpu, root.split(200 + g)));
+        l2Ports_.emplace_back(config_.timing.l2PortWindow,
+                              config_.timing.l2PortFreeSlots,
+                              config_.timing.l2PortQueuePerExtra);
+    }
+    pending_.resize(n);
+}
+
+Runtime::~Runtime() = default;
+
+gpu::Device &
+Runtime::device(GpuId id)
+{
+    if (id < 0 || id >= numGpus())
+        fatal("device id ", id, " out of range (", numGpus(), " GPUs)");
+    return *devices_[id];
+}
+
+Process &
+Runtime::createProcess(const std::string &name)
+{
+    processes_.push_back(std::unique_ptr<Process>(
+        new Process(nextProcessId_++, name, codec_)));
+    return *processes_.back();
+}
+
+VAddr
+Runtime::deviceMalloc(Process &proc, GpuId gpu, std::uint64_t bytes)
+{
+    if (gpu < 0 || gpu >= numGpus())
+        fatal("deviceMalloc on invalid GPU ", gpu);
+    return proc.space().allocate(bytes, gpu, *allocators_[gpu]);
+}
+
+void
+Runtime::deviceFree(Process &proc, VAddr base)
+{
+    const mem::Allocation &alloc = proc.space().allocationAt(base);
+    const GpuId gpu = alloc.gpu;
+    // The driver scrubs pages between owners: invalidate the freed
+    // lines from the home L2 so a later allocation of the same frames
+    // starts cold (and cannot leak through the cache).
+    const std::uint32_t line = config_.device.l2.lineBytes;
+    for (std::uint64_t frame : alloc.frames) {
+        for (std::uint64_t off = 0; off < config_.pageBytes; off += line)
+            device(gpu).l2().invalidate(codec_.pack(gpu, frame, off));
+    }
+    for (int sm = 0; sm < device(gpu).numSms(); ++sm)
+        device(gpu).l1(sm).flush();
+    proc.space().release(base, *allocators_[gpu]);
+}
+
+void
+Runtime::enablePeerAccess(Process &proc, GpuId from, GpuId to)
+{
+    if (from < 0 || to < 0 || from >= numGpus() || to >= numGpus())
+        fatal("enablePeerAccess: invalid GPU pair (", from, ",", to, ")");
+    if (from == to)
+        fatal("enablePeerAccess: same device");
+    if (!config_.topology.connected(from, to)) {
+        // The real CUDA runtime returns an error when the GPUs are not
+        // connected by NVLink (paper Sec. III-A).
+        fatal("enablePeerAccess: GPUs ", from, " and ", to,
+              " are not connected by NVLink");
+    }
+    proc.peers_.insert({from, to});
+}
+
+void
+Runtime::enableMigPartitioning(unsigned slices)
+{
+    for (auto &dev : devices_)
+        dev->l2().setWayPartitions(slices);
+}
+
+void
+Runtime::assignPartition(Process &proc, unsigned slice)
+{
+    const unsigned parts = devices_.front()->l2().numWayPartitions();
+    if (slice >= parts)
+        fatal("assignPartition: slice ", slice, " of ", parts);
+    proc.partition_ = slice;
+}
+
+KernelHandle
+Runtime::launch(Process &proc, GpuId gpu, const gpu::KernelConfig &cfg,
+                KernelFn fn)
+{
+    if (gpu < 0 || gpu >= numGpus())
+        fatal("launch on invalid GPU ", gpu);
+    if (cfg.numBlocks == 0)
+        fatal("launch with zero blocks");
+
+    KernelHandle handle;
+    const std::uint64_t kid = kernelCounter_++;
+    // The kernel body must outlive every suspended block coroutine:
+    // a coroutine created from a lambda keeps a reference to the
+    // closure object, so the per-launch copy lives on the heap for
+    // the runtime's lifetime.
+    auto fn_stable = std::make_shared<const KernelFn>(std::move(fn));
+    for (std::uint32_t b = 0; b < cfg.numBlocks; ++b) {
+        blockCtxs_.push_back(std::make_unique<BlockCtx>());
+        BlockCtx *ctx = blockCtxs_.back().get();
+        ctx->rt_ = this;
+        ctx->proc_ = &proc;
+        ctx->gpu_ = gpu;
+        ctx->blockIdx_ = b;
+        ctx->req_ = {cfg.threadsPerBlock, cfg.sharedMemBytes};
+        handle.blocks_.push_back(ctx);
+
+        const std::string name = cfg.name + "#" + std::to_string(kid) +
+                                 ".b" + std::to_string(b);
+        auto sm = device(gpu).scheduler().tryPlace(ctx->req_);
+        if (sm) {
+            startBlock(ctx, fn_stable, name, *sm);
+        } else {
+            pending_[gpu].push_back(PendingBlock{ctx, fn_stable, name});
+        }
+    }
+    return handle;
+}
+
+void
+Runtime::startBlock(BlockCtx *ctx, const std::shared_ptr<const KernelFn> &fn,
+                    const std::string &name, SmId sm)
+{
+    ctx->sm_ = sm;
+    ctx->kernelFn_ = fn; // pin the closure for the coroutine's lifetime
+    const GpuId gpu = ctx->gpu_;
+    const gpu::BlockRequirements req = ctx->req_;
+    sim::ActorCtx &actor = engine_->spawn(
+        name, [&](sim::ActorCtx &) { return (*fn)(*ctx); },
+        engine_->now());
+    if (ctx->earlyStop_)
+        actor.requestStop(); // stop arrived while the block was queued
+    ctx->actor_ = &actor;
+    actor.setOnDone([this, gpu, sm, req](sim::ActorCtx &) {
+        device(gpu).scheduler().release(sm, req);
+        dispatchPending(gpu);
+    });
+}
+
+void
+Runtime::dispatchPending(GpuId gpu)
+{
+    auto &queue = pending_[gpu];
+    while (!queue.empty()) {
+        PendingBlock &pb = queue.front();
+        auto sm = device(gpu).scheduler().tryPlace(pb.ctx->req_);
+        if (!sm)
+            return;
+        startBlock(pb.ctx, pb.fn, pb.name, *sm);
+        queue.pop_front();
+    }
+}
+
+void
+Runtime::runUntilDone(const KernelHandle &handle)
+{
+    while (!handle.finished()) {
+        if (!engine_->stepOne()) {
+            fatal("runUntilDone: engine idle but kernel not finished "
+                  "(blocks starved of SM resources?)");
+        }
+    }
+}
+
+void
+Runtime::runAll()
+{
+    engine_->run();
+}
+
+Cycles
+Runtime::accessLatency(BlockCtx &ctx, PAddr paddr, bool bypass_l1)
+{
+    const TimingParams &t = config_.timing;
+    const GpuId local = ctx.gpu();
+    const GpuId home = codec_.gpuOf(paddr);
+    const Cycles now = ctx.actor().now();
+
+    if (home != local && !ctx.process().peerEnabled(local, home)) {
+        fatal("process '", ctx.process().name(), "' touched GPU ", home,
+              " memory from GPU ", local, " without peer access");
+    }
+
+    Cycles lat = 0;
+
+    // L1 (per SM, local GPU) unless bypassed by ldcg/stcg.
+    if (!bypass_l1) {
+        auto l1out = device(local).l1(ctx.sm()).access(paddr);
+        if (l1out.hit) {
+            lat = t.l1HitCycles;
+            const double jit = jitterRng_.normal(0.0, t.jitterSigma);
+            return std::max<double>(1.0, static_cast<double>(lat) + jit);
+        }
+    }
+
+    // Request leg over NVLink for remote pages.
+    if (home != local)
+        lat += fabric_->traverse(local, home, now);
+
+    // The page is cached in its home GPU's L2 -- the NUMA property the
+    // whole attack rests on. With MIG partitioning enabled the access
+    // is confined to the process' slice of the ways.
+    auto out = device(home).l2().access(paddr,
+                                        ctx.process().partition());
+    lat += l2Ports_[home].record(now);
+    if (out.hit) {
+        lat += t.l2HitCycles;
+    } else {
+        lat += t.hbmCycles;
+        if (home != local)
+            lat += t.remoteMissExtra;
+    }
+
+    // Response leg.
+    if (home != local)
+        lat += fabric_->traverse(home, local, now + lat);
+
+    const double jit = jitterRng_.normal(0.0, t.jitterSigma);
+    const double total = std::max(1.0, static_cast<double>(lat) + jit);
+    return static_cast<Cycles>(std::llround(total));
+}
+
+MemOpResult
+Runtime::memRead(BlockCtx &ctx, VAddr addr, unsigned size, bool bypass_l1)
+{
+    const PAddr paddr = ctx.process().space().translate(addr);
+    MemOpResult res;
+    res.cycles = accessLatency(ctx, paddr, bypass_l1);
+    switch (size) {
+      case 1:
+        res.value = ctx.process().space().read<std::uint8_t>(addr);
+        break;
+      case 2:
+        res.value = ctx.process().space().read<std::uint16_t>(addr);
+        break;
+      case 4:
+        res.value = ctx.process().space().read<std::uint32_t>(addr);
+        break;
+      case 8:
+        res.value = ctx.process().space().read<std::uint64_t>(addr);
+        break;
+      default:
+        fatal("memRead: unsupported access size ", size);
+    }
+    return res;
+}
+
+MemOpResult
+Runtime::memWrite(BlockCtx &ctx, VAddr addr, unsigned size,
+                  std::uint64_t value, bool bypass_l1)
+{
+    const PAddr paddr = ctx.process().space().translate(addr);
+    MemOpResult res;
+    res.cycles = accessLatency(ctx, paddr, bypass_l1);
+    switch (size) {
+      case 1:
+        ctx.process().space().write<std::uint8_t>(
+            addr, static_cast<std::uint8_t>(value));
+        break;
+      case 2:
+        ctx.process().space().write<std::uint16_t>(
+            addr, static_cast<std::uint16_t>(value));
+        break;
+      case 4:
+        ctx.process().space().write<std::uint32_t>(
+            addr, static_cast<std::uint32_t>(value));
+        break;
+      case 8:
+        ctx.process().space().write<std::uint64_t>(addr, value);
+        break;
+      default:
+        fatal("memWrite: unsupported access size ", size);
+    }
+    return res;
+}
+
+ProbeResult
+Runtime::probeLines(BlockCtx &ctx, const std::vector<VAddr> &addrs,
+                    bool bypass_l1)
+{
+    ProbeResult res;
+    res.perLineCycles.reserve(addrs.size());
+    Cycles max_lat = 0;
+    for (VAddr a : addrs) {
+        const PAddr paddr = ctx.process().space().translate(a);
+        const Cycles lat = accessLatency(ctx, paddr, bypass_l1);
+        res.perLineCycles.push_back(lat);
+        max_lat = std::max(max_lat, lat);
+    }
+    // Throughput model: the warp issues all loads concurrently, so the
+    // block occupies the pipeline for the slowest load plus an issue
+    // gap per additional line.
+    const Cycles gap = config_.timing.pipelineGapCycles;
+    res.totalCycles =
+        max_lat + (addrs.empty() ? 0 : (addrs.size() - 1) * gap);
+    return res;
+}
+
+SetIndex
+Runtime::l2SetOf(const Process &proc, VAddr addr) const
+{
+    const PAddr paddr = proc.space().translate(addr);
+    const PAddr line =
+        paddr & ~(static_cast<PAddr>(config_.device.l2.lineBytes) - 1);
+    return l2Indexer_->setFor(line);
+}
+
+GpuId
+Runtime::homeGpuOf(const Process &proc, VAddr addr) const
+{
+    return codec_.gpuOf(proc.space().translate(addr));
+}
+
+} // namespace gpubox::rt

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * The gpubox runtime: the CUDA-like host API over the simulated box.
+ *
+ * Owns the simulation engine, the GPUs, the NVLink fabric, the page
+ * allocators and every process. The central piece is memRead/memWrite,
+ * which implement the NUMA caching rule the paper reverse engineers:
+ * a physical page is cached in the L2 of the GPU that owns it, so a
+ * remote access traverses NVLink both ways and hits/misses in the
+ * *remote* L2 -- never the local one.
+ */
+
+#ifndef GPUBOX_RT_RUNTIME_HH
+#define GPUBOX_RT_RUNTIME_HH
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/indexer.hh"
+#include "gpu/device.hh"
+#include "mem/address.hh"
+#include "mem/page_allocator.hh"
+#include "noc/fabric.hh"
+#include "rt/block_ctx.hh"
+#include "rt/config.hh"
+#include "rt/process.hh"
+#include "sim/engine.hh"
+#include "util/contention.hh"
+
+namespace gpubox::rt
+{
+
+/** Kernel body: one coroutine per thread block. */
+using KernelFn = std::function<sim::Task(BlockCtx &)>;
+
+/** Handle to a launched kernel (all of its blocks). */
+class KernelHandle
+{
+    friend class Runtime;
+
+  public:
+    KernelHandle() = default;
+
+    /** @return true when every block's coroutine has completed. */
+    bool finished() const;
+
+    /** Cooperatively stop all blocks (they must poll stopRequested). */
+    void requestStop();
+
+    const std::vector<BlockCtx *> &blocks() const { return blocks_; }
+
+  private:
+    std::vector<BlockCtx *> blocks_;
+};
+
+/** The box. */
+class Runtime
+{
+  public:
+    explicit Runtime(const SystemConfig &config);
+    ~Runtime();
+
+    Runtime(const Runtime &) = delete;
+    Runtime &operator=(const Runtime &) = delete;
+
+    const SystemConfig &config() const { return config_; }
+    const TimingParams &timing() const { return config_.timing; }
+    const mem::AddressCodec &codec() const { return codec_; }
+    const noc::Topology &topology() const { return config_.topology; }
+
+    sim::Engine &engine() { return *engine_; }
+    gpu::Device &device(GpuId id);
+    noc::Fabric &fabric() { return *fabric_; }
+    int numGpus() const { return config_.topology.numGpus(); }
+
+    /** @name Host API (untimed) @{ */
+
+    /** Create a process (CUDA context owner). */
+    Process &createProcess(const std::string &name);
+
+    /**
+     * Allocate device memory physically resident on @p gpu (pages come
+     * from that GPU's randomized frame pool).
+     */
+    VAddr deviceMalloc(Process &proc, GpuId gpu, std::uint64_t bytes);
+
+    void deviceFree(Process &proc, VAddr base);
+
+    /**
+     * Enable peer access from @p from to @p to. Mirrors the CUDA
+     * behaviour on the DGX-1: fatal() unless the GPUs share a direct
+     * NVLink (single hop).
+     */
+    void enablePeerAccess(Process &proc, GpuId from, GpuId to);
+
+    /**
+     * MIG-style L2 way partitioning (paper Sec. VII): split every
+     * GPU's L2 into @p slices isolated slices and confine each
+     * process' traffic to its assigned slice. Requires a privileged
+     * administrator on real hardware -- it is a *defense*, not
+     * something the attacker can do.
+     */
+    void enableMigPartitioning(unsigned slices);
+
+    /** Assign a process to an L2 slice (default slice 0). */
+    void assignPartition(Process &proc, unsigned slice);
+
+    /** Host-side typed write into device memory (cudaMemcpy H2D). */
+    template <typename T>
+    void
+    hostWrite(Process &proc, VAddr addr, const T &v)
+    {
+        proc.space().write<T>(addr, v);
+    }
+
+    /** Host-side typed read from device memory (cudaMemcpy D2H). */
+    template <typename T>
+    T
+    hostRead(Process &proc, VAddr addr) const
+    {
+        return proc.space().read<T>(addr);
+    }
+
+    /**
+     * Launch a kernel on @p gpu: one actor per block, placed on SMs by
+     * the leftover policy. Blocks that do not fit wait until resident
+     * blocks finish.
+     */
+    KernelHandle launch(Process &proc, GpuId gpu,
+                        const gpu::KernelConfig &cfg, KernelFn fn);
+
+    /** Drive the engine until the kernel finishes; fatal on deadlock. */
+    void runUntilDone(const KernelHandle &handle);
+
+    /** Drive the engine until all actors complete. */
+    void runAll();
+
+    /** @} */
+
+    /** @name Device-side timing (called from awaitables) @{ */
+    MemOpResult memRead(BlockCtx &ctx, VAddr addr, unsigned size,
+                        bool bypass_l1);
+    MemOpResult memWrite(BlockCtx &ctx, VAddr addr, unsigned size,
+                         std::uint64_t value, bool bypass_l1);
+    ProbeResult probeLines(BlockCtx &ctx, const std::vector<VAddr> &addrs,
+                           bool bypass_l1);
+    /** @} */
+
+    /** @name Ground-truth oracles (tests and validation only) @{ */
+
+    /** Physical L2 set a virtual address maps to. */
+    SetIndex l2SetOf(const Process &proc, VAddr addr) const;
+
+    /** GPU whose HBM (and L2) own the page of @p addr. */
+    GpuId homeGpuOf(const Process &proc, VAddr addr) const;
+
+    /** The box-wide L2 set indexer. */
+    const cache::SetIndexer &l2Indexer() const { return *l2Indexer_; }
+
+    /** @} */
+
+  private:
+    struct PendingBlock
+    {
+        BlockCtx *ctx;
+        std::shared_ptr<const KernelFn> fn;
+        std::string name;
+    };
+
+    /** Compute latency and touch caches/links for one access. */
+    Cycles accessLatency(BlockCtx &ctx, PAddr paddr, bool bypass_l1);
+
+    void dispatchPending(GpuId gpu);
+
+    /**
+     * Spawn one block actor. @p fn must be the heap-stable per-launch
+     * copy: the coroutine frame keeps referring to the closure object
+     * inside it for the block's whole lifetime.
+     */
+    void startBlock(BlockCtx *ctx, const std::shared_ptr<const KernelFn> &fn,
+                    const std::string &name, SmId sm);
+
+    SystemConfig config_;
+    mem::AddressCodec codec_;
+    std::unique_ptr<cache::SetIndexer> l2Indexer_;
+    std::unique_ptr<sim::Engine> engine_;
+    std::unique_ptr<noc::Fabric> fabric_;
+    std::vector<std::unique_ptr<gpu::Device>> devices_;
+    std::vector<std::unique_ptr<mem::PageAllocator>> allocators_;
+    std::vector<ContentionMeter> l2Ports_;
+    std::deque<std::unique_ptr<Process>> processes_;
+    std::deque<std::unique_ptr<BlockCtx>> blockCtxs_;
+    std::vector<std::deque<PendingBlock>> pending_; // per GPU
+    Rng jitterRng_;
+    int nextProcessId_ = 0;
+    std::uint64_t kernelCounter_ = 0;
+};
+
+} // namespace gpubox::rt
+
+#endif // GPUBOX_RT_RUNTIME_HH

@@ -1,0 +1,96 @@
+#include "sim/engine.hh"
+
+#include "util/log.hh"
+
+namespace gpubox::sim
+{
+
+Engine::Engine(std::uint64_t seed)
+    : seed_(seed)
+{}
+
+Engine::~Engine() = default;
+
+ActorCtx &
+Engine::spawn(const std::string &name,
+              std::function<Task(ActorCtx &)> body, Cycles start_time)
+{
+    const std::size_t id = actors_.size();
+    Rng stream = Rng(seed_).split(id + 1);
+    actors_.emplace_back(
+        std::unique_ptr<ActorCtx>(new ActorCtx(this, id, name, stream)));
+    ActorCtx &ctx = *actors_.back();
+    ctx.time_ = start_time;
+    // Pin the closure in the actor before creating the coroutine from
+    // it (see body_'s comment).
+    ctx.body_ = std::move(body);
+    ctx.task_ = ctx.body_(ctx);
+    if (!ctx.task_.valid())
+        fatal("Engine::spawn: actor '", name, "' produced an invalid task");
+    ++live_;
+    queue_.push(QueueEntry{ctx.time_, seqCounter_++, id});
+    return ctx;
+}
+
+bool
+Engine::stepOne()
+{
+    while (!queue_.empty()) {
+        const QueueEntry e = queue_.top();
+        queue_.pop();
+        ActorCtx &ctx = *actors_[e.actor];
+        if (ctx.done_)
+            continue; // stale entry
+
+        lastTime_ = ctx.time_;
+        auto handle = ctx.task_.handle();
+        handle.promise().pendingDelay = 0;
+        handle.resume();
+        ++steps_;
+
+        if (handle.promise().exception)
+            std::rethrow_exception(handle.promise().exception);
+
+        // Charge the co_await delay plus any non-suspending costs.
+        ctx.time_ += handle.promise().pendingDelay + ctx.extra_;
+        ctx.extra_ = 0;
+
+        if (handle.done()) {
+            ctx.done_ = true;
+            --live_;
+            if (ctx.onDone_)
+                ctx.onDone_(ctx);
+        } else {
+            queue_.push(QueueEntry{ctx.time_, seqCounter_++, e.actor});
+        }
+        return true;
+    }
+    return false;
+}
+
+void
+Engine::run()
+{
+    while (stepOne()) {
+    }
+}
+
+void
+Engine::runUntil(Cycles t)
+{
+    while (!queue_.empty() && queue_.top().time < t) {
+        if (!stepOne())
+            break;
+    }
+}
+
+void
+Engine::requestStopAll()
+{
+    for (auto &a : actors_) {
+        if (!a->done_)
+            a->requestStop();
+    }
+}
+
+} // namespace gpubox::sim

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Deterministic discrete-time engine scheduling coroutine actors.
+ */
+
+#ifndef GPUBOX_SIM_ENGINE_HH
+#define GPUBOX_SIM_ENGINE_HH
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/task.hh"
+#include "util/rng.hh"
+#include "util/types.hh"
+
+namespace gpubox::sim
+{
+
+class Engine;
+
+/**
+ * Per-actor simulation context. Owned by the Engine; handed by
+ * reference to the actor's coroutine so the body can read its local
+ * clock, charge non-suspending costs and observe stop requests.
+ */
+class ActorCtx
+{
+    friend class Engine;
+
+  public:
+    /** Actor-local current time in cycles. */
+    Cycles now() const { return time_ + extra_; }
+
+    /**
+     * Charge cycles without suspending (e.g. the cost of reading the
+     * clock register). Applied to the actor clock together with the
+     * next co_await.
+     */
+    void charge(Cycles c) { extra_ += c; }
+
+    /** Cooperative cancellation flag, settable by any other actor. */
+    bool stopRequested() const { return stop_; }
+    void requestStop() { stop_ = true; }
+
+    bool finished() const { return done_; }
+
+    const std::string &name() const { return name_; }
+    std::size_t id() const { return id_; }
+
+    /** Actor-private RNG stream, derived from the engine seed. */
+    Rng &rng() { return rng_; }
+
+    Engine &engine() { return *engine_; }
+
+    /**
+     * Hook invoked by the Engine when the actor's coroutine completes.
+     * Used by the runtime to release SM resources and dispatch queued
+     * thread blocks.
+     */
+    void setOnDone(std::function<void(ActorCtx &)> cb)
+    {
+        onDone_ = std::move(cb);
+    }
+
+  private:
+    ActorCtx(Engine *eng, std::size_t id, std::string name, Rng rng)
+        : engine_(eng), id_(id), name_(std::move(name)), rng_(rng)
+    {}
+
+    Engine *engine_;
+    std::size_t id_;
+    std::string name_;
+    Rng rng_;
+    Cycles time_ = 0;
+    Cycles extra_ = 0;
+    bool stop_ = false;
+    bool done_ = false;
+    /**
+     * The actor body is stored here before the coroutine is created:
+     * a coroutine lambda's frame references its closure object, so
+     * the closure must stay alive (and unmoved) as long as the
+     * suspended coroutine does.
+     */
+    std::function<Task(ActorCtx &)> body_;
+    Task task_;
+    std::function<void(ActorCtx &)> onDone_;
+};
+
+/**
+ * Min-time actor scheduler.
+ *
+ * The engine repeatedly resumes the live actor with the smallest local
+ * clock (ties broken by spawn order), then advances that actor's clock
+ * by the delay its last co_await deposited. This is a conservative
+ * time-ordered simulation: any state mutation performed inside an
+ * actor's resume happens while that actor holds the global minimum
+ * time, so cross-actor interleavings are causally consistent.
+ */
+class Engine
+{
+  public:
+    explicit Engine(std::uint64_t seed = 1);
+    ~Engine();
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    /**
+     * Create an actor and start its coroutine.
+     *
+     * @param name debug name
+     * @param body factory invoked with the new ActorCtx; returns the
+     *             actor's Task coroutine
+     * @param start_time initial local clock of the actor
+     * @return reference to the actor context (stable address)
+     */
+    ActorCtx &spawn(const std::string &name,
+                    std::function<Task(ActorCtx &)> body,
+                    Cycles start_time = 0);
+
+    /**
+     * Resume the single actor with minimum local time.
+     * @return false when no live actor remains.
+     */
+    bool stepOne();
+
+    /** Run until every actor has completed. */
+    void run();
+
+    /** Run until the global clock reaches @p t or all actors finish. */
+    void runUntil(Cycles t);
+
+    /** Global clock: local time of the most recently resumed actor. */
+    Cycles now() const { return lastTime_; }
+
+    std::size_t liveActors() const { return live_; }
+    std::size_t totalSpawned() const { return actors_.size(); }
+    std::uint64_t stepsExecuted() const { return steps_; }
+
+    /** Request cooperative stop of every live actor. */
+    void requestStopAll();
+
+  private:
+    struct QueueEntry
+    {
+        Cycles time;
+        std::uint64_t seq;
+        std::size_t actor;
+
+        bool
+        operator>(const QueueEntry &other) const
+        {
+            if (time != other.time)
+                return time > other.time;
+            return seq > other.seq;
+        }
+    };
+
+    std::uint64_t seed_;
+    std::vector<std::unique_ptr<ActorCtx>> actors_;
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                        std::greater<QueueEntry>> queue_;
+    std::uint64_t seqCounter_ = 0;
+    std::size_t live_ = 0;
+    Cycles lastTime_ = 0;
+    std::uint64_t steps_ = 0;
+};
+
+} // namespace gpubox::sim
+
+#endif // GPUBOX_SIM_ENGINE_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Coroutine task type for simulation actors.
+ *
+ * Every simulated GPU thread block (and victim kernel, prober, trojan,
+ * spy, ...) is a C++20 coroutine returning sim::Task. The coroutine
+ * advances simulated time exclusively by co_await-ing awaitables that
+ * deposit a cycle count into the promise; the Engine picks the actor
+ * with the minimum local time, resumes it, then charges the deposited
+ * delay. Shared state (caches, links) is therefore always mutated in
+ * global-time order, which makes contention between concurrently
+ * running actors deterministic and seed-reproducible.
+ */
+
+#ifndef GPUBOX_SIM_TASK_HH
+#define GPUBOX_SIM_TASK_HH
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+#include "util/types.hh"
+
+namespace gpubox::sim
+{
+
+/** Move-only handle to a suspended simulation coroutine. */
+class Task
+{
+  public:
+    struct promise_type
+    {
+        /** Cycles to charge the actor after the current resume. */
+        Cycles pendingDelay = 0;
+        /** Exception escaping the coroutine body, rethrown by Engine. */
+        std::exception_ptr exception;
+
+        Task
+        get_return_object()
+        {
+            return Task(Handle::from_promise(*this));
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+        std::suspend_always final_suspend() noexcept { return {}; }
+        void return_void() noexcept {}
+
+        void
+        unhandled_exception() noexcept
+        {
+            exception = std::current_exception();
+        }
+    };
+
+    using Handle = std::coroutine_handle<promise_type>;
+
+    Task() = default;
+    explicit Task(Handle h) : handle_(h) {}
+
+    Task(Task &&other) noexcept
+        : handle_(std::exchange(other.handle_, nullptr))
+    {}
+
+    Task &
+    operator=(Task &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            handle_ = std::exchange(other.handle_, nullptr);
+        }
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+
+    ~Task() { destroy(); }
+
+    bool valid() const { return static_cast<bool>(handle_); }
+    bool done() const { return handle_ && handle_.done(); }
+    Handle handle() const { return handle_; }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = nullptr;
+        }
+    }
+
+    Handle handle_ = nullptr;
+};
+
+/**
+ * Awaitable that suspends the actor for a fixed number of cycles.
+ * `co_await Delay{100}` models 100 cycles of busy work.
+ */
+struct Delay
+{
+    Cycles cycles;
+
+    bool await_ready() const noexcept { return false; }
+
+    void
+    await_suspend(Task::Handle h) const noexcept
+    {
+        h.promise().pendingDelay = cycles;
+    }
+
+    void await_resume() const noexcept {}
+};
+
+} // namespace gpubox::sim
+
+#endif // GPUBOX_SIM_TASK_HH

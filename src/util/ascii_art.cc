@@ -1,0 +1,59 @@
+#include "util/ascii_art.hh"
+
+#include <algorithm>
+
+#include "util/log.hh"
+
+namespace gpubox
+{
+
+std::string
+renderHeatmap(const std::vector<double> &data, std::size_t rows,
+              std::size_t cols, const HeatmapOptions &opt)
+{
+    if (rows * cols != data.size())
+        fatal("renderHeatmap: rows*cols (", rows * cols,
+              ") != data size (", data.size(), ")");
+    if (opt.ramp.empty())
+        fatal("renderHeatmap: empty character ramp");
+    if (rows == 0 || cols == 0)
+        return "";
+
+    const std::size_t out_rows = std::min(rows, opt.maxRows);
+    const std::size_t out_cols = std::min(cols, opt.maxCols);
+
+    // Max-pool the matrix down to the output resolution; max (rather
+    // than mean) keeps sparse misses visible after pooling.
+    std::vector<double> pooled(out_rows * out_cols, 0.0);
+    for (std::size_t r = 0; r < rows; ++r) {
+        const std::size_t pr = r * out_rows / rows;
+        for (std::size_t c = 0; c < cols; ++c) {
+            const std::size_t pc = c * out_cols / cols;
+            double &cell = pooled[pr * out_cols + pc];
+            cell = std::max(cell, data[r * cols + c]);
+        }
+    }
+
+    double peak = 0.0;
+    for (double v : pooled)
+        peak = std::max(peak, v);
+    if (peak <= 0.0)
+        peak = 1.0;
+
+    std::string out;
+    out.reserve(out_rows * (out_cols + 1));
+    const std::size_t levels = opt.ramp.size();
+    for (std::size_t r = 0; r < out_rows; ++r) {
+        for (std::size_t c = 0; c < out_cols; ++c) {
+            const double v = pooled[r * out_cols + c] / peak;
+            std::size_t lvl = static_cast<std::size_t>(
+                v * static_cast<double>(levels - 1) + 0.5);
+            lvl = std::min(lvl, levels - 1);
+            out += opt.ramp[lvl];
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace gpubox

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * ASCII heat-map rendering for memorygrams (paper Figs. 11, 14, 15).
+ * A memorygram is a (cache set x time window) matrix of miss counts;
+ * the renderer maps intensity to a character ramp so figures can be
+ * eyeballed directly in a terminal or log file.
+ */
+
+#ifndef GPUBOX_UTIL_ASCII_ART_HH
+#define GPUBOX_UTIL_ASCII_ART_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gpubox
+{
+
+/** Options controlling heat-map rendering. */
+struct HeatmapOptions
+{
+    /** Target width in characters (columns are pooled down to this). */
+    std::size_t maxCols = 100;
+    /** Target height in lines (rows are pooled down to this). */
+    std::size_t maxRows = 32;
+    /** Intensity ramp from empty to saturated. */
+    std::string ramp = " .:-=+*#%@";
+};
+
+/**
+ * Render a row-major matrix as an ASCII heat map.
+ *
+ * @param data row-major values, size rows*cols
+ * @param rows matrix height (e.g. cache sets)
+ * @param cols matrix width (e.g. time windows)
+ * @param opt rendering options
+ */
+std::string renderHeatmap(const std::vector<double> &data, std::size_t rows,
+                          std::size_t cols,
+                          const HeatmapOptions &opt = HeatmapOptions());
+
+} // namespace gpubox
+
+#endif // GPUBOX_UTIL_ASCII_ART_HH

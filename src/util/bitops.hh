@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by the memory and cache models.
+ */
+
+#ifndef GPUBOX_UTIL_BITOPS_HH
+#define GPUBOX_UTIL_BITOPS_HH
+
+#include <cstdint>
+
+namespace gpubox
+{
+
+/** @return true iff @p v is a (non-zero) power of two. */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** @return floor(log2(v)); result is undefined for v == 0. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned l = 0;
+    while (v >>= 1)
+        ++l;
+    return l;
+}
+
+/** @return ceil(a / b) for integers, b > 0. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/**
+ * Mix the bits of a 64-bit value (splitmix64 finalizer). Used both by the
+ * RNG seeding logic and by the cache index scrambler.
+ */
+constexpr std::uint64_t
+mix64(std::uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace gpubox
+
+#endif // GPUBOX_UTIL_BITOPS_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Windowed contention meter.
+ *
+ * Shared resources (NVLink links, L2 ports) track how many requests
+ * they served in the current time window; the timing model converts
+ * occupancy above a free threshold into queueing delay. This is what
+ * makes the covert channel's error rate grow as more cache sets (and
+ * hence more concurrent thread blocks) are used in parallel (Fig. 9).
+ */
+
+#ifndef GPUBOX_UTIL_CONTENTION_HH
+#define GPUBOX_UTIL_CONTENTION_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace gpubox
+{
+
+/** Counts requests per fixed time window and derives queueing delay. */
+class ContentionMeter
+{
+  public:
+    /**
+     * @param window_cycles width of the accounting window
+     * @param free_slots requests per window served without queueing
+     * @param cycles_per_extra queueing delay per request beyond free
+     */
+    ContentionMeter(Cycles window_cycles, std::uint32_t free_slots,
+                    Cycles cycles_per_extra)
+        : window_(window_cycles), freeSlots_(free_slots),
+          perExtra_(cycles_per_extra)
+    {}
+
+    /**
+     * Record one request at time @p now and return its queueing delay.
+     */
+    Cycles
+    record(Cycles now)
+    {
+        const Cycles win = window_ ? now / window_ : 0;
+        if (win != currentWindow_) {
+            currentWindow_ = win;
+            inWindow_ = 0;
+        }
+        ++inWindow_;
+        ++total_;
+        if (inWindow_ <= freeSlots_)
+            return 0;
+        return perExtra_ * (inWindow_ - freeSlots_);
+    }
+
+    /** Requests seen in the window containing @p now (read-only). */
+    std::uint32_t
+    occupancy(Cycles now) const
+    {
+        const Cycles win = window_ ? now / window_ : 0;
+        return win == currentWindow_ ? inWindow_ : 0;
+    }
+
+    std::uint64_t totalRequests() const { return total_; }
+
+    void
+    reset()
+    {
+        currentWindow_ = 0;
+        inWindow_ = 0;
+        total_ = 0;
+    }
+
+  private:
+    Cycles window_;
+    std::uint32_t freeSlots_;
+    Cycles perExtra_;
+    Cycles currentWindow_ = 0;
+    std::uint32_t inWindow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace gpubox
+
+#endif // GPUBOX_UTIL_CONTENTION_HH

@@ -1,0 +1,42 @@
+#include "util/csv.hh"
+
+#include "util/log.hh"
+
+namespace gpubox
+{
+
+CsvWriter::CsvWriter(const std::string &path)
+    : out_(path)
+{
+    if (!out_)
+        fatal("CsvWriter: cannot open '", path, "' for writing");
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << cells[i];
+    }
+    out_ << '\n';
+    ++rows_;
+}
+
+std::string
+CsvWriter::escape(const std::string &raw)
+{
+    if (raw.find_first_of(",\"\n") == std::string::npos)
+        return raw;
+    std::string esc = "\"";
+    for (char c : raw) {
+        if (c == '"')
+            esc += '"';
+        esc += c;
+    }
+    esc += '"';
+    return esc;
+}
+
+} // namespace gpubox

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Tiny CSV writer used by the benchmark harnesses to dump figure data
+ * series alongside the human-readable tables.
+ */
+
+#ifndef GPUBOX_UTIL_CSV_HH
+#define GPUBOX_UTIL_CSV_HH
+
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace gpubox
+{
+
+/** Streams rows of comma-separated values to a file. */
+class CsvWriter
+{
+  public:
+    /** Open @p path for writing; fatal() on failure. */
+    explicit CsvWriter(const std::string &path);
+
+    /** Write a header or data row from strings. */
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** Write a row of arbitrary streamable values. */
+    template <typename... Args>
+    void
+    row(const Args &...args)
+    {
+        std::vector<std::string> cells;
+        (cells.push_back(toCell(args)), ...);
+        writeRow(cells);
+    }
+
+    std::size_t rowsWritten() const { return rows_; }
+
+  private:
+    template <typename T>
+    static std::string
+    toCell(const T &v)
+    {
+        std::ostringstream os;
+        os << v;
+        return escape(os.str());
+    }
+
+    static std::string escape(const std::string &raw);
+
+    std::ofstream out_;
+    std::size_t rows_ = 0;
+};
+
+} // namespace gpubox
+
+#endif // GPUBOX_UTIL_CSV_HH

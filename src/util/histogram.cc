@@ -1,0 +1,80 @@
+#include "util/histogram.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/log.hh"
+
+namespace gpubox
+{
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    if (bins == 0)
+        fatal("Histogram needs at least one bin");
+    if (hi <= lo)
+        fatal("Histogram range is empty: [", lo, ", ", hi, ")");
+    width_ = (hi - lo) / static_cast<double>(bins);
+}
+
+void
+Histogram::add(double x)
+{
+    samples_.push_back(x);
+    double pos = (x - lo_) / width_;
+    std::size_t idx;
+    if (pos < 0.0) {
+        idx = 0;
+    } else {
+        idx = std::min(static_cast<std::size_t>(pos), counts_.size() - 1);
+    }
+    ++counts_[idx];
+    ++total_;
+}
+
+double
+Histogram::binCenter(std::size_t i) const
+{
+    return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+double
+Histogram::binLow(std::size_t i) const
+{
+    return lo_ + static_cast<double>(i) * width_;
+}
+
+std::size_t
+Histogram::modeBin() const
+{
+    return static_cast<std::size_t>(
+        std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+}
+
+std::string
+Histogram::render(std::size_t max_width, bool skip_empty) const
+{
+    std::uint64_t peak = 1;
+    for (auto c : counts_)
+        peak = std::max(peak, c);
+
+    std::string out;
+    char line[160];
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (skip_empty && counts_[i] == 0)
+            continue;
+        const std::size_t bar =
+            static_cast<std::size_t>(counts_[i] * max_width / peak);
+        std::snprintf(line, sizeof(line), "[%7.0f, %7.0f) ",
+                      binLow(i), binLow(i) + width_);
+        out += line;
+        out.append(bar, '#');
+        std::snprintf(line, sizeof(line), " %llu\n",
+                      static_cast<unsigned long long>(counts_[i]));
+        out += line;
+    }
+    return out;
+}
+
+} // namespace gpubox

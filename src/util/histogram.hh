@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fixed-width binned histogram with text rendering, used for the access
+ * latency cluster analysis (paper Fig. 4) and per-set miss counts
+ * (paper Fig. 13).
+ */
+
+#ifndef GPUBOX_UTIL_HISTOGRAM_HH
+#define GPUBOX_UTIL_HISTOGRAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gpubox
+{
+
+/** Histogram over [lo, hi) with a fixed number of equal-width bins. */
+class Histogram
+{
+  public:
+    /**
+     * @param lo inclusive lower bound of the tracked range
+     * @param hi exclusive upper bound of the tracked range
+     * @param bins number of equal-width bins (> 0)
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Add a sample; out-of-range samples clamp to the edge bins. */
+    void add(double x);
+
+    std::size_t numBins() const { return counts_.size(); }
+    std::uint64_t binCount(std::size_t i) const { return counts_.at(i); }
+    /** Center value of bin @p i. */
+    double binCenter(std::size_t i) const;
+    /** Inclusive lower edge of bin @p i. */
+    double binLow(std::size_t i) const;
+    std::uint64_t totalCount() const { return total_; }
+
+    /** Index of the most populated bin. */
+    std::size_t modeBin() const;
+
+    /** All raw samples are retained for clustering / percentiles. */
+    const std::vector<double> &samples() const { return samples_; }
+
+    /**
+     * Render a vertical ASCII bar chart, one line per bin, of the form
+     * "[  250,  270) ############ 42".
+     * @param max_width widest bar in characters
+     * @param skip_empty omit bins with zero count
+     */
+    std::string render(std::size_t max_width = 60,
+                       bool skip_empty = true) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::vector<double> samples_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace gpubox
+
+#endif // GPUBOX_UTIL_HISTOGRAM_HH

@@ -1,0 +1,87 @@
+#include "util/kmeans1d.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hh"
+
+namespace gpubox
+{
+
+Kmeans1dResult
+kmeans1d(const std::vector<double> &samples, std::size_t k,
+         std::size_t max_iters)
+{
+    if (k == 0)
+        fatal("kmeans1d with k == 0");
+    if (samples.size() < k)
+        fatal("kmeans1d: fewer samples (", samples.size(),
+              ") than clusters (", k, ")");
+
+    std::vector<double> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+
+    // Quantile initialization: centers at the (i + 0.5)/k quantiles.
+    std::vector<double> centers(k);
+    for (std::size_t i = 0; i < k; ++i) {
+        const std::size_t idx = std::min(
+            sorted.size() - 1,
+            static_cast<std::size_t>(
+                (static_cast<double>(i) + 0.5) / static_cast<double>(k) *
+                static_cast<double>(sorted.size())));
+        centers[i] = sorted[idx];
+    }
+
+    std::vector<std::size_t> sizes(k, 0);
+    for (std::size_t iter = 0; iter < max_iters; ++iter) {
+        // In 1-D with sorted centers, assignment is by boundary search.
+        std::vector<double> sums(k, 0.0);
+        std::fill(sizes.begin(), sizes.end(), 0);
+        std::size_t c = 0;
+        for (double v : sorted) {
+            while (c + 1 < k &&
+                   std::abs(v - centers[c + 1]) < std::abs(v - centers[c])) {
+                ++c;
+            }
+            // A sample earlier in sort order can belong to an earlier
+            // cluster; rewind when needed (c is monotone overall, but
+            // guard against equal centers).
+            while (c > 0 &&
+                   std::abs(v - centers[c - 1]) < std::abs(v - centers[c])) {
+                --c;
+            }
+            sums[c] += v;
+            ++sizes[c];
+        }
+        bool changed = false;
+        for (std::size_t i = 0; i < k; ++i) {
+            if (sizes[i] == 0)
+                continue; // keep the previous center for empty clusters
+            const double nc = sums[i] / static_cast<double>(sizes[i]);
+            if (nc != centers[i]) {
+                centers[i] = nc;
+                changed = true;
+            }
+        }
+        std::sort(centers.begin(), centers.end());
+        if (!changed)
+            break;
+    }
+
+    Kmeans1dResult res;
+    res.centers = centers;
+    res.sizes.assign(k, 0);
+    res.boundaries.clear();
+    for (std::size_t i = 0; i + 1 < k; ++i)
+        res.boundaries.push_back(0.5 * (centers[i] + centers[i + 1]));
+    // Final assignment counts.
+    for (double v : sorted) {
+        std::size_t c = 0;
+        while (c < res.boundaries.size() && v >= res.boundaries[c])
+            ++c;
+        ++res.sizes[c];
+    }
+    return res;
+}
+
+} // namespace gpubox

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * One-dimensional k-means clustering. The attack's timing oracle uses it
+ * to separate the four latency clusters of paper Fig. 4 (local hit,
+ * local miss, remote hit, remote miss) without a-priori thresholds.
+ */
+
+#ifndef GPUBOX_UTIL_KMEANS1D_HH
+#define GPUBOX_UTIL_KMEANS1D_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace gpubox
+{
+
+/** Result of a 1-D k-means run. Centers are sorted ascending. */
+struct Kmeans1dResult
+{
+    /** Cluster centers in ascending order. */
+    std::vector<double> centers;
+    /** Number of samples assigned to each center. */
+    std::vector<std::size_t> sizes;
+    /**
+     * Decision boundaries between adjacent clusters (midpoints),
+     * size == centers.size() - 1.
+     */
+    std::vector<double> boundaries;
+};
+
+/**
+ * Cluster samples into @p k groups by Lloyd iterations with sorted-
+ * quantile initialization (deterministic; no RNG needed in 1-D).
+ *
+ * @param samples input values (at least k distinct values expected)
+ * @param k number of clusters (> 0)
+ * @param max_iters Lloyd iteration cap
+ */
+Kmeans1dResult kmeans1d(const std::vector<double> &samples, std::size_t k,
+                        std::size_t max_iters = 100);
+
+} // namespace gpubox
+
+#endif // GPUBOX_UTIL_KMEANS1D_HH

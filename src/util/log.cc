@@ -1,0 +1,47 @@
+#include "util/log.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gpubox
+{
+
+namespace
+{
+std::atomic<bool> gLogEnabled{true};
+} // namespace
+
+void
+setLogEnabled(bool enabled)
+{
+    gLogEnabled.store(enabled);
+}
+
+bool
+logEnabled()
+{
+    return gLogEnabled.load();
+}
+
+namespace detail
+{
+
+void
+logLine(const char *tag, const std::string &msg)
+{
+    if (!gLogEnabled.load())
+        return;
+    std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
+}
+
+} // namespace detail
+
+void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "[panic] %s\n", msg.c_str());
+    std::abort();
+}
+
+} // namespace gpubox

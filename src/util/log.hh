@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Minimal logging / error-reporting facility in the gem5 spirit:
+ * inform() for status, warn() for suspicious-but-survivable conditions,
+ * fatal() for user errors (clean exit via exception) and panic() for
+ * internal invariant violations (abort).
+ */
+
+#ifndef GPUBOX_UTIL_LOG_HH
+#define GPUBOX_UTIL_LOG_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gpubox
+{
+
+/** Thrown by fatal(): the condition is the caller's fault, not a bug. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+namespace detail
+{
+
+void logLine(const char *tag, const std::string &msg);
+
+inline void
+format(std::ostringstream &)
+{}
+
+template <typename T, typename... Rest>
+void
+format(std::ostringstream &os, const T &v, const Rest &...rest)
+{
+    os << v;
+    format(os, rest...);
+}
+
+} // namespace detail
+
+/** Global verbosity switch; benches turn this off for clean tables. */
+void setLogEnabled(bool enabled);
+bool logEnabled();
+
+/** Status message a user should see but not worry about. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    std::ostringstream os;
+    detail::format(os, args...);
+    detail::logLine("info", os.str());
+}
+
+/** Something looks off but the simulation can continue. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    std::ostringstream os;
+    detail::format(os, args...);
+    detail::logLine("warn", os.str());
+}
+
+/**
+ * Unrecoverable user error (bad configuration, invalid arguments).
+ * Throws FatalError so tests can assert on it.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    std::ostringstream os;
+    detail::format(os, args...);
+    throw FatalError(os.str());
+}
+
+/** Internal invariant violation: a gpubox bug. Aborts the process. */
+[[noreturn]] void panic(const std::string &msg);
+
+} // namespace gpubox
+
+#endif // GPUBOX_UTIL_LOG_HH

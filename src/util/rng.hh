@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Seeded, stream-splittable pseudo-random number generator.
+ *
+ * All randomness in gpubox flows through Rng instances so that every
+ * experiment is reproducible from a single seed. The generator is
+ * xoshiro256**, seeded via splitmix64.
+ */
+
+#ifndef GPUBOX_UTIL_RNG_HH
+#define GPUBOX_UTIL_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace gpubox
+{
+
+/** Deterministic PRNG with convenience distributions. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded with splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit output. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) using rejection sampling. */
+    std::uint64_t uniform(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t uniformRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniformReal();
+
+    /** Normal deviate with the given mean and standard deviation. */
+    double normal(double mean, double sigma);
+
+    /** Bernoulli trial with success probability @p p. */
+    bool chance(double p);
+
+    /**
+     * Derive an independent child stream. Children with different ids
+     * are decorrelated from each other and from the parent.
+     */
+    Rng split(std::uint64_t stream_id) const;
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = uniform(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /** Pick a uniformly random element of a non-empty vector. */
+    template <typename T>
+    const T &
+    pick(const std::vector<T> &v)
+    {
+        return v[uniform(v.size())];
+    }
+
+  private:
+    std::uint64_t s_[4];
+    std::uint64_t seed_;
+    bool hasSpare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace gpubox
+
+#endif // GPUBOX_UTIL_RNG_HH

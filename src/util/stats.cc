@@ -1,0 +1,102 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hh"
+
+namespace gpubox
+{
+
+void
+RunningStats::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    mean_ += delta * nb / total;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    sum_ += other.sum_;
+    n_ += other.n_;
+}
+
+void
+RunningStats::reset()
+{
+    *this = RunningStats();
+}
+
+double
+percentile(std::vector<double> samples, double p)
+{
+    if (samples.empty())
+        fatal("percentile() of empty sample set");
+    if (p < 0.0 || p > 100.0)
+        fatal("percentile p out of range: ", p);
+    std::sort(samples.begin(), samples.end());
+    if (samples.size() == 1)
+        return samples[0];
+    const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+double
+meanOf(const std::vector<double> &samples)
+{
+    if (samples.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double v : samples)
+        s += v;
+    return s / static_cast<double>(samples.size());
+}
+
+double
+medianOf(const std::vector<double> &samples)
+{
+    return percentile(samples, 50.0);
+}
+
+} // namespace gpubox

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Streaming statistics and percentile helpers for latency analysis.
+ */
+
+#ifndef GPUBOX_UTIL_STATS_HH
+#define GPUBOX_UTIL_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace gpubox
+{
+
+/**
+ * Welford-style running mean/variance tracker with min/max.
+ * O(1) memory regardless of sample count.
+ */
+class RunningStats
+{
+  public:
+    void add(double x);
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    /** Sample variance (n-1 denominator). */
+    double variance() const;
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+    /** Merge another tracker into this one. */
+    void merge(const RunningStats &other);
+
+    void reset();
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Linear-interpolated percentile of a sample vector.
+ * @param samples values (copied and sorted internally)
+ * @param p percentile in [0, 100]
+ */
+double percentile(std::vector<double> samples, double p);
+
+/** Arithmetic mean of a vector (0 for empty input). */
+double meanOf(const std::vector<double> &samples);
+
+/** Median convenience wrapper around percentile(). */
+double medianOf(const std::vector<double> &samples);
+
+} // namespace gpubox
+
+#endif // GPUBOX_UTIL_STATS_HH

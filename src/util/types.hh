@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the gpubox library.
+ */
+
+#ifndef GPUBOX_UTIL_TYPES_HH
+#define GPUBOX_UTIL_TYPES_HH
+
+#include <cstdint>
+
+namespace gpubox
+{
+
+/** Simulated GPU clock cycles. All latencies and timestamps use this. */
+using Cycles = std::uint64_t;
+
+/** Virtual address within a process' unified address space. */
+using VAddr = std::uint64_t;
+
+/** Physical address; encodes owning GPU, frame number and page offset. */
+using PAddr = std::uint64_t;
+
+/** Index of a GPU device within the box (0..numGpus-1). */
+using GpuId = int;
+
+/** Index of a streaming multiprocessor within a GPU. */
+using SmId = int;
+
+/** Index of a cache set. */
+using SetIndex = std::uint32_t;
+
+} // namespace gpubox
+
+#endif // GPUBOX_UTIL_TYPES_HH

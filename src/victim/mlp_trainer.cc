@@ -1,0 +1,101 @@
+#include "victim/mlp_trainer.hh"
+
+#include "util/bitops.hh"
+
+namespace gpubox::victim
+{
+
+namespace
+{
+constexpr std::uint32_t kTrainerBlocks = 16;
+}
+
+MlpTrainer::MlpTrainer(rt::Runtime &rt, rt::Process &proc, GpuId gpu,
+                       const MlpConfig &config)
+    : rt_(rt), proc_(proc), gpu_(gpu), config_(config),
+      line_(rt.config().device.l2.lineBytes)
+{
+    const auto lines_for = [&](std::uint64_t floats) {
+        return divCeil(floats * 4, line_);
+    };
+    xLines_ = lines_for(static_cast<std::uint64_t>(config.batchSize) *
+                        config.inputDim);
+    w1Lines_ = lines_for(static_cast<std::uint64_t>(config.inputDim) *
+                         config.hiddenNeurons);
+    hLines_ = lines_for(static_cast<std::uint64_t>(config.batchSize) *
+                        config.hiddenNeurons);
+    w2Lines_ = lines_for(static_cast<std::uint64_t>(config.hiddenNeurons) *
+                         config.outputDim);
+    yLines_ = lines_for(static_cast<std::uint64_t>(config.batchSize) *
+                        config.outputDim);
+
+    x_ = rt_.deviceMalloc(proc_, gpu_, xLines_ * line_);
+    w1_ = rt_.deviceMalloc(proc_, gpu_, w1Lines_ * line_);
+    h_ = rt_.deviceMalloc(proc_, gpu_, hLines_ * line_);
+    w2_ = rt_.deviceMalloc(proc_, gpu_, w2Lines_ * line_);
+    y_ = rt_.deviceMalloc(proc_, gpu_, yLines_ * line_);
+}
+
+MlpTrainer::~MlpTrainer()
+{
+    for (VAddr b : {x_, w1_, h_, w2_, y_})
+        rt_.deviceFree(proc_, b);
+}
+
+rt::KernelHandle
+MlpTrainer::launch()
+{
+    gpu::KernelConfig cfg;
+    cfg.name = "victim-mlp";
+    cfg.numBlocks = kTrainerBlocks;
+    cfg.threadsPerBlock = 256;
+    return rt_.launch(proc_, gpu_, cfg,
+                      [this](rt::BlockCtx &ctx) { return body(ctx); });
+}
+
+sim::Task
+MlpTrainer::body(rt::BlockCtx &ctx)
+{
+    const std::uint32_t bid = ctx.blockIdx();
+    co_await sim::Delay{config_.startDelayCycles};
+
+    for (unsigned e = 0; e < config_.epochs; ++e) {
+        for (unsigned b = 0; b < config_.batchesPerEpoch; ++b) {
+            // Forward: H = relu(X * W1); Y = softmax(H * W2).
+            for (std::uint64_t i = bid; i < xLines_; i += kTrainerBlocks)
+                co_await ctx.ld32(x_ + i * line_);
+            for (std::uint64_t i = bid; i < w1Lines_; i += kTrainerBlocks)
+                co_await ctx.ld32(w1_ + i * line_);
+            for (std::uint64_t i = bid; i < hLines_; i += kTrainerBlocks)
+                co_await ctx.st32(h_ + i * line_, 0);
+            for (std::uint64_t i = bid; i < w2Lines_; i += kTrainerBlocks)
+                co_await ctx.ld32(w2_ + i * line_);
+            for (std::uint64_t i = bid; i < yLines_; i += kTrainerBlocks)
+                co_await ctx.st32(y_ + i * line_, 0);
+            co_await ctx.compute(64);
+
+            // Backward: gradients stream both weight matrices again
+            // (read + update write).
+            for (std::uint64_t i = bid; i < yLines_; i += kTrainerBlocks)
+                co_await ctx.ld32(y_ + i * line_);
+            for (std::uint64_t i = bid; i < w2Lines_; i += kTrainerBlocks) {
+                co_await ctx.ld32(w2_ + i * line_);
+                co_await ctx.st32(w2_ + i * line_, 0);
+            }
+            for (std::uint64_t i = bid; i < hLines_; i += kTrainerBlocks)
+                co_await ctx.ld32(h_ + i * line_);
+            for (std::uint64_t i = bid; i < w1Lines_; i += kTrainerBlocks) {
+                co_await ctx.ld32(w1_ + i * line_);
+                co_await ctx.st32(w1_ + i * line_, 0);
+            }
+            co_await ctx.compute(64);
+        }
+        // Inter-epoch host synchronization / evaluation gap: the
+        // quiet stripe that makes epochs countable in Fig. 15.
+        if (e + 1 < config_.epochs)
+            co_await ctx.compute(config_.interEpochGapCycles /
+                                 rt_.timing().aluCyclesPerOp);
+    }
+}
+
+} // namespace gpubox::victim

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * MLP training victim (paper Sec. V-B).
+ *
+ * The paper's victim is a PyTorch MLP with one hidden layer training
+ * on MNIST; the attack infers the hidden-layer width from the
+ * intensity of L2 misses (Table II, Fig. 13) and the epoch count from
+ * the temporal structure of the memorygram (Fig. 15). This victim
+ * performs the real data movement of minibatch SGD -- streaming the
+ * input batch and both weight matrices forward and backward through
+ * the simulated memory hierarchy -- so the miss volume scales with the
+ * hidden width and the inter-epoch synchronization gap is visible.
+ */
+
+#ifndef GPUBOX_VICTIM_MLP_TRAINER_HH
+#define GPUBOX_VICTIM_MLP_TRAINER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "rt/runtime.hh"
+
+namespace gpubox::victim
+{
+
+/** Hyperparameters of the MLP victim. */
+struct MlpConfig
+{
+    unsigned inputDim = 196;  // 14x14 downsampled MNIST
+    unsigned hiddenNeurons = 128;
+    unsigned outputDim = 10;
+    unsigned batchSize = 16;
+    unsigned batchesPerEpoch = 4;
+    unsigned epochs = 1;
+    /** Host-side evaluation/sync gap between epochs, in cycles. */
+    Cycles interEpochGapCycles = 60000;
+    /** Cycles the kernel idles before training starts. */
+    Cycles startDelayCycles = 0;
+};
+
+/** Launches the training loop on one GPU. */
+class MlpTrainer
+{
+  public:
+    MlpTrainer(rt::Runtime &rt, rt::Process &proc, GpuId gpu,
+               const MlpConfig &config);
+    ~MlpTrainer();
+
+    MlpTrainer(const MlpTrainer &) = delete;
+    MlpTrainer &operator=(const MlpTrainer &) = delete;
+
+    rt::KernelHandle launch();
+
+    const MlpConfig &config() const { return config_; }
+
+  private:
+    sim::Task body(rt::BlockCtx &ctx);
+
+    rt::Runtime &rt_;
+    rt::Process &proc_;
+    GpuId gpu_;
+    MlpConfig config_;
+    std::uint32_t line_;
+
+    VAddr x_ = 0;  // input batch
+    VAddr w1_ = 0; // inputDim x hidden
+    VAddr h_ = 0;  // batch x hidden activations
+    VAddr w2_ = 0; // hidden x outputDim
+    VAddr y_ = 0;  // batch x outputDim
+    std::uint64_t xLines_ = 0;
+    std::uint64_t w1Lines_ = 0;
+    std::uint64_t hLines_ = 0;
+    std::uint64_t w2Lines_ = 0;
+    std::uint64_t yLines_ = 0;
+};
+
+} // namespace gpubox::victim
+
+#endif // GPUBOX_VICTIM_MLP_TRAINER_HH

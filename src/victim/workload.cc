@@ -1,0 +1,361 @@
+#include "victim/workload.hh"
+
+#include <algorithm>
+
+#include "util/bitops.hh"
+#include "util/log.hh"
+#include "util/rng.hh"
+
+namespace gpubox::victim
+{
+
+namespace
+{
+
+/** Victim kernels use a modest grid; 4 blocks split the work. */
+constexpr std::uint32_t kVictimBlocks = 4;
+
+std::uint64_t
+scaled(double scale, std::uint64_t lines)
+{
+    const auto v = static_cast<std::uint64_t>(scale *
+                                              static_cast<double>(lines));
+    return v < 8 ? 8 : v;
+}
+
+} // namespace
+
+const std::vector<AppKind> &
+allAppKinds()
+{
+    static const std::vector<AppKind> kinds = {
+        AppKind::BLACK_SCHOLES,  AppKind::HISTOGRAM,
+        AppKind::MATRIX_MUL,     AppKind::QUASI_RANDOM,
+        AppKind::VECTOR_ADD,     AppKind::WALSH_TRANSFORM,
+    };
+    return kinds;
+}
+
+std::string
+appShortName(AppKind kind)
+{
+    switch (kind) {
+      case AppKind::VECTOR_ADD:
+        return "VA";
+      case AppKind::HISTOGRAM:
+        return "HG";
+      case AppKind::BLACK_SCHOLES:
+        return "BS";
+      case AppKind::MATRIX_MUL:
+        return "MM";
+      case AppKind::QUASI_RANDOM:
+        return "QR";
+      case AppKind::WALSH_TRANSFORM:
+        return "WT";
+    }
+    return "??";
+}
+
+std::string
+appName(AppKind kind)
+{
+    switch (kind) {
+      case AppKind::VECTOR_ADD:
+        return "Vector Addition";
+      case AppKind::HISTOGRAM:
+        return "Histogram";
+      case AppKind::BLACK_SCHOLES:
+        return "Black Scholes";
+      case AppKind::MATRIX_MUL:
+        return "Matrix Multiplication";
+      case AppKind::QUASI_RANDOM:
+        return "Quasi Random Generator";
+      case AppKind::WALSH_TRANSFORM:
+        return "Walsh Transform";
+    }
+    return "Unknown";
+}
+
+Workload::Workload(rt::Runtime &rt, rt::Process &proc, GpuId gpu,
+                   AppKind kind, const WorkloadConfig &config)
+    : rt_(rt), proc_(proc), gpu_(gpu), kind_(kind), config_(config),
+      line_(rt.config().device.l2.lineBytes)
+{
+    // All buffers are allocated host-side (cudaMalloc happens before
+    // the kernel launch) and shared by every thread block.
+    const double s = config_.scale;
+    switch (kind_) {
+      case AppKind::VECTOR_ADD:
+        // a, b, c streams.
+        n_ = scaled(s, 1500);
+        for (int i = 0; i < 3; ++i)
+            alloc(n_ * line_);
+        break;
+      case AppKind::HISTOGRAM:
+        // data stream + hot 8-line bin table.
+        n_ = scaled(s, 4000);
+        alloc(n_ * line_);
+        alloc(8 * line_);
+        break;
+      case AppKind::BLACK_SCHOLES:
+        // price/strike/years in, call/put out.
+        n_ = scaled(s, 900);
+        for (int i = 0; i < 5; ++i)
+            alloc(n_ * line_);
+        break;
+      case AppKind::MATRIX_MUL: {
+        // A, B, C square f32 matrices; the dimension is clamped to a
+        // whole number of 32x32 tiles.
+        n_ = scaled(s, 128); // matrix dimension
+        n_ = std::max<std::uint64_t>(32, (n_ / 32) * 32);
+        const std::uint64_t lines_per_row = divCeil(n_ * 4, line_);
+        for (int i = 0; i < 3; ++i)
+            alloc(n_ * lines_per_row * line_);
+        break;
+      }
+      case AppKind::QUASI_RANDOM:
+        // direction-vector table + scattered output.
+        n_ = 2048; // power of two for bit reversal
+        alloc(32 * line_);
+        alloc(n_ * line_);
+        break;
+      case AppKind::WALSH_TRANSFORM:
+        n_ = 1024; // lines; power of two
+        alloc(n_ * line_);
+        break;
+    }
+}
+
+Workload::~Workload()
+{
+    for (VAddr b : buffers_)
+        rt_.deviceFree(proc_, b);
+}
+
+VAddr
+Workload::alloc(std::uint64_t bytes)
+{
+    const VAddr b = rt_.deviceMalloc(proc_, gpu_, bytes);
+    buffers_.push_back(b);
+    return b;
+}
+
+rt::KernelHandle
+Workload::launch()
+{
+    gpu::KernelConfig cfg;
+    cfg.name = "victim-" + appShortName(kind_);
+    cfg.numBlocks = kVictimBlocks;
+    cfg.threadsPerBlock = 256;
+    cfg.sharedMemBytes = config_.sharedMemBytes;
+    auto body = [this](rt::BlockCtx &ctx) { return this->body(ctx); };
+    return rt_.launch(proc_, gpu_, cfg, body);
+}
+
+sim::Task
+Workload::body(rt::BlockCtx &ctx)
+{
+    switch (kind_) {
+      case AppKind::VECTOR_ADD:
+        return vectorAdd(ctx);
+      case AppKind::HISTOGRAM:
+        return histogram(ctx);
+      case AppKind::BLACK_SCHOLES:
+        return blackScholes(ctx);
+      case AppKind::MATRIX_MUL:
+        return matrixMul(ctx);
+      case AppKind::QUASI_RANDOM:
+        return quasiRandom(ctx);
+      case AppKind::WALSH_TRANSFORM:
+        return walshTransform(ctx);
+    }
+    fatal("unknown workload kind");
+}
+
+/*
+ * vectoradd: three equally sized streams, read a[i], read b[i], write
+ * c[i] -- a pure streaming kernel with a flat, dense miss front.
+ */
+sim::Task
+Workload::vectorAdd(rt::BlockCtx &ctx)
+{
+    co_await sim::Delay{config_.startDelayCycles};
+    const VAddr a = buffers_[0];
+    const VAddr b = buffers_[1];
+    const VAddr c = buffers_[2];
+    const std::uint32_t bid = ctx.blockIdx();
+
+    for (unsigned it = 0; it < config_.iterations; ++it) {
+        for (std::uint64_t i = bid; i < n_; i += kVictimBlocks) {
+            co_await ctx.ld32(a + i * line_);
+            co_await ctx.ld32(b + i * line_);
+            co_await ctx.compute(2);
+            co_await ctx.st32(c + i * line_, 0);
+        }
+    }
+}
+
+/*
+ * histogram: a large input stream plus a tiny, extremely hot bin
+ * table -- dense stream misses with a persistent hot stripe.
+ */
+sim::Task
+Workload::histogram(rt::BlockCtx &ctx)
+{
+    co_await sim::Delay{config_.startDelayCycles};
+    const VAddr data = buffers_[0];
+    const VAddr table = buffers_[1];
+    const std::uint64_t bins = 8;
+    const std::uint32_t bid = ctx.blockIdx();
+    Rng rng(config_.seed ^ (0x4857ULL + bid));
+
+    for (unsigned it = 0; it < config_.iterations; ++it) {
+        for (std::uint64_t i = bid; i < n_; i += kVictimBlocks) {
+            const std::uint64_t v = co_await ctx.ld32(data + i * line_);
+            co_await ctx.compute(1);
+            const std::uint64_t bin = (v + rng.uniform(bins)) % bins;
+            co_await ctx.ld32(table + bin * line_);
+            co_await ctx.st32(table + bin * line_, 0);
+        }
+    }
+}
+
+/*
+ * blackscholes: three input streams, two output streams, and a heavy
+ * per-element transcendental computation -- a slow, sparse miss front
+ * compared to vectoradd.
+ */
+sim::Task
+Workload::blackScholes(rt::BlockCtx &ctx)
+{
+    co_await sim::Delay{config_.startDelayCycles};
+    const VAddr price = buffers_[0];
+    const VAddr strike = buffers_[1];
+    const VAddr years = buffers_[2];
+    const VAddr call = buffers_[3];
+    const VAddr put = buffers_[4];
+    const std::uint32_t bid = ctx.blockIdx();
+
+    for (unsigned it = 0; it < config_.iterations; ++it) {
+        for (std::uint64_t i = bid; i < n_; i += kVictimBlocks) {
+            co_await ctx.ld32(price + i * line_);
+            co_await ctx.ld32(strike + i * line_);
+            co_await ctx.ld32(years + i * line_);
+            co_await ctx.compute(60); // CND evaluation dominates
+            co_await ctx.st32(call + i * line_, 0);
+            co_await ctx.st32(put + i * line_, 0);
+        }
+    }
+}
+
+/*
+ * matrixMul: tiled GEMM. Tiles of A and B are re-read once per tile
+ * product, giving strong temporal reuse: bands of hits punctuated by
+ * tile-boundary miss bursts.
+ */
+sim::Task
+Workload::matrixMul(rt::BlockCtx &ctx)
+{
+    co_await sim::Delay{config_.startDelayCycles};
+    const VAddr a = buffers_[0];
+    const VAddr b = buffers_[1];
+    const VAddr c = buffers_[2];
+    const std::uint64_t dim = n_;
+    const std::uint64_t floats_per_line = line_ / 4;
+    const std::uint64_t lines_per_row = divCeil(dim * 4, line_);
+    const std::uint64_t tile = 32;
+    const std::uint64_t grid = dim / tile;
+    const std::uint32_t bid = ctx.blockIdx();
+
+    auto tile_lines = [&](VAddr m, std::uint64_t tr,
+                          std::uint64_t tc) -> std::vector<VAddr> {
+        std::vector<VAddr> lines;
+        for (std::uint64_t r = 0; r < tile; ++r) {
+            const std::uint64_t row = tr * tile + r;
+            for (std::uint64_t col = tc * tile; col < (tc + 1) * tile;
+                 col += floats_per_line) {
+                lines.push_back(m + (row * lines_per_row +
+                                     col / floats_per_line) * line_);
+            }
+        }
+        return lines;
+    };
+
+    for (unsigned it = 0; it < config_.iterations; ++it) {
+        // Each block owns a stripe of C-tile rows.
+        for (std::uint64_t tr = bid; tr < grid; tr += kVictimBlocks) {
+            for (std::uint64_t tc = 0; tc < grid; ++tc) {
+                for (std::uint64_t tk = 0; tk < grid; ++tk) {
+                    for (VAddr v : tile_lines(a, tr, tk))
+                        co_await ctx.ld32(v);
+                    for (VAddr v : tile_lines(b, tk, tc))
+                        co_await ctx.ld32(v);
+                    co_await ctx.compute(32);
+                }
+                for (VAddr v : tile_lines(c, tr, tc))
+                    co_await ctx.st32(v, 0);
+            }
+        }
+    }
+}
+
+/*
+ * quasiRandom: Sobol-like generator -- reads a small direction-vector
+ * table and writes the output with a bit-reversed (scattered) index,
+ * painting the cache in a shuffled order rather than a front.
+ */
+sim::Task
+Workload::quasiRandom(rt::BlockCtx &ctx)
+{
+    co_await sim::Delay{config_.startDelayCycles};
+    const VAddr dirvec = buffers_[0];
+    const VAddr out = buffers_[1];
+    const unsigned bits = floorLog2(n_);
+    const std::uint32_t bid = ctx.blockIdx();
+
+    auto bitrev = [bits](std::uint64_t x) {
+        std::uint64_t r = 0;
+        for (unsigned i = 0; i < bits; ++i)
+            r |= ((x >> i) & 1) << (bits - 1 - i);
+        return r;
+    };
+
+    for (unsigned it = 0; it < config_.iterations; ++it) {
+        for (std::uint64_t i = bid; i < n_; i += kVictimBlocks) {
+            co_await ctx.ld32(dirvec + (i % 32) * line_);
+            co_await ctx.compute(3);
+            co_await ctx.st32(out + bitrev(i) * line_, 0);
+        }
+    }
+}
+
+/*
+ * walshTransform: in-place butterfly passes with doubling stride --
+ * a banded, phase-structured pattern unlike any of the streaming apps.
+ */
+sim::Task
+Workload::walshTransform(rt::BlockCtx &ctx)
+{
+    co_await sim::Delay{config_.startDelayCycles};
+    const VAddr data = buffers_[0];
+    const unsigned passes = 4;
+    const std::uint32_t bid = ctx.blockIdx();
+
+    for (unsigned it = 0; it < config_.iterations; ++it) {
+        for (unsigned p = 0; p < passes; ++p) {
+            const std::uint64_t stride = 1ULL << p;
+            for (std::uint64_t i = bid; i < n_; i += kVictimBlocks) {
+                if (i & stride)
+                    continue; // only the lower element of each pair
+                const std::uint64_t j = i | stride;
+                co_await ctx.ld32(data + i * line_);
+                co_await ctx.ld32(data + j * line_);
+                co_await ctx.compute(2);
+                co_await ctx.st32(data + i * line_, 0);
+                co_await ctx.st32(data + j * line_, 0);
+            }
+        }
+    }
+}
+
+} // namespace gpubox::victim

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Victim HPC workloads (paper Sec. V-A).
+ *
+ * The six applications the paper fingerprints are taken from the CUDA
+ * samples: vectoradd, histogram, blackscholes, matrix multiplication,
+ * quasirandom and walsh transform. What the remote side channel
+ * observes is each app's pattern of L2 set misses over time (the
+ * memorygram), so these implementations are faithful *access pattern*
+ * generators: buffer sizes, spatial strides, reuse structure, phase
+ * behaviour and compute/memory ratio all follow the originals, while
+ * the arithmetic itself is summarized as ALU delay.
+ */
+
+#ifndef GPUBOX_VICTIM_WORKLOAD_HH
+#define GPUBOX_VICTIM_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rt/runtime.hh"
+
+namespace gpubox::victim
+{
+
+/** The six fingerprinting targets. */
+enum class AppKind
+{
+    VECTOR_ADD,
+    HISTOGRAM,
+    BLACK_SCHOLES,
+    MATRIX_MUL,
+    QUASI_RANDOM,
+    WALSH_TRANSFORM,
+};
+
+/** All kinds, in confusion-matrix order (BS, HG, MM, QR, VA, WT). */
+const std::vector<AppKind> &allAppKinds();
+
+/** Short display name ("BS", "HG", ...). */
+std::string appShortName(AppKind kind);
+
+/** Full display name ("Black Scholes", ...). */
+std::string appName(AppKind kind);
+
+/** Per-run knobs. */
+struct WorkloadConfig
+{
+    /** Working-set scale factor (1.0 = paper-like footprint). */
+    double scale = 1.0;
+    /** Seed for data-dependent accesses (histogram bins etc.). */
+    std::uint64_t seed = 1;
+    /** Outer repetitions of the app's main phase. */
+    unsigned iterations = 1;
+    /** Cycles the kernel idles before starting (lets a prober spin
+     *  up first in side-channel experiments). */
+    Cycles startDelayCycles = 0;
+    /**
+     * Static shared memory per block. Real CUDA-sample kernels
+     * reserve shared memory; the Sec. VI noise-mitigation experiment
+     * relies on it for SM-occupancy blocking.
+     */
+    std::uint32_t sharedMemBytes = 0;
+};
+
+/**
+ * A victim application instance: owns its device buffers and launches
+ * its kernel on one GPU. All accesses go through the simulated memory
+ * hierarchy and thus leave the L2 footprint the attacker observes.
+ */
+class Workload
+{
+  public:
+    Workload(rt::Runtime &rt, rt::Process &proc, GpuId gpu, AppKind kind,
+             const WorkloadConfig &config = WorkloadConfig());
+    ~Workload();
+
+    Workload(const Workload &) = delete;
+    Workload &operator=(const Workload &) = delete;
+
+    /** Launch the victim kernel (asynchronous; drive the engine). */
+    rt::KernelHandle launch();
+
+    AppKind kind() const { return kind_; }
+
+  private:
+    sim::Task body(rt::BlockCtx &ctx);
+
+    sim::Task vectorAdd(rt::BlockCtx &ctx);
+    sim::Task histogram(rt::BlockCtx &ctx);
+    sim::Task blackScholes(rt::BlockCtx &ctx);
+    sim::Task matrixMul(rt::BlockCtx &ctx);
+    sim::Task quasiRandom(rt::BlockCtx &ctx);
+    sim::Task walshTransform(rt::BlockCtx &ctx);
+
+    /** Allocate a buffer of @p bytes on the victim GPU. */
+    VAddr alloc(std::uint64_t bytes);
+
+    rt::Runtime &rt_;
+    rt::Process &proc_;
+    GpuId gpu_;
+    AppKind kind_;
+    WorkloadConfig config_;
+    std::uint32_t line_;
+    std::uint64_t n_ = 0; // kind-specific problem size
+    std::vector<VAddr> buffers_;
+};
+
+} // namespace gpubox::victim
+
+#endif // GPUBOX_VICTIM_WORKLOAD_HH

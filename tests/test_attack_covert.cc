@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Tests for the cross-GPU covert channel: set alignment (Algorithm 2),
+ * bit and message transmission, multi-set parallelism, trace levels.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attack/covert/channel.hh"
+#include "attack/evset_finder.hh"
+#include "attack/set_aligner.hh"
+#include "attack/timing_oracle.hh"
+#include "rt/runtime.hh"
+#include "test_common.hh"
+#include "util/log.hh"
+
+namespace gpubox::attack
+{
+namespace
+{
+
+using covert::ChannelConfig;
+using covert::ChannelStats;
+using covert::CovertChannel;
+using test::smallConfig;
+
+/**
+ * Expensive shared fixture: calibration, both finders, alignment.
+ * Trojan on GPU 0 (owns the memory), spy on GPU 1.
+ */
+class CovertFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        setLogEnabled(false);
+        rt_ = new rt::Runtime(smallConfig(777));
+        trojan_ = &rt_->createProcess("trojan");
+        spy_ = &rt_->createProcess("spy");
+
+        TimingOracle oracle(*rt_, *spy_);
+        calib_ = new CalibrationResult(oracle.calibrate(1, 0, 32, 6));
+
+        // Trojan finds sets locally over its buffer on GPU 0; the spy
+        // finds sets remotely over its own buffer, also on GPU 0.
+        tf_ = new EvictionSetFinder(*rt_, *trojan_, 0, 0,
+                                    calib_->thresholds);
+        tf_->run();
+        sf_ = new EvictionSetFinder(*rt_, *spy_, 1, 0,
+                                    calib_->thresholds);
+        sf_->run();
+
+        aligner_ = new SetAligner(*rt_, *trojan_, *spy_, 0, 1,
+                                  calib_->thresholds);
+        mapping_ = new std::vector<int>(
+            aligner_->alignGroups(*tf_, *sf_));
+        setLogEnabled(true);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete mapping_;
+        delete aligner_;
+        delete sf_;
+        delete tf_;
+        delete calib_;
+        delete rt_;
+        rt_ = nullptr;
+    }
+
+    CovertChannel
+    makeChannel(unsigned sets, const ChannelConfig &cfg = ChannelConfig())
+    {
+        auto pairs = aligner_->alignedPairs(*tf_, *sf_, *mapping_, sets);
+        return CovertChannel(*rt_, *trojan_, *spy_, 0, 1,
+                             std::move(pairs), calib_->thresholds, cfg);
+    }
+
+    void
+    SetUp() override
+    {
+        ASSERT_NE(rt_, nullptr) << "fixture setup failed earlier";
+    }
+
+    static rt::Runtime *rt_;
+    static rt::Process *trojan_;
+    static rt::Process *spy_;
+    static CalibrationResult *calib_;
+    static EvictionSetFinder *tf_;
+    static EvictionSetFinder *sf_;
+    static SetAligner *aligner_;
+    static std::vector<int> *mapping_;
+};
+
+rt::Runtime *CovertFixture::rt_ = nullptr;
+rt::Process *CovertFixture::trojan_ = nullptr;
+rt::Process *CovertFixture::spy_ = nullptr;
+CalibrationResult *CovertFixture::calib_ = nullptr;
+EvictionSetFinder *CovertFixture::tf_ = nullptr;
+EvictionSetFinder *CovertFixture::sf_ = nullptr;
+SetAligner *CovertFixture::aligner_ = nullptr;
+std::vector<int> *CovertFixture::mapping_ = nullptr;
+
+TEST_F(CovertFixture, AlignmentMatchesEveryGroup)
+{
+    ASSERT_EQ(mapping_->size(), tf_->numGroups());
+    std::set<int> used;
+    for (int sg : *mapping_) {
+        EXPECT_GE(sg, 0) << "unmatched trojan group";
+        EXPECT_TRUE(used.insert(sg).second) << "spy group matched twice";
+    }
+}
+
+TEST_F(CovertFixture, AlignmentIsPhysicallyCorrect)
+{
+    // Ground truth: matched (trojan, spy) group pairs map to the same
+    // physical set window.
+    for (std::size_t tg = 0; tg < mapping_->size(); ++tg) {
+        const int sg = (*mapping_)[tg];
+        ASSERT_GE(sg, 0);
+        const auto tset = tf_->evictionSet(tg, 0);
+        const auto sset = sf_->evictionSet(sg, 0);
+        EXPECT_EQ(rt_->l2SetOf(*trojan_, tset.lines[0]),
+                  rt_->l2SetOf(*spy_, sset.lines[0]));
+    }
+}
+
+TEST_F(CovertFixture, TestPairDistinguishesMatchFromMismatch)
+{
+    const auto t0 = tf_->evictionSet(0, 1);
+    const int sg = (*mapping_)[0];
+    const auto matched = sf_->evictionSet(sg, 1);
+    const auto unmatched = sf_->evictionSet(sg, 2);
+
+    auto run_m = aligner_->testPair(t0, matched);
+    auto run_u = aligner_->testPair(t0, unmatched);
+    EXPECT_TRUE(run_m.matched);
+    EXPECT_FALSE(run_u.matched);
+    EXPECT_GT(run_m.avgProbeCycles, run_u.avgProbeCycles + 100);
+}
+
+TEST_F(CovertFixture, AlignedPairsAreOnDistinctSets)
+{
+    auto pairs = aligner_->alignedPairs(*tf_, *sf_, *mapping_, 8);
+    ASSERT_EQ(pairs.size(), 8u);
+    std::set<SetIndex> sets;
+    for (const auto &[t, s] : pairs) {
+        EXPECT_EQ(rt_->l2SetOf(*trojan_, t.lines[0]),
+                  rt_->l2SetOf(*spy_, s.lines[0]));
+        sets.insert(rt_->l2SetOf(*trojan_, t.lines[0]));
+    }
+    EXPECT_EQ(sets.size(), 8u);
+}
+
+TEST_F(CovertFixture, SingleSetTransmissionIsReliable)
+{
+    CovertChannel channel = makeChannel(1);
+    std::vector<std::uint8_t> bits;
+    Rng rng(101);
+    for (int i = 0; i < 256; ++i)
+        bits.push_back(rng.chance(0.5) ? 1 : 0);
+
+    std::vector<std::uint8_t> rx;
+    ChannelStats stats = channel.transmit(bits, rx);
+    EXPECT_EQ(stats.bitsSent, 256u);
+    EXPECT_LE(stats.errorRate, 0.02);
+    EXPECT_GT(stats.bandwidthMbitPerSec, 0.1);
+}
+
+TEST_F(CovertFixture, MessageRoundtrip)
+{
+    CovertChannel channel = makeChannel(2);
+    std::string decoded;
+    ChannelStats stats =
+        channel.transmitMessage("Hello! How are you? ", decoded);
+    EXPECT_LE(stats.errorRate, 0.05);
+    // Allow a few bit flips but the text must be mostly intact.
+    ASSERT_EQ(decoded.size(), 20u);
+    int same = 0;
+    const std::string sent = "Hello! How are you? ";
+    for (std::size_t i = 0; i < sent.size(); ++i)
+        if (decoded[i] == sent[i])
+            ++same;
+    EXPECT_GE(same, 18);
+}
+
+TEST_F(CovertFixture, TraceLevelsSeparateZeroAndOne)
+{
+    CovertChannel channel = makeChannel(1);
+    // Alternating bits: trace must alternate between the hit level
+    // (~630 cy) and the miss level (~950 cy), paper Fig. 10.
+    std::vector<std::uint8_t> bits;
+    for (int i = 0; i < 64; ++i)
+        bits.push_back(i % 2);
+    std::vector<std::uint8_t> rx;
+    ChannelStats stats = channel.transmit(bits, rx);
+    ASSERT_EQ(stats.probeTraceSet0.size(), 64u);
+    double zero_avg = 0, one_avg = 0;
+    for (int i = 0; i < 64; ++i)
+        (i % 2 ? one_avg : zero_avg) += stats.probeTraceSet0[i];
+    zero_avg /= 32;
+    one_avg /= 32;
+    EXPECT_NEAR(zero_avg, 630, 120);
+    EXPECT_NEAR(one_avg, 950, 120);
+    EXPECT_GT(one_avg, zero_avg + 150);
+}
+
+TEST_F(CovertFixture, MoreSetsIncreaseBandwidth)
+{
+    std::vector<std::uint8_t> bits(512, 1);
+    for (std::size_t i = 0; i < bits.size(); i += 3)
+        bits[i] = 0;
+
+    std::vector<std::uint8_t> rx;
+    CovertChannel c1 = makeChannel(1);
+    CovertChannel c4 = makeChannel(4);
+    const double bw1 = c1.transmit(bits, rx).bandwidthMbitPerSec;
+    const double bw4 = c4.transmit(bits, rx).bandwidthMbitPerSec;
+    EXPECT_GT(bw4, 3.0 * bw1);
+}
+
+TEST_F(CovertFixture, BitPackingRoundtrip)
+{
+    const std::string msg = "gpubox\x01\xff";
+    auto bits = CovertChannel::toBits(msg);
+    EXPECT_EQ(bits.size(), msg.size() * 8);
+    EXPECT_EQ(CovertChannel::fromBits(bits), msg);
+}
+
+TEST_F(CovertFixture, EmptyPairsAreFatal)
+{
+    EXPECT_THROW(CovertChannel(*rt_, *trojan_, *spy_, 0, 1, {},
+                               calib_->thresholds),
+                 FatalError);
+}
+
+TEST_F(CovertFixture, TooManyPairsRequestedIsFatal)
+{
+    EXPECT_THROW(aligner_->alignedPairs(*tf_, *sf_, *mapping_, 100000),
+                 FatalError);
+}
+
+} // namespace
+} // namespace gpubox::attack

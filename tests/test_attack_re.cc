@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Tests for the reverse engineering stages: timing oracle (Fig. 4),
+ * eviction set finder (Algorithm 1), validator (Fig. 5), aliasing
+ * (Fig. 6) and the Table I reverse engineer. Results are checked
+ * against the simulator's ground-truth oracles (the indexer), which
+ * the attack code itself never consults.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "attack/evset_finder.hh"
+#include "attack/evset_validator.hh"
+#include "attack/reverse_engineer.hh"
+#include "attack/timing_oracle.hh"
+#include "rt/runtime.hh"
+#include "test_common.hh"
+#include "util/log.hh"
+
+namespace gpubox::attack
+{
+namespace
+{
+
+using test::smallConfig;
+
+/** Shared expensive fixture: calibrated box + finished local finder. */
+class ReFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        setLogEnabled(false);
+        rt_ = new rt::Runtime(smallConfig(1234));
+        proc_ = &rt_->createProcess("attacker");
+        TimingOracle oracle(*rt_, *proc_);
+        calib_ = new CalibrationResult(oracle.calibrate(0, 1, 32, 6));
+        finder_ = new EvictionSetFinder(*rt_, *proc_, 0, 0,
+                                        calib_->thresholds);
+        finder_->run();
+        setLogEnabled(true);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete finder_;
+        delete calib_;
+        delete rt_;
+        rt_ = nullptr;
+        proc_ = nullptr;
+        calib_ = nullptr;
+        finder_ = nullptr;
+    }
+
+    void
+    SetUp() override
+    {
+        ASSERT_NE(rt_, nullptr) << "fixture setup failed earlier";
+    }
+
+    static rt::Runtime *rt_;
+    static rt::Process *proc_;
+    static CalibrationResult *calib_;
+    static EvictionSetFinder *finder_;
+};
+
+rt::Runtime *ReFixture::rt_ = nullptr;
+rt::Process *ReFixture::proc_ = nullptr;
+CalibrationResult *ReFixture::calib_ = nullptr;
+EvictionSetFinder *ReFixture::finder_ = nullptr;
+
+TEST_F(ReFixture, OracleFindsFourOrderedClusters)
+{
+    const auto &c = calib_->clusters.centers;
+    ASSERT_EQ(c.size(), 4u);
+    EXPECT_LT(c[0], c[1]);
+    EXPECT_LT(c[1], c[2]);
+    EXPECT_LT(c[2], c[3]);
+    // Near the configured latencies (plus clock overhead).
+    EXPECT_NEAR(c[0], 278, 25);
+    EXPECT_NEAR(c[1], 458, 25);
+    EXPECT_NEAR(c[2], 638, 35);
+    EXPECT_NEAR(c[3], 958, 35);
+}
+
+TEST_F(ReFixture, OracleThresholdsClassifyCorrectly)
+{
+    const TimingThresholds &th = calib_->thresholds;
+    for (double t : calib_->localHitSamples)
+        EXPECT_FALSE(th.isLocalMiss(t));
+    for (double t : calib_->localMissSamples)
+        EXPECT_TRUE(th.isLocalMiss(t));
+    for (double t : calib_->remoteHitSamples)
+        EXPECT_FALSE(th.isRemoteMiss(t));
+    for (double t : calib_->remoteMissSamples)
+        EXPECT_TRUE(th.isRemoteMiss(t));
+}
+
+TEST_F(ReFixture, OracleRequiresNvlinkPeers)
+{
+    rt::SystemConfig cfg = smallConfig();
+    cfg.topology = noc::Topology::ring(4);
+    rt::Runtime rt(cfg);
+    rt::Process &p = rt.createProcess("a");
+    TimingOracle oracle(rt, p);
+    EXPECT_THROW(oracle.calibrate(0, 2, 8, 1), FatalError);
+}
+
+TEST_F(ReFixture, FinderDiscoversAssociativity)
+{
+    EXPECT_EQ(finder_->associativity(),
+              rt_->config().device.l2.ways);
+}
+
+TEST_F(ReFixture, FinderGroupsMatchTrueColors)
+{
+    // Every discovered group must be color-pure and the groups must
+    // partition the pool.
+    const auto &codec = rt_->codec();
+    const auto *indexer = dynamic_cast<const cache::HashedPageIndexer *>(
+        &rt_->l2Indexer());
+    ASSERT_NE(indexer, nullptr);
+
+    std::set<int> grouped;
+    for (const auto &group : finder_->groups()) {
+        ASSERT_GE(group.size(), finder_->associativity());
+        std::set<std::uint32_t> colors;
+        for (int page : group) {
+            EXPECT_TRUE(grouped.insert(page).second)
+                << "page in two groups";
+            const PAddr p =
+                proc_->space().translate(finder_->lineAddr(page, 0));
+            colors.insert(indexer->colorOf(codec.frameOf(p),
+                                           codec.gpuOf(p)));
+        }
+        EXPECT_EQ(colors.size(), 1u) << "group mixes page colors";
+    }
+}
+
+TEST_F(ReFixture, FinderGroupsAreComplete)
+{
+    // Every pool page whose color has >= associativity members must be
+    // grouped with ALL pool pages of its color.
+    const auto &codec = rt_->codec();
+    const auto *indexer = dynamic_cast<const cache::HashedPageIndexer *>(
+        &rt_->l2Indexer());
+    std::map<std::uint32_t, int> color_pop;
+    const int pool = 160;
+    for (int page = 0; page < pool; ++page) {
+        const PAddr p =
+            proc_->space().translate(finder_->lineAddr(page, 0));
+        ++color_pop[indexer->colorOf(codec.frameOf(p), codec.gpuOf(p))];
+    }
+    std::size_t expected_grouped = 0;
+    for (auto [color, pop] : color_pop) {
+        (void)color;
+        if (pop > static_cast<int>(finder_->associativity()))
+            expected_grouped += pop;
+    }
+    std::size_t grouped = 0;
+    for (const auto &g : finder_->groups())
+        grouped += g.size();
+    EXPECT_EQ(grouped, expected_grouped);
+}
+
+TEST_F(ReFixture, EvictionSetsMapToSamePhysicalSet)
+{
+    for (std::size_t g = 0; g < finder_->numGroups(); ++g) {
+        for (std::uint32_t offset : {0u, 7u, 31u}) {
+            const EvictionSet set = finder_->evictionSet(g, offset);
+            ASSERT_EQ(set.lines.size(), finder_->associativity());
+            std::set<SetIndex> sets;
+            for (VAddr v : set.lines)
+                sets.insert(rt_->l2SetOf(*proc_, v));
+            EXPECT_EQ(sets.size(), 1u);
+        }
+    }
+}
+
+TEST_F(ReFixture, CoveringSetsHitDistinctPhysicalSets)
+{
+    const auto sets = finder_->coveringSets();
+    std::set<SetIndex> phys;
+    for (const auto &s : sets)
+        phys.insert(rt_->l2SetOf(*proc_, s.lines[0]));
+    // Groups x linesPerPage distinct physical sets (128 in the small
+    // config = full coverage).
+    EXPECT_EQ(phys.size(), sets.size());
+    EXPECT_EQ(phys.size(), rt_->config().device.l2.numSets());
+}
+
+TEST_F(ReFixture, ValidatorSweepStepsAtAssociativity)
+{
+    const unsigned assoc = finder_->associativity();
+    EvictionSet set = finder_->evictionSet(0, 3, assoc + 9);
+    EvictionSetValidator validator(*rt_, *proc_, 0, 0,
+                                   calib_->thresholds);
+    ValidationSeries series = validator.sweep(set, assoc + 8);
+    for (std::size_t i = 0; i < series.linesAccessed.size(); ++i) {
+        const bool expect_miss = series.linesAccessed[i] >= assoc;
+        EXPECT_EQ(series.probeMissed[i], expect_miss)
+            << "n=" << series.linesAccessed[i];
+    }
+}
+
+TEST_F(ReFixture, ValidatorCyclicTraceShowsLruDeterminism)
+{
+    const unsigned assoc = finder_->associativity();
+    EvictionSet set = finder_->evictionSet(0, 5, assoc + 1);
+    EvictionSetValidator validator(*rt_, *proc_, 0, 0,
+                                   calib_->thresholds);
+
+    // k == assoc: after the first pass, everything hits.
+    auto trace_fit = validator.cyclicTrace(set, assoc, assoc * 4);
+    for (std::size_t i = assoc; i < trace_fit.size(); ++i)
+        EXPECT_FALSE(calib_->thresholds.isLocalMiss(trace_fit[i]))
+            << "i=" << i;
+
+    // k == assoc + 1: LRU thrashes; everything misses.
+    auto trace_thrash = validator.cyclicTrace(set, assoc + 1,
+                                              (assoc + 1) * 4);
+    for (std::size_t i = assoc + 1; i < trace_thrash.size(); ++i)
+        EXPECT_TRUE(calib_->thresholds.isLocalMiss(trace_thrash[i]))
+            << "i=" << i;
+}
+
+TEST_F(ReFixture, AliasTestDetectsSameSet)
+{
+    // Two eviction sets for the same (group, offset) but different
+    // pages alias; sets from different offsets do not.
+    const unsigned assoc = finder_->associativity();
+    const auto &group = finder_->groups()[0];
+    ASSERT_GE(group.size(), assoc + 1);
+
+    EvictionSet a = finder_->evictionSet(0, 2, assoc);
+    // Same physical set, shifted page selection.
+    EvictionSet b;
+    for (unsigned i = 1; i <= assoc; ++i)
+        b.lines.push_back(finder_->lineAddr(group[i], 2));
+    EvictionSet c = finder_->evictionSet(0, 3, assoc);
+
+    EXPECT_TRUE(finder_->aliasTest(a, b));
+    EXPECT_FALSE(finder_->aliasTest(a, c));
+}
+
+TEST_F(ReFixture, NaiveDiscoveryAliasesAcrossTargets)
+{
+    // Naive per-target discovery: two same-color targets yield
+    // aliasing eviction sets -- the Fig. 6 hazard.
+    const auto &group = finder_->groups()[0];
+    ASSERT_GE(group.size(), 2u);
+    EvictionSet s1 = finder_->naiveSetFor(group[0]);
+    EvictionSet s2 = finder_->naiveSetFor(group[1]);
+    ASSERT_EQ(s1.lines.size(), finder_->associativity());
+    EXPECT_TRUE(finder_->aliasTest(s1, s2));
+}
+
+TEST_F(ReFixture, ReverseEngineerRecoversTableOne)
+{
+    ReverseEngineer re(*rt_, *proc_, 0, calib_->thresholds);
+    setLogEnabled(false);
+    CacheArchReport report = re.run(*finder_);
+    setLogEnabled(true);
+
+    const auto &l2 = rt_->config().device.l2;
+    EXPECT_EQ(report.lineBytes, l2.lineBytes);
+    EXPECT_EQ(report.cacheBytes, l2.sizeBytes);
+    EXPECT_EQ(report.associativity, l2.ways);
+    EXPECT_EQ(report.numSets, l2.numSets());
+    EXPECT_EQ(report.replacementPolicy, "LRU");
+
+    const std::string table = report.toTable();
+    EXPECT_NE(table.find("Replacement Policy"), std::string::npos);
+    EXPECT_NE(table.find("LRU"), std::string::npos);
+}
+
+TEST_F(ReFixture, PolicyClassifier)
+{
+    EXPECT_EQ(ReverseEngineer::classifyPolicy({16, 16, 16, 16}, 16),
+              "LRU");
+    EXPECT_EQ(ReverseEngineer::classifyPolicy({15, 15, 15, 16}, 16),
+              "pseudo-LRU");
+    EXPECT_EQ(ReverseEngineer::classifyPolicy({4, 9, 16, 12, 7, 14}, 16),
+              "randomized");
+    EXPECT_EQ(ReverseEngineer::classifyPolicy({}, 16), "unknown");
+}
+
+TEST_F(ReFixture, RemoteFinderAgreesWithLocal)
+{
+    // The paper: "the address placement in the cache is independent of
+    // the GPU which the kernel is launched on". A finder probing the
+    // same GPU-0 memory from GPU 1 must see the same geometry.
+    setLogEnabled(false);
+    rt::Process &spy = rt_->createProcess("remote-spy");
+    EvictionSetFinder remote(*rt_, spy, 1, 0, calib_->thresholds);
+    remote.run();
+    setLogEnabled(true);
+    EXPECT_EQ(remote.associativity(), finder_->associativity());
+    EXPECT_EQ(remote.numGroups(), finder_->numGroups());
+}
+
+} // namespace
+} // namespace gpubox::attack

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Tests for the side channel: memorygram data structure, remote
+ * prober, application fingerprinting, MLP model extraction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attack/evset_finder.hh"
+#include "attack/side/fingerprint.hh"
+#include "attack/side/memorygram.hh"
+#include "attack/side/model_extract.hh"
+#include "attack/side/prober.hh"
+#include "attack/timing_oracle.hh"
+#include "rt/runtime.hh"
+#include "test_common.hh"
+#include "util/log.hh"
+#include "victim/workload.hh"
+
+namespace gpubox::attack::side
+{
+namespace
+{
+
+using test::smallConfig;
+
+TEST(MemorygramUnit, AccumulatesAndIgnoresOutOfRange)
+{
+    Memorygram g(4, 8);
+    g.addMiss(1, 2, 3);
+    g.addMiss(1, 2);
+    g.addProbe(1, 2);
+    g.addMiss(99, 0);  // silently dropped
+    g.addMiss(0, 99);  // silently dropped
+    EXPECT_DOUBLE_EQ(g.missAt(1, 2), 4.0);
+    EXPECT_EQ(g.probesAt(1, 2), 1u);
+    EXPECT_EQ(g.totalMisses(), 4u);
+    EXPECT_EQ(g.totalProbes(), 1u);
+    EXPECT_EQ(g.setMisses(1), 4u);
+    EXPECT_EQ(g.windowMisses(2), 4u);
+    EXPECT_DOUBLE_EQ(g.avgMissesPerSet(), 1.0);
+}
+
+TEST(MemorygramUnit, PooledFeaturesShape)
+{
+    Memorygram g(16, 32);
+    g.addMiss(0, 0, 8);
+    g.addMiss(15, 31, 4);
+    auto f = g.pooledFeatures(4, 4);
+    ASSERT_EQ(f.size(), 16u);
+    EXPECT_GT(f[0], 0.0);
+    EXPECT_GT(f[15], 0.0);
+    double sum = 0;
+    for (double v : f)
+        sum += v;
+    EXPECT_GT(sum, 0.0);
+}
+
+TEST(MemorygramUnit, DistanceAndRender)
+{
+    Memorygram a(2, 2), b(2, 2);
+    a.addMiss(0, 0, 3);
+    b.addMiss(1, 1, 4);
+    EXPECT_DOUBLE_EQ(Memorygram::distance(a, b), 5.0);
+    EXPECT_FALSE(a.render().empty());
+    Memorygram c(3, 2);
+    EXPECT_THROW(Memorygram::distance(a, c), FatalError);
+    EXPECT_THROW(Memorygram(0, 5), FatalError);
+}
+
+/** Shared fixture with a remote spy finder on the victim GPU. */
+class SideFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        setLogEnabled(false);
+        rt_ = new rt::Runtime(smallConfig(4242));
+        spy_ = &rt_->createProcess("spy");
+        victim_ = &rt_->createProcess("victim");
+
+        TimingOracle oracle(*rt_, *spy_);
+        calib_ = new CalibrationResult(oracle.calibrate(1, 0, 32, 6));
+        // Spy runs on GPU 1, monitors GPU 0's L2.
+        finder_ = new EvictionSetFinder(*rt_, *spy_, 1, 0,
+                                        calib_->thresholds);
+        finder_->run();
+        setLogEnabled(true);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete finder_;
+        delete calib_;
+        delete rt_;
+        rt_ = nullptr;
+    }
+
+    static ProberConfig
+    fastProber()
+    {
+        ProberConfig cfg;
+        cfg.monitoredSets = 32;
+        cfg.samplePeriod = 3000;
+        cfg.windowCycles = 6000;
+        cfg.duration = 250000;
+        return cfg;
+    }
+
+    void
+    SetUp() override
+    {
+        ASSERT_NE(rt_, nullptr) << "fixture setup failed earlier";
+    }
+
+    static rt::Runtime *rt_;
+    static rt::Process *spy_;
+    static rt::Process *victim_;
+    static CalibrationResult *calib_;
+    static EvictionSetFinder *finder_;
+};
+
+rt::Runtime *SideFixture::rt_ = nullptr;
+rt::Process *SideFixture::spy_ = nullptr;
+rt::Process *SideFixture::victim_ = nullptr;
+CalibrationResult *SideFixture::calib_ = nullptr;
+EvictionSetFinder *SideFixture::finder_ = nullptr;
+
+TEST_F(SideFixture, IdleVictimYieldsQuietMemorygram)
+{
+    RemoteProber prober(*rt_, *spy_, 1, *finder_, calib_->thresholds,
+                        fastProber());
+    Memorygram gram(fastProber().monitoredSets, prober.numWindows());
+    const Cycles t0 = rt_->engine().now() + 6000;
+    auto h = prober.launch(gram, t0);
+    rt_->runUntilDone(h);
+    // Nothing ran on the victim GPU: after the first priming probes,
+    // the spy sees (almost) no misses.
+    EXPECT_GT(gram.totalProbes(), 100u);
+    const double miss_rate =
+        static_cast<double>(gram.totalMisses()) /
+        static_cast<double>(gram.totalProbes() *
+                            finder_->associativity());
+    EXPECT_LT(miss_rate, 0.08);
+}
+
+TEST_F(SideFixture, ActiveVictimLightsUpMemorygram)
+{
+    FingerprintConfig cfg;
+    cfg.prober = fastProber();
+    Fingerprinter fp(*rt_, *spy_, 1, *victim_, 0, *finder_,
+                     calib_->thresholds, cfg);
+    Memorygram gram = fp.collectSample(victim::AppKind::VECTOR_ADD, 1);
+    EXPECT_GT(gram.totalMisses(), 50u);
+}
+
+TEST_F(SideFixture, DifferentAppsDifferentMemorygrams)
+{
+    FingerprintConfig cfg;
+    cfg.prober = fastProber();
+    Fingerprinter fp(*rt_, *spy_, 1, *victim_, 0, *finder_,
+                     calib_->thresholds, cfg);
+    Memorygram va = fp.collectSample(victim::AppKind::VECTOR_ADD, 1);
+    Memorygram mm = fp.collectSample(victim::AppKind::MATRIX_MUL, 1);
+    EXPECT_GT(Memorygram::distance(va, mm), 10.0);
+}
+
+TEST_F(SideFixture, FingerprintingReachesHighAccuracy)
+{
+    setLogEnabled(false);
+    FingerprintConfig cfg;
+    cfg.prober = fastProber();
+    cfg.samplesPerApp = 8;
+    cfg.trainPerApp = 4;
+    cfg.valPerApp = 1;
+    cfg.featureRows = 8;
+    cfg.featureCols = 8;
+    Fingerprinter fp(*rt_, *spy_, 1, *victim_, 0, *finder_,
+                     calib_->thresholds, cfg);
+    FingerprintResult result = fp.run();
+    setLogEnabled(true);
+
+    EXPECT_EQ(result.classNames.size(), 6u);
+    EXPECT_EQ(result.exemplars.size(), 6u);
+    EXPECT_EQ(result.confusion.total(), 6u * 3u); // 3 test per class
+    EXPECT_GE(result.testAccuracy, 0.8);
+}
+
+TEST_F(SideFixture, MlpExtractionMissesIncreaseWithNeurons)
+{
+    setLogEnabled(false);
+    ExtractionConfig cfg;
+    cfg.prober = fastProber();
+    cfg.prober.duration = 500000;
+    cfg.neuronCounts = {32, 64, 128};
+    cfg.mlpBase.batchesPerEpoch = 2;
+    ModelExtractor extractor(*rt_, *spy_, 1, *victim_, 0, *finder_,
+                             calib_->thresholds, cfg);
+    auto runs = extractor.sweepNeurons();
+    setLogEnabled(true);
+
+    ASSERT_EQ(runs.size(), 3u);
+    EXPECT_LT(runs[0].avgMissesPerSet, runs[1].avgMissesPerSet);
+    EXPECT_LT(runs[1].avgMissesPerSet, runs[2].avgMissesPerSet);
+
+    // The nearest-reference inference recovers each width.
+    for (const auto &run : runs)
+        EXPECT_EQ(ModelExtractor::inferNeurons(run.avgMissesPerSet, runs),
+                  run.neurons);
+}
+
+TEST_F(SideFixture, EpochCountIsInferable)
+{
+    setLogEnabled(false);
+    ExtractionConfig cfg;
+    cfg.prober = fastProber();
+    cfg.prober.duration = 900000;
+    cfg.mlpBase.batchesPerEpoch = 2;
+    cfg.mlpBase.interEpochGapCycles = 100000;
+    ModelExtractor extractor(*rt_, *spy_, 1, *victim_, 0, *finder_,
+                             calib_->thresholds, cfg);
+    auto run2 = extractor.observe(64, 2);
+    setLogEnabled(true);
+    EXPECT_EQ(ModelExtractor::inferEpochs(run2.gram), 2u);
+}
+
+TEST_F(SideFixture, InferEpochsEdgeCases)
+{
+    Memorygram quiet(4, 10);
+    EXPECT_EQ(ModelExtractor::inferEpochs(quiet), 0u);
+    Memorygram one_burst(4, 10);
+    for (int w = 3; w <= 5; ++w)
+        one_burst.addMiss(0, w, 10);
+    EXPECT_EQ(ModelExtractor::inferEpochs(one_burst), 1u);
+}
+
+TEST_F(SideFixture, InferNeuronsEmptyIsFatal)
+{
+    EXPECT_THROW(ModelExtractor::inferNeurons(1.0, {}), FatalError);
+}
+
+} // namespace
+} // namespace gpubox::attack::side

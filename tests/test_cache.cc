@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Unit and property tests for the cache model: replacement policies,
+ * set-associative behaviour, the page-preserving index hash.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "cache/indexer.hh"
+#include "cache/replacement.hh"
+#include "cache/set_assoc_cache.hh"
+#include "util/log.hh"
+#include "util/rng.hh"
+
+namespace gpubox::cache
+{
+namespace
+{
+
+CacheConfig
+tinyConfig(ReplPolicy policy = ReplPolicy::LRU)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 8 * 1024; // 4 sets x 16 ways x 128 B
+    cfg.lineBytes = 128;
+    cfg.ways = 16;
+    cfg.policy = policy;
+    return cfg;
+}
+
+TEST(ReplPolicyNames, RoundTrip)
+{
+    for (auto p : {ReplPolicy::LRU, ReplPolicy::TREE_PLRU,
+                   ReplPolicy::RANDOM})
+        EXPECT_EQ(replPolicyFromName(replPolicyName(p)), p);
+    EXPECT_THROW(replPolicyFromName("bogus"), FatalError);
+}
+
+TEST(LruPolicy, EvictsLeastRecent)
+{
+    LruPolicy lru;
+    lru.reset(1, 4);
+    for (unsigned w = 0; w < 4; ++w)
+        lru.touch(0, w);
+    EXPECT_EQ(lru.victim(0), 0u);
+    lru.touch(0, 0);
+    EXPECT_EQ(lru.victim(0), 1u);
+}
+
+TEST(TreePlru, RequiresPowerOfTwoWays)
+{
+    TreePlruPolicy plru;
+    EXPECT_THROW(plru.reset(4, 12), FatalError);
+}
+
+TEST(TreePlru, VictimAvoidsMostRecent)
+{
+    TreePlruPolicy plru;
+    plru.reset(1, 8);
+    for (unsigned w = 0; w < 8; ++w)
+        plru.touch(0, w);
+    // The most recently touched way must never be the victim.
+    for (int i = 0; i < 16; ++i) {
+        const unsigned v = plru.victim(0);
+        EXPECT_NE(v, 7u);
+        plru.touch(0, v);
+        plru.touch(0, 7);
+    }
+}
+
+TEST(RandomPolicy, CoversAllWays)
+{
+    RandomPolicy rnd{Rng(3)};
+    rnd.reset(1, 8);
+    std::set<unsigned> seen;
+    for (int i = 0; i < 200; ++i)
+        seen.insert(rnd.victim(0));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(LinearIndexer, WrapsModuloSets)
+{
+    LinearIndexer idx(64, 128);
+    EXPECT_EQ(idx.setFor(0), 0u);
+    EXPECT_EQ(idx.setFor(128), 1u);
+    EXPECT_EQ(idx.setFor(64 * 128), 0u);
+}
+
+TEST(HashedPageIndexer, ConsecutiveWithinPage)
+{
+    // 2048 sets, 128 B lines, 64 KiB pages: 512 lines/page, 4 colors.
+    HashedPageIndexer idx(2048, 128, 64 * 1024, 0x5a17);
+    const PAddr page = static_cast<PAddr>(77) << 16;
+    const SetIndex s0 = idx.setFor(page);
+    for (std::uint32_t l = 1; l < 512; ++l)
+        EXPECT_EQ(idx.setFor(page + l * 128), (s0 + l) % 2048);
+}
+
+TEST(HashedPageIndexer, PageStartsAreColorAligned)
+{
+    HashedPageIndexer idx(2048, 128, 64 * 1024, 0x5a17);
+    EXPECT_EQ(idx.numColors(), 4u);
+    for (std::uint64_t frame = 0; frame < 200; ++frame) {
+        const PAddr page = frame << 16;
+        const SetIndex s0 = idx.setFor(page);
+        EXPECT_EQ(s0 % 512, 0u) << "page window must be aligned";
+        EXPECT_EQ(s0 / 512, idx.colorOf(frame, 0));
+    }
+}
+
+TEST(HashedPageIndexer, ColorsRoughlyBalanced)
+{
+    HashedPageIndexer idx(2048, 128, 64 * 1024, 0xfeed);
+    std::map<std::uint32_t, int> counts;
+    const int frames = 4000;
+    for (std::uint64_t f = 0; f < frames; ++f)
+        ++counts[idx.colorOf(f, 0)];
+    ASSERT_EQ(counts.size(), 4u);
+    for (auto [color, count] : counts) {
+        (void)color;
+        EXPECT_GT(count, frames / 4 - 150);
+        EXPECT_LT(count, frames / 4 + 150);
+    }
+}
+
+TEST(HashedPageIndexer, GpuChangesColoring)
+{
+    HashedPageIndexer idx(2048, 128, 64 * 1024, 0x5a17);
+    int diffs = 0;
+    for (std::uint64_t f = 0; f < 64; ++f)
+        if (idx.colorOf(f, 0) != idx.colorOf(f, 1))
+            ++diffs;
+    EXPECT_GT(diffs, 16);
+}
+
+TEST(HashedPageIndexer, SaltChangesMapping)
+{
+    HashedPageIndexer a(2048, 128, 64 * 1024, 1);
+    HashedPageIndexer b(2048, 128, 64 * 1024, 2);
+    int diffs = 0;
+    for (std::uint64_t f = 0; f < 64; ++f)
+        if (a.colorOf(f, 0) != b.colorOf(f, 0))
+            ++diffs;
+    EXPECT_GT(diffs, 16);
+}
+
+TEST(HashedPageIndexer, RejectsBadGeometry)
+{
+    EXPECT_THROW(HashedPageIndexer(2048, 100, 65536, 0), FatalError);
+    EXPECT_THROW(HashedPageIndexer(2048, 256, 128, 0), FatalError);
+}
+
+TEST(SetAssocCache, MissThenHit)
+{
+    LinearIndexer idx(4, 128);
+    SetAssocCache cache(tinyConfig(), idx, Rng(1));
+    auto out1 = cache.access(0x1000);
+    EXPECT_FALSE(out1.hit);
+    auto out2 = cache.access(0x1000);
+    EXPECT_TRUE(out2.hit);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(SetAssocCache, SameLineDifferentBytesHit)
+{
+    LinearIndexer idx(4, 128);
+    SetAssocCache cache(tinyConfig(), idx, Rng(1));
+    cache.access(0x1000);
+    EXPECT_TRUE(cache.access(0x1000 + 127).hit);
+    EXPECT_FALSE(cache.access(0x1000 + 128).hit);
+}
+
+TEST(SetAssocCache, LruEvictionAtAssociativity)
+{
+    LinearIndexer idx(4, 128);
+    SetAssocCache cache(tinyConfig(), idx, Rng(1));
+    const PAddr target = 0; // set 0
+    cache.access(target);
+    // 15 more distinct lines in set 0: target stays.
+    for (int i = 1; i <= 15; ++i)
+        cache.access(target + static_cast<PAddr>(i) * 4 * 128);
+    EXPECT_TRUE(cache.probe(target));
+    // The 16th distinct line evicts the LRU target.
+    auto out = cache.access(target + 16ULL * 4 * 128);
+    EXPECT_TRUE(out.evicted);
+    EXPECT_EQ(out.evictedLine, target);
+    EXPECT_FALSE(cache.probe(target));
+}
+
+TEST(SetAssocCache, ProbeDoesNotMutate)
+{
+    LinearIndexer idx(4, 128);
+    SetAssocCache cache(tinyConfig(), idx, Rng(1));
+    EXPECT_FALSE(cache.probe(0x2000));
+    EXPECT_EQ(cache.misses(), 0u);
+    cache.access(0x2000);
+    EXPECT_TRUE(cache.probe(0x2000));
+    EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(SetAssocCache, FlushInvalidatesEverything)
+{
+    LinearIndexer idx(4, 128);
+    SetAssocCache cache(tinyConfig(), idx, Rng(1));
+    for (int i = 0; i < 32; ++i)
+        cache.access(static_cast<PAddr>(i) * 128);
+    cache.flush();
+    for (int i = 0; i < 32; ++i)
+        EXPECT_FALSE(cache.probe(static_cast<PAddr>(i) * 128));
+}
+
+TEST(SetAssocCache, InvalidateSingleLine)
+{
+    LinearIndexer idx(4, 128);
+    SetAssocCache cache(tinyConfig(), idx, Rng(1));
+    cache.access(0x1000);
+    cache.access(0x2000);
+    EXPECT_TRUE(cache.invalidate(0x1000));
+    EXPECT_FALSE(cache.invalidate(0x1000));
+    EXPECT_FALSE(cache.probe(0x1000));
+    EXPECT_TRUE(cache.probe(0x2000));
+}
+
+TEST(SetAssocCache, PerSetStats)
+{
+    LinearIndexer idx(4, 128);
+    SetAssocCache cache(tinyConfig(), idx, Rng(1));
+    cache.access(0);          // set 0 miss
+    cache.access(0);          // set 0 hit
+    cache.access(128);        // set 1 miss
+    EXPECT_EQ(cache.setMisses(0), 1u);
+    EXPECT_EQ(cache.setHits(0), 1u);
+    EXPECT_EQ(cache.setMisses(1), 1u);
+    EXPECT_EQ(cache.setHits(1), 0u);
+    cache.resetStats();
+    EXPECT_EQ(cache.setMisses(0), 0u);
+    EXPECT_EQ(cache.hits() + cache.misses(), 0u);
+}
+
+TEST(SetAssocCache, RejectsBadGeometry)
+{
+    LinearIndexer idx(4, 128);
+    CacheConfig bad = tinyConfig();
+    bad.sizeBytes = 1000;
+    EXPECT_THROW(SetAssocCache(bad, idx, Rng(1)), FatalError);
+    bad = tinyConfig();
+    bad.ways = 0;
+    EXPECT_THROW(SetAssocCache(bad, idx, Rng(1)), FatalError);
+}
+
+TEST(SetAssocCache, ConfigNumSets)
+{
+    CacheConfig cfg; // P100 defaults
+    EXPECT_EQ(cfg.numSets(), 2048u);
+    EXPECT_EQ(tinyConfig().numSets(), 4u);
+}
+
+// Property: with LRU, any working set not exceeding the associativity
+// always hits after the first pass, for several geometries.
+class WorkingSetFits
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{};
+
+TEST_P(WorkingSetFits, SecondPassAllHits)
+{
+    const auto [ways, lines] = GetParam();
+    CacheConfig cfg;
+    cfg.lineBytes = 128;
+    cfg.ways = ways;
+    cfg.sizeBytes = static_cast<std::uint64_t>(128) * ways * 8; // 8 sets
+    LinearIndexer idx(8, 128);
+    SetAssocCache cache(cfg, idx, Rng(2));
+
+    // `lines` distinct lines, all mapping to set 3.
+    std::vector<PAddr> addrs;
+    for (unsigned i = 0; i < lines; ++i)
+        addrs.push_back((3 + static_cast<PAddr>(i) * 8) * 128);
+
+    for (PAddr a : addrs)
+        cache.access(a);
+    for (PAddr a : addrs)
+        EXPECT_TRUE(cache.access(a).hit);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, WorkingSetFits,
+    ::testing::Values(std::make_tuple(4u, 4u), std::make_tuple(8u, 8u),
+                      std::make_tuple(16u, 16u), std::make_tuple(16u, 8u),
+                      std::make_tuple(2u, 2u)));
+
+// Property: one line more than the associativity thrashes under LRU.
+class WorkingSetThrashes : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(WorkingSetThrashes, SecondPassAllMisses)
+{
+    const unsigned ways = GetParam();
+    CacheConfig cfg;
+    cfg.lineBytes = 128;
+    cfg.ways = ways;
+    cfg.sizeBytes = static_cast<std::uint64_t>(128) * ways * 4; // 4 sets
+    LinearIndexer idx(4, 128);
+    SetAssocCache cache(cfg, idx, Rng(2));
+
+    std::vector<PAddr> addrs;
+    for (unsigned i = 0; i < ways + 1; ++i)
+        addrs.push_back(static_cast<PAddr>(i) * 4 * 128); // all set 0
+
+    for (PAddr a : addrs)
+        cache.access(a);
+    for (PAddr a : addrs)
+        EXPECT_FALSE(cache.access(a).hit);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, WorkingSetThrashes,
+                         ::testing::Values(2u, 4u, 8u, 16u));
+
+// Property: the hashed indexer never exceeds the set range and uses
+// every set when given every page color.
+TEST(HashedPageIndexerProperty, FullCoverage)
+{
+    HashedPageIndexer idx(128, 128, 4096, 0x77);
+    std::set<SetIndex> used;
+    for (std::uint64_t frame = 0; frame < 64; ++frame) {
+        for (std::uint32_t l = 0; l < 32; ++l) {
+            const SetIndex s = idx.setFor((frame << 12) + l * 128);
+            ASSERT_LT(s, 128u);
+            used.insert(s);
+        }
+    }
+    EXPECT_EQ(used.size(), 128u);
+}
+
+} // namespace
+} // namespace gpubox::cache

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared fixtures for gpubox tests: a scaled-down box configuration
+ * (small caches, small pages) that keeps simulations fast while
+ * preserving the geometry relationships the attacks depend on
+ * (multiple page colors, 16-way associativity, NUMA L2).
+ */
+
+#ifndef GPUBOX_TESTS_TEST_COMMON_HH
+#define GPUBOX_TESTS_TEST_COMMON_HH
+
+#include "rt/config.hh"
+
+namespace gpubox::test
+{
+
+/**
+ * Small box: 4 GPUs (ring), 256 KiB 16-way L2 (128 sets), 4 KiB pages
+ * (32 lines per page -> 4 page colors), 512 frames per GPU (2 MiB).
+ */
+inline rt::SystemConfig
+smallConfig(std::uint64_t seed = 42)
+{
+    rt::SystemConfig cfg;
+    cfg.seed = seed;
+    cfg.topology = noc::Topology::fullyConnected(4);
+    cfg.pageBytes = 4096;
+    cfg.framesPerGpu = 512;
+    cfg.device.l2.sizeBytes = 256 * 1024;
+    cfg.device.l2.lineBytes = 128;
+    cfg.device.l2.ways = 16;
+    cfg.device.numSms = 16;
+    return cfg;
+}
+
+/** Full-size DGX-1 configuration (the benchmark setup). */
+inline rt::SystemConfig
+dgx1Config(std::uint64_t seed = 42)
+{
+    rt::SystemConfig cfg;
+    cfg.seed = seed;
+    return cfg;
+}
+
+} // namespace gpubox::test
+
+#endif // GPUBOX_TESTS_TEST_COMMON_HH

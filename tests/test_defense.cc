@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Tests for the Sec. VII defenses: MIG-style L2 way partitioning
+ * (cache-level isolation, runtime plumbing, end-to-end attack defeat)
+ * and the NVLink traffic monitor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attack/covert/channel.hh"
+#include "attack/side/memorygram.hh"
+#include "attack/evset_finder.hh"
+#include "attack/set_aligner.hh"
+#include "attack/timing_oracle.hh"
+#include "cache/set_assoc_cache.hh"
+#include "defense/dynamic_partitioner.hh"
+#include "defense/link_monitor.hh"
+#include "rt/runtime.hh"
+#include "test_common.hh"
+#include "util/log.hh"
+
+namespace gpubox
+{
+namespace
+{
+
+using test::smallConfig;
+
+cache::CacheConfig
+tinyCache()
+{
+    cache::CacheConfig cfg;
+    cfg.sizeBytes = 8 * 1024; // 4 sets x 16 ways
+    cfg.lineBytes = 128;
+    cfg.ways = 16;
+    return cfg;
+}
+
+TEST(WayPartition, SlicesAreIsolated)
+{
+    cache::LinearIndexer idx(4, 128);
+    cache::SetAssocCache c(tinyCache(), idx, Rng(1));
+    c.setWayPartitions(2);
+    EXPECT_EQ(c.waysPerPartition(), 8u);
+
+    // Partition 1 caches a line; partition 0 cannot see it...
+    c.access(0x1000, 1);
+    EXPECT_FALSE(c.access(0x1000, 0).hit);
+    // ...and partition 1 still hits its own copy afterwards.
+    EXPECT_TRUE(c.access(0x1000, 1).hit);
+}
+
+TEST(WayPartition, FillsCannotEvictOtherSlice)
+{
+    cache::LinearIndexer idx(4, 128);
+    cache::SetAssocCache c(tinyCache(), idx, Rng(1));
+    c.setWayPartitions(2);
+
+    // Partition 1 holds a line in set 0.
+    const PAddr victim_line = 0;
+    c.access(victim_line, 1);
+
+    // Partition 0 thrashes set 0 with far more lines than the whole
+    // cache associativity.
+    for (int i = 1; i <= 64; ++i)
+        c.access(static_cast<PAddr>(i) * 4 * 128, 0);
+
+    // The victim's line is untouched.
+    EXPECT_TRUE(c.access(victim_line, 1).hit);
+}
+
+TEST(WayPartition, EffectiveAssociativityHalves)
+{
+    cache::LinearIndexer idx(4, 128);
+    cache::SetAssocCache c(tinyCache(), idx, Rng(1));
+    c.setWayPartitions(2);
+
+    // 8 distinct lines fit a slice of set 0; 8 further lines replace
+    // the whole slice.
+    const PAddr first = 0;
+    c.access(first, 0);
+    for (int i = 1; i <= 7; ++i)
+        c.access(static_cast<PAddr>(i) * 4 * 128, 0);
+    EXPECT_TRUE(c.access(first, 0).hit); // first is now MRU again
+    for (int i = 8; i <= 15; ++i)
+        c.access(static_cast<PAddr>(i) * 4 * 128, 0);
+    EXPECT_FALSE(c.access(first, 0).hit);
+}
+
+TEST(WayPartition, ReconfigurationFlushes)
+{
+    cache::LinearIndexer idx(4, 128);
+    cache::SetAssocCache c(tinyCache(), idx, Rng(1));
+    c.access(0x2000);
+    EXPECT_TRUE(c.probe(0x2000));
+    c.setWayPartitions(4);
+    EXPECT_FALSE(c.probe(0x2000));
+}
+
+TEST(WayPartition, InvalidConfigsAreFatal)
+{
+    cache::LinearIndexer idx(4, 128);
+    cache::SetAssocCache c(tinyCache(), idx, Rng(1));
+    EXPECT_THROW(c.setWayPartitions(0), FatalError);
+    EXPECT_THROW(c.setWayPartitions(5), FatalError); // 16 % 5 != 0
+    c.setWayPartitions(2);
+    EXPECT_THROW(c.access(0, 2), FatalError);
+
+    cache::CacheConfig plru = tinyCache();
+    plru.policy = cache::ReplPolicy::TREE_PLRU;
+    cache::SetAssocCache c2(plru, idx, Rng(1));
+    EXPECT_THROW(c2.setWayPartitions(2), FatalError);
+}
+
+TEST(MigRuntime, CrossPartitionEvictionImpossible)
+{
+    rt::Runtime rt(smallConfig(99));
+    rt.enableMigPartitioning(2);
+    rt::Process &a = rt.createProcess("a");
+    rt::Process &b = rt.createProcess("b");
+    rt.assignPartition(a, 0);
+    rt.assignPartition(b, 1);
+    EXPECT_EQ(a.partition(), 0u);
+    EXPECT_EQ(b.partition(), 1u);
+    EXPECT_THROW(rt.assignPartition(a, 2), FatalError);
+
+    // b caches a line; a thrashes the same physical set from its own
+    // slice; b still hits.
+    const std::uint32_t line = rt.config().device.l2.lineBytes;
+    const VAddr vb = rt.deviceMalloc(b, 0, line);
+    const VAddr va = rt.deviceMalloc(a, 0, 64 * rt.config().pageBytes);
+
+    auto warm_b = [&](Cycles &time_out) {
+        auto kernel = [&, vb](rt::BlockCtx &ctx) -> sim::Task {
+            const Cycles t0 = ctx.clock();
+            co_await ctx.ldcg64(vb);
+            time_out = ctx.clock() - t0;
+        };
+        gpu::KernelConfig cfg;
+        auto h = rt.launch(b, 0, cfg, kernel);
+        rt.runUntilDone(h);
+    };
+
+    Cycles cold = 0, warm = 0, after_thrash = 0;
+    warm_b(cold);
+    warm_b(warm);
+    EXPECT_GT(cold, warm); // second access is an L2 hit
+
+    // a floods every set of its own slice.
+    auto flood = [&](rt::BlockCtx &ctx) -> sim::Task {
+        const std::uint64_t lines =
+            64 * rt.config().pageBytes / rt.config().device.l2.lineBytes;
+        for (std::uint64_t i = 0; i < lines; ++i)
+            co_await ctx.ldcg64(va + i * rt.config().device.l2.lineBytes);
+    };
+    gpu::KernelConfig cfg;
+    auto h = rt.launch(a, 0, cfg, flood);
+    rt.runUntilDone(h);
+
+    warm_b(after_thrash);
+    // Still a hit: a's flood could not evict b's line.
+    EXPECT_LT(after_thrash, cold);
+    EXPECT_NEAR(static_cast<double>(after_thrash),
+                static_cast<double>(warm), 40.0);
+}
+
+TEST(MigRuntime, AlignmentFindsNothingAcrossSlices)
+{
+    setLogEnabled(false);
+    rt::Runtime rt(smallConfig(4321));
+    rt.enableMigPartitioning(2);
+    rt::Process &trojan = rt.createProcess("trojan");
+    rt::Process &spy = rt.createProcess("spy");
+    rt.assignPartition(trojan, 0);
+    rt.assignPartition(spy, 1);
+
+    attack::TimingOracle oracle(rt, spy);
+    auto calib = oracle.calibrate(1, 0, 32, 6);
+
+    attack::EvictionSetFinder tf(rt, trojan, 0, 0, calib.thresholds);
+    tf.run();
+    attack::EvictionSetFinder sf(rt, spy, 1, 0, calib.thresholds);
+    sf.run();
+    // Attackers see the halved associativity of their own slice.
+    EXPECT_EQ(tf.associativity(), 8u);
+    EXPECT_EQ(sf.associativity(), 8u);
+
+    attack::SetAligner aligner(rt, trojan, spy, 0, 1, calib.thresholds);
+    auto mapping = aligner.alignGroups(tf, sf);
+    setLogEnabled(true);
+    for (int m : mapping)
+        EXPECT_EQ(m, -1) << "no cross-slice collision should exist";
+}
+
+TEST(LinkMonitor, FlagsSustainedTrafficOnly)
+{
+    rt::Runtime rt(smallConfig(777));
+    rt::Process &p = rt.createProcess("p");
+    rt.enablePeerAccess(p, 1, 0);
+    const std::uint32_t line = rt.config().device.l2.lineBytes;
+    const VAddr buf = rt.deviceMalloc(p, 0, 64 * line);
+
+    defense::MonitorConfig mcfg;
+    mcfg.sampleWindow = 5000;
+    mcfg.flagRatePerKcycle = 10.0;
+    mcfg.consecutiveWindows = 3;
+
+    // Scenario 1: short burst then idle -- not flagged.
+    {
+        defense::LinkMonitor mon(rt, 0, 1, mcfg);
+        mon.start();
+        auto kernel = [&](rt::BlockCtx &ctx) -> sim::Task {
+            for (int i = 0; i < 64; ++i)
+                co_await ctx.ldcg64(buf + i * line);
+            co_await ctx.compute(30000);
+        };
+        gpu::KernelConfig cfg;
+        auto h = rt.launch(p, 1, cfg, kernel);
+        rt.runUntilDone(h);
+        mon.stop();
+        EXPECT_FALSE(mon.attackFlagged());
+        EXPECT_GT(mon.ratePerWindow().size(), 3u);
+    }
+
+    // Scenario 2: sustained probing -- flagged.
+    {
+        defense::LinkMonitor mon(rt, 0, 1, mcfg);
+        mon.start();
+        std::vector<VAddr> lines;
+        for (int i = 0; i < 16; ++i)
+            lines.push_back(buf + i * line);
+        auto kernel = [&](rt::BlockCtx &ctx) -> sim::Task {
+            for (int r = 0; r < 120; ++r) {
+                co_await ctx.probeSet(lines);
+                co_await ctx.compute(100);
+            }
+        };
+        gpu::KernelConfig cfg;
+        auto h = rt.launch(p, 1, cfg, kernel);
+        rt.runUntilDone(h);
+        mon.stop();
+        EXPECT_TRUE(mon.attackFlagged());
+        EXPECT_GT(mon.firstFlagTime(), 0u);
+        EXPECT_GT(mon.peakRate(), 10.0);
+    }
+}
+
+TEST(LinkMonitor, RejectsBadConfig)
+{
+    rt::SystemConfig cfg = smallConfig();
+    cfg.topology = noc::Topology::ring(4);
+    rt::Runtime rt(cfg);
+    EXPECT_THROW(defense::LinkMonitor(rt, 0, 2), FatalError);
+    defense::MonitorConfig bad;
+    bad.sampleWindow = 0;
+    EXPECT_THROW(defense::LinkMonitor(rt, 0, 1, bad), FatalError);
+}
+
+TEST(LinkMonitor, DoubleStartIsFatal)
+{
+    rt::Runtime rt(smallConfig());
+    defense::LinkMonitor mon(rt, 0, 1);
+    mon.start();
+    EXPECT_THROW(mon.start(), FatalError);
+    mon.stop();
+}
+
+TEST(LinkMonitor, SafeAfterDestruction)
+{
+    rt::Runtime rt(smallConfig(5));
+    rt::Process &p = rt.createProcess("p");
+    rt.enablePeerAccess(p, 1, 0);
+    const VAddr buf = rt.deviceMalloc(p, 0, 4096);
+    {
+        defense::LinkMonitor mon(rt, 0, 1);
+        mon.start();
+        // Destroyed while its sampler actor is still suspended.
+    }
+    // Driving the engine afterwards must not touch freed state.
+    auto kernel = [&](rt::BlockCtx &ctx) -> sim::Task {
+        for (int i = 0; i < 40; ++i)
+            co_await ctx.ldcg64(buf);
+        co_await ctx.compute(20000);
+    };
+    gpu::KernelConfig cfg;
+    auto h = rt.launch(p, 1, cfg, kernel);
+    EXPECT_NO_THROW(rt.runUntilDone(h));
+}
+
+TEST(DynamicPartitioner, TriggersOnSustainedTrafficAndPartitions)
+{
+    rt::Runtime rt(smallConfig(6));
+    rt::Process &a = rt.createProcess("a");
+    rt::Process &b = rt.createProcess("b");
+    rt.enablePeerAccess(b, 1, 0);
+    const std::uint32_t line = rt.config().device.l2.lineBytes;
+    const VAddr buf = rt.deviceMalloc(b, 0, 16 * line);
+
+    defense::MonitorConfig mcfg;
+    mcfg.sampleWindow = 5000;
+    mcfg.flagRatePerKcycle = 10.0;
+    mcfg.consecutiveWindows = 3;
+    defense::DynamicPartitioner guard(rt, 0, 1, 2, {{&a, 0u}, {&b, 1u}},
+                                      mcfg);
+    guard.start();
+    EXPECT_FALSE(guard.triggered());
+
+    std::vector<VAddr> lines;
+    for (int i = 0; i < 16; ++i)
+        lines.push_back(buf + i * line);
+    auto kernel = [&](rt::BlockCtx &ctx) -> sim::Task {
+        for (int r = 0; r < 150; ++r) {
+            co_await ctx.probeSet(lines);
+            co_await ctx.compute(100);
+        }
+    };
+    gpu::KernelConfig cfg;
+    auto h = rt.launch(b, 1, cfg, kernel);
+    rt.runUntilDone(h);
+    guard.stop();
+
+    EXPECT_TRUE(guard.triggered());
+    EXPECT_GT(guard.triggerTime(), 0u);
+    EXPECT_EQ(rt.device(0).l2().numWayPartitions(), 2u);
+    EXPECT_EQ(a.partition(), 0u);
+    EXPECT_EQ(b.partition(), 1u);
+}
+
+TEST(DynamicPartitioner, RejectsBadConfig)
+{
+    rt::Runtime rt(smallConfig());
+    rt::Process &a = rt.createProcess("a");
+    EXPECT_THROW(defense::DynamicPartitioner(rt, 0, 1, 1, {{&a, 0u}}),
+                 FatalError);
+    EXPECT_THROW(defense::DynamicPartitioner(rt, 0, 1, 2, {{&a, 2u}}),
+                 FatalError);
+    EXPECT_THROW(defense::DynamicPartitioner(rt, 0, 1, 2,
+                                             {{nullptr, 0u}}),
+                 FatalError);
+}
+
+TEST(MemorygramTrim, ClipsToObservedHorizon)
+{
+    attack::side::Memorygram g(3, 50);
+    g.addProbe(0, 2);
+    g.addMiss(2, 9, 4);
+    auto t = g.trimmed();
+    EXPECT_EQ(t.numSets(), 3u);
+    EXPECT_EQ(t.numWindows(), 10u);
+    EXPECT_DOUBLE_EQ(t.missAt(2, 9), 4.0);
+    EXPECT_EQ(t.probesAt(0, 2), 1u);
+    EXPECT_EQ(t.totalMisses(), g.totalMisses());
+
+    attack::side::Memorygram empty(2, 8);
+    auto te = empty.trimmed();
+    EXPECT_EQ(te.numWindows(), 1u);
+}
+
+} // namespace
+} // namespace gpubox

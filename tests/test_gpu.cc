@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for the GPU device model: block scheduler (leftover
+ * policy), SM occupancy accounting, device construction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/indexer.hh"
+#include "gpu/block_scheduler.hh"
+#include "gpu/device.hh"
+#include "util/log.hh"
+#include "util/rng.hh"
+
+namespace gpubox::gpu
+{
+namespace
+{
+
+SmLimits
+limits(std::uint32_t shmem = 64 * 1024, std::uint32_t threads = 2048,
+       std::uint32_t blocks = 32)
+{
+    return SmLimits{shmem, threads, blocks};
+}
+
+TEST(BlockScheduler, SpreadsAcrossSms)
+{
+    BlockScheduler sched(4, limits());
+    BlockRequirements req{256, 1024};
+    std::vector<SmId> placed;
+    for (int i = 0; i < 4; ++i) {
+        auto sm = sched.tryPlace(req);
+        ASSERT_TRUE(sm.has_value());
+        placed.push_back(*sm);
+    }
+    // Leftover policy spreads: each SM hosts exactly one block.
+    std::sort(placed.begin(), placed.end());
+    EXPECT_EQ(placed, (std::vector<SmId>{0, 1, 2, 3}));
+    for (int sm = 0; sm < 4; ++sm)
+        EXPECT_EQ(sched.residentBlocks(sm), 1u);
+}
+
+TEST(BlockScheduler, SharedMemoryLimitsCoResidency)
+{
+    BlockScheduler sched(2, limits(64 * 1024));
+    BlockRequirements big{32, 33 * 1024}; // more than half an SM
+    EXPECT_TRUE(sched.tryPlace(big).has_value());
+    EXPECT_TRUE(sched.tryPlace(big).has_value());
+    // Both SMs now hold one big block; a second cannot co-locate.
+    EXPECT_FALSE(sched.tryPlace(big).has_value());
+    EXPECT_FALSE(sched.canPlace(big));
+    // But a small block still fits in the leftover shared memory.
+    BlockRequirements small{32, 16 * 1024};
+    EXPECT_TRUE(sched.tryPlace(small).has_value());
+}
+
+TEST(BlockScheduler, ThreadLimit)
+{
+    BlockScheduler sched(1, limits(64 * 1024, 2048));
+    BlockRequirements req{1024, 0};
+    EXPECT_TRUE(sched.tryPlace(req).has_value());
+    EXPECT_TRUE(sched.tryPlace(req).has_value());
+    EXPECT_FALSE(sched.tryPlace(req).has_value());
+}
+
+TEST(BlockScheduler, MaxBlockLimit)
+{
+    BlockScheduler sched(1, limits(64 * 1024, 2048, 3));
+    BlockRequirements req{32, 0};
+    for (int i = 0; i < 3; ++i)
+        EXPECT_TRUE(sched.tryPlace(req).has_value());
+    EXPECT_FALSE(sched.tryPlace(req).has_value());
+}
+
+TEST(BlockScheduler, ReleaseRestoresCapacity)
+{
+    BlockScheduler sched(1, limits(64 * 1024));
+    BlockRequirements req{512, 48 * 1024};
+    auto sm = sched.tryPlace(req);
+    ASSERT_TRUE(sm.has_value());
+    EXPECT_EQ(sched.usedSharedMem(*sm), 48u * 1024u);
+    EXPECT_EQ(sched.usedThreads(*sm), 512u);
+    EXPECT_FALSE(sched.tryPlace(req).has_value());
+    sched.release(*sm, req);
+    EXPECT_EQ(sched.usedSharedMem(*sm), 0u);
+    EXPECT_EQ(sched.totalResidentBlocks(), 0u);
+    EXPECT_TRUE(sched.tryPlace(req).has_value());
+}
+
+TEST(BlockScheduler, ImpossibleDemandIsFatal)
+{
+    BlockScheduler sched(2, limits(64 * 1024, 2048));
+    EXPECT_THROW(sched.tryPlace(BlockRequirements{4096, 0}), FatalError);
+    EXPECT_THROW(sched.tryPlace(BlockRequirements{32, 128 * 1024}),
+                 FatalError);
+}
+
+TEST(BlockScheduler, ReleaseUnderflowIsFatal)
+{
+    BlockScheduler sched(1, limits());
+    EXPECT_THROW(sched.release(0, BlockRequirements{32, 0}), FatalError);
+    EXPECT_THROW(sched.release(5, BlockRequirements{32, 0}), FatalError);
+}
+
+TEST(BlockScheduler, SaturationBlocksOtherKernels)
+{
+    // The Sec. VI noise mitigation: an attacker block (32 KiB shared)
+    // plus an idle filler block (32 KiB) saturate each SM so no other
+    // application can co-locate.
+    BlockScheduler sched(4, limits(64 * 1024));
+    BlockRequirements attacker{32, 32 * 1024};
+    BlockRequirements filler{32, 32 * 1024};
+    for (int sm = 0; sm < 4; ++sm) {
+        EXPECT_TRUE(sched.tryPlace(attacker).has_value());
+        EXPECT_TRUE(sched.tryPlace(filler).has_value());
+    }
+    BlockRequirements noisy{32, 1024};
+    EXPECT_FALSE(sched.canPlace(noisy));
+}
+
+TEST(Device, ConstructsP100Geometry)
+{
+    DeviceParams params; // defaults
+    cache::HashedPageIndexer idx(params.l2.numSets(), params.l2.lineBytes,
+                                 64 * 1024, 1);
+    Device dev(3, params, idx, Rng(1));
+    EXPECT_EQ(dev.id(), 3);
+    EXPECT_EQ(dev.numSms(), 56);
+    EXPECT_EQ(dev.l2().numSets(), 2048u);
+    EXPECT_EQ(dev.l2().config().ways, 16u);
+    EXPECT_EQ(dev.scheduler().numSms(), 56);
+}
+
+TEST(Device, PerSmL1sAreIndependent)
+{
+    DeviceParams params;
+    params.numSms = 2;
+    cache::HashedPageIndexer idx(params.l2.numSets(), params.l2.lineBytes,
+                                 64 * 1024, 1);
+    Device dev(0, params, idx, Rng(1));
+    dev.l1(0).access(0x1000);
+    EXPECT_TRUE(dev.l1(0).probe(0x1000));
+    EXPECT_FALSE(dev.l1(1).probe(0x1000));
+}
+
+} // namespace
+} // namespace gpubox::gpu

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * End-to-end integration tests on the full DGX-1 geometry: the whole
+ * attack pipeline from calibration through covert transmission, and a
+ * mini fingerprinting run -- everything an attacker would actually do,
+ * with nothing pre-seeded.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attack/covert/channel.hh"
+#include "attack/evset_finder.hh"
+#include "attack/set_aligner.hh"
+#include "attack/side/fingerprint.hh"
+#include "attack/timing_oracle.hh"
+#include "rt/runtime.hh"
+#include "test_common.hh"
+#include "util/log.hh"
+
+namespace gpubox
+{
+namespace
+{
+
+TEST(Integration, FullCovertPipelineOnDgx1)
+{
+    setLogEnabled(false);
+    // Full-size box: 8 P100s, hybrid cube-mesh, 4 MiB 16-way L2.
+    rt::Runtime rt(test::dgx1Config(2026));
+    rt::Process &trojan = rt.createProcess("trojan");
+    rt::Process &spy = rt.createProcess("spy");
+
+    // 1. Reverse engineer timing from user level (Fig. 4).
+    attack::TimingOracle oracle(rt, spy);
+    auto calib = oracle.calibrate(/*local=*/1, /*remote=*/0, 48, 4);
+    ASSERT_EQ(calib.clusters.centers.size(), 4u);
+
+    // 2. Both processes find eviction sets over buffers on GPU 0.
+    //    (Smaller pool: the full-size cache has 4 colors over 64 KiB
+    //    pages, so 140 pages give ~35 pages per color.)
+    attack::FinderConfig fcfg;
+    fcfg.poolPages = 140;
+    attack::EvictionSetFinder tf(rt, trojan, 0, 0, calib.thresholds,
+                                 fcfg);
+    tf.run();
+    attack::EvictionSetFinder sf(rt, spy, 1, 0, calib.thresholds, fcfg);
+    sf.run();
+    EXPECT_EQ(tf.associativity(), 16u);
+    EXPECT_EQ(sf.associativity(), 16u);
+
+    // 3. Align eviction sets across the processes (Algorithm 2).
+    attack::SetAligner aligner(rt, trojan, spy, 0, 1, calib.thresholds);
+    auto mapping = aligner.alignGroups(tf, sf);
+    int matched = 0;
+    for (int m : mapping)
+        if (m >= 0)
+            ++matched;
+    ASSERT_GE(matched, 1);
+
+    // 4. Transmit a covert message over 4 parallel sets (Fig. 10).
+    auto pairs = aligner.alignedPairs(tf, sf, mapping, 4);
+    attack::covert::CovertChannel channel(rt, trojan, spy, 0, 1, pairs,
+                                          calib.thresholds);
+    std::string decoded;
+    auto stats = channel.transmitMessage("Hello! How are you? ", decoded);
+    setLogEnabled(true);
+
+    EXPECT_LE(stats.errorRate, 0.05);
+    EXPECT_GT(stats.bandwidthMbitPerSec, 1.0);
+    int same = 0;
+    const std::string sent = "Hello! How are you? ";
+    for (std::size_t i = 0; i < sent.size(); ++i)
+        if (i < decoded.size() && decoded[i] == sent[i])
+            ++same;
+    EXPECT_GE(same, 18);
+}
+
+TEST(Integration, CrossGpuSideChannelSeesVictim)
+{
+    setLogEnabled(false);
+    rt::Runtime rt(test::smallConfig(31337));
+    rt::Process &spy = rt.createProcess("spy");
+    rt::Process &victim = rt.createProcess("victim");
+
+    attack::TimingOracle oracle(rt, spy);
+    auto calib = oracle.calibrate(1, 0, 32, 4);
+    attack::EvictionSetFinder finder(rt, spy, 1, 0, calib.thresholds);
+    finder.run();
+
+    attack::side::FingerprintConfig cfg;
+    cfg.prober.monitoredSets = 32;
+    cfg.prober.samplePeriod = 3000;
+    cfg.prober.windowCycles = 6000;
+    cfg.prober.duration = 250000;
+    attack::side::Fingerprinter fp(rt, spy, 1, victim, 0, finder,
+                                   calib.thresholds, cfg);
+
+    auto busy = fp.collectSample(victim::AppKind::HISTOGRAM, 3);
+    setLogEnabled(true);
+    EXPECT_GT(busy.totalMisses(), 20u);
+}
+
+TEST(Integration, NonAdjacentGpusCannotAttack)
+{
+    // On the DGX-1, GPUs 0 and 5 are not NVLink peers: the runtime
+    // refuses peer access, closing the remote cache channel entirely.
+    rt::Runtime rt(test::dgx1Config());
+    rt::Process &p = rt.createProcess("p");
+    EXPECT_THROW(rt.enablePeerAccess(p, 0, 5), FatalError);
+    attack::TimingOracle oracle(rt, p);
+    EXPECT_THROW(oracle.calibrate(0, 5, 8, 1), FatalError);
+}
+
+} // namespace
+} // namespace gpubox

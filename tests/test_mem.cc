@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Unit tests for the memory subsystem: address codec, page allocator,
+ * virtual space (translation, backing store, release).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/address.hh"
+#include "mem/page_allocator.hh"
+#include "mem/virtual_space.hh"
+#include "util/log.hh"
+#include "util/rng.hh"
+
+namespace gpubox::mem
+{
+namespace
+{
+
+TEST(AddressCodec, PackUnpackRoundtrip)
+{
+    AddressCodec codec(64 * 1024);
+    const PAddr p = codec.pack(3, 0xabcd, 0x1234);
+    const PhysLoc loc = codec.unpack(p);
+    EXPECT_EQ(loc.gpu, 3);
+    EXPECT_EQ(loc.frame, 0xabcdu);
+    EXPECT_EQ(loc.offset, 0x1234u);
+    EXPECT_EQ(codec.gpuOf(p), 3);
+    EXPECT_EQ(codec.frameOf(p), 0xabcdu);
+    EXPECT_EQ(codec.offsetOf(p), 0x1234u);
+}
+
+TEST(AddressCodec, PageBase)
+{
+    AddressCodec codec(4096);
+    const PAddr p = codec.pack(1, 7, 100);
+    EXPECT_EQ(codec.pageBase(p), codec.pack(1, 7, 0));
+}
+
+TEST(AddressCodec, DistinctGpusDistinctAddresses)
+{
+    AddressCodec codec(4096);
+    EXPECT_NE(codec.pack(0, 5, 0), codec.pack(1, 5, 0));
+}
+
+TEST(AddressCodec, RejectsBadInputs)
+{
+    EXPECT_THROW(AddressCodec(1000), FatalError); // not a power of two
+    AddressCodec codec(4096);
+    EXPECT_THROW(codec.pack(0, 0, 4096), FatalError); // offset too big
+    EXPECT_THROW(codec.pack(-1, 0, 0), FatalError);
+    EXPECT_THROW(codec.pack(256, 0, 0), FatalError);
+    EXPECT_THROW(codec.pack(0, 1ULL << 33, 0), FatalError);
+}
+
+TEST(PageAllocator, UniqueFramesUntilExhaustion)
+{
+    PageAllocator alloc(64, Rng(1));
+    std::set<std::uint64_t> frames;
+    for (int i = 0; i < 64; ++i) {
+        const auto f = alloc.alloc();
+        EXPECT_LT(f, 64u);
+        EXPECT_TRUE(frames.insert(f).second) << "duplicate frame " << f;
+    }
+    EXPECT_EQ(alloc.freeFrames(), 0u);
+    EXPECT_THROW(alloc.alloc(), FatalError);
+}
+
+TEST(PageAllocator, RandomizedOrder)
+{
+    PageAllocator alloc(256, Rng(2));
+    std::vector<std::uint64_t> first16;
+    for (int i = 0; i < 16; ++i)
+        first16.push_back(alloc.alloc());
+    // Not the identity sequence (randomized free list).
+    bool sequential = true;
+    for (int i = 0; i < 16; ++i)
+        sequential &= first16[i] == static_cast<std::uint64_t>(i);
+    EXPECT_FALSE(sequential);
+}
+
+TEST(PageAllocator, SeedsGiveDifferentOrders)
+{
+    PageAllocator a(128, Rng(3)), b(128, Rng(4));
+    int same = 0;
+    for (int i = 0; i < 32; ++i)
+        if (a.alloc() == b.alloc())
+            ++same;
+    EXPECT_LT(same, 8);
+}
+
+TEST(PageAllocator, FreeAndReuse)
+{
+    PageAllocator alloc(4, Rng(5));
+    auto frames = alloc.allocMany(4);
+    EXPECT_EQ(alloc.usedFrames(), 4u);
+    alloc.free(frames[1]);
+    EXPECT_EQ(alloc.freeFrames(), 1u);
+    EXPECT_EQ(alloc.alloc(), frames[1]);
+}
+
+TEST(PageAllocator, DoubleFreeIsFatal)
+{
+    PageAllocator alloc(4, Rng(6));
+    const auto f = alloc.alloc();
+    alloc.free(f);
+    EXPECT_THROW(alloc.free(f), FatalError);
+    EXPECT_THROW(alloc.free(99), FatalError);
+}
+
+class VirtualSpaceTest : public ::testing::Test
+{
+  protected:
+    VirtualSpaceTest()
+        : codec_(4096), alloc_(128, Rng(7)), space_(codec_)
+    {}
+
+    AddressCodec codec_;
+    PageAllocator alloc_;
+    VirtualSpace space_;
+};
+
+TEST_F(VirtualSpaceTest, AllocateMapsWholeRange)
+{
+    const VAddr base = space_.allocate(3 * 4096 + 100, 2, alloc_);
+    // Rounded up to 4 pages.
+    EXPECT_EQ(space_.allocationAt(base).size, 4u * 4096u);
+    for (std::uint64_t off = 0; off < 4 * 4096; off += 512)
+        EXPECT_TRUE(space_.isMapped(base + off));
+    EXPECT_FALSE(space_.isMapped(base + 4 * 4096));
+}
+
+TEST_F(VirtualSpaceTest, TranslationPreservesGpuAndOffset)
+{
+    const VAddr base = space_.allocate(2 * 4096, 1, alloc_);
+    for (std::uint64_t off : {0ULL, 100ULL, 4095ULL, 4096ULL, 8191ULL}) {
+        const PAddr p = space_.translate(base + off);
+        EXPECT_EQ(codec_.gpuOf(p), 1);
+        EXPECT_EQ(codec_.offsetOf(p), off % 4096);
+    }
+}
+
+TEST_F(VirtualSpaceTest, PagesLandOnDistinctFrames)
+{
+    const VAddr base = space_.allocate(8 * 4096, 0, alloc_);
+    std::set<std::uint64_t> frames;
+    for (int pg = 0; pg < 8; ++pg)
+        frames.insert(codec_.frameOf(space_.translate(base + pg * 4096)));
+    EXPECT_EQ(frames.size(), 8u);
+}
+
+TEST_F(VirtualSpaceTest, UnmappedTranslateIsFatal)
+{
+    EXPECT_THROW(space_.translate(0xdead0000), FatalError);
+    const VAddr base = space_.allocate(4096, 0, alloc_);
+    // Guard gap after the allocation stays unmapped.
+    EXPECT_THROW(space_.translate(base + 4096), FatalError);
+}
+
+TEST_F(VirtualSpaceTest, BackingStoreReadWrite)
+{
+    const VAddr base = space_.allocate(4096, 0, alloc_);
+    space_.write<std::uint64_t>(base + 8, 0x1122334455667788ULL);
+    EXPECT_EQ(space_.read<std::uint64_t>(base + 8), 0x1122334455667788ULL);
+    EXPECT_EQ(space_.read<std::uint32_t>(base + 8), 0x55667788u);
+    space_.write<std::uint8_t>(base, 0xab);
+    EXPECT_EQ(space_.read<std::uint8_t>(base), 0xab);
+}
+
+TEST_F(VirtualSpaceTest, ZeroInitialized)
+{
+    const VAddr base = space_.allocate(4096, 0, alloc_);
+    EXPECT_EQ(space_.read<std::uint64_t>(base + 1000), 0u);
+}
+
+TEST_F(VirtualSpaceTest, OutOfBoundsAccessIsFatal)
+{
+    const VAddr base = space_.allocate(4096, 0, alloc_);
+    EXPECT_THROW(space_.read<std::uint64_t>(base + 4090), FatalError);
+    EXPECT_THROW(space_.read<std::uint32_t>(base - 4), FatalError);
+}
+
+TEST_F(VirtualSpaceTest, ReleaseReturnsFrames)
+{
+    const std::uint64_t before = alloc_.freeFrames();
+    const VAddr base = space_.allocate(4 * 4096, 0, alloc_);
+    EXPECT_EQ(alloc_.freeFrames(), before - 4);
+    space_.release(base, alloc_);
+    EXPECT_EQ(alloc_.freeFrames(), before);
+    EXPECT_FALSE(space_.isMapped(base));
+    EXPECT_THROW(space_.release(base, alloc_), FatalError);
+}
+
+TEST_F(VirtualSpaceTest, ZeroByteAllocationIsFatal)
+{
+    EXPECT_THROW(space_.allocate(0, 0, alloc_), FatalError);
+}
+
+TEST_F(VirtualSpaceTest, BytesAllocatedTracksLiveMemory)
+{
+    EXPECT_EQ(space_.bytesAllocated(), 0u);
+    const VAddr a = space_.allocate(4096, 0, alloc_);
+    const VAddr b = space_.allocate(2 * 4096, 0, alloc_);
+    EXPECT_EQ(space_.bytesAllocated(), 3u * 4096u);
+    space_.release(a, alloc_);
+    EXPECT_EQ(space_.bytesAllocated(), 2u * 4096u);
+    space_.release(b, alloc_);
+    EXPECT_EQ(space_.bytesAllocated(), 0u);
+}
+
+// Property: translation roundtrips over many random allocations.
+TEST(VirtualSpaceProperty, TranslationConsistentAcrossAllocs)
+{
+    AddressCodec codec(4096);
+    PageAllocator alloc(512, Rng(11));
+    VirtualSpace space(codec);
+    Rng rng(13);
+
+    std::vector<std::pair<VAddr, std::uint64_t>> allocs;
+    for (int i = 0; i < 40; ++i) {
+        const std::uint64_t bytes = (rng.uniform(8) + 1) * 4096;
+        allocs.emplace_back(space.allocate(bytes, 0, alloc), bytes);
+    }
+    // Every page translates, stays on GPU 0, and distinct vaddrs map
+    // to distinct paddrs.
+    std::set<PAddr> seen;
+    for (auto [base, bytes] : allocs) {
+        for (std::uint64_t off = 0; off < bytes; off += 4096) {
+            const PAddr p = space.translate(base + off);
+            EXPECT_EQ(codec.gpuOf(p), 0);
+            EXPECT_TRUE(seen.insert(p).second);
+        }
+    }
+}
+
+} // namespace
+} // namespace gpubox::mem

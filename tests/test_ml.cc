@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Unit tests for the ML module: dataset splitting, standardization,
+ * softmax and MLP classifiers, confusion matrix.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/confusion.hh"
+#include "ml/dataset.hh"
+#include "ml/mlp.hh"
+#include "ml/softmax.hh"
+#include "util/log.hh"
+
+namespace gpubox::ml
+{
+namespace
+{
+
+/** Gaussian blobs, one per class, trivially separable. */
+Dataset
+blobs(int classes, int per_class, double sep, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Dataset data;
+    for (int c = 0; c < classes; ++c) {
+        for (int i = 0; i < per_class; ++i) {
+            Sample s;
+            s.label = c;
+            for (int d = 0; d < 4; ++d)
+                s.x.push_back(rng.normal(c * sep * ((d % 2) ? 1 : -1),
+                                         1.0));
+            data.push_back(s);
+        }
+    }
+    return data;
+}
+
+TEST(Dataset, SplitSizesAndBalance)
+{
+    Dataset data = blobs(3, 20, 5.0, 1);
+    Split split = splitDataset(data, 10, 5, Rng(2));
+    EXPECT_EQ(split.train.size(), 30u);
+    EXPECT_EQ(split.validation.size(), 15u);
+    EXPECT_EQ(split.test.size(), 15u);
+    // Per-class balance in train.
+    int counts[3] = {0, 0, 0};
+    for (const auto &s : split.train)
+        ++counts[s.label];
+    for (int c = 0; c < 3; ++c)
+        EXPECT_EQ(counts[c], 10);
+}
+
+TEST(Dataset, SplitTooSmallIsFatal)
+{
+    Dataset data = blobs(2, 5, 5.0, 1);
+    EXPECT_THROW(splitDataset(data, 4, 2, Rng(1)), FatalError);
+}
+
+TEST(Dataset, NumClassesAndDim)
+{
+    Dataset data = blobs(4, 3, 1.0, 1);
+    EXPECT_EQ(numClasses(data), 4);
+    EXPECT_EQ(featureDim(data), 4u);
+    data[0].x.push_back(1.0);
+    EXPECT_THROW(featureDim(data), FatalError);
+}
+
+TEST(Standardizer, ZeroMeanUnitVariance)
+{
+    Dataset data = blobs(2, 200, 3.0, 3);
+    Standardizer norm;
+    norm.fit(data);
+    Dataset out = norm.apply(data);
+    double mean = 0;
+    for (const auto &s : out)
+        mean += s.x[0];
+    mean /= static_cast<double>(out.size());
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+}
+
+TEST(Standardizer, ConstantFeatureSafe)
+{
+    Dataset data;
+    for (int i = 0; i < 10; ++i)
+        data.push_back(Sample{{5.0, static_cast<double>(i)}, 0});
+    Standardizer norm;
+    norm.fit(data);
+    auto x = norm.apply(std::vector<double>{5.0, 0.0});
+    EXPECT_TRUE(std::isfinite(x[0]));
+    EXPECT_DOUBLE_EQ(x[0], 0.0);
+}
+
+TEST(Softmax, LearnsSeparableBlobs)
+{
+    Dataset train = blobs(3, 60, 4.0, 5);
+    Dataset test = blobs(3, 30, 4.0, 6);
+    Standardizer norm;
+    norm.fit(train);
+    SoftmaxClassifier clf(4, 3);
+    clf.fit(norm.apply(train), Rng(7));
+    EXPECT_GE(clf.score(norm.apply(test)), 0.95);
+}
+
+TEST(Softmax, ProbabilitiesSumToOne)
+{
+    SoftmaxClassifier clf(4, 3);
+    auto p = clf.predictProba({1, 2, 3, 4});
+    double sum = 0;
+    for (double v : p)
+        sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Softmax, DimensionMismatchIsFatal)
+{
+    SoftmaxClassifier clf(4, 3);
+    EXPECT_THROW(clf.predict({1.0, 2.0}), FatalError);
+    EXPECT_THROW(SoftmaxClassifier(0, 3), FatalError);
+    EXPECT_THROW(SoftmaxClassifier(4, 1), FatalError);
+}
+
+TEST(Mlp, LearnsXorLikeProblem)
+{
+    // XOR in 2-D: not linearly separable; the MLP must beat chance by
+    // a wide margin where a linear model cannot.
+    Rng rng(11);
+    Dataset data;
+    for (int i = 0; i < 400; ++i) {
+        const double x = rng.normal(0, 1);
+        const double y = rng.normal(0, 1);
+        Sample s;
+        s.x = {x, y};
+        s.label = (x > 0) != (y > 0) ? 1 : 0;
+        data.push_back(s);
+    }
+    Split split = splitDataset(data, 140, 20, Rng(12));
+    MlpClassifierConfig cfg;
+    cfg.hidden = 24;
+    cfg.epochs = 400;
+    cfg.learningRate = 0.03;
+    MlpClassifier clf(2, 2, cfg);
+    clf.fit(split.train, Rng(13));
+    EXPECT_GE(clf.score(split.test), 0.85);
+}
+
+TEST(Mlp, LearnsBlobs)
+{
+    Dataset train = blobs(3, 60, 4.0, 15);
+    Dataset test = blobs(3, 30, 4.0, 16);
+    Standardizer norm;
+    norm.fit(train);
+    MlpClassifier clf(4, 3);
+    clf.fit(norm.apply(train), Rng(17));
+    EXPECT_GE(clf.score(norm.apply(test)), 0.95);
+}
+
+TEST(Confusion, CountsAndAccuracy)
+{
+    ConfusionMatrix cm(3);
+    cm.add(0, 0);
+    cm.add(0, 0);
+    cm.add(0, 1);
+    cm.add(1, 1);
+    cm.add(2, 2);
+    EXPECT_EQ(cm.total(), 5u);
+    EXPECT_EQ(cm.count(0, 1), 1u);
+    EXPECT_EQ(cm.rowTotal(0), 3u);
+    EXPECT_NEAR(cm.accuracy(), 4.0 / 5.0, 1e-12);
+    EXPECT_NEAR(cm.classAccuracy(0), 2.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(cm.classAccuracy(1), 1.0);
+}
+
+TEST(Confusion, RenderContainsNames)
+{
+    ConfusionMatrix cm(2);
+    cm.add(0, 0);
+    cm.add(1, 0);
+    const std::string out = cm.render({"AA", "BB"});
+    EXPECT_NE(out.find("AA"), std::string::npos);
+    EXPECT_NE(out.find("BB"), std::string::npos);
+    EXPECT_NE(out.find("accuracy"), std::string::npos);
+}
+
+TEST(Confusion, BadInputsAreFatal)
+{
+    EXPECT_THROW(ConfusionMatrix(0), FatalError);
+    ConfusionMatrix cm(2);
+    EXPECT_THROW(cm.add(2, 0), FatalError);
+    EXPECT_THROW(cm.add(0, -1), FatalError);
+    EXPECT_THROW(cm.render({"only-one"}), FatalError);
+}
+
+TEST(Confusion, EmptyAccuracyIsZero)
+{
+    ConfusionMatrix cm(2);
+    EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+    EXPECT_DOUBLE_EQ(cm.classAccuracy(0), 0.0);
+}
+
+} // namespace
+} // namespace gpubox::ml

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Unit tests for the interconnect: DGX-1 topology shape, peer checks,
+ * fabric latency and contention.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/fabric.hh"
+#include "noc/topology.hh"
+#include "util/log.hh"
+
+namespace gpubox::noc
+{
+namespace
+{
+
+TEST(Topology, Dgx1Shape)
+{
+    const Topology t = Topology::dgx1();
+    EXPECT_EQ(t.numGpus(), 8);
+    EXPECT_EQ(t.links().size(), 16u); // 8 GPUs x 4 ports / 2
+    for (GpuId g = 0; g < 8; ++g)
+        EXPECT_EQ(t.degree(g), 4) << "GPU " << g;
+}
+
+TEST(Topology, Dgx1QuadsFullyConnected)
+{
+    const Topology t = Topology::dgx1();
+    for (GpuId a = 0; a < 4; ++a)
+        for (GpuId b = a + 1; b < 4; ++b)
+            EXPECT_TRUE(t.connected(a, b)) << a << "-" << b;
+    for (GpuId a = 4; a < 8; ++a)
+        for (GpuId b = a + 1; b < 8; ++b)
+            EXPECT_TRUE(t.connected(a, b)) << a << "-" << b;
+}
+
+TEST(Topology, Dgx1CrossLinks)
+{
+    const Topology t = Topology::dgx1();
+    EXPECT_TRUE(t.connected(0, 4));
+    EXPECT_TRUE(t.connected(1, 5));
+    EXPECT_TRUE(t.connected(2, 6));
+    EXPECT_TRUE(t.connected(3, 7));
+    // Non-matching cross pairs are NOT single-hop.
+    EXPECT_FALSE(t.connected(0, 5));
+    EXPECT_FALSE(t.connected(1, 6));
+    EXPECT_FALSE(t.connected(0, 7));
+}
+
+TEST(Topology, ConnectivityIsSymmetric)
+{
+    const Topology t = Topology::dgx1();
+    for (GpuId a = 0; a < 8; ++a)
+        for (GpuId b = 0; b < 8; ++b)
+            EXPECT_EQ(t.connected(a, b), t.connected(b, a));
+}
+
+TEST(Topology, SelfIsNotConnected)
+{
+    const Topology t = Topology::dgx1();
+    for (GpuId g = 0; g < 8; ++g)
+        EXPECT_FALSE(t.connected(g, g));
+}
+
+TEST(Topology, PeersOfMatchesDegree)
+{
+    const Topology t = Topology::dgx1();
+    for (GpuId g = 0; g < 8; ++g)
+        EXPECT_EQ(static_cast<int>(t.peersOf(g).size()), t.degree(g));
+}
+
+TEST(Topology, FullyConnected)
+{
+    const Topology t = Topology::fullyConnected(4);
+    EXPECT_EQ(t.links().size(), 6u);
+    for (GpuId a = 0; a < 4; ++a)
+        for (GpuId b = 0; b < 4; ++b)
+            EXPECT_EQ(t.connected(a, b), a != b);
+}
+
+TEST(Topology, RingShape)
+{
+    const Topology t = Topology::ring(5);
+    EXPECT_EQ(t.links().size(), 5u);
+    EXPECT_TRUE(t.connected(0, 4));
+    EXPECT_TRUE(t.connected(2, 3));
+    EXPECT_FALSE(t.connected(0, 2));
+}
+
+TEST(Topology, TwoGpuRingHasSingleLink)
+{
+    const Topology t = Topology::ring(2);
+    EXPECT_EQ(t.links().size(), 1u);
+    EXPECT_TRUE(t.connected(0, 1));
+}
+
+TEST(Topology, OutOfRangeQueriesAreFalse)
+{
+    const Topology t = Topology::dgx1();
+    EXPECT_FALSE(t.connected(-1, 0));
+    EXPECT_FALSE(t.connected(0, 8));
+    EXPECT_EQ(t.linkIndex(0, 99), -1);
+}
+
+TEST(Fabric, BaseHopLatency)
+{
+    const Topology t = Topology::dgx1();
+    FabricParams p;
+    p.hopCycles = 180;
+    p.freeSlotsPerWindow = 1000; // no contention
+    Fabric fabric(t, p);
+    EXPECT_EQ(fabric.traverse(0, 1, 0), 180u);
+    EXPECT_EQ(fabric.totalTransfers(), 1u);
+    EXPECT_EQ(fabric.linkTransfers(0, 1), 1u);
+    EXPECT_EQ(fabric.linkTransfers(1, 0), 1u); // undirected
+}
+
+TEST(Fabric, NonAdjacentTraverseIsFatal)
+{
+    const Topology t = Topology::dgx1();
+    Fabric fabric(t, FabricParams{});
+    EXPECT_THROW(fabric.traverse(0, 5, 0), FatalError);
+}
+
+TEST(Fabric, ContentionAddsQueueing)
+{
+    const Topology t = Topology::fullyConnected(2);
+    FabricParams p;
+    p.hopCycles = 100;
+    p.windowCycles = 1000;
+    p.freeSlotsPerWindow = 2;
+    p.queueCyclesPerExtra = 50;
+    Fabric fabric(t, p);
+    EXPECT_EQ(fabric.traverse(0, 1, 10), 100u);
+    EXPECT_EQ(fabric.traverse(0, 1, 20), 100u);
+    EXPECT_EQ(fabric.traverse(0, 1, 30), 150u);
+    EXPECT_EQ(fabric.traverse(0, 1, 40), 200u);
+    // New window resets.
+    EXPECT_EQ(fabric.traverse(0, 1, 1500), 100u);
+}
+
+TEST(Fabric, LinksAreIndependent)
+{
+    const Topology t = Topology::fullyConnected(3);
+    FabricParams p;
+    p.hopCycles = 100;
+    p.windowCycles = 1000;
+    p.freeSlotsPerWindow = 1;
+    p.queueCyclesPerExtra = 50;
+    Fabric fabric(t, p);
+    EXPECT_EQ(fabric.traverse(0, 1, 0), 100u);
+    // A different link is unaffected by 0-1's occupancy.
+    EXPECT_EQ(fabric.traverse(0, 2, 0), 100u);
+    EXPECT_EQ(fabric.traverse(1, 2, 0), 100u);
+}
+
+TEST(Fabric, ResetStatsClearsCounters)
+{
+    const Topology t = Topology::fullyConnected(2);
+    Fabric fabric(t, FabricParams{});
+    fabric.traverse(0, 1, 0);
+    fabric.resetStats();
+    EXPECT_EQ(fabric.totalTransfers(), 0u);
+    EXPECT_EQ(fabric.linkTransfers(0, 1), 0u);
+}
+
+TEST(Topology, DuplicateLinkIsFatal)
+{
+    // Exercised through the factory path: rings of size 2 would have a
+    // duplicate link if not special-cased.
+    EXPECT_NO_THROW(Topology::ring(2));
+}
+
+} // namespace
+} // namespace gpubox::noc

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Parameterized property tests sweeping seeds, NVLink pairs and cache
+ * geometries: the invariants the attacks rely on must hold regardless
+ * of the randomized page placement, of which peer GPUs are used
+ * (paper Sec. III-A: "we repeated the experiment by selecting
+ * different peer-to-peer GPUs connected via NVLink and we have
+ * observed similar timing"), and of the exact cache shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "attack/covert/channel.hh"
+#include "attack/evset_finder.hh"
+#include "attack/set_aligner.hh"
+#include "attack/timing_oracle.hh"
+#include "cache/indexer.hh"
+#include "cache/set_assoc_cache.hh"
+#include "rt/runtime.hh"
+#include "test_common.hh"
+#include "util/log.hh"
+#include "util/stats.hh"
+
+namespace gpubox
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Timing clusters hold on every NVLink pair of the DGX-1.
+// ---------------------------------------------------------------------
+
+class NvlinkPair
+    : public ::testing::TestWithParam<std::pair<GpuId, GpuId>>
+{};
+
+TEST_P(NvlinkPair, TimingClustersSimilarOnEveryLink)
+{
+    const auto [local, remote] = GetParam();
+    setLogEnabled(false);
+    rt::Runtime rt(test::dgx1Config(13));
+    rt::Process &p = rt.createProcess("spy");
+    attack::TimingOracle oracle(rt, p);
+    auto calib = oracle.calibrate(local, remote, 24, 3);
+    setLogEnabled(true);
+
+    ASSERT_EQ(calib.clusters.centers.size(), 4u);
+    EXPECT_NEAR(calib.clusters.centers[0], 278, 25);
+    EXPECT_NEAR(calib.clusters.centers[1], 458, 25);
+    EXPECT_NEAR(calib.clusters.centers[2], 638, 35);
+    EXPECT_NEAR(calib.clusters.centers[3], 958, 35);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dgx1Links, NvlinkPair,
+    ::testing::Values(std::make_pair(0, 1), std::make_pair(0, 4),
+                      std::make_pair(2, 6), std::make_pair(3, 7),
+                      std::make_pair(5, 6), std::make_pair(4, 7)),
+    [](const auto &info) {
+        return "gpu" + std::to_string(info.param.first) + "to" +
+               std::to_string(info.param.second);
+    });
+
+// ---------------------------------------------------------------------
+// Eviction set discovery is correct for every seed (random placement).
+// ---------------------------------------------------------------------
+
+class FinderSeed : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(FinderSeed, GroupsAreColorPureAndSetsCollide)
+{
+    setLogEnabled(false);
+    rt::Runtime rt(test::smallConfig(GetParam()));
+    rt::Process &p = rt.createProcess("attacker");
+    attack::TimingOracle oracle(rt, p);
+    auto calib = oracle.calibrate(0, 1, 24, 4);
+    attack::EvictionSetFinder finder(rt, p, 0, 0, calib.thresholds);
+    finder.run();
+    setLogEnabled(true);
+
+    EXPECT_EQ(finder.associativity(), rt.config().device.l2.ways);
+    ASSERT_GE(finder.numGroups(), 1u);
+
+    for (std::size_t g = 0; g < finder.numGroups(); ++g) {
+        const auto set = finder.evictionSet(g, 3);
+        std::set<SetIndex> phys;
+        for (VAddr v : set.lines)
+            phys.insert(rt.l2SetOf(p, v));
+        EXPECT_EQ(phys.size(), 1u) << "seed " << GetParam() << " group "
+                                   << g;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FinderSeed,
+                         ::testing::Values(2u, 3u, 5u, 8u, 13u, 21u));
+
+// ---------------------------------------------------------------------
+// The remote finder works from every peer of the memory GPU.
+// ---------------------------------------------------------------------
+
+class RemoteFinderPeer : public ::testing::TestWithParam<GpuId>
+{};
+
+TEST_P(RemoteFinderPeer, DiscoversSameGeometry)
+{
+    setLogEnabled(false);
+    rt::Runtime rt(test::smallConfig(77));
+    rt::Process &p = rt.createProcess("spy");
+    attack::TimingOracle oracle(rt, p);
+    auto calib = oracle.calibrate(GetParam(), 0, 24, 4);
+    attack::EvictionSetFinder finder(rt, p, GetParam(), 0,
+                                     calib.thresholds);
+    finder.run();
+    setLogEnabled(true);
+    EXPECT_EQ(finder.associativity(), 16u);
+    EXPECT_EQ(finder.numGroups(), 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Peers, RemoteFinderPeer,
+                         ::testing::Values(1, 2, 3));
+
+// ---------------------------------------------------------------------
+// Covert channel quality holds across seeds.
+// ---------------------------------------------------------------------
+
+class ChannelSeed : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(ChannelSeed, LowErrorOverTwoSets)
+{
+    setLogEnabled(false);
+    rt::Runtime rt(test::smallConfig(GetParam()));
+    rt::Process &trojan = rt.createProcess("trojan");
+    rt::Process &spy = rt.createProcess("spy");
+
+    attack::TimingOracle oracle(rt, spy);
+    auto calib = oracle.calibrate(1, 0, 24, 4);
+    attack::EvictionSetFinder tf(rt, trojan, 0, 0, calib.thresholds);
+    tf.run();
+    attack::EvictionSetFinder sf(rt, spy, 1, 0, calib.thresholds);
+    sf.run();
+    attack::SetAligner aligner(rt, trojan, spy, 0, 1, calib.thresholds);
+    auto mapping = aligner.alignGroups(tf, sf);
+    auto pairs = aligner.alignedPairs(tf, sf, mapping, 2);
+    attack::covert::CovertChannel channel(rt, trojan, spy, 0, 1, pairs,
+                                          calib.thresholds);
+
+    Rng rng(GetParam() ^ 0x600d);
+    std::vector<std::uint8_t> bits(512);
+    for (auto &b : bits)
+        b = rng.chance(0.5) ? 1 : 0;
+    std::vector<std::uint8_t> rx;
+    auto stats = channel.transmit(bits, rx);
+    setLogEnabled(true);
+
+    EXPECT_LE(stats.errorRate, 0.05) << "seed " << GetParam();
+    EXPECT_GT(stats.bandwidthMbitPerSec, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChannelSeed,
+                         ::testing::Values(101u, 202u, 303u, 404u));
+
+// ---------------------------------------------------------------------
+// Cache invariants across geometries.
+// ---------------------------------------------------------------------
+
+struct Geometry
+{
+    std::uint64_t sizeBytes;
+    std::uint32_t lineBytes;
+    unsigned ways;
+};
+
+class CacheGeometry : public ::testing::TestWithParam<Geometry>
+{};
+
+TEST_P(CacheGeometry, FillThenRereadAllHits)
+{
+    const Geometry g = GetParam();
+    cache::CacheConfig cfg;
+    cfg.sizeBytes = g.sizeBytes;
+    cfg.lineBytes = g.lineBytes;
+    cfg.ways = g.ways;
+    cache::LinearIndexer idx(cfg.numSets(), cfg.lineBytes);
+    cache::SetAssocCache cache(cfg, idx, Rng(1));
+
+    const std::uint64_t lines = g.sizeBytes / g.lineBytes;
+    for (std::uint64_t i = 0; i < lines; ++i)
+        cache.access(i * g.lineBytes);
+    // Exactly at capacity: everything still resident under LRU.
+    for (std::uint64_t i = 0; i < lines; ++i)
+        EXPECT_TRUE(cache.access(i * g.lineBytes).hit) << "line " << i;
+    EXPECT_EQ(cache.misses(), lines);
+}
+
+TEST_P(CacheGeometry, EvictionsReportTheEvictedLine)
+{
+    const Geometry g = GetParam();
+    cache::CacheConfig cfg;
+    cfg.sizeBytes = g.sizeBytes;
+    cfg.lineBytes = g.lineBytes;
+    cfg.ways = g.ways;
+    cache::LinearIndexer idx(cfg.numSets(), cfg.lineBytes);
+    cache::SetAssocCache cache(cfg, idx, Rng(1));
+
+    const std::uint64_t stride =
+        static_cast<std::uint64_t>(cfg.numSets()) * g.lineBytes;
+    for (unsigned i = 0; i < g.ways; ++i)
+        cache.access(i * stride);
+    auto out = cache.access(static_cast<std::uint64_t>(g.ways) * stride);
+    ASSERT_TRUE(out.evicted);
+    EXPECT_EQ(out.evictedLine, 0u); // LRU victim is the first line
+    EXPECT_FALSE(cache.probe(0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CacheGeometry,
+    ::testing::Values(Geometry{8 * 1024, 128, 16},
+                      Geometry{64 * 1024, 128, 16},
+                      Geometry{32 * 1024, 64, 8},
+                      Geometry{16 * 1024, 32, 4},
+                      Geometry{4ULL << 20, 128, 16}));
+
+// ---------------------------------------------------------------------
+// Indexer page-window property across page sizes.
+// ---------------------------------------------------------------------
+
+class IndexerPageSize : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(IndexerPageSize, ConsecutiveLinesConsecutiveSets)
+{
+    const std::uint64_t page = GetParam();
+    cache::HashedPageIndexer idx(2048, 128, page, 0xabc);
+    const std::uint32_t lines_per_page =
+        static_cast<std::uint32_t>(page / 128);
+    for (std::uint64_t frame : {0ULL, 5ULL, 99ULL}) {
+        const PAddr base = frame * page;
+        const SetIndex s0 = idx.setFor(base);
+        for (std::uint32_t l = 1; l < lines_per_page; ++l)
+            ASSERT_EQ(idx.setFor(base + l * 128), (s0 + l) % 2048);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Pages, IndexerPageSize,
+                         ::testing::Values(4096u, 16384u, 65536u,
+                                           262144u));
+
+// ---------------------------------------------------------------------
+// Deterministic end-to-end reproducibility: identical seed, identical
+// transmission outcome.
+// ---------------------------------------------------------------------
+
+TEST(Reproducibility, CovertTransmissionBitExact)
+{
+    auto run_once = [](std::uint64_t seed) {
+        setLogEnabled(false);
+        rt::Runtime rt(test::smallConfig(seed));
+        rt::Process &trojan = rt.createProcess("trojan");
+        rt::Process &spy = rt.createProcess("spy");
+        attack::TimingOracle oracle(rt, spy);
+        auto calib = oracle.calibrate(1, 0, 24, 4);
+        attack::EvictionSetFinder tf(rt, trojan, 0, 0, calib.thresholds);
+        tf.run();
+        attack::EvictionSetFinder sf(rt, spy, 1, 0, calib.thresholds);
+        sf.run();
+        attack::SetAligner aligner(rt, trojan, spy, 0, 1,
+                                   calib.thresholds);
+        auto mapping = aligner.alignGroups(tf, sf);
+        auto pairs = aligner.alignedPairs(tf, sf, mapping, 2);
+        attack::covert::CovertChannel channel(rt, trojan, spy, 0, 1,
+                                              pairs, calib.thresholds);
+        std::string decoded;
+        auto stats = channel.transmitMessage("determinism", decoded);
+        setLogEnabled(true);
+        return std::make_tuple(decoded, stats.bitErrors,
+                               stats.elapsedCycles);
+    };
+    EXPECT_EQ(run_once(55), run_once(55));
+}
+
+} // namespace
+} // namespace gpubox

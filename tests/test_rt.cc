@@ -1,0 +1,355 @@
+/**
+ * @file
+ * Unit tests for the runtime: allocation NUMA-ness, peer access rules,
+ * the four latency clusters, the NUMA L2 caching rule, kernel launch
+ * and block queueing, group probes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rt/runtime.hh"
+#include "test_common.hh"
+#include "util/log.hh"
+#include "util/stats.hh"
+
+namespace gpubox::rt
+{
+namespace
+{
+
+using test::smallConfig;
+
+class RtTest : public ::testing::Test
+{
+  protected:
+    RtTest() : rt_(smallConfig()) {}
+
+    /** Run a single-block kernel on @p gpu and wait for it. */
+    void
+    runKernel(Process &proc, GpuId gpu, const KernelFn &fn,
+              std::uint32_t shmem = 0)
+    {
+        gpu::KernelConfig cfg;
+        cfg.name = "test";
+        cfg.sharedMemBytes = shmem;
+        auto h = rt_.launch(proc, gpu, cfg, fn);
+        rt_.runUntilDone(h);
+    }
+
+    Runtime rt_;
+};
+
+TEST_F(RtTest, MallocLandsOnRequestedGpu)
+{
+    Process &p = rt_.createProcess("p");
+    for (GpuId g = 0; g < rt_.numGpus(); ++g) {
+        const VAddr a = rt_.deviceMalloc(p, g, 4096);
+        EXPECT_EQ(rt_.homeGpuOf(p, a), g);
+    }
+}
+
+TEST_F(RtTest, HostReadWriteRoundtrip)
+{
+    Process &p = rt_.createProcess("p");
+    const VAddr a = rt_.deviceMalloc(p, 0, 4096);
+    rt_.hostWrite<std::uint64_t>(p, a + 16, 0xdeadbeefULL);
+    EXPECT_EQ(rt_.hostRead<std::uint64_t>(p, a + 16), 0xdeadbeefULL);
+}
+
+TEST_F(RtTest, ProcessesAreIsolated)
+{
+    Process &a = rt_.createProcess("a");
+    Process &b = rt_.createProcess("b");
+    const VAddr va = rt_.deviceMalloc(a, 0, 4096);
+    const VAddr vb = rt_.deviceMalloc(b, 0, 4096);
+    // Same VA range bases but distinct physical frames.
+    EXPECT_NE(a.space().translate(va), b.space().translate(vb));
+}
+
+TEST_F(RtTest, PeerAccessRequiresLink)
+{
+    // smallConfig is fully connected; a ring exposes the error.
+    rt::SystemConfig cfg = smallConfig();
+    cfg.topology = noc::Topology::ring(4);
+    Runtime rt(cfg);
+    Process &p = rt.createProcess("p");
+    EXPECT_NO_THROW(rt.enablePeerAccess(p, 0, 1));
+    EXPECT_THROW(rt.enablePeerAccess(p, 0, 2), FatalError);
+    EXPECT_THROW(rt.enablePeerAccess(p, 1, 1), FatalError);
+    EXPECT_TRUE(p.peerEnabled(0, 1));
+    EXPECT_FALSE(p.peerEnabled(1, 0)); // directed
+}
+
+TEST_F(RtTest, RemoteAccessWithoutPeerIsFatal)
+{
+    Process &p = rt_.createProcess("p");
+    const VAddr remote = rt_.deviceMalloc(p, 1, 4096);
+    auto kernel = [remote](BlockCtx &ctx) -> sim::Task {
+        co_await ctx.ldcg64(remote);
+    };
+    gpu::KernelConfig cfg;
+    auto h = rt_.launch(p, 0, cfg, kernel);
+    EXPECT_THROW(rt_.runUntilDone(h), FatalError);
+}
+
+TEST_F(RtTest, FourLatencyClustersAreOrderedAndSeparable)
+{
+    Process &p = rt_.createProcess("p");
+    rt_.enablePeerAccess(p, 0, 1);
+    const std::uint32_t line = rt_.config().device.l2.lineBytes;
+    const int n = 24;
+    const VAddr local = rt_.deviceMalloc(p, 0, n * line);
+    const VAddr remote = rt_.deviceMalloc(p, 1, n * line);
+
+    RunningStats lh, lm, rh, rm;
+    auto kernel = [&](BlockCtx &ctx) -> sim::Task {
+        for (int i = 0; i < n; ++i) {
+            Cycles t0 = ctx.clock();
+            co_await ctx.ldcg64(local + i * line);
+            lm.add(static_cast<double>(ctx.clock() - t0)); // cold: miss
+        }
+        for (int i = 0; i < n; ++i) {
+            Cycles t0 = ctx.clock();
+            co_await ctx.ldcg64(local + i * line);
+            lh.add(static_cast<double>(ctx.clock() - t0)); // warm: hit
+        }
+        for (int i = 0; i < n; ++i) {
+            Cycles t0 = ctx.clock();
+            co_await ctx.ldcg64(remote + i * line);
+            rm.add(static_cast<double>(ctx.clock() - t0));
+        }
+        for (int i = 0; i < n; ++i) {
+            Cycles t0 = ctx.clock();
+            co_await ctx.ldcg64(remote + i * line);
+            rh.add(static_cast<double>(ctx.clock() - t0));
+        }
+    };
+    runKernel(p, 0, kernel);
+
+    // Cluster ordering: LH < LM < RH < RM (paper Fig. 4), separated by
+    // more than the jitter.
+    EXPECT_LT(lh.max(), lm.min());
+    EXPECT_LT(lm.max(), rh.min());
+    EXPECT_LT(rh.max(), rm.min());
+    // Centers near the calibrated values.
+    EXPECT_NEAR(lh.mean(), 270 + 8, 30);
+    EXPECT_NEAR(lm.mean(), 450 + 8, 30);
+    EXPECT_NEAR(rh.mean(), 270 + 360 + 8, 40);
+    EXPECT_NEAR(rm.mean(), 450 + 360 + 140 + 8, 40);
+}
+
+TEST_F(RtTest, RemoteDataCachesInHomeL2Only)
+{
+    Process &p = rt_.createProcess("p");
+    rt_.enablePeerAccess(p, 0, 1);
+    const VAddr remote = rt_.deviceMalloc(p, 1, 4096);
+    auto kernel = [remote](BlockCtx &ctx) -> sim::Task {
+        co_await ctx.ldcg64(remote);
+    };
+    runKernel(p, 0, kernel);
+
+    const PAddr paddr = p.space().translate(remote);
+    // The paper's key reverse-engineered property: the line is cached
+    // at the HOME GPU's L2, not the accessor's.
+    EXPECT_TRUE(rt_.device(1).l2().probe(paddr));
+    EXPECT_FALSE(rt_.device(0).l2().probe(paddr));
+}
+
+TEST_F(RtTest, LdcgBypassesL1ButLdFillsIt)
+{
+    Process &p = rt_.createProcess("p");
+    const VAddr a = rt_.deviceMalloc(p, 0, 4096);
+    const VAddr b = rt_.deviceMalloc(p, 0, 4096);
+    SmId sm = -1;
+    auto kernel = [&, a, b](BlockCtx &ctx) -> sim::Task {
+        sm = ctx.sm();
+        co_await ctx.ldcg64(a);
+        co_await ctx.ld64(b);
+    };
+    runKernel(p, 0, kernel);
+    ASSERT_GE(sm, 0);
+    EXPECT_FALSE(rt_.device(0).l1(sm).probe(p.space().translate(a)));
+    EXPECT_TRUE(rt_.device(0).l1(sm).probe(p.space().translate(b)));
+    EXPECT_TRUE(rt_.device(0).l2().probe(p.space().translate(a)));
+}
+
+TEST_F(RtTest, L1HitIsFasterThanL2Hit)
+{
+    Process &p = rt_.createProcess("p");
+    const VAddr a = rt_.deviceMalloc(p, 0, 4096);
+    Cycles l1_hit = 0, l2_hit = 0;
+    auto kernel = [&, a](BlockCtx &ctx) -> sim::Task {
+        co_await ctx.ld64(a); // fills L1 + L2
+        Cycles t0 = ctx.clock();
+        co_await ctx.ld64(a);
+        l1_hit = ctx.clock() - t0;
+        t0 = ctx.clock();
+        co_await ctx.ldcg64(a); // bypasses L1, hits L2
+        l2_hit = ctx.clock() - t0;
+    };
+    runKernel(p, 0, kernel);
+    EXPECT_LT(l1_hit, l2_hit);
+    EXPECT_LT(l1_hit, 80u);
+}
+
+TEST_F(RtTest, StoresAllocateInL2)
+{
+    Process &p = rt_.createProcess("p");
+    const VAddr a = rt_.deviceMalloc(p, 0, 4096);
+    auto kernel = [a](BlockCtx &ctx) -> sim::Task {
+        co_await ctx.stcg64(a, 42);
+    };
+    runKernel(p, 0, kernel);
+    EXPECT_TRUE(rt_.device(0).l2().probe(p.space().translate(a)));
+    EXPECT_EQ(rt_.hostRead<std::uint64_t>(p, a), 42u);
+}
+
+TEST_F(RtTest, LoadReturnsStoredValue)
+{
+    Process &p = rt_.createProcess("p");
+    const VAddr a = rt_.deviceMalloc(p, 0, 4096);
+    rt_.hostWrite<std::uint64_t>(p, a + 256, 0x12345678ULL);
+    std::uint64_t seen = 0;
+    auto kernel = [&, a](BlockCtx &ctx) -> sim::Task {
+        seen = co_await ctx.ldcg64(a + 256);
+    };
+    runKernel(p, 0, kernel);
+    EXPECT_EQ(seen, 0x12345678ULL);
+}
+
+TEST_F(RtTest, ClockChargesOverhead)
+{
+    Process &p = rt_.createProcess("p");
+    Cycles t0 = 0, t1 = 0;
+    auto kernel = [&](BlockCtx &ctx) -> sim::Task {
+        t0 = ctx.clock();
+        t1 = ctx.clock();
+        co_return;
+    };
+    runKernel(p, 0, kernel);
+    EXPECT_EQ(t1 - t0, rt_.timing().clockReadCycles);
+}
+
+TEST_F(RtTest, GroupProbeChargesPipelinedTime)
+{
+    Process &p = rt_.createProcess("p");
+    const std::uint32_t line = rt_.config().device.l2.lineBytes;
+    const VAddr a = rt_.deviceMalloc(p, 0, 16 * line);
+    std::vector<VAddr> lines;
+    for (int i = 0; i < 16; ++i)
+        lines.push_back(a + i * line);
+
+    Cycles wall = 0;
+    std::size_t reported = 0;
+    double max_line = 0;
+    auto kernel = [&](BlockCtx &ctx) -> sim::Task {
+        const Cycles t0 = ctx.actor().now();
+        auto res = co_await ctx.probeSet(lines);
+        wall = ctx.actor().now() - t0;
+        reported = res.perLineCycles.size();
+        for (Cycles c : res.perLineCycles)
+            max_line = std::max(max_line, static_cast<double>(c));
+    };
+    runKernel(p, 0, kernel);
+
+    EXPECT_EQ(reported, 16u);
+    // Throughput-bound: wall ~= max line latency + 15 * gap, far less
+    // than the sum of individual latencies (16 * ~450).
+    EXPECT_LT(wall, 16 * 400u);
+    EXPECT_EQ(wall,
+              static_cast<Cycles>(max_line) +
+                  15 * rt_.timing().pipelineGapCycles);
+}
+
+TEST_F(RtTest, MultiBlockKernelRunsAllBlocks)
+{
+    Process &p = rt_.createProcess("p");
+    std::vector<int> seen(8, 0);
+    auto kernel = [&](BlockCtx &ctx) -> sim::Task {
+        seen[ctx.blockIdx()] = 1;
+        co_await ctx.compute(10);
+    };
+    gpu::KernelConfig cfg;
+    cfg.numBlocks = 8;
+    auto h = rt_.launch(p, 0, cfg, kernel);
+    rt_.runUntilDone(h);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(seen[i], 1) << "block " << i;
+}
+
+TEST_F(RtTest, OversubscribedBlocksQueueAndEventuallyRun)
+{
+    // 16 SMs x 64 KiB; blocks demanding the full SM shared memory can
+    // only run 16 at a time.
+    Process &p = rt_.createProcess("p");
+    int completed = 0;
+    auto kernel = [&](BlockCtx &ctx) -> sim::Task {
+        co_await ctx.compute(100);
+        ++completed;
+    };
+    gpu::KernelConfig cfg;
+    cfg.numBlocks = 40;
+    cfg.sharedMemBytes = 64 * 1024;
+    auto h = rt_.launch(p, 0, cfg, kernel);
+    EXPECT_FALSE(h.finished());
+    rt_.runUntilDone(h);
+    EXPECT_EQ(completed, 40);
+    // All SM resources released at the end.
+    EXPECT_EQ(rt_.device(0).scheduler().totalResidentBlocks(), 0u);
+}
+
+TEST_F(RtTest, DeviceFreeReturnsFrames)
+{
+    Process &p = rt_.createProcess("p");
+    const VAddr a = rt_.deviceMalloc(p, 2, 8 * 4096);
+    rt_.deviceFree(p, a);
+    EXPECT_THROW(p.space().translate(a), FatalError);
+}
+
+TEST_F(RtTest, OracleSetMatchesIndexer)
+{
+    Process &p = rt_.createProcess("p");
+    const VAddr a = rt_.deviceMalloc(p, 0, 4096);
+    const SetIndex s = rt_.l2SetOf(p, a);
+    EXPECT_LT(s, rt_.config().device.l2.numSets());
+    // Consecutive lines in the page map to consecutive sets.
+    const std::uint32_t line = rt_.config().device.l2.lineBytes;
+    const std::uint32_t sets = rt_.config().device.l2.numSets();
+    EXPECT_EQ(rt_.l2SetOf(p, a + line), (s + 1) % sets);
+}
+
+TEST_F(RtTest, InvalidArgumentsAreFatal)
+{
+    Process &p = rt_.createProcess("p");
+    EXPECT_THROW(rt_.deviceMalloc(p, 99, 4096), FatalError);
+    EXPECT_THROW(rt_.device(99), FatalError);
+    gpu::KernelConfig cfg;
+    cfg.numBlocks = 0;
+    EXPECT_THROW(rt_.launch(p, 0, cfg, nullptr), FatalError);
+}
+
+TEST_F(RtTest, DeterministicTimingForSeed)
+{
+    auto measure = [](std::uint64_t seed) {
+        Runtime rt(smallConfig(seed));
+        Process &p = rt.createProcess("p");
+        const VAddr a = rt.deviceMalloc(p, 0, 4096);
+        std::vector<Cycles> times;
+        auto kernel = [&](BlockCtx &ctx) -> sim::Task {
+            for (int i = 0; i < 10; ++i) {
+                const Cycles t0 = ctx.clock();
+                co_await ctx.ldcg64(a);
+                times.push_back(ctx.clock() - t0);
+            }
+        };
+        gpu::KernelConfig cfg;
+        auto h = rt.launch(p, 0, cfg, kernel);
+        rt.runUntilDone(h);
+        return times;
+    };
+    EXPECT_EQ(measure(5), measure(5));
+    EXPECT_NE(measure(5), measure(6));
+}
+
+} // namespace
+} // namespace gpubox::rt

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Unit tests for the coroutine simulation engine: scheduling order,
+ * time accounting, stop flags, completion hooks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hh"
+#include "sim/task.hh"
+#include "util/log.hh"
+
+namespace gpubox::sim
+{
+namespace
+{
+
+Task
+delayLoop(ActorCtx &ctx, int steps, Cycles step, std::vector<Cycles> *log)
+{
+    for (int i = 0; i < steps; ++i) {
+        co_await Delay{step};
+        if (log)
+            log->push_back(ctx.now());
+    }
+}
+
+TEST(Engine, SingleActorAdvancesTime)
+{
+    Engine eng;
+    std::vector<Cycles> log;
+    eng.spawn("a", [&](ActorCtx &ctx) {
+        return delayLoop(ctx, 3, 100, &log);
+    });
+    eng.run();
+    ASSERT_EQ(log.size(), 3u);
+    EXPECT_EQ(log[0], 100u);
+    EXPECT_EQ(log[1], 200u);
+    EXPECT_EQ(log[2], 300u);
+    EXPECT_EQ(eng.liveActors(), 0u);
+}
+
+TEST(Engine, MinTimeInterleaving)
+{
+    Engine eng;
+    std::vector<std::pair<char, Cycles>> events;
+
+    auto make = [&](char id, Cycles step, int count) {
+        return [&events, id, step, count](ActorCtx &ctx) -> Task {
+            for (int i = 0; i < count; ++i) {
+                co_await Delay{step};
+                events.emplace_back(id, ctx.now());
+            }
+        };
+    };
+    eng.spawn("fast", make('f', 10, 10));
+    eng.spawn("slow", make('s', 35, 3));
+    eng.run();
+
+    // Events must come out in global time order.
+    for (std::size_t i = 1; i < events.size(); ++i)
+        EXPECT_LE(events[i - 1].second, events[i].second);
+    EXPECT_EQ(events.size(), 13u);
+}
+
+TEST(Engine, TieBreakBySpawnOrder)
+{
+    Engine eng;
+    std::vector<int> order;
+    for (int k = 0; k < 4; ++k) {
+        eng.spawn("a" + std::to_string(k), [&order, k](ActorCtx &) -> Task {
+            order.push_back(k);
+            co_return;
+        });
+    }
+    eng.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Engine, ChargeAddsNonSuspendingCost)
+{
+    Engine eng;
+    Cycles observed = 0;
+    eng.spawn("a", [&](ActorCtx &ctx) -> Task {
+        ctx.charge(7);
+        EXPECT_EQ(ctx.now(), 7u);
+        co_await Delay{100};
+        observed = ctx.now();
+    });
+    eng.run();
+    EXPECT_EQ(observed, 107u);
+}
+
+TEST(Engine, RunUntilStopsAtTime)
+{
+    Engine eng;
+    int iterations = 0;
+    eng.spawn("a", [&](ActorCtx &) -> Task {
+        for (int i = 0; i < 100; ++i) {
+            co_await Delay{10};
+            ++iterations;
+        }
+    });
+    eng.runUntil(500);
+    EXPECT_LE(iterations, 51);
+    EXPECT_GE(iterations, 49);
+    EXPECT_EQ(eng.liveActors(), 1u);
+    eng.run();
+    EXPECT_EQ(iterations, 100);
+}
+
+TEST(Engine, StopRequestIsVisible)
+{
+    Engine eng;
+    int iterations = 0;
+    ActorCtx &worker = eng.spawn("w", [&](ActorCtx &ctx) -> Task {
+        while (!ctx.stopRequested()) {
+            co_await Delay{10};
+            ++iterations;
+        }
+    });
+    eng.spawn("killer", [&](ActorCtx &) -> Task {
+        co_await Delay{105};
+        worker.requestStop();
+    });
+    eng.run();
+    EXPECT_GE(iterations, 10);
+    EXPECT_LE(iterations, 12);
+}
+
+TEST(Engine, RequestStopAll)
+{
+    Engine eng;
+    for (int k = 0; k < 3; ++k) {
+        eng.spawn("w", [](ActorCtx &ctx) -> Task {
+            while (!ctx.stopRequested())
+                co_await Delay{10};
+        });
+    }
+    for (int i = 0; i < 10; ++i)
+        eng.stepOne();
+    eng.requestStopAll();
+    eng.run();
+    EXPECT_EQ(eng.liveActors(), 0u);
+}
+
+TEST(Engine, OnDoneHookFires)
+{
+    Engine eng;
+    bool fired = false;
+    ActorCtx &a = eng.spawn("a", [](ActorCtx &) -> Task { co_return; });
+    a.setOnDone([&](ActorCtx &ctx) {
+        fired = true;
+        EXPECT_TRUE(ctx.finished());
+    });
+    eng.run();
+    EXPECT_TRUE(fired);
+}
+
+TEST(Engine, ExceptionPropagates)
+{
+    Engine eng;
+    eng.spawn("bad", [](ActorCtx &) -> Task {
+        co_await Delay{1};
+        fatal("kernel fault");
+    });
+    EXPECT_THROW(eng.run(), FatalError);
+}
+
+TEST(Engine, StartTimeOffset)
+{
+    Engine eng;
+    Cycles first = 0;
+    eng.spawn(
+        "late",
+        [&](ActorCtx &ctx) -> Task {
+            first = ctx.now();
+            co_return;
+        },
+        5000);
+    eng.run();
+    EXPECT_EQ(first, 5000u);
+}
+
+TEST(Engine, ActorRngStreamsDiffer)
+{
+    Engine eng;
+    std::uint64_t va = 0, vb = 0;
+    eng.spawn("a", [&](ActorCtx &ctx) -> Task {
+        va = ctx.rng().next();
+        co_return;
+    });
+    eng.spawn("b", [&](ActorCtx &ctx) -> Task {
+        vb = ctx.rng().next();
+        co_return;
+    });
+    eng.run();
+    EXPECT_NE(va, vb);
+}
+
+TEST(Engine, DeterministicAcrossRuns)
+{
+    auto run_once = [](std::uint64_t seed) {
+        Engine eng(seed);
+        std::vector<std::uint64_t> trace;
+        for (int k = 0; k < 3; ++k) {
+            eng.spawn("w", [&trace](ActorCtx &ctx) -> Task {
+                for (int i = 0; i < 5; ++i) {
+                    co_await Delay{ctx.rng().uniform(50) + 1};
+                    trace.push_back(ctx.now() * 31 + ctx.id());
+                }
+            });
+        }
+        eng.run();
+        return trace;
+    };
+    EXPECT_EQ(run_once(9), run_once(9));
+    EXPECT_NE(run_once(9), run_once(10));
+}
+
+TEST(Engine, StepsExecutedCounts)
+{
+    Engine eng;
+    eng.spawn("a", [](ActorCtx &) -> Task {
+        co_await Delay{1};
+        co_await Delay{1};
+    });
+    eng.run();
+    // initial resume + 2 delays = 3 resumes.
+    EXPECT_EQ(eng.stepsExecuted(), 3u);
+}
+
+TEST(Engine, ZeroDelayActorsMakeProgress)
+{
+    Engine eng;
+    int count = 0;
+    eng.spawn("z", [&](ActorCtx &) -> Task {
+        for (int i = 0; i < 10; ++i) {
+            co_await Delay{0};
+            ++count;
+        }
+    });
+    eng.run();
+    EXPECT_EQ(count, 10);
+}
+
+TEST(Engine, ManyActorsAllComplete)
+{
+    Engine eng;
+    int done = 0;
+    for (int k = 0; k < 200; ++k) {
+        eng.spawn("w", [&done, k](ActorCtx &) -> Task {
+            co_await Delay{static_cast<Cycles>((k * 37) % 101 + 1)};
+            ++done;
+        });
+    }
+    eng.run();
+    EXPECT_EQ(done, 200);
+    EXPECT_EQ(eng.totalSpawned(), 200u);
+}
+
+} // namespace
+} // namespace gpubox::sim

@@ -1,0 +1,413 @@
+/**
+ * @file
+ * Unit tests for util: rng, stats, histogram, kmeans1d, csv, heatmap,
+ * bitops, contention meter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "util/ascii_art.hh"
+#include "util/bitops.hh"
+#include "util/contention.hh"
+#include "util/csv.hh"
+#include "util/histogram.hh"
+#include "util/kmeans1d.hh"
+#include "util/log.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace gpubox
+{
+namespace
+{
+
+TEST(Bitops, PowersOfTwo)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_TRUE(isPowerOf2(4096));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_FALSE(isPowerOf2(4097));
+}
+
+TEST(Bitops, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+}
+
+TEST(Bitops, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 4), 0u);
+    EXPECT_EQ(divCeil(1, 4), 1u);
+    EXPECT_EQ(divCeil(4, 4), 1u);
+    EXPECT_EQ(divCeil(5, 4), 2u);
+}
+
+TEST(Bitops, Mix64Distinct)
+{
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        seen.insert(mix64(i));
+    EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.uniform(17), 17u);
+}
+
+TEST(Rng, UniformZeroBound)
+{
+    Rng rng(7);
+    EXPECT_EQ(rng.uniform(0), 0u);
+}
+
+TEST(Rng, UniformRangeInclusive)
+{
+    Rng rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.uniformRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformRealInUnitInterval)
+{
+    Rng rng(9);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.uniformReal();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(11);
+    RunningStats stats;
+    for (int i = 0; i < 50000; ++i)
+        stats.add(rng.normal(10.0, 2.0));
+    EXPECT_NEAR(stats.mean(), 10.0, 0.1);
+    EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, SplitStreamsDecorrelated)
+{
+    Rng root(5);
+    Rng a = root.split(1);
+    Rng b = root.split(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitIsDeterministic)
+{
+    Rng root(5);
+    Rng a = root.split(3);
+    Rng b = Rng(5).split(3);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng rng(3);
+    std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+    auto orig = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(RunningStats, BasicMoments)
+{
+    RunningStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-9);
+}
+
+TEST(RunningStats, MergeMatchesPooled)
+{
+    Rng rng(17);
+    RunningStats a, b, pooled;
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.normal(0, 1);
+        (i % 2 ? a : b).add(v);
+        pooled.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), pooled.count());
+    EXPECT_NEAR(a.mean(), pooled.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), pooled.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), pooled.min());
+    EXPECT_DOUBLE_EQ(a.max(), pooled.max());
+}
+
+TEST(RunningStats, MergeWithEmpty)
+{
+    RunningStats a, b;
+    a.add(1.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 1u);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 1u);
+    EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Percentile, Median)
+{
+    EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 50), 3.0);
+    EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4}, 50), 2.5);
+}
+
+TEST(Percentile, Extremes)
+{
+    EXPECT_DOUBLE_EQ(percentile({5, 1, 3}, 0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile({5, 1, 3}, 100), 5.0);
+}
+
+TEST(Percentile, EmptyIsFatal)
+{
+    EXPECT_THROW(percentile({}, 50), FatalError);
+}
+
+TEST(Percentile, OutOfRangeIsFatal)
+{
+    EXPECT_THROW(percentile({1.0}, 101), FatalError);
+}
+
+TEST(Histogram, BinningAndClamping)
+{
+    Histogram h(0, 100, 10);
+    h.add(5);    // bin 0
+    h.add(15);   // bin 1
+    h.add(-3);   // clamps to bin 0
+    h.add(250);  // clamps to bin 9
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+    EXPECT_EQ(h.totalCount(), 4u);
+}
+
+TEST(Histogram, ModeBin)
+{
+    Histogram h(0, 10, 10);
+    h.add(3.5);
+    h.add(3.6);
+    h.add(7.0);
+    EXPECT_EQ(h.modeBin(), 3u);
+}
+
+TEST(Histogram, RenderContainsCounts)
+{
+    Histogram h(0, 10, 2);
+    h.add(1);
+    h.add(6);
+    h.add(7);
+    const std::string out = h.render(20);
+    EXPECT_NE(out.find("1"), std::string::npos);
+    EXPECT_NE(out.find("2"), std::string::npos);
+    EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(Histogram, InvalidConfigIsFatal)
+{
+    EXPECT_THROW(Histogram(0, 10, 0), FatalError);
+    EXPECT_THROW(Histogram(10, 10, 4), FatalError);
+}
+
+TEST(Kmeans1d, FourWellSeparatedClusters)
+{
+    // Shaped like the paper's Fig. 4 latency clusters.
+    Rng rng(23);
+    std::vector<double> samples;
+    const double centers[4] = {270, 450, 630, 950};
+    for (double c : centers)
+        for (int i = 0; i < 200; ++i)
+            samples.push_back(rng.normal(c, 8));
+
+    auto res = kmeans1d(samples, 4);
+    ASSERT_EQ(res.centers.size(), 4u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_NEAR(res.centers[i], centers[i], 15.0);
+    ASSERT_EQ(res.boundaries.size(), 3u);
+    EXPECT_GT(res.boundaries[0], 270);
+    EXPECT_LT(res.boundaries[0], 450);
+    EXPECT_GT(res.boundaries[2], 630);
+    EXPECT_LT(res.boundaries[2], 950);
+    for (auto size : res.sizes)
+        EXPECT_EQ(size, 200u);
+}
+
+TEST(Kmeans1d, SingleCluster)
+{
+    std::vector<double> samples = {5, 5, 5, 5};
+    auto res = kmeans1d(samples, 1);
+    EXPECT_DOUBLE_EQ(res.centers[0], 5.0);
+    EXPECT_TRUE(res.boundaries.empty());
+}
+
+TEST(Kmeans1d, TooFewSamplesIsFatal)
+{
+    EXPECT_THROW(kmeans1d({1.0}, 2), FatalError);
+    EXPECT_THROW(kmeans1d({1.0}, 0), FatalError);
+}
+
+TEST(Kmeans1d, TwoClustersExact)
+{
+    std::vector<double> samples = {1, 1, 1, 9, 9, 9};
+    auto res = kmeans1d(samples, 2);
+    EXPECT_DOUBLE_EQ(res.centers[0], 1.0);
+    EXPECT_DOUBLE_EQ(res.centers[1], 9.0);
+    EXPECT_DOUBLE_EQ(res.boundaries[0], 5.0);
+}
+
+TEST(Csv, WritesRowsAndEscapes)
+{
+    const std::string path = ::testing::TempDir() + "/gpubox_csv_test.csv";
+    {
+        CsvWriter csv(path);
+        csv.row("a", 1, 2.5);
+        csv.row("with,comma", "with\"quote");
+        EXPECT_EQ(csv.rowsWritten(), 2u);
+    }
+    std::ifstream in(path);
+    std::string line1, line2;
+    std::getline(in, line1);
+    std::getline(in, line2);
+    EXPECT_EQ(line1, "a,1,2.5");
+    EXPECT_EQ(line2, "\"with,comma\",\"with\"\"quote\"");
+    std::remove(path.c_str());
+}
+
+TEST(Csv, UnwritablePathIsFatal)
+{
+    EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv"), FatalError);
+}
+
+TEST(Heatmap, ShapeAndRamp)
+{
+    std::vector<double> data = {0, 0, 0, 9};
+    const std::string out = renderHeatmap(data, 2, 2);
+    // Two lines of two chars each.
+    EXPECT_EQ(out, std::string(" .\n.@\n").substr(0, 0) + out);
+    ASSERT_EQ(out.size(), 6u);
+    EXPECT_EQ(out[0], ' ');
+    EXPECT_EQ(out[4], '@');
+}
+
+TEST(Heatmap, PoolsLargeMatrices)
+{
+    std::vector<double> data(100 * 300, 1.0);
+    HeatmapOptions opt;
+    opt.maxRows = 10;
+    opt.maxCols = 30;
+    const std::string out = renderHeatmap(data, 100, 300, opt);
+    // 10 lines of 30 chars + newline.
+    EXPECT_EQ(out.size(), 10u * 31u);
+}
+
+TEST(Heatmap, ShapeMismatchIsFatal)
+{
+    EXPECT_THROW(renderHeatmap({1.0}, 2, 2), FatalError);
+}
+
+TEST(ContentionMeter, FreeUnderThreshold)
+{
+    ContentionMeter m(1000, 4, 10);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(m.record(100), 0u);
+    EXPECT_EQ(m.occupancy(100), 4u);
+}
+
+TEST(ContentionMeter, QueueingAboveThreshold)
+{
+    ContentionMeter m(1000, 2, 10);
+    EXPECT_EQ(m.record(0), 0u);
+    EXPECT_EQ(m.record(0), 0u);
+    EXPECT_EQ(m.record(0), 10u);
+    EXPECT_EQ(m.record(0), 20u);
+}
+
+TEST(ContentionMeter, WindowRollsOver)
+{
+    ContentionMeter m(1000, 1, 10);
+    EXPECT_EQ(m.record(0), 0u);
+    EXPECT_EQ(m.record(10), 10u);
+    // Next window: counter resets.
+    EXPECT_EQ(m.record(1500), 0u);
+    EXPECT_EQ(m.occupancy(1500), 1u);
+    EXPECT_EQ(m.occupancy(2500), 0u);
+    EXPECT_EQ(m.totalRequests(), 3u);
+}
+
+TEST(Log, FatalThrows)
+{
+    EXPECT_THROW(fatal("boom ", 42), FatalError);
+    try {
+        fatal("value=", 7);
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "value=7");
+    }
+}
+
+TEST(Log, EnableDisable)
+{
+    setLogEnabled(false);
+    EXPECT_FALSE(logEnabled());
+    setLogEnabled(true);
+    EXPECT_TRUE(logEnabled());
+}
+
+} // namespace
+} // namespace gpubox

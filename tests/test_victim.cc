@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Unit tests for the victim workloads: they run to completion, touch
+ * their own GPU's L2, produce distinct per-set footprints, and the MLP
+ * trainer's traffic scales with the hidden width.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "rt/runtime.hh"
+#include "test_common.hh"
+#include "victim/mlp_trainer.hh"
+#include "victim/workload.hh"
+
+namespace gpubox::victim
+{
+namespace
+{
+
+using test::smallConfig;
+
+TEST(WorkloadMeta, NamesAreUniqueAndOrdered)
+{
+    const auto &kinds = allAppKinds();
+    EXPECT_EQ(kinds.size(), 6u);
+    std::set<std::string> names, shorts;
+    for (auto k : kinds) {
+        names.insert(appName(k));
+        shorts.insert(appShortName(k));
+    }
+    EXPECT_EQ(names.size(), 6u);
+    EXPECT_EQ(shorts.size(), 6u);
+    // Confusion-matrix order from the paper's Fig. 12.
+    EXPECT_EQ(appShortName(kinds[0]), "BS");
+    EXPECT_EQ(appShortName(kinds[5]), "WT");
+}
+
+class VictimRun : public ::testing::TestWithParam<AppKind>
+{};
+
+TEST_P(VictimRun, CompletesAndTouchesL2)
+{
+    rt::Runtime rt(smallConfig());
+    rt::Process &p = rt.createProcess("victim");
+    WorkloadConfig cfg;
+    cfg.scale = 0.2; // small for unit tests
+    Workload w(rt, p, 0, GetParam(), cfg);
+    auto h = w.launch();
+    rt.runUntilDone(h);
+    EXPECT_TRUE(h.finished());
+    // The victim's accesses reached GPU 0's L2 and missed at least
+    // once per buffer line.
+    EXPECT_GT(rt.device(0).l2().misses(), 50u);
+    // No traffic on any other GPU's L2.
+    for (GpuId g = 1; g < rt.numGpus(); ++g)
+        EXPECT_EQ(rt.device(g).l2().misses(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, VictimRun,
+    ::testing::ValuesIn(allAppKinds()),
+    [](const ::testing::TestParamInfo<AppKind> &info) {
+        return appShortName(info.param);
+    });
+
+TEST(Victim, StartDelayHonored)
+{
+    rt::Runtime rt(smallConfig());
+    rt::Process &p = rt.createProcess("victim");
+    WorkloadConfig cfg;
+    cfg.scale = 0.1;
+    cfg.startDelayCycles = 50000;
+    Workload w(rt, p, 0, AppKind::VECTOR_ADD, cfg);
+    auto h = w.launch();
+    // Run only the delay window: no memory traffic yet.
+    rt.engine().runUntil(40000);
+    EXPECT_EQ(rt.device(0).l2().misses() + rt.device(0).l2().hits(), 0u);
+    rt.runUntilDone(h);
+    EXPECT_GT(rt.device(0).l2().misses(), 0u);
+}
+
+TEST(Victim, FootprintsDifferAcrossApps)
+{
+    // Per-set L2 miss profiles must differ between apps: this is the
+    // signal the fingerprinting side channel classifies.
+    auto profile = [](AppKind kind) {
+        rt::Runtime rt(smallConfig(99));
+        rt::Process &p = rt.createProcess("victim");
+        WorkloadConfig cfg;
+        cfg.scale = 0.3;
+        Workload w(rt, p, 0, kind, cfg);
+        auto h = w.launch();
+        rt.runUntilDone(h);
+        std::vector<double> prof;
+        for (SetIndex s = 0; s < rt.device(0).l2().numSets(); ++s)
+            prof.push_back(static_cast<double>(
+                rt.device(0).l2().setMisses(s)));
+        return prof;
+    };
+
+    const auto &kinds = allAppKinds();
+    std::vector<std::vector<double>> profiles;
+    for (auto k : kinds)
+        profiles.push_back(profile(k));
+
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        for (std::size_t j = i + 1; j < profiles.size(); ++j) {
+            double dist = 0;
+            for (std::size_t s = 0; s < profiles[i].size(); ++s) {
+                const double d = profiles[i][s] - profiles[j][s];
+                dist += d * d;
+            }
+            EXPECT_GT(dist, 100.0)
+                << appShortName(kinds[i]) << " vs "
+                << appShortName(kinds[j]);
+        }
+    }
+}
+
+TEST(Victim, RepeatableForSameSeed)
+{
+    auto misses = [](std::uint64_t seed) {
+        rt::Runtime rt(smallConfig(seed));
+        rt::Process &p = rt.createProcess("victim");
+        WorkloadConfig cfg;
+        cfg.scale = 0.2;
+        cfg.seed = 5;
+        Workload w(rt, p, 0, AppKind::HISTOGRAM, cfg);
+        auto h = w.launch();
+        rt.runUntilDone(h);
+        return rt.device(0).l2().misses();
+    };
+    EXPECT_EQ(misses(31), misses(31));
+}
+
+TEST(MlpTrainerVictim, CompletesAndScalesWithWidth)
+{
+    auto traffic = [](unsigned neurons) {
+        rt::Runtime rt(smallConfig());
+        rt::Process &p = rt.createProcess("trainer");
+        MlpConfig cfg;
+        cfg.hiddenNeurons = neurons;
+        cfg.batchesPerEpoch = 2;
+        MlpTrainer trainer(rt, p, 0, cfg);
+        auto h = trainer.launch();
+        rt.runUntilDone(h);
+        return rt.device(0).l2().hits() + rt.device(0).l2().misses();
+    };
+    const auto t64 = traffic(64);
+    const auto t128 = traffic(128);
+    const auto t256 = traffic(256);
+    EXPECT_LT(t64, t128);
+    EXPECT_LT(t128, t256);
+    // Roughly linear in the width: W1 dominates.
+    EXPECT_GT(static_cast<double>(t256), 1.5 * static_cast<double>(t128));
+}
+
+TEST(MlpTrainerVictim, EpochsMultiplyWork)
+{
+    auto traffic = [](unsigned epochs) {
+        rt::Runtime rt(smallConfig());
+        rt::Process &p = rt.createProcess("trainer");
+        MlpConfig cfg;
+        cfg.hiddenNeurons = 64;
+        cfg.batchesPerEpoch = 2;
+        cfg.epochs = epochs;
+        MlpTrainer trainer(rt, p, 0, cfg);
+        auto h = trainer.launch();
+        rt.runUntilDone(h);
+        return rt.device(0).l2().hits() + rt.device(0).l2().misses();
+    };
+    const auto t1 = traffic(1);
+    const auto t2 = traffic(2);
+    EXPECT_NEAR(static_cast<double>(t2), 2.0 * static_cast<double>(t1),
+                0.1 * static_cast<double>(t2));
+}
+
+TEST(MlpTrainerVictim, InterEpochGapCreatesQuietTime)
+{
+    rt::Runtime rt(smallConfig());
+    rt::Process &p = rt.createProcess("trainer");
+    MlpConfig cfg;
+    cfg.hiddenNeurons = 32;
+    cfg.batchesPerEpoch = 1;
+    cfg.epochs = 2;
+    cfg.interEpochGapCycles = 200000;
+    MlpTrainer trainer(rt, p, 0, cfg);
+    auto h = trainer.launch();
+    Cycles end_time = 0;
+    rt.runUntilDone(h);
+    end_time = rt.engine().now();
+    // The run must take at least the inter-epoch gap.
+    EXPECT_GT(end_time, 200000u);
+}
+
+} // namespace
+} // namespace gpubox::victim
