@@ -1,0 +1,156 @@
+#include "exp/experiment_runner.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "util/log.hh"
+
+namespace gpubox::exp
+{
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+} // namespace
+
+std::uint64_t
+stableHash(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::size_t
+Report::failures() const
+{
+    std::size_t n = 0;
+    for (const auto &r : results)
+        n += r.ok ? 0 : 1;
+    return n;
+}
+
+std::vector<std::vector<std::string>>
+Report::allRows() const
+{
+    std::vector<std::vector<std::string>> rows;
+    for (const auto &r : results)
+        rows.insert(rows.end(), r.rows.begin(), r.rows.end());
+    return rows;
+}
+
+void
+Report::writeCsv(const std::string &path,
+                 const std::vector<std::string> &header) const
+{
+    CsvWriter csv(path);
+    if (!header.empty())
+        csv.writeRow(header);
+    for (const auto &row : allRows())
+        csv.writeRow(row);
+}
+
+void
+Report::printNotes(std::FILE *out) const
+{
+    for (const auto &r : results) {
+        for (const auto &line : r.notes)
+            std::fprintf(out, "  [%s] %s\n", r.name.c_str(),
+                         line.c_str());
+        if (!r.ok)
+            std::fprintf(out, "  [%s] FAILED: %s\n", r.name.c_str(),
+                         r.error.c_str());
+    }
+}
+
+ExperimentRunner::ExperimentRunner(RunnerConfig config)
+    : config_(config), threads_(config.threads)
+{
+    if (threads_ == 0)
+        threads_ = std::max(1u, std::thread::hardware_concurrency());
+}
+
+Report
+ExperimentRunner::run(const std::vector<Scenario> &scenarios,
+                      const ScenarioFn &fn) const
+{
+    const auto sweep_t0 = std::chrono::steady_clock::now();
+    Report report;
+    report.results.resize(scenarios.size());
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> finished{0};
+    std::mutex progress_mu;
+
+    auto run_one = [&](std::size_t i) {
+        const Scenario &sc = scenarios[i];
+        RunResult &res = report.results[i];
+        res.index = i;
+        res.name = sc.name;
+
+        const auto t0 = std::chrono::steady_clock::now();
+        // Keyed by seed + name (not list position): inserting or
+        // reordering scenarios leaves every other stream untouched.
+        RunContext ctx(sc, Rng(sc.seed).split(stableHash(sc.name)));
+        try {
+            fn(sc, ctx);
+            res.ok = true;
+        } catch (const FatalError &e) {
+            res.error = e.what();
+        } catch (const std::exception &e) {
+            res.error = e.what();
+        }
+        res.rows = std::move(ctx.rows_);
+        res.notes = std::move(ctx.notes_);
+        res.wallSeconds = secondsSince(t0);
+
+        if (config_.progress) {
+            std::lock_guard<std::mutex> lk(progress_mu);
+            std::fprintf(stderr, "[exp] %zu/%zu %-40s %s (%.2fs)\n",
+                         finished.fetch_add(1) + 1, scenarios.size(),
+                         sc.name.c_str(), res.ok ? "ok" : "FAILED",
+                         res.wallSeconds);
+        } else {
+            finished.fetch_add(1);
+        }
+    };
+
+    const unsigned nthreads =
+        static_cast<unsigned>(std::min<std::size_t>(
+            threads_, std::max<std::size_t>(1, scenarios.size())));
+    if (nthreads <= 1) {
+        for (std::size_t i = 0; i < scenarios.size(); ++i)
+            run_one(i);
+    } else {
+        std::vector<std::jthread> pool;
+        pool.reserve(nthreads);
+        for (unsigned t = 0; t < nthreads; ++t) {
+            pool.emplace_back([&] {
+                for (std::size_t i = next.fetch_add(1);
+                     i < scenarios.size(); i = next.fetch_add(1))
+                    run_one(i);
+            });
+        }
+        // jthread joins on destruction; the pool drains here.
+    }
+
+    report.wallSeconds = secondsSince(sweep_t0);
+    return report;
+}
+
+} // namespace gpubox::exp

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Parallel, deterministic experiment execution.
+ *
+ * The ExperimentRunner fans a list of Scenarios out across a pool of
+ * std::jthread workers. Each scenario runs in complete isolation --
+ * its own Runtime, engine and RNG streams -- and records result rows
+ * into an in-memory RunContext instead of printing, so the collected
+ * Report is byte-identical no matter how many worker threads executed
+ * it or in which order scenarios finished. Wall-clock timings are
+ * kept out of the deterministic surface (stderr / Report fields
+ * only).
+ */
+
+#ifndef GPUBOX_EXP_EXPERIMENT_RUNNER_HH
+#define GPUBOX_EXP_EXPERIMENT_RUNNER_HH
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/scenario.hh"
+#include "util/csv.hh"
+#include "util/rng.hh"
+
+namespace gpubox::exp
+{
+
+/**
+ * Per-scenario recording surface handed to the scenario function.
+ * Rows and notes are buffered and emitted in scenario order after the
+ * whole sweep completes; the RNG stream is derived from the scenario
+ * seed and a stable hash of the scenario name, so results do not
+ * depend on the scenario's position in the list.
+ */
+class RunContext
+{
+    friend class ExperimentRunner;
+
+  public:
+    const Scenario &scenario() const { return scenario_; }
+
+    /** Scenario-private RNG stream (stable across thread counts). */
+    Rng &rng() { return rng_; }
+
+    /** Record one result row (appears in the Report / CSV). */
+    template <typename... Args>
+    void
+    row(const Args &...args)
+    {
+        rows_.push_back(csvRow(args...));
+    }
+
+    /** Record a human-readable line, printed with the results. */
+    void note(std::string line) { notes_.push_back(std::move(line)); }
+
+  private:
+    RunContext(const Scenario &scenario, Rng rng)
+        : scenario_(scenario), rng_(rng)
+    {}
+
+    const Scenario &scenario_;
+    Rng rng_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::string> notes_;
+};
+
+/** Outcome of one scenario. */
+struct RunResult
+{
+    std::size_t index = 0;
+    std::string name;
+    bool ok = false;
+    /** FatalError / exception message when !ok. */
+    std::string error;
+    std::vector<std::vector<std::string>> rows;
+    std::vector<std::string> notes;
+    /** Host wall time of this scenario; NOT part of the CSV. */
+    double wallSeconds = 0.0;
+};
+
+/** Deterministic sweep outcome, in scenario order. */
+struct Report
+{
+    std::vector<RunResult> results;
+    double wallSeconds = 0.0;
+
+    std::size_t failures() const;
+
+    /** All recorded rows, in scenario order. */
+    std::vector<std::vector<std::string>> allRows() const;
+
+    /**
+     * Write header + all rows to @p path. The file content depends
+     * only on the scenarios and seeds, never on thread count.
+     */
+    void writeCsv(const std::string &path,
+                  const std::vector<std::string> &header) const;
+
+    /** Print notes and failures, in scenario order, to @p out. */
+    void printNotes(std::FILE *out) const;
+};
+
+/** Runner policy. */
+struct RunnerConfig
+{
+    /** Worker threads; 0 selects std::thread::hardware_concurrency. */
+    unsigned threads = 1;
+    /** Emit per-scenario progress lines on stderr. */
+    bool progress = true;
+};
+
+/** Executes scenario sweeps. */
+class ExperimentRunner
+{
+  public:
+    using ScenarioFn = std::function<void(const Scenario &, RunContext &)>;
+
+    explicit ExperimentRunner(RunnerConfig config = {});
+
+    /** Resolved worker-thread count (after the 0 -> hardware rule). */
+    unsigned threads() const { return threads_; }
+
+    /**
+     * Run @p fn once per scenario, fanned out across the pool.
+     * Exceptions escaping @p fn fail that scenario only.
+     */
+    Report run(const std::vector<Scenario> &scenarios,
+               const ScenarioFn &fn) const;
+
+  private:
+    RunnerConfig config_;
+    unsigned threads_;
+};
+
+/** Stable 64-bit FNV-1a; keys scenario RNG streams by name. */
+std::uint64_t stableHash(const std::string &s);
+
+} // namespace gpubox::exp
+
+#endif // GPUBOX_EXP_EXPERIMENT_RUNNER_HH

@@ -1,0 +1,74 @@
+#include "exp/scenario.hh"
+
+#include "util/log.hh"
+
+namespace gpubox::exp
+{
+
+std::string
+Scenario::paramOr(const std::string &key, const std::string &fallback) const
+{
+    for (const auto &[k, v] : params)
+        if (k == key)
+            return v;
+    return fallback;
+}
+
+ScenarioMatrix &
+ScenarioMatrix::axis(const std::string &name, std::vector<Point> points)
+{
+    if (points.empty())
+        fatal("ScenarioMatrix: axis '", name, "' has no points");
+    axes_.push_back({name, std::move(points)});
+    return *this;
+}
+
+ScenarioMatrix &
+ScenarioMatrix::seeds(const std::vector<std::uint64_t> &seeds)
+{
+    std::vector<Point> points;
+    points.reserve(seeds.size());
+    for (std::uint64_t s : seeds) {
+        points.emplace_back(std::to_string(s), [s](Scenario &sc) {
+            sc.seed = s;
+            sc.system.seed = s;
+        });
+    }
+    return axis("seed", std::move(points));
+}
+
+std::size_t
+ScenarioMatrix::size() const
+{
+    std::size_t n = 1;
+    for (const auto &ax : axes_)
+        n *= ax.points.size();
+    return n;
+}
+
+std::vector<Scenario>
+ScenarioMatrix::expand() const
+{
+    std::vector<Scenario> out;
+    out.reserve(size());
+    // Row-major walk: odometer over the axes, last axis fastest.
+    std::vector<std::size_t> idx(axes_.size(), 0);
+    for (std::size_t n = size(); n-- > 0;) {
+        Scenario sc = base_;
+        for (std::size_t a = 0; a < axes_.size(); ++a) {
+            const auto &[label, mutate] = axes_[a].points[idx[a]];
+            mutate(sc);
+            sc.name += "/" + axes_[a].name + "=" + label;
+            sc.params.emplace_back(axes_[a].name, label);
+        }
+        out.push_back(std::move(sc));
+        for (std::size_t a = axes_.size(); a-- > 0;) {
+            if (++idx[a] < axes_[a].points.size())
+                break;
+            idx[a] = 0;
+        }
+    }
+    return out;
+}
+
+} // namespace gpubox::exp

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Declarative experiment scenarios.
+ *
+ * A Scenario is everything one simulated experiment needs to be
+ * reproducible: the full box configuration, the victim workload, the
+ * attack and defense knobs and a seed. Scenario lists are built either
+ * directly or by expanding a ScenarioMatrix -- the cartesian product
+ * of parameter axes over a base scenario -- and are executed by the
+ * ExperimentRunner (one isolated Runtime per scenario, any number of
+ * worker threads, deterministic results).
+ */
+
+#ifndef GPUBOX_EXP_SCENARIO_HH
+#define GPUBOX_EXP_SCENARIO_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rt/config.hh"
+#include "victim/workload.hh"
+
+namespace gpubox::exp
+{
+
+/** Attacker-side knobs of a scenario. */
+struct AttackKnobs
+{
+    /** Parallel covert-channel sets (paper Fig. 9 sweeps this). */
+    unsigned covertSets = 4;
+    /** Random payload length for covert-channel error measurements. */
+    std::size_t messageBits = 8192;
+    /** Page pool given to each eviction-set finder. */
+    unsigned finderPoolPages = 140;
+    /** Launch SM-saturating filler blocks (paper Sec. VI). */
+    bool smSaturation = false;
+};
+
+/** Defense / environment knobs of a scenario. */
+struct DefenseKnobs
+{
+    /** MIG-style L2 way partitioning (paper Sec. VII). */
+    bool migPartitioning = false;
+    unsigned migSlices = 1;
+    /** Run a co-tenant streaming app on the trojan GPU. */
+    bool coTenantNoise = false;
+};
+
+/**
+ * One fully-specified experiment. The runner derives every random
+ * stream from `seed`, so two runs of an identical Scenario produce
+ * identical results regardless of scheduling.
+ */
+struct Scenario
+{
+    /** Unique label; parameter axes append "/axis=value" segments. */
+    std::string name = "scenario";
+    std::uint64_t seed = 2023;
+    rt::SystemConfig system;
+    victim::AppKind app = victim::AppKind::VECTOR_ADD;
+    victim::WorkloadConfig workload;
+    AttackKnobs attack;
+    DefenseKnobs defense;
+    /**
+     * Labels of the matrix axes that produced this scenario, in axis
+     * declaration order. Carried into result rows so a sweep's CSV is
+     * self-describing.
+     */
+    std::vector<std::pair<std::string, std::string>> params;
+
+    /** Value of an expansion parameter, or @p fallback when absent. */
+    std::string paramOr(const std::string &key,
+                        const std::string &fallback = "") const;
+};
+
+/**
+ * Cartesian product builder over a base scenario.
+ *
+ * Each axis is a named list of (label, mutator) points; expand()
+ * yields base-mutated scenarios for every combination, the *last*
+ * declared axis varying fastest (row-major order). Labels are
+ * appended to the scenario name and recorded in Scenario::params.
+ */
+class ScenarioMatrix
+{
+  public:
+    using Mutator = std::function<void(Scenario &)>;
+    /** A single point on an axis: display label + config mutation. */
+    using Point = std::pair<std::string, Mutator>;
+
+    explicit ScenarioMatrix(Scenario base)
+        : base_(std::move(base))
+    {}
+
+    /** Append an axis. Empty axes are rejected via fatal(). */
+    ScenarioMatrix &axis(const std::string &name,
+                         std::vector<Point> points);
+
+    /** Convenience axis over seeds (sets Scenario and system seed). */
+    ScenarioMatrix &seeds(const std::vector<std::uint64_t> &seeds);
+
+    /** Number of scenarios expand() will produce. */
+    std::size_t size() const;
+
+    /** Materialize the cartesian product. */
+    std::vector<Scenario> expand() const;
+
+  private:
+    struct Axis
+    {
+        std::string name;
+        std::vector<Point> points;
+    };
+
+    Scenario base_;
+    std::vector<Axis> axes_;
+};
+
+} // namespace gpubox::exp
+
+#endif // GPUBOX_EXP_SCENARIO_HH

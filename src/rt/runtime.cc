@@ -217,6 +217,16 @@ Runtime::runAll()
     engine_->run();
 }
 
+Runtime::SimMetrics
+Runtime::metrics() const
+{
+    SimMetrics m;
+    m.engine = engine_->stats();
+    m.simSeconds = static_cast<double>(m.engine.now) /
+                   (config_.timing.clockGhz * 1e9);
+    return m;
+}
+
 Cycles
 Runtime::accessLatency(BlockCtx &ctx, PAddr paddr, bool bypass_l1)
 {

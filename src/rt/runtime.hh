@@ -162,6 +162,20 @@ class Runtime
 
     /** @} */
 
+    /**
+     * Deterministic progress metrics of this runtime's isolated
+     * engine: scheduler steps, actors spawned, simulated cycles and
+     * the corresponding simulated seconds at the configured clock.
+     * Per-run experiment sweeps report these instead of host time.
+     */
+    struct SimMetrics
+    {
+        sim::EngineStats engine;
+        double simSeconds = 0.0;
+    };
+
+    SimMetrics metrics() const;
+
   private:
     struct PendingBlock
     {

@@ -90,6 +90,17 @@ class ActorCtx
     std::function<void(ActorCtx &)> onDone_;
 };
 
+/** Deterministic snapshot of an engine's progress counters. */
+struct EngineStats
+{
+    std::uint64_t steps = 0;
+    std::size_t spawned = 0;
+    std::size_t live = 0;
+    Cycles now = 0;
+
+    bool operator==(const EngineStats &) const = default;
+};
+
 /**
  * Min-time actor scheduler.
  *
@@ -140,6 +151,17 @@ class Engine
     std::size_t liveActors() const { return live_; }
     std::size_t totalSpawned() const { return actors_.size(); }
     std::uint64_t stepsExecuted() const { return steps_; }
+
+    /**
+     * Progress counters as one value; the ExperimentRunner records
+     * these per isolated engine instead of wall-clock numbers so
+     * sweep results stay deterministic.
+     */
+    EngineStats
+    stats() const
+    {
+        return {steps_, actors_.size(), live_, lastTime_};
+    }
 
     /** Request cooperative stop of every live actor. */
     void requestStopAll();

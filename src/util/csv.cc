@@ -25,7 +25,7 @@ CsvWriter::writeRow(const std::vector<std::string> &cells)
 }
 
 std::string
-CsvWriter::escape(const std::string &raw)
+csvEscape(const std::string &raw)
 {
     if (raw.find_first_of(",\"\n") == std::string::npos)
         return raw;

@@ -1,7 +1,9 @@
 /**
  * @file
  * Tiny CSV writer used by the benchmark harnesses to dump figure data
- * series alongside the human-readable tables.
+ * series alongside the human-readable tables, plus the free cell
+ * formatting helpers shared with the in-memory recorders of the
+ * experiment runner.
  */
 
 #ifndef GPUBOX_UTIL_CSV_HH
@@ -15,6 +17,29 @@
 
 namespace gpubox
 {
+
+/** Quote a raw cell if it contains a comma, quote or newline. */
+std::string csvEscape(const std::string &raw);
+
+/** Format any streamable value as an escaped CSV cell. */
+template <typename T>
+std::string
+csvCell(const T &v)
+{
+    std::ostringstream os;
+    os << v;
+    return csvEscape(os.str());
+}
+
+/** Format a pack of streamable values as one row of escaped cells. */
+template <typename... Args>
+std::vector<std::string>
+csvRow(const Args &...args)
+{
+    std::vector<std::string> cells;
+    (cells.push_back(csvCell(args)), ...);
+    return cells;
+}
 
 /** Streams rows of comma-separated values to a file. */
 class CsvWriter
@@ -31,25 +56,12 @@ class CsvWriter
     void
     row(const Args &...args)
     {
-        std::vector<std::string> cells;
-        (cells.push_back(toCell(args)), ...);
-        writeRow(cells);
+        writeRow(csvRow(args...));
     }
 
     std::size_t rowsWritten() const { return rows_; }
 
   private:
-    template <typename T>
-    static std::string
-    toCell(const T &v)
-    {
-        std::ostringstream os;
-        os << v;
-        return escape(os.str());
-    }
-
-    static std::string escape(const std::string &raw);
-
     std::ofstream out_;
     std::size_t rows_ = 0;
 };

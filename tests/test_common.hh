@@ -33,12 +33,26 @@ smallConfig(std::uint64_t seed = 42)
     return cfg;
 }
 
-/** Full-size DGX-1 configuration (the benchmark setup). */
+/**
+ * Full-size DGX-1 configuration (the benchmark setup): 8 P100s on the
+ * hybrid cube-mesh, 4 MiB 16-way L2 (2048 sets), 64 KiB pages
+ * (512 lines per page -> 4 page colors), 256 MiB of modelled HBM per
+ * GPU. Populated explicitly so the tests pin the paper geometry even
+ * if the library defaults drift.
+ */
 inline rt::SystemConfig
 dgx1Config(std::uint64_t seed = 42)
 {
     rt::SystemConfig cfg;
     cfg.seed = seed;
+    cfg.topology = noc::Topology::dgx1();
+    cfg.pageBytes = 64 * 1024;
+    cfg.framesPerGpu = 4096;
+    cfg.device.numSms = 56;
+    cfg.device.l2.sizeBytes = 4ULL << 20;
+    cfg.device.l2.lineBytes = 128;
+    cfg.device.l2.ways = 16;
+    cfg.device.l2.policy = cache::ReplPolicy::LRU;
     return cfg;
 }
 

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Tests for the experiment subsystem: scenario-matrix expansion,
+ * deterministic parallel execution (byte-identical CSV for 1, 2 and 8
+ * worker threads), per-scenario RNG stream stability and failure
+ * isolation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "exp/experiment_runner.hh"
+#include "exp/scenario.hh"
+#include "rt/runtime.hh"
+#include "test_common.hh"
+#include "util/log.hh"
+
+namespace gpubox
+{
+namespace
+{
+
+exp::ScenarioMatrix::Mutator
+noop()
+{
+    return [](exp::Scenario &) {};
+}
+
+TEST(ScenarioMatrix, ExpandsCartesianProductRowMajor)
+{
+    exp::Scenario base;
+    base.name = "base";
+    auto scenarios =
+        exp::ScenarioMatrix(base)
+            .axis("policy", {{"lru", noop()}, {"random", noop()}})
+            .axis("sets",
+                  {{"1",
+                    [](exp::Scenario &sc) { sc.attack.covertSets = 1; }},
+                   {"2",
+                    [](exp::Scenario &sc) { sc.attack.covertSets = 2; }},
+                   {"4",
+                    [](exp::Scenario &sc) { sc.attack.covertSets = 4; }}})
+            .expand();
+
+    ASSERT_EQ(scenarios.size(), 6u);
+    // Row-major: the last axis varies fastest.
+    EXPECT_EQ(scenarios[0].name, "base/policy=lru/sets=1");
+    EXPECT_EQ(scenarios[1].name, "base/policy=lru/sets=2");
+    EXPECT_EQ(scenarios[2].name, "base/policy=lru/sets=4");
+    EXPECT_EQ(scenarios[3].name, "base/policy=random/sets=1");
+    EXPECT_EQ(scenarios[5].name, "base/policy=random/sets=4");
+    // Mutators applied and labels recorded in axis order.
+    EXPECT_EQ(scenarios[5].attack.covertSets, 4u);
+    ASSERT_EQ(scenarios[5].params.size(), 2u);
+    EXPECT_EQ(scenarios[5].params[0].first, "policy");
+    EXPECT_EQ(scenarios[5].params[0].second, "random");
+    EXPECT_EQ(scenarios[5].paramOr("sets"), "4");
+    EXPECT_EQ(scenarios[5].paramOr("absent", "dflt"), "dflt");
+}
+
+TEST(ScenarioMatrix, SeedsAxisSetsBothSeeds)
+{
+    exp::Scenario base;
+    base.name = "s";
+    auto scenarios =
+        exp::ScenarioMatrix(base).seeds({11, 22}).expand();
+    ASSERT_EQ(scenarios.size(), 2u);
+    EXPECT_EQ(scenarios[0].seed, 11u);
+    EXPECT_EQ(scenarios[0].system.seed, 11u);
+    EXPECT_EQ(scenarios[1].seed, 22u);
+    EXPECT_EQ(scenarios[1].system.seed, 22u);
+    EXPECT_EQ(scenarios[1].name, "s/seed=22");
+}
+
+TEST(ScenarioMatrix, SizeMatchesExpansion)
+{
+    exp::Scenario base;
+    exp::ScenarioMatrix m(base);
+    EXPECT_EQ(m.size(), 1u);
+    m.axis("a", {{"x", noop()}, {"y", noop()}}).seeds({1, 2, 3});
+    EXPECT_EQ(m.size(), 6u);
+    EXPECT_EQ(m.expand().size(), 6u);
+}
+
+TEST(ScenarioMatrix, EmptyAxisIsFatal)
+{
+    exp::Scenario base;
+    EXPECT_THROW(exp::ScenarioMatrix(base).axis("empty", {}),
+                 FatalError);
+}
+
+/**
+ * A scenario function doing real simulation work: run a small kernel
+ * that streams through device memory, then record sim metrics and a
+ * few draws from the scenario RNG stream.
+ */
+void
+simScenario(const exp::Scenario &sc, exp::RunContext &ctx)
+{
+    setLogEnabled(false);
+    rt::Runtime rt(sc.system);
+    rt::Process &p = rt.createProcess("worker");
+    const std::uint32_t line = sc.system.device.l2.lineBytes;
+    const int n = 64;
+    const VAddr buf = rt.deviceMalloc(
+        p, 0, static_cast<std::uint64_t>(n) * line);
+
+    std::uint64_t latency_sum = 0;
+    auto kernel = [&](rt::BlockCtx &bctx) -> sim::Task {
+        for (int i = 0; i < n; ++i) {
+            const Cycles t0 = bctx.actor().now();
+            co_await bctx.ldcg64(buf + i * line);
+            latency_sum += bctx.actor().now() - t0;
+        }
+    };
+    gpu::KernelConfig kcfg;
+    auto h = rt.launch(p, 0, kcfg, kernel);
+    rt.runUntilDone(h);
+
+    const auto metrics = rt.metrics();
+    ctx.row(sc.name, sc.seed, latency_sum, metrics.engine.steps,
+            metrics.engine.now, ctx.rng().next(), ctx.rng().next());
+    ctx.note("sim done");
+}
+
+std::vector<exp::Scenario>
+determinismScenarios()
+{
+    exp::Scenario base;
+    base.name = "det";
+    base.system = test::smallConfig();
+    return exp::ScenarioMatrix(base)
+        .seeds({5, 6, 7})
+        .axis("rep", {{"a", noop()}, {"b", noop()}})
+        .expand();
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+TEST(ExperimentRunner, CsvByteIdenticalAcrossThreadCounts)
+{
+    const auto scenarios = determinismScenarios();
+    const std::vector<std::string> header = {
+        "name", "seed", "latency_sum", "steps", "cycles", "r0", "r1"};
+
+    std::vector<std::string> contents;
+    for (unsigned threads : {1u, 2u, 8u}) {
+        exp::ExperimentRunner runner({threads, /*progress=*/false});
+        EXPECT_EQ(runner.threads(), threads);
+        auto report = runner.run(scenarios, simScenario);
+        ASSERT_EQ(report.results.size(), scenarios.size());
+        EXPECT_EQ(report.failures(), 0u);
+
+        const std::string path =
+            "test_exp_det_" + std::to_string(threads) + ".csv";
+        report.writeCsv(path, header);
+        contents.push_back(slurp(path));
+        std::remove(path.c_str());
+    }
+    ASSERT_EQ(contents.size(), 3u);
+    EXPECT_FALSE(contents[0].empty());
+    EXPECT_EQ(contents[0], contents[1]);
+    EXPECT_EQ(contents[0], contents[2]);
+    // Header + one row per scenario.
+    EXPECT_EQ(static_cast<std::size_t>(
+                  std::count(contents[0].begin(), contents[0].end(),
+                             '\n')),
+              scenarios.size() + 1);
+}
+
+TEST(ExperimentRunner, RngStreamStableUnderReordering)
+{
+    // The per-scenario stream is keyed by seed + name, not position:
+    // running a subset of the sweep reproduces the same rows.
+    const auto all = determinismScenarios();
+    std::vector<exp::Scenario> subset = {all[3], all[1]};
+
+    exp::ExperimentRunner runner({2, /*progress=*/false});
+    auto full = runner.run(all, simScenario);
+    auto part = runner.run(subset, simScenario);
+
+    ASSERT_EQ(part.results.size(), 2u);
+    EXPECT_EQ(part.results[0].rows, full.results[3].rows);
+    EXPECT_EQ(part.results[1].rows, full.results[1].rows);
+}
+
+TEST(ExperimentRunner, FailuresAreIsolatedAndOrdered)
+{
+    exp::Scenario base;
+    base.name = "f";
+    auto scenarios = exp::ScenarioMatrix(base)
+                         .axis("k", {{"ok1", noop()},
+                                     {"boom", noop()},
+                                     {"ok2", noop()}})
+                         .expand();
+
+    exp::ExperimentRunner runner({8, /*progress=*/false});
+    auto report = runner.run(
+        scenarios, [](const exp::Scenario &sc, exp::RunContext &ctx) {
+            if (sc.paramOr("k") == "boom")
+                fatal("intentional failure");
+            ctx.row(sc.paramOr("k"), 1);
+        });
+
+    ASSERT_EQ(report.results.size(), 3u);
+    EXPECT_EQ(report.failures(), 1u);
+    EXPECT_TRUE(report.results[0].ok);
+    EXPECT_FALSE(report.results[1].ok);
+    EXPECT_EQ(report.results[1].error, "intentional failure");
+    EXPECT_TRUE(report.results[1].rows.empty());
+    EXPECT_TRUE(report.results[2].ok);
+    // allRows keeps scenario order and skips nothing else.
+    auto rows = report.allRows();
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0][0], "ok1");
+    EXPECT_EQ(rows[1][0], "ok2");
+}
+
+} // namespace
+} // namespace gpubox

@@ -18,6 +18,7 @@
 #include "attack/timing_oracle.hh"
 #include "cache/indexer.hh"
 #include "cache/set_assoc_cache.hh"
+#include "mem/address.hh"
 #include "rt/runtime.hh"
 #include "test_common.hh"
 #include "util/log.hh"
@@ -58,9 +59,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::make_pair(0, 1), std::make_pair(0, 4),
                       std::make_pair(2, 6), std::make_pair(3, 7),
                       std::make_pair(5, 6), std::make_pair(4, 7)),
-    [](const auto &info) {
-        return "gpu" + std::to_string(info.param.first) + "to" +
-               std::to_string(info.param.second);
+    [](const auto &pinfo) {
+        return "gpu" + std::to_string(pinfo.param.first) + "to" +
+               std::to_string(pinfo.param.second);
     });
 
 // ---------------------------------------------------------------------
@@ -253,6 +254,85 @@ INSTANTIATE_TEST_SUITE_P(Pages, IndexerPageSize,
 // Deterministic end-to-end reproducibility: identical seed, identical
 // transmission outcome.
 // ---------------------------------------------------------------------
+
+// ---------------------------------------------------------------------
+// The L2 index hash preserves page boundaries (paper Sec. V-A): every
+// line of a physical page lands in the page's color window, walking
+// consecutive sets. The eviction-set attacks depend on this invariant.
+// ---------------------------------------------------------------------
+
+class IndexerSeed : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(IndexerSeed, PageColorPreservedUnderRandomLineAddresses)
+{
+    Rng rng(GetParam());
+
+    // Random-but-valid geometries: sets x line x page all powers of
+    // two, pages spanning at least one set window.
+    const struct
+    {
+        std::uint32_t sets, line;
+        std::uint64_t page;
+    } geometries[] = {
+        {2048, 128, 64 * 1024}, // DGX-1 P100
+        {128, 128, 4096},       // smallConfig
+        {1024, 64, 32 * 1024},
+        {4096, 32, 4096},
+    };
+
+    for (const auto &g : geometries) {
+        const std::uint64_t salt = rng.next();
+        cache::HashedPageIndexer idx(g.sets, g.line, g.page, salt);
+        mem::AddressCodec codec(g.page);
+        const std::uint32_t lines_per_page =
+            static_cast<std::uint32_t>(g.page / g.line);
+
+        for (int trial = 0; trial < 256; ++trial) {
+            const GpuId gpu = static_cast<GpuId>(rng.uniform(8));
+            const std::uint64_t frame = rng.uniform(1u << 20);
+            const std::uint32_t line_in_page = static_cast<std::uint32_t>(
+                rng.uniform(lines_per_page));
+            const PAddr addr = codec.pack(
+                gpu, frame,
+                static_cast<std::uint64_t>(line_in_page) * g.line);
+
+            const SetIndex set = idx.setFor(addr);
+            ASSERT_LT(set, g.sets);
+
+            // The whole page occupies one aligned window of
+            // consecutive sets selected by the page color...
+            const std::uint32_t color = idx.colorOf(frame, gpu);
+            ASSERT_LT(color, idx.numColors());
+            EXPECT_EQ(set,
+                      (static_cast<std::uint64_t>(color) *
+                           lines_per_page +
+                       line_in_page) %
+                          g.sets);
+
+            // ...lines within a page walk consecutive sets...
+            if (line_in_page + 1 < lines_per_page) {
+                EXPECT_EQ(idx.setFor(addr + g.line), (set + 1) % g.sets);
+            }
+
+            // ...byte offsets within one line do not change the set,
+            // and the mapping is a pure function of the address.
+            EXPECT_EQ(idx.setFor(addr + rng.uniform(g.line)), set);
+            EXPECT_EQ(idx.setFor(addr), set);
+        }
+
+        // Every color occurs across many random frames (the scramble
+        // must not collapse the color space).
+        std::set<std::uint32_t> colors;
+        for (int f = 0; f < 512; ++f)
+            colors.insert(idx.colorOf(rng.uniform(1u << 20),
+                                      static_cast<GpuId>(rng.uniform(8))));
+        EXPECT_EQ(colors.size(), idx.numColors());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexerSeed,
+                         ::testing::Values(1u, 17u, 4242u, 0xdeadbeefu));
 
 TEST(Reproducibility, CovertTransmissionBitExact)
 {

@@ -10,6 +10,8 @@
 #include <fstream>
 #include <set>
 
+#include "cache/indexer.hh"
+#include "test_common.hh"
 #include "util/ascii_art.hh"
 #include "util/bitops.hh"
 #include "util/contention.hh"
@@ -407,6 +409,37 @@ TEST(Log, EnableDisable)
     EXPECT_FALSE(logEnabled());
     setLogEnabled(true);
     EXPECT_TRUE(logEnabled());
+}
+
+// The shared test fixtures must pin the geometry the attacks depend
+// on: the DGX-1 box of the paper and the scaled-down 4-GPU variant,
+// both with multiple page colors and 16-way NUMA L2s.
+TEST(TestCommon, Geometry)
+{
+    const auto dgx1 = test::dgx1Config(7);
+    EXPECT_EQ(dgx1.seed, 7u);
+    EXPECT_EQ(dgx1.topology.numGpus(), 8);
+    EXPECT_EQ(dgx1.device.numSms, 56);
+    EXPECT_EQ(dgx1.device.l2.numSets(), 2048u);
+    EXPECT_EQ(dgx1.device.l2.ways, 16u);
+    const auto dgx1_lines_per_page =
+        dgx1.pageBytes / dgx1.device.l2.lineBytes;
+    EXPECT_EQ(dgx1_lines_per_page, 512u);
+    cache::HashedPageIndexer dgx1_idx(dgx1.device.l2.numSets(),
+                                      dgx1.device.l2.lineBytes,
+                                      dgx1.pageBytes, 0x5a17);
+    EXPECT_EQ(dgx1_idx.numColors(), 4u);
+
+    const auto small = test::smallConfig(7);
+    EXPECT_EQ(small.seed, 7u);
+    EXPECT_EQ(small.topology.numGpus(), 4);
+    EXPECT_EQ(small.device.l2.numSets(), 128u);
+    EXPECT_EQ(small.device.l2.ways, 16u);
+    EXPECT_EQ(small.pageBytes / small.device.l2.lineBytes, 32u);
+    cache::HashedPageIndexer small_idx(small.device.l2.numSets(),
+                                       small.device.l2.lineBytes,
+                                       small.pageBytes, 0x5a17);
+    EXPECT_EQ(small_idx.numColors(), 4u);
 }
 
 } // namespace

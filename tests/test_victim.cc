@@ -62,8 +62,8 @@ TEST_P(VictimRun, CompletesAndTouchesL2)
 INSTANTIATE_TEST_SUITE_P(
     AllApps, VictimRun,
     ::testing::ValuesIn(allAppKinds()),
-    [](const ::testing::TestParamInfo<AppKind> &info) {
-        return appShortName(info.param);
+    [](const ::testing::TestParamInfo<AppKind> &pinfo) {
+        return appShortName(pinfo.param);
     });
 
 TEST(Victim, StartDelayHonored)
