@@ -1,117 +1,16 @@
 /**
  * @file
- * Ablation for the paper's Sec. VII detection discussion: a driver-
- * side NVLink traffic monitor distinguishes the attacks' sustained
- * fine-grained remote traffic from benign coarse-grained transfers.
- *
- * Three scenarios on the GPU0-GPU1 link:
- *  1. benign  -- a process on GPU 1 streams a remote buffer once
- *                (coarse bulk transfer, then computes locally);
- *  2. covert  -- the cross-GPU covert channel (4 sets);
- *  3. prober  -- the side-channel memorygram prober (128 sets).
+ * Thin wrapper over the `ablation_detection` registry entry; the implementation
+ * lives in bench/suite/ablation_detection.cc and is shared with the `gpubox_bench`
+ * driver.
  */
 
-#include <cstdio>
-
-#include "attack/covert/channel.hh"
-#include "attack/set_aligner.hh"
-#include "attack/side/prober.hh"
-#include "bench/bench_common.hh"
-#include "defense/link_monitor.hh"
-#include "util/csv.hh"
-
-using namespace gpubox;
+#include "bench/suite/benches.hh"
+#include "exp/registry.hh"
 
 int
 main(int argc, char **argv)
 {
-    setLogEnabled(false);
-    const std::uint64_t seed = bench::benchSeed(argc, argv);
-    auto setup = bench::AttackSetup::create(seed);
-
-    attack::SetAligner aligner(*setup.rt, *setup.local, *setup.remote, 0,
-                               1, setup.calib.thresholds);
-    auto mapping =
-        aligner.alignGroups(*setup.localFinder, *setup.remoteFinder);
-
-    bench::header("Sec. VII: NVLink traffic monitoring");
-    CsvWriter csv("ablation_detection.csv");
-    csv.row("scenario", "peak_rate_per_kcycle", "flagged");
-
-    defense::MonitorConfig mon_cfg;
-    auto report = [&](const char *name, defense::LinkMonitor &mon) {
-        std::printf("  %-24s peak %8.1f legs/kcycle  -> %s\n", name,
-                    mon.peakRate(),
-                    mon.attackFlagged() ? "FLAGGED as attack"
-                                        : "not flagged");
-        csv.row(name, mon.peakRate(), mon.attackFlagged() ? 1 : 0);
-    };
-
-    // 1. Benign: one bulk remote read pass, then local compute.
-    {
-        defense::LinkMonitor monitor(*setup.rt, 0, 1, mon_cfg);
-        monitor.start();
-        rt::Process &benign = setup.rt->createProcess("benign");
-        setup.rt->enablePeerAccess(benign, 1, 0);
-        const std::uint32_t line = setup.rt->config().device.l2.lineBytes;
-        const VAddr buf = setup.rt->deviceMalloc(benign, 0, 512 * line);
-        auto kernel = [&, buf, line](rt::BlockCtx &ctx) -> sim::Task {
-            // Coarse transfer: fetch the working set once...
-            for (int i = 0; i < 512; ++i)
-                co_await ctx.ldcg64(buf + i * line);
-            // ...then work on it locally for a long time.
-            co_await ctx.compute(400000);
-        };
-        gpu::KernelConfig kcfg;
-        kcfg.name = "benign-remote";
-        auto h = setup.rt->launch(benign, 1, kcfg, kernel);
-        setup.rt->runUntilDone(h);
-        monitor.stop();
-        report("benign bulk transfer", monitor);
-    }
-
-    // 2. Covert channel.
-    {
-        defense::LinkMonitor monitor(*setup.rt, 0, 1, mon_cfg);
-        monitor.start();
-        auto pairs = aligner.alignedPairs(*setup.localFinder,
-                                          *setup.remoteFinder, mapping, 4);
-        attack::covert::CovertChannel channel(
-            *setup.rt, *setup.local, *setup.remote, 0, 1, pairs,
-            setup.calib.thresholds);
-        Rng rng(seed);
-        std::vector<std::uint8_t> bits(4096);
-        for (auto &b : bits)
-            b = rng.chance(0.5) ? 1 : 0;
-        std::vector<std::uint8_t> rx;
-        channel.transmit(bits, rx);
-        monitor.stop();
-        report("covert channel (4 sets)", monitor);
-    }
-
-    // 3. Side-channel prober.
-    {
-        defense::LinkMonitor monitor(*setup.rt, 0, 1, mon_cfg);
-        monitor.start();
-        attack::side::ProberConfig pcfg;
-        pcfg.monitoredSets = 128;
-        pcfg.samplePeriod = 8000;
-        pcfg.windowCycles = 12000;
-        pcfg.duration = 800000;
-        attack::side::RemoteProber prober(*setup.rt, *setup.remote, 1,
-                                          *setup.remoteFinder,
-                                          setup.calib.thresholds, pcfg);
-        attack::side::Memorygram gram(pcfg.monitoredSets,
-                                      prober.numWindows());
-        auto h = prober.launch(gram, setup.rt->engine().now() + 10000);
-        setup.rt->runUntilDone(h);
-        monitor.stop();
-        report("memorygram prober", monitor);
-    }
-
-    std::printf("\n  the attacks need sustained fine-grained NVLink "
-                "traffic and stand out against coarse benign "
-                "transfers -- the paper's detection premise.\n");
-    std::printf("[csv] ablation_detection.csv\n");
-    return 0;
+    gpubox::bench::registerAllBenches();
+    return gpubox::exp::benchMain("ablation_detection", argc, argv);
 }

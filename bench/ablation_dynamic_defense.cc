@@ -1,89 +1,16 @@
 /**
  * @file
- * Ablation for the paper's Sec. VII *triggered* partitioning proposal
- * (GPUGuard-style): the box runs unpartitioned until an NVLink monitor
- * detects sustained fine-grained traffic, then flips the L2s into
- * isolated slices. A covert transmission that starts clean is severed
- * mid-flight: the error rate per message quarter jumps to ~50 %
- * (random decoding) right after the trigger.
+ * Thin wrapper over the `ablation_dynamic_defense` registry entry; the implementation
+ * lives in bench/suite/ablation_dynamic_defense.cc and is shared with the `gpubox_bench`
+ * driver.
  */
 
-#include <cstdio>
-
-#include "attack/covert/channel.hh"
-#include "attack/set_aligner.hh"
-#include "bench/bench_common.hh"
-#include "defense/dynamic_partitioner.hh"
-#include "util/csv.hh"
-
-using namespace gpubox;
+#include "bench/suite/benches.hh"
+#include "exp/registry.hh"
 
 int
 main(int argc, char **argv)
 {
-    setLogEnabled(false);
-    const std::uint64_t seed = bench::benchSeed(argc, argv);
-    auto setup = bench::AttackSetup::create(seed);
-
-    attack::SetAligner aligner(*setup.rt, *setup.local, *setup.remote, 0,
-                               1, setup.calib.thresholds);
-    auto mapping =
-        aligner.alignGroups(*setup.localFinder, *setup.remoteFinder);
-    auto pairs = aligner.alignedPairs(*setup.localFinder,
-                                      *setup.remoteFinder, mapping, 4);
-    attack::covert::CovertChannel channel(*setup.rt, *setup.local,
-                                          *setup.remote, 0, 1, pairs,
-                                          setup.calib.thresholds);
-
-    // A deliberately sluggish detection criterion (sustained traffic
-    // for ~2.4M cycles) so the severing lands mid-message and the
-    // before/after contrast is visible; with the default LinkMonitor
-    // criterion the channel dies within the first percent of the
-    // message (see ablation_detection).
-    defense::MonitorConfig mcfg;
-    mcfg.sampleWindow = 60000;
-    mcfg.flagRatePerKcycle = 20.0;
-    mcfg.consecutiveWindows = 40;
-    defense::DynamicPartitioner guard(
-        *setup.rt, 0, 1, 2,
-        {{setup.local, 0u}, {setup.remote, 1u}}, mcfg);
-    guard.start();
-
-    const Cycles tx_start = setup.rt->engine().now();
-    Rng rng(seed ^ 0xd34d);
-    std::vector<std::uint8_t> bits(16384);
-    for (auto &b : bits)
-        b = rng.chance(0.5) ? 1 : 0;
-    std::vector<std::uint8_t> rx;
-    auto stats = channel.transmit(bits, rx);
-    guard.stop();
-
-    bench::header("Sec. VII: triggered (GPUGuard-style) partitioning");
-    std::printf("  defense triggered: %s", guard.triggered() ? "yes" : "no");
-    if (guard.triggered())
-        std::printf(" %.0f%% into the message",
-                    100.0 *
-                        static_cast<double>(guard.triggerTime() -
-                                            tx_start) /
-                        static_cast<double>(stats.elapsedCycles));
-    std::printf("\n  overall error: %.2f%%\n\n", 100.0 * stats.errorRate);
-
-    CsvWriter csv("ablation_dynamic_defense.csv");
-    csv.row("quarter", "error_rate_pct");
-    std::printf("  error per message quarter:\n");
-    const std::size_t q = bits.size() / 4;
-    for (int i = 0; i < 4; ++i) {
-        std::size_t errors = 0;
-        for (std::size_t j = i * q; j < (i + 1) * q; ++j)
-            errors += bits[j] != rx[j] ? 1 : 0;
-        const double pct =
-            100.0 * static_cast<double>(errors) / static_cast<double>(q);
-        std::printf("    Q%d: %6.2f%%\n", i + 1, pct);
-        csv.row(i + 1, pct);
-    }
-    std::printf("\n  expectation: early quarters clean, quarters after "
-                "the trigger ~50%% (the channel is severed while the "
-                "attackers keep transmitting).\n");
-    std::printf("[csv] ablation_dynamic_defense.csv\n");
-    return 0;
+    gpubox::bench::registerAllBenches();
+    return gpubox::exp::benchMain("ablation_dynamic_defense", argc, argv);
 }

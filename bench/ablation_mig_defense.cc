@@ -1,147 +1,16 @@
 /**
  * @file
- * Ablation for the paper's Sec. VII partitioning defense: MIG-style
- * isolated L2 way slices.
- *
- * Baseline: the full cross-GPU covert pipeline works (alignment finds
- * colliding sets, the channel transmits). With 2-way-partitioned L2s
- * and the trojan/spy assigned to different slices, the trojan's primes
- * can no longer evict the spy's lines: Algorithm 2 finds no colliding
- * group and the channel is dead. The attacker still works *within*
- * its slice (it measures associativity 8), which is exactly the
- * paper's point that MIG isolates co-tenants rather than fixing the
- * microarchitecture.
- *
- * Each slice count is one isolated ExperimentRunner scenario, so the
- * sweep parallelises under `--threads N` with unchanged output.
+ * Thin wrapper over the `ablation_mig_defense` registry entry; the implementation
+ * lives in bench/suite/ablation_mig_defense.cc and is shared with the `gpubox_bench`
+ * driver.
  */
 
-#include <cstdio>
-
-#include "attack/covert/channel.hh"
-#include "attack/evset_finder.hh"
-#include "attack/set_aligner.hh"
-#include "bench/bench_common.hh"
-#include "exp/experiment_runner.hh"
-#include "exp/scenario.hh"
-#include "util/csv.hh"
-
-using namespace gpubox;
-
-namespace
-{
-
-void
-runSlices(const exp::Scenario &sc, exp::RunContext &ctx)
-{
-    const unsigned slices = sc.defense.migPartitioning
-                                ? sc.defense.migSlices
-                                : 1;
-
-    rt::Runtime rt(sc.system);
-    rt::Process &trojan = rt.createProcess("trojan");
-    rt::Process &spy = rt.createProcess("spy");
-
-    if (slices > 1) {
-        rt.enableMigPartitioning(slices);
-        rt.assignPartition(trojan, 0);
-        rt.assignPartition(spy, 1);
-    }
-
-    attack::TimingOracle oracle(rt, spy);
-    auto calib = oracle.calibrate(1, 0, 48, 6);
-
-    attack::FinderConfig fcfg;
-    fcfg.poolPages = sc.attack.finderPoolPages;
-    attack::EvictionSetFinder tf(rt, trojan, 0, 0, calib.thresholds,
-                                 fcfg);
-    tf.run();
-    attack::EvictionSetFinder sf(rt, spy, 1, 0, calib.thresholds, fcfg);
-    sf.run();
-
-    const unsigned assoc = tf.associativity();
-
-    attack::SetAligner aligner(rt, trojan, spy, 0, 1, calib.thresholds);
-    auto mapping = aligner.alignGroups(tf, sf);
-    int matched_groups = 0;
-    for (int m : mapping)
-        matched_groups += m >= 0 ? 1 : 0;
-
-    bool channel_possible = false;
-    double error_pct = 100.0;
-    if (matched_groups > 0) {
-        auto pairs =
-            aligner.alignedPairs(tf, sf, mapping, sc.attack.covertSets);
-        attack::covert::CovertChannel channel(rt, trojan, spy, 0, 1,
-                                              pairs, calib.thresholds);
-        Rng rng(sc.seed ^ 0x311c);
-        std::vector<std::uint8_t> bits(sc.attack.messageBits);
-        for (auto &b : bits)
-            b = rng.chance(0.5) ? 1 : 0;
-        std::vector<std::uint8_t> rx;
-        error_pct = 100.0 * channel.transmit(bits, rx).errorRate;
-        channel_possible = true;
-    }
-
-    ctx.row(slices, assoc, matched_groups, channel_possible ? 1 : 0,
-            error_pct);
-}
-
-} // namespace
+#include "bench/suite/benches.hh"
+#include "exp/registry.hh"
 
 int
 main(int argc, char **argv)
 {
-    setLogEnabled(false);
-    auto args = bench::parseBenchArgs(argc, argv);
-    if (args.out.empty())
-        args.out = "ablation_mig_defense.csv";
-
-    exp::Scenario base;
-    base.name = "mig";
-    base.seed = args.seed;
-    base.system.seed = args.seed;
-    base.attack.finderPoolPages = 224;
-
-    auto scenarios =
-        exp::ScenarioMatrix(base)
-            .axis("slices", {{"1", [](exp::Scenario &) {}},
-                             {"2",
-                              [](exp::Scenario &sc) {
-                                  sc.defense.migPartitioning = true;
-                                  sc.defense.migSlices = 2;
-                              }}})
-            .expand();
-
-    bench::header("Sec. VII: MIG-style L2 way partitioning");
-    exp::ExperimentRunner runner({args.threads, /*progress=*/true});
-    auto report = runner.run(scenarios, runSlices);
-
-    for (const auto &res : report.results) {
-        for (const auto &row : res.rows) {
-            std::printf("  %s slice(s): attacker measures associativity "
-                        "%2s, Algorithm-2 matches %s group(s) -> %s",
-                        row[0].c_str(), row[1].c_str(), row[2].c_str(),
-                        row[3] == "1" ? "channel up" : "CHANNEL DEAD");
-            if (row[3] == "1")
-                std::printf(" (error %.2f%%)",
-                            std::strtod(row[4].c_str(), nullptr));
-            std::printf("\n");
-        }
-    }
-    report.printNotes(stdout);
-
-    report.writeCsv(args.out,
-                    {"l2_slices", "attacker_measured_assoc",
-                     "matched_groups", "channel_possible", "error_pct"});
-
-    std::printf("\n  with isolated slices the trojan cannot evict the "
-                "spy's lines, so no eviction set pair ever collides: "
-                "the paper's partitioning defense closes the channel "
-                "(at the cost of halving each tenant's effective L2 "
-                "associativity).\n");
-    std::printf("[csv] %s\n", args.out.c_str());
-    std::fprintf(stderr, "[wall] sweep %.2fs on %u thread(s)\n",
-                 report.wallSeconds, runner.threads());
-    return report.failures() == 0 ? 0 : 1;
+    gpubox::bench::registerAllBenches();
+    return gpubox::exp::benchMain("ablation_mig_defense", argc, argv);
 }

@@ -1,178 +1,16 @@
 /**
  * @file
- * Reproduces paper Sec. VI: noise mitigation via SM saturation.
- *
- * Three covert-channel conditions over 4 sets:
- *  1. quiet      -- no other workload on the trojan GPU;
- *  2. noisy      -- a concurrent application streams through the
- *                   trojan GPU's L2, corrupting the channel;
- *  3. mitigated  -- right after its own blocks are resident, the
- *                   attacker launches idle filler blocks that saturate
- *                   every SM's shared memory and thread slots, so the
- *                   leftover block scheduling policy cannot place the
- *                   noisy application until the communication ends.
- *
- * Each condition is one isolated ExperimentRunner scenario (own
- * Runtime, own attack setup), so the three run in parallel under
- * `--threads N` with output identical to the serial run.
+ * Thin wrapper over the `ablation_noise_mitigation` registry entry; the implementation
+ * lives in bench/suite/ablation_noise_mitigation.cc and is shared with the `gpubox_bench`
+ * driver.
  */
 
-#include <cstdio>
-#include <memory>
-
-#include "attack/covert/channel.hh"
-#include "attack/set_aligner.hh"
-#include "bench/bench_common.hh"
-#include "exp/experiment_runner.hh"
-#include "exp/scenario.hh"
-#include "util/csv.hh"
-#include "victim/workload.hh"
-
-using namespace gpubox;
-
-namespace
-{
-
-void
-runCondition(const exp::Scenario &sc, exp::RunContext &ctx)
-{
-    auto setup = bench::AttackSetup::create(sc.seed);
-
-    attack::SetAligner aligner(*setup.rt, *setup.local, *setup.remote, 0,
-                               1, setup.calib.thresholds);
-    auto mapping =
-        aligner.alignGroups(*setup.localFinder, *setup.remoteFinder);
-    auto pairs =
-        aligner.alignedPairs(*setup.localFinder, *setup.remoteFinder,
-                             mapping, sc.attack.covertSets);
-
-    rt::Process &noise_proc = setup.rt->createProcess("noise");
-
-    attack::covert::CovertChannel channel(*setup.rt, *setup.local,
-                                          *setup.remote, 0, 1, pairs,
-                                          setup.calib.thresholds);
-
-    rt::KernelHandle fillers;
-    std::unique_ptr<victim::Workload> noise;
-    rt::KernelHandle noise_handle;
-    unsigned noise_started_during_tx = 0;
-
-    // Launched via the channel's after-launch hook so the attacker's
-    // own blocks are already resident on the SMs.
-    auto after_launch = [&]() {
-        if (sc.attack.smSaturation) {
-            // Fill every remaining SM slot: 32 KiB shared + ~1000
-            // threads per idle block, two slots per SM minus the
-            // four the trojan holds (paper Sec. VI).
-            gpu::KernelConfig fcfg;
-            fcfg.name = "sm-filler";
-            fcfg.numBlocks = 2 * setup.rt->config().device.numSms;
-            fcfg.threadsPerBlock = 1000;
-            fcfg.sharedMemBytes = 32 * 1024;
-            fillers = setup.rt->launch(
-                *setup.local, 0, fcfg,
-                [](rt::BlockCtx &bctx) -> sim::Task {
-                    while (!bctx.stopRequested())
-                        co_await bctx.compute(256);
-                });
-        }
-        if (sc.defense.coTenantNoise) {
-            // A co-tenant streaming app wanting 16 KiB of shared
-            // memory per block on the trojan GPU.
-            victim::WorkloadConfig wcfg;
-            wcfg.seed = sc.seed ^ 0x9097;
-            wcfg.iterations = 12;
-            wcfg.sharedMemBytes = 16 * 1024;
-            noise = std::make_unique<victim::Workload>(
-                *setup.rt, noise_proc, 0, victim::AppKind::VECTOR_ADD,
-                wcfg);
-            noise_handle = noise->launch();
-        }
-    };
-
-    // Payload derived from the scenario seed alone, so every
-    // condition transmits the same bits.
-    Rng rng(sc.seed ^ 0xbeef);
-    std::vector<std::uint8_t> bits(sc.attack.messageBits);
-    for (auto &b : bits)
-        b = rng.chance(0.5) ? 1 : 0;
-    std::vector<std::uint8_t> rx;
-    auto stats = channel.transmit(bits, rx, after_launch);
-
-    if (sc.defense.coTenantNoise)
-        for (auto *b : noise_handle.blocks())
-            noise_started_during_tx += b->started() ? 1 : 0;
-
-    // Cleanup: release the SMs, let the queued noise app drain.
-    if (sc.attack.smSaturation)
-        fillers.requestStop();
-    if (sc.defense.coTenantNoise) {
-        noise_handle.requestStop();
-        setup.rt->runUntilDone(noise_handle);
-    }
-    if (sc.attack.smSaturation)
-        setup.rt->runUntilDone(fillers);
-
-    ctx.row(sc.paramOr("condition"), 100.0 * stats.errorRate,
-            stats.bandwidthMbitPerSec, noise_started_during_tx);
-}
-
-} // namespace
+#include "bench/suite/benches.hh"
+#include "exp/registry.hh"
 
 int
 main(int argc, char **argv)
 {
-    setLogEnabled(false);
-    auto args = bench::parseBenchArgs(argc, argv);
-    if (args.out.empty())
-        args.out = "ablation_noise_mitigation.csv";
-
-    exp::Scenario base;
-    base.name = "noise";
-    base.seed = args.seed;
-    base.system.seed = args.seed;
-    base.attack.messageBits = 16384;
-
-    auto scenarios =
-        exp::ScenarioMatrix(base)
-            .axis("condition",
-                  {{"quiet", [](exp::Scenario &) {}},
-                   {"noisy",
-                    [](exp::Scenario &sc) {
-                        sc.defense.coTenantNoise = true;
-                    }},
-                   {"mitigated (SM saturation)",
-                    [](exp::Scenario &sc) {
-                        sc.defense.coTenantNoise = true;
-                        sc.attack.smSaturation = true;
-                    }}})
-            .expand();
-
-    bench::header("Sec. VI: covert channel error under noise");
-    exp::ExperimentRunner runner({args.threads, /*progress=*/true});
-    auto report = runner.run(scenarios, runCondition);
-
-    for (const auto &res : report.results) {
-        for (const auto &row : res.rows) {
-            std::printf("  %-28s error %6.2f%%   BW %6.3f Mbit/s   "
-                        "noise blocks running during tx: %s\n",
-                        row[0].c_str(),
-                        std::strtod(row[1].c_str(), nullptr),
-                        std::strtod(row[2].c_str(), nullptr),
-                        row[3].c_str());
-        }
-    }
-    report.printNotes(stdout);
-
-    report.writeCsv(args.out,
-                    {"condition", "error_rate_pct", "bandwidth_mbit_s",
-                     "noise_blocks_started"});
-
-    std::printf("\n  expectation: noisy >> quiet error; mitigation "
-                "restores the quiet error because the noise app cannot "
-                "be scheduled while the channel runs.\n");
-    std::printf("[csv] %s\n", args.out.c_str());
-    std::fprintf(stderr, "[wall] sweep %.2fs on %u thread(s)\n",
-                 report.wallSeconds, runner.threads());
-    return report.failures() == 0 ? 0 : 1;
+    gpubox::bench::registerAllBenches();
+    return gpubox::exp::benchMain("ablation_noise_mitigation", argc, argv);
 }

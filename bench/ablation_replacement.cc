@@ -1,137 +1,16 @@
 /**
  * @file
- * Ablation: how much of the attack survives when the L2 replacement
- * policy is not true LRU?
- *
- * The paper's Table I finds deterministic (LRU-like) replacement, and
- * every stage of the attack leans on it: the eviction set finder's
- * monotone eviction point, the validator's clean step at the
- * associativity, and the covert channel's reliable eviction of the
- * spy's lines. This bench re-runs those stages under true LRU,
- * tree-PLRU and randomized replacement -- one isolated scenario per
- * policy, fanned out by the ExperimentRunner (`--threads N`), with
- * output identical for any thread count.
+ * Thin wrapper over the `ablation_replacement` registry entry; the implementation
+ * lives in bench/suite/ablation_replacement.cc and is shared with the `gpubox_bench`
+ * driver.
  */
 
-#include <cstdio>
-
-#include "attack/covert/channel.hh"
-#include "attack/reverse_engineer.hh"
-#include "attack/set_aligner.hh"
-#include "bench/bench_common.hh"
-#include "exp/experiment_runner.hh"
-#include "exp/scenario.hh"
-#include "util/csv.hh"
-
-using namespace gpubox;
-
-namespace
-{
-
-void
-runPolicyScenario(const exp::Scenario &sc, exp::RunContext &ctx)
-{
-    const std::string name = cache::replPolicyName(sc.system.device.l2.policy);
-
-    rt::Runtime rt(sc.system);
-    rt::Process &trojan = rt.createProcess("trojan");
-    rt::Process &spy = rt.createProcess("spy");
-
-    attack::TimingOracle oracle(rt, spy);
-    auto calib = oracle.calibrate(1, 0, 48, 6);
-
-    bool finder_ok = true;
-    unsigned assoc = 0;
-    std::string policy_report = "n/a";
-    double error_pct = 100.0;
-    try {
-        attack::FinderConfig fcfg;
-        fcfg.poolPages = sc.attack.finderPoolPages;
-        attack::EvictionSetFinder tf(rt, trojan, 0, 0, calib.thresholds,
-                                     fcfg);
-        tf.run();
-        assoc = tf.associativity();
-
-        attack::ReverseEngineer re(rt, trojan, 0, calib.thresholds);
-        policy_report = attack::ReverseEngineer::classifyPolicy(
-            re.evictionPoints(tf, 10), assoc);
-
-        attack::EvictionSetFinder sf(rt, spy, 1, 0, calib.thresholds,
-                                     fcfg);
-        sf.run();
-        attack::SetAligner aligner(rt, trojan, spy, 0, 1,
-                                   calib.thresholds);
-        auto mapping = aligner.alignGroups(tf, sf);
-        auto pairs =
-            aligner.alignedPairs(tf, sf, mapping, sc.attack.covertSets);
-        attack::covert::CovertChannel channel(rt, trojan, spy, 0, 1,
-                                              pairs, calib.thresholds);
-        Rng rng(sc.seed ^ 0xab1a);
-        std::vector<std::uint8_t> bits(sc.attack.messageBits);
-        for (auto &b : bits)
-            b = rng.chance(0.5) ? 1 : 0;
-        std::vector<std::uint8_t> rx;
-        auto stats = channel.transmit(bits, rx);
-        error_pct = 100.0 * stats.errorRate;
-    } catch (const FatalError &e) {
-        finder_ok = false;
-        ctx.note(std::string("attack pipeline failed: ") + e.what());
-    }
-
-    ctx.row(name, finder_ok ? 1 : 0, assoc, policy_report, error_pct);
-}
-
-} // namespace
+#include "bench/suite/benches.hh"
+#include "exp/registry.hh"
 
 int
 main(int argc, char **argv)
 {
-    setLogEnabled(false);
-    auto args = bench::parseBenchArgs(argc, argv);
-    if (args.out.empty())
-        args.out = "ablation_replacement.csv";
-
-    exp::Scenario base;
-    base.name = "replacement";
-    base.seed = args.seed;
-    base.system.seed = args.seed;
-
-    std::vector<exp::ScenarioMatrix::Point> points;
-    for (auto policy : {cache::ReplPolicy::LRU,
-                        cache::ReplPolicy::TREE_PLRU,
-                        cache::ReplPolicy::RANDOM}) {
-        points.emplace_back(cache::replPolicyName(policy),
-                            [policy](exp::Scenario &sc) {
-                                sc.system.device.l2.policy = policy;
-                            });
-    }
-    auto scenarios =
-        exp::ScenarioMatrix(base).axis("policy", points).expand();
-
-    bench::header("replacement policy ablation");
-    exp::ExperimentRunner runner({args.threads, /*progress=*/true});
-    auto report = runner.run(scenarios, runPolicyScenario);
-
-    std::printf("\n  %-10s %-8s %-6s %-16s %s\n", "policy", "finder",
-                "assoc", "inferred", "channel error");
-    for (const auto &res : report.results) {
-        for (const auto &row : res.rows) {
-            std::printf("  %-10s %-8s %-6s %-16s %s%%\n", row[0].c_str(),
-                        row[1] == "1" ? "ok" : "FAILED", row[2].c_str(),
-                        row[3].c_str(), row[4].c_str());
-        }
-    }
-    report.printNotes(stdout);
-
-    report.writeCsv(args.out, {"policy", "finder_ok", "associativity",
-                               "policy_report", "channel_error_pct"});
-
-    std::printf("\n  expectation: LRU -> clean attack; tree-PLRU -> "
-                "attack still works (deterministic-ish eviction); "
-                "randomized -> eviction sets unreliable and the channel "
-                "degrades or fails.\n");
-    std::printf("[csv] %s\n", args.out.c_str());
-    std::fprintf(stderr, "[wall] sweep %.2fs on %u thread(s)\n",
-                 report.wallSeconds, runner.threads());
-    return report.failures() == 0 ? 0 : 1;
+    gpubox::bench::registerAllBenches();
+    return gpubox::exp::benchMain("ablation_replacement", argc, argv);
 }

@@ -1,16 +1,13 @@
 /**
  * @file
- * Shared helpers for the figure/table benches: standard attack setup
- * (calibration + finders) on the full DGX-1 geometry and output paths.
+ * Shared helper for the figure/table benches: the standard attack
+ * setup (calibration + finders) on the full DGX-1 geometry.
  */
 
 #ifndef GPUBOX_BENCH_BENCH_COMMON_HH
 #define GPUBOX_BENCH_BENCH_COMMON_HH
 
-#include <cstdio>
-#include <cstdlib>
 #include <memory>
-#include <string>
 
 #include "attack/evset_finder.hh"
 #include "attack/set_aligner.hh"
@@ -20,69 +17,6 @@
 
 namespace gpubox::bench
 {
-
-/** Default seed for all figure benches (override via argv[1]). */
-inline std::uint64_t
-benchSeed(int argc, char **argv, std::uint64_t def = 2023)
-{
-    if (argc > 1)
-        return std::strtoull(argv[1], nullptr, 0);
-    return def;
-}
-
-/**
- * Command line of the ExperimentRunner-driven sweeps: a positional
- * seed (compatible with benchSeed) plus `--seed N`, `--threads N`
- * and `--out file.csv`. Thread count only affects wall time, never
- * the recorded results.
- */
-struct BenchArgs
-{
-    std::uint64_t seed = 2023;
-    unsigned threads = 1;
-    std::string out;
-};
-
-inline BenchArgs
-parseBenchArgs(int argc, char **argv, std::uint64_t default_seed = 2023)
-{
-    BenchArgs args;
-    args.seed = default_seed;
-    auto usage_exit = [&](const std::string &msg) {
-        std::fprintf(stderr,
-                     "%s: %s\nusage: %s [seed] [--seed N] "
-                     "[--threads N] [--out file.csv]\n",
-                     argv[0], msg.c_str(), argv[0]);
-        std::exit(2);
-    };
-    for (int i = 1; i < argc; ++i) {
-        const std::string a = argv[i];
-        auto next_val = [&]() -> const char * {
-            if (i + 1 >= argc)
-                usage_exit("missing value after " + a);
-            return argv[++i];
-        };
-        if (a == "--seed")
-            args.seed = std::strtoull(next_val(), nullptr, 0);
-        else if (a == "--threads")
-            args.threads = static_cast<unsigned>(
-                std::strtoul(next_val(), nullptr, 0));
-        else if (a == "--out")
-            args.out = next_val();
-        else if (!a.empty() && a[0] != '-')
-            args.seed = std::strtoull(a.c_str(), nullptr, 0);
-        else
-            usage_exit("unknown flag " + a);
-    }
-    return args;
-}
-
-/** Print a section header. */
-inline void
-header(const std::string &title)
-{
-    std::printf("\n==== %s ====\n", title.c_str());
-}
 
 /**
  * The standard cross-GPU attack setup on a full DGX-1: a trojan (or

@@ -1,73 +1,16 @@
 /**
  * @file
- * Reproduces paper Fig. 4: "Local and remote GPU access time".
- *
- * The spy measures, entirely from user level, the access latency of
- * cold and warm ldcg loads to a local buffer and to a buffer on an
- * NVLink peer. Four clusters emerge: local L2 hit, local miss (HBM),
- * remote L2 hit, remote miss. The k-means boundaries between clusters
- * become the attack's hit/miss thresholds.
- *
- * Output: a histogram (ASCII) + cluster table + fig04_access_timing.csv.
+ * Thin wrapper over the `fig04_access_timing` registry entry; the implementation
+ * lives in bench/suite/fig04_access_timing.cc and is shared with the `gpubox_bench`
+ * driver.
  */
 
-#include <cstdio>
-
-#include "attack/timing_oracle.hh"
-#include "bench/bench_common.hh"
-#include "util/csv.hh"
-#include "util/histogram.hh"
-
-using namespace gpubox;
+#include "bench/suite/benches.hh"
+#include "exp/registry.hh"
 
 int
 main(int argc, char **argv)
 {
-    setLogEnabled(false);
-    const std::uint64_t seed = bench::benchSeed(argc, argv);
-
-    rt::SystemConfig cfg;
-    cfg.seed = seed;
-    rt::Runtime rt(cfg);
-    rt::Process &spy = rt.createProcess("spy");
-
-    attack::TimingOracle oracle(rt, spy);
-    // 48 accesses per loop as in the paper, more rounds for a smooth
-    // histogram.
-    auto calib = oracle.calibrate(/*local=*/0, /*remote=*/1, 48, 24);
-
-    bench::header("Fig. 4: local and remote GPU access time (cycles)");
-
-    Histogram hist(200, 1100, 45);
-    for (double v : calib.allSamples())
-        hist.add(v);
-    std::printf("%s", hist.render(64).c_str());
-
-    bench::header("k-means clusters (4)");
-    const char *labels[4] = {"local L2 hit", "local miss (HBM)",
-                             "remote L2 hit", "remote miss"};
-    for (int i = 0; i < 4; ++i) {
-        std::printf("  %-18s center %7.1f cycles   (%zu samples)\n",
-                    labels[i], calib.clusters.centers[i],
-                    calib.clusters.sizes[i]);
-    }
-    std::printf("  thresholds: local hit/miss @ %.1f, "
-                "remote hit/miss @ %.1f\n",
-                calib.thresholds.localBoundary,
-                calib.thresholds.remoteBoundary);
-    std::printf("  paper reference: ~270 / ~450 / ~630 / ~950 cycles\n");
-
-    CsvWriter csv("fig04_access_timing.csv");
-    csv.row("class", "cycles");
-    auto dump = [&](const char *name, const std::vector<double> &v) {
-        for (double t : v)
-            csv.row(name, t);
-    };
-    dump("local_hit", calib.localHitSamples);
-    dump("local_miss", calib.localMissSamples);
-    dump("remote_hit", calib.remoteHitSamples);
-    dump("remote_miss", calib.remoteMissSamples);
-    std::printf("\n[csv] fig04_access_timing.csv (%zu rows)\n",
-                csv.rowsWritten());
-    return 0;
+    gpubox::bench::registerAllBenches();
+    return gpubox::exp::benchMain("fig04_access_timing", argc, argv);
 }

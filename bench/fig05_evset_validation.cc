@@ -1,88 +1,16 @@
 /**
  * @file
- * Reproduces paper Fig. 5: "Validating the eviction set determination".
- *
- * For both the local and the remote GPU, sweep the number of conflict
- * set lines accessed between two probes of a target line: the probe
- * time steps from the hit level to the miss level at exactly the
- * associativity (16), and a cyclic access trace over 17 lines shows
- * the deterministic LRU thrash that rules out randomized replacement.
+ * Thin wrapper over the `fig05_evset_validation` registry entry; the implementation
+ * lives in bench/suite/fig05_evset_validation.cc and is shared with the `gpubox_bench`
+ * driver.
  */
 
-#include <algorithm>
-#include <cstdio>
-
-#include "attack/evset_validator.hh"
-#include "bench/bench_common.hh"
-#include "util/csv.hh"
-
-using namespace gpubox;
+#include "bench/suite/benches.hh"
+#include "exp/registry.hh"
 
 int
 main(int argc, char **argv)
 {
-    setLogEnabled(false);
-    const std::uint64_t seed = bench::benchSeed(argc, argv);
-    auto setup = bench::AttackSetup::create(seed);
-
-    const unsigned assoc = setup.localFinder->associativity();
-    // 48 as in the figure, capped by the conflict lines available.
-    const unsigned max_lines = std::min<unsigned>(
-        assoc * 3,
-        static_cast<unsigned>(
-            std::min(setup.localFinder->groups()[0].size(),
-                     setup.remoteFinder->groups()[0].size()) -
-            1));
-
-    CsvWriter csv("fig05_evset_validation.csv");
-    csv.row("mode", "lines_accessed", "probe_cycles", "missed");
-
-    auto run_sweep = [&](const char *mode,
-                         attack::EvictionSetFinder &finder, GpuId exec,
-                         rt::Process &proc) {
-        attack::EvictionSetValidator validator(
-            *setup.rt, proc, exec, 0, setup.calib.thresholds);
-        auto set = finder.evictionSet(0, 1, max_lines + 1);
-        auto series = validator.sweep(set, max_lines);
-        bench::header(std::string("Fig. 5 sweep, ") + mode +
-                      " GPU (probe cycles vs lines accessed)");
-        for (std::size_t i = 0; i < series.linesAccessed.size(); ++i) {
-            std::printf("  n=%2u  %5.0f cycles  %s\n",
-                        series.linesAccessed[i], series.probeCycles[i],
-                        series.probeMissed[i] ? "MISS" : "hit");
-            csv.row(mode, series.linesAccessed[i], series.probeCycles[i],
-                    series.probeMissed[i] ? 1 : 0);
-        }
-        // Find the eviction step.
-        for (std::size_t i = 0; i < series.linesAccessed.size(); ++i) {
-            if (series.probeMissed[i]) {
-                std::printf("  => first eviction after %u accesses "
-                            "(paper: every 16th)\n",
-                            series.linesAccessed[i]);
-                break;
-            }
-        }
-    };
-
-    run_sweep("local", *setup.localFinder, 0, *setup.local);
-    run_sweep("remote", *setup.remoteFinder, 1, *setup.remote);
-
-    // Cyclic trace: 17 same-set lines accessed cyclically -- every
-    // access misses (deterministic LRU); 16 lines -- every access
-    // hits after warmup.
-    bench::header("cyclic trace (LRU determinism)");
-    attack::EvictionSetValidator validator(*setup.rt, *setup.local, 0, 0,
-                                           setup.calib.thresholds);
-    auto set = setup.localFinder->evictionSet(0, 2, assoc + 1);
-    for (unsigned k : {assoc, assoc + 1}) {
-        auto trace = validator.cyclicTrace(set, k, k * 3);
-        unsigned misses = 0;
-        for (std::size_t i = k; i < trace.size(); ++i)
-            if (setup.calib.thresholds.isLocalMiss(trace[i]))
-                ++misses;
-        std::printf("  %u lines cycled: %u/%zu post-warmup misses\n", k,
-                    misses, trace.size() - k);
-    }
-    std::printf("\n[csv] fig05_evset_validation.csv\n");
-    return 0;
+    gpubox::bench::registerAllBenches();
+    return gpubox::exp::benchMain("fig05_evset_validation", argc, argv);
 }

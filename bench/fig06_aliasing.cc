@@ -1,101 +1,16 @@
 /**
  * @file
- * Reproduces paper Fig. 6: "Eviction set aliasing issue".
- *
- * Naive per-target eviction set discovery does not reveal which
- * physical set a discovered eviction set indexes, so independently
- * discovered sets can alias (map to the same physical set) and cause
- * self-eviction noise during the attack. This bench discovers eviction
- * sets for a number of random targets naively, measures the alias rate
- * with the combine-and-rechase test, deduplicates, and verifies the
- * surviving sets are alias-free.
+ * Thin wrapper over the `fig06_aliasing` registry entry; the implementation
+ * lives in bench/suite/fig06_aliasing.cc and is shared with the `gpubox_bench`
+ * driver.
  */
 
-#include <cstdio>
-#include <vector>
-
-#include "bench/bench_common.hh"
-#include "util/csv.hh"
-
-using namespace gpubox;
+#include "bench/suite/benches.hh"
+#include "exp/registry.hh"
 
 int
 main(int argc, char **argv)
 {
-    setLogEnabled(false);
-    const std::uint64_t seed = bench::benchSeed(argc, argv);
-    auto setup = bench::AttackSetup::create(seed, true, false);
-    auto &finder = *setup.localFinder;
-
-    // Naive discovery for 12 random target pages.
-    const int num_targets = 12;
-    Rng rng(seed ^ 0xa11a5);
-    std::vector<int> targets;
-    while (targets.size() < num_targets) {
-        const int t = static_cast<int>(rng.uniform(140));
-        bool dup = false;
-        for (int u : targets)
-            dup |= (u == t);
-        if (!dup)
-            targets.push_back(t);
-    }
-
-    bench::header("Fig. 6: naive eviction set discovery + alias test");
-    std::vector<attack::EvictionSet> sets;
-    for (int t : targets) {
-        sets.push_back(finder.naiveSetFor(t));
-        std::printf("  target page %3d -> eviction set of %zu lines\n", t,
-                    sets.back().lines.size());
-    }
-
-    // Pairwise alias testing (the dedup step of Sec. III-B).
-    CsvWriter csv("fig06_aliasing.csv");
-    csv.row("set_a", "set_b", "aliases", "truth");
-    int alias_pairs = 0;
-    int checked = 0;
-    int correct = 0;
-    std::vector<bool> drop(sets.size(), false);
-    for (std::size_t i = 0; i < sets.size(); ++i) {
-        for (std::size_t j = i + 1; j < sets.size(); ++j) {
-            const bool alias = finder.aliasTest(sets[i], sets[j]);
-            const bool truth =
-                setup.rt->l2SetOf(*setup.local, sets[i].lines[0]) ==
-                setup.rt->l2SetOf(*setup.local, sets[j].lines[0]);
-            ++checked;
-            if (alias == truth)
-                ++correct;
-            if (alias) {
-                ++alias_pairs;
-                drop[j] = true;
-            }
-            csv.row(i, j, alias ? 1 : 0, truth ? 1 : 0);
-        }
-    }
-
-    int kept = 0;
-    for (bool d : drop)
-        kept += d ? 0 : 1;
-
-    std::printf("\n  %d/%d pairs alias (same physical set)\n",
-                alias_pairs, checked);
-    std::printf("  alias-test agreement with ground truth: %d/%d\n",
-                correct, checked);
-    std::printf("  after dedup: %d unique sets kept of %d discovered\n",
-                kept, num_targets);
-
-    // Verify the kept sets are mutually alias-free.
-    int residual = 0;
-    for (std::size_t i = 0; i < sets.size(); ++i) {
-        if (drop[i])
-            continue;
-        for (std::size_t j = i + 1; j < sets.size(); ++j) {
-            if (drop[j])
-                continue;
-            residual += finder.aliasTest(sets[i], sets[j]) ? 1 : 0;
-        }
-    }
-    std::printf("  residual alias pairs after dedup: %d (expect 0)\n",
-                residual);
-    std::printf("\n[csv] fig06_aliasing.csv\n");
-    return 0;
+    gpubox::bench::registerAllBenches();
+    return gpubox::exp::benchMain("fig06_aliasing", argc, argv);
 }

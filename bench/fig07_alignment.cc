@@ -1,85 +1,16 @@
 /**
  * @file
- * Reproduces paper Fig. 7 / Algorithm 2: "Eviction set alignment among
- * multiple processes".
- *
- * The trojan hammers one of its eviction sets while the spy times
- * passes over each of its own candidate sets: the colliding candidate
- * shows the remote-miss average (~950 cy); non-colliding candidates
- * stay at the remote-hit level (~630 cy). The page-window structure
- * reduces the search to one run per (trojan group, spy group) pair,
- * and a group match extends to every in-page offset.
+ * Thin wrapper over the `fig07_alignment` registry entry; the implementation
+ * lives in bench/suite/fig07_alignment.cc and is shared with the `gpubox_bench`
+ * driver.
  */
 
-#include <cstdio>
-
-#include "attack/set_aligner.hh"
-#include "bench/bench_common.hh"
-#include "util/csv.hh"
-
-using namespace gpubox;
+#include "bench/suite/benches.hh"
+#include "exp/registry.hh"
 
 int
 main(int argc, char **argv)
 {
-    setLogEnabled(false);
-    const std::uint64_t seed = bench::benchSeed(argc, argv);
-    auto setup = bench::AttackSetup::create(seed);
-
-    attack::SetAligner aligner(*setup.rt, *setup.local, *setup.remote, 0,
-                               1, setup.calib.thresholds);
-
-    bench::header("Algorithm 2 runs: trojan group 0 vs all spy groups");
-    CsvWriter csv("fig07_alignment.csv");
-    csv.row("trojan_group", "spy_group", "avg_probe_cycles", "matched");
-
-    const auto tset = setup.localFinder->evictionSet(0, 0);
-    for (std::size_t sg = 0; sg < setup.remoteFinder->numGroups(); ++sg) {
-        const auto sset = setup.remoteFinder->evictionSet(sg, 0);
-        auto run = aligner.testPair(tset, sset);
-        std::printf("  TE_A(group 0) vs SE(group %zu): avg %6.1f cycles"
-                    "  -> %s\n",
-                    sg, run.avgProbeCycles,
-                    run.matched ? "MATCHED (contention)" : "no collision");
-        csv.row(0, sg, run.avgProbeCycles, run.matched ? 1 : 0);
-    }
-
-    bench::header("full group alignment");
-    auto mapping = aligner.alignGroups(*setup.localFinder,
-                                       *setup.remoteFinder);
-    for (std::size_t tg = 0; tg < mapping.size(); ++tg) {
-        const bool truth =
-            mapping[tg] >= 0 &&
-            setup.rt->l2SetOf(*setup.local,
-                              setup.localFinder->evictionSet(tg, 0)
-                                  .lines[0]) ==
-                setup.rt->l2SetOf(
-                    *setup.remote,
-                    setup.remoteFinder->evictionSet(mapping[tg], 0)
-                        .lines[0]);
-        std::printf("  trojan group %zu <-> spy group %d   "
-                    "(ground truth: %s)\n",
-                    tg, mapping[tg], truth ? "correct" : "WRONG");
-    }
-    std::printf("  Algorithm-2 runs executed: %llu "
-                "(vs %zu x %zu naive set pairs)\n",
-                static_cast<unsigned long long>(aligner.runsExecuted()),
-                setup.localFinder->coveringSets().size(),
-                setup.remoteFinder->coveringSets().size());
-
-    // A matched group pair extends to every in-page offset: verify on
-    // a few derived channel pairs.
-    bench::header("derived channel set pairs (offset extension)");
-    auto pairs = aligner.alignedPairs(*setup.localFinder,
-                                      *setup.remoteFinder, mapping, 6);
-    for (std::size_t i = 0; i < pairs.size(); ++i) {
-        const SetIndex t =
-            setup.rt->l2SetOf(*setup.local, pairs[i].first.lines[0]);
-        const SetIndex s =
-            setup.rt->l2SetOf(*setup.remote, pairs[i].second.lines[0]);
-        std::printf("  pair %zu: trojan set %4u, spy set %4u  %s\n", i, t,
-                    s, t == s ? "aligned" : "MISALIGNED");
-    }
-    std::printf("\n[csv] fig07_alignment.csv\n");
-    return 0;
+    gpubox::bench::registerAllBenches();
+    return gpubox::exp::benchMain("fig07_alignment", argc, argv);
 }

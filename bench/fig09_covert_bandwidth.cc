@@ -1,76 +1,16 @@
 /**
  * @file
- * Reproduces paper Fig. 9: "Bandwidth and Error rate in covert
- * channel" -- bandwidth and error rate as the number of parallel cache
- * sets grows.
- *
- * The paper reports a best bandwidth of 3.95 MB/s at 4 sets with an
- * average error rate of 1.3% over 1000 runs, with additional sets
- * raising both bandwidth and error rate. Note on units: the paper's
- * probe cycles (630/950 per bit per set) bound the per-set symbol rate
- * near 1 Mbit/s, so we report Mbit/s (the shape -- linear bandwidth
- * growth, superlinear error growth -- is the reproduced claim).
+ * Thin wrapper over the `fig09_covert_bandwidth` registry entry; the implementation
+ * lives in bench/suite/fig09_covert_bandwidth.cc and is shared with the `gpubox_bench`
+ * driver.
  */
 
-#include <cstdio>
-
-#include "attack/covert/channel.hh"
-#include "attack/set_aligner.hh"
-#include "bench/bench_common.hh"
-#include "util/csv.hh"
-
-using namespace gpubox;
+#include "bench/suite/benches.hh"
+#include "exp/registry.hh"
 
 int
 main(int argc, char **argv)
 {
-    setLogEnabled(false);
-    const std::uint64_t seed = bench::benchSeed(argc, argv);
-    auto setup = bench::AttackSetup::create(seed);
-
-    attack::SetAligner aligner(*setup.rt, *setup.local, *setup.remote, 0,
-                               1, setup.calib.thresholds);
-    auto mapping =
-        aligner.alignGroups(*setup.localFinder, *setup.remoteFinder);
-
-    const std::size_t bits_per_run = 32768; // 32 kbit per measurement
-    const int runs = 4;
-
-    bench::header("Fig. 9: bandwidth and error rate vs parallel sets");
-    CsvWriter csv("fig09_covert_bandwidth.csv");
-    csv.row("sets", "bandwidth_mbit_s", "bandwidth_mbyte_s",
-            "error_rate_pct");
-
-    std::printf("  %4s  %14s  %14s  %10s\n", "sets", "BW (Mbit/s)",
-                "BW (MB/s)", "error");
-    for (unsigned k : {1u, 2u, 3u, 4u, 6u, 8u}) {
-        auto pairs = aligner.alignedPairs(*setup.localFinder,
-                                          *setup.remoteFinder, mapping, k);
-        attack::covert::CovertChannel channel(
-            *setup.rt, *setup.local, *setup.remote, 0, 1, pairs,
-            setup.calib.thresholds);
-
-        double bw_mbit = 0, bw_mbyte = 0, err = 0;
-        Rng rng(seed ^ (k * 7919));
-        for (int r = 0; r < runs; ++r) {
-            std::vector<std::uint8_t> bits(bits_per_run);
-            for (auto &b : bits)
-                b = rng.chance(0.5) ? 1 : 0;
-            std::vector<std::uint8_t> rx;
-            auto stats = channel.transmit(bits, rx);
-            bw_mbit += stats.bandwidthMbitPerSec;
-            bw_mbyte += stats.bandwidthMBytePerSec;
-            err += stats.errorRate;
-        }
-        bw_mbit /= runs;
-        bw_mbyte /= runs;
-        err /= runs;
-        std::printf("  %4u  %14.3f  %14.3f  %8.2f%%\n", k, bw_mbit,
-                    bw_mbyte, 100.0 * err);
-        csv.row(k, bw_mbit, bw_mbyte, 100.0 * err);
-    }
-    std::printf("\n  paper: peak 3.95 'MB/s' at 4 sets, 1.3%% error; "
-                "error grows with more sets\n");
-    std::printf("[csv] fig09_covert_bandwidth.csv\n");
-    return 0;
+    gpubox::bench::registerAllBenches();
+    return gpubox::exp::benchMain("fig09_covert_bandwidth", argc, argv);
 }

@@ -1,87 +1,16 @@
 /**
  * @file
- * Reproduces paper Fig. 10: "Cross GPU covert message received by spy
- * process" -- the spy-side probe-time trace while the trojan transmits
- * "Hello! How are you? ": ~630 cycles when a '0' is sent (the spy's
- * lines survive) and ~950 cycles when a '1' is sent (the trojan
- * evicted them).
+ * Thin wrapper over the `fig10_covert_message` registry entry; the implementation
+ * lives in bench/suite/fig10_covert_message.cc and is shared with the `gpubox_bench`
+ * driver.
  */
 
-#include <cstdio>
-
-#include "attack/covert/channel.hh"
-#include "attack/set_aligner.hh"
-#include "bench/bench_common.hh"
-#include "util/csv.hh"
-
-using namespace gpubox;
+#include "bench/suite/benches.hh"
+#include "exp/registry.hh"
 
 int
 main(int argc, char **argv)
 {
-    setLogEnabled(false);
-    const std::uint64_t seed = bench::benchSeed(argc, argv);
-    auto setup = bench::AttackSetup::create(seed);
-
-    attack::SetAligner aligner(*setup.rt, *setup.local, *setup.remote, 0,
-                               1, setup.calib.thresholds);
-    auto mapping =
-        aligner.alignGroups(*setup.localFinder, *setup.remoteFinder);
-    // Single set: the Fig. 10 trace follows one cache set.
-    auto pairs = aligner.alignedPairs(*setup.localFinder,
-                                      *setup.remoteFinder, mapping, 1);
-    attack::covert::CovertChannel channel(*setup.rt, *setup.local,
-                                          *setup.remote, 0, 1, pairs,
-                                          setup.calib.thresholds);
-
-    const std::string message = "Hello! How are you? ";
-    std::string decoded;
-    auto stats = channel.transmitMessage(message, decoded);
-
-    bench::header("Fig. 10: spy probe trace of the covert message");
-    std::printf("  sent:    \"%s\"\n", message.c_str());
-    std::printf("  decoded: \"%s\"\n", decoded.c_str());
-    std::printf("  bits: %zu, errors: %zu (%.2f%%), bandwidth %.3f "
-                "Mbit/s\n\n",
-                stats.bitsSent, stats.bitErrors, 100.0 * stats.errorRate,
-                stats.bandwidthMbitPerSec);
-
-    // ASCII trace of the first 12 characters (96 symbols), with the
-    // transmitted bit under each sample.
-    const auto bits = attack::covert::CovertChannel::toBits(message);
-    CsvWriter csv("fig10_covert_message.csv");
-    csv.row("symbol", "bit", "probe_cycles");
-    for (std::size_t i = 0; i < stats.probeTraceSet0.size(); ++i)
-        csv.row(i, static_cast<int>(bits[i]), stats.probeTraceSet0[i]);
-
-    std::printf("  probe cycles per symbol (first 96; '#'=miss level "
-                "~950, '.'=hit level ~630):\n  ");
-    double zero_sum = 0, one_sum = 0;
-    std::size_t zero_n = 0, one_n = 0;
-    for (std::size_t i = 0; i < stats.probeTraceSet0.size(); ++i) {
-        if (i < 96) {
-            std::printf("%c",
-                        stats.probeTraceSet0[i] >
-                                setup.calib.thresholds.remoteBoundary
-                            ? '#'
-                            : '.');
-            if (i % 48 == 47)
-                std::printf("\n  ");
-        }
-        if (bits[i]) {
-            one_sum += stats.probeTraceSet0[i];
-            ++one_n;
-        } else {
-            zero_sum += stats.probeTraceSet0[i];
-            ++zero_n;
-        }
-    }
-    std::printf("\n  average probe time while sending '0': %.0f cycles "
-                "(paper: 630)\n",
-                zero_sum / static_cast<double>(zero_n));
-    std::printf("  average probe time while sending '1': %.0f cycles "
-                "(paper: 950)\n",
-                one_sum / static_cast<double>(one_n));
-    std::printf("\n[csv] fig10_covert_message.csv\n");
-    return 0;
+    gpubox::bench::registerAllBenches();
+    return gpubox::exp::benchMain("fig10_covert_message", argc, argv);
 }

@@ -1,59 +1,16 @@
 /**
  * @file
- * Reproduces paper Fig. 11: "Memorygram of 6 applications".
- *
- * The remote spy probes 256 L2 cache sets of the victim GPU while each
- * of the six HPC applications runs, and renders the (set x time) miss
- * matrix. Each application leaves a visibly distinct footprint:
- * streaming fronts (VA), a hot stripe (HG), sparse slow fronts (BS),
- * banded reuse (MM), scattered writes (QR) and phase structure (WT).
+ * Thin wrapper over the `fig11_memorygram_apps` registry entry; the implementation
+ * lives in bench/suite/fig11_memorygram_apps.cc and is shared with the `gpubox_bench`
+ * driver.
  */
 
-#include <cstdio>
-
-#include "attack/side/fingerprint.hh"
-#include "bench/bench_common.hh"
-#include "util/csv.hh"
-
-using namespace gpubox;
+#include "bench/suite/benches.hh"
+#include "exp/registry.hh"
 
 int
 main(int argc, char **argv)
 {
-    setLogEnabled(false);
-    const std::uint64_t seed = bench::benchSeed(argc, argv);
-    auto setup = bench::AttackSetup::create(seed, false, true);
-
-    attack::side::FingerprintConfig cfg;
-    cfg.prober.monitoredSets = 256; // as in the paper's figure
-    cfg.prober.samplePeriod = 12000;
-    cfg.prober.windowCycles = 12000;
-    cfg.prober.duration = 1600000;
-    attack::side::Fingerprinter fp(*setup.rt, *setup.remote, 1,
-                                   *setup.local, 0, *setup.remoteFinder,
-                                   setup.calib.thresholds, cfg);
-
-    HeatmapOptions opt;
-    opt.maxRows = 24;
-    opt.maxCols = 96;
-
-    CsvWriter csv("fig11_memorygram_apps.csv");
-    csv.row("app", "set", "window", "misses");
-
-    for (auto kind : victim::allAppKinds()) {
-        auto gram = fp.collectSample(kind, seed ^ 0xf00d).trimmed();
-        bench::header("Fig. 11 memorygram: " + victim::appName(kind) +
-                      " (" + victim::appShortName(kind) + ")");
-        std::printf("%s", gram.render(opt).c_str());
-        std::printf("  total misses: %llu over %zu sets x %zu windows\n",
-                    static_cast<unsigned long long>(gram.totalMisses()),
-                    gram.numSets(), gram.numWindows());
-        for (std::size_t s = 0; s < gram.numSets(); ++s)
-            for (std::size_t w = 0; w < gram.numWindows(); ++w)
-                if (gram.missAt(s, w) > 0)
-                    csv.row(victim::appShortName(kind), s, w,
-                            gram.missAt(s, w));
-    }
-    std::printf("\n[csv] fig11_memorygram_apps.csv\n");
-    return 0;
+    gpubox::bench::registerAllBenches();
+    return gpubox::exp::benchMain("fig11_memorygram_apps", argc, argv);
 }

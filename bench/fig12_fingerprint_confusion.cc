@@ -1,63 +1,16 @@
 /**
  * @file
- * Reproduces paper Fig. 12: "Confusion Matrix" of the application
- * fingerprinting attack.
- *
- * The paper collects 1500 memorygram samples per application, trains
- * an image classifier on 150, validates on 150 and tests on 1200,
- * reaching 99.91% accuracy over 7200 test samples. This harness runs
- * the identical pipeline at a simulation-friendly 30 samples per app
- * (12 train / 4 validation / 14 test); pass a larger count as argv[2]
- * to scale up.
+ * Thin wrapper over the `fig12_fingerprint_confusion` registry entry; the implementation
+ * lives in bench/suite/fig12_fingerprint_confusion.cc and is shared with the `gpubox_bench`
+ * driver.
  */
 
-#include <cstdio>
-#include <cstdlib>
-
-#include "attack/side/fingerprint.hh"
-#include "bench/bench_common.hh"
-#include "util/csv.hh"
-
-using namespace gpubox;
+#include "bench/suite/benches.hh"
+#include "exp/registry.hh"
 
 int
 main(int argc, char **argv)
 {
-    setLogEnabled(false);
-    const std::uint64_t seed = bench::benchSeed(argc, argv);
-    auto setup = bench::AttackSetup::create(seed, false, true);
-
-    attack::side::FingerprintConfig cfg;
-    cfg.prober.monitoredSets = 96;
-    cfg.prober.samplePeriod = 8000;
-    cfg.prober.windowCycles = 12000;
-    cfg.prober.duration = 1600000;
-    if (argc > 2)
-        cfg.samplesPerApp = static_cast<unsigned>(std::atoi(argv[2]));
-
-    attack::side::Fingerprinter fp(*setup.rt, *setup.remote, 1,
-                                   *setup.local, 0, *setup.remoteFinder,
-                                   setup.calib.thresholds, cfg);
-
-    std::printf("collecting %u samples per application "
-                "(%u train / %u val / %u test each)...\n",
-                cfg.samplesPerApp, cfg.trainPerApp, cfg.valPerApp,
-                cfg.samplesPerApp - cfg.trainPerApp - cfg.valPerApp);
-    auto result = fp.run();
-
-    bench::header("Fig. 12: confusion matrix (test set)");
-    std::printf("%s", result.confusion.render(result.classNames).c_str());
-    std::printf("\n  validation accuracy: %.2f%%\n",
-                100.0 * result.validationAccuracy);
-    std::printf("  test accuracy:       %.2f%%  (paper: 99.91%%)\n",
-                100.0 * result.testAccuracy);
-
-    CsvWriter csv("fig12_fingerprint_confusion.csv");
-    csv.row("true", "predicted", "count");
-    for (int t = 0; t < result.confusion.numClasses(); ++t)
-        for (int p = 0; p < result.confusion.numClasses(); ++p)
-            csv.row(result.classNames[t], result.classNames[p],
-                    result.confusion.count(t, p));
-    std::printf("\n[csv] fig12_fingerprint_confusion.csv\n");
-    return 0;
+    gpubox::bench::registerAllBenches();
+    return gpubox::exp::benchMain("fig12_fingerprint_confusion", argc, argv);
 }

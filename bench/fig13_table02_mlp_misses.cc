@@ -1,80 +1,16 @@
 /**
  * @file
- * Reproduces paper Fig. 13 + Table II: per-set cache misses observed
- * while the MLP victim trains with 64/128/256/512 hidden neurons, and
- * the average misses per monitored set that separate the
- * configurations (paper: 5653 / 6846 / 8744 / 10197 for a full-length
- * training run over 1024 monitored sets; our runs are shorter, so the
- * absolute counts are smaller but the monotone separation -- the
- * signal the attack classifies -- is preserved).
+ * Thin wrapper over the `fig13_table02_mlp_misses` registry entry; the implementation
+ * lives in bench/suite/fig13_table02_mlp_misses.cc and is shared with the `gpubox_bench`
+ * driver.
  */
 
-#include <cstdio>
-
-#include "attack/side/model_extract.hh"
-#include "bench/bench_common.hh"
-#include "util/csv.hh"
-#include "util/histogram.hh"
-
-using namespace gpubox;
+#include "bench/suite/benches.hh"
+#include "exp/registry.hh"
 
 int
 main(int argc, char **argv)
 {
-    setLogEnabled(false);
-    const std::uint64_t seed = bench::benchSeed(argc, argv);
-    auto setup = bench::AttackSetup::create(seed, false, true);
-
-    attack::side::ExtractionConfig cfg;
-    cfg.prober.monitoredSets = 256; // scaled from the paper's 1024
-    cfg.prober.samplePeriod = 12000;
-    cfg.prober.windowCycles = 12000;
-    cfg.prober.duration = 1500000;
-    cfg.mlpBase.batchesPerEpoch = 3;
-
-    attack::side::ModelExtractor extractor(
-        *setup.rt, *setup.remote, 1, *setup.local, 0,
-        *setup.remoteFinder, setup.calib.thresholds, cfg);
-
-    auto runs = extractor.sweepNeurons();
-
-    CsvWriter csv("fig13_table02_mlp_misses.csv");
-    csv.row("neurons", "set", "total_misses");
-
-    for (const auto &run : runs) {
-        bench::header("Fig. 13: misses per monitored set, " +
-                      std::to_string(run.neurons) + " neurons");
-        double max_m = 1;
-        for (std::size_t s = 0; s < run.gram.numSets(); ++s)
-            max_m = std::max(
-                max_m, static_cast<double>(run.gram.setMisses(s)));
-        Histogram h(0, max_m + 1, 16);
-        for (std::size_t s = 0; s < run.gram.numSets(); ++s) {
-            h.add(static_cast<double>(run.gram.setMisses(s)));
-            csv.row(run.neurons, s, run.gram.setMisses(s));
-        }
-        std::printf("%s", h.render(48).c_str());
-    }
-
-    bench::header("TABLE II: average misses over all monitored sets");
-    std::printf("  %-20s %s\n", "Number of Neurons",
-                "Average Number of Misses");
-    for (const auto &run : runs)
-        std::printf("  %-20u %.1f\n", run.neurons, run.avgMissesPerSet);
-    std::printf("\n  paper (full-length run, 1024 sets): 64->5653, "
-                "128->6846, 256->8744, 512->10197\n");
-
-    // The attack's inference step: each run's average classifies back
-    // to its own width.
-    bench::header("width inference (nearest reference)");
-    for (const auto &run : runs) {
-        const unsigned guess = attack::side::ModelExtractor::inferNeurons(
-            run.avgMissesPerSet, runs);
-        std::printf("  observed avg %8.1f -> inferred %3u neurons "
-                    "(true: %3u) %s\n",
-                    run.avgMissesPerSet, guess, run.neurons,
-                    guess == run.neurons ? "ok" : "WRONG");
-    }
-    std::printf("\n[csv] fig13_table02_mlp_misses.csv\n");
-    return 0;
+    gpubox::bench::registerAllBenches();
+    return gpubox::exp::benchMain("fig13_table02_mlp_misses", argc, argv);
 }

@@ -1,57 +1,16 @@
 /**
  * @file
- * Reproduces paper Fig. 14: "Memorygram of the MLP application" with
- * 128 vs 512 hidden neurons -- the 512-neuron run paints a visibly
- * denser, longer memorygram because the weight matrices streamed every
- * minibatch are four times larger.
+ * Thin wrapper over the `fig14_mlp_memorygram` registry entry; the implementation
+ * lives in bench/suite/fig14_mlp_memorygram.cc and is shared with the `gpubox_bench`
+ * driver.
  */
 
-#include <cstdio>
-
-#include "attack/side/model_extract.hh"
-#include "bench/bench_common.hh"
-#include "util/csv.hh"
-
-using namespace gpubox;
+#include "bench/suite/benches.hh"
+#include "exp/registry.hh"
 
 int
 main(int argc, char **argv)
 {
-    setLogEnabled(false);
-    const std::uint64_t seed = bench::benchSeed(argc, argv);
-    auto setup = bench::AttackSetup::create(seed, false, true);
-
-    attack::side::ExtractionConfig cfg;
-    cfg.prober.monitoredSets = 256;
-    cfg.prober.samplePeriod = 12000;
-    cfg.prober.windowCycles = 12000;
-    cfg.prober.duration = 1500000;
-    cfg.mlpBase.batchesPerEpoch = 3;
-
-    attack::side::ModelExtractor extractor(
-        *setup.rt, *setup.remote, 1, *setup.local, 0,
-        *setup.remoteFinder, setup.calib.thresholds, cfg);
-
-    HeatmapOptions opt;
-    opt.maxRows = 24;
-    opt.maxCols = 96;
-
-    CsvWriter csv("fig14_mlp_memorygram.csv");
-    csv.row("neurons", "set", "window", "misses");
-
-    for (unsigned neurons : {128u, 512u}) {
-        auto run = extractor.observe(neurons);
-        bench::header("Fig. 14: MLP memorygram, " +
-                      std::to_string(neurons) + " neurons");
-        std::printf("%s", run.gram.trimmed().render(opt).c_str());
-        std::printf("  total misses %llu, avg %.1f per set\n",
-                    static_cast<unsigned long long>(run.totalMisses),
-                    run.avgMissesPerSet);
-        for (std::size_t s = 0; s < run.gram.numSets(); ++s)
-            for (std::size_t w = 0; w < run.gram.numWindows(); ++w)
-                if (run.gram.missAt(s, w) > 0)
-                    csv.row(neurons, s, w, run.gram.missAt(s, w));
-    }
-    std::printf("\n[csv] fig14_mlp_memorygram.csv\n");
-    return 0;
+    gpubox::bench::registerAllBenches();
+    return gpubox::exp::benchMain("fig14_mlp_memorygram", argc, argv);
 }

@@ -1,63 +1,16 @@
 /**
  * @file
- * Reproduces paper Fig. 15: "Memorygram for a two-epoch experiment".
- *
- * Training epochs appear as activity bursts separated by the
- * inter-epoch synchronization gap; the epoch count (a hyperparameter)
- * is recovered from the memorygram's temporal profile.
+ * Thin wrapper over the `fig15_epoch_inference` registry entry; the implementation
+ * lives in bench/suite/fig15_epoch_inference.cc and is shared with the `gpubox_bench`
+ * driver.
  */
 
-#include <cstdio>
-
-#include "attack/side/model_extract.hh"
-#include "bench/bench_common.hh"
-#include "util/csv.hh"
-
-using namespace gpubox;
+#include "bench/suite/benches.hh"
+#include "exp/registry.hh"
 
 int
 main(int argc, char **argv)
 {
-    setLogEnabled(false);
-    const std::uint64_t seed = bench::benchSeed(argc, argv);
-    auto setup = bench::AttackSetup::create(seed, false, true);
-
-    attack::side::ExtractionConfig cfg;
-    cfg.prober.monitoredSets = 256;
-    cfg.prober.samplePeriod = 12000;
-    cfg.prober.windowCycles = 12000;
-    cfg.prober.duration = 2600000;
-    cfg.mlpBase.batchesPerEpoch = 3;
-    cfg.mlpBase.interEpochGapCycles = 250000;
-
-    attack::side::ModelExtractor extractor(
-        *setup.rt, *setup.remote, 1, *setup.local, 0,
-        *setup.remoteFinder, setup.calib.thresholds, cfg);
-
-    HeatmapOptions opt;
-    opt.maxRows = 20;
-    opt.maxCols = 100;
-
-    CsvWriter csv("fig15_epoch_inference.csv");
-    csv.row("epochs_true", "window", "window_misses", "epochs_inferred");
-
-    for (unsigned epochs : {1u, 2u, 3u}) {
-        auto run = extractor.observe(128, epochs);
-        const unsigned inferred =
-            attack::side::ModelExtractor::inferEpochs(run.gram);
-        bench::header("Fig. 15: memorygram, " + std::to_string(epochs) +
-                      " training epoch(s)");
-        std::printf("%s", run.gram.trimmed().render(opt).c_str());
-        std::printf("  temporal profile (misses per window):\n  ");
-        for (std::size_t w = 0; w < run.gram.numWindows(); ++w) {
-            const auto m = run.gram.windowMisses(w);
-            std::printf("%c", m > 40 ? '#' : (m > 5 ? '+' : '.'));
-            csv.row(epochs, w, m, inferred);
-        }
-        std::printf("\n  => inferred epochs: %u (true: %u) %s\n",
-                    inferred, epochs,
-                    inferred == epochs ? "ok" : "WRONG");
-    }
-    std::printf("\n[csv] fig15_epoch_inference.csv\n");
-    return 0;
+    gpubox::bench::registerAllBenches();
+    return gpubox::exp::benchMain("fig15_epoch_inference", argc, argv);
 }

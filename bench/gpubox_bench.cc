@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Unified bench driver: lists, filters (`--only fig09,fig11`) and
+ * runs any subset of the registered figure/table/ablation benches in
+ * parallel via the ExperimentRunner, with the usual determinism
+ * guarantee (stdout and CSVs byte-identical for any `--threads`),
+ * and writes the structured perf trajectory to BENCH_results.json.
+ */
+
+#include "bench/suite/benches.hh"
+#include "exp/registry.hh"
+
+int
+main(int argc, char **argv)
+{
+    gpubox::bench::registerAllBenches();
+    return gpubox::exp::benchDriverMain(argc, argv);
+}

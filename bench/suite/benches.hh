@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Registration entry points for every figure/table/ablation bench.
+ * The suite avoids static-initializer self-registration (fragile
+ * under static-library dead-stripping): each translation unit exports
+ * an explicit register function and registerAllBenches() calls them
+ * in paper order exactly once.
+ */
+
+#ifndef GPUBOX_BENCH_SUITE_BENCHES_HH
+#define GPUBOX_BENCH_SUITE_BENCHES_HH
+
+namespace gpubox::bench
+{
+
+void registerPerfSim();
+void registerFig04AccessTiming();
+void registerFig05EvsetValidation();
+void registerFig06Aliasing();
+void registerFig07Alignment();
+void registerFig09CovertBandwidth();
+void registerFig10CovertMessage();
+void registerFig11MemorygramApps();
+void registerFig12FingerprintConfusion();
+void registerFig13Table02MlpMisses();
+void registerFig14MlpMemorygram();
+void registerFig15EpochInference();
+void registerTable01CacheParams();
+void registerAblationReplacement();
+void registerAblationNoiseMitigation();
+void registerAblationMigDefense();
+void registerAblationDetection();
+void registerAblationDynamicDefense();
+void registerExtensionMultiGpu();
+
+/** Register the whole suite (idempotent). */
+void registerAllBenches();
+
+} // namespace gpubox::bench
+
+#endif // GPUBOX_BENCH_SUITE_BENCHES_HH

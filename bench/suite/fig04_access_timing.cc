@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Paper Fig. 4: "Local and remote GPU access time" (registry entry
+ * `fig04_access_timing`).
+ *
+ * The spy measures, entirely from user level, the access latency of
+ * cold and warm ldcg loads to a local buffer and to a buffer on an
+ * NVLink peer. Four clusters emerge -- local L2 hit, local miss
+ * (HBM), remote L2 hit, remote miss -- and the k-means boundaries
+ * between them become the attack's hit/miss thresholds.
+ */
+
+#include "attack/timing_oracle.hh"
+#include "bench/suite/benches.hh"
+#include "bench/suite/suite_common.hh"
+#include "exp/registry.hh"
+#include "util/histogram.hh"
+
+namespace gpubox::bench
+{
+namespace
+{
+
+void
+runFig04(const exp::Scenario &sc, exp::RunContext &ctx)
+{
+    rt::Runtime rt(sc.system);
+    rt::Process &spy = rt.createProcess("spy");
+
+    attack::TimingOracle oracle(rt, spy);
+    // 48 accesses per loop as in the paper, more rounds for a smooth
+    // histogram.
+    auto calib = oracle.calibrate(/*local=*/0, /*remote=*/1, 48, 24);
+
+    std::string text =
+        headerText("Fig. 4: local and remote GPU access time (cycles)");
+    Histogram hist(200, 1100, 45);
+    for (double v : calib.allSamples())
+        hist.add(v);
+    text += hist.render(64);
+
+    text += headerText("k-means clusters (4)");
+    const char *labels[4] = {"local L2 hit", "local miss (HBM)",
+                             "remote L2 hit", "remote miss"};
+    for (int i = 0; i < 4; ++i) {
+        text += strf("  %-18s center %7.1f cycles   (%zu samples)\n",
+                     labels[i], calib.clusters.centers[i],
+                     calib.clusters.sizes[i]);
+    }
+    text += strf("  thresholds: local hit/miss @ %.1f, "
+                 "remote hit/miss @ %.1f\n",
+                 calib.thresholds.localBoundary,
+                 calib.thresholds.remoteBoundary);
+    text += "  paper reference: ~270 / ~450 / ~630 / ~950 cycles\n";
+    ctx.text(std::move(text));
+
+    auto dump = [&](const char *name, const std::vector<double> &v) {
+        for (double t : v)
+            ctx.row(name, t);
+    };
+    dump("local_hit", calib.localHitSamples);
+    dump("local_miss", calib.localMissSamples);
+    dump("remote_hit", calib.remoteHitSamples);
+    dump("remote_miss", calib.remoteMissSamples);
+
+    ctx.metric("local_boundary_cycles", calib.thresholds.localBoundary);
+    ctx.metric("remote_boundary_cycles",
+               calib.thresholds.remoteBoundary);
+    simCyclesMetric(ctx, rt);
+}
+
+std::vector<exp::Scenario>
+fig04Scenarios(std::uint64_t seed)
+{
+    exp::Scenario base;
+    base.name = "fig04";
+    base.seed = seed;
+    base.system.seed = seed;
+    return {base};
+}
+
+} // namespace
+
+void
+registerFig04AccessTiming()
+{
+    exp::BenchSpec spec;
+    spec.name = "fig04_access_timing";
+    spec.description =
+        "Fig. 4: local/remote access-time clusters and thresholds";
+    spec.csvHeader = {"class", "cycles"};
+    spec.scenarios = fig04Scenarios;
+    spec.run = runFig04;
+    exp::BenchRegistry::instance().add(std::move(spec));
+}
+
+} // namespace gpubox::bench

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Paper Fig. 5: "Validating the eviction set determination" (registry
+ * entry `fig05_evset_validation`).
+ *
+ * For both the local and the remote GPU, sweep the number of conflict
+ * set lines accessed between two probes of a target line: the probe
+ * time steps from the hit level to the miss level at exactly the
+ * associativity (16). The local scenario additionally runs the cyclic
+ * access trace over associativity/associativity+1 lines that shows
+ * the deterministic LRU thrash ruling out randomized replacement.
+ */
+
+#include <algorithm>
+
+#include "attack/evset_validator.hh"
+#include "bench/bench_common.hh"
+#include "bench/suite/benches.hh"
+#include "bench/suite/suite_common.hh"
+#include "exp/registry.hh"
+
+namespace gpubox::bench
+{
+namespace
+{
+
+void
+runFig05(const exp::Scenario &sc, exp::RunContext &ctx)
+{
+    const std::string mode = sc.paramOr("mode");
+    auto setup = AttackSetup::create(sc.seed);
+
+    const unsigned assoc = setup.localFinder->associativity();
+    // 48 as in the figure, capped by the conflict lines available;
+    // computed from both finders so both sweeps share one length.
+    const unsigned max_lines = std::min<unsigned>(
+        assoc * 3,
+        static_cast<unsigned>(
+            std::min(setup.localFinder->groups()[0].size(),
+                     setup.remoteFinder->groups()[0].size()) -
+            1));
+
+    attack::EvictionSetFinder &finder =
+        mode == "local" ? *setup.localFinder : *setup.remoteFinder;
+    rt::Process &proc =
+        mode == "local" ? *setup.local : *setup.remote;
+    const GpuId exec = mode == "local" ? 0 : 1;
+
+    attack::EvictionSetValidator validator(*setup.rt, proc, exec, 0,
+                                           setup.calib.thresholds);
+    auto set = finder.evictionSet(0, 1, max_lines + 1);
+    auto series = validator.sweep(set, max_lines);
+
+    std::string text =
+        headerText("Fig. 5 sweep, " + mode +
+                   " GPU (probe cycles vs lines accessed)");
+    for (std::size_t i = 0; i < series.linesAccessed.size(); ++i) {
+        text += strf("  n=%2u  %5.0f cycles  %s\n",
+                     series.linesAccessed[i], series.probeCycles[i],
+                     series.probeMissed[i] ? "MISS" : "hit");
+        ctx.row(mode, series.linesAccessed[i], series.probeCycles[i],
+                series.probeMissed[i] ? 1 : 0);
+    }
+    for (std::size_t i = 0; i < series.linesAccessed.size(); ++i) {
+        if (series.probeMissed[i]) {
+            text += strf("  => first eviction after %u accesses "
+                         "(paper: every 16th)\n",
+                         series.linesAccessed[i]);
+            ctx.metric("first_eviction_lines[" + mode + "]",
+                       series.linesAccessed[i]);
+            break;
+        }
+    }
+
+    if (mode == "local") {
+        // Cyclic trace: assoc+1 same-set lines accessed cyclically --
+        // every access misses (deterministic LRU); assoc lines --
+        // every access hits after warmup.
+        text += headerText("cyclic trace (LRU determinism)");
+        attack::EvictionSetValidator cyc_validator(
+            *setup.rt, *setup.local, 0, 0, setup.calib.thresholds);
+        auto cyc_set = setup.localFinder->evictionSet(0, 2, assoc + 1);
+        for (unsigned k : {assoc, assoc + 1}) {
+            auto trace = cyc_validator.cyclicTrace(cyc_set, k, k * 3);
+            unsigned misses = 0;
+            for (std::size_t i = k; i < trace.size(); ++i)
+                if (setup.calib.thresholds.isLocalMiss(trace[i]))
+                    ++misses;
+            text += strf("  %u lines cycled: %u/%zu post-warmup "
+                         "misses\n",
+                         k, misses, trace.size() - k);
+            ctx.metric(strf("cyclic_misses[%u]", k), misses);
+        }
+    }
+    ctx.text(std::move(text));
+    simCyclesMetric(ctx, *setup.rt);
+}
+
+std::vector<exp::Scenario>
+fig05Scenarios(std::uint64_t seed)
+{
+    exp::Scenario base;
+    base.name = "fig05";
+    base.seed = seed;
+    base.system.seed = seed;
+    const auto keep = [](exp::Scenario &) {};
+    return exp::ScenarioMatrix(base)
+        .axis("mode", {{"local", keep}, {"remote", keep}})
+        .expand();
+}
+
+} // namespace
+
+void
+registerFig05EvsetValidation()
+{
+    exp::BenchSpec spec;
+    spec.name = "fig05_evset_validation";
+    spec.description =
+        "Fig. 5: probe-time step at the associativity, local + remote";
+    spec.csvHeader = {"mode", "lines_accessed", "probe_cycles",
+                      "missed"};
+    spec.scenarios = fig05Scenarios;
+    spec.run = runFig05;
+    exp::BenchRegistry::instance().add(std::move(spec));
+}
+
+} // namespace gpubox::bench

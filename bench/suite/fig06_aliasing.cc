@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Paper Fig. 6: "Eviction set aliasing issue" (registry entry
+ * `fig06_aliasing`).
+ *
+ * Naive per-target eviction set discovery does not reveal which
+ * physical set a discovered eviction set indexes, so independently
+ * discovered sets can alias and cause self-eviction noise. Discover
+ * sets for random targets naively, measure the alias rate with the
+ * combine-and-rechase test, deduplicate, and verify the survivors
+ * are alias-free.
+ */
+
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "bench/suite/benches.hh"
+#include "bench/suite/suite_common.hh"
+#include "exp/registry.hh"
+
+namespace gpubox::bench
+{
+namespace
+{
+
+void
+runFig06(const exp::Scenario &sc, exp::RunContext &ctx)
+{
+    auto setup = AttackSetup::create(sc.seed, true, false);
+    auto &finder = *setup.localFinder;
+
+    // Naive discovery for 12 random target pages.
+    const int num_targets = 12;
+    Rng rng(sc.seed ^ 0xa11a5);
+    std::vector<int> targets;
+    while (targets.size() < static_cast<std::size_t>(num_targets)) {
+        const int t = static_cast<int>(rng.uniform(140));
+        bool dup = false;
+        for (int u : targets)
+            dup |= (u == t);
+        if (!dup)
+            targets.push_back(t);
+    }
+
+    std::string text = headerText(
+        "Fig. 6: naive eviction set discovery + alias test");
+    std::vector<attack::EvictionSet> sets;
+    for (int t : targets) {
+        sets.push_back(finder.naiveSetFor(t));
+        text += strf("  target page %3d -> eviction set of %zu lines\n",
+                     t, sets.back().lines.size());
+    }
+
+    // Pairwise alias testing (the dedup step of Sec. III-B).
+    int alias_pairs = 0;
+    int checked = 0;
+    int correct = 0;
+    std::vector<bool> drop(sets.size(), false);
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+        for (std::size_t j = i + 1; j < sets.size(); ++j) {
+            const bool alias = finder.aliasTest(sets[i], sets[j]);
+            const bool truth =
+                setup.rt->l2SetOf(*setup.local, sets[i].lines[0]) ==
+                setup.rt->l2SetOf(*setup.local, sets[j].lines[0]);
+            ++checked;
+            if (alias == truth)
+                ++correct;
+            if (alias) {
+                ++alias_pairs;
+                drop[j] = true;
+            }
+            ctx.row(i, j, alias ? 1 : 0, truth ? 1 : 0);
+        }
+    }
+
+    int kept = 0;
+    for (bool d : drop)
+        kept += d ? 0 : 1;
+
+    text += strf("\n  %d/%d pairs alias (same physical set)\n",
+                 alias_pairs, checked);
+    text += strf("  alias-test agreement with ground truth: %d/%d\n",
+                 correct, checked);
+    text += strf("  after dedup: %d unique sets kept of %d "
+                 "discovered\n",
+                 kept, num_targets);
+
+    // Verify the kept sets are mutually alias-free.
+    int residual = 0;
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+        if (drop[i])
+            continue;
+        for (std::size_t j = i + 1; j < sets.size(); ++j) {
+            if (drop[j])
+                continue;
+            residual += finder.aliasTest(sets[i], sets[j]) ? 1 : 0;
+        }
+    }
+    text += strf("  residual alias pairs after dedup: %d (expect 0)\n",
+                 residual);
+    ctx.text(std::move(text));
+
+    ctx.metric("alias_pairs", alias_pairs);
+    ctx.metric("alias_test_correct", correct);
+    ctx.metric("alias_test_checked", checked);
+    ctx.metric("residual_alias_pairs", residual);
+    simCyclesMetric(ctx, *setup.rt);
+}
+
+std::vector<exp::Scenario>
+fig06Scenarios(std::uint64_t seed)
+{
+    exp::Scenario base;
+    base.name = "fig06";
+    base.seed = seed;
+    base.system.seed = seed;
+    return {base};
+}
+
+} // namespace
+
+void
+registerFig06Aliasing()
+{
+    exp::BenchSpec spec;
+    spec.name = "fig06_aliasing";
+    spec.description =
+        "Fig. 6: alias rate of naive eviction sets and dedup";
+    spec.csvHeader = {"set_a", "set_b", "aliases", "truth"};
+    spec.scenarios = fig06Scenarios;
+    spec.run = runFig06;
+    exp::BenchRegistry::instance().add(std::move(spec));
+}
+
+} // namespace gpubox::bench

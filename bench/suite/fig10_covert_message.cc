@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Paper Fig. 10: "Cross GPU covert message received by spy process"
+ * (registry entry `fig10_covert_message`) -- the spy-side probe-time
+ * trace while the trojan transmits "Hello! How are you? ": ~630
+ * cycles when a '0' is sent (the spy's lines survive) and ~950 cycles
+ * when a '1' is sent (the trojan evicted them).
+ */
+
+#include "attack/covert/channel.hh"
+#include "attack/set_aligner.hh"
+#include "bench/bench_common.hh"
+#include "bench/suite/benches.hh"
+#include "bench/suite/suite_common.hh"
+#include "exp/registry.hh"
+
+namespace gpubox::bench
+{
+namespace
+{
+
+void
+runFig10(const exp::Scenario &sc, exp::RunContext &ctx)
+{
+    auto setup = AttackSetup::create(sc.seed);
+
+    attack::SetAligner aligner(*setup.rt, *setup.local, *setup.remote,
+                               0, 1, setup.calib.thresholds);
+    auto mapping =
+        aligner.alignGroups(*setup.localFinder, *setup.remoteFinder);
+    // Single set: the Fig. 10 trace follows one cache set.
+    auto pairs = aligner.alignedPairs(*setup.localFinder,
+                                      *setup.remoteFinder, mapping, 1);
+    attack::covert::CovertChannel channel(
+        *setup.rt, *setup.local, *setup.remote, 0, 1, pairs,
+        setup.calib.thresholds);
+
+    const std::string message = "Hello! How are you? ";
+    std::string decoded;
+    auto stats = channel.transmitMessage(message, decoded);
+
+    std::string text = headerText(
+        "Fig. 10: spy probe trace of the covert message");
+    text += strf("  sent:    \"%s\"\n", message.c_str());
+    text += strf("  decoded: \"%s\"\n", decoded.c_str());
+    text += strf("  bits: %zu, errors: %zu (%.2f%%), bandwidth %.3f "
+                 "Mbit/s\n\n",
+                 stats.bitsSent, stats.bitErrors,
+                 100.0 * stats.errorRate, stats.bandwidthMbitPerSec);
+
+    // ASCII trace of the first 12 characters (96 symbols).
+    const auto bits = attack::covert::CovertChannel::toBits(message);
+    for (std::size_t i = 0; i < stats.probeTraceSet0.size(); ++i)
+        ctx.row(i, static_cast<int>(bits[i]), stats.probeTraceSet0[i]);
+
+    text += "  probe cycles per symbol (first 96; '#'=miss level "
+            "~950, '.'=hit level ~630):\n  ";
+    double zero_sum = 0, one_sum = 0;
+    std::size_t zero_n = 0, one_n = 0;
+    for (std::size_t i = 0; i < stats.probeTraceSet0.size(); ++i) {
+        if (i < 96) {
+            text += stats.probeTraceSet0[i] >
+                            setup.calib.thresholds.remoteBoundary
+                        ? '#'
+                        : '.';
+            if (i % 48 == 47)
+                text += "\n  ";
+        }
+        if (bits[i]) {
+            one_sum += stats.probeTraceSet0[i];
+            ++one_n;
+        } else {
+            zero_sum += stats.probeTraceSet0[i];
+            ++zero_n;
+        }
+    }
+    const double avg0 = zero_sum / static_cast<double>(zero_n);
+    const double avg1 = one_sum / static_cast<double>(one_n);
+    text += strf("\n  average probe time while sending '0': %.0f "
+                 "cycles (paper: 630)\n",
+                 avg0);
+    text += strf("  average probe time while sending '1': %.0f "
+                 "cycles (paper: 950)\n",
+                 avg1);
+    ctx.text(std::move(text));
+
+    ctx.metric("error_pct", 100.0 * stats.errorRate);
+    ctx.metric("bw_mbit_s", stats.bandwidthMbitPerSec);
+    ctx.metric("avg_probe_cycles_bit0", avg0);
+    ctx.metric("avg_probe_cycles_bit1", avg1);
+    simCyclesMetric(ctx, *setup.rt);
+}
+
+std::vector<exp::Scenario>
+fig10Scenarios(std::uint64_t seed)
+{
+    exp::Scenario base;
+    base.name = "fig10";
+    base.seed = seed;
+    base.system.seed = seed;
+    return {base};
+}
+
+} // namespace
+
+void
+registerFig10CovertMessage()
+{
+    exp::BenchSpec spec;
+    spec.name = "fig10_covert_message";
+    spec.description =
+        "Fig. 10: spy probe trace of a covert text message";
+    spec.csvHeader = {"symbol", "bit", "probe_cycles"};
+    spec.scenarios = fig10Scenarios;
+    spec.run = runFig10;
+    exp::BenchRegistry::instance().add(std::move(spec));
+}
+
+} // namespace gpubox::bench

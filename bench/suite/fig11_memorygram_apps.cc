@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Paper Fig. 11: "Memorygram of 6 applications" (registry entry
+ * `fig11_memorygram_apps`).
+ *
+ * The remote spy probes 256 L2 cache sets of the victim GPU while
+ * each of the six HPC applications runs, and renders the (set x time)
+ * miss matrix. One isolated scenario per application, so the six
+ * memorygrams collect in parallel under `--threads N`.
+ */
+
+#include "attack/side/fingerprint.hh"
+#include "bench/bench_common.hh"
+#include "bench/suite/benches.hh"
+#include "bench/suite/suite_common.hh"
+#include "exp/registry.hh"
+
+namespace gpubox::bench
+{
+namespace
+{
+
+void
+runFig11(const exp::Scenario &sc, exp::RunContext &ctx)
+{
+    auto setup = AttackSetup::create(sc.seed, false, true);
+
+    attack::side::FingerprintConfig cfg;
+    cfg.prober.monitoredSets = 256; // as in the paper's figure
+    cfg.prober.samplePeriod = 12000;
+    cfg.prober.windowCycles = 12000;
+    cfg.prober.duration = 1600000;
+    attack::side::Fingerprinter fp(*setup.rt, *setup.remote, 1,
+                                   *setup.local, 0,
+                                   *setup.remoteFinder,
+                                   setup.calib.thresholds, cfg);
+
+    HeatmapOptions opt;
+    opt.maxRows = 24;
+    opt.maxCols = 96;
+
+    const auto kind = sc.app;
+    auto gram = fp.collectSample(kind, sc.seed ^ 0xf00d).trimmed();
+    std::string text =
+        headerText("Fig. 11 memorygram: " + victim::appName(kind) +
+                   " (" + victim::appShortName(kind) + ")");
+    text += gram.render(opt);
+    text += strf("  total misses: %llu over %zu sets x %zu windows\n",
+                 static_cast<unsigned long long>(gram.totalMisses()),
+                 gram.numSets(), gram.numWindows());
+    ctx.text(std::move(text));
+
+    for (std::size_t s = 0; s < gram.numSets(); ++s)
+        for (std::size_t w = 0; w < gram.numWindows(); ++w)
+            if (gram.missAt(s, w) > 0)
+                ctx.row(victim::appShortName(kind), s, w,
+                        gram.missAt(s, w));
+
+    ctx.metric("misses[" + victim::appShortName(kind) + "]",
+               static_cast<double>(gram.totalMisses()));
+    simCyclesMetric(ctx, *setup.rt);
+}
+
+std::vector<exp::Scenario>
+fig11Scenarios(std::uint64_t seed)
+{
+    exp::Scenario base;
+    base.name = "fig11";
+    base.seed = seed;
+    base.system.seed = seed;
+
+    std::vector<exp::ScenarioMatrix::Point> points;
+    for (auto kind : victim::allAppKinds()) {
+        points.emplace_back(victim::appShortName(kind),
+                            [kind](exp::Scenario &sc) {
+                                sc.app = kind;
+                            });
+    }
+    return exp::ScenarioMatrix(base).axis("app", points).expand();
+}
+
+} // namespace
+
+void
+registerFig11MemorygramApps()
+{
+    exp::BenchSpec spec;
+    spec.name = "fig11_memorygram_apps";
+    spec.description =
+        "Fig. 11: memorygrams of the six HPC applications";
+    spec.csvHeader = {"app", "set", "window", "misses"};
+    spec.scenarios = fig11Scenarios;
+    spec.run = runFig11;
+    exp::BenchRegistry::instance().add(std::move(spec));
+}
+
+} // namespace gpubox::bench

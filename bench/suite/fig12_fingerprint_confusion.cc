@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Paper Fig. 12: "Confusion Matrix" of the application fingerprinting
+ * attack (registry entry `fig12_fingerprint_confusion`).
+ *
+ * The paper collects 1500 memorygram samples per application, trains
+ * an image classifier on 150, validates on 150 and tests on 1200,
+ * reaching 99.91% accuracy over 7200 test samples. This entry runs
+ * the identical pipeline at a simulation-friendly 30 samples per app.
+ */
+
+#include "attack/side/fingerprint.hh"
+#include "bench/bench_common.hh"
+#include "bench/suite/benches.hh"
+#include "bench/suite/suite_common.hh"
+#include "exp/registry.hh"
+
+namespace gpubox::bench
+{
+namespace
+{
+
+void
+runFig12(const exp::Scenario &sc, exp::RunContext &ctx)
+{
+    auto setup = AttackSetup::create(sc.seed, false, true);
+
+    attack::side::FingerprintConfig cfg;
+    cfg.prober.monitoredSets = 96;
+    cfg.prober.samplePeriod = 8000;
+    cfg.prober.windowCycles = 12000;
+    cfg.prober.duration = 1600000;
+
+    attack::side::Fingerprinter fp(*setup.rt, *setup.remote, 1,
+                                   *setup.local, 0,
+                                   *setup.remoteFinder,
+                                   setup.calib.thresholds, cfg);
+
+    std::string text =
+        strf("collecting %u samples per application "
+             "(%u train / %u val / %u test each)...\n",
+             cfg.samplesPerApp, cfg.trainPerApp, cfg.valPerApp,
+             cfg.samplesPerApp - cfg.trainPerApp - cfg.valPerApp);
+    auto result = fp.run();
+
+    text += headerText("Fig. 12: confusion matrix (test set)");
+    text += result.confusion.render(result.classNames);
+    text += strf("\n  validation accuracy: %.2f%%\n",
+                 100.0 * result.validationAccuracy);
+    text += strf("  test accuracy:       %.2f%%  (paper: 99.91%%)\n",
+                 100.0 * result.testAccuracy);
+    ctx.text(std::move(text));
+
+    for (int t = 0; t < result.confusion.numClasses(); ++t)
+        for (int p = 0; p < result.confusion.numClasses(); ++p)
+            ctx.row(result.classNames[t], result.classNames[p],
+                    result.confusion.count(t, p));
+
+    ctx.metric("test_accuracy_pct", 100.0 * result.testAccuracy);
+    ctx.metric("validation_accuracy_pct",
+               100.0 * result.validationAccuracy);
+    simCyclesMetric(ctx, *setup.rt);
+}
+
+std::vector<exp::Scenario>
+fig12Scenarios(std::uint64_t seed)
+{
+    exp::Scenario base;
+    base.name = "fig12";
+    base.seed = seed;
+    base.system.seed = seed;
+    return {base};
+}
+
+} // namespace
+
+void
+registerFig12FingerprintConfusion()
+{
+    exp::BenchSpec spec;
+    spec.name = "fig12_fingerprint_confusion";
+    spec.description =
+        "Fig. 12: fingerprint classifier confusion matrix";
+    spec.csvHeader = {"true", "predicted", "count"};
+    spec.scenarios = fig12Scenarios;
+    spec.run = runFig12;
+    exp::BenchRegistry::instance().add(std::move(spec));
+}
+
+} // namespace gpubox::bench

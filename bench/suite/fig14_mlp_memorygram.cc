@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Paper Fig. 14: "Memorygram of the MLP application" (registry entry
+ * `fig14_mlp_memorygram`) with 128 vs 512 hidden neurons -- the
+ * 512-neuron run paints a visibly denser, longer memorygram because
+ * the weight matrices streamed every minibatch are four times larger.
+ */
+
+#include <cstdlib>
+
+#include "attack/side/model_extract.hh"
+#include "bench/bench_common.hh"
+#include "bench/suite/benches.hh"
+#include "bench/suite/suite_common.hh"
+#include "exp/registry.hh"
+
+namespace gpubox::bench
+{
+namespace
+{
+
+void
+runFig14(const exp::Scenario &sc, exp::RunContext &ctx)
+{
+    const unsigned neurons = static_cast<unsigned>(
+        std::strtoul(sc.paramOr("neurons").c_str(), nullptr, 0));
+    auto setup = AttackSetup::create(sc.seed, false, true);
+
+    attack::side::ExtractionConfig cfg;
+    cfg.prober.monitoredSets = 256;
+    cfg.prober.samplePeriod = 12000;
+    cfg.prober.windowCycles = 12000;
+    cfg.prober.duration = 1500000;
+    cfg.mlpBase.batchesPerEpoch = 3;
+
+    attack::side::ModelExtractor extractor(
+        *setup.rt, *setup.remote, 1, *setup.local, 0,
+        *setup.remoteFinder, setup.calib.thresholds, cfg);
+
+    HeatmapOptions opt;
+    opt.maxRows = 24;
+    opt.maxCols = 96;
+
+    auto run = extractor.observe(neurons);
+    std::string text = headerText("Fig. 14: MLP memorygram, " +
+                                  std::to_string(neurons) + " neurons");
+    text += run.gram.trimmed().render(opt);
+    text += strf("  total misses %llu, avg %.1f per set\n",
+                 static_cast<unsigned long long>(run.totalMisses),
+                 run.avgMissesPerSet);
+    ctx.text(std::move(text));
+
+    for (std::size_t s = 0; s < run.gram.numSets(); ++s)
+        for (std::size_t w = 0; w < run.gram.numWindows(); ++w)
+            if (run.gram.missAt(s, w) > 0)
+                ctx.row(neurons, s, w, run.gram.missAt(s, w));
+
+    ctx.metric(strf("total_misses[n=%u]", neurons),
+               static_cast<double>(run.totalMisses));
+    ctx.metric(strf("avg_misses[n=%u]", neurons), run.avgMissesPerSet);
+    simCyclesMetric(ctx, *setup.rt);
+}
+
+std::vector<exp::Scenario>
+fig14Scenarios(std::uint64_t seed)
+{
+    exp::Scenario base;
+    base.name = "fig14";
+    base.seed = seed;
+    base.system.seed = seed;
+
+    std::vector<exp::ScenarioMatrix::Point> points;
+    for (unsigned n : {128u, 512u})
+        points.emplace_back(strf("%u", n), [](exp::Scenario &) {});
+    return exp::ScenarioMatrix(base).axis("neurons", points).expand();
+}
+
+} // namespace
+
+void
+registerFig14MlpMemorygram()
+{
+    exp::BenchSpec spec;
+    spec.name = "fig14_mlp_memorygram";
+    spec.description =
+        "Fig. 14: MLP memorygram density at 128 vs 512 neurons";
+    spec.csvHeader = {"neurons", "set", "window", "misses"};
+    spec.scenarios = fig14Scenarios;
+    spec.run = runFig14;
+    exp::BenchRegistry::instance().add(std::move(spec));
+}
+
+} // namespace gpubox::bench

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Paper Fig. 15: "Memorygram for a two-epoch experiment" (registry
+ * entry `fig15_epoch_inference`).
+ *
+ * Training epochs appear as activity bursts separated by the
+ * inter-epoch synchronization gap; the epoch count (a hyperparameter)
+ * is recovered from the memorygram's temporal profile. One isolated
+ * scenario per epoch count.
+ */
+
+#include <cstdlib>
+
+#include "attack/side/model_extract.hh"
+#include "bench/bench_common.hh"
+#include "bench/suite/benches.hh"
+#include "bench/suite/suite_common.hh"
+#include "exp/registry.hh"
+
+namespace gpubox::bench
+{
+namespace
+{
+
+void
+runFig15(const exp::Scenario &sc, exp::RunContext &ctx)
+{
+    const unsigned epochs = static_cast<unsigned>(
+        std::strtoul(sc.paramOr("epochs").c_str(), nullptr, 0));
+    auto setup = AttackSetup::create(sc.seed, false, true);
+
+    attack::side::ExtractionConfig cfg;
+    cfg.prober.monitoredSets = 256;
+    cfg.prober.samplePeriod = 12000;
+    cfg.prober.windowCycles = 12000;
+    cfg.prober.duration = 2600000;
+    cfg.mlpBase.batchesPerEpoch = 3;
+    cfg.mlpBase.interEpochGapCycles = 250000;
+
+    attack::side::ModelExtractor extractor(
+        *setup.rt, *setup.remote, 1, *setup.local, 0,
+        *setup.remoteFinder, setup.calib.thresholds, cfg);
+
+    HeatmapOptions opt;
+    opt.maxRows = 20;
+    opt.maxCols = 100;
+
+    auto run = extractor.observe(128, epochs);
+    const unsigned inferred =
+        attack::side::ModelExtractor::inferEpochs(run.gram);
+    std::string text =
+        headerText("Fig. 15: memorygram, " + std::to_string(epochs) +
+                   " training epoch(s)");
+    text += run.gram.trimmed().render(opt);
+    text += "  temporal profile (misses per window):\n  ";
+    for (std::size_t w = 0; w < run.gram.numWindows(); ++w) {
+        const auto m = run.gram.windowMisses(w);
+        text += m > 40 ? '#' : (m > 5 ? '+' : '.');
+        ctx.row(epochs, w, m, inferred);
+    }
+    text += strf("\n  => inferred epochs: %u (true: %u) %s\n",
+                 inferred, epochs, inferred == epochs ? "ok" : "WRONG");
+    ctx.text(std::move(text));
+
+    ctx.metric(strf("inferred_epochs[true=%u]", epochs), inferred);
+    ctx.metric("inference_correct", inferred == epochs ? 1.0 : 0.0);
+    simCyclesMetric(ctx, *setup.rt);
+}
+
+std::vector<exp::Scenario>
+fig15Scenarios(std::uint64_t seed)
+{
+    exp::Scenario base;
+    base.name = "fig15";
+    base.seed = seed;
+    base.system.seed = seed;
+
+    std::vector<exp::ScenarioMatrix::Point> points;
+    for (unsigned e : {1u, 2u, 3u})
+        points.emplace_back(strf("%u", e), [](exp::Scenario &) {});
+    return exp::ScenarioMatrix(base).axis("epochs", points).expand();
+}
+
+} // namespace
+
+void
+registerFig15EpochInference()
+{
+    exp::BenchSpec spec;
+    spec.name = "fig15_epoch_inference";
+    spec.description =
+        "Fig. 15: training-epoch recovery from the temporal profile";
+    spec.csvHeader = {"epochs_true", "window", "window_misses",
+                      "epochs_inferred"};
+    spec.scenarios = fig15Scenarios;
+    spec.run = runFig15;
+    exp::BenchRegistry::instance().add(std::move(spec));
+}
+
+} // namespace gpubox::bench

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Simulator performance sweep (registry entry `perf_sim`).
+ *
+ * Ablates the simulator's own hot paths -- cache access throughput
+ * per replacement policy, indexer hashing, engine actor scheduling,
+ * end-to-end kernel memory access rate -- as one scenario matrix.
+ * Everything printed and written to the CSV is a *simulated* quantity
+ * and is byte-identical for any thread count; host wall-clock goes to
+ * stderr and the results sink only.
+ */
+
+#include <cstdlib>
+
+#include "bench/suite/benches.hh"
+#include "bench/suite/suite_common.hh"
+#include "cache/indexer.hh"
+#include "cache/set_assoc_cache.hh"
+#include "exp/registry.hh"
+#include "rt/runtime.hh"
+#include "sim/engine.hh"
+
+namespace gpubox::bench
+{
+namespace
+{
+
+struct PerfMetrics
+{
+    std::uint64_t items = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t checksum = 0;
+    std::uint64_t engineSteps = 0;
+    Cycles simCycles = 0;
+};
+
+PerfMetrics
+runCacheAccess(const exp::Scenario &sc)
+{
+    cache::CacheConfig ccfg; // P100 L2
+    ccfg.policy = cache::replPolicyFromName(sc.paramOr("policy"));
+    cache::LinearIndexer idx(ccfg.numSets(), ccfg.lineBytes);
+    cache::SetAssocCache cache(ccfg, idx, Rng(sc.seed));
+
+    PerfMetrics m;
+    m.items = 2'000'000;
+    PAddr a = 0;
+    // Address stream keyed by the seed only (not the scenario name),
+    // so every policy is measured on the identical access sequence.
+    Rng addr_rng = Rng(sc.seed).split(0xacce55);
+    for (std::uint64_t i = 0; i < m.items; ++i) {
+        a = (a + 128 * (addr_rng.uniform(4096) + 1)) & 0xffffff80ULL;
+        const auto out = cache.access(a);
+        m.hits += out.hit ? 1 : 0;
+        m.evictions += out.evicted ? 1 : 0;
+        m.checksum += out.evictedLine + a;
+    }
+    return m;
+}
+
+PerfMetrics
+runHashedIndexer(const exp::Scenario &sc)
+{
+    cache::HashedPageIndexer idx(2048, 128, 64 * 1024,
+                                 sc.seed ^ 0x5a17);
+    PerfMetrics m;
+    m.items = 4'000'000;
+    PAddr a = 0;
+    for (std::uint64_t i = 0; i < m.items; ++i) {
+        a += 128;
+        m.checksum += idx.setFor(a);
+    }
+    return m;
+}
+
+PerfMetrics
+runEngineActors(const exp::Scenario &sc)
+{
+    const unsigned actors = static_cast<unsigned>(
+        std::strtoul(sc.paramOr("actors").c_str(), nullptr, 0));
+    sim::Engine eng(sc.seed);
+    for (unsigned i = 0; i < actors; ++i) {
+        eng.spawn("a", [](sim::ActorCtx &) -> sim::Task {
+            for (int k = 0; k < 100; ++k)
+                co_await sim::Delay{10};
+        });
+    }
+    eng.run();
+
+    PerfMetrics m;
+    const auto stats = eng.stats();
+    m.items = static_cast<std::uint64_t>(actors) * 100;
+    m.engineSteps = stats.steps;
+    m.simCycles = stats.now;
+    m.checksum = stats.spawned;
+    return m;
+}
+
+PerfMetrics
+runRuntimeLdcg(const exp::Scenario &sc)
+{
+    rt::Runtime rt(sc.system);
+    rt::Process &p = rt.createProcess("bench");
+    const std::uint32_t line = sc.system.device.l2.lineBytes;
+    const int n = 1024;
+    const int launches = 32;
+    const VAddr buf =
+        rt.deviceMalloc(p, 0, static_cast<std::uint64_t>(n) * line);
+
+    std::uint64_t latency_sum = 0;
+    for (int l = 0; l < launches; ++l) {
+        auto kernel = [&](rt::BlockCtx &bctx) -> sim::Task {
+            for (int i = 0; i < n; ++i) {
+                const Cycles t0 = bctx.actor().now();
+                co_await bctx.ldcg64(buf + (i % n) * line);
+                latency_sum += bctx.actor().now() - t0;
+            }
+        };
+        gpu::KernelConfig kcfg;
+        auto h = rt.launch(p, 0, kcfg, kernel);
+        rt.runUntilDone(h);
+    }
+
+    PerfMetrics m;
+    const auto metrics = rt.metrics();
+    m.items = static_cast<std::uint64_t>(n) * launches;
+    m.engineSteps = metrics.engine.steps;
+    m.simCycles = metrics.engine.now;
+    m.checksum = latency_sum;
+    return m;
+}
+
+PerfMetrics
+runGroupProbe(const exp::Scenario &sc)
+{
+    rt::Runtime rt(sc.system);
+    rt::Process &p = rt.createProcess("bench");
+    const std::uint32_t line = sc.system.device.l2.lineBytes;
+    const int lines_n = 16;
+    const int rounds = 64;
+    const int launches = 32;
+    const VAddr buf = rt.deviceMalloc(p, 0, lines_n * line);
+    std::vector<VAddr> lines;
+    for (int i = 0; i < lines_n; ++i)
+        lines.push_back(buf + i * line);
+
+    std::uint64_t probe_sum = 0;
+    for (int l = 0; l < launches; ++l) {
+        auto kernel = [&](rt::BlockCtx &bctx) -> sim::Task {
+            for (int r = 0; r < rounds; ++r) {
+                auto res = co_await bctx.probeSet(lines);
+                probe_sum += res.totalCycles;
+            }
+        };
+        gpu::KernelConfig kcfg;
+        auto h = rt.launch(p, 0, kcfg, kernel);
+        rt.runUntilDone(h);
+    }
+
+    PerfMetrics m;
+    const auto metrics = rt.metrics();
+    m.items = static_cast<std::uint64_t>(lines_n) * rounds * launches;
+    m.engineSteps = metrics.engine.steps;
+    m.simCycles = metrics.engine.now;
+    m.checksum = probe_sum;
+    return m;
+}
+
+void
+runPerfScenario(const exp::Scenario &sc, exp::RunContext &ctx)
+{
+    const std::string kernel = sc.paramOr("kernel");
+    PerfMetrics m;
+    if (kernel == "cache_access")
+        m = runCacheAccess(sc);
+    else if (kernel == "hashed_indexer")
+        m = runHashedIndexer(sc);
+    else if (kernel == "engine_actors")
+        m = runEngineActors(sc);
+    else if (kernel == "runtime_ldcg")
+        m = runRuntimeLdcg(sc);
+    else if (kernel == "group_probe")
+        m = runGroupProbe(sc);
+    else
+        fatal("perf_sim: unknown kernel '", kernel, "'");
+
+    ctx.row(kernel, sc.paramOr("policy", "-"), sc.paramOr("actors", "-"),
+            sc.seed, m.items, m.hits, m.evictions, m.checksum,
+            m.engineSteps, m.simCycles);
+    ctx.metric("items", static_cast<double>(m.items));
+    ctx.metric("sim_cycles", static_cast<double>(m.simCycles));
+    ctx.metric("engine_steps", static_cast<double>(m.engineSteps));
+}
+
+std::vector<exp::Scenario>
+perfScenarios(std::uint64_t seed)
+{
+    exp::Scenario base;
+    base.name = "perf";
+    base.seed = seed;
+    base.system.seed = seed;
+    const auto keep = [](exp::Scenario &) {};
+
+    std::vector<exp::Scenario> scenarios;
+    auto add = [&](std::vector<exp::Scenario> v) {
+        scenarios.insert(scenarios.end(),
+                         std::make_move_iterator(v.begin()),
+                         std::make_move_iterator(v.end()));
+    };
+    add(exp::ScenarioMatrix(base)
+            .axis("kernel", {{"cache_access", keep}})
+            .axis("policy",
+                  {{"lru", keep}, {"tree-plru", keep}, {"random", keep}})
+            .expand());
+    add(exp::ScenarioMatrix(base)
+            .axis("kernel", {{"hashed_indexer", keep}})
+            .expand());
+    add(exp::ScenarioMatrix(base)
+            .axis("kernel", {{"engine_actors", keep}})
+            .axis("actors", {{"4", keep}, {"64", keep}, {"256", keep}})
+            .expand());
+    add(exp::ScenarioMatrix(base)
+            .axis("kernel", {{"runtime_ldcg", keep}})
+            .expand());
+    add(exp::ScenarioMatrix(base)
+            .axis("kernel", {{"group_probe", keep}})
+            .expand());
+    return scenarios;
+}
+
+void
+renderPerf(const exp::Report &report, std::FILE *out)
+{
+    std::fprintf(out,
+                 "\n  %-16s %-10s %-7s %10s %10s %10s %18s %12s %14s\n",
+                 "kernel", "policy", "actors", "items", "hits",
+                 "evicted", "checksum", "steps", "sim_cycles");
+    for (const auto &res : report.results) {
+        for (const auto &row : res.rows) {
+            std::fprintf(out,
+                         "  %-16s %-10s %-7s %10s %10s %10s %18s %12s "
+                         "%14s\n",
+                         row[0].c_str(), row[1].c_str(), row[2].c_str(),
+                         row[4].c_str(), row[5].c_str(), row[6].c_str(),
+                         row[7].c_str(), row[8].c_str(),
+                         row[9].c_str());
+        }
+    }
+}
+
+} // namespace
+
+void
+registerPerfSim()
+{
+    exp::BenchSpec spec;
+    spec.name = "perf_sim";
+    spec.description =
+        "simulator hot-path throughput sweep (cache, indexer, engine, "
+        "runtime)";
+    spec.csvHeader = {"kernel",   "policy",       "actors",
+                      "seed",     "items",        "hits",
+                      "evictions", "checksum",    "engine_steps",
+                      "sim_cycles"};
+    spec.scenarios = perfScenarios;
+    spec.run = runPerfScenario;
+    spec.render = renderPerf;
+    exp::BenchRegistry::instance().add(std::move(spec));
+}
+
+} // namespace gpubox::bench

@@ -1,0 +1,35 @@
+#include "bench/suite/benches.hh"
+
+namespace gpubox::bench
+{
+
+void
+registerAllBenches()
+{
+    static bool done = false;
+    if (done)
+        return;
+    done = true;
+
+    registerPerfSim();
+    registerTable01CacheParams();
+    registerFig04AccessTiming();
+    registerFig05EvsetValidation();
+    registerFig06Aliasing();
+    registerFig07Alignment();
+    registerFig09CovertBandwidth();
+    registerFig10CovertMessage();
+    registerFig11MemorygramApps();
+    registerFig12FingerprintConfusion();
+    registerFig13Table02MlpMisses();
+    registerFig14MlpMemorygram();
+    registerFig15EpochInference();
+    registerAblationReplacement();
+    registerAblationNoiseMitigation();
+    registerAblationMigDefense();
+    registerAblationDetection();
+    registerAblationDynamicDefense();
+    registerExtensionMultiGpu();
+}
+
+} // namespace gpubox::bench

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Helpers shared by the registry bench entries: printf-style string
+ * formatting for RunContext::text blocks and the standard simulated-
+ * cycle metric every Runtime-backed scenario records.
+ */
+
+#ifndef GPUBOX_BENCH_SUITE_SUITE_COMMON_HH
+#define GPUBOX_BENCH_SUITE_SUITE_COMMON_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "exp/experiment_runner.hh"
+#include "rt/runtime.hh"
+
+namespace gpubox::bench
+{
+
+/** printf into a std::string (two-pass, any length). */
+inline std::string
+strf(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    std::string out;
+    if (n > 0) {
+        out.resize(static_cast<std::size_t>(n) + 1);
+        std::vsnprintf(out.data(), out.size(), fmt, ap2);
+        out.resize(static_cast<std::size_t>(n));
+    }
+    va_end(ap2);
+    return out;
+}
+
+/** Section header matching the classic bench output style. */
+inline std::string
+headerText(const std::string &title)
+{
+    return "\n==== " + title + " ====\n";
+}
+
+/**
+ * Record the scenario's simulated-cycle count -- the deterministic
+ * "how much work" metric the results sink tracks alongside host wall
+ * clock.
+ */
+inline void
+simCyclesMetric(exp::RunContext &ctx, rt::Runtime &rt)
+{
+    ctx.metric("sim_cycles",
+               static_cast<double>(rt.metrics().engine.now));
+}
+
+} // namespace gpubox::bench
+
+#endif // GPUBOX_BENCH_SUITE_SUITE_COMMON_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Paper Table I: "L2 cache architecture" (registry entry
+ * `table01_cache_params`) -- every parameter recovered from user
+ * level: line size by the co-residence test, capacity by the
+ * working-set sweep, associativity by the eviction point of a
+ * discovered conflict group, and the replacement policy by the
+ * determinism of that eviction point.
+ */
+
+#include "attack/reverse_engineer.hh"
+#include "bench/bench_common.hh"
+#include "bench/suite/benches.hh"
+#include "bench/suite/suite_common.hh"
+#include "exp/registry.hh"
+
+namespace gpubox::bench
+{
+namespace
+{
+
+void
+runTable01(const exp::Scenario &sc, exp::RunContext &ctx)
+{
+    rt::Runtime rt(sc.system);
+    rt::Process &attacker = rt.createProcess("attacker");
+
+    // Calibrate thresholds (local attack on GPU 0; peer 1 for the
+    // remote clusters).
+    attack::TimingOracle oracle(rt, attacker);
+    auto calib = oracle.calibrate(0, 1, 48, 6);
+
+    // Find conflict groups (Algorithm 1 with grouping optimization).
+    attack::FinderConfig fcfg;
+    fcfg.poolPages = 140;
+    attack::EvictionSetFinder finder(rt, attacker, 0, 0,
+                                     calib.thresholds, fcfg);
+    finder.run();
+
+    attack::ReverseEngineer re(rt, attacker, 0, calib.thresholds);
+
+    std::string text = headerText(
+        "capacity sweep (working set vs 2nd-pass miss rate)");
+    const std::uint64_t cap_lines = sc.system.device.l2.sizeBytes /
+                                    sc.system.device.l2.lineBytes;
+    std::vector<std::uint64_t> counts;
+    for (double f : {0.5, 0.75, 0.875, 1.0, 1.125, 1.25, 1.5, 2.0})
+        counts.push_back(static_cast<std::uint64_t>(f * cap_lines));
+    auto pts = re.capacitySweep(counts);
+    for (const auto &p : pts) {
+        text += strf("  %8llu lines (%6.0f KiB)  miss rate %5.1f%%\n",
+                     static_cast<unsigned long long>(p.residentLines),
+                     p.residentLines * 128.0 / 1024.0,
+                     100.0 * p.secondPassMissRate);
+        ctx.row(p.residentLines, p.residentLines * 128 / 1024,
+                p.secondPassMissRate);
+    }
+
+    text += headerText(
+        "eviction points over 12 trials (policy inference)");
+    auto points = re.evictionPoints(finder, 12);
+    text += "  ";
+    for (unsigned p : points)
+        text += strf("%u ", p);
+    text += strf("\n  => policy: %s\n",
+                 attack::ReverseEngineer::classifyPolicy(
+                     points, finder.associativity())
+                     .c_str());
+
+    text += headerText("TABLE I: L2 cache architecture (recovered)");
+    auto report = re.run(finder);
+    text += report.toTable();
+    text += "\npaper reference: 4 MB, 2048 sets, 128B lines, "
+            "16 lines/set, LRU\n";
+    text += strf("attack cost: %llu kernel launches, %llu timed "
+                 "probes\n",
+                 static_cast<unsigned long long>(
+                     finder.kernelLaunches()),
+                 static_cast<unsigned long long>(finder.timedProbes()));
+    ctx.text(std::move(text));
+
+    ctx.metric("kernel_launches",
+               static_cast<double>(finder.kernelLaunches()));
+    ctx.metric("timed_probes",
+               static_cast<double>(finder.timedProbes()));
+    ctx.metric("recovered_associativity", finder.associativity());
+    simCyclesMetric(ctx, rt);
+}
+
+std::vector<exp::Scenario>
+table01Scenarios(std::uint64_t seed)
+{
+    exp::Scenario base;
+    base.name = "table01";
+    base.seed = seed;
+    base.system.seed = seed;
+    return {base};
+}
+
+} // namespace
+
+void
+registerTable01CacheParams()
+{
+    exp::BenchSpec spec;
+    spec.name = "table01_cache_params";
+    spec.description =
+        "Table I: user-level recovery of the L2 architecture";
+    spec.csvHeader = {"resident_lines", "resident_kb",
+                      "second_pass_miss_rate"};
+    spec.scenarios = table01Scenarios;
+    spec.run = runTable01;
+    exp::BenchRegistry::instance().add(std::move(spec));
+}
+
+} // namespace gpubox::bench

@@ -1,80 +1,16 @@
 /**
  * @file
- * Reproduces paper Table I: "L2 cache architecture" -- every parameter
- * recovered from user level: line size by the co-residence test,
- * capacity by the working-set sweep, associativity by the eviction
- * point of a discovered conflict group, and the replacement policy by
- * the determinism of that eviction point.
+ * Thin wrapper over the `table01_cache_params` registry entry; the implementation
+ * lives in bench/suite/table01_cache_params.cc and is shared with the `gpubox_bench`
+ * driver.
  */
 
-#include <cstdio>
-
-#include "attack/reverse_engineer.hh"
-#include "bench/bench_common.hh"
-#include "util/csv.hh"
-
-using namespace gpubox;
+#include "bench/suite/benches.hh"
+#include "exp/registry.hh"
 
 int
 main(int argc, char **argv)
 {
-    setLogEnabled(false);
-    const std::uint64_t seed = bench::benchSeed(argc, argv);
-
-    rt::SystemConfig cfg;
-    cfg.seed = seed;
-    rt::Runtime rt(cfg);
-    rt::Process &attacker = rt.createProcess("attacker");
-
-    // Calibrate thresholds (local attack on GPU 0; peer 1 for the
-    // remote clusters).
-    attack::TimingOracle oracle(rt, attacker);
-    auto calib = oracle.calibrate(0, 1, 48, 6);
-
-    // Find conflict groups (Algorithm 1 with grouping optimization).
-    attack::FinderConfig fcfg;
-    fcfg.poolPages = 140;
-    attack::EvictionSetFinder finder(rt, attacker, 0, 0,
-                                     calib.thresholds, fcfg);
-    finder.run();
-
-    attack::ReverseEngineer re(rt, attacker, 0, calib.thresholds);
-
-    bench::header("capacity sweep (working set vs 2nd-pass miss rate)");
-    const std::uint64_t cap_lines =
-        cfg.device.l2.sizeBytes / cfg.device.l2.lineBytes;
-    std::vector<std::uint64_t> counts;
-    for (double f : {0.5, 0.75, 0.875, 1.0, 1.125, 1.25, 1.5, 2.0})
-        counts.push_back(static_cast<std::uint64_t>(f * cap_lines));
-    auto pts = re.capacitySweep(counts);
-    CsvWriter csv("table01_capacity_sweep.csv");
-    csv.row("resident_lines", "resident_kb", "second_pass_miss_rate");
-    for (const auto &p : pts) {
-        std::printf("  %8llu lines (%6.0f KiB)  miss rate %5.1f%%\n",
-                    static_cast<unsigned long long>(p.residentLines),
-                    p.residentLines * 128.0 / 1024.0,
-                    100.0 * p.secondPassMissRate);
-        csv.row(p.residentLines, p.residentLines * 128 / 1024,
-                p.secondPassMissRate);
-    }
-
-    bench::header("eviction points over 12 trials (policy inference)");
-    auto points = re.evictionPoints(finder, 12);
-    std::printf("  ");
-    for (unsigned p : points)
-        std::printf("%u ", p);
-    std::printf("\n  => policy: %s\n",
-                attack::ReverseEngineer::classifyPolicy(
-                    points, finder.associativity())
-                    .c_str());
-
-    bench::header("TABLE I: L2 cache architecture (recovered)");
-    auto report = re.run(finder);
-    std::printf("%s", report.toTable().c_str());
-    std::printf("\npaper reference: 4 MB, 2048 sets, 128B lines, "
-                "16 lines/set, LRU\n");
-    std::printf("attack cost: %llu kernel launches, %llu timed probes\n",
-                static_cast<unsigned long long>(finder.kernelLaunches()),
-                static_cast<unsigned long long>(finder.timedProbes()));
-    return 0;
+    gpubox::bench::registerAllBenches();
+    return gpubox::exp::benchMain("table01_cache_params", argc, argv);
 }

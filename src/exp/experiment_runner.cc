@@ -65,6 +65,44 @@ Report::writeCsv(const std::string &path,
         csv.writeRow(row);
 }
 
+double
+Report::metricSum(const std::string &key) const
+{
+    double sum = 0.0;
+    for (const auto &r : results)
+        for (const auto &[k, v] : r.metrics)
+            if (k == key)
+                sum += v;
+    return sum;
+}
+
+std::vector<std::pair<std::string, double>>
+Report::aggregateMetrics() const
+{
+    std::vector<std::pair<std::string, double>> agg;
+    for (const auto &r : results) {
+        for (const auto &[k, v] : r.metrics) {
+            auto it = std::find_if(agg.begin(), agg.end(),
+                                   [&](const auto &p) {
+                                       return p.first == k;
+                                   });
+            if (it == agg.end())
+                agg.emplace_back(k, v);
+            else
+                it->second += v;
+        }
+    }
+    return agg;
+}
+
+void
+Report::printTexts(std::FILE *out) const
+{
+    for (const auto &r : results)
+        for (const auto &block : r.texts)
+            std::fputs(block.c_str(), out);
+}
+
 void
 Report::printNotes(std::FILE *out) const
 {
@@ -117,6 +155,8 @@ ExperimentRunner::run(const std::vector<Scenario> &scenarios,
         }
         res.rows = std::move(ctx.rows_);
         res.notes = std::move(ctx.notes_);
+        res.texts = std::move(ctx.texts_);
+        res.metrics = std::move(ctx.metrics_);
         res.wallSeconds = secondsSince(t0);
 
         if (config_.progress) {

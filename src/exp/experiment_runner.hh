@@ -55,6 +55,25 @@ class RunContext
     /** Record a human-readable line, printed with the results. */
     void note(std::string line) { notes_.push_back(std::move(line)); }
 
+    /**
+     * Record a preformatted display block (tables, histograms,
+     * memorygrams). Blocks are replayed to stdout in scenario order
+     * after the sweep, so the rendered output -- like the rows -- is
+     * byte-identical for any worker-thread count.
+     */
+    void text(std::string block) { texts_.push_back(std::move(block)); }
+
+    /**
+     * Record a named scalar derived from simulated quantities only
+     * (never wall clock). Metrics are aggregated per bench into
+     * BENCH_results.json by the registry driver.
+     */
+    void
+    metric(const std::string &key, double value)
+    {
+        metrics_.emplace_back(key, value);
+    }
+
   private:
     RunContext(const Scenario &scenario, Rng rng)
         : scenario_(scenario), rng_(rng)
@@ -64,6 +83,8 @@ class RunContext
     Rng rng_;
     std::vector<std::vector<std::string>> rows_;
     std::vector<std::string> notes_;
+    std::vector<std::string> texts_;
+    std::vector<std::pair<std::string, double>> metrics_;
 };
 
 /** Outcome of one scenario. */
@@ -76,6 +97,8 @@ struct RunResult
     std::string error;
     std::vector<std::vector<std::string>> rows;
     std::vector<std::string> notes;
+    std::vector<std::string> texts;
+    std::vector<std::pair<std::string, double>> metrics;
     /** Host wall time of this scenario; NOT part of the CSV. */
     double wallSeconds = 0.0;
 };
@@ -90,6 +113,22 @@ struct Report
 
     /** All recorded rows, in scenario order. */
     std::vector<std::vector<std::string>> allRows() const;
+
+    /**
+     * Sum of every metric with key @p key over all scenarios (0.0
+     * when none recorded it). Deterministic: metrics are simulated
+     * quantities summed in scenario order.
+     */
+    double metricSum(const std::string &key) const;
+
+    /**
+     * Deterministic per-bench metric aggregate: keys in first-seen
+     * (scenario, then record) order, values summed across scenarios.
+     */
+    std::vector<std::pair<std::string, double>> aggregateMetrics() const;
+
+    /** Print the recorded display blocks, in scenario order. */
+    void printTexts(std::FILE *out) const;
 
     /**
      * Write header + all rows to @p path. The file content depends

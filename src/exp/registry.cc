@@ -1,0 +1,404 @@
+#include "exp/registry.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/log.hh"
+
+namespace gpubox::exp
+{
+
+namespace
+{
+
+/** Minimal JSON string escaping (control chars, quote, backslash). */
+std::string
+jsonEscape(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size() + 2);
+    for (unsigned char c : raw) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+/** Compact numeric formatting; always valid JSON (no inf/nan). */
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return buf;
+}
+
+std::string
+joinPath(const std::string &dir, const std::string &file)
+{
+    if (dir.empty() || dir == ".")
+        return file;
+    if (dir.back() == '/')
+        return dir + file;
+    return dir + "/" + file;
+}
+
+void
+usageExit(const char *argv0, const std::string &msg, bool driver)
+{
+    std::fprintf(stderr, "%s: %s\n", argv0, msg.c_str());
+    if (driver) {
+        std::fprintf(
+            stderr,
+            "usage: %s [--list] [--only a,b] [seed] [--seed N]\n"
+            "          [--threads N] [--out-dir D] [--results F]\n"
+            "          [--no-results] [--quiet]\n",
+            argv0);
+    } else {
+        std::fprintf(stderr,
+                     "usage: %s [seed] [--seed N] [--threads N] "
+                     "[--out-dir D] [--results F] [--quiet]\n",
+                     argv0);
+    }
+    std::exit(2);
+}
+
+struct DriverArgs
+{
+    BenchOptions opt;
+    bool list = false;
+    std::string only;
+    bool noResults = false;
+};
+
+DriverArgs
+parseDriverArgs(int argc, char **argv, bool driver)
+{
+    DriverArgs args;
+    // Strict numeric parsing: garbage must exit 2 with usage, not
+    // silently become seed/threads 0.
+    auto parse_u64 = [&](const std::string &flag,
+                         const char *raw) -> std::uint64_t {
+        char *end = nullptr;
+        const std::uint64_t v = std::strtoull(raw, &end, 0);
+        if (end == raw || *end != '\0')
+            usageExit(argv[0],
+                      "invalid number '" + std::string(raw) +
+                          "' for " + flag,
+                      driver);
+        return v;
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next_val = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usageExit(argv[0], "missing value after " + a, driver);
+            return argv[++i];
+        };
+        if (a == "--seed")
+            args.opt.seed = parse_u64(a, next_val());
+        else if (a == "--threads")
+            args.opt.threads =
+                static_cast<unsigned>(parse_u64(a, next_val()));
+        else if (a == "--out-dir")
+            args.opt.outDir = next_val();
+        else if (a == "--results")
+            args.opt.resultsPath = next_val();
+        else if (a == "--quiet")
+            args.opt.progress = false;
+        else if (driver && a == "--list")
+            args.list = true;
+        else if (driver && a == "--only")
+            args.only = next_val();
+        else if (driver && a == "--no-results")
+            args.noResults = true;
+        else if (!a.empty() && a[0] != '-')
+            args.opt.seed = parse_u64("the positional seed", a.c_str());
+        else
+            usageExit(argv[0], "unknown flag " + a, driver);
+    }
+    return args;
+}
+
+} // namespace
+
+BenchRegistry &
+BenchRegistry::instance()
+{
+    static BenchRegistry registry;
+    return registry;
+}
+
+void
+BenchRegistry::add(BenchSpec spec)
+{
+    if (spec.name.empty())
+        fatal("BenchRegistry: bench name must not be empty");
+    if (!spec.scenarios || !spec.run)
+        fatal("BenchRegistry: bench '", spec.name,
+              "' needs scenarios and run functions");
+    if (find(spec.name))
+        fatal("BenchRegistry: duplicate bench '", spec.name, "'");
+    specs_.push_back(std::move(spec));
+}
+
+const BenchSpec *
+BenchRegistry::find(const std::string &name) const
+{
+    for (const auto &s : specs_)
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+std::vector<const BenchSpec *>
+BenchRegistry::list() const
+{
+    std::vector<const BenchSpec *> out;
+    out.reserve(specs_.size());
+    for (const auto &s : specs_)
+        out.push_back(&s);
+    return out;
+}
+
+std::vector<const BenchSpec *>
+selectBenches(const BenchRegistry &registry, const std::string &only,
+              std::string *error)
+{
+    if (error)
+        error->clear();
+    if (only.empty())
+        return registry.list();
+
+    std::vector<const BenchSpec *> out;
+    std::stringstream ss(only);
+    std::string token;
+    while (std::getline(ss, token, ',')) {
+        if (token.empty())
+            continue;
+        const BenchSpec *hit = registry.find(token);
+        if (!hit) {
+            // Unique-prefix match: `--only fig09` is unambiguous.
+            std::vector<const BenchSpec *> prefixed;
+            for (const BenchSpec *s : registry.list())
+                if (s->name.rfind(token, 0) == 0)
+                    prefixed.push_back(s);
+            if (prefixed.size() == 1) {
+                hit = prefixed[0];
+            } else if (error) {
+                *error = prefixed.empty()
+                             ? "unknown bench '" + token + "'"
+                             : "ambiguous bench prefix '" + token + "'";
+                return {};
+            }
+        }
+        if (hit &&
+            std::find(out.begin(), out.end(), hit) == out.end())
+            out.push_back(hit);
+    }
+    return out;
+}
+
+BenchRunSummary
+runBench(const BenchSpec &spec, const BenchOptions &opt, std::FILE *out)
+{
+    std::fprintf(out, "\n==== %s: %s ====\n", spec.name.c_str(),
+                 spec.description.c_str());
+
+    const auto scenarios = spec.scenarios(opt.seed);
+    std::fprintf(out, "  scenarios: %zu, seed: %" PRIu64 "\n",
+                 scenarios.size(), opt.seed);
+
+    ExperimentRunner runner({opt.threads, opt.progress});
+    const Report report = runner.run(scenarios, spec.run);
+
+    report.printTexts(out);
+    if (spec.render)
+        spec.render(report, out);
+    report.printNotes(out);
+
+    BenchRunSummary summary;
+    summary.name = spec.name;
+    summary.scenarios = report.results.size();
+    summary.failures = report.failures();
+    summary.rows = report.allRows().size();
+    summary.wallSeconds = report.wallSeconds;
+    summary.metrics = report.aggregateMetrics();
+
+    if (!spec.csvHeader.empty()) {
+        if (!opt.outDir.empty() && opt.outDir != ".") {
+            std::error_code ec;
+            std::filesystem::create_directories(opt.outDir, ec);
+        }
+        const std::string path =
+            joinPath(opt.outDir, spec.name + ".csv");
+        report.writeCsv(path, spec.csvHeader);
+        std::fprintf(out, "[csv] %s (%zu rows)\n", path.c_str(),
+                     summary.rows);
+    }
+
+    std::fprintf(stderr,
+                 "[wall] %-32s %8.2fs on %u thread(s), %zu failures\n",
+                 spec.name.c_str(), report.wallSeconds,
+                 runner.threads(), report.failures());
+    return summary;
+}
+
+void
+writeResultsJson(const std::string &path, const BenchOptions &opt,
+                 double totalWallSeconds,
+                 const std::vector<BenchRunSummary> &summaries)
+{
+    std::ofstream js(path, std::ios::binary);
+    if (!js)
+        fatal("cannot open results sink '", path, "' for writing");
+
+    js << "{\n";
+    js << "  \"schema\": \"gpubox-bench-results/v1\",\n";
+    js << "  \"seed\": " << opt.seed << ",\n";
+    js << "  \"threads\": " << opt.threads << ",\n";
+    js << "  \"wall_seconds_total\": " << jsonNumber(totalWallSeconds)
+       << ",\n";
+    js << "  \"benches\": [\n";
+    for (std::size_t i = 0; i < summaries.size(); ++i) {
+        const auto &s = summaries[i];
+        js << "    {\n";
+        js << "      \"name\": \"" << jsonEscape(s.name) << "\",\n";
+        js << "      \"scenarios\": " << s.scenarios << ",\n";
+        js << "      \"failures\": " << s.failures << ",\n";
+        js << "      \"rows\": " << s.rows << ",\n";
+        js << "      \"wall_seconds\": " << jsonNumber(s.wallSeconds)
+           << ",\n";
+        js << "      \"metrics\": {";
+        for (std::size_t m = 0; m < s.metrics.size(); ++m) {
+            js << (m ? ", " : "") << "\""
+               << jsonEscape(s.metrics[m].first)
+               << "\": " << jsonNumber(s.metrics[m].second);
+        }
+        js << "}\n";
+        js << "    }" << (i + 1 < summaries.size() ? "," : "") << "\n";
+    }
+    js << "  ]\n";
+    js << "}\n";
+}
+
+int
+benchMain(const std::string &name, int argc, char **argv)
+{
+    setLogEnabled(false);
+    const DriverArgs args = parseDriverArgs(argc, argv, false);
+
+    const BenchSpec *spec = BenchRegistry::instance().find(name);
+    if (!spec) {
+        std::fprintf(stderr, "%s: bench '%s' is not registered\n",
+                     argv[0], name.c_str());
+        return 2;
+    }
+
+    try {
+        const auto summary = runBench(*spec, args.opt, stdout);
+        if (!args.opt.resultsPath.empty())
+            writeResultsJson(args.opt.resultsPath, args.opt,
+                             summary.wallSeconds, {summary});
+        return summary.failures == 0 ? 0 : 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+        return 1;
+    }
+}
+
+int
+benchDriverMain(int argc, char **argv)
+{
+    setLogEnabled(false);
+    DriverArgs args = parseDriverArgs(argc, argv, true);
+    const BenchRegistry &registry = BenchRegistry::instance();
+
+    if (args.list) {
+        std::printf("%zu registered benches:\n", registry.size());
+        for (const BenchSpec *s : registry.list())
+            std::printf("  %-28s %s\n", s->name.c_str(),
+                        s->description.c_str());
+        return 0;
+    }
+
+    std::string error;
+    const auto selection = selectBenches(registry, args.only, &error);
+    if (!error.empty()) {
+        std::fprintf(stderr, "%s: %s (try --list)\n", argv[0],
+                     error.c_str());
+        return 2;
+    }
+    if (selection.empty()) {
+        std::fprintf(stderr, "%s: nothing selected\n", argv[0]);
+        return 2;
+    }
+
+    if (args.opt.resultsPath.empty() && !args.noResults)
+        args.opt.resultsPath =
+            joinPath(args.opt.outDir, "BENCH_results.json");
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<BenchRunSummary> summaries;
+    summaries.reserve(selection.size());
+    try {
+        for (const BenchSpec *spec : selection)
+            summaries.push_back(runBench(*spec, args.opt, stdout));
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+        return 1;
+    }
+    const double total =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+
+    std::size_t failures = 0;
+    for (const auto &s : summaries)
+        failures += s.failures;
+
+    if (!args.noResults && !args.opt.resultsPath.empty()) {
+        writeResultsJson(args.opt.resultsPath, args.opt, total,
+                         summaries);
+        std::printf("\n[results] %s (%zu benches)\n",
+                    args.opt.resultsPath.c_str(), summaries.size());
+    }
+    std::fprintf(stderr,
+                 "[wall] driver total %.2fs, %zu bench(es), "
+                 "%zu failure(s)\n",
+                 total, summaries.size(), failures);
+    return failures == 0 ? 0 : 1;
+}
+
+} // namespace gpubox::exp

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Bench registry: every figure/table/ablation reproduction registers
+ * a name, a description, a default scenario list and a row-producing
+ * run function, and a single driver (`gpubox_bench`) lists, filters
+ * and executes any subset of them in parallel via the
+ * ExperimentRunner.
+ *
+ * The determinism contract of the runner extends to the registry:
+ * everything a bench prints to @p out and writes to its CSV is
+ * derived from simulated quantities replayed in scenario order, so
+ * the output is byte-identical for any `--threads` value. Host wall
+ * clock only appears on stderr and in the structured results sink
+ * (BENCH_results.json), which exists precisely to track the perf
+ * trajectory across commits.
+ */
+
+#ifndef GPUBOX_EXP_REGISTRY_HH
+#define GPUBOX_EXP_REGISTRY_HH
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/experiment_runner.hh"
+#include "exp/scenario.hh"
+
+namespace gpubox::exp
+{
+
+/** One registered bench: identity, default sweep and behaviour. */
+struct BenchSpec
+{
+    /** Unique registry key; also the default CSV stem. */
+    std::string name;
+    /** One-line summary shown by `--list`. */
+    std::string description;
+    /** CSV column names; empty disables the CSV sink. */
+    std::vector<std::string> csvHeader;
+    /** Default scenario list (usually a ScenarioMatrix expansion). */
+    std::function<std::vector<Scenario>(std::uint64_t seed)> scenarios;
+    /** Per-scenario body; must record rather than print. */
+    ExperimentRunner::ScenarioFn run;
+    /**
+     * Optional cross-scenario table printer, run after the per-
+     * scenario display blocks. Must only derive output from the
+     * Report (never from wall clock).
+     */
+    std::function<void(const Report &, std::FILE *out)> render;
+};
+
+/** Name -> BenchSpec container; registration order is list order. */
+class BenchRegistry
+{
+  public:
+    /** The process-wide registry the driver and wrappers use. */
+    static BenchRegistry &instance();
+
+    /** Register a bench. Duplicate or empty names are fatal(). */
+    void add(BenchSpec spec);
+
+    /** Registered bench, or nullptr. */
+    const BenchSpec *find(const std::string &name) const;
+
+    /** All benches, in registration order. */
+    std::vector<const BenchSpec *> list() const;
+
+    std::size_t size() const { return specs_.size(); }
+
+  private:
+    std::vector<BenchSpec> specs_;
+};
+
+/** Driver knobs shared by `gpubox_bench` and the thin wrappers. */
+struct BenchOptions
+{
+    std::uint64_t seed = 2023;
+    /** Worker threads per bench sweep; 0 = hardware concurrency. */
+    unsigned threads = 1;
+    /** Directory receiving the per-bench CSVs. */
+    std::string outDir = ".";
+    /** Structured results sink; empty disables it. */
+    std::string resultsPath;
+    /** Per-scenario progress lines on stderr. */
+    bool progress = true;
+};
+
+/** Machine-readable outcome of one bench run (JSON sink unit). */
+struct BenchRunSummary
+{
+    std::string name;
+    std::size_t scenarios = 0;
+    std::size_t failures = 0;
+    std::size_t rows = 0;
+    /** Host wall clock of the sweep (not deterministic). */
+    double wallSeconds = 0.0;
+    /** Aggregated deterministic metrics (see RunContext::metric). */
+    std::vector<std::pair<std::string, double>> metrics;
+};
+
+/**
+ * Expand @p only ("fig09,fig11"; empty = all) against the registry.
+ * Unknown names are reported through @p error and yield an empty
+ * selection. Matching accepts both exact names and unique prefixes,
+ * so `--only fig09` selects fig09_covert_bandwidth.
+ */
+std::vector<const BenchSpec *>
+selectBenches(const BenchRegistry &registry, const std::string &only,
+              std::string *error);
+
+/**
+ * Run one bench: expand its default scenarios for @p opt.seed, fan
+ * them out over @p opt.threads workers, replay display blocks and
+ * rows to @p out, and write `<outDir>/<name>.csv` when the spec has
+ * a CSV header.
+ */
+BenchRunSummary runBench(const BenchSpec &spec, const BenchOptions &opt,
+                         std::FILE *out);
+
+/**
+ * Write the structured results sink: schema
+ * `gpubox-bench-results/v1`, run-level seed/threads/wall clock and
+ * one entry per bench (scenarios, failures, rows, wall_seconds,
+ * aggregated metrics).
+ */
+void writeResultsJson(const std::string &path, const BenchOptions &opt,
+                      double totalWallSeconds,
+                      const std::vector<BenchRunSummary> &summaries);
+
+/**
+ * main() body of a per-figure thin wrapper: parse the standard bench
+ * command line ([seed] [--seed N] [--threads N] [--out-dir D]
+ * [--results F]) and run the single registered bench @p name.
+ */
+int benchMain(const std::string &name, int argc, char **argv);
+
+/**
+ * main() body of the `gpubox_bench` driver: `--list`, `--only a,b`,
+ * plus the standard bench options; runs the selection sequentially
+ * (each bench internally parallel) and writes the results sink
+ * (default BENCH_results.json).
+ */
+int benchDriverMain(int argc, char **argv);
+
+} // namespace gpubox::exp
+
+#endif // GPUBOX_EXP_REGISTRY_HH

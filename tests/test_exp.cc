@@ -14,6 +14,7 @@
 #include <sstream>
 
 #include "exp/experiment_runner.hh"
+#include "exp/registry.hh"
 #include "exp/scenario.hh"
 #include "rt/runtime.hh"
 #include "test_common.hh"
@@ -225,6 +226,229 @@ TEST(ExperimentRunner, FailuresAreIsolatedAndOrdered)
     ASSERT_EQ(rows.size(), 2u);
     EXPECT_EQ(rows[0][0], "ok1");
     EXPECT_EQ(rows[1][0], "ok2");
+}
+
+TEST(ExperimentRunner, TextsAndMetricsAreCollected)
+{
+    exp::Scenario base;
+    base.name = "m";
+    auto scenarios = exp::ScenarioMatrix(base)
+                         .axis("k", {{"a", noop()}, {"b", noop()}})
+                         .expand();
+
+    exp::ExperimentRunner runner({2, /*progress=*/false});
+    auto report = runner.run(
+        scenarios, [](const exp::Scenario &sc, exp::RunContext &ctx) {
+            ctx.text("block " + sc.paramOr("k") + "\n");
+            ctx.metric("shared", 2.0);
+            ctx.metric("only_" + sc.paramOr("k"), 1.0);
+        });
+
+    ASSERT_EQ(report.results.size(), 2u);
+    EXPECT_EQ(report.results[0].texts,
+              std::vector<std::string>{"block a\n"});
+    EXPECT_EQ(report.results[1].texts,
+              std::vector<std::string>{"block b\n"});
+    // Sums are taken across scenarios; keys keep first-seen order.
+    EXPECT_DOUBLE_EQ(report.metricSum("shared"), 4.0);
+    EXPECT_DOUBLE_EQ(report.metricSum("only_a"), 1.0);
+    EXPECT_DOUBLE_EQ(report.metricSum("absent"), 0.0);
+    auto agg = report.aggregateMetrics();
+    ASSERT_EQ(agg.size(), 3u);
+    EXPECT_EQ(agg[0].first, "shared");
+    EXPECT_DOUBLE_EQ(agg[0].second, 4.0);
+    EXPECT_EQ(agg[1].first, "only_a");
+    EXPECT_EQ(agg[2].first, "only_b");
+}
+
+/** A tiny registrable bench doing real simulation work. */
+exp::BenchSpec
+simBenchSpec(const std::string &name)
+{
+    exp::BenchSpec spec;
+    spec.name = name;
+    spec.description = "synthetic " + name;
+    spec.csvHeader = {"name", "seed",   "latency_sum", "steps",
+                      "cycles", "r0", "r1"};
+    spec.scenarios = [name](std::uint64_t seed) {
+        exp::Scenario base;
+        base.name = name;
+        base.seed = seed;
+        base.system = test::smallConfig(seed);
+        return exp::ScenarioMatrix(base)
+            .axis("rep", {{"a", noop()}, {"b", noop()}})
+            .expand();
+    };
+    spec.run = simScenario;
+    spec.render = [](const exp::Report &report, std::FILE *out) {
+        std::fprintf(out, "  rows: %zu\n", report.allRows().size());
+    };
+    return spec;
+}
+
+TEST(BenchRegistry, AddFindListAndDuplicates)
+{
+    exp::BenchRegistry registry;
+    EXPECT_EQ(registry.size(), 0u);
+    registry.add(simBenchSpec("alpha"));
+    registry.add(simBenchSpec("beta"));
+
+    ASSERT_NE(registry.find("alpha"), nullptr);
+    EXPECT_EQ(registry.find("alpha")->name, "alpha");
+    EXPECT_EQ(registry.find("nope"), nullptr);
+
+    auto all = registry.list();
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_EQ(all[0]->name, "alpha");
+    EXPECT_EQ(all[1]->name, "beta");
+
+    EXPECT_THROW(registry.add(simBenchSpec("alpha")), FatalError);
+    exp::BenchSpec unnamed = simBenchSpec("x");
+    unnamed.name.clear();
+    EXPECT_THROW(registry.add(std::move(unnamed)), FatalError);
+    exp::BenchSpec norun = simBenchSpec("y");
+    norun.run = nullptr;
+    EXPECT_THROW(registry.add(std::move(norun)), FatalError);
+}
+
+TEST(BenchRegistry, GlobalInstanceIsASingleton)
+{
+    // The suite itself registers from bench/suite (not linked into
+    // the tests; its count is pinned by the bench_registry_count
+    // ctest entry); here only the instance identity is checked.
+    auto &a = exp::BenchRegistry::instance();
+    auto &b = exp::BenchRegistry::instance();
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(BenchRegistry, OnlyFilterSelectsExactPrefixAndReportsUnknown)
+{
+    exp::BenchRegistry registry;
+    registry.add(simBenchSpec("fig09_covert_bandwidth"));
+    registry.add(simBenchSpec("fig10_covert_message"));
+    registry.add(simBenchSpec("perf_sim"));
+
+    std::string error;
+    // Empty selection = everything, registration order.
+    auto all = exp::selectBenches(registry, "", &error);
+    EXPECT_TRUE(error.empty());
+    ASSERT_EQ(all.size(), 3u);
+
+    // Exact names, comma separated, deduplicated.
+    auto two = exp::selectBenches(
+        registry, "perf_sim,fig10_covert_message,perf_sim", &error);
+    EXPECT_TRUE(error.empty());
+    ASSERT_EQ(two.size(), 2u);
+    EXPECT_EQ(two[0]->name, "perf_sim");
+    EXPECT_EQ(two[1]->name, "fig10_covert_message");
+
+    // Unique prefix resolves; ambiguous or unknown prefixes error.
+    auto pre = exp::selectBenches(registry, "fig09", &error);
+    EXPECT_TRUE(error.empty());
+    ASSERT_EQ(pre.size(), 1u);
+    EXPECT_EQ(pre[0]->name, "fig09_covert_bandwidth");
+
+    auto ambiguous = exp::selectBenches(registry, "fig", &error);
+    EXPECT_TRUE(ambiguous.empty());
+    EXPECT_NE(error.find("ambiguous"), std::string::npos);
+
+    auto unknown = exp::selectBenches(registry, "fig99", &error);
+    EXPECT_TRUE(unknown.empty());
+    EXPECT_NE(error.find("unknown"), std::string::npos);
+}
+
+/** Drain a tmpfile-backed stream into a string. */
+std::string
+slurpStream(std::FILE *f)
+{
+    std::fflush(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::string out;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    return out;
+}
+
+TEST(BenchRegistry, TwoBenchRunIsDeterministicAcrossThreadCounts)
+{
+    setLogEnabled(false);
+    exp::BenchRegistry registry;
+    registry.add(simBenchSpec("det_a"));
+    registry.add(simBenchSpec("det_b"));
+
+    std::string stdout_ref, csv_a_ref, csv_b_ref;
+    for (unsigned threads : {1u, 8u}) {
+        exp::BenchOptions opt;
+        opt.seed = 7;
+        opt.threads = threads;
+        opt.outDir = ".";
+        opt.progress = false;
+
+        std::FILE *out = std::tmpfile();
+        ASSERT_NE(out, nullptr);
+        std::vector<exp::BenchRunSummary> summaries;
+        for (const exp::BenchSpec *spec : registry.list())
+            summaries.push_back(exp::runBench(*spec, opt, out));
+
+        ASSERT_EQ(summaries.size(), 2u);
+        for (const auto &s : summaries) {
+            EXPECT_EQ(s.failures, 0u);
+            EXPECT_EQ(s.scenarios, 2u);
+            EXPECT_EQ(s.rows, 2u);
+        }
+
+        const std::string text = slurpStream(out);
+        std::fclose(out);
+        const std::string csv_a = slurp("det_a.csv");
+        const std::string csv_b = slurp("det_b.csv");
+        EXPECT_FALSE(text.empty());
+        EXPECT_FALSE(csv_a.empty());
+        if (threads == 1) {
+            stdout_ref = text;
+            csv_a_ref = csv_a;
+            csv_b_ref = csv_b;
+        } else {
+            // Byte-identical stdout and CSVs for any --threads.
+            EXPECT_EQ(text, stdout_ref);
+            EXPECT_EQ(csv_a, csv_a_ref);
+            EXPECT_EQ(csv_b, csv_b_ref);
+        }
+    }
+    std::remove("det_a.csv");
+    std::remove("det_b.csv");
+}
+
+TEST(BenchRegistry, ResultsJsonIsPopulated)
+{
+    setLogEnabled(false);
+    exp::BenchRegistry registry;
+    registry.add(simBenchSpec("json_bench"));
+
+    exp::BenchOptions opt;
+    opt.seed = 11;
+    opt.threads = 2;
+    opt.progress = false;
+
+    std::FILE *out = std::tmpfile();
+    ASSERT_NE(out, nullptr);
+    auto summary =
+        exp::runBench(*registry.find("json_bench"), opt, out);
+    std::fclose(out);
+
+    const std::string path = "test_exp_results.json";
+    exp::writeResultsJson(path, opt, 1.5, {summary});
+    const std::string js = slurp(path);
+    std::remove(path.c_str());
+    std::remove("json_bench.csv");
+
+    EXPECT_NE(js.find("\"schema\": \"gpubox-bench-results/v1\""),
+              std::string::npos);
+    EXPECT_NE(js.find("\"seed\": 11"), std::string::npos);
+    EXPECT_NE(js.find("\"name\": \"json_bench\""), std::string::npos);
+    EXPECT_NE(js.find("\"scenarios\": 2"), std::string::npos);
+    EXPECT_NE(js.find("\"failures\": 0"), std::string::npos);
 }
 
 } // namespace
