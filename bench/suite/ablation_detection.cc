@@ -45,7 +45,7 @@ runDetection(const exp::Scenario &sc, exp::RunContext &ctx)
         defense::LinkMonitor monitor(rt, 0, 1, mon_cfg);
         monitor.start();
         rt::Process &benign = rt.createProcess("benign");
-        rt.enablePeerAccess(benign, 1, 0);
+        rt.enablePeerAccess(benign, 1, 0).orFatal();
         const std::uint32_t line = rt.config().device.l2.lineBytes;
         const VAddr buf = rt.deviceMalloc(benign, 0, 512 * line);
         auto kernel = [&, buf, line](rt::BlockCtx &bctx) -> sim::Task {
@@ -55,8 +55,9 @@ runDetection(const exp::Scenario &sc, exp::RunContext &ctx)
         };
         gpu::KernelConfig kcfg;
         kcfg.name = "benign-remote";
-        auto h = rt.launch(benign, 1, kcfg, kernel);
-        rt.runUntilDone(h);
+        rt::Stream &stream = rt.stream(benign, 1);
+        stream.launch(kcfg, kernel);
+        rt.sync(stream);
         monitor.stop();
         peak_rate = monitor.peakRate();
         flagged = monitor.attackFlagged();
@@ -102,9 +103,12 @@ runDetection(const exp::Scenario &sc, exp::RunContext &ctx)
                                           pcfg);
         attack::side::Memorygram gram(pcfg.monitoredSets,
                                       prober.numWindows());
-        auto h =
-            prober.launch(gram, setup.rt->engine().now() + 10000);
-        setup.rt->runUntilDone(h);
+        rt::Stream &spy_stream =
+            setup.rt->createStream(*setup.remote, 1, "det-prober");
+        prober.prime(spy_stream);
+        prober.monitor(spy_stream, gram,
+                       setup.rt->engine().now() + 10000);
+        setup.rt->sync(spy_stream);
         monitor.stop();
         peak_rate = monitor.peakRate();
         flagged = monitor.attackFlagged();

@@ -63,9 +63,12 @@ runCondition(const exp::Scenario &sc, exp::RunContext &ctx)
             fcfg.numBlocks = 2 * setup.rt->config().device.numSms;
             fcfg.threadsPerBlock = 1000;
             fcfg.sharedMemBytes = 32 * 1024;
-            fillers = setup.rt->launch(
-                *setup.local, 0, fcfg,
-                [](rt::BlockCtx &bctx) -> sim::Task {
+            // Dedicated stream: the fillers must overlap the trojan
+            // kernel already running on this process' default stream.
+            rt::Stream &filler_stream =
+                setup.rt->createStream(*setup.local, 0, "sm-filler");
+            fillers = filler_stream.launch(
+                fcfg, [](rt::BlockCtx &bctx) -> sim::Task {
                     while (!bctx.stopRequested())
                         co_await bctx.compute(256);
                 });
@@ -102,10 +105,10 @@ runCondition(const exp::Scenario &sc, exp::RunContext &ctx)
         fillers.requestStop();
     if (sc.defense.coTenantNoise) {
         noise_handle.requestStop();
-        setup.rt->runUntilDone(noise_handle);
+        setup.rt->sync(noise_handle);
     }
     if (sc.attack.smSaturation)
-        setup.rt->runUntilDone(fillers);
+        setup.rt->sync(fillers);
 
     ctx.row(sc.paramOr("condition"), 100.0 * stats.errorRate,
             stats.bandwidthMbitPerSec, noise_started_during_tx);

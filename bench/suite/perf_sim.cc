@@ -108,6 +108,9 @@ runRuntimeLdcg(const exp::Scenario &sc)
     const VAddr buf =
         rt.deviceMalloc(p, 0, static_cast<std::uint64_t>(n) * line);
 
+    // All launches queue on one stream and drain FIFO; the single
+    // sync at the end replaces the old per-launch runUntilDone.
+    rt::Stream &stream = rt.stream(p, 0);
     std::uint64_t latency_sum = 0;
     for (int l = 0; l < launches; ++l) {
         auto kernel = [&](rt::BlockCtx &bctx) -> sim::Task {
@@ -118,9 +121,9 @@ runRuntimeLdcg(const exp::Scenario &sc)
             }
         };
         gpu::KernelConfig kcfg;
-        auto h = rt.launch(p, 0, kcfg, kernel);
-        rt.runUntilDone(h);
+        stream.launch(kcfg, kernel);
     }
+    rt.sync(stream);
 
     PerfMetrics m;
     const auto metrics = rt.metrics();
@@ -145,6 +148,7 @@ runGroupProbe(const exp::Scenario &sc)
     for (int i = 0; i < lines_n; ++i)
         lines.push_back(buf + i * line);
 
+    rt::Stream &stream = rt.stream(p, 0);
     std::uint64_t probe_sum = 0;
     for (int l = 0; l < launches; ++l) {
         auto kernel = [&](rt::BlockCtx &bctx) -> sim::Task {
@@ -154,9 +158,9 @@ runGroupProbe(const exp::Scenario &sc)
             }
         };
         gpu::KernelConfig kcfg;
-        auto h = rt.launch(p, 0, kcfg, kernel);
-        rt.runUntilDone(h);
+        stream.launch(kcfg, kernel);
     }
+    rt.sync(stream);
 
     PerfMetrics m;
     const auto metrics = rt.metrics();

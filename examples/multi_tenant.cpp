@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Multi-tenant overlap demo -- the scenario the stream/event API
+ * exists for and the old launch()+runUntilDone() pattern could not
+ * express: TWO victim processes time-share GPU 0 while a spy on GPU 1
+ * monitors GPU 0's L2 through NVLink, all overlapped in simulated
+ * time.
+ *
+ * Orchestration is pure CUDA idiom: the spy primes its eviction sets
+ * and records an event; both victim streams wait on that event, so
+ * the victims start exactly when monitoring is ready (no tuned delay
+ * constants); events around each victim kernel give per-tenant
+ * runtimes via Event::elapsed.
+ *
+ *   ./build/examples/multi_tenant
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "attack/evset_finder.hh"
+#include "attack/side/memorygram.hh"
+#include "attack/side/prober.hh"
+#include "attack/timing_oracle.hh"
+#include "rt/runtime.hh"
+#include "victim/workload.hh"
+
+using namespace gpubox;
+
+int
+main()
+{
+    setLogEnabled(false);
+
+    rt::SystemConfig config; // the DGX-1
+    config.seed = 57;
+    rt::Runtime rt(config);
+
+    rt::Process &spy = rt.createProcess("spy");
+    rt::Process &tenant_a = rt.createProcess("tenantA");
+    rt::Process &tenant_b = rt.createProcess("tenantB");
+
+    std::printf("calibrating + building eviction sets over the shared "
+                "GPU 0...\n");
+    attack::TimingOracle oracle(rt, spy);
+    auto calib = oracle.calibrate(/*spy gpu=*/1, /*victim gpu=*/0);
+    attack::EvictionSetFinder finder(rt, spy, 1, 0, calib.thresholds);
+    finder.run();
+
+    attack::side::ProberConfig pcfg;
+    pcfg.monitoredSets = 64;
+    pcfg.samplePeriod = 8000;
+    pcfg.windowCycles = 12000;
+    pcfg.duration = 1600000;
+    attack::side::RemoteProber prober(rt, spy, 1, finder,
+                                      calib.thresholds, pcfg);
+    attack::side::Memorygram gram(pcfg.monitoredSets,
+                                  prober.numWindows());
+
+    // One stream per tenant process plus the spy's stream; events
+    // stage the cross-stream dependencies.
+    rt::Stream &spy_stream = rt.createStream(spy, 1, "spy");
+    rt::Stream &a_stream = rt.createStream(tenant_a, 0, "tenantA");
+    rt::Stream &b_stream = rt.createStream(tenant_b, 0, "tenantB");
+    rt::Event &primed = rt.createEvent("primed");
+    rt::Event &a_begin = rt.createEvent("a-begin");
+    rt::Event &a_end = rt.createEvent("a-end");
+    rt::Event &b_begin = rt.createEvent("b-begin");
+    rt::Event &b_end = rt.createEvent("b-end");
+
+    // Spy: prime -> record -> monitor, all queued up front.
+    const Cycles t0 = rt.engine().now() + 2 * pcfg.samplePeriod;
+    prober.prime(spy_stream);
+    spy_stream.record(primed);
+    auto monitor_handle = prober.monitor(spy_stream, gram, t0);
+
+    // Tenant A streams vectoradd, tenant B multiplies matrices; both
+    // wait for the spy's priming event, then overlap on GPU 0.
+    victim::WorkloadConfig wcfg_a;
+    wcfg_a.seed = 11;
+    wcfg_a.iterations = 3;
+    victim::Workload app_a(rt, tenant_a, 0, victim::AppKind::VECTOR_ADD,
+                           wcfg_a);
+    victim::WorkloadConfig wcfg_b;
+    wcfg_b.seed = 22;
+    victim::Workload app_b(rt, tenant_b, 0, victim::AppKind::MATRIX_MUL,
+                           wcfg_b);
+
+    a_stream.wait(primed);
+    a_stream.record(a_begin);
+    app_a.launch(a_stream);
+    a_stream.record(a_end);
+
+    b_stream.wait(primed);
+    b_stream.record(b_begin);
+    app_b.launch(b_stream);
+    b_stream.record(b_end);
+
+    std::printf("running 2 tenants + 1 spy, three streams "
+                "overlapped...\n\n");
+    rt.sync(a_stream);
+    rt.sync(b_stream);
+    monitor_handle.requestStop();
+    rt.sync(spy_stream);
+
+    const double ghz = rt.timing().clockGhz;
+    const auto ms = [ghz](Cycles c) {
+        return static_cast<double>(c) / (ghz * 1e6);
+    };
+    std::printf("  both tenants released by event '%s' at cycle %llu\n",
+                primed.name().c_str(),
+                static_cast<unsigned long long>(primed.when()));
+    std::printf("  tenant A (vectoradd):  %8.3f ms simulated\n",
+                ms(a_end.elapsed(a_begin)));
+    std::printf("  tenant B (matrixmul):  %8.3f ms simulated\n",
+                ms(b_end.elapsed(b_begin)));
+    const Cycles overlap_start =
+        std::max(a_begin.when(), b_begin.when());
+    const Cycles overlap_end = std::min(a_end.when(), b_end.when());
+    std::printf("  co-residency window:   %8.3f ms (both tenants "
+                "active)\n\n",
+                ms(overlap_end > overlap_start
+                       ? overlap_end - overlap_start
+                       : 0));
+
+    std::printf("spy memorygram of the mixed tenants (stream front + "
+                "tile bursts superposed):\n");
+    HeatmapOptions opt;
+    opt.maxRows = 16;
+    opt.maxCols = 80;
+    std::printf("%s", gram.trimmed().render(opt).c_str());
+    std::printf("\ntotal misses observed: %llu; the spy separated "
+                "neither tenant's traffic from the other's -- it sees "
+                "the union of both L2 footprints.\n",
+                static_cast<unsigned long long>(gram.totalMisses()));
+    return 0;
+}

@@ -39,8 +39,9 @@ main()
     const VAddr remote = rt.deviceMalloc(proc, 1, n * line);
 
     // Peer access works only between NVLink-connected GPUs -- exactly
-    // like cudaDeviceEnablePeerAccess on the real box.
-    rt.enablePeerAccess(proc, 0, 1);
+    // like cudaDeviceEnablePeerAccess on the real box (and like it,
+    // the call returns a typed status instead of aborting).
+    rt.enablePeerAccess(proc, 0, 1).orFatal();
 
     RunningStats local_cold, local_warm, remote_cold, remote_warm;
 
@@ -63,10 +64,13 @@ main()
         }
     };
 
+    // Kernels launch asynchronously on CUDA-style streams; the host
+    // joins the queue with sync(), as cudaStreamSynchronize would.
     gpu::KernelConfig cfg;
     cfg.name = "quickstart";
-    auto handle = rt.launch(proc, 0, cfg, kernel);
-    rt.runUntilDone(handle);
+    rt::Stream &stream = rt.stream(proc, 0);
+    stream.launch(cfg, kernel);
+    rt.sync(stream);
 
     std::printf("\naccess latencies measured from GPU 0 (cycles):\n");
     std::printf("  %-28s mean %7.1f  [%5.0f, %5.0f]\n", "local  L2 miss (HBM):",

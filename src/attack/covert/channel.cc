@@ -135,12 +135,16 @@ CovertChannel::transmit(const std::vector<std::uint8_t> &bits,
     scfg.threadsPerBlock = config_.spyThreads;
     scfg.sharedMemBytes = config_.sharedMemBytes;
 
-    auto trojan = rt_.launch(trojanProc_, trojanGpu_, tcfg, trojan_kernel);
-    auto spy = rt_.launch(spyProc_, spyGpu_, scfg, spy_kernel);
+    // One stream per side: the trojan primes while the spy probes,
+    // overlapped in simulated time; the host joins both queues.
+    rt::Stream &tstream = rt_.stream(trojanProc_, trojanGpu_);
+    rt::Stream &sstream = rt_.stream(spyProc_, spyGpu_);
+    tstream.launch(tcfg, trojan_kernel);
+    sstream.launch(scfg, spy_kernel);
     if (after_launch)
         after_launch();
-    rt_.runUntilDone(trojan);
-    rt_.runUntilDone(spy);
+    rt_.sync(tstream);
+    rt_.sync(sstream);
 
     // Reassemble the interleaved bit streams.
     received.assign(bits.size(), 0);

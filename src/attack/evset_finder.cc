@@ -12,7 +12,9 @@ EvictionSetFinder::EvictionSetFinder(rt::Runtime &rt, rt::Process &proc,
                                      const TimingThresholds &thresholds,
                                      const FinderConfig &config)
     : rt_(rt), proc_(proc), execGpu_(exec_gpu), memGpu_(mem_gpu),
-      thresholds_(thresholds), config_(config)
+      thresholds_(thresholds), config_(config),
+      probeStream_(rt.createStream(proc, exec_gpu,
+                                   proc.name() + ".evset-probe"))
 {
     lineBytes_ = rt_.config().device.l2.lineBytes;
     pageBytes_ = rt_.config().pageBytes;
@@ -23,7 +25,7 @@ EvictionSetFinder::EvictionSetFinder(rt::Runtime &rt, rt::Process &proc,
             fatal("eviction set finder: GPUs ", exec_gpu, " and ", mem_gpu,
                   " are not NVLink peers");
         if (!proc.peerEnabled(exec_gpu, mem_gpu))
-            rt_.enablePeerAccess(proc, exec_gpu, mem_gpu);
+            rt_.enablePeerAccess(proc, exec_gpu, mem_gpu).orFatal();
     }
     pool_ = rt_.deviceMalloc(proc_, mem_gpu,
                              static_cast<std::uint64_t>(config_.poolPages) *
@@ -71,8 +73,8 @@ EvictionSetFinder::targetEvictedBy(VAddr target,
     gpu::KernelConfig cfg;
     cfg.name = "evset-chase";
     cfg.sharedMemBytes = config_.sharedMemBytes;
-    auto handle = rt_.launch(proc_, execGpu_, cfg, kernel);
-    rt_.runUntilDone(handle);
+    probeStream_.launch(cfg, kernel);
+    rt_.sync(probeStream_);
     ++launches_;
     ++probes_;
     return isMiss(static_cast<double>(reprobe));
@@ -349,8 +351,8 @@ EvictionSetFinder::aliasTest(const EvictionSet &a, const EvictionSet &b)
     gpu::KernelConfig cfg;
     cfg.name = "alias-test";
     cfg.sharedMemBytes = config_.sharedMemBytes;
-    auto handle = rt_.launch(proc_, execGpu_, cfg, kernel);
-    rt_.runUntilDone(handle);
+    probeStream_.launch(cfg, kernel);
+    rt_.sync(probeStream_);
     ++launches_;
     probes_ += combined.size();
 

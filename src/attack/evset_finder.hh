@@ -161,6 +161,8 @@ class EvictionSetFinder
     GpuId memGpu_;
     TimingThresholds thresholds_;
     FinderConfig config_;
+    /** Probe kernels run back-to-back on one dedicated stream. */
+    rt::Stream &probeStream_;
 
     VAddr pool_ = 0;
     std::uint32_t lineBytes_;

@@ -41,8 +41,9 @@ EvictionSetValidator::sweep(const EvictionSet &set, unsigned max_lines)
         gpu::KernelConfig cfg;
         cfg.name = "evset-validate";
         cfg.sharedMemBytes = 16 * 1024;
-        auto handle = rt_.launch(proc_, execGpu_, cfg, kernel);
-        rt_.runUntilDone(handle);
+        rt::Stream &stream = rt_.stream(proc_, execGpu_);
+        stream.launch(cfg, kernel);
+        rt_.sync(stream);
 
         const double cycles = static_cast<double>(probe);
         series.linesAccessed.push_back(n);
@@ -76,8 +77,9 @@ EvictionSetValidator::cyclicTrace(const EvictionSet &set, unsigned k,
     gpu::KernelConfig cfg;
     cfg.name = "evset-cyclic";
     cfg.sharedMemBytes = 16 * 1024;
-    auto handle = rt_.launch(proc_, execGpu_, cfg, kernel);
-    rt_.runUntilDone(handle);
+    rt::Stream &stream = rt_.stream(proc_, execGpu_);
+    stream.launch(cfg, kernel);
+    rt_.sync(stream);
 
     std::vector<double> out;
     out.reserve(reps);

@@ -68,8 +68,9 @@ ReverseEngineer::discoverLineSize(std::uint32_t max_stride)
         gpu::KernelConfig cfg;
         cfg.name = "line-size";
         cfg.sharedMemBytes = 16 * 1024;
-        auto handle = rt_.launch(proc_, gpu_, cfg, kernel);
-        rt_.runUntilDone(handle);
+        rt::Stream &stream = rt_.stream(proc_, gpu_);
+        stream.launch(cfg, kernel);
+        rt_.sync(stream);
 
         if (thresholds_.isLocalMiss(static_cast<double>(second))) {
             // First stride that escapes the cached line.
@@ -113,8 +114,9 @@ ReverseEngineer::capacitySweep(const std::vector<std::uint64_t> &line_counts)
         gpu::KernelConfig cfg;
         cfg.name = "capacity-sweep";
         cfg.sharedMemBytes = 16 * 1024;
-        auto handle = rt_.launch(proc_, gpu_, cfg, kernel);
-        rt_.runUntilDone(handle);
+        rt::Stream &stream = rt_.stream(proc_, gpu_);
+        stream.launch(cfg, kernel);
+        rt_.sync(stream);
 
         points.push_back(CapacityPoint{
             count, static_cast<double>(misses) /

@@ -55,12 +55,16 @@ SetAligner::testPair(const EvictionSet &trojan_set,
     scfg.threadsPerBlock = 1024;
     scfg.sharedMemBytes = config_.sharedMemBytes;
 
-    auto trojan = rt_.launch(trojanProc_, trojanGpu_, tcfg, trojan_kernel);
-    auto spy = rt_.launch(spyProc_, spyGpu_, scfg, spy_kernel);
+    // Trojan and spy overlap on their own per-process streams; the
+    // spy's completion bounds the run, then the trojan is stopped.
+    rt::Stream &tstream = rt_.stream(trojanProc_, trojanGpu_);
+    rt::Stream &sstream = rt_.stream(spyProc_, spyGpu_);
+    auto trojan = tstream.launch(tcfg, trojan_kernel);
+    sstream.launch(scfg, spy_kernel);
 
-    rt_.runUntilDone(spy);
+    rt_.sync(sstream);
     trojan.requestStop();
-    rt_.runUntilDone(trojan);
+    rt_.sync(tstream);
 
     AlignmentRun run;
     run.avgProbeCycles = samples ? sum / static_cast<double>(samples) : 0.0;

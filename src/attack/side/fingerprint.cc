@@ -17,7 +17,11 @@ Fingerprinter::Fingerprinter(rt::Runtime &rt, rt::Process &spy_proc,
                              const FingerprintConfig &config)
     : rt_(rt), spyProc_(spy_proc), spyGpu_(spy_gpu),
       victimProc_(victim_proc), victimGpu_(victim_gpu), finder_(finder),
-      thresholds_(thresholds), config_(config)
+      thresholds_(thresholds), config_(config),
+      spyStream_(rt.createStream(spy_proc, spy_gpu, "fp-prober")),
+      victimStream_(
+          rt.createStream(victim_proc, victim_gpu, "fp-victim")),
+      primed_(rt.createEvent("fp-primed"))
 {}
 
 Memorygram
@@ -28,19 +32,25 @@ Fingerprinter::collectSample(victim::AppKind kind, std::uint64_t seed)
 
     Memorygram gram(config_.prober.monitoredSets, prober.numWindows());
 
+    // Spy stream: prime every monitored set, mark the instant with an
+    // event, then monitor. The victim's stream waits on that event, so
+    // "the victim starts once the prober has primed" is expressed as a
+    // cross-stream dependency instead of a startDelayCycles guess.
+    // The streams and the event are re-recorded every sample.
     const Cycles t0 = rt_.engine().now() + 2 * config_.prober.samplePeriod;
-    auto prober_handle = prober.launch(gram, t0);
+    prober.prime(spyStream_);
+    spyStream_.record(primed_);
+    auto prober_handle = prober.monitor(spyStream_, gram, t0);
 
     victim::WorkloadConfig wcfg;
     wcfg.seed = seed;
-    // The victim starts once the prober is priming.
-    wcfg.startDelayCycles = 3 * config_.prober.samplePeriod;
     victim::Workload workload(rt_, victimProc_, victimGpu_, kind, wcfg);
-    auto victim_handle = workload.launch();
+    victimStream_.wait(primed_);
+    auto victim_handle = workload.launch(victimStream_);
 
-    rt_.runUntilDone(victim_handle);
+    rt_.sync(victim_handle);
     prober_handle.requestStop();
-    rt_.runUntilDone(prober_handle);
+    rt_.sync(spyStream_);
     return gram;
 }
 

@@ -94,6 +94,11 @@ class Fingerprinter
     const EvictionSetFinder &finder_;
     TimingThresholds thresholds_;
     FingerprintConfig config_;
+    /** Collection streams and the priming event, reused by every
+     *  sample (streams live for the runtime's lifetime). */
+    rt::Stream &spyStream_;
+    rt::Stream &victimStream_;
+    rt::Event &primed_;
 };
 
 } // namespace gpubox::attack::side

@@ -16,7 +16,11 @@ ModelExtractor::ModelExtractor(rt::Runtime &rt, rt::Process &spy_proc,
                                const ExtractionConfig &config)
     : rt_(rt), spyProc_(spy_proc), spyGpu_(spy_gpu),
       victimProc_(victim_proc), victimGpu_(victim_gpu), finder_(finder),
-      thresholds_(thresholds), config_(config)
+      thresholds_(thresholds), config_(config),
+      spyStream_(rt.createStream(spy_proc, spy_gpu, "mx-prober")),
+      victimStream_(
+          rt.createStream(victim_proc, victim_gpu, "mx-victim")),
+      primed_(rt.createEvent("mx-primed"))
 {}
 
 ExtractionRun
@@ -31,19 +35,24 @@ ModelExtractor::observe(unsigned neurons, unsigned epochs)
     run.gram = Memorygram(config_.prober.monitoredSets,
                           prober.numWindows());
 
+    // Same stream/event staging as the fingerprinter: the training
+    // victim's stream releases only after the prober's prime pass.
+    // Streams and event are members, re-recorded per observed run.
     const Cycles t0 = rt_.engine().now() + 2 * config_.prober.samplePeriod;
-    auto prober_handle = prober.launch(run.gram, t0);
+    prober.prime(spyStream_);
+    spyStream_.record(primed_);
+    auto prober_handle = prober.monitor(spyStream_, run.gram, t0);
 
     victim::MlpConfig mcfg = config_.mlpBase;
     mcfg.hiddenNeurons = neurons;
     mcfg.epochs = epochs;
-    mcfg.startDelayCycles = 3 * config_.prober.samplePeriod;
     victim::MlpTrainer trainer(rt_, victimProc_, victimGpu_, mcfg);
-    auto victim_handle = trainer.launch();
+    victimStream_.wait(primed_);
+    auto victim_handle = trainer.launch(victimStream_);
 
-    rt_.runUntilDone(victim_handle);
+    rt_.sync(victim_handle);
     prober_handle.requestStop();
-    rt_.runUntilDone(prober_handle);
+    rt_.sync(spyStream_);
 
     run.totalMisses = run.gram.totalMisses();
     run.avgMissesPerSet = run.gram.avgMissesPerSet();

@@ -98,6 +98,11 @@ class ModelExtractor
     const EvictionSetFinder &finder_;
     TimingThresholds thresholds_;
     ExtractionConfig config_;
+    /** Collection streams and the priming event, reused by every
+     *  observed run (streams live for the runtime's lifetime). */
+    rt::Stream &spyStream_;
+    rt::Stream &victimStream_;
+    rt::Event &primed_;
 };
 
 } // namespace gpubox::attack::side

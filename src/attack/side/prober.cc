@@ -5,12 +5,12 @@
 namespace gpubox::attack::side
 {
 
-RemoteProber::RemoteProber(rt::Runtime &rt, rt::Process &spy_proc,
+RemoteProber::RemoteProber(rt::Runtime &, rt::Process &spy_proc,
                            GpuId spy_gpu, const EvictionSetFinder &finder,
                            const TimingThresholds &thresholds,
                            const ProberConfig &config)
-    : rt_(rt), spyProc_(spy_proc), spyGpu_(spy_gpu),
-      thresholds_(thresholds), config_(config)
+    : spyProc_(spy_proc), spyGpu_(spy_gpu), thresholds_(thresholds),
+      config_(config)
 {
     if (finder.numGroups() == 0)
         fatal("RemoteProber: the eviction set finder has not run");
@@ -45,33 +45,72 @@ RemoteProber::monitoredSet(std::size_t i) const
     return sets_.at(i);
 }
 
-rt::KernelHandle
-RemoteProber::launch(Memorygram &out, Cycles t0)
+unsigned
+RemoteProber::numBlocks() const
 {
+    return config_.blocks ? config_.blocks
+                          : static_cast<unsigned>(sets_.size());
+}
+
+std::vector<std::size_t>
+RemoteProber::setsOfBlock(unsigned bid) const
+{
+    // Sets assigned to this block, round-robin.
+    std::vector<std::size_t> mine;
+    for (std::size_t s = bid; s < sets_.size(); s += numBlocks())
+        mine.push_back(s);
+    return mine;
+}
+
+void
+RemoteProber::checkStream(const rt::Stream &stream) const
+{
+    if (&stream.process() != &spyProc_ || stream.gpu() != spyGpu_) {
+        fatal("RemoteProber: stream '", stream.name(),
+              "' does not belong to spy process '", spyProc_.name(),
+              "' on GPU ", spyGpu_);
+    }
+}
+
+rt::KernelHandle
+RemoteProber::prime(rt::Stream &stream)
+{
+    checkStream(stream);
+    auto kernel = [this](rt::BlockCtx &ctx) -> sim::Task {
+        const std::vector<std::size_t> mine =
+            setsOfBlock(ctx.blockIdx());
+        if (mine.empty())
+            co_return;
+        // Make every assigned set resident once; dependent streams
+        // key off the event recorded after this kernel.
+        for (std::size_t s : mine)
+            co_await ctx.probeSet(sets_[s].lines);
+    };
+
+    gpu::KernelConfig cfg;
+    cfg.name = "side-prime";
+    cfg.numBlocks = numBlocks();
+    cfg.threadsPerBlock = 32;
+    cfg.sharedMemBytes = config_.sharedMemBytes;
+    return stream.launch(cfg, kernel);
+}
+
+rt::KernelHandle
+RemoteProber::monitor(rt::Stream &stream, Memorygram &out, Cycles t0)
+{
+    checkStream(stream);
     if (out.numSets() != sets_.size() || out.numWindows() < numWindows())
         fatal("RemoteProber: memorygram shape (", out.numSets(), "x",
               out.numWindows(), ") does not fit ", sets_.size(), "x",
               numWindows());
 
-    const unsigned blocks = config_.blocks
-                                ? config_.blocks
-                                : static_cast<unsigned>(sets_.size());
+    const unsigned blocks = numBlocks();
 
     auto kernel = [this, &out, t0, blocks](rt::BlockCtx &ctx) -> sim::Task {
         const unsigned bid = ctx.blockIdx();
-        // Sets assigned to this block, round-robin.
-        std::vector<std::size_t> mine;
-        for (std::size_t s = bid; s < sets_.size(); s += blocks)
-            mine.push_back(s);
+        const std::vector<std::size_t> mine = setsOfBlock(bid);
         if (mine.empty())
             co_return;
-
-        co_await ctx.waitUntil(t0 > config_.samplePeriod
-                                   ? t0 - config_.samplePeriod
-                                   : 0);
-        // Initial prime of every assigned set.
-        for (std::size_t s : mine)
-            co_await ctx.probeSet(sets_[s].lines);
 
         const Cycles end = t0 + config_.duration;
         // Stagger the blocks across the sample period so hundreds of
@@ -112,7 +151,7 @@ RemoteProber::launch(Memorygram &out, Cycles t0)
     cfg.numBlocks = blocks;
     cfg.threadsPerBlock = 32;
     cfg.sharedMemBytes = config_.sharedMemBytes;
-    return rt_.launch(spyProc_, spyGpu_, cfg, kernel);
+    return stream.launch(cfg, kernel);
 }
 
 } // namespace gpubox::attack::side

@@ -63,14 +63,24 @@ class RemoteProber
                  const ProberConfig &config = ProberConfig());
 
     /**
-     * Launch the prober blocks. Monitoring covers
-     * [t0, t0 + config.duration); the memorygram has
-     * duration/windowCycles windows.
+     * Enqueue the initial prime kernel on @p stream: every monitored
+     * set is made resident once. Record an event after it to stage
+     * dependent work (e.g. the victim's stream) on the priming
+     * completing -- the CUDA-native replacement for the old
+     * startDelayCycles guesswork.
+     */
+    rt::KernelHandle prime(rt::Stream &stream);
+
+    /**
+     * Enqueue the monitoring kernel on @p stream (stream order puts it
+     * after prime()). Monitoring covers [t0, t0 + config.duration);
+     * the memorygram has duration/windowCycles windows.
      *
      * @param out memorygram sized (monitoredSets, numWindows())
      * @param t0 absolute start time
      */
-    rt::KernelHandle launch(Memorygram &out, Cycles t0);
+    rt::KernelHandle monitor(rt::Stream &stream, Memorygram &out,
+                             Cycles t0);
 
     std::size_t numWindows() const;
 
@@ -80,7 +90,14 @@ class RemoteProber
     const ProberConfig &config() const { return config_; }
 
   private:
-    rt::Runtime &rt_;
+    unsigned numBlocks() const;
+
+    /** Monitored-set indices a block owns (round-robin). */
+    std::vector<std::size_t> setsOfBlock(unsigned bid) const;
+
+    /** fatal() unless @p stream belongs to the spy process and GPU. */
+    void checkStream(const rt::Stream &stream) const;
+
     rt::Process &spyProc_;
     GpuId spyGpu_;
     TimingThresholds thresholds_;

@@ -59,8 +59,9 @@ TimingOracle::measureBuffer(GpuId exec_gpu, VAddr buffer, int first_line,
     gpu::KernelConfig cfg;
     cfg.name = "timing-oracle";
     cfg.sharedMemBytes = 16 * 1024;
-    auto handle = rt_.launch(proc_, exec_gpu, cfg, kernel);
-    rt_.runUntilDone(handle);
+    rt::Stream &stream = rt_.stream(proc_, exec_gpu);
+    stream.launch(cfg, kernel);
+    rt_.sync(stream);
 
     for (int i = 0; i < count; ++i) {
         cold.push_back(static_cast<double>(cold_times[i]));
@@ -76,7 +77,7 @@ TimingOracle::calibrate(GpuId local_gpu, GpuId remote_gpu,
         fatal("timing oracle requires NVLink-connected GPUs, got ",
               local_gpu, " and ", remote_gpu);
 
-    rt_.enablePeerAccess(proc_, local_gpu, remote_gpu);
+    rt_.enablePeerAccess(proc_, local_gpu, remote_gpu).orFatal();
 
     const std::uint32_t line = rt_.config().device.l2.lineBytes;
     const std::uint64_t bytes_needed = static_cast<std::uint64_t>(rounds) *

@@ -82,13 +82,14 @@ usageExit(const char *argv0, const std::string &msg, bool driver)
         std::fprintf(
             stderr,
             "usage: %s [--list] [--only a,b] [seed] [--seed N]\n"
-            "          [--threads N] [--out-dir D] [--results F]\n"
-            "          [--no-results] [--quiet]\n",
+            "          [--threads N] [--repeat N] [--out-dir D]\n"
+            "          [--results F] [--no-results] [--quiet]\n",
             argv0);
     } else {
         std::fprintf(stderr,
                      "usage: %s [seed] [--seed N] [--threads N] "
-                     "[--out-dir D] [--results F] [--quiet]\n",
+                     "[--repeat N] [--out-dir D] [--results F] "
+                     "[--quiet]\n",
                      argv0);
     }
     std::exit(2);
@@ -131,6 +132,12 @@ parseDriverArgs(int argc, char **argv, bool driver)
         else if (a == "--threads")
             args.opt.threads =
                 static_cast<unsigned>(parse_u64(a, next_val()));
+        else if (a == "--repeat") {
+            args.opt.repeat =
+                static_cast<unsigned>(parse_u64(a, next_val()));
+            if (args.opt.repeat == 0)
+                usageExit(argv[0], "--repeat must be >= 1", driver);
+        }
         else if (a == "--out-dir")
             args.opt.outDir = next_val();
         else if (a == "--results")
@@ -241,7 +248,25 @@ runBench(const BenchSpec &spec, const BenchOptions &opt, std::FILE *out)
                  scenarios.size(), opt.seed);
 
     ExperimentRunner runner({opt.threads, opt.progress});
+    const unsigned repeat = opt.repeat ? opt.repeat : 1;
     const Report report = runner.run(scenarios, spec.run);
+
+    // Extra repeats tighten the wall-clock estimate; by the
+    // determinism contract they must reproduce run 0 exactly, so the
+    // comparison doubles as a free nondeterminism check.
+    double wall_min = report.wallSeconds;
+    double wall_sum = report.wallSeconds;
+    for (unsigned r = 1; r < repeat; ++r) {
+        const Report again = runner.run(scenarios, spec.run);
+        wall_min = std::min(wall_min, again.wallSeconds);
+        wall_sum += again.wallSeconds;
+        if (again.allRows() != report.allRows()) {
+            std::fprintf(stderr,
+                         "[repeat] WARNING: %s produced different rows "
+                         "on repeat %u -- nondeterministic bench?\n",
+                         spec.name.c_str(), r);
+        }
+    }
 
     report.printTexts(out);
     if (spec.render)
@@ -253,7 +278,9 @@ runBench(const BenchSpec &spec, const BenchOptions &opt, std::FILE *out)
     summary.scenarios = report.results.size();
     summary.failures = report.failures();
     summary.rows = report.allRows().size();
-    summary.wallSeconds = report.wallSeconds;
+    summary.repeats = repeat;
+    summary.wallSeconds = wall_min;
+    summary.wallSecondsMean = wall_sum / repeat;
     summary.metrics = report.aggregateMetrics();
 
     if (!spec.csvHeader.empty()) {
@@ -269,9 +296,10 @@ runBench(const BenchSpec &spec, const BenchOptions &opt, std::FILE *out)
     }
 
     std::fprintf(stderr,
-                 "[wall] %-32s %8.2fs on %u thread(s), %zu failures\n",
-                 spec.name.c_str(), report.wallSeconds,
-                 runner.threads(), report.failures());
+                 "[wall] %-32s %8.2fs on %u thread(s), %u repeat(s), "
+                 "%zu failures\n",
+                 spec.name.c_str(), summary.wallSeconds,
+                 runner.threads(), repeat, report.failures());
     return summary;
 }
 
@@ -288,6 +316,7 @@ writeResultsJson(const std::string &path, const BenchOptions &opt,
     js << "  \"schema\": \"gpubox-bench-results/v1\",\n";
     js << "  \"seed\": " << opt.seed << ",\n";
     js << "  \"threads\": " << opt.threads << ",\n";
+    js << "  \"repeat\": " << (opt.repeat ? opt.repeat : 1) << ",\n";
     js << "  \"wall_seconds_total\": " << jsonNumber(totalWallSeconds)
        << ",\n";
     js << "  \"benches\": [\n";
@@ -298,8 +327,11 @@ writeResultsJson(const std::string &path, const BenchOptions &opt,
         js << "      \"scenarios\": " << s.scenarios << ",\n";
         js << "      \"failures\": " << s.failures << ",\n";
         js << "      \"rows\": " << s.rows << ",\n";
+        js << "      \"repeats\": " << s.repeats << ",\n";
         js << "      \"wall_seconds\": " << jsonNumber(s.wallSeconds)
            << ",\n";
+        js << "      \"wall_seconds_mean\": "
+           << jsonNumber(s.wallSecondsMean) << ",\n";
         js << "      \"metrics\": {";
         for (std::size_t m = 0; m < s.metrics.size(); ++m) {
             js << (m ? ", " : "") << "\""

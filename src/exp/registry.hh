@@ -84,6 +84,14 @@ struct BenchOptions
     std::string resultsPath;
     /** Per-scenario progress lines on stderr. */
     bool progress = true;
+    /**
+     * Times each bench sweep is executed. Display output and CSVs come
+     * from the first run only (they are identical by the determinism
+     * contract -- later runs are checked against it); the results sink
+     * reports min/mean wall_seconds over all runs for a less noisy
+     * perf trajectory.
+     */
+    unsigned repeat = 1;
 };
 
 /** Machine-readable outcome of one bench run (JSON sink unit). */
@@ -93,8 +101,12 @@ struct BenchRunSummary
     std::size_t scenarios = 0;
     std::size_t failures = 0;
     std::size_t rows = 0;
-    /** Host wall clock of the sweep (not deterministic). */
+    /** Repeats executed (BenchOptions::repeat). */
+    unsigned repeats = 1;
+    /** Minimum host wall clock over the repeats (not deterministic). */
     double wallSeconds = 0.0;
+    /** Mean host wall clock over the repeats. */
+    double wallSecondsMean = 0.0;
     /** Aggregated deterministic metrics (see RunContext::metric). */
     std::vector<std::pair<std::string, double>> metrics;
 };
@@ -120,9 +132,10 @@ BenchRunSummary runBench(const BenchSpec &spec, const BenchOptions &opt,
 
 /**
  * Write the structured results sink: schema
- * `gpubox-bench-results/v1`, run-level seed/threads/wall clock and
- * one entry per bench (scenarios, failures, rows, wall_seconds,
- * aggregated metrics).
+ * `gpubox-bench-results/v1`, run-level seed/threads/repeat/wall clock
+ * and one entry per bench (scenarios, failures, rows, repeats,
+ * wall_seconds = min over repeats, wall_seconds_mean, aggregated
+ * metrics).
  */
 void writeResultsJson(const std::string &path, const BenchOptions &opt,
                       double totalWallSeconds,

@@ -1,5 +1,7 @@
 #include "mem/virtual_space.hh"
 
+#include <algorithm>
+
 #include "util/bitops.hh"
 
 namespace gpubox::mem
@@ -94,6 +96,51 @@ VirtualSpace::bytePtr(VAddr va, std::uint64_t len) const
         fatal("VirtualSpace: access of ", len, " bytes at offset ", off,
               " overruns allocation of ", region.alloc.size, " bytes");
     return region.bytes.data() + off;
+}
+
+const std::uint8_t *
+VirtualSpace::spanPtr(VAddr va, std::uint64_t max_len,
+                      std::uint64_t &span_len) const
+{
+    auto it = regions_.upper_bound(va);
+    if (it == regions_.begin())
+        fatal("VirtualSpace: access to unmapped address 0x", std::hex, va);
+    --it;
+    const Region &region = it->second;
+    const VAddr off = va - region.alloc.base;
+    if (off >= region.alloc.size)
+        fatal("VirtualSpace: access to unmapped address 0x", std::hex, va);
+    span_len = std::min<std::uint64_t>(max_len, region.alloc.size - off);
+    return region.bytes.data() + off;
+}
+
+void
+VirtualSpace::copyBytes(VAddr dst, VAddr src, std::uint64_t len)
+{
+    while (len > 0) {
+        std::uint64_t src_span = 0;
+        std::uint64_t dst_span = 0;
+        const std::uint8_t *sp = spanPtr(src, len, src_span);
+        auto *dp = const_cast<std::uint8_t *>(spanPtr(dst, len, dst_span));
+        const std::uint64_t n = std::min(src_span, dst_span);
+        // memmove: src and dst may overlap inside one allocation.
+        std::memmove(dp, sp, n);
+        src += n;
+        dst += n;
+        len -= n;
+    }
+}
+
+void
+VirtualSpace::setBytes(VAddr dst, std::uint8_t value, std::uint64_t len)
+{
+    while (len > 0) {
+        std::uint64_t span = 0;
+        auto *dp = const_cast<std::uint8_t *>(spanPtr(dst, len, span));
+        std::memset(dp, value, span);
+        dst += span;
+        len -= span;
+    }
 }
 
 } // namespace gpubox::mem

@@ -85,9 +85,26 @@ class VirtualSpace
 
     std::uint64_t bytesAllocated() const { return bytesAllocated_; }
 
+    /**
+     * @name Bulk backing-store access (DMA engines)
+     * Chunked span resolution -- one region lookup per contiguous
+     * run instead of per byte. Every touched byte must be mapped.
+     * @{
+     */
+    void copyBytes(VAddr dst, VAddr src, std::uint64_t len);
+    void setBytes(VAddr dst, std::uint8_t value, std::uint64_t len);
+    /** @} */
+
   private:
     /** Pointer into the backing store; checks bounds of the access. */
     const std::uint8_t *bytePtr(VAddr va, std::uint64_t len) const;
+
+    /**
+     * Longest contiguous backing-store run at @p va (capped at
+     * @p max_len), written to @p span_len; fatal() when unmapped.
+     */
+    const std::uint8_t *spanPtr(VAddr va, std::uint64_t max_len,
+                                std::uint64_t &span_len) const;
 
     struct Region
     {

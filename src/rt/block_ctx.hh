@@ -28,6 +28,7 @@ namespace gpubox::rt
 
 class Runtime;
 class Process;
+class Stream;
 class BlockCtx;
 
 /** Value + latency of one device memory operation. */
@@ -147,6 +148,8 @@ class BlockCtx
   public:
     Runtime &runtime() { return *rt_; }
     Process &process() { return *proc_; }
+    /** The stream this block's launch was enqueued on. */
+    Stream &stream() { return *stream_; }
     GpuId gpu() const { return gpu_; }
     SmId sm() const { return sm_; }
     std::uint32_t blockIdx() const { return blockIdx_; }
@@ -242,6 +245,7 @@ class BlockCtx
   private:
     Runtime *rt_ = nullptr;
     Process *proc_ = nullptr;
+    Stream *stream_ = nullptr;
     GpuId gpu_ = -1;
     SmId sm_ = -1;
     std::uint32_t blockIdx_ = 0;

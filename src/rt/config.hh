@@ -63,6 +63,17 @@ struct TimingParams
     Cycles l2PortQueuePerExtra = 2;
     /** @} */
 
+    /**
+     * @name Stream-ordered DMA (memcpyAsync/memsetAsync)
+     * Copy-engine model: fixed launch overhead plus a bulk bandwidth
+     * term. The values approximate an HBM-to-HBM copy engine; a
+     * cross-GPU copy additionally pays one NVLink traversal.
+     * @{
+     */
+    Cycles dmaSetupCycles = 800;
+    std::uint32_t dmaBytesPerCycle = 32;
+    /** @} */
+
     /** Simulated core clock, used to convert cycles to seconds. */
     double clockGhz = 1.48;
 };

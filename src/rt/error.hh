@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Typed status results for the host API, mirroring cudaError_t.
+ *
+ * Recoverable host-API failures (a peer-access request between
+ * unconnected GPUs, for example) return a Status the caller can
+ * inspect, exactly like the CUDA runtime returns cudaErrorInvalidDevice
+ * instead of terminating the process. Callers that cannot continue
+ * convert a bad Status into the classic fatal() path with orFatal().
+ */
+
+#ifndef GPUBOX_RT_ERROR_HH
+#define GPUBOX_RT_ERROR_HH
+
+#include <string>
+#include <utility>
+
+#include "util/log.hh"
+
+namespace gpubox::rt
+{
+
+/** Error category of a host-API call, cudaError_t style. */
+enum class StatusCode
+{
+    Ok,
+    /** A GPU id outside the box. */
+    InvalidDevice,
+    /** Source and destination device are the same. */
+    SameDevice,
+    /** The GPUs share no direct NVLink (single hop). */
+    NotConnected,
+};
+
+/** Stable short name for logs and tests. */
+constexpr const char *
+statusName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok:
+        return "Ok";
+      case StatusCode::InvalidDevice:
+        return "InvalidDevice";
+      case StatusCode::SameDevice:
+        return "SameDevice";
+      case StatusCode::NotConnected:
+        return "NotConnected";
+    }
+    return "Unknown";
+}
+
+/** Thrown by Status::orFatal(); a FatalError so existing handlers and
+ *  test expectations keep working. */
+class Error : public FatalError
+{
+  public:
+    Error(StatusCode code, const std::string &msg)
+        : FatalError(msg), code_(code)
+    {}
+
+    StatusCode code() const { return code_; }
+
+  private:
+    StatusCode code_;
+};
+
+/** Result of a fallible host-API call. */
+class [[nodiscard]] Status
+{
+  public:
+    static Status
+    okStatus()
+    {
+        return Status(StatusCode::Ok, "");
+    }
+
+    static Status
+    error(StatusCode code, std::string msg)
+    {
+        return Status(code, std::move(msg));
+    }
+
+    bool ok() const { return code_ == StatusCode::Ok; }
+    explicit operator bool() const { return ok(); }
+
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** Keep the old fatal() behaviour: throw rt::Error unless ok. */
+    void
+    orFatal() const
+    {
+        if (!ok())
+            throw Error(code_, message_);
+    }
+
+  private:
+    Status(StatusCode code, std::string msg)
+        : code_(code), message_(std::move(msg))
+    {}
+
+    StatusCode code_;
+    std::string message_;
+};
+
+} // namespace gpubox::rt
+
+#endif // GPUBOX_RT_ERROR_HH

@@ -1,0 +1,65 @@
+#include "rt/event.hh"
+
+#include <algorithm>
+
+#include "rt/process.hh"
+#include "rt/stream.hh"
+#include "util/log.hh"
+
+namespace gpubox::rt
+{
+
+Event::Event(Runtime &rt, int id, std::string name)
+    : rt_(&rt), id_(id), name_(std::move(name))
+{}
+
+Cycles
+Event::when() const
+{
+    if (!fired_)
+        fatal("Event::when: event '", name_, "' has not completed");
+    return time_;
+}
+
+Cycles
+Event::elapsed(const Event &earlier) const
+{
+    if (!fired_ || !earlier.fired_)
+        fatal("Event::elapsed: both events must have completed "
+              "(this='", name_, "' earlier='", earlier.name_, "')");
+    if (earlier.time_ > time_)
+        fatal("Event::elapsed: event '", earlier.name_,
+              "' completed after '", name_, "'");
+    return time_ - earlier.time_;
+}
+
+void
+Event::fire(Cycles now)
+{
+    fired_ = true;
+    time_ = now;
+    if (pendingRecords_ > 0)
+        --pendingRecords_;
+
+    // Release every parked stream in (process id, stream id) order so
+    // same-instant wakeups are deterministic regardless of the order
+    // the waits were registered in.
+    std::vector<Stream *> woken;
+    woken.swap(waiters_);
+    std::sort(woken.begin(), woken.end(),
+              [](const Stream *a, const Stream *b) {
+                  if (a->process().id() != b->process().id())
+                      return a->process().id() < b->process().id();
+                  return a->id() < b->id();
+              });
+    for (Stream *s : woken)
+        s->opDone(); // completes the parked Wait op, dispatch resumes
+}
+
+void
+Event::addWaiter(Stream *s)
+{
+    waiters_.push_back(s);
+}
+
+} // namespace gpubox::rt

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * CUDA-style events over the simulated box.
+ *
+ * An Event is recorded into a Stream (cudaEventRecord): it completes,
+ * at the simulated instant all work enqueued before it on that stream
+ * has finished, and remembers that instant. Other streams can make
+ * their subsequent work depend on it (cudaStreamWaitEvent), and the
+ * host can block on it (Runtime::sync) or read simulated-cycle
+ * intervals between two completed events (cudaEventElapsedTime).
+ */
+
+#ifndef GPUBOX_RT_EVENT_HH
+#define GPUBOX_RT_EVENT_HH
+
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace gpubox::rt
+{
+
+class Runtime;
+class Stream;
+
+/** One timestamped cross-stream dependency token. */
+class Event
+{
+    friend class Runtime;
+    friend class Stream;
+
+  public:
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    int id() const { return id_; }
+    const std::string &name() const { return name_; }
+
+    /** @return true once a recorded occurrence has completed. */
+    bool completed() const { return fired_; }
+
+    /** @return true while a record is enqueued but not yet complete. */
+    bool pending() const { return pendingRecords_ > 0; }
+
+    /** Simulated cycle the event (last) completed at; fatal before. */
+    Cycles when() const;
+
+    /**
+     * Simulated cycles between @p earlier and this event
+     * (cudaEventElapsedTime, in cycles). Both must have completed.
+     */
+    Cycles elapsed(const Event &earlier) const;
+
+  private:
+    Event(Runtime &rt, int id, std::string name);
+
+    /** A record op reached the head of its stream: stamp and wake. */
+    void fire(Cycles now);
+
+    /** Park @p s until fire(); waiters wake ordered by
+     *  (process id, stream id) so cross-stream ties are deterministic. */
+    void addWaiter(Stream *s);
+
+    Runtime *rt_;
+    int id_;
+    std::string name_;
+    bool fired_ = false;
+    unsigned pendingRecords_ = 0;
+    Cycles time_ = 0;
+    std::vector<Stream *> waiters_;
+};
+
+} // namespace gpubox::rt
+
+#endif // GPUBOX_RT_EVENT_HH

@@ -10,6 +10,7 @@
 #include <set>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "mem/virtual_space.hh"
 #include "util/types.hh"
@@ -18,6 +19,7 @@ namespace gpubox::rt
 {
 
 class Runtime;
+class Stream;
 
 /** One user process with contexts on one or more GPUs. */
 class Process
@@ -41,6 +43,10 @@ class Process
     /** MIG slice this process' L2 traffic is confined to. */
     unsigned partition() const { return partition_; }
 
+    /** Streams created for this process, in creation order (used by
+     *  the deadlock diagnostics to walk a process' queues). */
+    const std::vector<Stream *> &streams() const { return streams_; }
+
   private:
     Process(int id, std::string name, const mem::AddressCodec &codec)
         : id_(id), name_(std::move(name)), space_(codec)
@@ -50,6 +56,7 @@ class Process
     std::string name_;
     mem::VirtualSpace space_;
     std::set<std::pair<GpuId, GpuId>> peers_;
+    std::vector<Stream *> streams_;
     unsigned partition_ = 0;
 };
 

@@ -9,22 +9,6 @@
 namespace gpubox::rt
 {
 
-bool
-KernelHandle::finished() const
-{
-    for (const BlockCtx *b : blocks_)
-        if (!b->finished())
-            return false;
-    return true;
-}
-
-void
-KernelHandle::requestStop()
-{
-    for (BlockCtx *b : blocks_)
-        b->requestStop();
-}
-
 Runtime::Runtime(const SystemConfig &config)
     : config_(config), codec_(config.pageBytes),
       jitterRng_(Rng(config.seed).split(0xc0ffee))
@@ -70,6 +54,48 @@ Runtime::createProcess(const std::string &name)
     return *processes_.back();
 }
 
+Stream &
+Runtime::createStream(Process &proc, GpuId gpu, const std::string &name)
+{
+    if (gpu < 0 || gpu >= numGpus())
+        fatal("createStream on invalid GPU ", gpu);
+    const int id = nextStreamId_++;
+    std::string n = name.empty() ? "p" + std::to_string(proc.id()) +
+                                       ".s" + std::to_string(id) +
+                                       ".g" + std::to_string(gpu)
+                                 : name;
+    streams_.push_back(std::unique_ptr<Stream>(
+        new Stream(*this, proc, gpu, id, std::move(n))));
+    Stream *s = streams_.back().get();
+    proc.streams_.push_back(s);
+    return *s;
+}
+
+Stream &
+Runtime::stream(Process &proc, GpuId gpu)
+{
+    const auto key = std::make_pair(proc.id(), gpu);
+    const auto it = defaultStreams_.find(key);
+    if (it != defaultStreams_.end())
+        return *it->second;
+    Stream &s = createStream(proc, gpu,
+                             "p" + std::to_string(proc.id()) +
+                                 ".default.g" + std::to_string(gpu));
+    defaultStreams_[key] = &s;
+    return s;
+}
+
+Event &
+Runtime::createEvent(const std::string &name)
+{
+    const int id = nextEventId_++;
+    std::string n =
+        name.empty() ? "event#" + std::to_string(id) : name;
+    events_.push_back(std::unique_ptr<Event>(
+        new Event(*this, id, std::move(n))));
+    return *events_.back();
+}
+
 VAddr
 Runtime::deviceMalloc(Process &proc, GpuId gpu, std::uint64_t bytes)
 {
@@ -96,20 +122,30 @@ Runtime::deviceFree(Process &proc, VAddr base)
     proc.space().release(base, *allocators_[gpu]);
 }
 
-void
+Status
 Runtime::enablePeerAccess(Process &proc, GpuId from, GpuId to)
 {
-    if (from < 0 || to < 0 || from >= numGpus() || to >= numGpus())
-        fatal("enablePeerAccess: invalid GPU pair (", from, ",", to, ")");
-    if (from == to)
-        fatal("enablePeerAccess: same device");
+    if (from < 0 || to < 0 || from >= numGpus() || to >= numGpus()) {
+        return Status::error(
+            StatusCode::InvalidDevice,
+            "enablePeerAccess: invalid GPU pair (" +
+                std::to_string(from) + "," + std::to_string(to) + ")");
+    }
+    if (from == to) {
+        return Status::error(StatusCode::SameDevice,
+                             "enablePeerAccess: same device");
+    }
     if (!config_.topology.connected(from, to)) {
         // The real CUDA runtime returns an error when the GPUs are not
         // connected by NVLink (paper Sec. III-A).
-        fatal("enablePeerAccess: GPUs ", from, " and ", to,
-              " are not connected by NVLink");
+        return Status::error(StatusCode::NotConnected,
+                             "enablePeerAccess: GPUs " +
+                                 std::to_string(from) + " and " +
+                                 std::to_string(to) +
+                                 " are not connected by NVLink");
     }
     proc.peers_.insert({from, to});
+    return Status::okStatus();
 }
 
 void
@@ -128,47 +164,88 @@ Runtime::assignPartition(Process &proc, unsigned slice)
     proc.partition_ = slice;
 }
 
-KernelHandle
-Runtime::launch(Process &proc, GpuId gpu, const gpu::KernelConfig &cfg,
-                KernelFn fn)
+std::vector<BlockCtx *>
+Runtime::makeBlocks(Stream &s, const gpu::KernelConfig &cfg)
 {
-    if (gpu < 0 || gpu >= numGpus())
-        fatal("launch on invalid GPU ", gpu);
-    if (cfg.numBlocks == 0)
-        fatal("launch with zero blocks");
-
-    KernelHandle handle;
-    const std::uint64_t kid = kernelCounter_++;
-    // The kernel body must outlive every suspended block coroutine:
-    // a coroutine created from a lambda keeps a reference to the
-    // closure object, so the per-launch copy lives on the heap for
-    // the runtime's lifetime.
-    auto fn_stable = std::make_shared<const KernelFn>(std::move(fn));
+    std::vector<BlockCtx *> blocks;
+    blocks.reserve(cfg.numBlocks);
     for (std::uint32_t b = 0; b < cfg.numBlocks; ++b) {
         blockCtxs_.push_back(std::make_unique<BlockCtx>());
         BlockCtx *ctx = blockCtxs_.back().get();
         ctx->rt_ = this;
-        ctx->proc_ = &proc;
-        ctx->gpu_ = gpu;
+        ctx->proc_ = &s.process();
+        ctx->stream_ = &s;
+        ctx->gpu_ = s.gpu();
         ctx->blockIdx_ = b;
         ctx->req_ = {cfg.threadsPerBlock, cfg.sharedMemBytes};
-        handle.blocks_.push_back(ctx);
+        blocks.push_back(ctx);
+    }
+    return blocks;
+}
 
-        const std::string name = cfg.name + "#" + std::to_string(kid) +
-                                 ".b" + std::to_string(b);
+void
+Runtime::startKernelOp(Stream &s, Stream::Op &op)
+{
+    // One shared countdown per launch: the op (and thus the stream)
+    // completes when the last block's coroutine finishes.
+    auto remaining = std::make_shared<std::size_t>(op.blocks.size());
+    const GpuId gpu = s.gpu();
+    for (std::size_t b = 0; b < op.blocks.size(); ++b) {
+        BlockCtx *ctx = op.blocks[b];
+        const std::string name = op.name + ".b" + std::to_string(b);
         auto sm = device(gpu).scheduler().tryPlace(ctx->req_);
         if (sm) {
-            startBlock(ctx, fn_stable, name, *sm);
+            startBlock(ctx, op.fn, name, *sm, &s, remaining);
         } else {
-            pending_[gpu].push_back(PendingBlock{ctx, fn_stable, name});
+            pending_[gpu].push_back(
+                PendingBlock{ctx, op.fn, name, &s, remaining});
         }
     }
-    return handle;
+}
+
+void
+Runtime::startTransferOp(Stream &s, const Stream::Op &op)
+{
+    const TimingParams &t = config_.timing;
+    const bool is_copy = op.kind == Stream::Op::Kind::Memcpy;
+    Process &proc = s.process();
+
+    Cycles cost = t.dmaSetupCycles +
+                  divCeil(op.bytes, static_cast<std::uint64_t>(
+                                        t.dmaBytesPerCycle));
+    if (is_copy) {
+        const GpuId dst_home = codec_.gpuOf(proc.space().translate(op.dst));
+        const GpuId src_home = codec_.gpuOf(proc.space().translate(op.src));
+        // Cross-GPU DMA pays one NVLink traversal (the bulk transfer
+        // pipelines behind it); the traffic is visible to link
+        // monitors like any other leg.
+        if (src_home != dst_home)
+            cost += fabric_->traverse(src_home, dst_home,
+                                      engine_->now());
+    }
+
+    const std::string name =
+        s.name() + (is_copy ? ".memcpy#" : ".memset#") +
+        std::to_string(transferCounter_++);
+    // Values move when the simulated transfer completes; gpubox data
+    // lives in the VirtualSpace (caches only track presence), so the
+    // DMA leaves L2 residency untouched.
+    auto body = [&proc, op, cost, is_copy](sim::ActorCtx &) -> sim::Task {
+        co_await sim::Delay{cost};
+        if (is_copy)
+            proc.space().copyBytes(op.dst, op.src, op.bytes);
+        else
+            proc.space().setBytes(op.dst, op.value, op.bytes);
+    };
+    sim::ActorCtx &actor =
+        engine_->spawn(name, std::move(body), engine_->now());
+    actor.setOnDone([&s](sim::ActorCtx &) { s.opDone(); });
 }
 
 void
 Runtime::startBlock(BlockCtx *ctx, const std::shared_ptr<const KernelFn> &fn,
-                    const std::string &name, SmId sm)
+                    const std::string &name, SmId sm, Stream *stream,
+                    const std::shared_ptr<std::size_t> &remaining)
 {
     ctx->sm_ = sm;
     ctx->kernelFn_ = fn; // pin the closure for the coroutine's lifetime
@@ -180,9 +257,12 @@ Runtime::startBlock(BlockCtx *ctx, const std::shared_ptr<const KernelFn> &fn,
     if (ctx->earlyStop_)
         actor.requestStop(); // stop arrived while the block was queued
     ctx->actor_ = &actor;
-    actor.setOnDone([this, gpu, sm, req](sim::ActorCtx &) {
+    actor.setOnDone([this, gpu, sm, req, stream,
+                     remaining](sim::ActorCtx &) {
         device(gpu).scheduler().release(sm, req);
         dispatchPending(gpu);
+        if (--*remaining == 0)
+            stream->opDone(); // the stream head advances
     });
 }
 
@@ -195,26 +275,76 @@ Runtime::dispatchPending(GpuId gpu)
         auto sm = device(gpu).scheduler().tryPlace(pb.ctx->req_);
         if (!sm)
             return;
-        startBlock(pb.ctx, pb.fn, pb.name, *sm);
+        startBlock(pb.ctx, pb.fn, pb.name, *sm, pb.stream, pb.remaining);
         queue.pop_front();
     }
 }
 
 void
-Runtime::runUntilDone(const KernelHandle &handle)
+Runtime::sync(Stream &s)
+{
+    while (!s.idle()) {
+        if (!engine_->stepOne())
+            reportDeadlock("stream '" + s.name() + "'");
+    }
+}
+
+void
+Runtime::sync(Event &e)
+{
+    // cudaEventSynchronize semantics: block on the most recent
+    // outstanding record; an event that already completed -- or was
+    // never recorded -- does not block.
+    while (e.pending()) {
+        if (!engine_->stepOne())
+            reportDeadlock("event '" + e.name() + "'");
+    }
+}
+
+void
+Runtime::sync(const KernelHandle &handle)
 {
     while (!handle.finished()) {
         if (!engine_->stepOne()) {
-            fatal("runUntilDone: engine idle but kernel not finished "
-                  "(blocks starved of SM resources?)");
+            std::size_t done = 0;
+            for (const BlockCtx *b : handle.blocks())
+                done += b->finished() ? 1 : 0;
+            reportDeadlock("kernel handle (" + std::to_string(done) +
+                           "/" + std::to_string(handle.blocks().size()) +
+                           " blocks finished)");
         }
     }
 }
 
 void
-Runtime::runAll()
+Runtime::syncAll()
 {
     engine_->run();
+    for (const auto &s : streams_) {
+        if (!s->idle())
+            reportDeadlock("all streams to drain");
+    }
+}
+
+void
+Runtime::reportDeadlock(const std::string &waitingFor)
+{
+    std::string msg = "sync deadlock: engine idle while waiting for " +
+                      waitingFor;
+    for (const auto &s : streams_) {
+        if (!s->idle())
+            msg += "\n  " + s->describeBlocked();
+    }
+    for (GpuId g = 0; g < numGpus(); ++g) {
+        for (const PendingBlock &pb : pending_[g]) {
+            msg += "\n  block '" + pb.name + "' of stream '" +
+                   pb.stream->name() + "' starved of SM resources on GPU " +
+                   std::to_string(g);
+        }
+    }
+    for (const std::string &a : engine_->unfinishedActorNames())
+        msg += "\n  unfinished actor '" + a + "'";
+    fatal(msg);
 }
 
 Runtime::SimMetrics

@@ -3,11 +3,16 @@
  * The gpubox runtime: the CUDA-like host API over the simulated box.
  *
  * Owns the simulation engine, the GPUs, the NVLink fabric, the page
- * allocators and every process. The central piece is memRead/memWrite,
- * which implement the NUMA caching rule the paper reverse engineers:
- * a physical page is cached in the L2 of the GPU that owns it, so a
- * remote access traverses NVLink both ways and hits/misses in the
- * *remote* L2 -- never the local one.
+ * allocators, every process and every stream/event. Work is enqueued
+ * asynchronously on rt::Stream objects (kernel launches, stream-
+ * ordered copies, event records) and the host blocks with
+ * Runtime::sync(stream|event|handle) or Runtime::syncAll().
+ *
+ * The central piece is memRead/memWrite, which implement the NUMA
+ * caching rule the paper reverse engineers: a physical page is cached
+ * in the L2 of the GPU that owns it, so a remote access traverses
+ * NVLink both ways and hits/misses in the *remote* L2 -- never the
+ * local one.
  */
 
 #ifndef GPUBOX_RT_RUNTIME_HH
@@ -15,8 +20,10 @@
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cache/indexer.hh"
@@ -26,39 +33,21 @@
 #include "noc/fabric.hh"
 #include "rt/block_ctx.hh"
 #include "rt/config.hh"
+#include "rt/error.hh"
+#include "rt/event.hh"
 #include "rt/process.hh"
+#include "rt/stream.hh"
 #include "sim/engine.hh"
 #include "util/contention.hh"
 
 namespace gpubox::rt
 {
 
-/** Kernel body: one coroutine per thread block. */
-using KernelFn = std::function<sim::Task(BlockCtx &)>;
-
-/** Handle to a launched kernel (all of its blocks). */
-class KernelHandle
-{
-    friend class Runtime;
-
-  public:
-    KernelHandle() = default;
-
-    /** @return true when every block's coroutine has completed. */
-    bool finished() const;
-
-    /** Cooperatively stop all blocks (they must poll stopRequested). */
-    void requestStop();
-
-    const std::vector<BlockCtx *> &blocks() const { return blocks_; }
-
-  private:
-    std::vector<BlockCtx *> blocks_;
-};
-
 /** The box. */
 class Runtime
 {
+    friend class Stream;
+
   public:
     explicit Runtime(const SystemConfig &config);
     ~Runtime();
@@ -82,6 +71,23 @@ class Runtime
     Process &createProcess(const std::string &name);
 
     /**
+     * Create an ordered work queue for @p proc on @p gpu
+     * (cudaStreamCreate). Streams are owned by the runtime and live as
+     * long as it does.
+     */
+    Stream &createStream(Process &proc, GpuId gpu,
+                         const std::string &name = "");
+
+    /**
+     * The per-(process, GPU) default stream, created on first use --
+     * the queue a plain `kernel<<<...>>>` launch would go to.
+     */
+    Stream &stream(Process &proc, GpuId gpu);
+
+    /** Create an event (cudaEventCreate). Owned by the runtime. */
+    Event &createEvent(const std::string &name = "");
+
+    /**
      * Allocate device memory physically resident on @p gpu (pages come
      * from that GPU's randomized frame pool).
      */
@@ -91,10 +97,12 @@ class Runtime
 
     /**
      * Enable peer access from @p from to @p to. Mirrors the CUDA
-     * behaviour on the DGX-1: fatal() unless the GPUs share a direct
-     * NVLink (single hop).
+     * behaviour on the DGX-1: an error Status unless the GPUs share a
+     * direct NVLink (single hop), exactly like
+     * cudaDeviceEnablePeerAccess returns cudaErrorInvalidDevice.
+     * Callers that cannot continue chain .orFatal().
      */
-    void enablePeerAccess(Process &proc, GpuId from, GpuId to);
+    Status enablePeerAccess(Process &proc, GpuId from, GpuId to);
 
     /**
      * MIG-style L2 way partitioning (paper Sec. VII): split every
@@ -124,19 +132,23 @@ class Runtime
         return proc.space().read<T>(addr);
     }
 
-    /**
-     * Launch a kernel on @p gpu: one actor per block, placed on SMs by
-     * the leftover policy. Blocks that do not fit wait until resident
-     * blocks finish.
-     */
-    KernelHandle launch(Process &proc, GpuId gpu,
-                        const gpu::KernelConfig &cfg, KernelFn fn);
+    /** @} */
 
-    /** Drive the engine until the kernel finishes; fatal on deadlock. */
-    void runUntilDone(const KernelHandle &handle);
+    /** @name Host-side synchronization @{ */
 
-    /** Drive the engine until all actors complete. */
-    void runAll();
+    /** Drive the engine until @p s drained (cudaStreamSynchronize);
+     *  fatal with a blocked-stream diagnosis on deadlock. */
+    void sync(Stream &s);
+
+    /** Drive the engine until @p e completed (cudaEventSynchronize). */
+    void sync(Event &e);
+
+    /** Drive the engine until every block of @p handle finished. */
+    void sync(const KernelHandle &handle);
+
+    /** Drive the engine until every stream is idle
+     *  (cudaDeviceSynchronize across the box). */
+    void syncAll();
 
     /** @} */
 
@@ -182,6 +194,9 @@ class Runtime
         BlockCtx *ctx;
         std::shared_ptr<const KernelFn> fn;
         std::string name;
+        /** Stream notified when the whole launch completes. */
+        Stream *stream;
+        std::shared_ptr<std::size_t> remaining;
     };
 
     /** Compute latency and touch caches/links for one access. */
@@ -195,7 +210,20 @@ class Runtime
      * inside it for the block's whole lifetime.
      */
     void startBlock(BlockCtx *ctx, const std::shared_ptr<const KernelFn> &fn,
-                    const std::string &name, SmId sm);
+                    const std::string &name, SmId sm, Stream *stream,
+                    const std::shared_ptr<std::size_t> &remaining);
+
+    /** Stream front-op starters (called from Stream::dispatch). @{ */
+    void startKernelOp(Stream &s, Stream::Op &op);
+    void startTransferOp(Stream &s, const Stream::Op &op);
+    /** @} */
+
+    /** Create the BlockCtx objects of one launch at enqueue time. */
+    std::vector<BlockCtx *> makeBlocks(Stream &s,
+                                       const gpu::KernelConfig &cfg);
+
+    /** fatal() with every blocked stream/actor named. */
+    [[noreturn]] void reportDeadlock(const std::string &waitingFor);
 
     SystemConfig config_;
     mem::AddressCodec codec_;
@@ -207,10 +235,16 @@ class Runtime
     std::vector<ContentionMeter> l2Ports_;
     std::deque<std::unique_ptr<Process>> processes_;
     std::deque<std::unique_ptr<BlockCtx>> blockCtxs_;
+    std::deque<std::unique_ptr<Stream>> streams_;
+    std::deque<std::unique_ptr<Event>> events_;
+    std::map<std::pair<int, GpuId>, Stream *> defaultStreams_;
     std::vector<std::deque<PendingBlock>> pending_; // per GPU
     Rng jitterRng_;
     int nextProcessId_ = 0;
+    int nextStreamId_ = 0;
+    int nextEventId_ = 0;
     std::uint64_t kernelCounter_ = 0;
+    std::uint64_t transferCounter_ = 0;
 };
 
 } // namespace gpubox::rt

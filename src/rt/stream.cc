@@ -1,0 +1,200 @@
+#include "rt/stream.hh"
+
+#include "rt/event.hh"
+#include "rt/runtime.hh"
+#include "util/log.hh"
+
+namespace gpubox::rt
+{
+
+bool
+KernelHandle::finished() const
+{
+    for (const BlockCtx *b : blocks_)
+        if (!b->finished())
+            return false;
+    return true;
+}
+
+void
+KernelHandle::requestStop()
+{
+    for (BlockCtx *b : blocks_)
+        b->requestStop();
+}
+
+Stream::Stream(Runtime &rt, Process &proc, GpuId gpu, int id,
+               std::string name)
+    : rt_(&rt), proc_(&proc), gpu_(gpu), id_(id), name_(std::move(name))
+{}
+
+KernelHandle
+Stream::launch(const gpu::KernelConfig &cfg, KernelFn fn)
+{
+    if (cfg.numBlocks == 0)
+        fatal("launch with zero blocks on stream '", name_, "'");
+    if (!fn)
+        fatal("launch with empty kernel on stream '", name_, "'");
+
+    Op op;
+    op.kind = Op::Kind::Kernel;
+    op.blocks = rt_->makeBlocks(*this, cfg);
+    op.fn = std::make_shared<const KernelFn>(std::move(fn));
+    // Same actor naming scheme as ever: <kernel>#<launch>.b<block>.
+    op.name = cfg.name + "#" + std::to_string(rt_->kernelCounter_++);
+
+    KernelHandle handle;
+    handle.blocks_ = op.blocks;
+    enqueue(std::move(op));
+    return handle;
+}
+
+void
+Stream::memcpyAsync(VAddr dst, VAddr src, std::uint64_t bytes)
+{
+    if (bytes == 0)
+        return;
+    // Translate both ends now so an unmapped range fails at the call
+    // site, not inside a later engine step.
+    proc_->space().translate(src);
+    proc_->space().translate(src + bytes - 1);
+    proc_->space().translate(dst);
+    proc_->space().translate(dst + bytes - 1);
+
+    Op op;
+    op.kind = Op::Kind::Memcpy;
+    op.dst = dst;
+    op.src = src;
+    op.bytes = bytes;
+    enqueue(std::move(op));
+}
+
+void
+Stream::memsetAsync(VAddr dst, std::uint8_t value, std::uint64_t bytes)
+{
+    if (bytes == 0)
+        return;
+    proc_->space().translate(dst);
+    proc_->space().translate(dst + bytes - 1);
+
+    Op op;
+    op.kind = Op::Kind::Memset;
+    op.dst = dst;
+    op.value = value;
+    op.bytes = bytes;
+    enqueue(std::move(op));
+}
+
+void
+Stream::record(Event &event)
+{
+    Op op;
+    op.kind = Op::Kind::Record;
+    op.event = &event;
+    ++event.pendingRecords_;
+    enqueue(std::move(op));
+}
+
+void
+Stream::wait(Event &event)
+{
+    Op op;
+    op.kind = Op::Kind::Wait;
+    op.event = &event;
+    enqueue(std::move(op));
+}
+
+void
+Stream::enqueue(Op op)
+{
+    queue_.push_back(std::move(op));
+    dispatch();
+}
+
+void
+Stream::dispatch()
+{
+    while (!inFlight_ && !queue_.empty()) {
+        Op &op = queue_.front();
+        switch (op.kind) {
+          case Op::Kind::Kernel:
+            inFlight_ = true;
+            rt_->startKernelOp(*this, op);
+            return;
+          case Op::Kind::Memcpy:
+          case Op::Kind::Memset:
+            inFlight_ = true;
+            rt_->startTransferOp(*this, op);
+            return;
+          case Op::Kind::Record:
+            // All prior work has drained: the event completes here, at
+            // the engine instant of the last completion.
+            op.event->fire(rt_->engine().now());
+            queue_.pop_front();
+            break;
+          case Op::Kind::Wait:
+            // Evaluated when the wait reaches the stream head: a wait
+            // parks only while a record is outstanding -- the stream
+            // must honour the *most recent* record, so a stale
+            // completion does not satisfy it. An event that was never
+            // recorded does not block (the CUDA no-op case).
+            if (!op.event->pending()) {
+                queue_.pop_front();
+                break;
+            }
+            inFlight_ = true;
+            waitingOnEvent_ = true;
+            op.event->addWaiter(this);
+            return;
+        }
+    }
+}
+
+void
+Stream::opDone()
+{
+    if (!inFlight_)
+        panic("stream '" + name_ + "': opDone with no op in flight");
+    inFlight_ = false;
+    waitingOnEvent_ = false;
+    queue_.pop_front();
+    dispatch();
+}
+
+std::string
+Stream::describeBlocked() const
+{
+    std::string out = "stream '" + name_ + "' (process '" +
+                      proc_->name() + "', GPU " + std::to_string(gpu_) +
+                      "): " + std::to_string(pendingOps()) +
+                      " pending op(s)";
+    if (queue_.empty())
+        return out;
+    const Op &op = queue_.front();
+    switch (op.kind) {
+      case Op::Kind::Kernel:
+        out += ", head kernel '" + op.name + "' (" +
+               std::to_string(op.blocks.size()) + " blocks)";
+        break;
+      case Op::Kind::Memcpy:
+        out += ", head memcpyAsync of " + std::to_string(op.bytes) +
+               " bytes";
+        break;
+      case Op::Kind::Memset:
+        out += ", head memsetAsync of " + std::to_string(op.bytes) +
+               " bytes";
+        break;
+      case Op::Kind::Record:
+        out += ", head record of event '" + op.event->name() + "'";
+        break;
+      case Op::Kind::Wait:
+        out += ", blocked waiting on event '" + op.event->name() +
+               "' (recorded: " + (op.event->completed() ? "yes" : "no") +
+               ", pending records: " +
+               std::to_string(op.event->pending() ? 1 : 0) + ")";
+        break;
+    }
+    return out;
+}
+
+} // namespace gpubox::rt

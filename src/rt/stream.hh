@@ -1,0 +1,177 @@
+/**
+ * @file
+ * CUDA-style streams over the simulated box.
+ *
+ * A Stream is an ordered work queue bound to one (process, GPU) pair:
+ * kernel launches, stream-ordered copies/memsets and event operations
+ * enqueued on it execute strictly in FIFO order, while work on
+ * different streams overlaps freely in simulated time -- exactly the
+ * concurrency model of the CUDA runtime the paper's attacks live in
+ * (an attacker process probes on its streams while victim processes
+ * run on theirs).
+ *
+ * Determinism: streams dispatch from host code and engine completion
+ * callbacks only, so for a fixed program the dispatch order is fixed;
+ * cross-stream ties (several streams released by one event) break by
+ * (process id, stream id, enqueue order).
+ */
+
+#ifndef GPUBOX_RT_STREAM_HH
+#define GPUBOX_RT_STREAM_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpu/kernel.hh"
+#include "sim/task.hh"
+#include "util/types.hh"
+
+namespace gpubox::rt
+{
+
+class BlockCtx;
+class Event;
+class Process;
+class Runtime;
+class Stream;
+
+/** Kernel body: one coroutine per thread block. */
+using KernelFn = std::function<sim::Task(BlockCtx &)>;
+
+/** Handle to a launched kernel (all of its blocks). */
+class KernelHandle
+{
+    friend class Runtime;
+    friend class Stream;
+
+  public:
+    KernelHandle() = default;
+
+    /** @return true when every block's coroutine has completed. */
+    bool finished() const;
+
+    /** Cooperatively stop all blocks (they must poll stopRequested). */
+    void requestStop();
+
+    const std::vector<BlockCtx *> &blocks() const { return blocks_; }
+
+  private:
+    std::vector<BlockCtx *> blocks_;
+};
+
+/** Per-(process, GPU) ordered work queue (cudaStream_t). */
+class Stream
+{
+    friend class Runtime;
+    friend class Event;
+
+  public:
+    Stream(const Stream &) = delete;
+    Stream &operator=(const Stream &) = delete;
+
+    int id() const { return id_; }
+    const std::string &name() const { return name_; }
+    Process &process() const { return *proc_; }
+    GpuId gpu() const { return gpu_; }
+
+    /**
+     * Enqueue a kernel launch: one actor per block, placed on SMs by
+     * the leftover policy once the launch reaches the stream head.
+     * Blocks that do not fit wait until resident blocks finish.
+     */
+    KernelHandle launch(const gpu::KernelConfig &cfg, KernelFn fn);
+
+    /**
+     * Stream-ordered copy of @p bytes from @p src to @p dst inside the
+     * owning process' address space (cudaMemcpyAsync). The copy engine
+     * charges dmaSetupCycles + bytes / dmaBytesPerCycle and, when the
+     * pages live on different GPUs, one NVLink traversal; values land
+     * when the simulated transfer completes. Data values in gpubox
+     * live in the VirtualSpace (caches track presence for timing
+     * only), so DMA does not disturb L2 residency.
+     */
+    void memcpyAsync(VAddr dst, VAddr src, std::uint64_t bytes);
+
+    /** Stream-ordered fill of @p bytes at @p dst (cudaMemsetAsync). */
+    void memsetAsync(VAddr dst, std::uint8_t value, std::uint64_t bytes);
+
+    /** Record @p event: it completes when all prior work has
+     *  (cudaEventRecord). */
+    void record(Event &event);
+
+    /** All later work on this stream waits for @p event
+     *  (cudaStreamWaitEvent). The wait parks while a record of the
+     *  event is outstanding (including a re-record after an earlier
+     *  completion); waiting on an event with no record outstanding is
+     *  a no-op, as in CUDA. */
+    void wait(Event &event);
+
+    /** @return true when every enqueued op has completed. */
+    bool idle() const { return !inFlight_ && queue_.empty(); }
+
+    /** Ops enqueued and not yet completed (including the running one). */
+    std::size_t
+    pendingOps() const
+    {
+        return queue_.size() + (inFlight_ ? 1 : 0);
+    }
+
+  private:
+    struct Op
+    {
+        enum class Kind
+        {
+            Kernel,
+            Memcpy,
+            Memset,
+            Record,
+            Wait,
+        };
+
+        Kind kind;
+        /** Kernel: block contexts created at enqueue time. */
+        std::vector<BlockCtx *> blocks;
+        std::shared_ptr<const KernelFn> fn;
+        std::string name;
+        /** Memcpy/Memset. */
+        VAddr dst = 0;
+        VAddr src = 0;
+        std::uint64_t bytes = 0;
+        std::uint8_t value = 0;
+        /** Record/Wait. */
+        Event *event = nullptr;
+    };
+
+    Stream(Runtime &rt, Process &proc, GpuId gpu, int id,
+           std::string name);
+
+    void enqueue(Op op);
+
+    /** Start queued ops until one is in flight (or a wait stalls). */
+    void dispatch();
+
+    /** Completion hook for the op in flight. */
+    void opDone();
+
+    /** One-line blocked-state description for deadlock diagnostics. */
+    std::string describeBlocked() const;
+
+    Runtime *rt_;
+    Process *proc_;
+    GpuId gpu_;
+    int id_;
+    std::string name_;
+    std::deque<Op> queue_;
+    /** The head op started and has not completed yet. */
+    bool inFlight_ = false;
+    /** The head op is a Wait parked on an uncompleted event. */
+    bool waitingOnEvent_ = false;
+};
+
+} // namespace gpubox::rt
+
+#endif // GPUBOX_RT_STREAM_HH

@@ -84,6 +84,17 @@ Engine::runUntil(Cycles t)
     }
 }
 
+std::vector<std::string>
+Engine::unfinishedActorNames() const
+{
+    std::vector<std::string> names;
+    for (const auto &a : actors_) {
+        if (!a->done_)
+            names.push_back(a->name_);
+    }
+    return names;
+}
+
 void
 Engine::requestStopAll()
 {

@@ -166,6 +166,13 @@ class Engine
     /** Request cooperative stop of every live actor. */
     void requestStopAll();
 
+    /**
+     * Names of actors spawned but not yet completed, in spawn order.
+     * Used by the runtime's deadlock diagnostics to say *who* is
+     * stuck instead of failing with a bare message.
+     */
+    std::vector<std::string> unfinishedActorNames() const;
+
   private:
     struct QueueEntry
     {

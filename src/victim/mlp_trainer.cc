@@ -43,21 +43,26 @@ MlpTrainer::~MlpTrainer()
 }
 
 rt::KernelHandle
-MlpTrainer::launch()
+MlpTrainer::launch(rt::Stream &stream)
 {
     gpu::KernelConfig cfg;
     cfg.name = "victim-mlp";
     cfg.numBlocks = kTrainerBlocks;
     cfg.threadsPerBlock = 256;
-    return rt_.launch(proc_, gpu_, cfg,
-                      [this](rt::BlockCtx &ctx) { return body(ctx); });
+    return stream.launch(cfg,
+                         [this](rt::BlockCtx &ctx) { return body(ctx); });
+}
+
+rt::KernelHandle
+MlpTrainer::launch()
+{
+    return launch(rt_.stream(proc_, gpu_));
 }
 
 sim::Task
 MlpTrainer::body(rt::BlockCtx &ctx)
 {
     const std::uint32_t bid = ctx.blockIdx();
-    co_await sim::Delay{config_.startDelayCycles};
 
     for (unsigned e = 0; e < config_.epochs; ++e) {
         for (unsigned b = 0; b < config_.batchesPerEpoch; ++b) {

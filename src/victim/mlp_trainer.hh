@@ -34,8 +34,6 @@ struct MlpConfig
     unsigned epochs = 1;
     /** Host-side evaluation/sync gap between epochs, in cycles. */
     Cycles interEpochGapCycles = 60000;
-    /** Cycles the kernel idles before training starts. */
-    Cycles startDelayCycles = 0;
 };
 
 /** Launches the training loop on one GPU. */
@@ -49,6 +47,10 @@ class MlpTrainer
     MlpTrainer(const MlpTrainer &) = delete;
     MlpTrainer &operator=(const MlpTrainer &) = delete;
 
+    /** Enqueue the training kernel on @p stream. */
+    rt::KernelHandle launch(rt::Stream &stream);
+
+    /** Launch on the process' default stream for the trainer GPU. */
     rt::KernelHandle launch();
 
     const MlpConfig &config() const { return config_; }

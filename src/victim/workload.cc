@@ -141,7 +141,7 @@ Workload::alloc(std::uint64_t bytes)
 }
 
 rt::KernelHandle
-Workload::launch()
+Workload::launch(rt::Stream &stream)
 {
     gpu::KernelConfig cfg;
     cfg.name = "victim-" + appShortName(kind_);
@@ -149,7 +149,13 @@ Workload::launch()
     cfg.threadsPerBlock = 256;
     cfg.sharedMemBytes = config_.sharedMemBytes;
     auto body = [this](rt::BlockCtx &ctx) { return this->body(ctx); };
-    return rt_.launch(proc_, gpu_, cfg, body);
+    return stream.launch(cfg, body);
+}
+
+rt::KernelHandle
+Workload::launch()
+{
+    return launch(rt_.stream(proc_, gpu_));
 }
 
 sim::Task
@@ -179,7 +185,6 @@ Workload::body(rt::BlockCtx &ctx)
 sim::Task
 Workload::vectorAdd(rt::BlockCtx &ctx)
 {
-    co_await sim::Delay{config_.startDelayCycles};
     const VAddr a = buffers_[0];
     const VAddr b = buffers_[1];
     const VAddr c = buffers_[2];
@@ -202,7 +207,6 @@ Workload::vectorAdd(rt::BlockCtx &ctx)
 sim::Task
 Workload::histogram(rt::BlockCtx &ctx)
 {
-    co_await sim::Delay{config_.startDelayCycles};
     const VAddr data = buffers_[0];
     const VAddr table = buffers_[1];
     const std::uint64_t bins = 8;
@@ -228,7 +232,6 @@ Workload::histogram(rt::BlockCtx &ctx)
 sim::Task
 Workload::blackScholes(rt::BlockCtx &ctx)
 {
-    co_await sim::Delay{config_.startDelayCycles};
     const VAddr price = buffers_[0];
     const VAddr strike = buffers_[1];
     const VAddr years = buffers_[2];
@@ -256,7 +259,6 @@ Workload::blackScholes(rt::BlockCtx &ctx)
 sim::Task
 Workload::matrixMul(rt::BlockCtx &ctx)
 {
-    co_await sim::Delay{config_.startDelayCycles};
     const VAddr a = buffers_[0];
     const VAddr b = buffers_[1];
     const VAddr c = buffers_[2];
@@ -307,7 +309,6 @@ Workload::matrixMul(rt::BlockCtx &ctx)
 sim::Task
 Workload::quasiRandom(rt::BlockCtx &ctx)
 {
-    co_await sim::Delay{config_.startDelayCycles};
     const VAddr dirvec = buffers_[0];
     const VAddr out = buffers_[1];
     const unsigned bits = floorLog2(n_);
@@ -336,7 +337,6 @@ Workload::quasiRandom(rt::BlockCtx &ctx)
 sim::Task
 Workload::walshTransform(rt::BlockCtx &ctx)
 {
-    co_await sim::Delay{config_.startDelayCycles};
     const VAddr data = buffers_[0];
     const unsigned passes = 4;
     const std::uint32_t bid = ctx.blockIdx();

@@ -53,9 +53,6 @@ struct WorkloadConfig
     std::uint64_t seed = 1;
     /** Outer repetitions of the app's main phase. */
     unsigned iterations = 1;
-    /** Cycles the kernel idles before starting (lets a prober spin
-     *  up first in side-channel experiments). */
-    Cycles startDelayCycles = 0;
     /**
      * Static shared memory per block. Real CUDA-sample kernels
      * reserve shared memory; the Sec. VI noise-mitigation experiment
@@ -79,7 +76,15 @@ class Workload
     Workload(const Workload &) = delete;
     Workload &operator=(const Workload &) = delete;
 
-    /** Launch the victim kernel (asynchronous; drive the engine). */
+    /**
+     * Enqueue the victim kernel on @p stream (asynchronous; drive the
+     * engine via Runtime::sync). Staging the victim behind other work
+     * -- e.g. an attacker's priming pass -- is expressed with stream
+     * order and events, not in-kernel delays.
+     */
+    rt::KernelHandle launch(rt::Stream &stream);
+
+    /** Launch on the process' default stream for the victim GPU. */
     rt::KernelHandle launch();
 
     AppKind kind() const { return kind_; }

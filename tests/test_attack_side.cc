@@ -134,8 +134,10 @@ TEST_F(SideFixture, IdleVictimYieldsQuietMemorygram)
                         fastProber());
     Memorygram gram(fastProber().monitoredSets, prober.numWindows());
     const Cycles t0 = rt_->engine().now() + 6000;
-    auto h = prober.launch(gram, t0);
-    rt_->runUntilDone(h);
+    rt::Stream &spy_stream = rt_->createStream(*spy_, 1, "idle-prober");
+    prober.prime(spy_stream);
+    prober.monitor(spy_stream, gram, t0);
+    rt_->sync(spy_stream);
     // Nothing ran on the victim GPU: after the first priming probes,
     // the spy sees (almost) no misses.
     EXPECT_GT(gram.totalProbes(), 100u);

@@ -137,8 +137,8 @@ TEST(MigRuntime, CrossPartitionEvictionImpossible)
             time_out = ctx.clock() - t0;
         };
         gpu::KernelConfig cfg;
-        auto h = rt.launch(b, 0, cfg, kernel);
-        rt.runUntilDone(h);
+        auto h = rt.stream(b, 0).launch(cfg, kernel);
+        rt.sync(h);
     };
 
     Cycles cold = 0, warm = 0, after_thrash = 0;
@@ -154,8 +154,8 @@ TEST(MigRuntime, CrossPartitionEvictionImpossible)
             co_await ctx.ldcg64(va + i * rt.config().device.l2.lineBytes);
     };
     gpu::KernelConfig cfg;
-    auto h = rt.launch(a, 0, cfg, flood);
-    rt.runUntilDone(h);
+    auto h = rt.stream(a, 0).launch(cfg, flood);
+    rt.sync(h);
 
     warm_b(after_thrash);
     // Still a hit: a's flood could not evict b's line.
@@ -196,7 +196,7 @@ TEST(LinkMonitor, FlagsSustainedTrafficOnly)
 {
     rt::Runtime rt(smallConfig(777));
     rt::Process &p = rt.createProcess("p");
-    rt.enablePeerAccess(p, 1, 0);
+    rt.enablePeerAccess(p, 1, 0).orFatal();
     const std::uint32_t line = rt.config().device.l2.lineBytes;
     const VAddr buf = rt.deviceMalloc(p, 0, 64 * line);
 
@@ -215,8 +215,8 @@ TEST(LinkMonitor, FlagsSustainedTrafficOnly)
             co_await ctx.compute(30000);
         };
         gpu::KernelConfig cfg;
-        auto h = rt.launch(p, 1, cfg, kernel);
-        rt.runUntilDone(h);
+        auto h = rt.stream(p, 1).launch(cfg, kernel);
+        rt.sync(h);
         mon.stop();
         EXPECT_FALSE(mon.attackFlagged());
         EXPECT_GT(mon.ratePerWindow().size(), 3u);
@@ -236,8 +236,8 @@ TEST(LinkMonitor, FlagsSustainedTrafficOnly)
             }
         };
         gpu::KernelConfig cfg;
-        auto h = rt.launch(p, 1, cfg, kernel);
-        rt.runUntilDone(h);
+        auto h = rt.stream(p, 1).launch(cfg, kernel);
+        rt.sync(h);
         mon.stop();
         EXPECT_TRUE(mon.attackFlagged());
         EXPECT_GT(mon.firstFlagTime(), 0u);
@@ -269,7 +269,7 @@ TEST(LinkMonitor, SafeAfterDestruction)
 {
     rt::Runtime rt(smallConfig(5));
     rt::Process &p = rt.createProcess("p");
-    rt.enablePeerAccess(p, 1, 0);
+    rt.enablePeerAccess(p, 1, 0).orFatal();
     const VAddr buf = rt.deviceMalloc(p, 0, 4096);
     {
         defense::LinkMonitor mon(rt, 0, 1);
@@ -283,8 +283,8 @@ TEST(LinkMonitor, SafeAfterDestruction)
         co_await ctx.compute(20000);
     };
     gpu::KernelConfig cfg;
-    auto h = rt.launch(p, 1, cfg, kernel);
-    EXPECT_NO_THROW(rt.runUntilDone(h));
+    auto h = rt.stream(p, 1).launch(cfg, kernel);
+    EXPECT_NO_THROW(rt.sync(h));
 }
 
 TEST(DynamicPartitioner, TriggersOnSustainedTrafficAndPartitions)
@@ -292,7 +292,7 @@ TEST(DynamicPartitioner, TriggersOnSustainedTrafficAndPartitions)
     rt::Runtime rt(smallConfig(6));
     rt::Process &a = rt.createProcess("a");
     rt::Process &b = rt.createProcess("b");
-    rt.enablePeerAccess(b, 1, 0);
+    rt.enablePeerAccess(b, 1, 0).orFatal();
     const std::uint32_t line = rt.config().device.l2.lineBytes;
     const VAddr buf = rt.deviceMalloc(b, 0, 16 * line);
 
@@ -315,8 +315,8 @@ TEST(DynamicPartitioner, TriggersOnSustainedTrafficAndPartitions)
         }
     };
     gpu::KernelConfig cfg;
-    auto h = rt.launch(b, 1, cfg, kernel);
-    rt.runUntilDone(h);
+    auto h = rt.stream(b, 1).launch(cfg, kernel);
+    rt.sync(h);
     guard.stop();
 
     EXPECT_TRUE(guard.triggered());

@@ -119,8 +119,9 @@ simScenario(const exp::Scenario &sc, exp::RunContext &ctx)
         }
     };
     gpu::KernelConfig kcfg;
-    auto h = rt.launch(p, 0, kcfg, kernel);
-    rt.runUntilDone(h);
+    rt::Stream &stream = rt.stream(p, 0);
+    stream.launch(kcfg, kernel);
+    rt.sync(stream);
 
     const auto metrics = rt.metrics();
     ctx.row(sc.name, sc.seed, latency_sum, metrics.engine.steps,
@@ -138,6 +139,73 @@ determinismScenarios()
         .seeds({5, 6, 7})
         .axis("rep", {{"a", noop()}, {"b", noop()}})
         .expand();
+}
+
+/**
+ * A multi-stream overlap scenario: two victim processes staged behind
+ * an attacker's priming event, probing overlapped on three streams --
+ * the N-victims-x-M-attackers shape the stream API unlocks. Rows
+ * derive purely from simulated quantities.
+ */
+void
+multiStreamScenario(const exp::Scenario &sc, exp::RunContext &ctx)
+{
+    setLogEnabled(false);
+    rt::Runtime rt(sc.system);
+    rt::Process &spy = rt.createProcess("spy");
+    rt::Process &va = rt.createProcess("victimA");
+    rt::Process &vb = rt.createProcess("victimB");
+
+    const std::uint32_t line = sc.system.device.l2.lineBytes;
+    const int n = 32;
+    const VAddr spy_buf = rt.deviceMalloc(spy, 0, n * line);
+    const VAddr a_buf = rt.deviceMalloc(va, 0, n * line);
+    const VAddr b_buf = rt.deviceMalloc(vb, 0, n * line);
+
+    rt::Stream &spy_s = rt.createStream(spy, 0, "spy");
+    rt::Stream &a_s = rt.createStream(va, 0, "victimA");
+    rt::Stream &b_s = rt.createStream(vb, 0, "victimB");
+    rt::Event &primed = rt.createEvent("primed");
+    rt::Event &done_a = rt.createEvent("done-a");
+    rt::Event &done_b = rt.createEvent("done-b");
+
+    std::uint64_t spy_lat = 0;
+    gpu::KernelConfig cfg;
+    spy_s.launch(cfg, [&](rt::BlockCtx &bctx) -> sim::Task {
+        for (int i = 0; i < n; ++i)
+            co_await bctx.ldcg64(spy_buf + i * line);
+    });
+    spy_s.record(primed);
+    spy_s.launch(cfg, [&](rt::BlockCtx &bctx) -> sim::Task {
+        for (int r = 0; r < 4; ++r) {
+            for (int i = 0; i < n; ++i) {
+                const Cycles t0 = bctx.actor().now();
+                co_await bctx.ldcg64(spy_buf + i * line);
+                spy_lat += bctx.actor().now() - t0;
+            }
+        }
+    });
+
+    auto victim = [n, line](VAddr buf) {
+        return [buf, n, line](rt::BlockCtx &bctx) -> sim::Task {
+            for (int r = 0; r < 4; ++r)
+                for (int i = 0; i < n; ++i)
+                    co_await bctx.ld32(buf + i * line);
+        };
+    };
+    a_s.wait(primed);
+    a_s.launch(cfg, victim(a_buf));
+    a_s.record(done_a);
+    b_s.wait(primed);
+    b_s.launch(cfg, victim(b_buf));
+    b_s.record(done_b);
+
+    rt.syncAll();
+
+    const auto metrics = rt.metrics();
+    ctx.row(sc.name, sc.seed, primed.when(), done_a.when(),
+            done_b.when(), spy_lat, metrics.engine.steps,
+            metrics.engine.now);
 }
 
 std::string
@@ -178,6 +246,33 @@ TEST(ExperimentRunner, CsvByteIdenticalAcrossThreadCounts)
                   std::count(contents[0].begin(), contents[0].end(),
                              '\n')),
               scenarios.size() + 1);
+}
+
+TEST(ExperimentRunner, MultiStreamScenariosDeterministicAcrossThreads)
+{
+    // The acceptance bar for the stream redesign: scenario sweeps that
+    // overlap multiple streams/events per runtime still produce
+    // byte-identical CSVs for any worker count.
+    const auto scenarios = determinismScenarios();
+    const std::vector<std::string> header = {
+        "name",    "seed",    "primed", "done_a",
+        "done_b",  "spy_lat", "steps",  "cycles"};
+
+    std::vector<std::string> contents;
+    for (unsigned threads : {1u, 2u, 8u}) {
+        exp::ExperimentRunner runner({threads, /*progress=*/false});
+        auto report = runner.run(scenarios, multiStreamScenario);
+        EXPECT_EQ(report.failures(), 0u);
+        const std::string path =
+            "test_exp_streams_" + std::to_string(threads) + ".csv";
+        report.writeCsv(path, header);
+        contents.push_back(slurp(path));
+        std::remove(path.c_str());
+    }
+    ASSERT_EQ(contents.size(), 3u);
+    EXPECT_FALSE(contents[0].empty());
+    EXPECT_EQ(contents[0], contents[1]);
+    EXPECT_EQ(contents[0], contents[2]);
 }
 
 TEST(ExperimentRunner, RngStreamStableUnderReordering)

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "rt/runtime.hh"
 #include "test_common.hh"
 #include "util/log.hh"
@@ -32,8 +34,8 @@ class RtTest : public ::testing::Test
         gpu::KernelConfig cfg;
         cfg.name = "test";
         cfg.sharedMemBytes = shmem;
-        auto h = rt_.launch(proc, gpu, cfg, fn);
-        rt_.runUntilDone(h);
+        auto h = rt_.stream(proc, gpu).launch(cfg, fn);
+        rt_.sync(h);
     }
 
     Runtime rt_;
@@ -73,9 +75,17 @@ TEST_F(RtTest, PeerAccessRequiresLink)
     cfg.topology = noc::Topology::ring(4);
     Runtime rt(cfg);
     Process &p = rt.createProcess("p");
-    EXPECT_NO_THROW(rt.enablePeerAccess(p, 0, 1));
-    EXPECT_THROW(rt.enablePeerAccess(p, 0, 2), FatalError);
-    EXPECT_THROW(rt.enablePeerAccess(p, 1, 1), FatalError);
+    // Typed status results, cudaError_t style.
+    EXPECT_TRUE(rt.enablePeerAccess(p, 0, 1).ok());
+    EXPECT_EQ(rt.enablePeerAccess(p, 0, 2).code(),
+              StatusCode::NotConnected);
+    EXPECT_EQ(rt.enablePeerAccess(p, 1, 1).code(),
+              StatusCode::SameDevice);
+    EXPECT_EQ(rt.enablePeerAccess(p, 0, 99).code(),
+              StatusCode::InvalidDevice);
+    // orFatal() restores the throwing behaviour for callers that
+    // cannot continue.
+    EXPECT_THROW(rt.enablePeerAccess(p, 0, 2).orFatal(), FatalError);
     EXPECT_TRUE(p.peerEnabled(0, 1));
     EXPECT_FALSE(p.peerEnabled(1, 0)); // directed
 }
@@ -88,14 +98,14 @@ TEST_F(RtTest, RemoteAccessWithoutPeerIsFatal)
         co_await ctx.ldcg64(remote);
     };
     gpu::KernelConfig cfg;
-    auto h = rt_.launch(p, 0, cfg, kernel);
-    EXPECT_THROW(rt_.runUntilDone(h), FatalError);
+    auto h = rt_.stream(p, 0).launch(cfg, kernel);
+    EXPECT_THROW(rt_.sync(h), FatalError);
 }
 
 TEST_F(RtTest, FourLatencyClustersAreOrderedAndSeparable)
 {
     Process &p = rt_.createProcess("p");
-    rt_.enablePeerAccess(p, 0, 1);
+    rt_.enablePeerAccess(p, 0, 1).orFatal();
     const std::uint32_t line = rt_.config().device.l2.lineBytes;
     const int n = 24;
     const VAddr local = rt_.deviceMalloc(p, 0, n * line);
@@ -141,7 +151,7 @@ TEST_F(RtTest, FourLatencyClustersAreOrderedAndSeparable)
 TEST_F(RtTest, RemoteDataCachesInHomeL2Only)
 {
     Process &p = rt_.createProcess("p");
-    rt_.enablePeerAccess(p, 0, 1);
+    rt_.enablePeerAccess(p, 0, 1).orFatal();
     const VAddr remote = rt_.deviceMalloc(p, 1, 4096);
     auto kernel = [remote](BlockCtx &ctx) -> sim::Task {
         co_await ctx.ldcg64(remote);
@@ -271,8 +281,8 @@ TEST_F(RtTest, MultiBlockKernelRunsAllBlocks)
     };
     gpu::KernelConfig cfg;
     cfg.numBlocks = 8;
-    auto h = rt_.launch(p, 0, cfg, kernel);
-    rt_.runUntilDone(h);
+    auto h = rt_.stream(p, 0).launch(cfg, kernel);
+    rt_.sync(h);
     for (int i = 0; i < 8; ++i)
         EXPECT_EQ(seen[i], 1) << "block " << i;
 }
@@ -290,9 +300,9 @@ TEST_F(RtTest, OversubscribedBlocksQueueAndEventuallyRun)
     gpu::KernelConfig cfg;
     cfg.numBlocks = 40;
     cfg.sharedMemBytes = 64 * 1024;
-    auto h = rt_.launch(p, 0, cfg, kernel);
+    auto h = rt_.stream(p, 0).launch(cfg, kernel);
     EXPECT_FALSE(h.finished());
-    rt_.runUntilDone(h);
+    rt_.sync(h);
     EXPECT_EQ(completed, 40);
     // All SM resources released at the end.
     EXPECT_EQ(rt_.device(0).scheduler().totalResidentBlocks(), 0u);
@@ -304,6 +314,44 @@ TEST_F(RtTest, DeviceFreeReturnsFrames)
     const VAddr a = rt_.deviceMalloc(p, 2, 8 * 4096);
     rt_.deviceFree(p, a);
     EXPECT_THROW(p.space().translate(a), FatalError);
+}
+
+TEST_F(RtTest, DeviceFreeRecyclesPhysicalFrames)
+{
+    // Regression test for the free-list round trip: alloc the whole
+    // GPU, free, realloc -- the second allocation must draw from the
+    // frames the first one returned (same physical set), and the
+    // driver scrub must leave the reused lines cold in the L2.
+    Process &p = rt_.createProcess("p");
+    const std::uint64_t page = rt_.config().pageBytes;
+    const std::uint64_t frames = rt_.config().framesPerGpu;
+
+    const VAddr a = rt_.deviceMalloc(p, 0, frames * page);
+    std::set<PAddr> first;
+    for (std::uint64_t i = 0; i < frames; ++i)
+        first.insert(p.space().translate(a + i * page));
+    EXPECT_EQ(first.size(), frames);
+    // The pool is exhausted: one more page must fail.
+    EXPECT_THROW(rt_.deviceMalloc(p, 0, page), FatalError);
+
+    // Warm one line so the scrub-on-free is observable.
+    const VAddr warm_line = a;
+    auto kernel = [warm_line](BlockCtx &ctx) -> sim::Task {
+        co_await ctx.ldcg64(warm_line);
+    };
+    const PAddr warm_paddr = p.space().translate(warm_line);
+    runKernel(p, 0, kernel);
+    EXPECT_TRUE(rt_.device(0).l2().probe(warm_paddr));
+
+    rt_.deviceFree(p, a);
+    EXPECT_FALSE(rt_.device(0).l2().probe(warm_paddr));
+
+    const VAddr b = rt_.deviceMalloc(p, 0, frames * page);
+    std::set<PAddr> second;
+    for (std::uint64_t i = 0; i < frames; ++i)
+        second.insert(p.space().translate(b + i * page));
+    EXPECT_EQ(first, second);
+    rt_.deviceFree(p, b);
 }
 
 TEST_F(RtTest, OracleSetMatchesIndexer)
@@ -325,7 +373,8 @@ TEST_F(RtTest, InvalidArgumentsAreFatal)
     EXPECT_THROW(rt_.device(99), FatalError);
     gpu::KernelConfig cfg;
     cfg.numBlocks = 0;
-    EXPECT_THROW(rt_.launch(p, 0, cfg, nullptr), FatalError);
+    EXPECT_THROW(rt_.stream(p, 0).launch(cfg, nullptr), FatalError);
+    EXPECT_THROW(rt_.createStream(p, 99), FatalError);
 }
 
 TEST_F(RtTest, DeterministicTimingForSeed)
@@ -343,8 +392,8 @@ TEST_F(RtTest, DeterministicTimingForSeed)
             }
         };
         gpu::KernelConfig cfg;
-        auto h = rt.launch(p, 0, cfg, kernel);
-        rt.runUntilDone(h);
+        auto h = rt.stream(p, 0).launch(cfg, kernel);
+        rt.sync(h);
         return times;
     };
     EXPECT_EQ(measure(5), measure(5));

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Tests for the stream/event host API: FIFO ordering inside a stream,
+ * overlap across streams, cross-stream event dependencies,
+ * Event::elapsed against the documented timing parameters,
+ * stream-ordered memcpy/memset, and the deadlock diagnostics that
+ * name the blocked streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "rt/runtime.hh"
+#include "test_common.hh"
+#include "util/log.hh"
+
+namespace gpubox::rt
+{
+namespace
+{
+
+using test::smallConfig;
+
+class StreamTest : public ::testing::Test
+{
+  protected:
+    StreamTest() : rt_(smallConfig()) {}
+
+    /** A kernel spinning for @p cycles, logging its start/end times. */
+    static KernelFn
+    spinKernel(Cycles cycles, Cycles *start, Cycles *end)
+    {
+        return [cycles, start, end](BlockCtx &ctx) -> sim::Task {
+            if (start)
+                *start = ctx.actor().now();
+            co_await sim::Delay{cycles};
+            if (end)
+                *end = ctx.actor().now();
+        };
+    }
+
+    Runtime rt_;
+};
+
+TEST_F(StreamTest, KernelsOnOneStreamRunFifo)
+{
+    Process &p = rt_.createProcess("p");
+    Stream &s = rt_.createStream(p, 0, "fifo");
+
+    Cycles a_start = 0, a_end = 0, b_start = 0, b_end = 0;
+    gpu::KernelConfig cfg;
+    s.launch(cfg, spinKernel(1000, &a_start, &a_end));
+    s.launch(cfg, spinKernel(500, &b_start, &b_end));
+    EXPECT_FALSE(s.idle());
+    rt_.sync(s);
+    EXPECT_TRUE(s.idle());
+
+    // Strict stream order: the second kernel starts the instant the
+    // first completes, never earlier.
+    EXPECT_EQ(a_end, a_start + 1000);
+    EXPECT_EQ(b_start, a_end);
+    EXPECT_EQ(b_end, b_start + 500);
+}
+
+TEST_F(StreamTest, KernelsOnDifferentStreamsOverlap)
+{
+    Process &p = rt_.createProcess("p");
+    Stream &s1 = rt_.createStream(p, 0, "s1");
+    Stream &s2 = rt_.createStream(p, 0, "s2");
+
+    Cycles a_start = 0, a_end = 0, b_start = 0, b_end = 0;
+    gpu::KernelConfig cfg;
+    s1.launch(cfg, spinKernel(1000, &a_start, &a_end));
+    s2.launch(cfg, spinKernel(1000, &b_start, &b_end));
+    rt_.syncAll();
+
+    // Both started at enqueue time: full overlap, no serialization.
+    EXPECT_EQ(a_start, b_start);
+    EXPECT_EQ(a_end, b_end);
+}
+
+TEST_F(StreamTest, StreamWaitEventOrdersAcrossStreams)
+{
+    Process &p = rt_.createProcess("p");
+    Stream &producer = rt_.createStream(p, 0, "producer");
+    Stream &consumer = rt_.createStream(p, 1, "consumer");
+    Event &ready = rt_.createEvent("ready");
+
+    Cycles prod_end = 0, cons_start = 0;
+    gpu::KernelConfig cfg;
+    producer.launch(cfg, spinKernel(2000, nullptr, &prod_end));
+    producer.record(ready);
+
+    consumer.wait(ready);
+    consumer.launch(cfg, spinKernel(10, &cons_start, nullptr));
+
+    rt_.sync(consumer);
+
+    EXPECT_TRUE(ready.completed());
+    EXPECT_EQ(ready.when(), prod_end);
+    // The consumer kernel started exactly when the event fired.
+    EXPECT_EQ(cons_start, ready.when());
+}
+
+TEST_F(StreamTest, WaitOnUnrecordedEventIsNoOp)
+{
+    // CUDA semantics: waiting on an event nobody recorded proceeds.
+    Process &p = rt_.createProcess("p");
+    Stream &s = rt_.createStream(p, 0);
+    Event &never = rt_.createEvent("never");
+
+    Cycles start = 1;
+    s.wait(never);
+    gpu::KernelConfig cfg;
+    s.launch(cfg, spinKernel(10, &start, nullptr));
+    rt_.sync(s);
+    EXPECT_EQ(start, 0u);
+    EXPECT_FALSE(never.completed());
+    // Host-side sync on it is equally a no-op (cudaEventSynchronize).
+    EXPECT_NO_THROW(rt_.sync(never));
+}
+
+TEST_F(StreamTest, WaitHonorsReRecordedEvent)
+{
+    // Event reuse: a wait must park on the *outstanding* record, not
+    // be satisfied by a stale completion from an earlier round.
+    Process &p = rt_.createProcess("p");
+    Stream &a = rt_.createStream(p, 0, "a");
+    Stream &b = rt_.createStream(p, 1, "b");
+    Event &e = rt_.createEvent("reused");
+
+    gpu::KernelConfig cfg;
+    a.launch(cfg, spinKernel(100, nullptr, nullptr));
+    a.record(e);
+    rt_.sync(a);
+    const Cycles first = e.when();
+
+    Cycles a_end = 0, b_start = 0;
+    a.launch(cfg, spinKernel(5000, nullptr, &a_end));
+    a.record(e);
+    b.wait(e);
+    b.launch(cfg, spinKernel(10, &b_start, nullptr));
+    rt_.sync(b);
+
+    EXPECT_GT(e.when(), first);
+    EXPECT_EQ(e.when(), a_end);
+    EXPECT_EQ(b_start, e.when());
+}
+
+TEST_F(StreamTest, EventElapsedMatchesTimingParams)
+{
+    Process &p = rt_.createProcess("p");
+    Stream &s = rt_.createStream(p, 0);
+    Event &begin = rt_.createEvent("begin");
+    Event &end = rt_.createEvent("end");
+
+    // compute(ops) charges ops * aluCyclesPerOp, jitter-free.
+    const Cycles ops = 100;
+    s.record(begin);
+    gpu::KernelConfig cfg;
+    s.launch(cfg, [ops](BlockCtx &ctx) -> sim::Task {
+        co_await ctx.compute(ops);
+    });
+    s.record(end);
+    rt_.sync(end);
+
+    EXPECT_EQ(end.elapsed(begin),
+              ops * rt_.timing().aluCyclesPerOp);
+    // elapsed() demands completed events in order.
+    Event &unrecorded = rt_.createEvent("unrecorded");
+    EXPECT_THROW(unrecorded.elapsed(begin), FatalError);
+    EXPECT_THROW(begin.elapsed(end), FatalError);
+}
+
+TEST_F(StreamTest, MemsetAsyncChargesDmaModelAndWrites)
+{
+    Process &p = rt_.createProcess("p");
+    const VAddr buf = rt_.deviceMalloc(p, 0, 4096);
+    Stream &s = rt_.createStream(p, 0);
+    Event &begin = rt_.createEvent("m-begin");
+    Event &end = rt_.createEvent("m-end");
+
+    s.record(begin);
+    s.memsetAsync(buf, 0xab, 4096);
+    s.record(end);
+    rt_.sync(s);
+
+    const TimingParams &t = rt_.timing();
+    EXPECT_EQ(end.elapsed(begin),
+              t.dmaSetupCycles + 4096 / t.dmaBytesPerCycle);
+    EXPECT_EQ(rt_.hostRead<std::uint8_t>(p, buf), 0xabu);
+    EXPECT_EQ(rt_.hostRead<std::uint8_t>(p, buf + 4095), 0xabu);
+}
+
+TEST_F(StreamTest, MemcpyAsyncIsStreamOrdered)
+{
+    Process &p = rt_.createProcess("p");
+    const VAddr src = rt_.deviceMalloc(p, 0, 4096);
+    const VAddr dst = rt_.deviceMalloc(p, 0, 4096);
+    rt_.hostWrite<std::uint64_t>(p, src + 128, 0xfeedULL);
+
+    Stream &s = rt_.createStream(p, 0);
+    s.memcpyAsync(dst, src, 4096);
+    // The kernel is queued behind the copy: it must observe the data.
+    std::uint64_t seen = 0;
+    gpu::KernelConfig cfg;
+    s.launch(cfg, [&, dst](BlockCtx &ctx) -> sim::Task {
+        seen = co_await ctx.ldcg64(dst + 128);
+    });
+    rt_.sync(s);
+    EXPECT_EQ(seen, 0xfeedULL);
+
+    // Out-of-range transfers fail at the call site.
+    EXPECT_THROW(s.memcpyAsync(dst, src, 2 * 4096), FatalError);
+    EXPECT_THROW(s.memsetAsync(dst + 4000, 0, 1000), FatalError);
+}
+
+TEST_F(StreamTest, CrossGpuMemcpyMovesData)
+{
+    Process &p = rt_.createProcess("p");
+    const VAddr src = rt_.deviceMalloc(p, 0, 4096);
+    const VAddr dst = rt_.deviceMalloc(p, 1, 4096);
+    rt_.hostWrite<std::uint32_t>(p, src, 0x5eedULL);
+
+    Stream &s = rt_.createStream(p, 0);
+    Event &begin = rt_.createEvent("x-begin");
+    Event &end = rt_.createEvent("x-end");
+    s.record(begin);
+    s.memcpyAsync(dst, src, 4096);
+    s.record(end);
+    rt_.sync(s);
+
+    EXPECT_EQ(rt_.hostRead<std::uint32_t>(p, dst), 0x5eedu);
+    // The NVLink leg makes the cross-GPU copy strictly slower than
+    // the same-GPU DMA cost.
+    const TimingParams &t = rt_.timing();
+    EXPECT_GT(end.elapsed(begin),
+              t.dmaSetupCycles + 4096 / t.dmaBytesPerCycle);
+}
+
+TEST_F(StreamTest, DefaultStreamIsPerProcessPerGpu)
+{
+    Process &a = rt_.createProcess("a");
+    Process &b = rt_.createProcess("b");
+    Stream &a0 = rt_.stream(a, 0);
+    EXPECT_EQ(&a0, &rt_.stream(a, 0));
+    EXPECT_NE(&a0, &rt_.stream(a, 1));
+    EXPECT_NE(&a0, &rt_.stream(b, 0));
+    // Streams register with their process for diagnostics.
+    EXPECT_EQ(a.streams().size(), 2u);
+    EXPECT_EQ(a.streams()[0], &a0);
+}
+
+TEST_F(StreamTest, DeadlockDiagnosisNamesBlockedStreams)
+{
+    Process &p = rt_.createProcess("p");
+    Stream &s1 = rt_.createStream(p, 0, "ping");
+    Stream &s2 = rt_.createStream(p, 0, "pong");
+    Event &e1 = rt_.createEvent("ping-done");
+    Event &e2 = rt_.createEvent("pong-done");
+
+    // Classic cycle: each stream records its event only after waiting
+    // for the other's.
+    gpu::KernelConfig cfg;
+    s1.launch(cfg, spinKernel(10, nullptr, nullptr));
+    s1.wait(e2);
+    s1.record(e1);
+    s2.launch(cfg, spinKernel(10, nullptr, nullptr));
+    s2.wait(e1);
+    s2.record(e2);
+
+    try {
+        rt_.sync(s1);
+        FAIL() << "expected a deadlock diagnosis";
+    } catch (const FatalError &err) {
+        const std::string msg = err.what();
+        // The diagnosis names both parked streams and their events.
+        EXPECT_NE(msg.find("stream 'ping'"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("stream 'pong'"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("event 'pong-done'"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("deadlock"), std::string::npos) << msg;
+    }
+}
+
+} // namespace
+} // namespace gpubox::rt

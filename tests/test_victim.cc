@@ -49,7 +49,7 @@ TEST_P(VictimRun, CompletesAndTouchesL2)
     cfg.scale = 0.2; // small for unit tests
     Workload w(rt, p, 0, GetParam(), cfg);
     auto h = w.launch();
-    rt.runUntilDone(h);
+    rt.sync(h);
     EXPECT_TRUE(h.finished());
     // The victim's accesses reached GPU 0's L2 and missed at least
     // once per buffer line.
@@ -66,19 +66,30 @@ INSTANTIATE_TEST_SUITE_P(
         return appShortName(pinfo.param);
     });
 
-TEST(Victim, StartDelayHonored)
+TEST(Victim, StreamOrderStagesTheVictim)
 {
+    // The old startDelayCycles staging, expressed the CUDA way: a
+    // pacing kernel occupies the victim's stream first, so the victim
+    // kernel cannot touch memory before the stream reaches it.
     rt::Runtime rt(smallConfig());
     rt::Process &p = rt.createProcess("victim");
     WorkloadConfig cfg;
     cfg.scale = 0.1;
-    cfg.startDelayCycles = 50000;
     Workload w(rt, p, 0, AppKind::VECTOR_ADD, cfg);
-    auto h = w.launch();
-    // Run only the delay window: no memory traffic yet.
+
+    rt::Stream &stream = rt.createStream(p, 0, "victim");
+    gpu::KernelConfig pace_cfg;
+    pace_cfg.name = "pacer";
+    stream.launch(pace_cfg, [](rt::BlockCtx &ctx) -> sim::Task {
+        (void)ctx;
+        co_await sim::Delay{50000};
+    });
+    auto h = w.launch(stream);
+
+    // Run only the pacing window: no memory traffic yet.
     rt.engine().runUntil(40000);
     EXPECT_EQ(rt.device(0).l2().misses() + rt.device(0).l2().hits(), 0u);
-    rt.runUntilDone(h);
+    rt.sync(h);
     EXPECT_GT(rt.device(0).l2().misses(), 0u);
 }
 
@@ -93,7 +104,7 @@ TEST(Victim, FootprintsDifferAcrossApps)
         cfg.scale = 0.3;
         Workload w(rt, p, 0, kind, cfg);
         auto h = w.launch();
-        rt.runUntilDone(h);
+        rt.sync(h);
         std::vector<double> prof;
         for (SetIndex s = 0; s < rt.device(0).l2().numSets(); ++s)
             prof.push_back(static_cast<double>(
@@ -130,7 +141,7 @@ TEST(Victim, RepeatableForSameSeed)
         cfg.seed = 5;
         Workload w(rt, p, 0, AppKind::HISTOGRAM, cfg);
         auto h = w.launch();
-        rt.runUntilDone(h);
+        rt.sync(h);
         return rt.device(0).l2().misses();
     };
     EXPECT_EQ(misses(31), misses(31));
@@ -146,7 +157,7 @@ TEST(MlpTrainerVictim, CompletesAndScalesWithWidth)
         cfg.batchesPerEpoch = 2;
         MlpTrainer trainer(rt, p, 0, cfg);
         auto h = trainer.launch();
-        rt.runUntilDone(h);
+        rt.sync(h);
         return rt.device(0).l2().hits() + rt.device(0).l2().misses();
     };
     const auto t64 = traffic(64);
@@ -169,7 +180,7 @@ TEST(MlpTrainerVictim, EpochsMultiplyWork)
         cfg.epochs = epochs;
         MlpTrainer trainer(rt, p, 0, cfg);
         auto h = trainer.launch();
-        rt.runUntilDone(h);
+        rt.sync(h);
         return rt.device(0).l2().hits() + rt.device(0).l2().misses();
     };
     const auto t1 = traffic(1);
@@ -190,7 +201,7 @@ TEST(MlpTrainerVictim, InterEpochGapCreatesQuietTime)
     MlpTrainer trainer(rt, p, 0, cfg);
     auto h = trainer.launch();
     Cycles end_time = 0;
-    rt.runUntilDone(h);
+    rt.sync(h);
     end_time = rt.engine().now();
     // The run must take at least the inter-epoch gap.
     EXPECT_GT(end_time, 200000u);
