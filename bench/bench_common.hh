@@ -1,17 +1,20 @@
 /**
  * @file
  * Shared helper for the figure/table benches: the standard attack
- * setup (calibration + finders) on the full DGX-1 geometry.
+ * setup (calibration + finders) on the scenario's platform.
  */
 
 #ifndef GPUBOX_BENCH_BENCH_COMMON_HH
 #define GPUBOX_BENCH_BENCH_COMMON_HH
 
+#include <algorithm>
 #include <memory>
 
 #include "attack/evset_finder.hh"
 #include "attack/set_aligner.hh"
 #include "attack/timing_oracle.hh"
+#include "cache/indexer.hh"
+#include "exp/scenario.hh"
 #include "rt/runtime.hh"
 #include "util/log.hh"
 
@@ -19,10 +22,38 @@ namespace gpubox::bench
 {
 
 /**
- * The standard cross-GPU attack setup on a full DGX-1: a trojan (or
- * victim) process on GPU 0 and a spy process on GPU 1, calibrated
- * thresholds, and eviction-set finders for both processes over GPU 0
- * memory.
+ * Page colors of the scenario's L2 geometry (set windows a page can
+ * land in); finder pools are sized per color so discovery works from
+ * the 2-color PCIe box to the 8-color NVSwitch-class L2. Delegates to
+ * the indexer's own formula so pool sizing can never drift from the
+ * cache's real color count.
+ */
+inline std::uint32_t
+pageColors(const exp::Scenario &sc)
+{
+    const auto &l2 = sc.system.device.l2;
+    return cache::HashedPageIndexer::colorCount(
+        l2.numSets(), l2.lineBytes, sc.system.pageBytes);
+}
+
+/**
+ * Scale a pool size tuned on the 4-color DGX-1 geometry to the
+ * scenario's color count, keeping the pages-per-color density the
+ * knob was calibrated for (identical on dgx1-p100).
+ */
+inline int
+scaledPoolPages(const exp::Scenario &sc, unsigned dgx1_pages)
+{
+    return static_cast<int>(dgx1_pages * pageColors(sc) / 4);
+}
+
+/**
+ * The standard cross-GPU attack setup on the scenario's platform: a
+ * trojan (or victim) process on GPU 0 and a spy process on GPU 1,
+ * thresholds k-means-calibrated against that platform's timing, and
+ * eviction-set finders for both processes over GPU 0 memory. GPUs 0
+ * and 1 are adjacent on every registered platform, so the same pair
+ * works from the DGX-1 cube-mesh to the PCIe box.
  */
 struct AttackSetup
 {
@@ -34,13 +65,11 @@ struct AttackSetup
     std::unique_ptr<attack::EvictionSetFinder> remoteFinder;
 
     static AttackSetup
-    create(std::uint64_t seed, bool need_local_finder = true,
+    create(const exp::Scenario &sc, bool need_local_finder = true,
            bool need_remote_finder = true)
     {
         AttackSetup s;
-        rt::SystemConfig cfg;
-        cfg.seed = seed;
-        s.rt = std::make_unique<rt::Runtime>(cfg);
+        s.rt = std::make_unique<rt::Runtime>(sc.system);
         s.local = &s.rt->createProcess("local");
         s.remote = &s.rt->createProcess("spy");
 
@@ -48,8 +77,9 @@ struct AttackSetup
         s.calib = oracle.calibrate(/*local=*/1, /*remote=*/0, 48, 6);
 
         attack::FinderConfig fcfg;
-        fcfg.poolPages = 224; // ~56 pages per color: room for the
-                              // 48-line sweeps of Fig. 5
+        fcfg.poolPages = 56 * static_cast<int>(pageColors(sc));
+        // 56 pages per color: room for the 48-line sweeps of Fig. 5
+        // on every platform geometry (DGX-1: 4 colors -> 224 pages).
         if (need_local_finder) {
             s.localFinder = std::make_unique<attack::EvictionSetFinder>(
                 *s.rt, *s.local, 0, 0, s.calib.thresholds, fcfg);

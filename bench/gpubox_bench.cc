@@ -1,8 +1,10 @@
 /**
  * @file
- * Unified bench driver: lists, filters (`--only fig09,fig11`) and
- * runs any subset of the registered figure/table/ablation benches in
- * parallel via the ExperimentRunner, with the usual determinism
+ * Unified bench driver: lists (`--list`, machine-readable
+ * `--list-json`), filters (`--only fig09,fig11`) and runs any subset
+ * of the registered figure/table/ablation benches in parallel via the
+ * ExperimentRunner -- on any registered platform descriptor
+ * (`--platform dgx2-nvswitch`) -- with the usual determinism
  * guarantee (stdout and CSVs byte-identical for any `--threads`),
  * and writes the structured perf trajectory to BENCH_results.json.
  */

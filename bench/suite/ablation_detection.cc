@@ -64,7 +64,7 @@ runDetection(const exp::Scenario &sc, exp::RunContext &ctx)
         simCyclesMetric(ctx, rt);
     } else if (mode == "covert") {
         label = "covert channel (4 sets)";
-        auto setup = AttackSetup::create(sc.seed);
+        auto setup = AttackSetup::create(sc);
         attack::SetAligner aligner(*setup.rt, *setup.local,
                                    *setup.remote, 0, 1,
                                    setup.calib.thresholds);
@@ -89,7 +89,7 @@ runDetection(const exp::Scenario &sc, exp::RunContext &ctx)
         simCyclesMetric(ctx, *setup.rt);
     } else { // prober
         label = "memorygram prober";
-        auto setup = AttackSetup::create(sc.seed, false, true);
+        auto setup = AttackSetup::create(sc, false, true);
         defense::LinkMonitor monitor(*setup.rt, 0, 1, mon_cfg);
         monitor.start();
         attack::side::ProberConfig pcfg;
@@ -126,12 +126,11 @@ runDetection(const exp::Scenario &sc, exp::RunContext &ctx)
 }
 
 std::vector<exp::Scenario>
-detectionScenarios(std::uint64_t seed)
+detectionScenarios(const exp::ScenarioDefaults &d)
 {
     exp::Scenario base;
     base.name = "detection";
-    base.seed = seed;
-    base.system.seed = seed;
+    base.applyDefaults(d.seed, d.platform);
     const auto keep = [](exp::Scenario &) {};
     return exp::ScenarioMatrix(base)
         .axis("mode",

@@ -27,7 +27,7 @@ namespace
 void
 runDynamicDefense(const exp::Scenario &sc, exp::RunContext &ctx)
 {
-    auto setup = AttackSetup::create(sc.seed);
+    auto setup = AttackSetup::create(sc);
 
     attack::SetAligner aligner(*setup.rt, *setup.local, *setup.remote,
                                0, 1, setup.calib.thresholds);
@@ -100,12 +100,11 @@ runDynamicDefense(const exp::Scenario &sc, exp::RunContext &ctx)
 }
 
 std::vector<exp::Scenario>
-dynamicDefenseScenarios(std::uint64_t seed)
+dynamicDefenseScenarios(const exp::ScenarioDefaults &d)
 {
     exp::Scenario base;
     base.name = "guard";
-    base.seed = seed;
-    base.system.seed = seed;
+    base.applyDefaults(d.seed, d.platform);
     return {base};
 }
 

@@ -47,7 +47,7 @@ runSlices(const exp::Scenario &sc, exp::RunContext &ctx)
     auto calib = oracle.calibrate(1, 0, 48, 6);
 
     attack::FinderConfig fcfg;
-    fcfg.poolPages = sc.attack.finderPoolPages;
+    fcfg.poolPages = scaledPoolPages(sc, sc.attack.finderPoolPages);
     attack::EvictionSetFinder tf(rt, trojan, 0, 0, calib.thresholds,
                                  fcfg);
     tf.run();
@@ -90,12 +90,11 @@ runSlices(const exp::Scenario &sc, exp::RunContext &ctx)
 }
 
 std::vector<exp::Scenario>
-migScenarios(std::uint64_t seed)
+migScenarios(const exp::ScenarioDefaults &d)
 {
     exp::Scenario base;
     base.name = "mig";
-    base.seed = seed;
-    base.system.seed = seed;
+    base.applyDefaults(d.seed, d.platform);
     base.attack.finderPoolPages = 224;
 
     return exp::ScenarioMatrix(base)

@@ -30,7 +30,7 @@ namespace
 void
 runCondition(const exp::Scenario &sc, exp::RunContext &ctx)
 {
-    auto setup = AttackSetup::create(sc.seed);
+    auto setup = AttackSetup::create(sc);
 
     attack::SetAligner aligner(*setup.rt, *setup.local, *setup.remote,
                                0, 1, setup.calib.thresholds);
@@ -118,12 +118,11 @@ runCondition(const exp::Scenario &sc, exp::RunContext &ctx)
 }
 
 std::vector<exp::Scenario>
-noiseScenarios(std::uint64_t seed)
+noiseScenarios(const exp::ScenarioDefaults &d)
 {
     exp::Scenario base;
     base.name = "noise";
-    base.seed = seed;
-    base.system.seed = seed;
+    base.applyDefaults(d.seed, d.platform);
     base.attack.messageBits = 16384;
 
     return exp::ScenarioMatrix(base)

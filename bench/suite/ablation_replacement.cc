@@ -43,7 +43,7 @@ runPolicyScenario(const exp::Scenario &sc, exp::RunContext &ctx)
     double error_pct = 100.0;
     try {
         attack::FinderConfig fcfg;
-        fcfg.poolPages = sc.attack.finderPoolPages;
+        fcfg.poolPages = scaledPoolPages(sc, sc.attack.finderPoolPages);
         attack::EvictionSetFinder tf(rt, trojan, 0, 0,
                                      calib.thresholds, fcfg);
         tf.run();
@@ -81,12 +81,11 @@ runPolicyScenario(const exp::Scenario &sc, exp::RunContext &ctx)
 }
 
 std::vector<exp::Scenario>
-replacementScenarios(std::uint64_t seed)
+replacementScenarios(const exp::ScenarioDefaults &d)
 {
     exp::Scenario base;
     base.name = "replacement";
-    base.seed = seed;
-    base.system.seed = seed;
+    base.applyDefaults(d.seed, d.platform);
 
     std::vector<exp::ScenarioMatrix::Point> points;
     for (auto policy :

@@ -28,7 +28,7 @@ void
 runFig05(const exp::Scenario &sc, exp::RunContext &ctx)
 {
     const std::string mode = sc.paramOr("mode");
-    auto setup = AttackSetup::create(sc.seed);
+    auto setup = AttackSetup::create(sc);
 
     const unsigned assoc = setup.localFinder->associativity();
     // 48 as in the figure, capped by the conflict lines available;
@@ -97,12 +97,11 @@ runFig05(const exp::Scenario &sc, exp::RunContext &ctx)
 }
 
 std::vector<exp::Scenario>
-fig05Scenarios(std::uint64_t seed)
+fig05Scenarios(const exp::ScenarioDefaults &d)
 {
     exp::Scenario base;
     base.name = "fig05";
-    base.seed = seed;
-    base.system.seed = seed;
+    base.applyDefaults(d.seed, d.platform);
     const auto keep = [](exp::Scenario &) {};
     return exp::ScenarioMatrix(base)
         .axis("mode", {{"local", keep}, {"remote", keep}})

@@ -11,6 +11,7 @@
  * are alias-free.
  */
 
+#include <algorithm>
 #include <vector>
 
 #include "bench/bench_common.hh"
@@ -26,15 +27,19 @@ namespace
 void
 runFig06(const exp::Scenario &sc, exp::RunContext &ctx)
 {
-    auto setup = AttackSetup::create(sc.seed, true, false);
+    auto setup = AttackSetup::create(sc, true, false);
     auto &finder = *setup.localFinder;
 
-    // Naive discovery for 12 random target pages.
+    // Naive discovery for 12 random target pages. The draw range is
+    // capped at the platform's pool size (the 140-page range keeps the
+    // historical DGX-1 target sequence).
     const int num_targets = 12;
+    const int target_range = std::min(140, finder.poolPages());
     Rng rng(sc.seed ^ 0xa11a5);
     std::vector<int> targets;
     while (targets.size() < static_cast<std::size_t>(num_targets)) {
-        const int t = static_cast<int>(rng.uniform(140));
+        const int t = static_cast<int>(
+            rng.uniform(static_cast<std::uint64_t>(target_range)));
         bool dup = false;
         for (int u : targets)
             dup |= (u == t);
@@ -108,12 +113,11 @@ runFig06(const exp::Scenario &sc, exp::RunContext &ctx)
 }
 
 std::vector<exp::Scenario>
-fig06Scenarios(std::uint64_t seed)
+fig06Scenarios(const exp::ScenarioDefaults &d)
 {
     exp::Scenario base;
     base.name = "fig06";
-    base.seed = seed;
-    base.system.seed = seed;
+    base.applyDefaults(d.seed, d.platform);
     return {base};
 }
 

@@ -24,7 +24,7 @@ namespace
 void
 runFig07(const exp::Scenario &sc, exp::RunContext &ctx)
 {
-    auto setup = AttackSetup::create(sc.seed);
+    auto setup = AttackSetup::create(sc);
 
     attack::SetAligner aligner(*setup.rt, *setup.local, *setup.remote,
                                0, 1, setup.calib.thresholds);
@@ -98,12 +98,11 @@ runFig07(const exp::Scenario &sc, exp::RunContext &ctx)
 }
 
 std::vector<exp::Scenario>
-fig07Scenarios(std::uint64_t seed)
+fig07Scenarios(const exp::ScenarioDefaults &d)
 {
     exp::Scenario base;
     base.name = "fig07";
-    base.seed = seed;
-    base.system.seed = seed;
+    base.applyDefaults(d.seed, d.platform);
     return {base};
 }
 

@@ -29,7 +29,7 @@ void
 runFig09(const exp::Scenario &sc, exp::RunContext &ctx)
 {
     const unsigned k = sc.attack.covertSets;
-    auto setup = AttackSetup::create(sc.seed);
+    auto setup = AttackSetup::create(sc);
 
     attack::SetAligner aligner(*setup.rt, *setup.local, *setup.remote,
                                0, 1, setup.calib.thresholds);
@@ -67,12 +67,11 @@ runFig09(const exp::Scenario &sc, exp::RunContext &ctx)
 }
 
 std::vector<exp::Scenario>
-fig09Scenarios(std::uint64_t seed)
+fig09Scenarios(const exp::ScenarioDefaults &d)
 {
     exp::Scenario base;
     base.name = "fig09";
-    base.seed = seed;
-    base.system.seed = seed;
+    base.applyDefaults(d.seed, d.platform);
 
     std::vector<exp::ScenarioMatrix::Point> points;
     for (unsigned k : {1u, 2u, 3u, 4u, 6u, 8u}) {

@@ -22,7 +22,7 @@ namespace
 void
 runFig10(const exp::Scenario &sc, exp::RunContext &ctx)
 {
-    auto setup = AttackSetup::create(sc.seed);
+    auto setup = AttackSetup::create(sc);
 
     attack::SetAligner aligner(*setup.rt, *setup.local, *setup.remote,
                                0, 1, setup.calib.thresholds);
@@ -92,12 +92,11 @@ runFig10(const exp::Scenario &sc, exp::RunContext &ctx)
 }
 
 std::vector<exp::Scenario>
-fig10Scenarios(std::uint64_t seed)
+fig10Scenarios(const exp::ScenarioDefaults &d)
 {
     exp::Scenario base;
     base.name = "fig10";
-    base.seed = seed;
-    base.system.seed = seed;
+    base.applyDefaults(d.seed, d.platform);
     return {base};
 }
 

@@ -23,7 +23,7 @@ namespace
 void
 runFig11(const exp::Scenario &sc, exp::RunContext &ctx)
 {
-    auto setup = AttackSetup::create(sc.seed, false, true);
+    auto setup = AttackSetup::create(sc, false, true);
 
     attack::side::FingerprintConfig cfg;
     cfg.prober.monitoredSets = 256; // as in the paper's figure
@@ -62,12 +62,11 @@ runFig11(const exp::Scenario &sc, exp::RunContext &ctx)
 }
 
 std::vector<exp::Scenario>
-fig11Scenarios(std::uint64_t seed)
+fig11Scenarios(const exp::ScenarioDefaults &d)
 {
     exp::Scenario base;
     base.name = "fig11";
-    base.seed = seed;
-    base.system.seed = seed;
+    base.applyDefaults(d.seed, d.platform);
 
     std::vector<exp::ScenarioMatrix::Point> points;
     for (auto kind : victim::allAppKinds()) {

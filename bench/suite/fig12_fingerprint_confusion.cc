@@ -23,7 +23,7 @@ namespace
 void
 runFig12(const exp::Scenario &sc, exp::RunContext &ctx)
 {
-    auto setup = AttackSetup::create(sc.seed, false, true);
+    auto setup = AttackSetup::create(sc, false, true);
 
     attack::side::FingerprintConfig cfg;
     cfg.prober.monitoredSets = 96;
@@ -63,12 +63,11 @@ runFig12(const exp::Scenario &sc, exp::RunContext &ctx)
 }
 
 std::vector<exp::Scenario>
-fig12Scenarios(std::uint64_t seed)
+fig12Scenarios(const exp::ScenarioDefaults &d)
 {
     exp::Scenario base;
     base.name = "fig12";
-    base.seed = seed;
-    base.system.seed = seed;
+    base.applyDefaults(d.seed, d.platform);
     return {base};
 }
 

@@ -43,7 +43,7 @@ runFig13(const exp::Scenario &sc, exp::RunContext &ctx)
 {
     const unsigned neurons = static_cast<unsigned>(
         std::strtoul(sc.paramOr("neurons").c_str(), nullptr, 0));
-    auto setup = AttackSetup::create(sc.seed, false, true);
+    auto setup = AttackSetup::create(sc, false, true);
 
     attack::side::ModelExtractor extractor(
         *setup.rt, *setup.remote, 1, *setup.local, 0,
@@ -73,12 +73,11 @@ runFig13(const exp::Scenario &sc, exp::RunContext &ctx)
 }
 
 std::vector<exp::Scenario>
-fig13Scenarios(std::uint64_t seed)
+fig13Scenarios(const exp::ScenarioDefaults &d)
 {
     exp::Scenario base;
     base.name = "fig13";
-    base.seed = seed;
-    base.system.seed = seed;
+    base.applyDefaults(d.seed, d.platform);
 
     std::vector<exp::ScenarioMatrix::Point> points;
     for (unsigned n : {64u, 128u, 256u, 512u})

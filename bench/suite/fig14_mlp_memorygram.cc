@@ -24,7 +24,7 @@ runFig14(const exp::Scenario &sc, exp::RunContext &ctx)
 {
     const unsigned neurons = static_cast<unsigned>(
         std::strtoul(sc.paramOr("neurons").c_str(), nullptr, 0));
-    auto setup = AttackSetup::create(sc.seed, false, true);
+    auto setup = AttackSetup::create(sc, false, true);
 
     attack::side::ExtractionConfig cfg;
     cfg.prober.monitoredSets = 256;
@@ -62,12 +62,11 @@ runFig14(const exp::Scenario &sc, exp::RunContext &ctx)
 }
 
 std::vector<exp::Scenario>
-fig14Scenarios(std::uint64_t seed)
+fig14Scenarios(const exp::ScenarioDefaults &d)
 {
     exp::Scenario base;
     base.name = "fig14";
-    base.seed = seed;
-    base.system.seed = seed;
+    base.applyDefaults(d.seed, d.platform);
 
     std::vector<exp::ScenarioMatrix::Point> points;
     for (unsigned n : {128u, 512u})

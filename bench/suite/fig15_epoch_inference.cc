@@ -27,7 +27,7 @@ runFig15(const exp::Scenario &sc, exp::RunContext &ctx)
 {
     const unsigned epochs = static_cast<unsigned>(
         std::strtoul(sc.paramOr("epochs").c_str(), nullptr, 0));
-    auto setup = AttackSetup::create(sc.seed, false, true);
+    auto setup = AttackSetup::create(sc, false, true);
 
     attack::side::ExtractionConfig cfg;
     cfg.prober.monitoredSets = 256;
@@ -68,12 +68,11 @@ runFig15(const exp::Scenario &sc, exp::RunContext &ctx)
 }
 
 std::vector<exp::Scenario>
-fig15Scenarios(std::uint64_t seed)
+fig15Scenarios(const exp::ScenarioDefaults &d)
 {
     exp::Scenario base;
     base.name = "fig15";
-    base.seed = seed;
-    base.system.seed = seed;
+    base.applyDefaults(d.seed, d.platform);
 
     std::vector<exp::ScenarioMatrix::Point> points;
     for (unsigned e : {1u, 2u, 3u})

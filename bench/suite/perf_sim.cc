@@ -198,12 +198,11 @@ runPerfScenario(const exp::Scenario &sc, exp::RunContext &ctx)
 }
 
 std::vector<exp::Scenario>
-perfScenarios(std::uint64_t seed)
+perfScenarios(const exp::ScenarioDefaults &d)
 {
     exp::Scenario base;
     base.name = "perf";
-    base.seed = seed;
-    base.system.seed = seed;
+    base.applyDefaults(d.seed, d.platform);
     const auto keep = [](exp::Scenario &) {};
 
     std::vector<exp::Scenario> scenarios;

@@ -32,7 +32,7 @@ runTable01(const exp::Scenario &sc, exp::RunContext &ctx)
 
     // Find conflict groups (Algorithm 1 with grouping optimization).
     attack::FinderConfig fcfg;
-    fcfg.poolPages = 140;
+    fcfg.poolPages = scaledPoolPages(sc, 140);
     attack::EvictionSetFinder finder(rt, attacker, 0, 0,
                                      calib.thresholds, fcfg);
     finder.run();
@@ -88,12 +88,11 @@ runTable01(const exp::Scenario &sc, exp::RunContext &ctx)
 }
 
 std::vector<exp::Scenario>
-table01Scenarios(std::uint64_t seed)
+table01Scenarios(const exp::ScenarioDefaults &d)
 {
     exp::Scenario base;
     base.name = "table01";
-    base.seed = seed;
-    base.system.seed = seed;
+    base.applyDefaults(d.seed, d.platform);
     return {base};
 }
 

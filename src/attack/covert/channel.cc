@@ -19,9 +19,28 @@ CovertChannel::CovertChannel(
 {
     if (pairs_.empty())
         fatal("covert channel needs at least one aligned set pair");
-    if (!rt_.topology().connected(trojan_gpu, spy_gpu))
-        fatal("covert channel: GPUs ", trojan_gpu, " and ", spy_gpu,
-              " are not NVLink peers");
+    if (!rt_.peerReachable(spy_gpu, trojan_gpu))
+        fatal("covert channel: GPU ", spy_gpu, " cannot reach GPU ",
+              trojan_gpu, " for peer access on platform '",
+              rt_.config().platform, "'");
+    if (config_.symbolCycles == 0) {
+        // Derive the symbol period from the calibrated thresholds
+        // (see ChannelConfig::symbolCycles): the spy's probe of one
+        // eviction set must fit with margin for clock slip.
+        std::size_t probe_lines = 0;
+        for (const auto &[t, s] : pairs_)
+            probe_lines = std::max(probe_lines, s.lines.size());
+        const double miss_center =
+            thresholds_.remoteMissCenter > 0.0
+                ? thresholds_.remoteMissCenter
+                : 1.2 * thresholds_.remoteBoundary;
+        const double probe =
+            miss_center +
+            static_cast<double>((probe_lines ? probe_lines - 1 : 0) *
+                                rt_.timing().pipelineGapCycles);
+        const auto target = static_cast<Cycles>(1.25 * probe);
+        config_.symbolCycles = (target + 99) / 100 * 100;
+    }
 }
 
 ChannelStats

@@ -31,8 +31,16 @@ namespace gpubox::attack::covert
 /** Channel timing parameters. */
 struct ChannelConfig
 {
-    /** Symbol (bit) period per set in cycles. */
-    Cycles symbolCycles = 1500;
+    /**
+     * Symbol (bit) period per set in cycles. 0 (the default) derives
+     * the period from the calibrated platform thresholds: 1.25x the
+     * worst-case spy probe (remote-miss center plus the pipelined
+     * issue gaps of the probed lines), rounded up to 100 cycles. On
+     * the DGX-1 calibration this reproduces the paper-era hand tuning
+     * of 1500 cycles; slower fabrics (PCIe) get proportionally longer
+     * symbols instead of a corrupted channel.
+     */
+    Cycles symbolCycles = 0;
     /** Trojan primes this long after the symbol boundary. */
     Cycles trojanLeadCycles = 30;
     /** Spy probes at symbol start + spyPhase * symbolCycles. */

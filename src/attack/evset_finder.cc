@@ -20,12 +20,10 @@ EvictionSetFinder::EvictionSetFinder(rt::Runtime &rt, rt::Process &proc,
     pageBytes_ = rt_.config().pageBytes;
     linesPerPage_ = static_cast<std::uint32_t>(pageBytes_ / lineBytes_);
 
-    if (exec_gpu != mem_gpu) {
-        if (!rt_.topology().connected(exec_gpu, mem_gpu))
-            fatal("eviction set finder: GPUs ", exec_gpu, " and ", mem_gpu,
-                  " are not NVLink peers");
-        if (!proc.peerEnabled(exec_gpu, mem_gpu))
-            rt_.enablePeerAccess(proc, exec_gpu, mem_gpu).orFatal();
+    if (exec_gpu != mem_gpu && !proc.peerEnabled(exec_gpu, mem_gpu)) {
+        // Route-aware: the Status explains itself when the platform
+        // refuses (no route, or routed peer access not relayed).
+        rt_.enablePeerAccess(proc, exec_gpu, mem_gpu).orFatal();
     }
     pool_ = rt_.deviceMalloc(proc_, mem_gpu,
                              static_cast<std::uint64_t>(config_.poolPages) *

@@ -125,6 +125,9 @@ class EvictionSetFinder
 
     VAddr poolBase() const { return pool_; }
 
+    /** Pages in the probed pool (valid target-page range). */
+    int poolPages() const { return config_.poolPages; }
+
   private:
     /**
      * One Algorithm-1 kernel: access target, chase @p chase, re-probe

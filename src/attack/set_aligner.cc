@@ -13,9 +13,10 @@ SetAligner::SetAligner(rt::Runtime &rt, rt::Process &trojan_proc,
       trojanGpu_(trojan_gpu), spyGpu_(spy_gpu), thresholds_(thresholds),
       config_(config)
 {
-    if (!rt_.topology().connected(trojan_gpu, spy_gpu))
-        fatal("set aligner: GPUs ", trojan_gpu, " and ", spy_gpu,
-              " are not NVLink peers");
+    if (!rt_.peerReachable(spy_gpu, trojan_gpu))
+        fatal("set aligner: GPU ", spy_gpu, " cannot reach GPU ",
+              trojan_gpu, " for peer access on platform '",
+              rt_.config().platform, "'");
 }
 
 AlignmentRun

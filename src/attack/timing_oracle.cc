@@ -73,10 +73,9 @@ CalibrationResult
 TimingOracle::calibrate(GpuId local_gpu, GpuId remote_gpu,
                         int lines_per_round, int rounds)
 {
-    if (!rt_.topology().connected(local_gpu, remote_gpu))
-        fatal("timing oracle requires NVLink-connected GPUs, got ",
-              local_gpu, " and ", remote_gpu);
-
+    // Peer reachability is a platform property (direct link on the
+    // DGX-1, any routed path on NVSwitch-class boxes); the Status
+    // carries the route diagnosis when the platform refuses.
     rt_.enablePeerAccess(proc_, local_gpu, remote_gpu).orFatal();
 
     const std::uint32_t line = rt_.config().device.l2.lineBytes;
@@ -108,6 +107,10 @@ TimingOracle::calibrate(GpuId local_gpu, GpuId remote_gpu,
     res.clusters = kmeans1d(res.allSamples(), 4);
     res.thresholds.localBoundary = res.clusters.boundaries.at(0);
     res.thresholds.remoteBoundary = res.clusters.boundaries.at(2);
+    res.thresholds.localHitCenter = res.clusters.centers.at(0);
+    res.thresholds.localMissCenter = res.clusters.centers.at(1);
+    res.thresholds.remoteHitCenter = res.clusters.centers.at(2);
+    res.thresholds.remoteMissCenter = res.clusters.centers.at(3);
     return res;
 }
 

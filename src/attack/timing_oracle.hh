@@ -22,13 +22,31 @@
 namespace gpubox::attack
 {
 
-/** Thresholds separating hits from misses, local and remote. */
+/**
+ * Thresholds separating hits from misses, local and remote, plus the
+ * measured cluster centers they were derived from. Everything here is
+ * k-means-calibrated online against the platform under attack
+ * (calibrate()); nothing in src/attack bakes in a latency constant.
+ */
 struct TimingThresholds
 {
     /** Boundary between local L2 hit and local miss times. */
     double localBoundary = 0.0;
     /** Boundary between remote L2 hit and remote miss times. */
     double remoteBoundary = 0.0;
+
+    /**
+     * @name Measured cluster centers (Fig. 4 order: LH, LM, RH, RM)
+     * Later attack stages derive their pacing from these -- e.g. the
+     * covert channel sizes its symbol period off the remote-miss
+     * center -- so the whole pipeline retunes per platform.
+     * @{
+     */
+    double localHitCenter = 0.0;
+    double localMissCenter = 0.0;
+    double remoteHitCenter = 0.0;
+    double remoteMissCenter = 0.0;
+    /** @} */
 
     bool isLocalMiss(double cycles) const { return cycles > localBoundary; }
     bool isRemoteMiss(double cycles) const

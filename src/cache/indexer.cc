@@ -26,7 +26,7 @@ HashedPageIndexer::HashedPageIndexer(std::uint32_t num_sets,
     if (page_bytes < line_bytes)
         fatal("HashedPageIndexer: page smaller than a cache line");
     linesPerPage_ = static_cast<std::uint32_t>(page_bytes / line_bytes);
-    numColors_ = numSets_ > linesPerPage_ ? numSets_ / linesPerPage_ : 1;
+    numColors_ = colorCount(num_sets, line_bytes, page_bytes);
     pageShift_ = floorLog2(page_bytes);
     frameFieldBits_ = 32; // matches mem::AddressCodec's layout
 }

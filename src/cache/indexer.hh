@@ -72,6 +72,20 @@ class HashedPageIndexer : public SetIndexer
 
     SetIndex setFor(PAddr line_addr) const override;
 
+    /**
+     * Page colors (set windows) of a geometry -- the one formula all
+     * color-dependent sizing (finder pools, platform checks) shares.
+     */
+    static std::uint32_t
+    colorCount(std::uint32_t num_sets, std::uint32_t line_bytes,
+               std::uint64_t page_bytes)
+    {
+        const auto lines_per_page =
+            static_cast<std::uint32_t>(page_bytes / line_bytes);
+        return num_sets > lines_per_page ? num_sets / lines_per_page
+                                         : 1;
+    }
+
     /** Number of distinct page colors (set windows). */
     std::uint32_t numColors() const { return numColors_; }
 

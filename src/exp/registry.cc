@@ -9,6 +9,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "rt/platform.hh"
 #include "util/log.hh"
 
 namespace gpubox::exp
@@ -81,15 +82,16 @@ usageExit(const char *argv0, const std::string &msg, bool driver)
     if (driver) {
         std::fprintf(
             stderr,
-            "usage: %s [--list] [--only a,b] [seed] [--seed N]\n"
+            "usage: %s [--list] [--list-json] [--only a,b]\n"
+            "          [--platform P] [seed] [--seed N]\n"
             "          [--threads N] [--repeat N] [--out-dir D]\n"
             "          [--results F] [--no-results] [--quiet]\n",
             argv0);
     } else {
         std::fprintf(stderr,
-                     "usage: %s [seed] [--seed N] [--threads N] "
-                     "[--repeat N] [--out-dir D] [--results F] "
-                     "[--quiet]\n",
+                     "usage: %s [seed] [--seed N] [--platform P] "
+                     "[--threads N] [--repeat N] [--out-dir D] "
+                     "[--results F] [--quiet]\n",
                      argv0);
     }
     std::exit(2);
@@ -99,6 +101,7 @@ struct DriverArgs
 {
     BenchOptions opt;
     bool list = false;
+    bool listJson = false;
     std::string only;
     bool noResults = false;
 };
@@ -142,10 +145,22 @@ parseDriverArgs(int argc, char **argv, bool driver)
             args.opt.outDir = next_val();
         else if (a == "--results")
             args.opt.resultsPath = next_val();
+        else if (a == "--platform") {
+            args.opt.platform = next_val();
+            if (!rt::platformExists(args.opt.platform)) {
+                usageExit(argv[0],
+                          "unknown platform '" + args.opt.platform +
+                              "' (known: " +
+                              rt::platformNamesJoined() + ")",
+                          driver);
+            }
+        }
         else if (a == "--quiet")
             args.opt.progress = false;
         else if (driver && a == "--list")
             args.list = true;
+        else if (driver && a == "--list-json")
+            args.listJson = true;
         else if (driver && a == "--only")
             args.only = next_val();
         else if (driver && a == "--no-results")
@@ -243,9 +258,20 @@ runBench(const BenchSpec &spec, const BenchOptions &opt, std::FILE *out)
     std::fprintf(out, "\n==== %s: %s ====\n", spec.name.c_str(),
                  spec.description.c_str());
 
-    const auto scenarios = spec.scenarios(opt.seed);
-    std::fprintf(out, "  scenarios: %zu, seed: %" PRIu64 "\n",
-                 scenarios.size(), opt.seed);
+    const auto scenarios =
+        spec.scenarios(ScenarioDefaults{opt.seed, opt.platform});
+    std::vector<std::string> platforms;
+    for (const Scenario &sc : scenarios) {
+        if (std::find(platforms.begin(), platforms.end(), sc.system.platform) ==
+            platforms.end())
+            platforms.push_back(sc.system.platform);
+    }
+    std::string platform_label;
+    for (const std::string &p : platforms)
+        platform_label += (platform_label.empty() ? "" : ",") + p;
+    std::fprintf(out,
+                 "  scenarios: %zu, seed: %" PRIu64 ", platform: %s\n",
+                 scenarios.size(), opt.seed, platform_label.c_str());
 
     ExperimentRunner runner({opt.threads, opt.progress});
     const unsigned repeat = opt.repeat ? opt.repeat : 1;
@@ -278,6 +304,7 @@ runBench(const BenchSpec &spec, const BenchOptions &opt, std::FILE *out)
     summary.scenarios = report.results.size();
     summary.failures = report.failures();
     summary.rows = report.allRows().size();
+    summary.platforms = std::move(platforms);
     summary.repeats = repeat;
     summary.wallSeconds = wall_min;
     summary.wallSecondsMean = wall_sum / repeat;
@@ -313,8 +340,11 @@ writeResultsJson(const std::string &path, const BenchOptions &opt,
         fatal("cannot open results sink '", path, "' for writing");
 
     js << "{\n";
-    js << "  \"schema\": \"gpubox-bench-results/v1\",\n";
+    js << "  \"schema\": \"gpubox-bench-results/v2\",\n";
     js << "  \"seed\": " << opt.seed << ",\n";
+    js << "  \"platform\": \""
+       << jsonEscape(opt.platform.empty() ? "default" : opt.platform)
+       << "\",\n";
     js << "  \"threads\": " << opt.threads << ",\n";
     js << "  \"repeat\": " << (opt.repeat ? opt.repeat : 1) << ",\n";
     js << "  \"wall_seconds_total\": " << jsonNumber(totalWallSeconds)
@@ -327,6 +357,12 @@ writeResultsJson(const std::string &path, const BenchOptions &opt,
         js << "      \"scenarios\": " << s.scenarios << ",\n";
         js << "      \"failures\": " << s.failures << ",\n";
         js << "      \"rows\": " << s.rows << ",\n";
+        js << "      \"platforms\": [";
+        for (std::size_t p = 0; p < s.platforms.size(); ++p) {
+            js << (p ? ", " : "") << "\"" << jsonEscape(s.platforms[p])
+               << "\"";
+        }
+        js << "],\n";
         js << "      \"repeats\": " << s.repeats << ",\n";
         js << "      \"wall_seconds\": " << jsonNumber(s.wallSeconds)
            << ",\n";
@@ -382,6 +418,53 @@ benchDriverMain(int argc, char **argv)
         for (const BenchSpec *s : registry.list())
             std::printf("  %-28s %s\n", s->name.c_str(),
                         s->description.c_str());
+        std::printf("%zu registered platforms:\n",
+                    rt::allPlatforms().size());
+        for (const rt::Platform &p : rt::allPlatforms())
+            std::printf("  %-28s %s\n", p.name.c_str(),
+                        p.description.c_str());
+        return 0;
+    }
+
+    if (args.listJson) {
+        // Machine-readable registry dump for CI and tooling: every
+        // bench and every platform descriptor the driver can combine.
+        std::printf("{\n  \"schema\": \"gpubox-bench-list/v1\",\n");
+        std::printf("  \"platforms\": [\n");
+        const auto &platforms = rt::allPlatforms();
+        for (std::size_t i = 0; i < platforms.size(); ++i) {
+            const rt::Platform &p = platforms[i];
+            std::printf(
+                "    {\"name\": \"%s\", \"description\": \"%s\", "
+                "\"gpus\": %d, \"topology\": \"%s\", \"links\": %zu, "
+                "\"link_gen\": \"%s\", \"peer_over_routes\": %s, "
+                "\"l2_bytes\": %llu, \"l2_ways\": %u, \"sms\": %d}%s\n",
+                jsonEscape(p.name).c_str(),
+                jsonEscape(p.description).c_str(),
+                p.topology.numGpus(),
+                jsonEscape(p.topology.name()).c_str(),
+                p.topology.links().size(),
+                jsonEscape(p.linkGen).c_str(),
+                p.peerOverRoutes ? "true" : "false",
+                static_cast<unsigned long long>(p.device.l2.sizeBytes),
+                p.device.l2.ways, p.device.numSms,
+                i + 1 < platforms.size() ? "," : "");
+        }
+        std::printf("  ],\n  \"benches\": [\n");
+        const auto benches = registry.list();
+        for (std::size_t i = 0; i < benches.size(); ++i) {
+            const BenchSpec *s = benches[i];
+            std::printf("    {\"name\": \"%s\", \"description\": "
+                        "\"%s\", \"csv_columns\": [",
+                        jsonEscape(s->name).c_str(),
+                        jsonEscape(s->description).c_str());
+            for (std::size_t c = 0; c < s->csvHeader.size(); ++c)
+                std::printf("%s\"%s\"", c ? ", " : "",
+                            jsonEscape(s->csvHeader[c]).c_str());
+            std::printf("]}%s\n",
+                        i + 1 < benches.size() ? "," : "");
+        }
+        std::printf("  ]\n}\n");
         return 0;
     }
 

@@ -29,6 +29,19 @@
 namespace gpubox::exp
 {
 
+/**
+ * Inputs every bench's scenario builder receives: the sweep seed and
+ * the driver's `--platform` override (empty = the bench's own default,
+ * normally `dgx1-p100`). Builders forward both through
+ * Scenario::applyDefaults so platform selection composes with their
+ * parameter axes.
+ */
+struct ScenarioDefaults
+{
+    std::uint64_t seed = 2023;
+    std::string platform;
+};
+
 /** One registered bench: identity, default sweep and behaviour. */
 struct BenchSpec
 {
@@ -39,7 +52,8 @@ struct BenchSpec
     /** CSV column names; empty disables the CSV sink. */
     std::vector<std::string> csvHeader;
     /** Default scenario list (usually a ScenarioMatrix expansion). */
-    std::function<std::vector<Scenario>(std::uint64_t seed)> scenarios;
+    std::function<std::vector<Scenario>(const ScenarioDefaults &)>
+        scenarios;
     /** Per-scenario body; must record rather than print. */
     ExperimentRunner::ScenarioFn run;
     /**
@@ -76,6 +90,10 @@ class BenchRegistry
 struct BenchOptions
 {
     std::uint64_t seed = 2023;
+    /** Platform override for every selected bench (`--platform`);
+     *  empty keeps each bench's default. Validated against the
+     *  rt::Platform registry by the drivers. */
+    std::string platform;
     /** Worker threads per bench sweep; 0 = hardware concurrency. */
     unsigned threads = 1;
     /** Directory receiving the per-bench CSVs. */
@@ -101,6 +119,8 @@ struct BenchRunSummary
     std::size_t scenarios = 0;
     std::size_t failures = 0;
     std::size_t rows = 0;
+    /** Distinct scenario platforms, in first-seen scenario order. */
+    std::vector<std::string> platforms;
     /** Repeats executed (BenchOptions::repeat). */
     unsigned repeats = 1;
     /** Minimum host wall clock over the repeats (not deterministic). */
@@ -132,10 +152,10 @@ BenchRunSummary runBench(const BenchSpec &spec, const BenchOptions &opt,
 
 /**
  * Write the structured results sink: schema
- * `gpubox-bench-results/v1`, run-level seed/threads/repeat/wall clock
- * and one entry per bench (scenarios, failures, rows, repeats,
- * wall_seconds = min over repeats, wall_seconds_mean, aggregated
- * metrics).
+ * `gpubox-bench-results/v2`, run-level seed/platform/threads/repeat/
+ * wall clock and one entry per bench (scenarios, failures, rows,
+ * per-entry platforms, repeats, wall_seconds = min over repeats,
+ * wall_seconds_mean, aggregated metrics).
  */
 void writeResultsJson(const std::string &path, const BenchOptions &opt,
                       double totalWallSeconds,
@@ -149,10 +169,11 @@ void writeResultsJson(const std::string &path, const BenchOptions &opt,
 int benchMain(const std::string &name, int argc, char **argv);
 
 /**
- * main() body of the `gpubox_bench` driver: `--list`, `--only a,b`,
- * plus the standard bench options; runs the selection sequentially
- * (each bench internally parallel) and writes the results sink
- * (default BENCH_results.json).
+ * main() body of the `gpubox_bench` driver: `--list`, `--list-json`
+ * (machine-readable registry + platform dump), `--only a,b`,
+ * `--platform NAME`, plus the standard bench options; runs the
+ * selection sequentially (each bench internally parallel) and writes
+ * the results sink (default BENCH_results.json).
  */
 int benchDriverMain(int argc, char **argv);
 

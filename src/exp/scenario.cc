@@ -1,5 +1,6 @@
 #include "exp/scenario.hh"
 
+#include "rt/platform.hh"
 #include "util/log.hh"
 
 namespace gpubox::exp
@@ -12,6 +13,22 @@ Scenario::paramOr(const std::string &key, const std::string &fallback) const
         if (k == key)
             return v;
     return fallback;
+}
+
+void
+Scenario::setPlatform(const std::string &platform_name)
+{
+    system = rt::platformByName(platform_name).systemConfig(seed);
+}
+
+void
+Scenario::applyDefaults(std::uint64_t seed_value,
+                        const std::string &platform_name)
+{
+    seed = seed_value;
+    system.seed = seed_value;
+    if (!platform_name.empty())
+        setPlatform(platform_name);
 }
 
 ScenarioMatrix &

@@ -33,7 +33,9 @@ struct AttackKnobs
     unsigned covertSets = 4;
     /** Random payload length for covert-channel error measurements. */
     std::size_t messageBits = 8192;
-    /** Page pool given to each eviction-set finder. */
+    /** Page pool given to each eviction-set finder, tuned for the
+     *  4-color DGX-1 geometry (benches rescale it per platform via
+     *  scaledPoolPages). */
     unsigned finderPoolPages = 140;
     /** Launch SM-saturating filler blocks (paper Sec. VI). */
     bool smSaturation = false;
@@ -59,6 +61,8 @@ struct Scenario
     /** Unique label; parameter axes append "/axis=value" segments. */
     std::string name = "scenario";
     std::uint64_t seed = 2023;
+    /** Resolved platform descriptor (SystemConfig::platform names the
+     *  rt::Platform it came from; use setPlatform() to re-resolve). */
     rt::SystemConfig system;
     victim::AppKind app = victim::AppKind::VECTOR_ADD;
     victim::WorkloadConfig workload;
@@ -74,6 +78,22 @@ struct Scenario
     /** Value of an expansion parameter, or @p fallback when absent. */
     std::string paramOr(const std::string &key,
                         const std::string &fallback = "") const;
+
+    /**
+     * Re-resolve `system` from the named rt::Platform (fatal on an
+     * unknown name), preserving the scenario seed. Call before axis
+     * mutations so platform selection composes with per-axis system
+     * tweaks.
+     */
+    void setPlatform(const std::string &platform_name);
+
+    /**
+     * Standard base-scenario setup for bench builders: seed both the
+     * scenario and its system, then apply @p platform_name when
+     * non-empty (the registry driver's `--platform` override).
+     */
+    void applyDefaults(std::uint64_t seed_value,
+                       const std::string &platform_name);
 };
 
 /**

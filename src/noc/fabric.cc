@@ -1,31 +1,72 @@
 #include "noc/fabric.hh"
 
+#include <algorithm>
+
+#include "util/bitops.hh"
 #include "util/log.hh"
 
 namespace gpubox::noc
 {
 
-Fabric::Fabric(const Topology &topo, const FabricParams &params)
-    : topo_(topo), params_(params)
+Fabric::Fabric(const Topology &topo, const LinkParams &params)
+    : Fabric(topo, std::vector<LinkParams>(topo.links().size(), params))
+{}
+
+Fabric::Fabric(const Topology &topo, std::vector<LinkParams> per_link)
+    : topo_(topo), params_(std::move(per_link))
 {
-    meters_.assign(topo.links().size(),
-                   ContentionMeter(params.windowCycles,
-                                   params.freeSlotsPerWindow,
-                                   params.queueCyclesPerExtra));
-    perLink_.assign(topo.links().size(), 0);
+    if (params_.size() != topo.links().size())
+        fatal("fabric over '", topo.name(), "' needs ",
+              topo.links().size(), " per-link parameter sets, got ",
+              params_.size());
+    meters_.reserve(params_.size());
+    for (const LinkParams &p : params_) {
+        if (p.bytesPerCycle == 0)
+            fatal("fabric link bytesPerCycle must be positive");
+        meters_.emplace_back(p.windowCycles, p.freeSlotsPerWindow,
+                             p.queueCyclesPerExtra);
+    }
+    perLink_.assign(params_.size(), 0);
+}
+
+Cycles
+Fabric::chargeRoute(GpuId from, GpuId to, Cycles now, std::uint64_t bytes)
+{
+    const std::vector<GpuId> &path = topo_.route(from, to);
+    if (path.size() < 2)
+        fatal("fabric traverse between GPUs ", from, " and ", to,
+              " which share no NVLink route on topology '",
+              topo_.name(), "'");
+    Cycles total = 0;
+    std::uint32_t bottleneck = 0;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const int link = topo_.linkIndex(path[i], path[i + 1]);
+        ++transfers_;
+        ++perLink_[link];
+        const LinkParams &p = params_[link];
+        // Later hops see the link state at their own arrival time.
+        const Cycles queue = meters_[link].record(now + total);
+        total += p.hopCycles + queue;
+        bottleneck = bottleneck == 0
+                         ? p.bytesPerCycle
+                         : std::min(bottleneck, p.bytesPerCycle);
+    }
+    if (bytes > 0)
+        total += divCeil(bytes, static_cast<std::uint64_t>(bottleneck));
+    return total;
 }
 
 Cycles
 Fabric::traverse(GpuId from, GpuId to, Cycles now)
 {
-    const int link = topo_.linkIndex(from, to);
-    if (link < 0)
-        fatal("fabric traverse between non-adjacent GPUs ", from, " and ",
-              to, " (multi-hop routing is not peer-accessible)");
-    ++transfers_;
-    ++perLink_[link];
-    const Cycles queue = meters_[link].record(now);
-    return params_.hopCycles + queue;
+    return chargeRoute(from, to, now, 0);
+}
+
+Cycles
+Fabric::transferCycles(GpuId from, GpuId to, Cycles now,
+                       std::uint64_t bytes)
+{
+    return chargeRoute(from, to, now, bytes);
 }
 
 std::uint32_t

@@ -1,6 +1,7 @@
 /**
  * @file
- * NVLink fabric timing: per-link latency plus windowed contention.
+ * NVLink fabric timing: per-link latency, bandwidth and windowed
+ * contention, charged along the topology's precomputed routes.
  */
 
 #ifndef GPUBOX_NOC_FABRIC_HH
@@ -16,11 +17,18 @@
 namespace gpubox::noc
 {
 
-/** Latency/contention parameters of the NVLink fabric. */
-struct FabricParams
+/**
+ * Timing/contention parameters of one interconnect link. Each NVLink
+ * generation (V1, V2, NVSwitch port) and the PCIe fallback is a
+ * different parameter set; a platform descriptor assigns one to every
+ * link of its topology (rt::Platform).
+ */
+struct LinkParams
 {
-    /** One-way cycles added per NVLink hop (request or response). */
+    /** One-way cycles added per traversal of this link. */
     Cycles hopCycles = 90;
+    /** Bulk-transfer payload bytes the link moves per cycle (DMA). */
+    std::uint32_t bytesPerCycle = 32;
     /** Contention accounting window. */
     Cycles windowCycles = 2000;
     /** Transfers per window per link that see no queueing. */
@@ -29,22 +37,51 @@ struct FabricParams
     Cycles queueCyclesPerExtra = 14;
 };
 
-/** Timing model over a Topology's links. */
+/** Well-known link generations (calibration table in PAPER.md). */
+struct LinkGen
+{
+    static constexpr LinkParams nvlinkV1() { return {180, 32, 256, 120, 2}; }
+    static constexpr LinkParams nvlinkV2() { return {140, 64, 256, 160, 2}; }
+    static constexpr LinkParams nvswitch() { return {250, 128, 256, 200, 1}; }
+    /** PCIe switches buffer deeply: many outstanding TLPs before
+     *  queueing, but each extra one is costly on the narrow fabric. */
+    static constexpr LinkParams pcie3() { return {700, 8, 256, 96, 6}; }
+};
+
+/**
+ * Timing model over a Topology's links. A traversal between
+ * non-adjacent GPUs is charged on every link of the precomputed
+ * shortest route (hop latency plus that link's queueing state);
+ * traversing unreachable pairs is fatal.
+ */
 class Fabric
 {
   public:
-    Fabric(const Topology &topo, const FabricParams &params);
+    /** Uniform link generation across the whole fabric. */
+    Fabric(const Topology &topo, const LinkParams &params);
+
+    /** Per-link parameters, indexed like Topology::links(). */
+    Fabric(const Topology &topo, std::vector<LinkParams> per_link);
 
     /**
-     * Charge one single-hop transfer (request or response leg) between
-     * two directly connected GPUs.
+     * Charge one transfer leg (request or response) between two
+     * reachable GPUs, multi-hop routes included.
      *
      * @param from source GPU
-     * @param to destination GPU (must be a single-hop peer)
+     * @param to destination GPU (any reachable peer)
      * @param now current simulated time
-     * @return total cycles for this leg (hop latency + queueing)
+     * @return total cycles for this leg (per-link latency + queueing)
      */
     Cycles traverse(GpuId from, GpuId to, Cycles now);
+
+    /**
+     * Charge one bulk DMA transfer of @p bytes along the route: every
+     * link pays hop latency plus queueing, and the payload serializes
+     * once at the bottleneck link's bytesPerCycle (the store-and-
+     * forward pipeline hides the repeat serialization).
+     */
+    Cycles transferCycles(GpuId from, GpuId to, Cycles now,
+                          std::uint64_t bytes);
 
     /** Occupancy of the (from,to) link in the current window. */
     std::uint32_t linkOccupancy(GpuId from, GpuId to, Cycles now) const;
@@ -53,13 +90,16 @@ class Fabric
     std::uint64_t linkTransfers(GpuId a, GpuId b) const;
 
     const Topology &topology() const { return topo_; }
-    const FabricParams &params() const { return params_; }
 
     void resetStats();
 
   private:
+    /** Charge every link of the a..b route; @p bytes 0 = plain leg. */
+    Cycles chargeRoute(GpuId from, GpuId to, Cycles now,
+                       std::uint64_t bytes);
+
     const Topology &topo_;
-    FabricParams params_;
+    std::vector<LinkParams> params_;      // one per link
     std::vector<ContentionMeter> meters_; // one per link
     std::vector<std::uint64_t> perLink_;
     std::uint64_t transfers_ = 0;

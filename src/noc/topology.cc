@@ -1,6 +1,7 @@
 #include "noc/topology.hh"
 
 #include <algorithm>
+#include <deque>
 
 #include "util/log.hh"
 
@@ -11,17 +12,84 @@ Topology::Topology(std::string name, int num_gpus, std::vector<Link> links)
     : name_(std::move(name)), numGpus_(num_gpus), links_(std::move(links))
 {
     if (num_gpus <= 0)
-        fatal("topology needs at least one GPU");
+        fatal("topology '", name_, "' needs at least one GPU, got ",
+              num_gpus);
     linkOf_.assign(static_cast<std::size_t>(numGpus_) * numGpus_, -1);
     for (std::size_t i = 0; i < links_.size(); ++i) {
         auto [a, b] = links_[i];
-        if (a < 0 || b < 0 || a >= numGpus_ || b >= numGpus_ || a == b)
-            fatal("topology link (", a, ",", b, ") is invalid");
+        if (a < 0 || b < 0 || a >= numGpus_ || b >= numGpus_)
+            fatal("topology '", name_, "': link (", a, ",", b,
+                  ") references a GPU outside [0,", numGpus_, ")");
+        if (a == b)
+            fatal("topology '", name_, "': GPU ", a,
+                  " cannot be linked to itself");
         if (linkOf_[a * numGpus_ + b] != -1)
-            fatal("duplicate topology link (", a, ",", b, ")");
+            fatal("topology '", name_, "': duplicate link (", a, ",", b,
+                  ")");
         linkOf_[a * numGpus_ + b] = static_cast<int>(i);
         linkOf_[b * numGpus_ + a] = static_cast<int>(i);
     }
+    buildRouteTables();
+}
+
+void
+Topology::buildRouteTables()
+{
+    const int n = numGpus_;
+    dist_.assign(static_cast<std::size_t>(n) * n, -1);
+
+    // All-pairs BFS. Neighbour visitation order is by ascending id, so
+    // the distances (and everything derived below) are deterministic.
+    for (GpuId src = 0; src < n; ++src) {
+        int *d = &dist_[static_cast<std::size_t>(src) * n];
+        d[src] = 0;
+        std::deque<GpuId> frontier{src};
+        while (!frontier.empty()) {
+            const GpuId at = frontier.front();
+            frontier.pop_front();
+            for (GpuId next = 0; next < n; ++next) {
+                if (d[next] == -1 && connected(at, next)) {
+                    d[next] = d[at] + 1;
+                    frontier.push_back(next);
+                }
+            }
+        }
+    }
+
+    // Materialized routes. For a <= b walk greedily from a, picking at
+    // every step the lowest-id neighbour that still lies on a shortest
+    // path; the b -> a route is the exact reversal, making every route
+    // symmetric (and byte-identical across constructions) by design.
+    routes_.assign(static_cast<std::size_t>(n) * n, {});
+    for (GpuId a = 0; a < n; ++a) {
+        routes_[pairIndex(a, a)] = {a};
+        for (GpuId b = a + 1; b < n; ++b) {
+            if (dist_[pairIndex(a, b)] < 0)
+                continue; // unreachable: leave both routes empty
+            std::vector<GpuId> path{a};
+            GpuId at = a;
+            while (at != b) {
+                const int remaining = dist_[pairIndex(at, b)];
+                for (GpuId next = 0; next < n; ++next) {
+                    if (connected(at, next) &&
+                        dist_[pairIndex(next, b)] == remaining - 1) {
+                        path.push_back(next);
+                        at = next;
+                        break; // lowest next-hop id wins the tie
+                    }
+                }
+            }
+            std::vector<GpuId> back(path.rbegin(), path.rend());
+            routes_[pairIndex(a, b)] = std::move(path);
+            routes_[pairIndex(b, a)] = std::move(back);
+        }
+    }
+}
+
+std::size_t
+Topology::pairIndex(GpuId a, GpuId b) const
+{
+    return static_cast<std::size_t>(a) * numGpus_ + b;
 }
 
 Topology
@@ -44,6 +112,9 @@ Topology::dgx1()
 Topology
 Topology::fullyConnected(int num_gpus)
 {
+    if (num_gpus < 2)
+        fatal("fullyConnected topology needs at least 2 GPUs, got ",
+              num_gpus);
     std::vector<Link> links;
     for (GpuId a = 0; a < num_gpus; ++a)
         for (GpuId b = a + 1; b < num_gpus; ++b)
@@ -54,14 +125,20 @@ Topology::fullyConnected(int num_gpus)
 Topology
 Topology::ring(int num_gpus)
 {
+    if (num_gpus < 3)
+        fatal("ring topology needs at least 3 GPUs, got ", num_gpus,
+              " (a 2-GPU ring would duplicate its only link; use "
+              "fullyConnected(2) for a single-link pair)");
     std::vector<Link> links;
-    if (num_gpus == 2) {
-        links.emplace_back(0, 1);
-    } else {
-        for (GpuId a = 0; a < num_gpus; ++a)
-            links.emplace_back(a, (a + 1) % num_gpus);
-    }
+    for (GpuId a = 0; a < num_gpus; ++a)
+        links.emplace_back(a, (a + 1) % num_gpus);
     return Topology("ring", num_gpus, std::move(links));
+}
+
+Topology
+Topology::custom(std::string name, int num_gpus, std::vector<Link> links)
+{
+    return Topology(std::move(name), num_gpus, std::move(links));
 }
 
 bool
@@ -96,6 +173,44 @@ Topology::peersOf(GpuId gpu) const
         if (other != gpu && connected(gpu, other))
             peers.push_back(other);
     return peers;
+}
+
+int
+Topology::hopCount(GpuId a, GpuId b) const
+{
+    if (a < 0 || b < 0 || a >= numGpus_ || b >= numGpus_)
+        return -1;
+    return dist_[pairIndex(a, b)];
+}
+
+bool
+Topology::reachable(GpuId a, GpuId b) const
+{
+    return hopCount(a, b) >= 0;
+}
+
+const std::vector<GpuId> &
+Topology::route(GpuId a, GpuId b) const
+{
+    if (a < 0 || b < 0 || a >= numGpus_ || b >= numGpus_)
+        fatal("topology '", name_, "': route query (", a, ",", b,
+              ") is out of range (", numGpus_, " GPUs)");
+    return routes_[pairIndex(a, b)];
+}
+
+std::string
+Topology::routeString(GpuId a, GpuId b) const
+{
+    const std::vector<GpuId> &path = route(a, b);
+    if (path.empty())
+        return "(none)";
+    std::string out;
+    for (std::size_t i = 0; i < path.size(); ++i) {
+        if (i)
+            out += " -> ";
+        out += std::to_string(path[i]);
+    }
+    return out;
 }
 
 } // namespace gpubox::noc

@@ -4,9 +4,13 @@
  *
  * The default is the DGX-1 (P100) hybrid cube-mesh of Fig. 1 in the
  * paper: eight GPUs, four NVLink-V1 ports each, two quads with cross
- * links. Peer access -- and therefore the attack -- is only possible
- * between directly connected (single-hop) GPUs; the runtime refuses
- * to enable peer access otherwise, mirroring the real CUDA error.
+ * links. Every topology precomputes deterministic shortest-path route
+ * tables at construction time: the route between two GPUs is the
+ * minimal-hop path whose ties break toward the lowest next-hop id
+ * (computed from the lower endpoint; the reverse direction reuses the
+ * reversed path, so routes are symmetric by construction). Whether a
+ * runtime lets peer access ride those routes is a *platform* decision
+ * (rt::Platform::peerOverRoutes), not a property of the graph.
  */
 
 #ifndef GPUBOX_NOC_TOPOLOGY_HH
@@ -24,18 +28,27 @@ namespace gpubox::noc
 /** Undirected link between two GPUs. */
 using Link = std::pair<GpuId, GpuId>;
 
-/** Static interconnect graph. */
+/** Static interconnect graph with precomputed route tables. */
 class Topology
 {
   public:
     /** The 8-GPU DGX-1 hybrid cube-mesh (NVLink-V1, degree 4). */
     static Topology dgx1();
 
-    /** Every GPU pair directly linked (e.g. NVSwitch-style). */
+    /** Every GPU pair directly linked (NVSwitch / PCIe-switch style).
+     *  Fatal for @p num_gpus < 2. */
     static Topology fullyConnected(int num_gpus);
 
-    /** Simple ring; used by tests and small experiments. */
+    /** Simple ring; used by tests and small experiments. Fatal for
+     *  @p num_gpus < 3 (a 2-node "ring" is a duplicate link). */
     static Topology ring(int num_gpus);
+
+    /**
+     * Arbitrary user-defined graph. Links are validated: endpoints in
+     * range, no self links, no duplicates (in either orientation).
+     */
+    static Topology custom(std::string name, int num_gpus,
+                           std::vector<Link> links);
 
     int numGpus() const { return numGpus_; }
     const std::string &name() const { return name_; }
@@ -53,13 +66,43 @@ class Topology
     /** All single-hop peers of @p gpu. */
     std::vector<GpuId> peersOf(GpuId gpu) const;
 
+    /** @name Precomputed shortest-path routes @{ */
+
+    /**
+     * Links on the shortest route between @p a and @p b: 0 for a==b,
+     * -1 when no route exists (or either id is out of range).
+     */
+    int hopCount(GpuId a, GpuId b) const;
+
+    /** True when some NVLink path (any length) joins the GPUs. */
+    bool reachable(GpuId a, GpuId b) const;
+
+    /**
+     * The deterministic shortest route from @p a to @p b, inclusive of
+     * both endpoints ({a} when a==b, empty when unreachable). Fatal
+     * for out-of-range ids.
+     */
+    const std::vector<GpuId> &route(GpuId a, GpuId b) const;
+
+    /** Human-readable route, e.g. "0 -> 4 -> 5"; "(none)" when absent. */
+    std::string routeString(GpuId a, GpuId b) const;
+
+    /** @} */
+
   private:
     Topology(std::string name, int num_gpus, std::vector<Link> links);
+
+    /** All-pairs BFS distances + materialized routes (see file doc). */
+    void buildRouteTables();
+
+    std::size_t pairIndex(GpuId a, GpuId b) const;
 
     std::string name_;
     int numGpus_;
     std::vector<Link> links_;
-    std::vector<int> linkOf_; // numGpus*numGpus -> link index or -1
+    std::vector<int> linkOf_;  // numGpus*numGpus -> link index or -1
+    std::vector<int> dist_;    // numGpus*numGpus -> hops or -1
+    std::vector<std::vector<GpuId>> routes_; // numGpus*numGpus paths
 };
 
 } // namespace gpubox::noc

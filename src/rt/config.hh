@@ -2,12 +2,20 @@
  * @file
  * System-level configuration: box topology, per-GPU geometry and the
  * timing parameters calibrated against the paper's measurements.
+ *
+ * A SystemConfig is the *resolved* descriptor one Runtime consumes.
+ * Prefer building it from a named rt::Platform (platform.hh), which
+ * bundles topology, geometry, link generation and a calibrated
+ * TimingParams set per simulated machine; the defaults here equal the
+ * `dgx1-p100` platform so existing call sites keep meaning "the
+ * paper's box".
  */
 
 #ifndef GPUBOX_RT_CONFIG_HH
 #define GPUBOX_RT_CONFIG_HH
 
 #include <cstdint>
+#include <string>
 
 #include "gpu/device.hh"
 #include "noc/fabric.hh"
@@ -19,11 +27,13 @@ namespace gpubox::rt
 /**
  * Latency parameters of the memory system.
  *
- * Calibrated to the four clusters of paper Fig. 4: cached local access
- * just over 250 cycles, local DRAM ~450, remote L2 hit ~630 and remote
- * miss ~950 (the '0'/'1' levels of Fig. 10 are 630/950 cycles). Remote
- * accesses add two NVLink hops (FabricParams::hopCycles each way) plus
- * remoteMissExtra on the miss path.
+ * Defaults are calibrated to the four clusters of paper Fig. 4 on the
+ * DGX-1 (P100): cached local access just over 250 cycles, local DRAM
+ * ~450, remote L2 hit ~630 and remote miss ~950 (the '0'/'1' levels of
+ * Fig. 10 are 630/950 cycles). Remote accesses add one NVLink
+ * traversal each way (LinkParams::hopCycles per traversed link) plus
+ * remoteMissExtra on the miss path. Other platforms install their own
+ * calibration (rt::Platform).
  */
 struct TimingParams
 {
@@ -66,8 +76,9 @@ struct TimingParams
     /**
      * @name Stream-ordered DMA (memcpyAsync/memsetAsync)
      * Copy-engine model: fixed launch overhead plus a bulk bandwidth
-     * term. The values approximate an HBM-to-HBM copy engine; a
-     * cross-GPU copy additionally pays one NVLink traversal.
+     * term. dmaBytesPerCycle governs same-GPU (HBM-to-HBM) copies; a
+     * cross-GPU copy instead serializes at the route's bottleneck
+     * link bandwidth and pays every hop (Fabric::transferCycles).
      * @{
      */
     Cycles dmaSetupCycles = 800;
@@ -78,11 +89,21 @@ struct TimingParams
     double clockGhz = 1.48;
 };
 
-/** Full multi-GPU box configuration. */
+/** Full multi-GPU box configuration (resolved platform descriptor). */
 struct SystemConfig
 {
     std::uint64_t seed = 42;
+    /** Name of the rt::Platform this config was derived from; kept
+     *  for reporting (bench CSVs, results sink). */
+    std::string platform = "dgx1-p100";
     noc::Topology topology = noc::Topology::dgx1();
+    /**
+     * Whether the driver relays peer access over multi-hop NVLink
+     * routes. The DGX-1 driver refuses (paper Sec. III-A:
+     * cudaErrorInvalidDevice between non-adjacent GPUs); NVSwitch-
+     * class and routed platforms allow it.
+     */
+    bool peerOverRoutes = false;
     /** Device page size (GPU large page). */
     std::uint64_t pageBytes = 64 * 1024;
     /**
@@ -93,9 +114,10 @@ struct SystemConfig
     std::uint64_t framesPerGpu = 4096;
     gpu::DeviceParams device;
     TimingParams timing;
-    /** NVLink: 180 cy/hop; queueing kicks in beyond ~120 transfer
-     *  legs per 256-cycle window per link (instantaneous bursts). */
-    noc::FabricParams fabric = {180, 256, 120, 2};
+    /** Link generation applied to every fabric link (NVLink-V1:
+     *  180 cy/hop, 32 B/cy bulk; queueing beyond ~120 transfer legs
+     *  per 256-cycle window per link -- instantaneous bursts). */
+    noc::LinkParams link = noc::LinkGen::nvlinkV1();
 };
 
 } // namespace gpubox::rt

@@ -1,0 +1,182 @@
+#include "rt/platform.hh"
+
+#include "util/log.hh"
+
+namespace gpubox::rt
+{
+
+namespace
+{
+
+/**
+ * The paper's machine: eight P100s on the NVLink-V1 hybrid cube-mesh.
+ * Geometry and timing are the Fig. 4 calibration (local hit ~270,
+ * local miss ~450, remote hit ~630, remote miss ~950 cycles); the
+ * driver refuses peer access between non-adjacent GPUs, exactly like
+ * cudaDeviceEnablePeerAccess on the real box.
+ */
+Platform
+dgx1P100()
+{
+    Platform p;
+    p.name = "dgx1-p100";
+    p.description = "8x P100, NVLink-V1 hybrid cube-mesh (the paper's "
+                    "DGX-1; peer access single-hop only)";
+    p.linkGen = "nvlink-v1";
+    p.topology = noc::Topology::dgx1();
+    p.peerOverRoutes = false;
+    p.link = noc::LinkGen::nvlinkV1();
+    // DeviceParams/TimingParams defaults ARE the P100 calibration.
+    return p;
+}
+
+/**
+ * DGX-2 class box: sixteen V100s behind NVSwitch planes. Every GPU
+ * pair gets a full-bandwidth switched path, modelled as a direct link
+ * whose hop latency includes the switch crossing; the driver enables
+ * peer access between any pair. Bigger L2 (8 MiB -> 4096 sets, eight
+ * page colors; the model's power-of-two geometry) and a slightly
+ * faster memory system than the P100.
+ */
+Platform
+dgx2Nvswitch()
+{
+    Platform p;
+    p.name = "dgx2-nvswitch";
+    p.description = "16x V100 behind NVSwitch (DGX-2 class; any-pair "
+                    "peer access, switch hop in every path)";
+    p.linkGen = "nvswitch";
+    p.topology = noc::Topology::fullyConnected(16);
+    p.peerOverRoutes = true;
+    p.link = noc::LinkGen::nvswitch();
+    p.device.numSms = 80;
+    p.device.l2.sizeBytes = 8ULL << 20;
+    p.timing.l2HitCycles = 215;
+    p.timing.hbmCycles = 400;
+    p.timing.remoteMissExtra = 120;
+    p.timing.clockGhz = 1.53;
+    return p;
+}
+
+/**
+ * Four V100-class GPUs on an NVLink-V2 ring (workstation / cloud
+ * quad); P100-sized L2, V100 SM count. Opposite GPUs are two hops
+ * apart and the driver relays peer access over the routed path, so
+ * this is the platform that exercises multi-hop NUMA-L2 attacks.
+ */
+Platform
+quadRing()
+{
+    Platform p;
+    p.name = "quad-ring";
+    p.description = "4x V100 on an NVLink-V2 ring (routed peer access; "
+                    "opposite GPUs are two hops)";
+    p.linkGen = "nvlink-v2";
+    p.topology = noc::Topology::ring(4);
+    p.peerOverRoutes = true;
+    p.link = noc::LinkGen::nvlinkV2();
+    p.device.numSms = 80;
+    p.timing.l2HitCycles = 215;
+    p.timing.hbmCycles = 400;
+    p.timing.remoteMissExtra = 120;
+    p.timing.clockGhz = 1.53;
+    return p;
+}
+
+/**
+ * Commodity four-GPU server without NVLink: peer traffic crosses the
+ * PCIe switch (high latency, narrow, shared). The NUMA-L2 property
+ * still holds, so the attacks work -- at a fraction of the bandwidth,
+ * which is exactly the cross-system comparison the extension bench
+ * reports. Smaller Pascal-class GPUs (2 MiB L2 -> two page colors).
+ */
+Platform
+pcieBox()
+{
+    Platform p;
+    p.name = "pcie-box";
+    p.description = "4x Pascal-class GPUs on a PCIe switch (no NVLink; "
+                    "slow routed peer access)";
+    p.linkGen = "pcie3";
+    p.topology = noc::Topology::fullyConnected(4);
+    p.peerOverRoutes = true;
+    p.link = noc::LinkGen::pcie3();
+    p.device.numSms = 28;
+    p.device.l2.sizeBytes = 2ULL << 20;
+    p.timing.l2HitCycles = 240;
+    p.timing.hbmCycles = 480;
+    p.timing.remoteMissExtra = 200;
+    p.timing.jitterSigma = 8.0;
+    p.timing.clockGhz = 1.60;
+    return p;
+}
+
+} // namespace
+
+SystemConfig
+Platform::systemConfig(std::uint64_t seed) const
+{
+    SystemConfig cfg;
+    cfg.seed = seed;
+    cfg.platform = name;
+    cfg.topology = topology;
+    cfg.peerOverRoutes = peerOverRoutes;
+    cfg.pageBytes = pageBytes;
+    cfg.framesPerGpu = framesPerGpu;
+    cfg.device = device;
+    cfg.timing = timing;
+    cfg.link = link;
+    return cfg;
+}
+
+const std::vector<Platform> &
+allPlatforms()
+{
+    static const std::vector<Platform> platforms = {
+        dgx1P100(),
+        dgx2Nvswitch(),
+        quadRing(),
+        pcieBox(),
+    };
+    return platforms;
+}
+
+const Platform &
+platformByName(const std::string &name)
+{
+    for (const Platform &p : allPlatforms())
+        if (p.name == name)
+            return p;
+    fatal("unknown platform '", name, "' (known platforms: ",
+          platformNamesJoined(), ")");
+}
+
+bool
+platformExists(const std::string &name)
+{
+    for (const Platform &p : allPlatforms())
+        if (p.name == name)
+            return true;
+    return false;
+}
+
+std::vector<std::string>
+platformNames()
+{
+    std::vector<std::string> names;
+    names.reserve(allPlatforms().size());
+    for (const Platform &p : allPlatforms())
+        names.push_back(p.name);
+    return names;
+}
+
+std::string
+platformNamesJoined()
+{
+    std::string joined;
+    for (const Platform &p : allPlatforms())
+        joined += (joined.empty() ? "" : ", ") + p.name;
+    return joined;
+}
+
+} // namespace gpubox::rt

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Named platform descriptors: the family of simulated multi-GPU
+ * systems the attacks run on.
+ *
+ * The paper demonstrates everything on one machine -- the DGX-1
+ * hybrid cube-mesh -- but argues (Sec. VIII) that the NUMA-L2 channel
+ * generalizes to NVSwitch boxes and other multi-GPU systems. A
+ * Platform bundles every machine-specific assumption into one value:
+ * interconnect topology and link generation, per-GPU geometry (SMs,
+ * L2 size/ways/line, page size, modelled HBM frames) and a calibrated
+ * TimingParams set. The attack pipeline carries no baked timing
+ * constants; its hit/miss thresholds are k-means-calibrated online
+ * against whatever platform the scenario selects.
+ */
+
+#ifndef GPUBOX_RT_PLATFORM_HH
+#define GPUBOX_RT_PLATFORM_HH
+
+#include <string>
+#include <vector>
+
+#include "rt/config.hh"
+
+namespace gpubox::rt
+{
+
+/** One named multi-GPU system descriptor. */
+struct Platform
+{
+    /** Registry key (e.g. "dgx1-p100"); also the Scenario label. */
+    std::string name;
+    /** One-line summary shown by `gpubox_bench --list-json`. */
+    std::string description;
+    /** Link generation label ("nvlink-v1", "nvswitch", "pcie3"...). */
+    std::string linkGen;
+    noc::Topology topology = noc::Topology::dgx1();
+    bool peerOverRoutes = false;
+    std::uint64_t pageBytes = 64 * 1024;
+    std::uint64_t framesPerGpu = 4096;
+    gpu::DeviceParams device;
+    TimingParams timing;
+    /** Defaults to NVLink-V1, matching SystemConfig's default. */
+    noc::LinkParams link = noc::LinkGen::nvlinkV1();
+
+    /** Resolve into the SystemConfig a Runtime consumes. */
+    SystemConfig systemConfig(std::uint64_t seed) const;
+};
+
+/** @name Platform registry @{ */
+
+/** Descriptor by name; fatal with the known names on a miss. */
+const Platform &platformByName(const std::string &name);
+
+/** True when @p name is registered. */
+bool platformExists(const std::string &name);
+
+/** Every registered platform, in registration order. */
+const std::vector<Platform> &allPlatforms();
+
+/** Registered names, in registration order. */
+std::vector<std::string> platformNames();
+
+/** Comma-joined registered names for diagnostics ("a, b, c"). */
+std::string platformNamesJoined();
+
+/** @} */
+
+} // namespace gpubox::rt
+
+#endif // GPUBOX_RT_PLATFORM_HH

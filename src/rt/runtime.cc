@@ -21,7 +21,7 @@ Runtime::Runtime(const SystemConfig &config)
 
     engine_ = std::make_unique<sim::Engine>(config_.seed);
     fabric_ = std::make_unique<noc::Fabric>(config_.topology,
-                                            config_.fabric);
+                                            config_.link);
 
     const int n = config_.topology.numGpus();
     for (GpuId g = 0; g < n; ++g) {
@@ -135,14 +135,32 @@ Runtime::enablePeerAccess(Process &proc, GpuId from, GpuId to)
         return Status::error(StatusCode::SameDevice,
                              "enablePeerAccess: same device");
     }
-    if (!config_.topology.connected(from, to)) {
-        // The real CUDA runtime returns an error when the GPUs are not
-        // connected by NVLink (paper Sec. III-A).
+    if (!config_.topology.reachable(from, to)) {
         return Status::error(StatusCode::NotConnected,
-                             "enablePeerAccess: GPUs " +
-                                 std::to_string(from) + " and " +
-                                 std::to_string(to) +
-                                 " are not connected by NVLink");
+                             "enablePeerAccess: no NVLink route exists "
+                             "between GPU " +
+                                 std::to_string(from) + " and GPU " +
+                                 std::to_string(to) + " on platform '" +
+                                 config_.platform + "' (route: " +
+                                 config_.topology.routeString(from, to) +
+                                 ")");
+    }
+    if (!config_.topology.connected(from, to) &&
+        !config_.peerOverRoutes) {
+        // The DGX-1 driver returns an error when the GPUs are not
+        // directly connected by NVLink (paper Sec. III-A); platforms
+        // with peerOverRoutes relay access along the routed path.
+        return Status::error(
+            StatusCode::NotConnected,
+            "enablePeerAccess: GPU " + std::to_string(from) +
+                " and GPU " + std::to_string(to) +
+                " share no direct NVLink and platform '" +
+                config_.platform +
+                "' does not relay peer access over routed paths "
+                "(shortest route " +
+                config_.topology.routeString(from, to) + ", " +
+                std::to_string(config_.topology.hopCount(from, to)) +
+                " hops)");
     }
     proc.peers_.insert({from, to});
     return Status::okStatus();
@@ -210,18 +228,23 @@ Runtime::startTransferOp(Stream &s, const Stream::Op &op)
     const bool is_copy = op.kind == Stream::Op::Kind::Memcpy;
     Process &proc = s.process();
 
-    Cycles cost = t.dmaSetupCycles +
-                  divCeil(op.bytes, static_cast<std::uint64_t>(
-                                        t.dmaBytesPerCycle));
+    Cycles cost = t.dmaSetupCycles;
+    bool cross_gpu = false;
+    GpuId src_home = 0, dst_home = 0;
     if (is_copy) {
-        const GpuId dst_home = codec_.gpuOf(proc.space().translate(op.dst));
-        const GpuId src_home = codec_.gpuOf(proc.space().translate(op.src));
-        // Cross-GPU DMA pays one NVLink traversal (the bulk transfer
-        // pipelines behind it); the traffic is visible to link
-        // monitors like any other leg.
-        if (src_home != dst_home)
-            cost += fabric_->traverse(src_home, dst_home,
-                                      engine_->now());
+        dst_home = codec_.gpuOf(proc.space().translate(op.dst));
+        src_home = codec_.gpuOf(proc.space().translate(op.src));
+        cross_gpu = src_home != dst_home;
+    }
+    if (cross_gpu) {
+        // Cross-GPU DMA pays every hop of the route and serializes at
+        // the bottleneck link's bandwidth (Fabric::transferCycles);
+        // the traffic is visible to link monitors like any other leg.
+        cost += fabric_->transferCycles(src_home, dst_home,
+                                        engine_->now(), op.bytes);
+    } else {
+        cost += divCeil(op.bytes, static_cast<std::uint64_t>(
+                                      t.dmaBytesPerCycle));
     }
 
     const std::string name =

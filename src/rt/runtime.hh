@@ -96,13 +96,34 @@ class Runtime
     void deviceFree(Process &proc, VAddr base);
 
     /**
-     * Enable peer access from @p from to @p to. Mirrors the CUDA
-     * behaviour on the DGX-1: an error Status unless the GPUs share a
-     * direct NVLink (single hop), exactly like
-     * cudaDeviceEnablePeerAccess returns cudaErrorInvalidDevice.
-     * Callers that cannot continue chain .orFatal().
+     * Enable peer access from @p from to @p to. What succeeds is a
+     * platform property: on the DGX-1 the driver refuses unless the
+     * GPUs share a direct NVLink (single hop), exactly like
+     * cudaDeviceEnablePeerAccess returning cudaErrorInvalidDevice;
+     * platforms with SystemConfig::peerOverRoutes relay peer access
+     * along the precomputed multi-hop route instead. The error Status
+     * names both GPUs and the (absent) route. Callers that cannot
+     * continue chain .orFatal().
      */
     Status enablePeerAccess(Process &proc, GpuId from, GpuId to);
+
+    /**
+     * True when this platform can grant peer access from @p from to
+     * @p to: a direct NVLink, or any routed path on platforms whose
+     * driver relays peer access over routes
+     * (SystemConfig::peerOverRoutes).
+     */
+    bool
+    peerReachable(GpuId from, GpuId to) const
+    {
+        if (from == to || from < 0 || to < 0 || from >= numGpus() ||
+            to >= numGpus())
+            return false;
+        if (config_.topology.connected(from, to))
+            return true;
+        return config_.peerOverRoutes &&
+               config_.topology.reachable(from, to);
+    }
 
     /**
      * MIG-style L2 way partitioning (paper Sec. VII): split every

@@ -36,12 +36,18 @@ class ContentionMeter
 
     /**
      * Record one request at time @p now and return its queueing delay.
+     *
+     * Windows only advance: requests whose arrival time lands in an
+     * already-passed window (skewed multi-hop or response-leg arrival
+     * times interleaved with at-issue records) are counted toward the
+     * current window instead of resetting it, so mixed-skew traffic
+     * on a shared link cannot wipe the occupancy state.
      */
     Cycles
     record(Cycles now)
     {
         const Cycles win = window_ ? now / window_ : 0;
-        if (win != currentWindow_) {
+        if (win > currentWindow_) {
             currentWindow_ = win;
             inWindow_ = 0;
         }

@@ -365,11 +365,11 @@ simBenchSpec(const std::string &name)
     spec.description = "synthetic " + name;
     spec.csvHeader = {"name", "seed",   "latency_sum", "steps",
                       "cycles", "r0", "r1"};
-    spec.scenarios = [name](std::uint64_t seed) {
+    spec.scenarios = [name](const exp::ScenarioDefaults &d) {
         exp::Scenario base;
         base.name = name;
-        base.seed = seed;
-        base.system = test::smallConfig(seed);
+        base.seed = d.seed;
+        base.system = test::smallConfig(d.seed);
         return exp::ScenarioMatrix(base)
             .axis("rep", {{"a", noop()}, {"b", noop()}})
             .expand();
@@ -538,9 +538,14 @@ TEST(BenchRegistry, ResultsJsonIsPopulated)
     std::remove(path.c_str());
     std::remove("json_bench.csv");
 
-    EXPECT_NE(js.find("\"schema\": \"gpubox-bench-results/v1\""),
+    EXPECT_NE(js.find("\"schema\": \"gpubox-bench-results/v2\""),
               std::string::npos);
     EXPECT_NE(js.find("\"seed\": 11"), std::string::npos);
+    // No --platform override: the run records the default marker and
+    // each bench entry lists the platforms its scenarios used.
+    EXPECT_NE(js.find("\"platform\": \"default\""), std::string::npos);
+    EXPECT_NE(js.find("\"platforms\": [\"dgx1-p100\"]"),
+              std::string::npos);
     EXPECT_NE(js.find("\"name\": \"json_bench\""), std::string::npos);
     EXPECT_NE(js.find("\"scenarios\": 2"), std::string::npos);
     EXPECT_NE(js.find("\"failures\": 0"), std::string::npos);

@@ -1,7 +1,8 @@
 /**
  * @file
- * Unit tests for the interconnect: DGX-1 topology shape, peer checks,
- * fabric latency and contention.
+ * Unit tests for the interconnect: DGX-1 topology shape, constructor
+ * validation, route tables (symmetry, minimality, determinism), peer
+ * checks, multi-hop fabric latency and contention.
  */
 
 #include <gtest/gtest.h>
@@ -88,25 +89,179 @@ TEST(Topology, RingShape)
     EXPECT_FALSE(t.connected(0, 2));
 }
 
-TEST(Topology, TwoGpuRingHasSingleLink)
-{
-    const Topology t = Topology::ring(2);
-    EXPECT_EQ(t.links().size(), 1u);
-    EXPECT_TRUE(t.connected(0, 1));
-}
-
 TEST(Topology, OutOfRangeQueriesAreFalse)
 {
     const Topology t = Topology::dgx1();
     EXPECT_FALSE(t.connected(-1, 0));
     EXPECT_FALSE(t.connected(0, 8));
     EXPECT_EQ(t.linkIndex(0, 99), -1);
+    EXPECT_EQ(t.hopCount(-1, 3), -1);
+    EXPECT_FALSE(t.reachable(0, 8));
 }
+
+// ---- constructor validation --------------------------------------------
+
+TEST(TopologyValidation, DegenerateRingIsFatal)
+{
+    // A 2-node "ring" would lay the same link twice; n < 3 must be
+    // rejected with a clear message rather than silently accepted.
+    EXPECT_THROW(Topology::ring(2), FatalError);
+    EXPECT_THROW(Topology::ring(1), FatalError);
+    EXPECT_THROW(Topology::ring(0), FatalError);
+    EXPECT_THROW(Topology::ring(-4), FatalError);
+    EXPECT_NO_THROW(Topology::ring(3));
+}
+
+TEST(TopologyValidation, DegenerateFullyConnectedIsFatal)
+{
+    EXPECT_THROW(Topology::fullyConnected(1), FatalError);
+    EXPECT_THROW(Topology::fullyConnected(0), FatalError);
+    EXPECT_THROW(Topology::fullyConnected(-1), FatalError);
+    EXPECT_NO_THROW(Topology::fullyConnected(2));
+}
+
+TEST(TopologyValidation, SelfLinkIsFatal)
+{
+    EXPECT_THROW(Topology::custom("bad", 4, {{0, 1}, {2, 2}}),
+                 FatalError);
+}
+
+TEST(TopologyValidation, DuplicateLinkIsFatal)
+{
+    EXPECT_THROW(Topology::custom("bad", 4, {{0, 1}, {0, 1}}),
+                 FatalError);
+    // The reversed orientation is the same undirected link.
+    EXPECT_THROW(Topology::custom("bad", 4, {{0, 1}, {1, 0}}),
+                 FatalError);
+}
+
+TEST(TopologyValidation, OutOfRangeLinkIsFatal)
+{
+    EXPECT_THROW(Topology::custom("bad", 4, {{0, 4}}), FatalError);
+    EXPECT_THROW(Topology::custom("bad", 4, {{-1, 2}}), FatalError);
+}
+
+TEST(TopologyValidation, CustomGraphWorks)
+{
+    // A path 0-1-2-3 plus a stub 3-0 closing the square.
+    const Topology t =
+        Topology::custom("square", 4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+    EXPECT_EQ(t.name(), "square");
+    EXPECT_EQ(t.links().size(), 4u);
+    EXPECT_EQ(t.hopCount(0, 2), 2);
+}
+
+// ---- route tables ------------------------------------------------------
+
+TEST(Routes, Dgx1HopCounts)
+{
+    const Topology t = Topology::dgx1();
+    EXPECT_EQ(t.hopCount(0, 0), 0);
+    EXPECT_EQ(t.hopCount(0, 1), 1); // intra-quad
+    EXPECT_EQ(t.hopCount(0, 4), 1); // cross link
+    EXPECT_EQ(t.hopCount(0, 5), 2); // non-matching cross pair
+    EXPECT_EQ(t.hopCount(1, 6), 2);
+    EXPECT_EQ(t.hopCount(0, 7), 2);
+}
+
+TEST(Routes, EndpointsAndAdjacency)
+{
+    const Topology t = Topology::dgx1();
+    for (GpuId a = 0; a < t.numGpus(); ++a) {
+        for (GpuId b = 0; b < t.numGpus(); ++b) {
+            const auto &path = t.route(a, b);
+            ASSERT_FALSE(path.empty());
+            EXPECT_EQ(path.front(), a);
+            EXPECT_EQ(path.back(), b);
+            // Every step of the route is a real link.
+            for (std::size_t i = 0; i + 1 < path.size(); ++i)
+                EXPECT_TRUE(t.connected(path[i], path[i + 1]));
+        }
+    }
+}
+
+TEST(Routes, SymmetricMinimalAndDeterministic)
+{
+    // Property test over several shapes: routes are symmetric
+    // (route(b,a) is the reversed route(a,b)), minimal-length
+    // (length == independently computed shortest distance + 1) and
+    // byte-identical across repeated constructions.
+    const auto check = [](const Topology &t, const Topology &again) {
+        const int n = t.numGpus();
+        // Independent all-pairs shortest distances (Floyd-Warshall).
+        std::vector<std::vector<int>> d(
+            n, std::vector<int>(n, 1 << 20));
+        for (GpuId a = 0; a < n; ++a) {
+            d[a][a] = 0;
+            for (GpuId b = 0; b < n; ++b)
+                if (t.connected(a, b))
+                    d[a][b] = 1;
+        }
+        for (int k = 0; k < n; ++k)
+            for (int i = 0; i < n; ++i)
+                for (int j = 0; j < n; ++j)
+                    d[i][j] = std::min(d[i][j], d[i][k] + d[k][j]);
+
+        for (GpuId a = 0; a < n; ++a) {
+            for (GpuId b = 0; b < n; ++b) {
+                const auto &fwd = t.route(a, b);
+                const auto &rev = t.route(b, a);
+                // Symmetry.
+                std::vector<GpuId> flipped(rev.rbegin(), rev.rend());
+                EXPECT_EQ(fwd, flipped) << a << "->" << b;
+                // Minimality.
+                ASSERT_LT(d[a][b], 1 << 20);
+                EXPECT_EQ(static_cast<int>(fwd.size()), d[a][b] + 1)
+                    << a << "->" << b;
+                EXPECT_EQ(t.hopCount(a, b), d[a][b]);
+                // Determinism across constructions.
+                EXPECT_EQ(fwd, again.route(a, b)) << a << "->" << b;
+            }
+        }
+    };
+    check(Topology::dgx1(), Topology::dgx1());
+    check(Topology::ring(6), Topology::ring(6));
+    check(Topology::fullyConnected(5), Topology::fullyConnected(5));
+    check(Topology::custom("h", 6, {{0, 1}, {1, 2}, {3, 4}, {4, 5},
+                                    {0, 3}, {2, 5}}),
+          Topology::custom("h", 6, {{0, 1}, {1, 2}, {3, 4}, {4, 5},
+                                    {0, 3}, {2, 5}}));
+}
+
+TEST(Routes, TieBreaksTowardLowestNextHop)
+{
+    // Ring of 4: 0 and 2 are joined by 0-1-2 and 0-3-2; the lowest
+    // next-hop rule must pick 1.
+    const Topology t = Topology::ring(4);
+    const std::vector<GpuId> expect{0, 1, 2};
+    EXPECT_EQ(t.route(0, 2), expect);
+    EXPECT_EQ(t.routeString(0, 2), "0 -> 1 -> 2");
+}
+
+TEST(Routes, DisconnectedPairsHaveNoRoute)
+{
+    const Topology t =
+        Topology::custom("islands", 4, {{0, 1}, {2, 3}});
+    EXPECT_EQ(t.hopCount(0, 2), -1);
+    EXPECT_FALSE(t.reachable(1, 3));
+    EXPECT_TRUE(t.route(0, 3).empty());
+    EXPECT_EQ(t.routeString(0, 3), "(none)");
+    EXPECT_TRUE(t.reachable(0, 1));
+}
+
+TEST(Routes, OutOfRangeRouteIsFatal)
+{
+    const Topology t = Topology::dgx1();
+    EXPECT_THROW(t.route(0, 99), FatalError);
+    EXPECT_THROW(t.route(-1, 0), FatalError);
+}
+
+// ---- fabric ------------------------------------------------------------
 
 TEST(Fabric, BaseHopLatency)
 {
     const Topology t = Topology::dgx1();
-    FabricParams p;
+    LinkParams p;
     p.hopCycles = 180;
     p.freeSlotsPerWindow = 1000; // no contention
     Fabric fabric(t, p);
@@ -116,17 +271,77 @@ TEST(Fabric, BaseHopLatency)
     EXPECT_EQ(fabric.linkTransfers(1, 0), 1u); // undirected
 }
 
-TEST(Fabric, NonAdjacentTraverseIsFatal)
+TEST(Fabric, MultiHopTraverseChargesEveryLink)
 {
     const Topology t = Topology::dgx1();
-    Fabric fabric(t, FabricParams{});
-    EXPECT_THROW(fabric.traverse(0, 5, 0), FatalError);
+    LinkParams p;
+    p.hopCycles = 100;
+    p.freeSlotsPerWindow = 1000; // no contention
+    Fabric fabric(t, p);
+    // 0 and 5 are two hops apart; the deterministic route is 0-1-5.
+    EXPECT_EQ(t.routeString(0, 5), "0 -> 1 -> 5");
+    EXPECT_EQ(fabric.traverse(0, 5, 0), 200u);
+    EXPECT_EQ(fabric.totalTransfers(), 2u);
+    EXPECT_EQ(fabric.linkTransfers(0, 1), 1u);
+    EXPECT_EQ(fabric.linkTransfers(1, 5), 1u);
+    EXPECT_EQ(fabric.linkTransfers(0, 4), 0u); // alternative unused
+}
+
+TEST(Fabric, MultiHopSeesPerLinkContention)
+{
+    const Topology t = Topology::ring(4);
+    LinkParams p;
+    p.hopCycles = 100;
+    p.windowCycles = 1000;
+    p.freeSlotsPerWindow = 1;
+    p.queueCyclesPerExtra = 50;
+    Fabric fabric(t, p);
+    // Fill link 0-1's free slot...
+    EXPECT_EQ(fabric.traverse(0, 1, 0), 100u);
+    // ...then route 0-1-2: first hop queues, second is free.
+    EXPECT_EQ(fabric.traverse(0, 2, 0), 100u + 50u + 100u);
+}
+
+TEST(Fabric, UnreachableTraverseIsFatal)
+{
+    const Topology t =
+        Topology::custom("islands", 4, {{0, 1}, {2, 3}});
+    Fabric fabric(t, LinkParams{});
+    EXPECT_THROW(fabric.traverse(0, 2, 0), FatalError);
+    EXPECT_THROW(fabric.traverse(1, 1, 0), FatalError); // self
+}
+
+TEST(Fabric, TransferSerializesAtBottleneckLink)
+{
+    // Path 0-1-2 with a narrow middle link.
+    const Topology t = Topology::custom("path", 3, {{0, 1}, {1, 2}});
+    std::vector<LinkParams> per_link(2);
+    for (auto &p : per_link) {
+        p.hopCycles = 100;
+        p.freeSlotsPerWindow = 1000;
+        p.bytesPerCycle = 64;
+    }
+    per_link[1].bytesPerCycle = 8;
+    Fabric fabric(t, std::move(per_link));
+    // Route 0-1-2: 2 hops + 4096 bytes at min(64, 8) B/cycle.
+    EXPECT_EQ(fabric.transferCycles(0, 2, 0, 4096), 200u + 512u);
+    // The wide single-hop leg serializes at its own bandwidth.
+    EXPECT_EQ(fabric.transferCycles(1, 0, 0, 4096), 100u + 64u);
+}
+
+TEST(Fabric, PerLinkParamCountIsValidated)
+{
+    const Topology t = Topology::ring(4);
+    EXPECT_THROW(Fabric(t, std::vector<LinkParams>(3)), FatalError);
+    LinkParams zero_bw;
+    zero_bw.bytesPerCycle = 0;
+    EXPECT_THROW(Fabric(t, zero_bw), FatalError);
 }
 
 TEST(Fabric, ContentionAddsQueueing)
 {
     const Topology t = Topology::fullyConnected(2);
-    FabricParams p;
+    LinkParams p;
     p.hopCycles = 100;
     p.windowCycles = 1000;
     p.freeSlotsPerWindow = 2;
@@ -143,7 +358,7 @@ TEST(Fabric, ContentionAddsQueueing)
 TEST(Fabric, LinksAreIndependent)
 {
     const Topology t = Topology::fullyConnected(3);
-    FabricParams p;
+    LinkParams p;
     p.hopCycles = 100;
     p.windowCycles = 1000;
     p.freeSlotsPerWindow = 1;
@@ -158,18 +373,11 @@ TEST(Fabric, LinksAreIndependent)
 TEST(Fabric, ResetStatsClearsCounters)
 {
     const Topology t = Topology::fullyConnected(2);
-    Fabric fabric(t, FabricParams{});
+    Fabric fabric(t, LinkParams{});
     fabric.traverse(0, 1, 0);
     fabric.resetStats();
     EXPECT_EQ(fabric.totalTransfers(), 0u);
     EXPECT_EQ(fabric.linkTransfers(0, 1), 0u);
-}
-
-TEST(Topology, DuplicateLinkIsFatal)
-{
-    // Exercised through the factory path: rings of size 2 would have a
-    // duplicate link if not special-cased.
-    EXPECT_NO_THROW(Topology::ring(2));
 }
 
 } // namespace

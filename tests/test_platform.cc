@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the platform descriptor layer: registry contents, config
+ * resolution, per-platform geometry constraints and the peer-access
+ * policy each descriptor encodes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rt/platform.hh"
+#include "rt/runtime.hh"
+#include "util/log.hh"
+
+namespace gpubox::rt
+{
+namespace
+{
+
+TEST(PlatformRegistry, KnownPlatformsAreRegistered)
+{
+    const auto names = platformNames();
+    ASSERT_EQ(names.size(), 4u);
+    EXPECT_EQ(names[0], "dgx1-p100");
+    EXPECT_EQ(names[1], "dgx2-nvswitch");
+    EXPECT_EQ(names[2], "quad-ring");
+    EXPECT_EQ(names[3], "pcie-box");
+    for (const auto &n : names) {
+        EXPECT_TRUE(platformExists(n));
+        EXPECT_EQ(platformByName(n).name, n);
+        EXPECT_FALSE(platformByName(n).description.empty());
+        EXPECT_FALSE(platformByName(n).linkGen.empty());
+    }
+    EXPECT_FALSE(platformExists("dgx9000"));
+    EXPECT_THROW(platformByName("dgx9000"), FatalError);
+}
+
+TEST(PlatformRegistry, Dgx1IsThePapersBox)
+{
+    const Platform &p = platformByName("dgx1-p100");
+    EXPECT_EQ(p.topology.numGpus(), 8);
+    EXPECT_EQ(p.topology.links().size(), 16u);
+    EXPECT_FALSE(p.peerOverRoutes);
+    EXPECT_EQ(p.device.l2.sizeBytes, 4ULL << 20);
+    EXPECT_EQ(p.device.numSms, 56);
+    // The resolved SystemConfig must equal the historical defaults so
+    // "default scenario" keeps meaning "the paper's machine".
+    const SystemConfig cfg = p.systemConfig(7);
+    const SystemConfig defaults;
+    EXPECT_EQ(cfg.seed, 7u);
+    EXPECT_EQ(cfg.platform, "dgx1-p100");
+    EXPECT_EQ(cfg.pageBytes, defaults.pageBytes);
+    EXPECT_EQ(cfg.framesPerGpu, defaults.framesPerGpu);
+    EXPECT_EQ(cfg.timing.l2HitCycles, defaults.timing.l2HitCycles);
+    EXPECT_EQ(cfg.link.hopCycles, defaults.link.hopCycles);
+}
+
+TEST(PlatformRegistry, DescriptorsDifferWhereTheyShould)
+{
+    const Platform &dgx2 = platformByName("dgx2-nvswitch");
+    EXPECT_EQ(dgx2.topology.numGpus(), 16);
+    EXPECT_TRUE(dgx2.peerOverRoutes);
+    EXPECT_EQ(dgx2.device.l2.sizeBytes, 8ULL << 20);
+
+    const Platform &ring = platformByName("quad-ring");
+    EXPECT_EQ(ring.topology.numGpus(), 4);
+    EXPECT_EQ(ring.topology.hopCount(0, 2), 2);
+    EXPECT_TRUE(ring.peerOverRoutes);
+
+    const Platform &pcie = platformByName("pcie-box");
+    EXPECT_EQ(pcie.linkGen, "pcie3");
+    // PCIe: much higher per-hop latency, much lower bandwidth.
+    EXPECT_GT(pcie.link.hopCycles, dgx2.link.hopCycles);
+    EXPECT_LT(pcie.link.bytesPerCycle, dgx2.link.bytesPerCycle);
+}
+
+TEST(PlatformRegistry, GeometryFitsTheHashedIndexer)
+{
+    // Every platform's L2 must satisfy the model's power-of-two
+    // page-color constraint and yield at least one color.
+    for (const Platform &p : allPlatforms()) {
+        const std::uint32_t sets = p.device.l2.numSets();
+        const std::uint32_t lines_per_page = static_cast<std::uint32_t>(
+            p.pageBytes / p.device.l2.lineBytes);
+        ASSERT_GT(lines_per_page, 0u) << p.name;
+        EXPECT_EQ(sets % lines_per_page, 0u) << p.name;
+        EXPECT_EQ(sets & (sets - 1), 0u) << p.name;
+        EXPECT_GE(sets / lines_per_page, 1u) << p.name;
+    }
+}
+
+TEST(PlatformRegistry, EveryPlatformBootsARuntime)
+{
+    for (const Platform &p : allPlatforms()) {
+        Runtime rt(p.systemConfig(3));
+        EXPECT_EQ(rt.numGpus(), p.topology.numGpus()) << p.name;
+        EXPECT_EQ(rt.config().platform, p.name);
+        // GPUs 0 and 1 are adjacent everywhere: the standard bench
+        // attack pair works on the whole family.
+        Process &proc = rt.createProcess("probe");
+        EXPECT_TRUE(rt.enablePeerAccess(proc, 0, 1).ok()) << p.name;
+    }
+}
+
+TEST(PlatformRegistry, PeerPolicyMatchesDescriptor)
+{
+    // DGX-1 refuses two-hop peers, the routed platforms accept their
+    // most distant pair.
+    Runtime dgx1(platformByName("dgx1-p100").systemConfig(1));
+    Process &a = dgx1.createProcess("a");
+    EXPECT_EQ(dgx1.enablePeerAccess(a, 0, 5).code(),
+              StatusCode::NotConnected);
+    EXPECT_FALSE(dgx1.peerReachable(0, 5));
+
+    Runtime ring(platformByName("quad-ring").systemConfig(1));
+    Process &b = ring.createProcess("b");
+    EXPECT_TRUE(ring.enablePeerAccess(b, 0, 2).ok());
+    EXPECT_TRUE(ring.peerReachable(0, 2));
+
+    Runtime pcie(platformByName("pcie-box").systemConfig(1));
+    Process &c = pcie.createProcess("c");
+    EXPECT_TRUE(pcie.enablePeerAccess(c, 0, 3).ok());
+}
+
+TEST(PlatformRegistry, LatencyClustersStayOrderedOnEveryPlatform)
+{
+    // The NUMA-L2 attack needs LH < LM < RH < RM between the pair the
+    // benches use; verify the calibration-free ground truth ordering
+    // from each descriptor's timing/link parameters.
+    for (const Platform &p : allPlatforms()) {
+        const TimingParams &t = p.timing;
+        const Cycles two_hops = 2 * p.link.hopCycles;
+        const Cycles lh = t.l2HitCycles;
+        const Cycles lm = t.hbmCycles;
+        const Cycles rh = t.l2HitCycles + two_hops;
+        const Cycles rm = t.hbmCycles + two_hops + t.remoteMissExtra;
+        EXPECT_LT(lh, lm) << p.name;
+        EXPECT_LT(lm, rh) << p.name;
+        EXPECT_LT(rh, rm) << p.name;
+        // Separation must clear the jitter by a wide margin.
+        EXPECT_GT(rh - lm, 10 * t.jitterSigma) << p.name;
+    }
+}
+
+} // namespace
+} // namespace gpubox::rt

@@ -90,6 +90,81 @@ TEST_F(RtTest, PeerAccessRequiresLink)
     EXPECT_FALSE(p.peerEnabled(1, 0)); // directed
 }
 
+TEST_F(RtTest, PeerAccessFailureNamesGpusAndRoute)
+{
+    rt::SystemConfig cfg = smallConfig();
+    cfg.topology = noc::Topology::ring(4);
+    cfg.platform = "test-ring";
+    Runtime rt(cfg);
+    Process &p = rt.createProcess("p");
+
+    // Non-adjacent pair on a platform that refuses routed peer
+    // access: the message names both GPUs, the platform and the
+    // (unused) shortest route.
+    const Status st = rt.enablePeerAccess(p, 0, 2);
+    ASSERT_EQ(st.code(), StatusCode::NotConnected);
+    EXPECT_NE(st.message().find("GPU 0"), std::string::npos)
+        << st.message();
+    EXPECT_NE(st.message().find("GPU 2"), std::string::npos);
+    EXPECT_NE(st.message().find("test-ring"), std::string::npos);
+    EXPECT_NE(st.message().find("0 -> 1 -> 2"), std::string::npos);
+    EXPECT_NE(st.message().find("2 hops"), std::string::npos);
+
+    // A genuinely routeless pair reports the absent route.
+    rt::SystemConfig split = smallConfig();
+    split.topology =
+        noc::Topology::custom("islands", 4, {{0, 1}, {2, 3}});
+    split.peerOverRoutes = true; // routes still don't exist
+    Runtime rt2(split);
+    Process &q = rt2.createProcess("q");
+    const Status none = rt2.enablePeerAccess(q, 0, 3);
+    ASSERT_EQ(none.code(), StatusCode::NotConnected);
+    EXPECT_NE(none.message().find("no NVLink route"),
+              std::string::npos)
+        << none.message();
+    EXPECT_NE(none.message().find("(none)"), std::string::npos);
+}
+
+TEST_F(RtTest, PeerAccessOverRoutedPathWhenPlatformAllows)
+{
+    rt::SystemConfig cfg = smallConfig();
+    cfg.topology = noc::Topology::ring(4);
+    cfg.peerOverRoutes = true;
+    Runtime rt(cfg);
+    Process &p = rt.createProcess("p");
+    ASSERT_TRUE(rt.enablePeerAccess(p, 0, 2).ok());
+    EXPECT_TRUE(p.peerEnabled(0, 2));
+    EXPECT_TRUE(rt.peerReachable(0, 2));
+
+    // A remote access over the two-hop route pays both links each
+    // way: the remote-hit latency sits two hop charges above the
+    // local L2 hit.
+    const VAddr remote = rt.deviceMalloc(p, 2, 4096);
+    Cycles cold = 0, warm = 0;
+    auto kernel = [&, remote](BlockCtx &ctx) -> sim::Task {
+        Cycles t0 = ctx.clock();
+        co_await ctx.ldcg64(remote);
+        cold = ctx.clock() - t0;
+        t0 = ctx.clock();
+        co_await ctx.ldcg64(remote);
+        warm = ctx.clock() - t0;
+    };
+    gpu::KernelConfig kcfg;
+    auto h = rt.stream(p, 0).launch(kcfg, kernel);
+    rt.sync(h);
+
+    const TimingParams &t = rt.timing();
+    const Cycles hop = rt.config().link.hopCycles;
+    EXPECT_NEAR(static_cast<double>(warm),
+                static_cast<double>(t.l2HitCycles + 4 * hop +
+                                    t.clockReadCycles),
+                40.0);
+    EXPECT_NEAR(static_cast<double>(cold),
+                static_cast<double>(t.hbmCycles + t.remoteMissExtra +
+                                    4 * hop + t.clockReadCycles),
+                40.0);
+}
+
 TEST_F(RtTest, RemoteAccessWithoutPeerIsFatal)
 {
     Process &p = rt_.createProcess("p");

@@ -393,6 +393,18 @@ TEST(ContentionMeter, WindowRollsOver)
     EXPECT_EQ(m.totalRequests(), 3u);
 }
 
+TEST(ContentionMeter, LateRecordsCannotWipeTheWindow)
+{
+    // Multi-hop routes and response legs record at skewed arrival
+    // times; a record landing in an already-passed window must count
+    // toward the current window, not reset it (windows only advance).
+    ContentionMeter m(1000, 1, 10);
+    EXPECT_EQ(m.record(1500), 0u);  // window 1
+    EXPECT_EQ(m.record(200), 10u);  // late arrival: still window 1
+    EXPECT_EQ(m.occupancy(1500), 2u);
+    EXPECT_EQ(m.record(1600), 20u); // window 1 kept accumulating
+}
+
 TEST(Log, FatalThrows)
 {
     EXPECT_THROW(fatal("boom ", 42), FatalError);
