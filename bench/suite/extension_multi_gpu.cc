@@ -11,8 +11,19 @@
  * covert-channel bandwidth/error-rate and fingerprint accuracy per
  * platform. The spy sits on the GPU *farthest* from the victim that
  * the platform grants peer access to, so routed multi-hop attacks
- * (quad-ring: two NVLink hops) are exercised alongside the paper's
- * single-hop case.
+ * (quad-ring: two NVLink hops, switched fabrics: through real switch
+ * nodes) are exercised alongside the paper's single-hop case.
+ *
+ * Two comparisons the switched-fabric refactor added:
+ *
+ *  - On MIG-sliced descriptors (dgx2-mig2) the trojan and spy land in
+ *    different L2 slices, so the prime+probe channel dies the way the
+ *    Sec. VII defense predicts -- while the fabric stays shared.
+ *  - The cross-pair *port-contention* channel (attack::covert::
+ *    PortChannel) signals through a shared switch crossbar or link
+ *    between two fully disjoint GPU pairs: no eviction sets, immune
+ *    to MIG, impossible on point-to-point boxes. The sweep quantifies
+ *    where each machine's seam helps or hurts each attack.
  */
 
 #include <algorithm>
@@ -20,6 +31,7 @@
 #include <memory>
 
 #include "attack/covert/channel.hh"
+#include "attack/covert/port_channel.hh"
 #include "attack/evset_finder.hh"
 #include "attack/set_aligner.hh"
 #include "attack/side/fingerprint.hh"
@@ -34,6 +46,11 @@ namespace gpubox::bench
 {
 namespace
 {
+
+/** Cross-pair channel payload: small enough to stay a fraction of the
+ *  sweep's cost at one bit per symbol, big enough for a stable error
+ *  percentage. */
+constexpr std::size_t kXPairBits = 1024;
 
 /**
  * The most distant GPU the platform lets a spy attack GPU 0 from:
@@ -68,16 +85,31 @@ runCrossPlatform(const exp::Scenario &sc, exp::RunContext &ctx)
     rt::Process &trojan = rt.createProcess("trojan");
     rt::Process &spy = rt.createProcess("spy");
 
+    // MIG-sliced descriptors boot already partitioned; co-tenants get
+    // different slices, the administrative setup the descriptor
+    // models. The fabric is NOT partitioned.
+    const unsigned slices = sc.system.migSlices;
+    if (slices > 1) {
+        rt.assignPartition(trojan, 0);
+        rt.assignPartition(spy, 1);
+    }
+
     std::string text = headerText(
         "cross-system sweep: platform " + sc.system.platform);
-    text += strf("  %d GPUs on '%s' topology, spy GPU %d -> victim "
-                 "GPU %d over route %s (%d hop%s)\n",
+    text += strf("  %d GPUs on '%s' topology (%d switch node%s), spy "
+                 "GPU %d -> victim GPU %d over route %s (%d hop%s)\n",
                  rt.numGpus(), rt.config().topology.name().c_str(),
+                 rt.config().topology.numSwitches(),
+                 rt.config().topology.numSwitches() == 1 ? "" : "s",
                  spy_gpu, victim_gpu,
                  rt.config().topology
                      .routeString(spy_gpu, victim_gpu)
                      .c_str(),
                  hops, hops == 1 ? "" : "s");
+    if (slices > 1)
+        text += strf("  administrative MIG: %u-way L2 slices, trojan "
+                     "slice 0 / spy slice 1\n",
+                     slices);
 
     // Online calibration against this platform's timing (no baked
     // thresholds anywhere downstream).
@@ -102,29 +134,75 @@ runCrossPlatform(const exp::Scenario &sc, exp::RunContext &ctx)
     attack::SetAligner aligner(rt, trojan, spy, victim_gpu, spy_gpu,
                                calib.thresholds);
     auto mapping = aligner.alignGroups(*tf, *sf);
-    auto pairs = aligner.alignedPairs(*tf, *sf, mapping,
-                                      sc.attack.covertSets);
+    int matched_groups = 0;
+    for (int m : mapping)
+        matched_groups += m >= 0 ? 1 : 0;
 
-    // Covert channel: the symbol period derives from the calibrated
-    // remote-miss latency, so slow fabrics get longer symbols instead
-    // of a corrupted channel.
-    attack::covert::CovertChannel channel(rt, trojan, spy, victim_gpu,
-                                          spy_gpu, std::move(pairs),
-                                          calib.thresholds);
-    Rng rng(sc.seed ^ 0x9999);
-    std::vector<std::uint8_t> payload(sc.attack.messageBits);
-    for (auto &b : payload)
-        b = rng.chance(0.5) ? 1 : 0;
-    std::vector<std::uint8_t> rx;
-    auto stats = channel.transmit(payload, rx);
-    text += strf("  covert channel (%u sets): %6.3f Mbit/s, error "
-                 "%.2f%%\n",
-                 sc.attack.covertSets, stats.bandwidthMbitPerSec,
-                 100.0 * stats.errorRate);
+    // L2 prime+probe covert channel: the symbol period derives from
+    // the calibrated remote-miss latency, so slow fabrics get longer
+    // symbols instead of a corrupted channel. On MIG-sliced boxes the
+    // trojan cannot evict the spy's lines, Algorithm 2 matches no
+    // group and the channel is dead -- exactly Sec. VII.
+    double covert_bw = 0.0;
+    double covert_err_pct = 100.0;
+    if (matched_groups > 0) {
+        auto pairs = aligner.alignedPairs(*tf, *sf, mapping,
+                                          sc.attack.covertSets);
+        attack::covert::CovertChannel channel(rt, trojan, spy,
+                                              victim_gpu, spy_gpu,
+                                              std::move(pairs),
+                                              calib.thresholds);
+        Rng rng(sc.seed ^ 0x9999);
+        std::vector<std::uint8_t> payload(sc.attack.messageBits);
+        for (auto &b : payload)
+            b = rng.chance(0.5) ? 1 : 0;
+        std::vector<std::uint8_t> rx;
+        auto stats = channel.transmit(payload, rx);
+        covert_bw = stats.bandwidthMbitPerSec;
+        covert_err_pct = 100.0 * stats.errorRate;
+        text += strf("  L2 covert channel (%u sets): %6.3f Mbit/s, "
+                     "error %.2f%%\n",
+                     sc.attack.covertSets, covert_bw, covert_err_pct);
+    } else {
+        text += "  L2 covert channel: DEAD (no eviction-set pair "
+                "collides across the MIG slices)\n";
+    }
+
+    // Cross-pair port-contention channel: trojan floods its own
+    // (victim, spy) route while a second, fully disjoint GPU pair
+    // listens for crossbar/port queueing on the shared switch.
+    double xpair_bw = 0.0;
+    double xpair_err_pct = 50.0;
+    attack::covert::GpuPair tpair{victim_gpu, spy_gpu};
+    attack::covert::GpuPair spair;
+    if (attack::covert::PortChannel::findInterferingPair(rt, tpair,
+                                                         &spair)) {
+        attack::covert::PortChannel port(rt, trojan, spy, tpair, spair);
+        Rng rng(sc.seed ^ 0x70c7);
+        std::vector<std::uint8_t> payload(kXPairBits);
+        for (auto &b : payload)
+            b = rng.chance(0.5) ? 1 : 0;
+        std::vector<std::uint8_t> rx;
+        auto stats = port.transmit(payload, rx);
+        xpair_bw = stats.bandwidthMbitPerSec;
+        xpair_err_pct = 100.0 * stats.errorRate;
+        text += strf("  cross-pair port channel %d-%d ~> %d-%d via "
+                     "%s: %6.3f Mbit/s, error %.2f%% (symbol %llu "
+                     "cycles)\n",
+                     tpair.src, tpair.dst, spair.src, spair.dst,
+                     port.sharedResourceString().c_str(), xpair_bw,
+                     xpair_err_pct,
+                     static_cast<unsigned long long>(
+                         port.symbolCycles()));
+    } else {
+        text += "  cross-pair port channel: IMPOSSIBLE (no disjoint "
+                "pair shares a switch or link with the attack "
+                "route)\n";
+    }
 
     // Fingerprinting at a sweep-friendly sample count: enough to
-    // separate the six applications, cheap enough to repeat on four
-    // platforms.
+    // separate the six applications, cheap enough to repeat per
+    // platform.
     attack::side::FingerprintConfig fpcfg;
     fpcfg.samplesPerApp = 6;
     fpcfg.trainPerApp = 3;
@@ -143,17 +221,51 @@ runCrossPlatform(const exp::Scenario &sc, exp::RunContext &ctx)
                  100.0 * fpres.testAccuracy,
                  100.0 * fpres.validationAccuracy);
 
+    // Per-port occupancy of the fabric after the whole pipeline: how
+    // much of the traffic actually crossed switch nodes, and how hot
+    // the hottest directed port ran (schema v3 results sink).
+    const noc::Topology &topo = rt.config().topology;
+    std::uint64_t switch_crossings = 0;
+    for (noc::NodeId swn = topo.numGpus(); swn < topo.numNodes(); ++swn)
+        switch_crossings += rt.fabric().switchCrossings(swn);
+    std::uint64_t max_port = 0;
+    for (const noc::Link &l : topo.links()) {
+        max_port = std::max(max_port,
+                            rt.fabric().portTransfers(l.first, l.second));
+        max_port = std::max(max_port,
+                            rt.fabric().portTransfers(l.second, l.first));
+    }
+    if (topo.numSwitches() > 0)
+        text += strf("  fabric: %llu transfers, %llu switch "
+                     "crossings, hottest port %llu transfers\n",
+                     static_cast<unsigned long long>(
+                         rt.fabric().totalTransfers()),
+                     static_cast<unsigned long long>(switch_crossings),
+                     static_cast<unsigned long long>(max_port));
+
     const rt::Platform &plat = rt::platformByName(sc.system.platform);
-    ctx.row(sc.system.platform, plat.linkGen, hops,
-            stats.bandwidthMbitPerSec, 100.0 * stats.errorRate,
+    ctx.row(sc.system.platform, plat.linkGen, hops, covert_bw,
+            covert_err_pct, xpair_bw, xpair_err_pct,
             100.0 * fpres.testAccuracy);
-    ctx.metric(strf("covert_bw_mbit_s[platform=%s]",
-                    sc.system.platform.c_str()),
-               stats.bandwidthMbitPerSec);
-    ctx.metric(strf("covert_err_pct[platform=%s]", sc.system.platform.c_str()),
-               100.0 * stats.errorRate);
-    ctx.metric(strf("fp_acc_pct[platform=%s]", sc.system.platform.c_str()),
+    const char *pn = sc.system.platform.c_str();
+    ctx.metric(strf("covert_bw_mbit_s[platform=%s]", pn), covert_bw);
+    ctx.metric(strf("covert_err_pct[platform=%s]", pn), covert_err_pct);
+    ctx.metric(strf("xpair_bw_mbit_s[platform=%s]", pn), xpair_bw);
+    ctx.metric(strf("xpair_err_pct[platform=%s]", pn), xpair_err_pct);
+    ctx.metric(strf("fp_acc_pct[platform=%s]", pn),
                100.0 * fpres.testAccuracy);
+    ctx.metric(strf("calib_center_lh[platform=%s]", pn),
+               calib.thresholds.localHitCenter);
+    ctx.metric(strf("calib_center_lm[platform=%s]", pn),
+               calib.thresholds.localMissCenter);
+    ctx.metric(strf("calib_center_rh[platform=%s]", pn),
+               calib.thresholds.remoteHitCenter);
+    ctx.metric(strf("calib_center_rm[platform=%s]", pn),
+               calib.thresholds.remoteMissCenter);
+    ctx.metric(strf("switch_crossings[platform=%s]", pn),
+               static_cast<double>(switch_crossings));
+    ctx.metric(strf("max_port_transfers[platform=%s]", pn),
+               static_cast<double>(max_port));
     ctx.text(std::move(text));
     simCyclesMetric(ctx, rt);
 }
@@ -184,28 +296,35 @@ crossPlatformScenarios(const exp::ScenarioDefaults &d)
 void
 renderCrossPlatform(const exp::Report &report, std::FILE *out)
 {
-    std::fprintf(out, "%s",
-                 headerText("cross-system summary: the NUMA-L2 channel "
-                            "per platform")
+    std::fprintf(out,
+                 "%s",
+                 headerText("cross-system summary: L2 channel vs "
+                            "cross-pair port channel per platform")
                      .c_str());
-    std::fprintf(out, "  %-16s %-10s %4s  %12s  %9s  %8s\n", "platform",
-                 "link", "hops", "BW (Mbit/s)", "error", "fp acc");
+    std::fprintf(out,
+                 "  %-16s %-16s %4s  %19s  %19s  %7s\n", "platform",
+                 "link", "hops", "L2 covert (err)", "port ch. (err)",
+                 "fp acc");
     for (const auto &res : report.results) {
         for (const auto &row : res.rows) {
-            std::fprintf(out,
-                         "  %-16s %-10s %4s  %12.3f  %8.2f%%  %7.1f%%\n",
-                         row[0].c_str(), row[1].c_str(), row[2].c_str(),
-                         std::strtod(row[3].c_str(), nullptr),
-                         std::strtod(row[4].c_str(), nullptr),
-                         std::strtod(row[5].c_str(), nullptr));
+            std::fprintf(
+                out,
+                "  %-16s %-16s %4s  %10.3f (%5.1f%%)  %10.3f "
+                "(%5.1f%%)  %6.1f%%\n",
+                row[0].c_str(), row[1].c_str(), row[2].c_str(),
+                std::strtod(row[3].c_str(), nullptr),
+                std::strtod(row[4].c_str(), nullptr),
+                std::strtod(row[5].c_str(), nullptr),
+                std::strtod(row[6].c_str(), nullptr),
+                std::strtod(row[7].c_str(), nullptr));
         }
     }
-    std::fprintf(out,
-                 "\n  the channel survives every descriptor -- NVSwitch "
-                 "any-pair access, routed two-hop rings, even PCIe -- "
-                 "with bandwidth set by the fabric's latency, the "
-                 "generalization the paper's closing discussion "
-                 "predicts\n");
+    std::fprintf(
+        out,
+        "\n  the L2 channel survives every descriptor that shares an "
+        "L2 -- and dies on the MIG-sliced box -- while the cross-pair "
+        "port channel needs a switched fabric: zero on point-to-point "
+        "machines, alive through every shared crossbar, MIG or not\n");
 }
 
 } // namespace
@@ -216,10 +335,12 @@ registerExtensionMultiGpu()
     exp::BenchSpec spec;
     spec.name = "extension_multi_gpu";
     spec.description =
-        "cross-system sweep: covert bandwidth/error and fingerprint "
-        "accuracy per platform descriptor";
-    spec.csvHeader = {"platform",      "link_gen",       "hops",
-                      "covert_mbit_s", "covert_err_pct", "fp_acc_pct"};
+        "cross-system sweep: L2 + cross-pair port covert channels and "
+        "fingerprint accuracy per platform descriptor";
+    spec.csvHeader = {"platform",       "link_gen",
+                      "hops",           "covert_mbit_s",
+                      "covert_err_pct", "xpair_mbit_s",
+                      "xpair_err_pct",  "fp_acc_pct"};
     spec.scenarios = crossPlatformScenarios;
     spec.run = runCrossPlatform;
     spec.render = renderCrossPlatform;

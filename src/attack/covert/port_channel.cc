@@ -1,0 +1,327 @@
+#include "attack/covert/port_channel.hh"
+
+#include <algorithm>
+
+#include "util/log.hh"
+
+namespace gpubox::attack::covert
+{
+
+namespace
+{
+
+/** Intermediate switch nodes and link indices of one route. */
+void
+routeResources(const noc::Topology &topo, const GpuPair &p,
+               std::vector<noc::NodeId> *switches, std::vector<int> *links)
+{
+    const std::vector<noc::NodeId> &path = topo.route(p.src, p.dst);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        links->push_back(topo.linkIndex(path[i], path[i + 1]));
+        if (topo.isSwitch(path[i + 1]) && i + 2 < path.size())
+            switches->push_back(path[i + 1]);
+    }
+}
+
+} // namespace
+
+bool
+PortChannel::routesInterfere(const noc::Topology &topo, GpuPair a,
+                             GpuPair b)
+{
+    if (!topo.reachable(a.src, a.dst) || !topo.reachable(b.src, b.dst))
+        return false;
+    std::vector<noc::NodeId> asw, bsw;
+    std::vector<int> alink, blink;
+    routeResources(topo, a, &asw, &alink);
+    routeResources(topo, b, &bsw, &blink);
+    for (noc::NodeId s : asw)
+        if (std::find(bsw.begin(), bsw.end(), s) != bsw.end())
+            return true;
+    for (int l : alink)
+        if (std::find(blink.begin(), blink.end(), l) != blink.end())
+            return true;
+    return false;
+}
+
+bool
+PortChannel::findInterferingPair(const rt::Runtime &rt,
+                                 GpuPair trojan_pair, GpuPair *spy_pair)
+{
+    const noc::Topology &topo = rt.topology();
+    for (GpuId c = 0; c < rt.numGpus(); ++c) {
+        if (c == trojan_pair.src || c == trojan_pair.dst)
+            continue;
+        for (GpuId d = c + 1; d < rt.numGpus(); ++d) {
+            if (d == trojan_pair.src || d == trojan_pair.dst)
+                continue;
+            if (!rt.peerReachable(c, d))
+                continue;
+            if (!routesInterfere(topo, trojan_pair, GpuPair{c, d}))
+                continue;
+            if (spy_pair)
+                *spy_pair = GpuPair{c, d};
+            return true;
+        }
+    }
+    return false;
+}
+
+PortChannel::PortChannel(rt::Runtime &rt, rt::Process &trojan_proc,
+                         rt::Process &spy_proc, GpuPair trojan_pair,
+                         GpuPair spy_pair,
+                         const PortChannelConfig &config)
+    : rt_(rt), trojanProc_(trojan_proc), spyProc_(spy_proc),
+      trojanPair_(trojan_pair), spyPair_(spy_pair), config_(config)
+{
+    const noc::Topology &topo = rt_.topology();
+    for (const GpuPair *p : {&trojanPair_, &spyPair_}) {
+        if (p->src == p->dst || !rt_.peerReachable(p->src, p->dst))
+            fatal("port channel: GPU pair (", p->src, ",", p->dst,
+                  ") is not a peer-reachable pair on platform '",
+                  rt_.config().platform, "'");
+    }
+    for (GpuId g : {spyPair_.src, spyPair_.dst}) {
+        if (g == trojanPair_.src || g == trojanPair_.dst)
+            fatal("port channel: spy pair (", spyPair_.src, ",",
+                  spyPair_.dst, ") overlaps trojan pair (",
+                  trojanPair_.src, ",", trojanPair_.dst,
+                  ") -- the cross-pair premise needs four distinct "
+                  "GPUs");
+    }
+
+    // The shared fabric is the channel medium; refusing to construct
+    // without one turns a silent 50%-error channel into a usage error.
+    std::vector<noc::NodeId> tsw, ssw;
+    std::vector<int> tlink, slink;
+    routeResources(topo, trojanPair_, &tsw, &tlink);
+    routeResources(topo, spyPair_, &ssw, &slink);
+    for (noc::NodeId s : tsw)
+        if (std::find(ssw.begin(), ssw.end(), s) != ssw.end())
+            sharedSwitches_.push_back(s);
+    for (int l : tlink)
+        if (std::find(slink.begin(), slink.end(), l) != slink.end())
+            sharedLinks_.push_back(l);
+    if (sharedSwitches_.empty() && sharedLinks_.empty())
+        fatal("port channel: routes ",
+              topo.routeString(trojanPair_.src, trojanPair_.dst),
+              " and ", topo.routeString(spyPair_.src, spyPair_.dst),
+              " share no switch or link on platform '",
+              rt_.config().platform,
+              "' -- no contention to modulate");
+
+    rt_.enablePeerAccess(trojanProc_, trojanPair_.src, trojanPair_.dst)
+        .orFatal();
+    rt_.enablePeerAccess(spyProc_, spyPair_.src, spyPair_.dst)
+        .orFatal();
+
+    const std::uint32_t line = rt_.config().device.l2.lineBytes;
+    const VAddr tbuf = rt_.deviceMalloc(
+        trojanProc_, trojanPair_.dst,
+        static_cast<std::uint64_t>(config_.trojanBurstLines) * line);
+    for (unsigned i = 0; i < config_.trojanBurstLines; ++i)
+        trojanLines_.push_back(tbuf + static_cast<VAddr>(i) * line);
+    const VAddr sbuf = rt_.deviceMalloc(
+        spyProc_, spyPair_.dst,
+        static_cast<std::uint64_t>(config_.spyProbeLines) * line);
+    for (unsigned i = 0; i < config_.spyProbeLines; ++i)
+        spyLines_.push_back(sbuf + static_cast<VAddr>(i) * line);
+
+    trojanBurstEstimate_ =
+        probeEstimate(trojanPair_, config_.trojanBurstLines);
+
+    // Widest contention window of the fabric: symbols are aligned to
+    // it so the trojan's burst (charged at the symbol boundary) and
+    // the spy's probe land in the *same* window every symbol.
+    windowCycles_ = rt_.config().link.windowCycles;
+    for (const noc::LinkParams &p : rt_.config().perLink)
+        windowCycles_ = std::max(windowCycles_, p.windowCycles);
+    if (topo.numSwitches() > 0)
+        windowCycles_ = std::max(
+            windowCycles_, rt_.config().switchParams.windowCycles);
+    if (windowCycles_ == 0)
+        windowCycles_ = 1;
+
+    if (config_.symbolCycles == 0) {
+        const Cycles spy_probe =
+            probeEstimate(spyPair_, config_.spyProbeLines);
+        const Cycles target =
+            std::max({2 * windowCycles_, 2 * spy_probe,
+                      trojanBurstEstimate_ + spy_probe});
+        config_.symbolCycles =
+            (target + windowCycles_ - 1) / windowCycles_ *
+            windowCycles_;
+    }
+}
+
+Cycles
+PortChannel::probeEstimate(const GpuPair &pair, unsigned lines) const
+{
+    const rt::TimingParams &t = rt_.timing();
+    const Cycles leg = rt_.fabric().routeBaseCycles(pair.src, pair.dst);
+    const Cycles worst_line =
+        2 * leg + t.hbmCycles + t.remoteMissExtra;
+    return worst_line +
+           (lines ? (lines - 1) * t.pipelineGapCycles : 0);
+}
+
+std::string
+PortChannel::sharedResourceString() const
+{
+    const noc::Topology &topo = rt_.topology();
+    std::string out;
+    for (noc::NodeId s : sharedSwitches_) {
+        if (!out.empty())
+            out += ", ";
+        out += topo.nodeName(s);
+    }
+    for (int l : sharedLinks_) {
+        if (!out.empty())
+            out += ", ";
+        const auto [a, b] = topo.links()[static_cast<std::size_t>(l)];
+        out += "link " + topo.nodeName(a) + "-" + topo.nodeName(b);
+    }
+    return out.empty() ? "(none)" : out;
+}
+
+ChannelStats
+PortChannel::transmit(const std::vector<std::uint8_t> &bits,
+                      std::vector<std::uint8_t> &received)
+{
+    // Known alternating preamble first, payload after.
+    std::vector<std::uint8_t> all_bits;
+    all_bits.reserve(config_.preambleSymbols + bits.size());
+    for (unsigned p = 0; p < config_.preambleSymbols; ++p)
+        all_bits.push_back((p % 2 == 0) ? 1 : 0);
+    all_bits.insert(all_bits.end(), bits.begin(), bits.end());
+
+    const std::size_t num_symbols = all_bits.size();
+    const Cycles symbol = config_.symbolCycles;
+    // Window-aligned start (see symbolCycles): with symbol a multiple
+    // of the window, every symbol boundary opens a fresh window.
+    const Cycles start =
+        (rt_.engine().now() + config_.warmupCycles + windowCycles_ -
+         1) /
+        windowCycles_ * windowCycles_;
+    std::vector<double> peaks(num_symbols, 0.0);
+
+    // ---- Trojan: flood the route during '1' symbols ----
+    auto trojan_kernel = [&, start, symbol,
+                          num_symbols](rt::BlockCtx &ctx) -> sim::Task {
+        for (std::size_t s = 0; s < num_symbols; ++s) {
+            co_await ctx.waitUntil(start + s * symbol);
+            if (all_bits[s] != 1)
+                continue;
+            const Cycles end = start + (s + 1) * symbol;
+            for (unsigned b = 0; b < config_.maxBurstsPerSymbol; ++b) {
+                if (ctx.actor().now() + trojanBurstEstimate_ > end)
+                    break;
+                co_await ctx.probeSet(trojanLines_);
+            }
+        }
+    };
+
+    // ---- Spy: one latency sample per symbol on its own route ----
+    auto spy_kernel = [&, start, symbol,
+                       num_symbols](rt::BlockCtx &ctx) -> sim::Task {
+        // Warm pass so later probes hit the home L2 consistently.
+        co_await ctx.waitUntil(start > symbol ? start - symbol : 0);
+        co_await ctx.probeSet(spyLines_);
+        for (std::size_t s = 0; s < num_symbols; ++s) {
+            const Cycles ideal =
+                start + s * symbol +
+                static_cast<Cycles>(
+                    config_.spyPhase *
+                    static_cast<double>(windowCycles_));
+            const double slip =
+                config_.slipSigmaBase > 0.0
+                    ? ctx.actor().rng().normal(0.0,
+                                               config_.slipSigmaBase)
+                    : 0.0;
+            Cycles target = ideal;
+            if (slip > 0.0) {
+                target += static_cast<Cycles>(slip);
+            } else if (ideal > static_cast<Cycles>(-slip)) {
+                target = ideal - static_cast<Cycles>(-slip);
+            }
+            co_await ctx.waitUntil(target);
+            auto res = co_await ctx.probeSet(spyLines_);
+            // Peak per-line latency, not the mean: the first probed
+            // line pays the full crossbar/port queue, while later
+            // lines may land after the spy's own response legs rolled
+            // the contention window forward. The peak survives that
+            // roll on every fabric shape.
+            double peak = 0.0;
+            for (Cycles c : res.perLineCycles)
+                peak = std::max(peak, static_cast<double>(c));
+            peaks[s] = peak;
+            co_await ctx.sharedAccess();
+        }
+    };
+
+    gpu::KernelConfig tcfg;
+    tcfg.name = "port-trojan";
+    tcfg.numBlocks = 1;
+    tcfg.threadsPerBlock = config_.trojanThreads;
+    tcfg.sharedMemBytes = config_.sharedMemBytes;
+
+    gpu::KernelConfig scfg;
+    scfg.name = "port-spy";
+    scfg.numBlocks = 1;
+    scfg.threadsPerBlock = config_.spyThreads;
+    scfg.sharedMemBytes = config_.sharedMemBytes;
+
+    rt::Stream &tstream = rt_.stream(trojanProc_, trojanPair_.src);
+    rt::Stream &sstream = rt_.stream(spyProc_, spyPair_.src);
+    tstream.launch(tcfg, trojan_kernel);
+    sstream.launch(scfg, spy_kernel);
+    rt_.sync(tstream);
+    rt_.sync(sstream);
+
+    // Self-calibrated decision threshold: midpoint of the preamble's
+    // '1' and '0' peak latencies. With no interference the two levels
+    // coincide and the payload decodes at chance -- the measurable
+    // "this platform has no shared port" outcome.
+    double sum1 = 0.0, sum0 = 0.0;
+    unsigned n1 = 0, n0 = 0;
+    for (unsigned p = 0; p < config_.preambleSymbols; ++p) {
+        if (all_bits[p] == 1) {
+            sum1 += peaks[p];
+            ++n1;
+        } else {
+            sum0 += peaks[p];
+            ++n0;
+        }
+    }
+    const double thr = ((n1 ? sum1 / n1 : 0.0) +
+                        (n0 ? sum0 / n0 : 0.0)) /
+                       2.0;
+
+    received.assign(bits.size(), 0);
+    std::size_t errors = 0;
+    for (std::size_t j = 0; j < bits.size(); ++j) {
+        received[j] =
+            peaks[config_.preambleSymbols + j] > thr ? 1 : 0;
+        if (received[j] != bits[j])
+            ++errors;
+    }
+
+    ChannelStats stats;
+    stats.bitsSent = bits.size();
+    stats.bitErrors = errors;
+    stats.errorRate = bits.empty() ? 0.0
+                                   : static_cast<double>(errors) /
+                                         static_cast<double>(bits.size());
+    stats.elapsedCycles = num_symbols * symbol;
+    const double seconds = static_cast<double>(stats.elapsedCycles) /
+                           (rt_.timing().clockGhz * 1e9);
+    stats.bandwidthMbitPerSec =
+        seconds > 0.0
+            ? static_cast<double>(bits.size()) / seconds / 1e6
+            : 0.0;
+    stats.bandwidthMBytePerSec = stats.bandwidthMbitPerSec / 8.0;
+    stats.probeTraceSet0 = std::move(peaks);
+    return stats;
+}
+
+} // namespace gpubox::attack::covert

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Cross-pair switch-port covert channel.
+ *
+ * The prime+probe channel of channel.hh needs the trojan and spy to
+ * share a physical L2 -- which MIG slicing closes and which requires
+ * eviction-set discovery. On a switched fabric there is a second,
+ * coarser shared resource: the switch itself. Two transfers between
+ * *disjoint* GPU pairs whose routes cross the same switch contend on
+ * its crossbar (and, when the routes overlap, on the shared port's
+ * ingress/egress queues), so a trojan moving traffic between GPUs
+ * (A,B) modulates the remote-access latency a spy measures between
+ * GPUs (C,D) even though the four GPUs, the processes and their L2
+ * slices are fully disjoint.
+ *
+ * Per symbol the trojan either floods its route with warp-parallel
+ * remote reads (bit '1') or stays silent (bit '0'); the spy probes its
+ * own route once per symbol and compares the *peak* per-line latency
+ * (the first probed line pays the full queue; see transmit()) against
+ * a threshold it self-calibrates from a known alternating preamble. No
+ * eviction sets, no calibrated thresholds, no shared memory: the
+ * channel needs nothing but peer access on two routes that intersect.
+ */
+
+#ifndef GPUBOX_ATTACK_COVERT_PORT_CHANNEL_HH
+#define GPUBOX_ATTACK_COVERT_PORT_CHANNEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attack/covert/channel.hh"
+#include "noc/topology.hh"
+#include "rt/runtime.hh"
+
+namespace gpubox::attack::covert
+{
+
+/** One transfer pair: kernels run on src and read memory homed on
+ *  dst, so every access rides the src->dst route (both legs). */
+struct GpuPair
+{
+    GpuId src = -1;
+    GpuId dst = -1;
+};
+
+/** Port-contention channel timing parameters. */
+struct PortChannelConfig
+{
+    /**
+     * Symbol (bit) period in cycles. 0 (the default) derives it from
+     * the descriptor: at least twice the widest contention window of
+     * the shared fabric and long enough for one trojan burst plus the
+     * spy's probe (durations computed from the routes' uncontended
+     * base cost), rounded up to a whole number of windows -- slower
+     * fabrics get longer symbols. Symbols are window-aligned so the
+     * trojan's burst and the spy's probe meet inside one contention
+     * window deterministically.
+     */
+    Cycles symbolCycles = 0;
+    /** Spy probes at symbol start + spyPhase * the fabric's widest
+     *  contention window (inside the window the trojan just loaded). */
+    double spyPhase = 0.5;
+    /** Cycles both sides wait before the first symbol. */
+    Cycles warmupCycles = 20000;
+    /**
+     * Known alternating symbols (1,0,1,0,...) prepended to every
+     * transmission; the spy derives its decision threshold from their
+     * latency means, so the channel self-calibrates per platform.
+     */
+    unsigned preambleSymbols = 8;
+    /** Lines the spy reads per probe (means average access jitter). */
+    unsigned spyProbeLines = 12;
+    /** Lines per trojan congestion burst (one warp-parallel read);
+     *  sized past an NVSwitch crossbar's free slots per window. */
+    unsigned trojanBurstLines = 256;
+    /** Upper bound on bursts per '1' symbol (pacing safety valve). */
+    unsigned maxBurstsPerSymbol = 16;
+    /**
+     * Baseline symbol-clock slip (cycles, Gaussian sigma): the two
+     * GPUs share no clock, as in channel.hh.
+     */
+    double slipSigmaBase = 150.0;
+    std::uint32_t trojanThreads = 32;
+    std::uint32_t spyThreads = 64;
+    std::uint32_t sharedMemBytes = 16 * 1024;
+};
+
+/**
+ * A configured cross-pair port-contention channel. Construction is
+ * fatal unless the two pairs are disjoint, both routes are
+ * peer-reachable and the routes actually intersect (share a switch
+ * node or a link) -- use findInterferingPair() for discovery.
+ */
+class PortChannel
+{
+  public:
+    PortChannel(rt::Runtime &rt, rt::Process &trojan_proc,
+                rt::Process &spy_proc, GpuPair trojan_pair,
+                GpuPair spy_pair,
+                const PortChannelConfig &config = PortChannelConfig());
+
+    /**
+     * Transmit @p bits (values 0/1) trojan->spy. The preamble is
+     * prepended internally; @p received holds only the payload
+     * decisions. Stats count payload bits but charge the preamble's
+     * air time against bandwidth.
+     */
+    ChannelStats transmit(const std::vector<std::uint8_t> &bits,
+                          std::vector<std::uint8_t> &received);
+
+    /** Switch nodes both routes traverse (possibly empty). */
+    const std::vector<noc::NodeId> &sharedSwitches() const
+    {
+        return sharedSwitches_;
+    }
+
+    /** Links (by topology index) both routes traverse. */
+    const std::vector<int> &sharedLinkIndices() const
+    {
+        return sharedLinks_;
+    }
+
+    /** Human-readable shared-resource summary, e.g. "sw1" or
+     *  "sw8, sw9, link 8-9". */
+    std::string sharedResourceString() const;
+
+    Cycles symbolCycles() const { return config_.symbolCycles; }
+
+    /** True when the routes of @p a and @p b share a switch node or a
+     *  link (the premise of this channel). */
+    static bool routesInterfere(const noc::Topology &topo, GpuPair a,
+                                GpuPair b);
+
+    /**
+     * Deterministically pick the lowest-id spy pair disjoint from
+     * @p trojan_pair that is peer-reachable and whose route interferes
+     * with the trojan's. @return false when the platform offers none
+     * (e.g. every pair rides a dedicated point-to-point link).
+     */
+    static bool findInterferingPair(const rt::Runtime &rt,
+                                    GpuPair trojan_pair,
+                                    GpuPair *spy_pair);
+
+  private:
+    /** Uncontended duration estimate of one warp-parallel read of
+     *  @p lines remote lines along @p pair's route. */
+    Cycles probeEstimate(const GpuPair &pair, unsigned lines) const;
+
+    rt::Runtime &rt_;
+    rt::Process &trojanProc_;
+    rt::Process &spyProc_;
+    GpuPair trojanPair_;
+    GpuPair spyPair_;
+    PortChannelConfig config_;
+    std::vector<noc::NodeId> sharedSwitches_;
+    std::vector<int> sharedLinks_;
+    std::vector<VAddr> trojanLines_;
+    std::vector<VAddr> spyLines_;
+    Cycles trojanBurstEstimate_ = 0;
+    /** Widest contention window of the shared fabric (alignment). */
+    Cycles windowCycles_ = 0;
+};
+
+} // namespace gpubox::attack::covert
+
+#endif // GPUBOX_ATTACK_COVERT_PORT_CHANNEL_HH

@@ -9,7 +9,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "attack/timing_oracle.hh"
 #include "rt/platform.hh"
+#include "rt/runtime.hh"
 #include "util/log.hh"
 
 namespace gpubox::exp
@@ -76,24 +78,16 @@ joinPath(const std::string &dir, const std::string &file)
 }
 
 void
-usageExit(const char *argv0, const std::string &msg, bool driver)
+usageExit(const char *argv0, const std::string &msg)
 {
     std::fprintf(stderr, "%s: %s\n", argv0, msg.c_str());
-    if (driver) {
-        std::fprintf(
-            stderr,
-            "usage: %s [--list] [--list-json] [--only a,b]\n"
-            "          [--platform P] [seed] [--seed N]\n"
-            "          [--threads N] [--repeat N] [--out-dir D]\n"
-            "          [--results F] [--no-results] [--quiet]\n",
-            argv0);
-    } else {
-        std::fprintf(stderr,
-                     "usage: %s [seed] [--seed N] [--platform P] "
-                     "[--threads N] [--repeat N] [--out-dir D] "
-                     "[--results F] [--quiet]\n",
-                     argv0);
-    }
+    std::fprintf(
+        stderr,
+        "usage: %s [--list] [--list-json] [--only a,b]\n"
+        "          [--platform P] [seed] [--seed N]\n"
+        "          [--threads N] [--repeat N] [--out-dir D]\n"
+        "          [--results F] [--no-results] [--quiet]\n",
+        argv0);
     std::exit(2);
 }
 
@@ -107,7 +101,7 @@ struct DriverArgs
 };
 
 DriverArgs
-parseDriverArgs(int argc, char **argv, bool driver)
+parseDriverArgs(int argc, char **argv)
 {
     DriverArgs args;
     // Strict numeric parsing: garbage must exit 2 with usage, not
@@ -117,17 +111,15 @@ parseDriverArgs(int argc, char **argv, bool driver)
         char *end = nullptr;
         const std::uint64_t v = std::strtoull(raw, &end, 0);
         if (end == raw || *end != '\0')
-            usageExit(argv[0],
-                      "invalid number '" + std::string(raw) +
-                          "' for " + flag,
-                      driver);
+            usageExit(argv[0], "invalid number '" + std::string(raw) +
+                                   "' for " + flag);
         return v;
     };
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         auto next_val = [&]() -> const char * {
             if (i + 1 >= argc)
-                usageExit(argv[0], "missing value after " + a, driver);
+                usageExit(argv[0], "missing value after " + a);
             return argv[++i];
         };
         if (a == "--seed")
@@ -139,7 +131,7 @@ parseDriverArgs(int argc, char **argv, bool driver)
             args.opt.repeat =
                 static_cast<unsigned>(parse_u64(a, next_val()));
             if (args.opt.repeat == 0)
-                usageExit(argv[0], "--repeat must be >= 1", driver);
+                usageExit(argv[0], "--repeat must be >= 1");
         }
         else if (a == "--out-dir")
             args.opt.outDir = next_val();
@@ -151,26 +143,46 @@ parseDriverArgs(int argc, char **argv, bool driver)
                 usageExit(argv[0],
                           "unknown platform '" + args.opt.platform +
                               "' (known: " +
-                              rt::platformNamesJoined() + ")",
-                          driver);
+                              rt::platformNamesJoined() + ")");
             }
         }
         else if (a == "--quiet")
             args.opt.progress = false;
-        else if (driver && a == "--list")
+        else if (a == "--list")
             args.list = true;
-        else if (driver && a == "--list-json")
+        else if (a == "--list-json")
             args.listJson = true;
-        else if (driver && a == "--only")
+        else if (a == "--only")
             args.only = next_val();
-        else if (driver && a == "--no-results")
+        else if (a == "--no-results")
             args.noResults = true;
         else if (!a.empty() && a[0] != '-')
             args.opt.seed = parse_u64("the positional seed", a.c_str());
         else
-            usageExit(argv[0], "unknown flag " + a, driver);
+            usageExit(argv[0], "unknown flag " + a);
     }
     return args;
+}
+
+/**
+ * Calibrate the timing model of every platform in @p platforms (the
+ * sink's drift-tracking artifact): one isolated Runtime per platform,
+ * the bench-standard spy-on-GPU-1-probes-GPU-0 pair, deterministic in
+ * @p seed.
+ */
+std::vector<std::pair<std::string, attack::TimingThresholds>>
+calibrationArtifact(std::uint64_t seed,
+                    const std::vector<std::string> &platforms)
+{
+    std::vector<std::pair<std::string, attack::TimingThresholds>> out;
+    for (const std::string &name : platforms) {
+        rt::Runtime rt(rt::platformByName(name).systemConfig(seed));
+        rt::Process &proc = rt.createProcess("calibration");
+        attack::TimingOracle oracle(rt, proc);
+        out.emplace_back(
+            name, oracle.calibrate(1, 0, 48, 6).thresholds);
+    }
+    return out;
 }
 
 } // namespace
@@ -340,7 +352,7 @@ writeResultsJson(const std::string &path, const BenchOptions &opt,
         fatal("cannot open results sink '", path, "' for writing");
 
     js << "{\n";
-    js << "  \"schema\": \"gpubox-bench-results/v2\",\n";
+    js << "  \"schema\": \"gpubox-bench-results/v3\",\n";
     js << "  \"seed\": " << opt.seed << ",\n";
     js << "  \"platform\": \""
        << jsonEscape(opt.platform.empty() ? "default" : opt.platform)
@@ -377,40 +389,42 @@ writeResultsJson(const std::string &path, const BenchOptions &opt,
         js << "}\n";
         js << "    }" << (i + 1 < summaries.size() ? "," : "") << "\n";
     }
-    js << "  ]\n";
+    js << "  ],\n";
+
+    // Timing-model drift artifact: re-measure every platform this run
+    // touched so the calibration trajectory is tracked across commits
+    // the way wall clock is.
+    std::vector<std::string> touched;
+    for (const auto &s : summaries)
+        for (const std::string &p : s.platforms)
+            if (std::find(touched.begin(), touched.end(), p) ==
+                touched.end())
+                touched.push_back(p);
+    const auto calib = calibrationArtifact(opt.seed, touched);
+    js << "  \"calibration\": {\n";
+    for (std::size_t i = 0; i < calib.size(); ++i) {
+        const attack::TimingThresholds &t = calib[i].second;
+        js << "    \"" << jsonEscape(calib[i].first) << "\": {"
+           << "\"local_gpu\": 1, \"remote_gpu\": 0, "
+           << "\"centers\": {"
+           << "\"local_hit\": " << jsonNumber(t.localHitCenter)
+           << ", \"local_miss\": " << jsonNumber(t.localMissCenter)
+           << ", \"remote_hit\": " << jsonNumber(t.remoteHitCenter)
+           << ", \"remote_miss\": " << jsonNumber(t.remoteMissCenter)
+           << "}, \"local_boundary\": " << jsonNumber(t.localBoundary)
+           << ", \"remote_boundary\": "
+           << jsonNumber(t.remoteBoundary) << "}"
+           << (i + 1 < calib.size() ? "," : "") << "\n";
+    }
+    js << "  }\n";
     js << "}\n";
-}
-
-int
-benchMain(const std::string &name, int argc, char **argv)
-{
-    setLogEnabled(false);
-    const DriverArgs args = parseDriverArgs(argc, argv, false);
-
-    const BenchSpec *spec = BenchRegistry::instance().find(name);
-    if (!spec) {
-        std::fprintf(stderr, "%s: bench '%s' is not registered\n",
-                     argv[0], name.c_str());
-        return 2;
-    }
-
-    try {
-        const auto summary = runBench(*spec, args.opt, stdout);
-        if (!args.opt.resultsPath.empty())
-            writeResultsJson(args.opt.resultsPath, args.opt,
-                             summary.wallSeconds, {summary});
-        return summary.failures == 0 ? 0 : 1;
-    } catch (const std::exception &e) {
-        std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
-        return 1;
-    }
 }
 
 int
 benchDriverMain(int argc, char **argv)
 {
     setLogEnabled(false);
-    DriverArgs args = parseDriverArgs(argc, argv, true);
+    DriverArgs args = parseDriverArgs(argc, argv);
     const BenchRegistry &registry = BenchRegistry::instance();
 
     if (args.list) {
@@ -434,18 +448,29 @@ benchDriverMain(int argc, char **argv)
         const auto &platforms = rt::allPlatforms();
         for (std::size_t i = 0; i < platforms.size(); ++i) {
             const rt::Platform &p = platforms[i];
+            // Topology summary (node kinds + link presets) so CI can
+            // diff descriptor changes without running any bench.
             std::printf(
                 "    {\"name\": \"%s\", \"description\": \"%s\", "
-                "\"gpus\": %d, \"topology\": \"%s\", \"links\": %zu, "
-                "\"link_gen\": \"%s\", \"peer_over_routes\": %s, "
-                "\"l2_bytes\": %llu, \"l2_ways\": %u, \"sms\": %d}%s\n",
+                "\"gpus\": %d, \"switches\": %d, \"nodes\": %d, "
+                "\"topology\": \"%s\", \"links\": %zu, "
+                "\"link_gen\": \"%s\", \"link_mix\": {",
                 jsonEscape(p.name).c_str(),
                 jsonEscape(p.description).c_str(),
-                p.topology.numGpus(),
+                p.topology.numGpus(), p.topology.numSwitches(),
+                p.topology.numNodes(),
                 jsonEscape(p.topology.name()).c_str(),
                 p.topology.links().size(),
-                jsonEscape(p.linkGen).c_str(),
-                p.peerOverRoutes ? "true" : "false",
+                jsonEscape(p.linkGen).c_str());
+            const auto mix = p.resolvedLinkMix();
+            for (std::size_t m = 0; m < mix.size(); ++m)
+                std::printf("%s\"%s\": %zu", m ? ", " : "",
+                            jsonEscape(mix[m].first).c_str(),
+                            mix[m].second);
+            std::printf(
+                "}, \"mig_slices\": %u, \"peer_over_routes\": %s, "
+                "\"l2_bytes\": %llu, \"l2_ways\": %u, \"sms\": %d}%s\n",
+                p.migSlices, p.peerOverRoutes ? "true" : "false",
                 static_cast<unsigned long long>(p.device.l2.sizeBytes),
                 p.device.l2.ways, p.device.numSms,
                 i + 1 < platforms.size() ? "," : "");

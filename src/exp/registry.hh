@@ -152,28 +152,27 @@ BenchRunSummary runBench(const BenchSpec &spec, const BenchOptions &opt,
 
 /**
  * Write the structured results sink: schema
- * `gpubox-bench-results/v2`, run-level seed/platform/threads/repeat/
- * wall clock and one entry per bench (scenarios, failures, rows,
+ * `gpubox-bench-results/v3`, run-level seed/platform/threads/repeat/
+ * wall clock, one entry per bench (scenarios, failures, rows,
  * per-entry platforms, repeats, wall_seconds = min over repeats,
- * wall_seconds_mean, aggregated metrics).
+ * wall_seconds_mean, aggregated metrics) and a `calibration` section
+ * holding each touched platform's k-means cluster centers and
+ * hit/miss thresholds (measured online on the bench-standard (1,0)
+ * GPU pair with the run seed), so timing-model drift is tracked
+ * across commits like wall clock.
  */
 void writeResultsJson(const std::string &path, const BenchOptions &opt,
                       double totalWallSeconds,
                       const std::vector<BenchRunSummary> &summaries);
 
 /**
- * main() body of a per-figure thin wrapper: parse the standard bench
- * command line ([seed] [--seed N] [--threads N] [--out-dir D]
- * [--results F]) and run the single registered bench @p name.
- */
-int benchMain(const std::string &name, int argc, char **argv);
-
-/**
  * main() body of the `gpubox_bench` driver: `--list`, `--list-json`
- * (machine-readable registry + platform dump), `--only a,b`,
- * `--platform NAME`, plus the standard bench options; runs the
- * selection sequentially (each bench internally parallel) and writes
- * the results sink (default BENCH_results.json).
+ * (machine-readable registry + platform dump, including each
+ * descriptor's topology summary: node kinds, link-generation mix,
+ * MIG slicing), `--only a,b`, `--platform NAME`, plus the standard
+ * bench options; runs the selection sequentially (each bench
+ * internally parallel) and writes the results sink (default
+ * BENCH_results.json).
  */
 int benchDriverMain(int argc, char **argv);
 

@@ -8,45 +8,88 @@
 namespace gpubox::noc
 {
 
-Fabric::Fabric(const Topology &topo, const LinkParams &params)
-    : Fabric(topo, std::vector<LinkParams>(topo.links().size(), params))
+Fabric::Fabric(const Topology &topo, const LinkParams &params,
+               const SwitchParams &switch_params)
+    : Fabric(topo, std::vector<LinkParams>(topo.links().size(), params),
+             switch_params)
 {}
 
-Fabric::Fabric(const Topology &topo, std::vector<LinkParams> per_link)
-    : topo_(topo), params_(std::move(per_link))
+Fabric::Fabric(const Topology &topo, std::vector<LinkParams> per_link,
+               const SwitchParams &switch_params)
+    : topo_(topo), params_(std::move(per_link)),
+      switchParams_(switch_params)
 {
     if (params_.size() != topo.links().size())
         fatal("fabric over '", topo.name(), "' needs ",
               topo.links().size(), " per-link parameter sets, got ",
               params_.size());
-    meters_.reserve(params_.size());
-    for (const LinkParams &p : params_) {
+    meters_.reserve(params_.size() * 2);
+    isPortLink_.reserve(params_.size());
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        const LinkParams &p = params_[i];
         if (p.bytesPerCycle == 0)
             fatal("fabric link bytesPerCycle must be positive");
+        const auto [a, b] = topo.links()[i];
+        isPortLink_.push_back(topo.isSwitch(a) || topo.isSwitch(b));
+        // Both direction slots exist for every link; GPU-to-GPU links
+        // only ever use slot 0 (portMeter()).
+        meters_.emplace_back(p.windowCycles, p.freeSlotsPerWindow,
+                             p.queueCyclesPerExtra);
         meters_.emplace_back(p.windowCycles, p.freeSlotsPerWindow,
                              p.queueCyclesPerExtra);
     }
-    perLink_.assign(params_.size(), 0);
+    for (int sw = 0; sw < topo.numSwitches(); ++sw) {
+        crossbarMeters_.emplace_back(switchParams_.windowCycles,
+                                     switchParams_.freeSlotsPerWindow,
+                                     switchParams_.queueCyclesPerExtra);
+    }
+    perDir_.assign(params_.size() * 2, 0);
+    crossings_.assign(static_cast<std::size_t>(topo.numSwitches()), 0);
+}
+
+ContentionMeter &
+Fabric::portMeter(int link, NodeId from, NodeId to)
+{
+    return meters_[dirIndex(link, from, to)];
+}
+
+const ContentionMeter &
+Fabric::portMeter(int link, NodeId from, NodeId to) const
+{
+    return meters_[dirIndex(link, from, to)];
 }
 
 Cycles
-Fabric::chargeRoute(GpuId from, GpuId to, Cycles now, std::uint64_t bytes)
+Fabric::chargeRoute(NodeId from, NodeId to, Cycles now,
+                    std::uint64_t bytes)
 {
-    const std::vector<GpuId> &path = topo_.route(from, to);
+    const std::vector<NodeId> &path = topo_.route(from, to);
     if (path.size() < 2)
-        fatal("fabric traverse between GPUs ", from, " and ", to,
-              " which share no NVLink route on topology '",
-              topo_.name(), "'");
+        fatal("fabric traverse between nodes ", from, " and ", to,
+              " which share no route on topology '", topo_.name(),
+              "'");
     Cycles total = 0;
     std::uint32_t bottleneck = 0;
     for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-        const int link = topo_.linkIndex(path[i], path[i + 1]);
+        const NodeId u = path[i];
+        const NodeId v = path[i + 1];
+        const int link = topo_.linkIndex(u, v);
         ++transfers_;
-        ++perLink_[link];
+        ++perDir_[dirIndex(link, u, v)];
         const LinkParams &p = params_[link];
-        // Later hops see the link state at their own arrival time.
-        const Cycles queue = meters_[link].record(now + total);
+        // Later hops see the port state at their own arrival time.
+        const Cycles queue = portMeter(link, u, v).record(now + total);
         total += p.hopCycles + queue;
+        // Crossing an intermediate switch pays the crossbar: shared by
+        // every route through this switch, whatever ports they use.
+        if (topo_.isSwitch(v) && i + 2 < path.size()) {
+            const std::size_t sw =
+                static_cast<std::size_t>(v - topo_.numGpus());
+            ++crossings_[sw];
+            const Cycles xqueue =
+                crossbarMeters_[sw].record(now + total);
+            total += switchParams_.crossbarCycles + xqueue;
+        }
         bottleneck = bottleneck == 0
                          ? p.bytesPerCycle
                          : std::min(bottleneck, p.bytesPerCycle);
@@ -57,34 +100,79 @@ Fabric::chargeRoute(GpuId from, GpuId to, Cycles now, std::uint64_t bytes)
 }
 
 Cycles
-Fabric::traverse(GpuId from, GpuId to, Cycles now)
+Fabric::traverse(NodeId from, NodeId to, Cycles now)
 {
     return chargeRoute(from, to, now, 0);
 }
 
 Cycles
-Fabric::transferCycles(GpuId from, GpuId to, Cycles now,
+Fabric::routeBaseCycles(NodeId from, NodeId to) const
+{
+    const std::vector<NodeId> &path = topo_.route(from, to);
+    if (path.size() < 2)
+        fatal("fabric base-cost query between nodes ", from, " and ",
+              to, " which share no route on topology '", topo_.name(),
+              "'");
+    Cycles total = 0;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        total += params_[topo_.linkIndex(path[i], path[i + 1])].hopCycles;
+        if (topo_.isSwitch(path[i + 1]) && i + 2 < path.size())
+            total += switchParams_.crossbarCycles;
+    }
+    return total;
+}
+
+Cycles
+Fabric::transferCycles(NodeId from, NodeId to, Cycles now,
                        std::uint64_t bytes)
 {
     return chargeRoute(from, to, now, bytes);
 }
 
 std::uint32_t
-Fabric::linkOccupancy(GpuId from, GpuId to, Cycles now) const
+Fabric::linkOccupancy(NodeId from, NodeId to, Cycles now) const
 {
     const int link = topo_.linkIndex(from, to);
     if (link < 0)
         return 0;
-    return meters_[link].occupancy(now);
+    return portMeter(link, from, to).occupancy(now);
+}
+
+std::uint32_t
+Fabric::crossbarOccupancy(NodeId sw, Cycles now) const
+{
+    if (!topo_.isSwitch(sw))
+        return 0;
+    return crossbarMeters_[static_cast<std::size_t>(sw -
+                                                    topo_.numGpus())]
+        .occupancy(now);
 }
 
 std::uint64_t
-Fabric::linkTransfers(GpuId a, GpuId b) const
+Fabric::switchCrossings(NodeId sw) const
+{
+    if (!topo_.isSwitch(sw))
+        return 0;
+    return crossings_[static_cast<std::size_t>(sw - topo_.numGpus())];
+}
+
+std::uint64_t
+Fabric::portTransfers(NodeId from, NodeId to) const
+{
+    const int link = topo_.linkIndex(from, to);
+    if (link < 0)
+        return 0;
+    return perDir_[dirIndex(link, from, to)];
+}
+
+std::uint64_t
+Fabric::linkTransfers(NodeId a, NodeId b) const
 {
     const int link = topo_.linkIndex(a, b);
     if (link < 0)
         return 0;
-    return perLink_[link];
+    return perDir_[static_cast<std::size_t>(link) * 2] +
+           perDir_[static_cast<std::size_t>(link) * 2 + 1];
 }
 
 void
@@ -92,7 +180,10 @@ Fabric::resetStats()
 {
     for (auto &m : meters_)
         m.reset();
-    std::fill(perLink_.begin(), perLink_.end(), 0);
+    for (auto &m : crossbarMeters_)
+        m.reset();
+    std::fill(perDir_.begin(), perDir_.end(), 0);
+    std::fill(crossings_.begin(), crossings_.end(), 0);
     transfers_ = 0;
 }
 

@@ -1,7 +1,30 @@
 /**
  * @file
- * NVLink fabric timing: per-link latency, bandwidth and windowed
+ * Fabric timing over a mixed GPU/switch topology: per-link latency
+ * and bandwidth, port-level queueing and per-switch crossbar
  * contention, charged along the topology's precomputed routes.
+ *
+ * Contention granularity follows the hardware:
+ *
+ *  - A GPU-to-GPU link is a point-to-point NVLink whose "port" is the
+ *    link itself: one shared ContentionMeter, both directions (the
+ *    request and response legs of one access contend, as before).
+ *  - A link with a switch endpoint is a switch *port*: it carries one
+ *    ContentionMeter per direction (the switch's ingress and egress
+ *    queues), so traffic into a port only queues against traffic in
+ *    the same direction.
+ *  - Every switch additionally owns a crossbar ContentionMeter
+ *    charged by each traversal crossing it, which is what makes two
+ *    transfers between disjoint GPU pairs that share a switch
+ *    interfere measurably -- the cross-pair channel of the attack
+ *    layer.
+ *
+ * Arbitration is deterministic: same-window contenders resolve in
+ * record order, and record order is the simulation engine's actor
+ * dispatch order -- (cycle, spawn sequence), where the spawn sequence
+ * encodes the stream layer's (process id, stream id, enqueue order)
+ * tie-break from the host API. Two runs of the same scenario charge
+ * every port in the same order, byte for byte.
  */
 
 #ifndef GPUBOX_NOC_FABRIC_HH
@@ -19,9 +42,10 @@ namespace gpubox::noc
 
 /**
  * Timing/contention parameters of one interconnect link. Each NVLink
- * generation (V1, V2, NVSwitch port) and the PCIe fallback is a
+ * generation (V1, V2, an NVSwitch port) and the PCIe fallback is a
  * different parameter set; a platform descriptor assigns one to every
- * link of its topology (rt::Platform).
+ * link of its topology (rt::Platform), per link on heterogeneous
+ * fabrics.
  */
 struct LinkParams
 {
@@ -31,10 +55,27 @@ struct LinkParams
     std::uint32_t bytesPerCycle = 32;
     /** Contention accounting window. */
     Cycles windowCycles = 2000;
-    /** Transfers per window per link that see no queueing. */
+    /** Transfers per window per port that see no queueing. */
     std::uint32_t freeSlotsPerWindow = 24;
     /** Queueing delay per transfer above the free threshold. */
     Cycles queueCyclesPerExtra = 14;
+};
+
+/**
+ * Timing/contention parameters of a switch crossbar. Crossings pay a
+ * fixed transit latency plus windowed queueing shared by *every*
+ * route through the switch, whichever ports it uses.
+ */
+struct SwitchParams
+{
+    /** Cycles to cross the crossbar (added per traversed switch). */
+    Cycles crossbarCycles = 30;
+    /** Crossbar contention accounting window. */
+    Cycles windowCycles = 2000;
+    /** Crossings per window served without queueing. */
+    std::uint32_t freeSlotsPerWindow = 224;
+    /** Queueing delay per crossing above the free threshold. */
+    Cycles queueCyclesPerExtra = 2;
 };
 
 /** Well-known link generations (calibration table in PAPER.md). */
@@ -42,52 +83,94 @@ struct LinkGen
 {
     static constexpr LinkParams nvlinkV1() { return {180, 32, 256, 120, 2}; }
     static constexpr LinkParams nvlinkV2() { return {140, 64, 256, 160, 2}; }
+    /** Legacy single-link NVSwitch model (switch crossing folded into
+     *  the hop); kept for direct-linked descriptors and tests. */
     static constexpr LinkParams nvswitch() { return {250, 128, 256, 200, 1}; }
+    /** One port of a modelled NVSwitch plane: a GPU-to-crossbar route
+     *  pays two of these plus the crossbar, landing near the legacy
+     *  single-hop figure. */
+    static constexpr LinkParams nvswitchPort()
+    {
+        return {110, 128, 256, 200, 1};
+    }
     /** PCIe switches buffer deeply: many outstanding TLPs before
      *  queueing, but each extra one is costly on the narrow fabric. */
     static constexpr LinkParams pcie3() { return {700, 8, 256, 96, 6}; }
 };
 
 /**
- * Timing model over a Topology's links. A traversal between
- * non-adjacent GPUs is charged on every link of the precomputed
- * shortest route (hop latency plus that link's queueing state);
- * traversing unreachable pairs is fatal.
+ * Timing model over a Topology's links and switches. A traversal
+ * between non-adjacent nodes is charged on every link of the
+ * precomputed shortest route (hop latency plus that port's queueing)
+ * and on the crossbar of every switch it crosses; traversing
+ * unreachable pairs is fatal.
  */
 class Fabric
 {
   public:
     /** Uniform link generation across the whole fabric. */
-    Fabric(const Topology &topo, const LinkParams &params);
+    Fabric(const Topology &topo, const LinkParams &params,
+           const SwitchParams &switch_params = SwitchParams());
 
     /** Per-link parameters, indexed like Topology::links(). */
-    Fabric(const Topology &topo, std::vector<LinkParams> per_link);
+    Fabric(const Topology &topo, std::vector<LinkParams> per_link,
+           const SwitchParams &switch_params = SwitchParams());
 
     /**
      * Charge one transfer leg (request or response) between two
-     * reachable GPUs, multi-hop routes included.
+     * reachable nodes, multi-hop routes included.
      *
-     * @param from source GPU
-     * @param to destination GPU (any reachable peer)
+     * @param from source node (normally a GPU)
+     * @param to destination node (any reachable peer)
      * @param now current simulated time
-     * @return total cycles for this leg (per-link latency + queueing)
+     * @return total cycles for this leg (per-port latency + queueing
+     *         + crossbar transit of every traversed switch)
      */
-    Cycles traverse(GpuId from, GpuId to, Cycles now);
+    Cycles traverse(NodeId from, NodeId to, Cycles now);
 
     /**
      * Charge one bulk DMA transfer of @p bytes along the route: every
-     * link pays hop latency plus queueing, and the payload serializes
-     * once at the bottleneck link's bytesPerCycle (the store-and-
-     * forward pipeline hides the repeat serialization).
+     * link pays hop latency plus queueing, every switch its crossbar,
+     * and the payload serializes once at the bottleneck link's
+     * bytesPerCycle (the store-and-forward pipeline hides the repeat
+     * serialization).
      */
-    Cycles transferCycles(GpuId from, GpuId to, Cycles now,
+    Cycles transferCycles(NodeId from, NodeId to, Cycles now,
                           std::uint64_t bytes);
 
-    /** Occupancy of the (from,to) link in the current window. */
-    std::uint32_t linkOccupancy(GpuId from, GpuId to, Cycles now) const;
+    /**
+     * Uncontended base cost of one leg between @p from and @p to: the
+     * sum of per-link hop latencies along the route plus the crossbar
+     * transit of every traversed switch, with no queueing and no meter
+     * mutation. This is the ground-truth figure calibration checks and
+     * attack pacing derive from; fatal for unreachable pairs.
+     */
+    Cycles routeBaseCycles(NodeId from, NodeId to) const;
+
+    /** @name Port/crossbar introspection (defense + results sink) @{ */
+
+    /** Occupancy of the (from,to) link in the current window. For a
+     *  switch port this is the from->to direction; for a GPU-to-GPU
+     *  link both directions share one meter. */
+    std::uint32_t linkOccupancy(NodeId from, NodeId to,
+                                Cycles now) const;
+
+    /** Crossings of switch @p sw recorded in the current window; 0
+     *  for non-switch nodes. */
+    std::uint32_t crossbarOccupancy(NodeId sw, Cycles now) const;
+
+    /** Total traversals crossing switch @p sw; 0 for non-switches. */
+    std::uint64_t switchCrossings(NodeId sw) const;
+
+    /** Directed traversal count of the from->to port (either
+     *  direction's total for a GPU-to-GPU link is linkTransfers). */
+    std::uint64_t portTransfers(NodeId from, NodeId to) const;
 
     std::uint64_t totalTransfers() const { return transfers_; }
-    std::uint64_t linkTransfers(GpuId a, GpuId b) const;
+    /** Both directions of the (a,b) link. */
+    std::uint64_t linkTransfers(NodeId a, NodeId b) const;
+
+    /** @} */
 
     const Topology &topology() const { return topo_; }
 
@@ -95,13 +178,38 @@ class Fabric
 
   private:
     /** Charge every link of the a..b route; @p bytes 0 = plain leg. */
-    Cycles chargeRoute(GpuId from, GpuId to, Cycles now,
+    Cycles chargeRoute(NodeId from, NodeId to, Cycles now,
                        std::uint64_t bytes);
 
+    /**
+     * Slot in meters_/perDir_ of the directed from->to traversal of
+     * @p link: switch ports use slot 0 for lo->hi and 1 for hi->lo,
+     * GPU-to-GPU links always slot 0 (one shared meter). The single
+     * authority for the direction convention.
+     */
+    std::size_t
+    dirIndex(int link, NodeId from, NodeId to) const
+    {
+        return static_cast<std::size_t>(link) * 2 +
+               (isPortLink_[link] && from > to ? 1 : 0);
+    }
+
+    /** Meter of the directed from->to traversal of @p link. */
+    ContentionMeter &portMeter(int link, NodeId from, NodeId to);
+    const ContentionMeter &portMeter(int link, NodeId from,
+                                     NodeId to) const;
+
     const Topology &topo_;
-    std::vector<LinkParams> params_;      // one per link
-    std::vector<ContentionMeter> meters_; // one per link
-    std::vector<std::uint64_t> perLink_;
+    std::vector<LinkParams> params_; // one per link
+    SwitchParams switchParams_;
+    /** Two meters per link: switch-attached links use [0]=lo->hi and
+     *  [1]=hi->lo (ingress/egress queues); GPU-to-GPU links share [0]
+     *  for both directions (the legacy point-to-point model). */
+    std::vector<ContentionMeter> meters_;
+    std::vector<bool> isPortLink_; // link has a switch endpoint
+    std::vector<ContentionMeter> crossbarMeters_;  // one per switch
+    std::vector<std::uint64_t> perDir_;            // 2 per link
+    std::vector<std::uint64_t> crossings_;         // one per switch
     std::uint64_t transfers_ = 0;
 };
 

@@ -8,26 +8,36 @@
 namespace gpubox::noc
 {
 
-Topology::Topology(std::string name, int num_gpus, std::vector<Link> links)
-    : name_(std::move(name)), numGpus_(num_gpus), links_(std::move(links))
+Topology::Topology(std::string name, int num_gpus, int num_switches,
+                   std::vector<Link> links)
+    : name_(std::move(name)), numGpus_(num_gpus),
+      numNodes_(num_gpus + num_switches), links_(std::move(links))
 {
     if (num_gpus <= 0)
         fatal("topology '", name_, "' needs at least one GPU, got ",
               num_gpus);
-    linkOf_.assign(static_cast<std::size_t>(numGpus_) * numGpus_, -1);
+    if (num_switches < 0)
+        fatal("topology '", name_, "' has negative switch count ",
+              num_switches);
+    linkOf_.assign(static_cast<std::size_t>(numNodes_) * numNodes_, -1);
     for (std::size_t i = 0; i < links_.size(); ++i) {
         auto [a, b] = links_[i];
-        if (a < 0 || b < 0 || a >= numGpus_ || b >= numGpus_)
+        if (a < 0 || b < 0 || a >= numNodes_ || b >= numNodes_)
             fatal("topology '", name_, "': link (", a, ",", b,
-                  ") references a GPU outside [0,", numGpus_, ")");
+                  ") references a node outside [0,", numNodes_, ")");
         if (a == b)
-            fatal("topology '", name_, "': GPU ", a,
+            fatal("topology '", name_, "': node ", a,
                   " cannot be linked to itself");
-        if (linkOf_[a * numGpus_ + b] != -1)
+        if (linkOf_[a * numNodes_ + b] != -1)
             fatal("topology '", name_, "': duplicate link (", a, ",", b,
                   ")");
-        linkOf_[a * numGpus_ + b] = static_cast<int>(i);
-        linkOf_[b * numGpus_ + a] = static_cast<int>(i);
+        linkOf_[a * numNodes_ + b] = static_cast<int>(i);
+        linkOf_[b * numNodes_ + a] = static_cast<int>(i);
+    }
+    for (NodeId sw = numGpus_; sw < numNodes_; ++sw) {
+        if (degree(sw) == 0)
+            fatal("topology '", name_, "': switch ", nodeName(sw),
+                  " has no attached link");
     }
     buildRouteTables();
 }
@@ -35,19 +45,20 @@ Topology::Topology(std::string name, int num_gpus, std::vector<Link> links)
 void
 Topology::buildRouteTables()
 {
-    const int n = numGpus_;
+    const int n = numNodes_;
     dist_.assign(static_cast<std::size_t>(n) * n, -1);
 
-    // All-pairs BFS. Neighbour visitation order is by ascending id, so
-    // the distances (and everything derived below) are deterministic.
-    for (GpuId src = 0; src < n; ++src) {
+    // All-pairs BFS over the mixed GPU/switch graph. Neighbour
+    // visitation order is by ascending id, so the distances (and
+    // everything derived below) are deterministic.
+    for (NodeId src = 0; src < n; ++src) {
         int *d = &dist_[static_cast<std::size_t>(src) * n];
         d[src] = 0;
-        std::deque<GpuId> frontier{src};
+        std::deque<NodeId> frontier{src};
         while (!frontier.empty()) {
-            const GpuId at = frontier.front();
+            const NodeId at = frontier.front();
             frontier.pop_front();
-            for (GpuId next = 0; next < n; ++next) {
+            for (NodeId next = 0; next < n; ++next) {
                 if (d[next] == -1 && connected(at, next)) {
                     d[next] = d[at] + 1;
                     frontier.push_back(next);
@@ -57,29 +68,40 @@ Topology::buildRouteTables()
     }
 
     // Materialized routes. For a <= b walk greedily from a, picking at
-    // every step the lowest-id neighbour that still lies on a shortest
-    // path; the b -> a route is the exact reversal, making every route
-    // symmetric (and byte-identical across constructions) by design.
+    // every step among the neighbours still on a shortest path: the
+    // lowest id wins, except when every candidate is a switch -- then
+    // the pair stripes across the candidates by (a + b) modulo their
+    // count, spreading disjoint pairs over parallel crossbar planes
+    // while staying a pure (hence symmetric, byte-stable) function of
+    // the endpoints. The b -> a route is the exact reversal.
     routes_.assign(static_cast<std::size_t>(n) * n, {});
-    for (GpuId a = 0; a < n; ++a) {
+    for (NodeId a = 0; a < n; ++a) {
         routes_[pairIndex(a, a)] = {a};
-        for (GpuId b = a + 1; b < n; ++b) {
+        for (NodeId b = a + 1; b < n; ++b) {
             if (dist_[pairIndex(a, b)] < 0)
                 continue; // unreachable: leave both routes empty
-            std::vector<GpuId> path{a};
-            GpuId at = a;
+            std::vector<NodeId> path{a};
+            NodeId at = a;
             while (at != b) {
                 const int remaining = dist_[pairIndex(at, b)];
-                for (GpuId next = 0; next < n; ++next) {
+                std::vector<NodeId> candidates;
+                for (NodeId next = 0; next < n; ++next) {
                     if (connected(at, next) &&
-                        dist_[pairIndex(next, b)] == remaining - 1) {
-                        path.push_back(next);
-                        at = next;
-                        break; // lowest next-hop id wins the tie
-                    }
+                        dist_[pairIndex(next, b)] == remaining - 1)
+                        candidates.push_back(next); // ascending ids
                 }
+                bool all_switches = candidates.size() > 1;
+                for (NodeId c : candidates)
+                    all_switches = all_switches && isSwitch(c);
+                const std::size_t pick =
+                    all_switches
+                        ? static_cast<std::size_t>(a + b) %
+                              candidates.size()
+                        : 0;
+                at = candidates[pick];
+                path.push_back(at);
             }
-            std::vector<GpuId> back(path.rbegin(), path.rend());
+            std::vector<NodeId> back(path.rbegin(), path.rend());
             routes_[pairIndex(a, b)] = std::move(path);
             routes_[pairIndex(b, a)] = std::move(back);
         }
@@ -87,9 +109,9 @@ Topology::buildRouteTables()
 }
 
 std::size_t
-Topology::pairIndex(GpuId a, GpuId b) const
+Topology::pairIndex(NodeId a, NodeId b) const
 {
-    return static_cast<std::size_t>(a) * numGpus_ + b;
+    return static_cast<std::size_t>(a) * numNodes_ + b;
 }
 
 Topology
@@ -106,7 +128,7 @@ Topology::dgx1()
         {5, 6}, {5, 7},
         {6, 7},
     };
-    return Topology("dgx1", 8, std::move(links));
+    return Topology("dgx1", 8, 0, std::move(links));
 }
 
 Topology
@@ -116,10 +138,10 @@ Topology::fullyConnected(int num_gpus)
         fatal("fullyConnected topology needs at least 2 GPUs, got ",
               num_gpus);
     std::vector<Link> links;
-    for (GpuId a = 0; a < num_gpus; ++a)
-        for (GpuId b = a + 1; b < num_gpus; ++b)
+    for (NodeId a = 0; a < num_gpus; ++a)
+        for (NodeId b = a + 1; b < num_gpus; ++b)
             links.emplace_back(a, b);
-    return Topology("fully-connected", num_gpus, std::move(links));
+    return Topology("fully-connected", num_gpus, 0, std::move(links));
 }
 
 Topology
@@ -130,85 +152,131 @@ Topology::ring(int num_gpus)
               " (a 2-GPU ring would duplicate its only link; use "
               "fullyConnected(2) for a single-link pair)");
     std::vector<Link> links;
-    for (GpuId a = 0; a < num_gpus; ++a)
+    for (NodeId a = 0; a < num_gpus; ++a)
         links.emplace_back(a, (a + 1) % num_gpus);
-    return Topology("ring", num_gpus, std::move(links));
+    return Topology("ring", num_gpus, 0, std::move(links));
+}
+
+Topology
+Topology::crossbar(std::string name, int num_gpus, int num_planes)
+{
+    if (num_gpus < 2)
+        fatal("crossbar topology needs at least 2 GPUs, got ",
+              num_gpus);
+    if (num_planes < 1)
+        fatal("crossbar topology needs at least 1 switch plane, got ",
+              num_planes);
+    std::vector<Link> links;
+    links.reserve(static_cast<std::size_t>(num_gpus) * num_planes);
+    for (int plane = 0; plane < num_planes; ++plane)
+        for (NodeId g = 0; g < num_gpus; ++g)
+            links.emplace_back(g, num_gpus + plane);
+    return Topology(std::move(name), num_gpus, num_planes,
+                    std::move(links));
 }
 
 Topology
 Topology::custom(std::string name, int num_gpus, std::vector<Link> links)
 {
-    return Topology(std::move(name), num_gpus, std::move(links));
+    return Topology(std::move(name), num_gpus, 0, std::move(links));
+}
+
+Topology
+Topology::switched(std::string name, int num_gpus, int num_switches,
+                   std::vector<Link> links)
+{
+    return Topology(std::move(name), num_gpus, num_switches,
+                    std::move(links));
+}
+
+NodeKind
+Topology::kind(NodeId n) const
+{
+    if (n < 0 || n >= numNodes_)
+        fatal("topology '", name_, "': node ", n, " out of range (",
+              numNodes_, " nodes)");
+    return n < numGpus_ ? NodeKind::Gpu : NodeKind::Switch;
+}
+
+std::string
+Topology::nodeName(NodeId n) const
+{
+    if (n < 0 || n >= numNodes_)
+        fatal("topology '", name_, "': node ", n, " out of range (",
+              numNodes_, " nodes)");
+    if (n < numGpus_)
+        return std::to_string(n);
+    return "sw" + std::to_string(n - numGpus_);
 }
 
 bool
-Topology::connected(GpuId a, GpuId b) const
+Topology::connected(NodeId a, NodeId b) const
 {
     return linkIndex(a, b) >= 0;
 }
 
 int
-Topology::linkIndex(GpuId a, GpuId b) const
+Topology::linkIndex(NodeId a, NodeId b) const
 {
-    if (a < 0 || b < 0 || a >= numGpus_ || b >= numGpus_)
+    if (a < 0 || b < 0 || a >= numNodes_ || b >= numNodes_)
         return -1;
-    return linkOf_[static_cast<std::size_t>(a) * numGpus_ + b];
+    return linkOf_[static_cast<std::size_t>(a) * numNodes_ + b];
 }
 
 int
-Topology::degree(GpuId gpu) const
+Topology::degree(NodeId n) const
 {
     int d = 0;
-    for (GpuId other = 0; other < numGpus_; ++other)
-        if (other != gpu && connected(gpu, other))
+    for (NodeId other = 0; other < numNodes_; ++other)
+        if (other != n && connected(n, other))
             ++d;
     return d;
 }
 
-std::vector<GpuId>
-Topology::peersOf(GpuId gpu) const
+std::vector<NodeId>
+Topology::peersOf(NodeId n) const
 {
-    std::vector<GpuId> peers;
-    for (GpuId other = 0; other < numGpus_; ++other)
-        if (other != gpu && connected(gpu, other))
+    std::vector<NodeId> peers;
+    for (NodeId other = 0; other < numNodes_; ++other)
+        if (other != n && connected(n, other))
             peers.push_back(other);
     return peers;
 }
 
 int
-Topology::hopCount(GpuId a, GpuId b) const
+Topology::hopCount(NodeId a, NodeId b) const
 {
-    if (a < 0 || b < 0 || a >= numGpus_ || b >= numGpus_)
+    if (a < 0 || b < 0 || a >= numNodes_ || b >= numNodes_)
         return -1;
     return dist_[pairIndex(a, b)];
 }
 
 bool
-Topology::reachable(GpuId a, GpuId b) const
+Topology::reachable(NodeId a, NodeId b) const
 {
     return hopCount(a, b) >= 0;
 }
 
-const std::vector<GpuId> &
-Topology::route(GpuId a, GpuId b) const
+const std::vector<NodeId> &
+Topology::route(NodeId a, NodeId b) const
 {
-    if (a < 0 || b < 0 || a >= numGpus_ || b >= numGpus_)
+    if (a < 0 || b < 0 || a >= numNodes_ || b >= numNodes_)
         fatal("topology '", name_, "': route query (", a, ",", b,
-              ") is out of range (", numGpus_, " GPUs)");
+              ") is out of range (", numNodes_, " nodes)");
     return routes_[pairIndex(a, b)];
 }
 
 std::string
-Topology::routeString(GpuId a, GpuId b) const
+Topology::routeString(NodeId a, NodeId b) const
 {
-    const std::vector<GpuId> &path = route(a, b);
+    const std::vector<NodeId> &path = route(a, b);
     if (path.empty())
         return "(none)";
     std::string out;
     for (std::size_t i = 0; i < path.size(); ++i) {
         if (i)
             out += " -> ";
-        out += std::to_string(path[i]);
+        out += nodeName(path[i]);
     }
     return out;
 }

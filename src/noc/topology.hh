@@ -1,16 +1,28 @@
 /**
  * @file
- * Inter-GPU interconnect topologies.
+ * Inter-GPU interconnect topologies over a mixed node graph.
  *
- * The default is the DGX-1 (P100) hybrid cube-mesh of Fig. 1 in the
- * paper: eight GPUs, four NVLink-V1 ports each, two quads with cross
- * links. Every topology precomputes deterministic shortest-path route
- * tables at construction time: the route between two GPUs is the
+ * A topology's nodes are GPU endpoints followed by switch (router)
+ * nodes: ids [0, numGpus) are GPUs, ids [numGpus, numNodes) are
+ * switches. The paper's DGX-1 (P100) hybrid cube-mesh of Fig. 1 is a
+ * pure endpoint graph (no switches); NVSwitch-class boxes model each
+ * crossbar plane as a first-class switch node whose ports are the
+ * links attached to it, so routes between GPUs traverse the switch
+ * and contention becomes visible to every pair sharing it.
+ *
+ * Every topology precomputes deterministic shortest-path route tables
+ * at construction time: the route between two nodes is the
  * minimal-hop path whose ties break toward the lowest next-hop id
  * (computed from the lower endpoint; the reverse direction reuses the
- * reversed path, so routes are symmetric by construction). Whether a
- * runtime lets peer access ride those routes is a *platform* decision
- * (rt::Platform::peerOverRoutes), not a property of the graph.
+ * reversed path, so routes are symmetric by construction). One
+ * deliberate exception keeps switched fabrics from collapsing onto a
+ * single plane: when *all* tied next-hop candidates are switches, the
+ * pair stripes across them by (src + dst) modulo the candidate count
+ * -- still a pure function of the endpoints, so routes stay symmetric
+ * and byte-stable, but disjoint pairs spread over the planes the way
+ * real NVSwitch traffic does. Whether a runtime lets peer access ride
+ * those routes is a *platform* decision (rt::Platform::peerOverRoutes),
+ * not a property of the graph.
  */
 
 #ifndef GPUBOX_NOC_TOPOLOGY_HH
@@ -25,8 +37,18 @@
 namespace gpubox::noc
 {
 
-/** Undirected link between two GPUs. */
-using Link = std::pair<GpuId, GpuId>;
+/** Graph node id: a GPU ([0,numGpus)) or a switch ([numGpus,numNodes)). */
+using NodeId = GpuId;
+
+/** What a topology node is. */
+enum class NodeKind
+{
+    Gpu,
+    Switch,
+};
+
+/** Undirected link between two nodes (GPU or switch endpoints). */
+using Link = std::pair<NodeId, NodeId>;
 
 /** Static interconnect graph with precomputed route tables. */
 class Topology
@@ -35,8 +57,8 @@ class Topology
     /** The 8-GPU DGX-1 hybrid cube-mesh (NVLink-V1, degree 4). */
     static Topology dgx1();
 
-    /** Every GPU pair directly linked (NVSwitch / PCIe-switch style).
-     *  Fatal for @p num_gpus < 2. */
+    /** Every GPU pair directly linked (PCIe-switch style, no modelled
+     *  switch node). Fatal for @p num_gpus < 2. */
     static Topology fullyConnected(int num_gpus);
 
     /** Simple ring; used by tests and small experiments. Fatal for
@@ -44,27 +66,64 @@ class Topology
     static Topology ring(int num_gpus);
 
     /**
-     * Arbitrary user-defined graph. Links are validated: endpoints in
-     * range, no self links, no duplicates (in either orientation).
+     * NVSwitch-style crossbar fabric: @p num_planes switch nodes, each
+     * linked to every GPU, so any GPU pair is two hops apart and
+     * stripes deterministically across the planes by (a + b) modulo
+     * @p num_planes. Fatal for num_gpus < 2 or num_planes < 1.
+     */
+    static Topology crossbar(std::string name, int num_gpus,
+                             int num_planes);
+
+    /**
+     * Arbitrary user-defined endpoint graph (no switches). Links are
+     * validated: endpoints in range, no self links, no duplicates (in
+     * either orientation).
      */
     static Topology custom(std::string name, int num_gpus,
                            std::vector<Link> links);
 
+    /**
+     * Arbitrary mixed graph: @p num_gpus endpoints plus
+     * @p num_switches switch nodes (ids numGpus..numGpus+numSwitches).
+     * Same link validation as custom(); additionally every switch must
+     * have at least one attached link (an unplugged switch is a
+     * descriptor bug).
+     */
+    static Topology switched(std::string name, int num_gpus,
+                             int num_switches, std::vector<Link> links);
+
+    /** GPU endpoints only (devices a runtime instantiates). */
     int numGpus() const { return numGpus_; }
+    /** GPUs + switches. */
+    int numNodes() const { return numNodes_; }
+    int numSwitches() const { return numNodes_ - numGpus_; }
+
     const std::string &name() const { return name_; }
     const std::vector<Link> &links() const { return links_; }
 
-    /** @return true when a and b share a direct NVLink. */
-    bool connected(GpuId a, GpuId b) const;
+    /** Kind of node @p n; fatal for out-of-range ids. */
+    NodeKind kind(NodeId n) const;
+    bool isSwitch(NodeId n) const
+    {
+        return n >= numGpus_ && n < numNodes_;
+    }
+    bool isGpu(NodeId n) const { return n >= 0 && n < numGpus_; }
+
+    /** Display name: GPUs print their id ("3"), switches "sw<k>" with
+     *  k the switch index (node numGpus+k). Fatal when out of range. */
+    std::string nodeName(NodeId n) const;
+
+    /** @return true when a and b share a direct link. */
+    bool connected(NodeId a, NodeId b) const;
 
     /** Index into links() for the pair, or -1 when not connected. */
-    int linkIndex(GpuId a, GpuId b) const;
+    int linkIndex(NodeId a, NodeId b) const;
 
-    /** Number of NVLink ports in use on @p gpu. */
-    int degree(GpuId gpu) const;
+    /** Number of ports (attached links) on node @p n. */
+    int degree(NodeId n) const;
 
-    /** All single-hop peers of @p gpu. */
-    std::vector<GpuId> peersOf(GpuId gpu) const;
+    /** All single-hop neighbours of @p n (GPUs and switches). */
+    std::vector<NodeId> peersOf(NodeId n) const;
 
     /** @name Precomputed shortest-path routes @{ */
 
@@ -72,37 +131,39 @@ class Topology
      * Links on the shortest route between @p a and @p b: 0 for a==b,
      * -1 when no route exists (or either id is out of range).
      */
-    int hopCount(GpuId a, GpuId b) const;
+    int hopCount(NodeId a, NodeId b) const;
 
-    /** True when some NVLink path (any length) joins the GPUs. */
-    bool reachable(GpuId a, GpuId b) const;
+    /** True when some path (any length) joins the nodes. */
+    bool reachable(NodeId a, NodeId b) const;
 
     /**
      * The deterministic shortest route from @p a to @p b, inclusive of
      * both endpoints ({a} when a==b, empty when unreachable). Fatal
      * for out-of-range ids.
      */
-    const std::vector<GpuId> &route(GpuId a, GpuId b) const;
+    const std::vector<NodeId> &route(NodeId a, NodeId b) const;
 
-    /** Human-readable route, e.g. "0 -> 4 -> 5"; "(none)" when absent. */
-    std::string routeString(GpuId a, GpuId b) const;
+    /** Human-readable route, e.g. "0 -> sw1 -> 5"; "(none)" absent. */
+    std::string routeString(NodeId a, NodeId b) const;
 
     /** @} */
 
   private:
-    Topology(std::string name, int num_gpus, std::vector<Link> links);
+    Topology(std::string name, int num_gpus, int num_switches,
+             std::vector<Link> links);
 
     /** All-pairs BFS distances + materialized routes (see file doc). */
     void buildRouteTables();
 
-    std::size_t pairIndex(GpuId a, GpuId b) const;
+    std::size_t pairIndex(NodeId a, NodeId b) const;
 
     std::string name_;
     int numGpus_;
+    int numNodes_;
     std::vector<Link> links_;
-    std::vector<int> linkOf_;  // numGpus*numGpus -> link index or -1
-    std::vector<int> dist_;    // numGpus*numGpus -> hops or -1
-    std::vector<std::vector<GpuId>> routes_; // numGpus*numGpus paths
+    std::vector<int> linkOf_;  // numNodes*numNodes -> link index or -1
+    std::vector<int> dist_;    // numNodes*numNodes -> hops or -1
+    std::vector<std::vector<NodeId>> routes_; // numNodes*numNodes paths
 };
 
 } // namespace gpubox::noc

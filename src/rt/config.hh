@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "gpu/device.hh"
 #include "noc/fabric.hh"
@@ -118,6 +119,23 @@ struct SystemConfig
      *  180 cy/hop, 32 B/cy bulk; queueing beyond ~120 transfer legs
      *  per 256-cycle window per link -- instantaneous bursts). */
     noc::LinkParams link = noc::LinkGen::nvlinkV1();
+    /**
+     * Heterogeneous fabrics: per-link parameters indexed like
+     * Topology::links(). Empty means "uniform `link` everywhere";
+     * non-empty must match the link count (the Fabric validates).
+     */
+    std::vector<noc::LinkParams> perLink;
+    /** Crossbar timing of every switch node (unused on pure endpoint
+     *  graphs like the DGX-1). */
+    noc::SwitchParams switchParams;
+    /**
+     * Administrative MIG way-partitioning baked into the platform
+     * (paper Sec. VII promoted from a per-scenario defense knob):
+     * the runtime boots with every L2 split into this many isolated
+     * slices. 1 = unpartitioned. Processes still pick their slice via
+     * Runtime::assignPartition (default slice 0).
+     */
+    unsigned migSlices = 1;
 };
 
 } // namespace gpubox::rt

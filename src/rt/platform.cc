@@ -31,11 +31,15 @@ dgx1P100()
 }
 
 /**
- * DGX-2 class box: sixteen V100s behind NVSwitch planes. Every GPU
- * pair gets a full-bandwidth switched path, modelled as a direct link
- * whose hop latency includes the switch crossing; the driver enables
- * peer access between any pair. Bigger L2 (8 MiB -> 4096 sets, eight
- * page colors; the model's power-of-two geometry) and a slightly
+ * DGX-2 class box: sixteen V100s behind six modelled NVSwitch planes.
+ * Every GPU-to-GPU route really traverses a crossbar -- two
+ * nvswitch-port hops plus the switch transit, striped across the
+ * planes by (src + dst) mod 6 -- so two transfers between disjoint
+ * GPU pairs that land on the same plane now contend on its crossbar,
+ * the interference the per-pair direct-link model of earlier
+ * revisions could not express. The per-route latency budget matches
+ * the old single-hop calibration (2 x 110 + 30 = 250 cycles/leg).
+ * Bigger L2 (8 MiB -> 4096 sets, eight page colors) and a slightly
  * faster memory system than the P100.
  */
 Platform
@@ -43,14 +47,80 @@ dgx2Nvswitch()
 {
     Platform p;
     p.name = "dgx2-nvswitch";
-    p.description = "16x V100 behind NVSwitch (DGX-2 class; any-pair "
-                    "peer access, switch hop in every path)";
-    p.linkGen = "nvswitch";
-    p.topology = noc::Topology::fullyConnected(16);
+    p.description = "16x V100 behind 6 NVSwitch planes (DGX-2 class; "
+                    "any-pair peer access through real switch nodes)";
+    p.linkGen = "nvswitch-port";
+    p.topology = noc::Topology::crossbar("dgx2-crossbar", 16, 6);
     p.peerOverRoutes = true;
-    p.link = noc::LinkGen::nvswitch();
+    p.link = noc::LinkGen::nvswitchPort();
     p.device.numSms = 80;
     p.device.l2.sizeBytes = 8ULL << 20;
+    p.timing.l2HitCycles = 215;
+    p.timing.hbmCycles = 400;
+    p.timing.remoteMissExtra = 120;
+    p.timing.clockGhz = 1.53;
+    return p;
+}
+
+/**
+ * dgx2-nvswitch with administrative MIG 2-way L2 slicing baked in
+ * (paper Sec. VII promoted from a per-scenario defense knob to a
+ * platform field): every L2 boots split into two isolated way
+ * slices, so co-tenants in different slices cannot evict each other.
+ * The fabric is NOT partitioned -- the cross-pair switch-port channel
+ * still works, which is exactly the comparison the cross-system sweep
+ * quantifies.
+ */
+Platform
+dgx2Mig2()
+{
+    Platform p = dgx2Nvswitch();
+    p.name = "dgx2-mig2";
+    p.description = "dgx2-nvswitch with administrative 2-way MIG L2 "
+                    "slicing (L2 channel closed, fabric still shared)";
+    p.migSlices = 2;
+    return p;
+}
+
+/**
+ * Hybrid HGX-style box: two NVLink-V2 quads, each hanging off a host
+ * PCIe switch, bridged by a single PCIe trunk. Intra-quad traffic
+ * rides full-bandwidth NVLink; cross-quad traffic crosses both
+ * switches and the trunk -- a 3-hop, two-crossbar route whose shared
+ * trunk port every cross-quad pair contends on. The heterogeneous
+ * link mix is the point: the same attack pipeline sees a fast seam
+ * and a slow seam in one machine.
+ */
+Platform
+hgxHybrid()
+{
+    Platform p;
+    p.name = "hgx-hybrid";
+    p.description = "2x NVLink-V2 quads bridged over a PCIe host "
+                    "trunk (hetero link mix; shared trunk port)";
+    p.linkGen = "nvlink-v2+pcie3";
+    // Nodes 0-7 GPUs, 8 = quad-A host switch, 9 = quad-B host switch.
+    std::vector<noc::Link> links;
+    for (GpuId a = 0; a < 4; ++a)
+        for (GpuId b = a + 1; b < 4; ++b)
+            links.emplace_back(a, b);
+    for (GpuId a = 4; a < 8; ++a)
+        for (GpuId b = a + 1; b < 8; ++b)
+            links.emplace_back(a, b);
+    for (GpuId g = 0; g < 4; ++g)
+        links.emplace_back(g, 8);
+    for (GpuId g = 4; g < 8; ++g)
+        links.emplace_back(g, 9);
+    links.emplace_back(8, 9); // the trunk
+    p.topology =
+        noc::Topology::switched("hgx-hybrid", 8, 2, std::move(links));
+    p.peerOverRoutes = true;
+    p.link = noc::LinkGen::nvlinkV2();
+    p.perLink.assign(12, noc::LinkGen::nvlinkV2());
+    p.perLink.insert(p.perLink.end(), 9, noc::LinkGen::pcie3());
+    p.linkMix = {{"nvlink-v2", 12}, {"pcie3", 9}};
+    p.switchParams.crossbarCycles = 30;
+    p.device.numSms = 80;
     p.timing.l2HitCycles = 215;
     p.timing.hbmCycles = 400;
     p.timing.remoteMissExtra = 120;
@@ -113,6 +183,14 @@ pcieBox()
 
 } // namespace
 
+std::vector<std::pair<std::string, std::size_t>>
+Platform::resolvedLinkMix() const
+{
+    if (!linkMix.empty())
+        return linkMix;
+    return {{linkGen, topology.links().size()}};
+}
+
 SystemConfig
 Platform::systemConfig(std::uint64_t seed) const
 {
@@ -126,6 +204,9 @@ Platform::systemConfig(std::uint64_t seed) const
     cfg.device = device;
     cfg.timing = timing;
     cfg.link = link;
+    cfg.perLink = perLink;
+    cfg.switchParams = switchParams;
+    cfg.migSlices = migSlices;
     return cfg;
 }
 
@@ -135,6 +216,8 @@ allPlatforms()
     static const std::vector<Platform> platforms = {
         dgx1P100(),
         dgx2Nvswitch(),
+        dgx2Mig2(),
+        hgxHybrid(),
         quadRing(),
         pcieBox(),
     };

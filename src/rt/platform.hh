@@ -17,7 +17,9 @@
 #ifndef GPUBOX_RT_PLATFORM_HH
 #define GPUBOX_RT_PLATFORM_HH
 
+#include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "rt/config.hh"
@@ -32,7 +34,9 @@ struct Platform
     std::string name;
     /** One-line summary shown by `gpubox_bench --list-json`. */
     std::string description;
-    /** Link generation label ("nvlink-v1", "nvswitch", "pcie3"...). */
+    /** Dominant link generation label ("nvlink-v1", "nvswitch-port",
+     *  "pcie3"...); heterogeneous fabrics list the full mix in
+     *  linkMix. */
     std::string linkGen;
     noc::Topology topology = noc::Topology::dgx1();
     bool peerOverRoutes = false;
@@ -42,6 +46,24 @@ struct Platform
     TimingParams timing;
     /** Defaults to NVLink-V1, matching SystemConfig's default. */
     noc::LinkParams link = noc::LinkGen::nvlinkV1();
+    /** Heterogeneous fabrics: per-link parameters indexed like
+     *  topology.links(); empty = uniform `link`. */
+    std::vector<noc::LinkParams> perLink;
+    /** Crossbar timing of the topology's switch nodes (if any). */
+    noc::SwitchParams switchParams;
+    /** Administrative MIG L2 way-partitioning (1 = none). */
+    unsigned migSlices = 1;
+    /**
+     * Link-generation mix, (preset label, link count) in descriptor
+     * order; `gpubox_bench --list-json` emits it so CI can diff
+     * descriptor changes without running benches. Uniform platforms
+     * may leave it empty: it then defaults to {linkGen, all links}.
+     */
+    std::vector<std::pair<std::string, std::size_t>> linkMix;
+
+    /** linkMix with the uniform-platform default applied. */
+    std::vector<std::pair<std::string, std::size_t>>
+    resolvedLinkMix() const;
 
     /** Resolve into the SystemConfig a Runtime consumes. */
     SystemConfig systemConfig(std::uint64_t seed) const;

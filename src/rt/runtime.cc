@@ -20,8 +20,15 @@ Runtime::Runtime(const SystemConfig &config)
         config_.pageBytes, mix64(config_.seed ^ 0x5a17ULL));
 
     engine_ = std::make_unique<sim::Engine>(config_.seed);
-    fabric_ = std::make_unique<noc::Fabric>(config_.topology,
-                                            config_.link);
+    // Heterogeneous descriptors carry per-link parameters; uniform
+    // ones stamp the single link generation across the topology.
+    fabric_ = config_.perLink.empty()
+                  ? std::make_unique<noc::Fabric>(config_.topology,
+                                                  config_.link,
+                                                  config_.switchParams)
+                  : std::make_unique<noc::Fabric>(config_.topology,
+                                                  config_.perLink,
+                                                  config_.switchParams);
 
     const int n = config_.topology.numGpus();
     for (GpuId g = 0; g < n; ++g) {
@@ -34,6 +41,12 @@ Runtime::Runtime(const SystemConfig &config)
                               config_.timing.l2PortQueuePerExtra);
     }
     pending_.resize(n);
+
+    // Platform-level MIG slicing (e.g. dgx2-mig2): the box boots
+    // already way-partitioned, as a privileged administrator would
+    // have configured it -- tenants cannot undo it.
+    if (config_.migSlices > 1)
+        enableMigPartitioning(config_.migSlices);
 }
 
 Runtime::~Runtime() = default;

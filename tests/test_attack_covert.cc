@@ -7,9 +7,11 @@
 #include <gtest/gtest.h>
 
 #include "attack/covert/channel.hh"
+#include "attack/covert/port_channel.hh"
 #include "attack/evset_finder.hh"
 #include "attack/set_aligner.hh"
 #include "attack/timing_oracle.hh"
+#include "rt/platform.hh"
 #include "rt/runtime.hh"
 #include "test_common.hh"
 #include "util/log.hh"
@@ -240,6 +242,112 @@ TEST_F(CovertFixture, TooManyPairsRequestedIsFatal)
 {
     EXPECT_THROW(aligner_->alignedPairs(*tf_, *sf_, *mapping_, 100000),
                  FatalError);
+}
+
+// ---- cross-pair switch-port channel ------------------------------------
+
+using covert::GpuPair;
+using covert::PortChannel;
+
+TEST(PortChannel, FinderLocatesInterferingPairOnSwitchedFabric)
+{
+    rt::Runtime rt(
+        rt::platformByName("dgx2-nvswitch").systemConfig(11));
+    GpuPair spy_pair;
+    ASSERT_TRUE(PortChannel::findInterferingPair(rt, GpuPair{0, 1},
+                                                 &spy_pair));
+    // Lowest disjoint pair striped onto the same plane as (0,1):
+    // plane (0+1) % 6 == (2+5) % 6.
+    EXPECT_EQ(spy_pair.src, 2);
+    EXPECT_EQ(spy_pair.dst, 5);
+    EXPECT_TRUE(PortChannel::routesInterfere(
+        rt.topology(), GpuPair{0, 1}, spy_pair));
+    // Pairs striped onto different planes do not interfere.
+    EXPECT_FALSE(PortChannel::routesInterfere(
+        rt.topology(), GpuPair{0, 1}, GpuPair{2, 6}));
+}
+
+TEST(PortChannel, PointToPointBoxesOfferNoInterferingPair)
+{
+    // On the DGX-1 peer access is single-hop only, and two disjoint
+    // direct links share nothing: the cross-pair channel cannot
+    // exist. This is the (measurable) cost of a point-to-point
+    // fabric -- and the vulnerability switches introduce.
+    rt::Runtime rt(rt::platformByName("dgx1-p100").systemConfig(11));
+    EXPECT_FALSE(
+        PortChannel::findInterferingPair(rt, GpuPair{0, 1}, nullptr));
+}
+
+TEST(PortChannel, ConstructionValidatesPairs)
+{
+    rt::Runtime rt(
+        rt::platformByName("dgx2-nvswitch").systemConfig(11));
+    rt::Process &trojan = rt.createProcess("trojan");
+    rt::Process &spy = rt.createProcess("spy");
+    // Overlapping pairs break the cross-pair premise.
+    EXPECT_THROW(PortChannel(rt, trojan, spy, GpuPair{0, 1},
+                             GpuPair{1, 2}),
+                 FatalError);
+    // Disjoint but non-interfering routes (different planes).
+    EXPECT_THROW(PortChannel(rt, trojan, spy, GpuPair{0, 1},
+                             GpuPair{2, 6}),
+                 FatalError);
+    // Degenerate pair.
+    EXPECT_THROW(PortChannel(rt, trojan, spy, GpuPair{0, 0},
+                             GpuPair{2, 5}),
+                 FatalError);
+}
+
+TEST(PortChannel, TransmitsThroughSharedCrossbar)
+{
+    rt::Runtime rt(
+        rt::platformByName("dgx2-nvswitch").systemConfig(11));
+    rt::Process &trojan = rt.createProcess("trojan");
+    rt::Process &spy = rt.createProcess("spy");
+    PortChannel port(rt, trojan, spy, GpuPair{0, 1}, GpuPair{2, 5});
+    // Symbols are aligned to the switch contention window so the
+    // trojan's burst and the spy's probe meet deterministically.
+    EXPECT_EQ(port.symbolCycles() % 2000, 0u);
+    EXPECT_EQ(port.sharedResourceString(), "sw1");
+
+    Rng rng(99);
+    std::vector<std::uint8_t> bits(48);
+    for (auto &b : bits)
+        b = rng.chance(0.5) ? 1 : 0;
+    std::vector<std::uint8_t> rx;
+    const covert::ChannelStats stats = port.transmit(bits, rx);
+    EXPECT_EQ(stats.bitsSent, bits.size());
+    EXPECT_GT(stats.bandwidthMbitPerSec, 0.0);
+    // The two processes share no L2 set, no eviction set, not even a
+    // GPU -- yet the crossbar leaks the bits.
+    EXPECT_LE(stats.errorRate, 0.05);
+}
+
+TEST(PortChannel, TransmitSerializesDeterministically)
+{
+    // Two identical runtimes, same seed: the port channel's decode
+    // (and therefore the arbitration order underneath it) must be
+    // byte-identical -- the serialization regression for disjoint-
+    // pair transfers through one switch.
+    const auto run = [] {
+        rt::Runtime rt(
+            rt::platformByName("dgx2-nvswitch").systemConfig(17));
+        rt::Process &trojan = rt.createProcess("trojan");
+        rt::Process &spy = rt.createProcess("spy");
+        PortChannel port(rt, trojan, spy, GpuPair{0, 1},
+                         GpuPair{2, 5});
+        Rng rng(7);
+        std::vector<std::uint8_t> bits(24);
+        for (auto &b : bits)
+            b = rng.chance(0.5) ? 1 : 0;
+        std::vector<std::uint8_t> rx;
+        const covert::ChannelStats stats = port.transmit(bits, rx);
+        return std::make_pair(rx, stats.probeTraceSet0);
+    };
+    const auto first = run();
+    const auto second = run();
+    EXPECT_EQ(first.first, second.first);
+    EXPECT_EQ(first.second, second.second);
 }
 
 } // namespace

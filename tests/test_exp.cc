@@ -538,7 +538,7 @@ TEST(BenchRegistry, ResultsJsonIsPopulated)
     std::remove(path.c_str());
     std::remove("json_bench.csv");
 
-    EXPECT_NE(js.find("\"schema\": \"gpubox-bench-results/v2\""),
+    EXPECT_NE(js.find("\"schema\": \"gpubox-bench-results/v3\""),
               std::string::npos);
     EXPECT_NE(js.find("\"seed\": 11"), std::string::npos);
     // No --platform override: the run records the default marker and
@@ -549,6 +549,13 @@ TEST(BenchRegistry, ResultsJsonIsPopulated)
     EXPECT_NE(js.find("\"name\": \"json_bench\""), std::string::npos);
     EXPECT_NE(js.find("\"scenarios\": 2"), std::string::npos);
     EXPECT_NE(js.find("\"failures\": 0"), std::string::npos);
+    // The calibration artifact covers every platform the run touched:
+    // cluster centers + thresholds, keyed by platform name.
+    EXPECT_NE(js.find("\"calibration\": {"), std::string::npos);
+    EXPECT_NE(js.find("\"dgx1-p100\": {\"local_gpu\": 1, "
+                      "\"remote_gpu\": 0, \"centers\": {\"local_hit\": "),
+              std::string::npos);
+    EXPECT_NE(js.find("\"remote_boundary\": "), std::string::npos);
 }
 
 } // namespace

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "noc/fabric.hh"
 #include "rt/platform.hh"
 #include "rt/runtime.hh"
 #include "util/log.hh"
@@ -19,11 +20,13 @@ namespace
 TEST(PlatformRegistry, KnownPlatformsAreRegistered)
 {
     const auto names = platformNames();
-    ASSERT_EQ(names.size(), 4u);
+    ASSERT_EQ(names.size(), 6u);
     EXPECT_EQ(names[0], "dgx1-p100");
     EXPECT_EQ(names[1], "dgx2-nvswitch");
-    EXPECT_EQ(names[2], "quad-ring");
-    EXPECT_EQ(names[3], "pcie-box");
+    EXPECT_EQ(names[2], "dgx2-mig2");
+    EXPECT_EQ(names[3], "hgx-hybrid");
+    EXPECT_EQ(names[4], "quad-ring");
+    EXPECT_EQ(names[5], "pcie-box");
     for (const auto &n : names) {
         EXPECT_TRUE(platformExists(n));
         EXPECT_EQ(platformByName(n).name, n);
@@ -71,6 +74,74 @@ TEST(PlatformRegistry, DescriptorsDifferWhereTheyShould)
     // PCIe: much higher per-hop latency, much lower bandwidth.
     EXPECT_GT(pcie.link.hopCycles, dgx2.link.hopCycles);
     EXPECT_LT(pcie.link.bytesPerCycle, dgx2.link.bytesPerCycle);
+}
+
+TEST(PlatformRegistry, Dgx2RoutesThroughRealSwitchNodes)
+{
+    const Platform &p = platformByName("dgx2-nvswitch");
+    EXPECT_EQ(p.topology.numGpus(), 16);
+    EXPECT_EQ(p.topology.numSwitches(), 6);
+    EXPECT_EQ(p.topology.numNodes(), 22);
+    // 6 planes x 16 ports: every GPU pair is two switched hops apart.
+    EXPECT_EQ(p.topology.links().size(), 96u);
+    for (GpuId a = 0; a < 16; ++a)
+        for (GpuId b = a + 1; b < 16; ++b) {
+            EXPECT_EQ(p.topology.hopCount(a, b), 2) << a << "," << b;
+            const auto &route = p.topology.route(a, b);
+            ASSERT_EQ(route.size(), 3u);
+            EXPECT_TRUE(p.topology.isSwitch(route[1]));
+        }
+    // The per-route latency budget matches the legacy single-hop
+    // nvswitch calibration: 2 port hops + crossbar transit = 250.
+    noc::Fabric fab(p.topology, p.link, p.switchParams);
+    EXPECT_EQ(fab.routeBaseCycles(0, 1),
+              noc::LinkGen::nvswitch().hopCycles);
+}
+
+TEST(PlatformRegistry, Mig2IsDgx2WithAdministrativeSlicing)
+{
+    const Platform &mig = platformByName("dgx2-mig2");
+    const Platform &dgx2 = platformByName("dgx2-nvswitch");
+    EXPECT_EQ(mig.migSlices, 2u);
+    EXPECT_EQ(dgx2.migSlices, 1u);
+    // The fabric is NOT partitioned: same topology, links, timing.
+    EXPECT_EQ(mig.topology.numNodes(), dgx2.topology.numNodes());
+    EXPECT_EQ(mig.topology.links().size(),
+              dgx2.topology.links().size());
+    EXPECT_EQ(mig.link.hopCycles, dgx2.link.hopCycles);
+    EXPECT_EQ(mig.systemConfig(5).migSlices, 2u);
+}
+
+TEST(PlatformRegistry, HgxHybridMixesLinkGenerations)
+{
+    const Platform &p = platformByName("hgx-hybrid");
+    EXPECT_EQ(p.topology.numGpus(), 8);
+    EXPECT_EQ(p.topology.numSwitches(), 2);
+    ASSERT_EQ(p.perLink.size(), p.topology.links().size());
+    const auto mix = p.resolvedLinkMix();
+    ASSERT_EQ(mix.size(), 2u);
+    EXPECT_EQ(mix[0].first, "nvlink-v2");
+    EXPECT_EQ(mix[0].second, 12u);
+    EXPECT_EQ(mix[1].first, "pcie3");
+    EXPECT_EQ(mix[1].second, 9u);
+    // Intra-quad stays single-hop NVLink; cross-quad crosses both
+    // host switches and the shared trunk.
+    EXPECT_EQ(p.topology.hopCount(0, 3), 1);
+    EXPECT_EQ(p.topology.hopCount(0, 4), 3);
+    const auto &route = p.topology.route(0, 4);
+    ASSERT_EQ(route.size(), 4u);
+    EXPECT_TRUE(p.topology.isSwitch(route[1]));
+    EXPECT_TRUE(p.topology.isSwitch(route[2]));
+    // Every cross-quad pair shares that trunk link.
+    EXPECT_GE(p.topology.linkIndex(8, 9), 0);
+
+    // Uniform platforms fall back to {linkGen, all links}.
+    const auto uniform = platformByName("pcie-box").resolvedLinkMix();
+    ASSERT_EQ(uniform.size(), 1u);
+    EXPECT_EQ(uniform[0].first, "pcie3");
+    EXPECT_EQ(
+        uniform[0].second,
+        platformByName("pcie-box").topology.links().size());
 }
 
 TEST(PlatformRegistry, GeometryFitsTheHashedIndexer)
@@ -125,14 +196,21 @@ TEST(PlatformRegistry, LatencyClustersStayOrderedOnEveryPlatform)
 {
     // The NUMA-L2 attack needs LH < LM < RH < RM between the pair the
     // benches use; verify the calibration-free ground truth ordering
-    // from each descriptor's timing/link parameters.
+    // from each descriptor's timing/link/switch parameters. The
+    // remote legs are the *routed* base cost -- on switched
+    // descriptors a leg is two port hops plus the crossbar, not one
+    // direct link.
     for (const Platform &p : allPlatforms()) {
         const TimingParams &t = p.timing;
-        const Cycles two_hops = 2 * p.link.hopCycles;
+        const noc::Fabric fab =
+            p.perLink.empty()
+                ? noc::Fabric(p.topology, p.link, p.switchParams)
+                : noc::Fabric(p.topology, p.perLink, p.switchParams);
+        const Cycles two_legs = 2 * fab.routeBaseCycles(1, 0);
         const Cycles lh = t.l2HitCycles;
         const Cycles lm = t.hbmCycles;
-        const Cycles rh = t.l2HitCycles + two_hops;
-        const Cycles rm = t.hbmCycles + two_hops + t.remoteMissExtra;
+        const Cycles rh = t.l2HitCycles + two_legs;
+        const Cycles rm = t.hbmCycles + two_legs + t.remoteMissExtra;
         EXPECT_LT(lh, lm) << p.name;
         EXPECT_LT(lm, rh) << p.name;
         EXPECT_LT(rh, rm) << p.name;
