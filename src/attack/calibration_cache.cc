@@ -1,0 +1,89 @@
+#include "attack/calibration_cache.hh"
+
+#include "rt/platform.hh"
+#include "rt/runtime.hh"
+#include "sim/engine.hh"
+
+namespace gpubox::attack
+{
+
+TimingThresholds
+CalibrationCache::thresholds(const CalibrationKey &key)
+{
+    // The lock is held across the miss compute on purpose: racing
+    // threads would produce identical bits anyway (the function is
+    // pure), but computing once keeps the miss counter meaningful and
+    // avoids burning two simulations on the same key.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &e : entries_) {
+        if (e.first == key) {
+            ++hits_;
+            return e.second;
+        }
+    }
+    ++misses_;
+    entries_.emplace_back(key, compute(key));
+    return entries_.back().second;
+}
+
+TimingThresholds
+CalibrationCache::compute(const CalibrationKey &key)
+{
+    // Profile-neutral: which caller pays the miss depends on thread
+    // scheduling, so the throwaway box must not leak into that
+    // scenario's engine profile -- per-scenario profiles stay
+    // identical for any worker-thread count.
+    const sim::EngineProfile saved = sim::threadEngineProfile();
+    TimingThresholds out;
+    {
+        rt::Runtime rt(
+            rt::platformByName(key.platform).systemConfig(key.seed));
+        rt::Process &proc = rt.createProcess("calibration");
+        TimingOracle oracle(rt, proc);
+        out = oracle
+                  .calibrate(key.localGpu, key.remoteGpu,
+                             key.linesPerRound, key.rounds)
+                  .thresholds;
+    }
+    sim::threadEngineProfile() = saved;
+    return out;
+}
+
+std::uint64_t
+CalibrationCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+}
+
+std::uint64_t
+CalibrationCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+}
+
+std::size_t
+CalibrationCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+void
+CalibrationCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+    hits_ = 0;
+    misses_ = 0;
+}
+
+CalibrationCache &
+CalibrationCache::global()
+{
+    static CalibrationCache cache;
+    return cache;
+}
+
+} // namespace gpubox::attack

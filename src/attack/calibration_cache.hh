@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Process-wide memo for k-means timing calibration.
+ *
+ * Calibration (TimingOracle::calibrate) is a pure function of the
+ * platform descriptor, the seed and the calibration parameters when it
+ * runs on a runtime of its own: the throwaway Runtime is constructed
+ * fresh from (platform, seed), so two computations of the same key are
+ * bit-identical. The cache exploits exactly that -- a miss builds the
+ * throwaway box, calibrates on it and discards it; a hit returns the
+ * stored thresholds, which are indistinguishable from a fresh compute.
+ *
+ * Because values are pure, sharing the cache across ExperimentRunner
+ * worker threads cannot perturb results: whichever thread populates a
+ * key first, every reader sees the same bits, so sweep output stays
+ * byte-identical for any --threads count. Scenario code that needs the
+ * *side effects* of calibrating on its own runtime (jitter RNG
+ * consumption, cache warm-up) must keep calling TimingOracle directly;
+ * this memo is for consumers that only need the thresholds.
+ */
+
+#ifndef GPUBOX_ATTACK_CALIBRATION_CACHE_HH
+#define GPUBOX_ATTACK_CALIBRATION_CACHE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "attack/timing_oracle.hh"
+#include "util/types.hh"
+
+namespace gpubox::attack
+{
+
+/** Identity of one calibration computation. */
+struct CalibrationKey
+{
+    std::string platform; // rt::platformNames() entry
+    std::uint64_t seed = 0;
+    GpuId localGpu = 1;   // GPU the measuring kernel runs on
+    GpuId remoteGpu = 0;  // peer whose memory is probed remotely
+    int linesPerRound = 48;
+    int rounds = 6;
+
+    bool operator==(const CalibrationKey &o) const = default;
+};
+
+/** Thread-safe (platform, seed, ...) -> TimingThresholds memo. */
+class CalibrationCache
+{
+  public:
+    /**
+     * Thresholds for @p key: stored value on a hit, otherwise computed
+     * on a throwaway Runtime built from (platform, seed) and stored.
+     * Bit-identical to a fresh TimingOracle run on such a runtime.
+     */
+    TimingThresholds thresholds(const CalibrationKey &key);
+
+    /** @name Introspection (profiling layer / tests) @{ */
+    std::uint64_t hits() const;
+    std::uint64_t misses() const;
+    std::size_t size() const;
+    /** @} */
+
+    /** Drop every entry (tests). */
+    void clear();
+
+    /** The process-wide instance the bench driver threads through
+     *  RunContext. */
+    static CalibrationCache &global();
+
+  private:
+    /**
+     * The pure function behind the memo: fresh Runtime from
+     * (platform, seed), one calibration process, one oracle run.
+     */
+    static TimingThresholds compute(const CalibrationKey &key);
+
+    mutable std::mutex mu_;
+    /** Linear store: sweeps touch a handful of platforms, and lookup
+     *  cost is irrelevant next to a miss's simulation. */
+    std::vector<std::pair<CalibrationKey, TimingThresholds>> entries_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace gpubox::attack
+
+#endif // GPUBOX_ATTACK_CALIBRATION_CACHE_HH

@@ -77,14 +77,14 @@ RemoteProber::prime(rt::Stream &stream)
 {
     checkStream(stream);
     auto kernel = [this](rt::BlockCtx &ctx) -> sim::Task {
-        const std::vector<std::size_t> mine =
-            setsOfBlock(ctx.blockIdx());
-        if (mine.empty())
-            co_return;
-        // Make every assigned set resident once; dependent streams
-        // key off the event recorded after this kernel.
-        for (std::size_t s : mine)
+        // Make every assigned set resident once (round-robin over
+        // blocks, as in setsOfBlock); dependent streams key off the
+        // event recorded after this kernel.
+        const unsigned blocks = numBlocks();
+        for (std::size_t s = ctx.blockIdx(); s < sets_.size();
+             s += blocks) {
             co_await ctx.probeSet(sets_[s].lines);
+        }
     };
 
     gpu::KernelConfig cfg;
@@ -108,8 +108,9 @@ RemoteProber::monitor(rt::Stream &stream, Memorygram &out, Cycles t0)
 
     auto kernel = [this, &out, t0, blocks](rt::BlockCtx &ctx) -> sim::Task {
         const unsigned bid = ctx.blockIdx();
-        const std::vector<std::size_t> mine = setsOfBlock(bid);
-        if (mine.empty())
+        // Same round-robin assignment as setsOfBlock, iterated in
+        // place: one probe round allocates nothing.
+        if (bid >= sets_.size())
             co_return;
 
         const Cycles end = t0 + config_.duration;
@@ -123,7 +124,7 @@ RemoteProber::monitor(rt::Stream &stream, Memorygram &out, Cycles t0)
             if (slot >= end)
                 break;
             co_await ctx.waitUntil(slot);
-            for (std::size_t s : mine) {
+            for (std::size_t s = bid; s < sets_.size(); s += blocks) {
                 if (ctx.stopRequested())
                     break;
                 auto res = co_await ctx.probeSet(sets_[s].lines);

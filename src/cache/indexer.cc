@@ -6,12 +6,6 @@
 namespace gpubox::cache
 {
 
-SetIndex
-LinearIndexer::setFor(PAddr line_addr) const
-{
-    return static_cast<SetIndex>((line_addr / lineBytes_) % numSets_);
-}
-
 HashedPageIndexer::HashedPageIndexer(std::uint32_t num_sets,
                                      std::uint32_t line_bytes,
                                      std::uint64_t page_bytes,
@@ -28,7 +22,10 @@ HashedPageIndexer::HashedPageIndexer(std::uint32_t num_sets,
     linesPerPage_ = static_cast<std::uint32_t>(page_bytes / line_bytes);
     numColors_ = colorCount(num_sets, line_bytes, page_bytes);
     pageShift_ = floorLog2(page_bytes);
+    lineShift_ = floorLog2(line_bytes);
     frameFieldBits_ = 32; // matches mem::AddressCodec's layout
+    memoKey_.fill(~0ULL);
+    memoStart_.fill(0);
 }
 
 std::uint32_t
@@ -41,18 +38,13 @@ HashedPageIndexer::colorOf(std::uint64_t frame, GpuId gpu) const
     return static_cast<std::uint32_t>(h % numColors_);
 }
 
-SetIndex
-HashedPageIndexer::setFor(PAddr line_addr) const
+std::uint64_t
+HashedPageIndexer::startOfPage(std::uint64_t page_key) const
 {
-    const std::uint64_t offset = line_addr & (pageBytes_ - 1);
-    const std::uint64_t frame =
-        (line_addr >> pageShift_) & ((1ULL << frameFieldBits_) - 1);
-    const GpuId gpu =
-        static_cast<GpuId>(line_addr >> (pageShift_ + frameFieldBits_));
-    const std::uint64_t line_in_page = offset / lineBytes_;
-    const std::uint64_t start =
-        static_cast<std::uint64_t>(colorOf(frame, gpu)) * linesPerPage_;
-    return static_cast<SetIndex>((start + line_in_page) % numSets_);
+    const std::uint64_t frame = page_key & ((1ULL << frameFieldBits_) - 1);
+    const GpuId gpu = static_cast<GpuId>(page_key >> frameFieldBits_);
+    return static_cast<std::uint64_t>(colorOf(frame, gpu)) *
+           linesPerPage_;
 }
 
 } // namespace gpubox::cache

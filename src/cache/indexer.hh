@@ -17,6 +17,7 @@
 #ifndef GPUBOX_CACHE_INDEXER_HH
 #define GPUBOX_CACHE_INDEXER_HH
 
+#include <array>
 #include <cstdint>
 
 #include "util/types.hh"
@@ -38,14 +39,19 @@ class SetIndexer
 };
 
 /** Simple modulo indexing; used by unit tests as a transparent oracle. */
-class LinearIndexer : public SetIndexer
+class LinearIndexer final : public SetIndexer
 {
   public:
     LinearIndexer(std::uint32_t num_sets, std::uint32_t line_bytes)
         : numSets_(num_sets), lineBytes_(line_bytes)
     {}
 
-    SetIndex setFor(PAddr line_addr) const override;
+    SetIndex
+    setFor(PAddr line_addr) const override
+    {
+        return static_cast<SetIndex>((line_addr / lineBytes_) %
+                                     numSets_);
+    }
 
   private:
     std::uint32_t numSets_;
@@ -57,7 +63,7 @@ class LinearIndexer : public SetIndexer
  * With the DGX-1 geometry (2048 sets, 128 B lines, 64 KiB pages) a page
  * spans 512 consecutive sets and there are 4 possible page colors.
  */
-class HashedPageIndexer : public SetIndexer
+class HashedPageIndexer final : public SetIndexer
 {
   public:
     /**
@@ -70,7 +76,26 @@ class HashedPageIndexer : public SetIndexer
     HashedPageIndexer(std::uint32_t num_sets, std::uint32_t line_bytes,
                       std::uint64_t page_bytes, std::uint64_t salt);
 
-    SetIndex setFor(PAddr line_addr) const override;
+    /**
+     * Inline hot path with a small direct-mapped page memo: probe
+     * loops cycle through a handful of pages, so the color hash is
+     * only recomputed on a memo miss. The memo is pure caching -- the
+     * returned index is a function of the address alone.
+     */
+    SetIndex
+    setFor(PAddr line_addr) const override
+    {
+        const std::uint64_t page_key = line_addr >> pageShift_;
+        const std::size_t slot = page_key & (kMemoSlots - 1);
+        if (page_key != memoKey_[slot]) {
+            memoStart_[slot] = startOfPage(page_key);
+            memoKey_[slot] = page_key;
+        }
+        const std::uint64_t line_in_page =
+            (line_addr & (pageBytes_ - 1)) >> lineShift_;
+        return static_cast<SetIndex>((memoStart_[slot] + line_in_page) &
+                                     (numSets_ - 1));
+    }
 
     /**
      * Page colors (set windows) of a geometry -- the one formula all
@@ -93,6 +118,10 @@ class HashedPageIndexer : public SetIndexer
     std::uint32_t colorOf(std::uint64_t frame, GpuId gpu) const;
 
   private:
+    /** First set of the page with packed key @p page_key (frame + gpu
+     *  fields above pageShift_), i.e. color * linesPerPage_. */
+    std::uint64_t startOfPage(std::uint64_t page_key) const;
+
     std::uint32_t numSets_;
     std::uint32_t lineBytes_;
     std::uint64_t pageBytes_;
@@ -100,7 +129,13 @@ class HashedPageIndexer : public SetIndexer
     std::uint32_t numColors_;
     std::uint64_t salt_;
     unsigned pageShift_;
+    unsigned lineShift_;
     unsigned frameFieldBits_;
+    /** Direct-mapped page memo (pure cache; see setFor). ~0 is never a
+     *  real page key: addresses don't use the top bits. */
+    static constexpr std::size_t kMemoSlots = 256;
+    mutable std::array<std::uint64_t, kMemoSlots> memoKey_;
+    mutable std::array<std::uint64_t, kMemoSlots> memoStart_;
 };
 
 } // namespace gpubox::cache

@@ -42,34 +42,6 @@ LruPolicy::reset(std::size_t num_sets, unsigned ways)
     lastUse_.assign(num_sets * ways, 0);
 }
 
-void
-LruPolicy::touch(SetIndex set, unsigned way)
-{
-    lastUse_[static_cast<std::size_t>(set) * ways_ + way] = ++tick_;
-}
-
-unsigned
-LruPolicy::victim(SetIndex set)
-{
-    return victimInRange(set, 0, ways_);
-}
-
-unsigned
-LruPolicy::victimInRange(SetIndex set, unsigned way_begin,
-                         unsigned way_end)
-{
-    const std::size_t base = static_cast<std::size_t>(set) * ways_;
-    unsigned best = way_begin;
-    std::uint64_t best_tick = lastUse_[base + way_begin];
-    for (unsigned w = way_begin + 1; w < way_end; ++w) {
-        if (lastUse_[base + w] < best_tick) {
-            best_tick = lastUse_[base + w];
-            best = w;
-        }
-    }
-    return best;
-}
-
 // ---------------------------------------------------------- Tree PLRU
 
 void

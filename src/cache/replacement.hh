@@ -64,14 +64,38 @@ class ReplacementPolicy
 };
 
 /** True LRU via per-way timestamps. */
-class LruPolicy : public ReplacementPolicy
+class LruPolicy final : public ReplacementPolicy
 {
   public:
     void reset(std::size_t num_sets, unsigned ways) override;
-    void touch(SetIndex set, unsigned way) override;
-    unsigned victim(SetIndex set) override;
-    unsigned victimInRange(SetIndex set, unsigned way_begin,
-                           unsigned way_end) override;
+
+    void
+    touch(SetIndex set, unsigned way) override
+    {
+        lastUse_[static_cast<std::size_t>(set) * ways_ + way] = ++tick_;
+    }
+
+    unsigned
+    victim(SetIndex set) override
+    {
+        return victimInRange(set, 0, ways_);
+    }
+
+    unsigned
+    victimInRange(SetIndex set, unsigned way_begin,
+                  unsigned way_end) override
+    {
+        const std::size_t base = static_cast<std::size_t>(set) * ways_;
+        unsigned best = way_begin;
+        std::uint64_t best_tick = lastUse_[base + way_begin];
+        for (unsigned w = way_begin + 1; w < way_end; ++w) {
+            if (lastUse_[base + w] < best_tick) {
+                best_tick = lastUse_[base + w];
+                best = w;
+            }
+        }
+        return best;
+    }
 
   private:
     unsigned ways_ = 0;

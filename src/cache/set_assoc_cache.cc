@@ -8,7 +8,9 @@ namespace gpubox::cache
 
 SetAssocCache::SetAssocCache(const CacheConfig &config,
                              const SetIndexer &indexer, Rng rng)
-    : config_(config), indexer_(indexer)
+    : config_(config), indexer_(indexer),
+      hashedIdx_(dynamic_cast<const HashedPageIndexer *>(&indexer)),
+      linearIdx_(dynamic_cast<const LinearIndexer *>(&indexer))
 {
     if (!isPowerOf2(config.lineBytes))
         fatal("cache line size must be a power of two");
@@ -19,8 +21,11 @@ SetAssocCache::SetAssocCache(const CacheConfig &config,
         fatal("cache size must be a multiple of lineBytes*ways");
     }
     numSets_ = config.numSets();
-    lines_.assign(static_cast<std::size_t>(numSets_) * config.ways, Line{});
+    lineShift_ = floorLog2(config.lineBytes);
+    waysPerPartition_ = config.ways;
+    lines_.assign(static_cast<std::size_t>(numSets_) * config.ways, 0);
     repl_ = makeReplacementPolicy(config.policy, rng);
+    lru_ = dynamic_cast<LruPolicy *>(repl_.get());
     repl_->reset(numSets_, config.ways);
     perSetHits_.assign(numSets_, 0);
     perSetMisses_.assign(numSets_, 0);
@@ -48,6 +53,7 @@ SetAssocCache::setWayPartitions(unsigned n)
         fatal("replacement policy '", replPolicyName(config_.policy),
               "' does not support way partitioning");
     partitions_ = n;
+    waysPerPartition_ = config_.ways / n;
     flush(); // reconfiguration invalidates resident lines
 }
 
@@ -58,29 +64,34 @@ SetAssocCache::access(PAddr addr, unsigned partition)
         fatal("cache access in partition ", partition, " of ",
               partitions_);
     const PAddr line_addr = lineBase(addr);
-    const std::uint64_t tag = line_addr / config_.lineBytes;
-    const SetIndex set = indexer_.setFor(line_addr);
+    // Valid lines store tag|kValidBit, so a whole-word compare is both
+    // the tag match and the valid check; 0 is "invalid".
+    const std::uint64_t want = (line_addr >> lineShift_) | kValidBit;
+    const SetIndex set = fastSetFor(line_addr);
     const std::size_t base = static_cast<std::size_t>(set) * config_.ways;
 
     // The partition only sees its own slice of ways (isolated paths
     // through the memory system, as in MIG).
-    const unsigned way_begin = partition * waysPerPartition();
-    const unsigned way_end = way_begin + waysPerPartition();
+    const unsigned way_begin = partition * waysPerPartition_;
+    const unsigned way_end = way_begin + waysPerPartition_;
 
     AccessOutcome out;
     out.set = set;
 
     int invalid_way = -1;
     for (unsigned w = way_begin; w < way_end; ++w) {
-        Line &line = lines_[base + w];
-        if (line.valid && line.tag == tag) {
-            repl_->touch(set, w);
+        const std::uint64_t line = lines_[base + w];
+        if (line == want) {
+            if (lru_)
+                lru_->touch(set, w);
+            else
+                repl_->touch(set, w);
             ++hits_;
             ++perSetHits_[set];
             out.hit = true;
             return out;
         }
-        if (!line.valid && invalid_way < 0)
+        if (line == 0 && invalid_way < 0)
             invalid_way = static_cast<int>(w);
     }
 
@@ -91,16 +102,25 @@ SetAssocCache::access(PAddr addr, unsigned partition)
     if (invalid_way >= 0) {
         way = static_cast<unsigned>(invalid_way);
     } else {
-        way = partitions_ == 1
-                  ? repl_->victim(set)
-                  : repl_->victimInRange(set, way_begin, way_end);
+        if (lru_) {
+            way = partitions_ == 1
+                      ? lru_->victim(set)
+                      : lru_->victimInRange(set, way_begin, way_end);
+        } else {
+            way = partitions_ == 1
+                      ? repl_->victim(set)
+                      : repl_->victimInRange(set, way_begin, way_end);
+        }
         out.evicted = true;
-        out.evictedLine = lines_[base + way].tag * config_.lineBytes;
+        out.evictedLine = (lines_[base + way] & ~kValidBit)
+                          << lineShift_;
         ++evictions_;
     }
-    lines_[base + way].valid = true;
-    lines_[base + way].tag = tag;
-    repl_->touch(set, way);
+    lines_[base + way] = want;
+    if (lru_)
+        lru_->touch(set, way);
+    else
+        repl_->touch(set, way);
     return out;
 }
 
@@ -108,12 +128,11 @@ bool
 SetAssocCache::probe(PAddr addr) const
 {
     const PAddr line_addr = lineBase(addr);
-    const std::uint64_t tag = line_addr / config_.lineBytes;
-    const SetIndex set = indexer_.setFor(line_addr);
+    const std::uint64_t want = (line_addr >> lineShift_) | kValidBit;
+    const SetIndex set = fastSetFor(line_addr);
     const std::size_t base = static_cast<std::size_t>(set) * config_.ways;
     for (unsigned w = 0; w < config_.ways; ++w) {
-        const Line &line = lines_[base + w];
-        if (line.valid && line.tag == tag)
+        if (lines_[base + w] == want)
             return true;
     }
     return false;
@@ -122,21 +141,19 @@ SetAssocCache::probe(PAddr addr) const
 void
 SetAssocCache::flush()
 {
-    for (auto &line : lines_)
-        line.valid = false;
+    std::fill(lines_.begin(), lines_.end(), 0);
 }
 
 bool
 SetAssocCache::invalidate(PAddr addr)
 {
     const PAddr line_addr = lineBase(addr);
-    const std::uint64_t tag = line_addr / config_.lineBytes;
-    const SetIndex set = indexer_.setFor(line_addr);
+    const std::uint64_t want = (line_addr >> lineShift_) | kValidBit;
+    const SetIndex set = fastSetFor(line_addr);
     const std::size_t base = static_cast<std::size_t>(set) * config_.ways;
     for (unsigned w = 0; w < config_.ways; ++w) {
-        Line &line = lines_[base + w];
-        if (line.valid && line.tag == tag) {
-            line.valid = false;
+        if (lines_[base + w] == want) {
+            lines_[base + w] = 0;
             return true;
         }
     }

@@ -77,10 +77,7 @@ class SetAssocCache
     unsigned numWayPartitions() const { return partitions_; }
 
     /** Ways visible to each partition slice. */
-    unsigned waysPerPartition() const
-    {
-        return config_.ways / partitions_;
-    }
+    unsigned waysPerPartition() const { return waysPerPartition_; }
 
     /** @return true when the line holding @p addr is resident. */
     bool probe(PAddr addr) const;
@@ -105,20 +102,43 @@ class SetAssocCache
     /** @} */
 
   private:
-    struct Line
-    {
-        bool valid = false;
-        std::uint64_t tag = 0; // line_addr / lineBytes
-    };
+    /** High bit marking a resident line in the packed tag array. */
+    static constexpr std::uint64_t kValidBit = 1ULL << 63;
 
     PAddr lineBase(PAddr addr) const;
 
+    /**
+     * Set lookup devirtualized for the two concrete (final) indexers;
+     * only an exotic external SetIndexer pays the virtual call.
+     */
+    SetIndex
+    fastSetFor(PAddr line_addr) const
+    {
+        if (hashedIdx_)
+            return hashedIdx_->setFor(line_addr);
+        if (linearIdx_)
+            return linearIdx_->setFor(line_addr);
+        return indexer_.setFor(line_addr);
+    }
+
     CacheConfig config_;
     const SetIndexer &indexer_;
+    const HashedPageIndexer *hashedIdx_ = nullptr;
+    const LinearIndexer *linearIdx_ = nullptr;
     std::uint32_t numSets_;
+    std::uint32_t lineShift_ = 0; // log2(lineBytes)
     unsigned partitions_ = 1;
-    std::vector<Line> lines_; // numSets * ways
+    unsigned waysPerPartition_ = 0;
+    /**
+     * Packed tag array, numSets * ways: 0 when the way is invalid,
+     * otherwise (line_addr >> lineShift_) | kValidBit. One 8-byte word
+     * per way keeps the hot way scan to a single whole-word compare.
+     */
+    std::vector<std::uint64_t> lines_;
     std::unique_ptr<ReplacementPolicy> repl_;
+    /** Non-null when repl_ is the (final) LRU policy; lets the hot
+     *  access path call touch/victim without a virtual dispatch. */
+    LruPolicy *lru_ = nullptr;
 
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;

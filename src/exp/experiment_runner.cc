@@ -95,6 +95,15 @@ Report::aggregateMetrics() const
     return agg;
 }
 
+sim::EngineProfile
+Report::aggregateProfile() const
+{
+    sim::EngineProfile agg;
+    for (const auto &r : results)
+        agg.merge(r.profile);
+    return agg;
+}
+
 void
 Report::printTexts(std::FILE *out) const
 {
@@ -144,7 +153,17 @@ ExperimentRunner::run(const std::vector<Scenario> &scenarios,
         const auto t0 = std::chrono::steady_clock::now();
         // Keyed by seed + name (not list position): inserting or
         // reordering scenarios leaves every other stream untouched.
-        RunContext ctx(sc, Rng(sc.seed).split(stableHash(sc.name)));
+        RunContext ctx(sc, Rng(sc.seed).split(stableHash(sc.name)),
+                       config_.calibrationCache
+                           ? config_.calibrationCache
+                           : &attack::CalibrationCache::global());
+        // Bracket the scenario with a reset/snapshot of the worker's
+        // engine-profile accumulator: every engine the scenario
+        // creates dies inside fn (its runtime is fn-local), so the
+        // snapshot is exactly this scenario's activity no matter
+        // which thread ran it.
+        sim::EngineProfile &tls_profile = sim::threadEngineProfile();
+        tls_profile = {};
         try {
             fn(sc, ctx);
             res.ok = true;
@@ -153,6 +172,7 @@ ExperimentRunner::run(const std::vector<Scenario> &scenarios,
         } catch (const std::exception &e) {
             res.error = e.what();
         }
+        res.profile = tls_profile;
         res.rows = std::move(ctx.rows_);
         res.notes = std::move(ctx.notes_);
         res.texts = std::move(ctx.texts_);

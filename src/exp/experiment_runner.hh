@@ -20,7 +20,9 @@
 #include <string>
 #include <vector>
 
+#include "attack/calibration_cache.hh"
 #include "exp/scenario.hh"
+#include "sim/engine.hh"
 #include "util/csv.hh"
 #include "util/rng.hh"
 
@@ -74,13 +76,37 @@ class RunContext
         metrics_.emplace_back(key, value);
     }
 
+    /**
+     * Calibrated timing thresholds of this scenario's
+     * (platform, seed), served from the process-wide
+     * attack::CalibrationCache: the first scenario to ask pays one
+     * throwaway-runtime calibration, every later scenario of the
+     * sweep (and every repeat) reuses the stored bits. Values are
+     * pure functions of the key, so results stay byte-identical for
+     * any worker-thread count. Use TimingOracle directly instead when
+     * the scenario needs calibration's side effects on its own
+     * runtime.
+     */
+    attack::TimingThresholds
+    calibration(GpuId local_gpu = 1, GpuId remote_gpu = 0,
+                int lines_per_round = 48, int rounds = 6) const
+    {
+        return cache_->thresholds({scenario_.system.platform,
+                                   scenario_.seed, local_gpu,
+                                   remote_gpu, lines_per_round,
+                                   rounds});
+    }
+
   private:
-    RunContext(const Scenario &scenario, Rng rng)
-        : scenario_(scenario), rng_(rng)
+    RunContext(const Scenario &scenario, Rng rng,
+               attack::CalibrationCache *cache =
+                   &attack::CalibrationCache::global())
+        : scenario_(scenario), rng_(rng), cache_(cache)
     {}
 
     const Scenario &scenario_;
     Rng rng_;
+    attack::CalibrationCache *cache_;
     std::vector<std::vector<std::string>> rows_;
     std::vector<std::string> notes_;
     std::vector<std::string> texts_;
@@ -99,6 +125,14 @@ struct RunResult
     std::vector<std::string> notes;
     std::vector<std::string> texts;
     std::vector<std::pair<std::string, double>> metrics;
+    /**
+     * Engine activity of this scenario: every Engine destroyed while
+     * the scenario function ran. Calibration-cache miss computes are
+     * excluded (which scenario pays a miss is a thread-scheduling
+     * accident), so the same scenario yields the same profile on any
+     * worker thread.
+     */
+    sim::EngineProfile profile;
     /** Host wall time of this scenario; NOT part of the CSV. */
     double wallSeconds = 0.0;
 };
@@ -127,6 +161,9 @@ struct Report
      */
     std::vector<std::pair<std::string, double>> aggregateMetrics() const;
 
+    /** Merged engine profile over all scenarios (sums; peak = max). */
+    sim::EngineProfile aggregateProfile() const;
+
     /** Print the recorded display blocks, in scenario order. */
     void printTexts(std::FILE *out) const;
 
@@ -148,6 +185,10 @@ struct RunnerConfig
     unsigned threads = 1;
     /** Emit per-scenario progress lines on stderr. */
     bool progress = true;
+    /** Calibration memo handed to every RunContext; null selects the
+     *  process-wide attack::CalibrationCache::global(). Injectable so
+     *  tests can run against a private cache. */
+    attack::CalibrationCache *calibrationCache = nullptr;
 };
 
 /** Executes scenario sweeps. */

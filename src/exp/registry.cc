@@ -9,6 +9,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "attack/calibration_cache.hh"
 #include "attack/timing_oracle.hh"
 #include "rt/platform.hh"
 #include "rt/runtime.hh"
@@ -86,7 +87,8 @@ usageExit(const char *argv0, const std::string &msg)
         "usage: %s [--list] [--list-json] [--only a,b]\n"
         "          [--platform P] [seed] [--seed N]\n"
         "          [--threads N] [--repeat N] [--out-dir D]\n"
-        "          [--results F] [--no-results] [--quiet]\n",
+        "          [--results F] [--no-results] [--quiet]\n"
+        "          [--profile]\n",
         argv0);
     std::exit(2);
 }
@@ -156,6 +158,8 @@ parseDriverArgs(int argc, char **argv)
             args.only = next_val();
         else if (a == "--no-results")
             args.noResults = true;
+        else if (a == "--profile")
+            args.opt.profile = true;
         else if (!a.empty() && a[0] != '-')
             args.opt.seed = parse_u64("the positional seed", a.c_str());
         else
@@ -166,9 +170,11 @@ parseDriverArgs(int argc, char **argv)
 
 /**
  * Calibrate the timing model of every platform in @p platforms (the
- * sink's drift-tracking artifact): one isolated Runtime per platform,
- * the bench-standard spy-on-GPU-1-probes-GPU-0 pair, deterministic in
- * @p seed.
+ * sink's drift-tracking artifact): the bench-standard
+ * spy-on-GPU-1-probes-GPU-0 pair, deterministic in @p seed. Served
+ * from the process-wide CalibrationCache, so when a sweep's scenarios
+ * already calibrated the same (platform, seed) the artifact costs a
+ * lookup instead of another throwaway simulation.
  */
 std::vector<std::pair<std::string, attack::TimingThresholds>>
 calibrationArtifact(std::uint64_t seed,
@@ -176,11 +182,9 @@ calibrationArtifact(std::uint64_t seed,
 {
     std::vector<std::pair<std::string, attack::TimingThresholds>> out;
     for (const std::string &name : platforms) {
-        rt::Runtime rt(rt::platformByName(name).systemConfig(seed));
-        rt::Process &proc = rt.createProcess("calibration");
-        attack::TimingOracle oracle(rt, proc);
-        out.emplace_back(
-            name, oracle.calibrate(1, 0, 48, 6).thresholds);
+        out.emplace_back(name,
+                         attack::CalibrationCache::global().thresholds(
+                             {name, seed, 1, 0, 48, 6}));
     }
     return out;
 }
@@ -321,6 +325,20 @@ runBench(const BenchSpec &spec, const BenchOptions &opt, std::FILE *out)
     summary.wallSeconds = wall_min;
     summary.wallSecondsMean = wall_sum / repeat;
     summary.metrics = report.aggregateMetrics();
+    summary.profile = report.aggregateProfile();
+
+    if (opt.profile) {
+        const sim::EngineProfile &pr = summary.profile;
+        std::fprintf(stderr,
+                     "[profile] %-32s steps %" PRIu64 ", actors %" PRIu64
+                     ", requeues %" PRIu64 " (%" PRIu64
+                     " in-place), peak queued %" PRIu64 ", arena %" PRIu64
+                     " B in %" PRIu64 " chunk(s), %" PRIu64
+                     " engine(s)\n",
+                     spec.name.c_str(), pr.steps, pr.spawned,
+                     pr.requeues, pr.fastRequeues, pr.peakQueued,
+                     pr.arenaBytes, pr.arenaChunks, pr.engines);
+    }
 
     if (!spec.csvHeader.empty()) {
         if (!opt.outDir.empty() && opt.outDir != ".") {
@@ -352,7 +370,7 @@ writeResultsJson(const std::string &path, const BenchOptions &opt,
         fatal("cannot open results sink '", path, "' for writing");
 
     js << "{\n";
-    js << "  \"schema\": \"gpubox-bench-results/v3\",\n";
+    js << "  \"schema\": \"gpubox-bench-results/v4\",\n";
     js << "  \"seed\": " << opt.seed << ",\n";
     js << "  \"platform\": \""
        << jsonEscape(opt.platform.empty() ? "default" : opt.platform)
@@ -386,7 +404,22 @@ writeResultsJson(const std::string &path, const BenchOptions &opt,
                << jsonEscape(s.metrics[m].first)
                << "\": " << jsonNumber(s.metrics[m].second);
         }
-        js << "}\n";
+        js << "}" << (opt.profile ? "," : "") << "\n";
+        if (opt.profile) {
+            // Deterministic work counters (v4): perf trajectories can
+            // separate "the code got faster" from "the bench now
+            // simulates less".
+            const sim::EngineProfile &pr = s.profile;
+            js << "      \"profile\": {"
+               << "\"steps\": " << pr.steps
+               << ", \"spawned\": " << pr.spawned
+               << ", \"requeues\": " << pr.requeues
+               << ", \"fast_requeues\": " << pr.fastRequeues
+               << ", \"peak_queued\": " << pr.peakQueued
+               << ", \"arena_bytes\": " << pr.arenaBytes
+               << ", \"arena_chunks\": " << pr.arenaChunks
+               << ", \"engines\": " << pr.engines << "}\n";
+        }
         js << "    }" << (i + 1 < summaries.size() ? "," : "") << "\n";
     }
     js << "  ],\n";
@@ -401,6 +434,13 @@ writeResultsJson(const std::string &path, const BenchOptions &opt,
                 touched.end())
                 touched.push_back(p);
     const auto calib = calibrationArtifact(opt.seed, touched);
+    if (opt.profile) {
+        const attack::CalibrationCache &cc =
+            attack::CalibrationCache::global();
+        js << "  \"calibration_cache\": {\"hits\": " << cc.hits()
+           << ", \"misses\": " << cc.misses()
+           << ", \"entries\": " << cc.size() << "},\n";
+    }
     js << "  \"calibration\": {\n";
     for (std::size_t i = 0; i < calib.size(); ++i) {
         const attack::TimingThresholds &t = calib[i].second;

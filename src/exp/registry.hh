@@ -110,6 +110,14 @@ struct BenchOptions
      * perf trajectory.
      */
     unsigned repeat = 1;
+    /**
+     * `--profile`: emit per-bench engine counters (steps, spawned
+     * actors, requeues, arena footprint) into the results sink plus a
+     * per-bench summary line on stderr, and report the calibration
+     * cache's hit/miss totals. The counters are simulated quantities,
+     * so they track work done, not host speed.
+     */
+    bool profile = false;
 };
 
 /** Machine-readable outcome of one bench run (JSON sink unit). */
@@ -129,6 +137,8 @@ struct BenchRunSummary
     double wallSecondsMean = 0.0;
     /** Aggregated deterministic metrics (see RunContext::metric). */
     std::vector<std::pair<std::string, double>> metrics;
+    /** Merged engine profile of the first run (deterministic). */
+    sim::EngineProfile profile;
 };
 
 /**
@@ -152,14 +162,16 @@ BenchRunSummary runBench(const BenchSpec &spec, const BenchOptions &opt,
 
 /**
  * Write the structured results sink: schema
- * `gpubox-bench-results/v3`, run-level seed/platform/threads/repeat/
+ * `gpubox-bench-results/v4`, run-level seed/platform/threads/repeat/
  * wall clock, one entry per bench (scenarios, failures, rows,
  * per-entry platforms, repeats, wall_seconds = min over repeats,
- * wall_seconds_mean, aggregated metrics) and a `calibration` section
+ * wall_seconds_mean, aggregated metrics, and -- under `--profile` --
+ * an engine-counter `profile` object) and a `calibration` section
  * holding each touched platform's k-means cluster centers and
  * hit/miss thresholds (measured online on the bench-standard (1,0)
  * GPU pair with the run seed), so timing-model drift is tracked
- * across commits like wall clock.
+ * across commits like wall clock. `--profile` adds a
+ * `calibration_cache` section with the memo's hit/miss totals.
  */
 void writeResultsJson(const std::string &path, const BenchOptions &opt,
                       double totalWallSeconds,

@@ -9,7 +9,9 @@ namespace gpubox::mem
 
 VirtualSpace::VirtualSpace(const AddressCodec &codec, VAddr base)
     : codec_(codec), nextBase_(base)
-{}
+{
+    flushTlb();
+}
 
 VAddr
 VirtualSpace::allocate(std::uint64_t bytes, GpuId gpu,
@@ -54,17 +56,7 @@ VirtualSpace::release(VAddr base, PageAllocator &allocator)
     }
     bytesAllocated_ -= alloc.size;
     regions_.erase(it);
-}
-
-PAddr
-VirtualSpace::translate(VAddr va) const
-{
-    const std::uint64_t page = codec_.pageBytes();
-    const VAddr vpage = va & ~(page - 1);
-    auto it = pageMap_.find(vpage);
-    if (it == pageMap_.end())
-        fatal("VirtualSpace::translate: unmapped address 0x", std::hex, va);
-    return it->second | (va & (page - 1));
+    flushTlb(); // pages just unmapped
 }
 
 bool
@@ -86,32 +78,28 @@ VirtualSpace::allocationAt(VAddr base) const
 const std::uint8_t *
 VirtualSpace::bytePtr(VAddr va, std::uint64_t len) const
 {
-    auto it = regions_.upper_bound(va);
-    if (it == regions_.begin())
+    const Region *region = regionOf(va);
+    if (!region)
         fatal("VirtualSpace: access to unmapped address 0x", std::hex, va);
-    --it;
-    const Region &region = it->second;
-    const VAddr off = va - region.alloc.base;
-    if (off + len > region.alloc.size)
+    const VAddr off = va - region->alloc.base;
+    if (off + len > region->alloc.size)
         fatal("VirtualSpace: access of ", len, " bytes at offset ", off,
-              " overruns allocation of ", region.alloc.size, " bytes");
-    return region.bytes.data() + off;
+              " overruns allocation of ", region->alloc.size, " bytes");
+    return region->bytes.data() + off;
 }
 
 const std::uint8_t *
 VirtualSpace::spanPtr(VAddr va, std::uint64_t max_len,
                       std::uint64_t &span_len) const
 {
-    auto it = regions_.upper_bound(va);
-    if (it == regions_.begin())
+    const Region *region = regionOf(va);
+    if (!region)
         fatal("VirtualSpace: access to unmapped address 0x", std::hex, va);
-    --it;
-    const Region &region = it->second;
-    const VAddr off = va - region.alloc.base;
-    if (off >= region.alloc.size)
+    const VAddr off = va - region->alloc.base;
+    if (off >= region->alloc.size)
         fatal("VirtualSpace: access to unmapped address 0x", std::hex, va);
-    span_len = std::min<std::uint64_t>(max_len, region.alloc.size - off);
-    return region.bytes.data() + off;
+    span_len = std::min<std::uint64_t>(max_len, region->alloc.size - off);
+    return region->bytes.data() + off;
 }
 
 void

@@ -11,6 +11,7 @@
 #ifndef GPUBOX_MEM_VIRTUAL_SPACE_HH
 #define GPUBOX_MEM_VIRTUAL_SPACE_HH
 
+#include <array>
 #include <cstdint>
 #include <cstring>
 #include <map>
@@ -55,8 +56,30 @@ class VirtualSpace
     /** Release a buffer previously returned by allocate(). */
     void release(VAddr base, PageAllocator &allocator);
 
-    /** Translate a mapped virtual address; fatal() when unmapped. */
-    PAddr translate(VAddr va) const;
+    /**
+     * Translate a mapped virtual address; fatal() when unmapped.
+     * A small direct-mapped page memo (a software TLB) short-circuits
+     * the table walk for the common case of probe loops cycling
+     * through a bounded working set of pages; release() flushes it.
+     */
+    PAddr
+    translate(VAddr va) const
+    {
+        const std::uint64_t page = codec_.pageBytes();
+        const VAddr vpage = va & ~(page - 1);
+        const std::size_t slot =
+            (va >> codec_.pageShift()) & (kTlbSlots - 1);
+        if (vpage != tlbVpage_[slot]) {
+            auto it = pageMap_.find(vpage);
+            if (it == pageMap_.end()) {
+                fatal("VirtualSpace::translate: unmapped address 0x",
+                      std::hex, va);
+            }
+            tlbVpage_[slot] = vpage;
+            tlbFrame_[slot] = it->second;
+        }
+        return tlbFrame_[slot] | (va & (page - 1));
+    }
 
     /** @return true when @p va falls inside a live allocation. */
     bool isMapped(VAddr va) const;
@@ -112,11 +135,46 @@ class VirtualSpace
         std::vector<std::uint8_t> bytes;
     };
 
+    /**
+     * Region containing @p va, via a one-entry memo over the region
+     * map (access runs hammer one buffer). Map nodes are stable under
+     * insertion, so the memo only drops on release(); returns null
+     * when @p va precedes every region.
+     */
+    const Region *
+    regionOf(VAddr va) const
+    {
+        const Region *r = lastRegion_;
+        if (r && va >= r->alloc.base && va - r->alloc.base < r->alloc.size)
+            return r;
+        auto it = regions_.upper_bound(va);
+        if (it == regions_.begin())
+            return nullptr;
+        --it;
+        lastRegion_ = &it->second;
+        return lastRegion_;
+    }
+
     const AddressCodec &codec_;
     VAddr nextBase_;
     std::map<VAddr, Region> regions_;             // keyed by base VA
     std::unordered_map<VAddr, PAddr> pageMap_;    // vpage base -> frame base
     std::uint64_t bytesAllocated_ = 0;
+    /** translate() memo: 1 is never a page-aligned address, so it is a
+     *  safe "empty" sentinel. */
+    static constexpr std::size_t kTlbSlots = 256;
+    mutable std::array<VAddr, kTlbSlots> tlbVpage_;
+    mutable std::array<PAddr, kTlbSlots> tlbFrame_;
+    /** regionOf() memo; dropped whenever a region is erased. */
+    mutable const Region *lastRegion_ = nullptr;
+
+    void
+    flushTlb() const
+    {
+        tlbVpage_.fill(1);
+        tlbFrame_.fill(0);
+        lastRegion_ = nullptr;
+    }
 };
 
 } // namespace gpubox::mem

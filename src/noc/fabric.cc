@@ -16,8 +16,8 @@ Fabric::Fabric(const Topology &topo, const LinkParams &params,
 
 Fabric::Fabric(const Topology &topo, std::vector<LinkParams> per_link,
                const SwitchParams &switch_params)
-    : topo_(topo), params_(std::move(per_link)),
-      switchParams_(switch_params)
+    : topo_(topo), numNodes_(topo.numNodes()),
+      params_(std::move(per_link)), switchParams_(switch_params)
 {
     if (params_.size() != topo.links().size())
         fatal("fabric over '", topo.name(), "' needs ",
@@ -45,6 +45,64 @@ Fabric::Fabric(const Topology &topo, std::vector<LinkParams> per_link,
     }
     perDir_.assign(params_.size() * 2, 0);
     crossings_.assign(static_cast<std::size_t>(topo.numSwitches()), 0);
+    buildRouteTables();
+}
+
+void
+Fabric::buildRouteTables()
+{
+    const int nodes = topo_.numNodes();
+    pairRoutes_.assign(static_cast<std::size_t>(nodes) * nodes,
+                       PairRoute{});
+    for (NodeId from = 0; from < nodes; ++from) {
+        for (NodeId to = 0; to < nodes; ++to) {
+            if (from == to)
+                continue;
+            const std::vector<NodeId> &path = topo_.route(from, to);
+            if (path.size() < 2)
+                continue; // unreachable; charge-time fatal
+            PairRoute pr;
+            pr.begin = static_cast<std::uint32_t>(legs_.size());
+            pr.count = static_cast<std::uint32_t>(path.size() - 1);
+            for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+                const NodeId u = path[i];
+                const NodeId v = path[i + 1];
+                const int link = topo_.linkIndex(u, v);
+                const LinkParams &p = params_[link];
+                RouteLeg leg;
+                leg.meter =
+                    static_cast<std::uint32_t>(dirIndex(link, u, v));
+                leg.crossbar =
+                    topo_.isSwitch(v) && i + 2 < path.size()
+                        ? static_cast<std::int32_t>(v - topo_.numGpus())
+                        : -1;
+                leg.hopCycles = p.hopCycles;
+                legs_.push_back(leg);
+                pr.baseCycles += p.hopCycles;
+                if (leg.crossbar >= 0)
+                    pr.baseCycles += switchParams_.crossbarCycles;
+                pr.bottleneckBpc =
+                    pr.bottleneckBpc == 0
+                        ? p.bytesPerCycle
+                        : std::min(pr.bottleneckBpc, p.bytesPerCycle);
+            }
+            pairRoutes_[static_cast<std::size_t>(from) * nodes + to] =
+                pr;
+        }
+    }
+}
+
+const Fabric::PairRoute &
+Fabric::pairRoute(NodeId from, NodeId to) const
+{
+    if (from < 0 || from >= topo_.numNodes() || to < 0 ||
+        to >= topo_.numNodes()) {
+        // Same out-of-range diagnostic as querying the topology.
+        topo_.route(from, to);
+    }
+    return pairRoutes_[static_cast<std::size_t>(from) *
+                           topo_.numNodes() +
+                       to];
 }
 
 ContentionMeter &
@@ -60,66 +118,14 @@ Fabric::portMeter(int link, NodeId from, NodeId to) const
 }
 
 Cycles
-Fabric::chargeRoute(NodeId from, NodeId to, Cycles now,
-                    std::uint64_t bytes)
-{
-    const std::vector<NodeId> &path = topo_.route(from, to);
-    if (path.size() < 2)
-        fatal("fabric traverse between nodes ", from, " and ", to,
-              " which share no route on topology '", topo_.name(),
-              "'");
-    Cycles total = 0;
-    std::uint32_t bottleneck = 0;
-    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-        const NodeId u = path[i];
-        const NodeId v = path[i + 1];
-        const int link = topo_.linkIndex(u, v);
-        ++transfers_;
-        ++perDir_[dirIndex(link, u, v)];
-        const LinkParams &p = params_[link];
-        // Later hops see the port state at their own arrival time.
-        const Cycles queue = portMeter(link, u, v).record(now + total);
-        total += p.hopCycles + queue;
-        // Crossing an intermediate switch pays the crossbar: shared by
-        // every route through this switch, whatever ports they use.
-        if (topo_.isSwitch(v) && i + 2 < path.size()) {
-            const std::size_t sw =
-                static_cast<std::size_t>(v - topo_.numGpus());
-            ++crossings_[sw];
-            const Cycles xqueue =
-                crossbarMeters_[sw].record(now + total);
-            total += switchParams_.crossbarCycles + xqueue;
-        }
-        bottleneck = bottleneck == 0
-                         ? p.bytesPerCycle
-                         : std::min(bottleneck, p.bytesPerCycle);
-    }
-    if (bytes > 0)
-        total += divCeil(bytes, static_cast<std::uint64_t>(bottleneck));
-    return total;
-}
-
-Cycles
-Fabric::traverse(NodeId from, NodeId to, Cycles now)
-{
-    return chargeRoute(from, to, now, 0);
-}
-
-Cycles
 Fabric::routeBaseCycles(NodeId from, NodeId to) const
 {
-    const std::vector<NodeId> &path = topo_.route(from, to);
-    if (path.size() < 2)
+    const PairRoute &pr = pairRoute(from, to);
+    if (pr.count == 0)
         fatal("fabric base-cost query between nodes ", from, " and ",
               to, " which share no route on topology '", topo_.name(),
               "'");
-    Cycles total = 0;
-    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-        total += params_[topo_.linkIndex(path[i], path[i + 1])].hopCycles;
-        if (topo_.isSwitch(path[i + 1]) && i + 2 < path.size())
-            total += switchParams_.crossbarCycles;
-    }
-    return total;
+    return pr.baseCycles;
 }
 
 Cycles

@@ -34,7 +34,9 @@
 #include <vector>
 
 #include "noc/topology.hh"
+#include "util/bitops.hh"
 #include "util/contention.hh"
+#include "util/log.hh"
 #include "util/types.hh"
 
 namespace gpubox::noc
@@ -120,13 +122,33 @@ class Fabric
      * Charge one transfer leg (request or response) between two
      * reachable nodes, multi-hop routes included.
      *
+     * The overwhelmingly common case — two directly linked nodes —
+     * stays inline: one precompiled leg, one meter record. Multi-hop
+     * routes (and all error handling) go through chargeRoute.
+     *
      * @param from source node (normally a GPU)
      * @param to destination node (any reachable peer)
      * @param now current simulated time
      * @return total cycles for this leg (per-port latency + queueing
      *         + crossbar transit of every traversed switch)
      */
-    Cycles traverse(NodeId from, NodeId to, Cycles now);
+    Cycles
+    traverse(NodeId from, NodeId to, Cycles now)
+    {
+        if (from >= 0 && from < numNodes_ && to >= 0 && to < numNodes_) {
+            const PairRoute &pr =
+                pairRoutes_[static_cast<std::size_t>(from) * numNodes_ +
+                            to];
+            // A single-leg route never crosses a switch crossbar.
+            if (pr.count == 1) {
+                const RouteLeg &leg = legs_[pr.begin];
+                ++transfers_;
+                ++perDir_[leg.meter];
+                return leg.hopCycles + meters_[leg.meter].record(now);
+            }
+        }
+        return chargeRoute(from, to, now, 0);
+    }
 
     /**
      * Charge one bulk DMA transfer of @p bytes along the route: every
@@ -177,9 +199,72 @@ class Fabric
     void resetStats();
 
   private:
-    /** Charge every link of the a..b route; @p bytes 0 = plain leg. */
-    Cycles chargeRoute(NodeId from, NodeId to, Cycles now,
-                       std::uint64_t bytes);
+    /**
+     * One precompiled hop of a directed route: the meter/counter slot
+     * of its directed link traversal, the hop latency, and the switch
+     * crossbar crossed after the hop (or -1). chargeRoute walks these
+     * instead of re-deriving link indices and directions from the
+     * topology's node path on every traversal.
+     */
+    struct RouteLeg
+    {
+        std::uint32_t meter;   // slot in meters_/perDir_
+        std::int32_t crossbar; // switch index crossed after, or -1
+        Cycles hopCycles;
+    };
+
+    /** Directed (from,to) route: a legs_ span plus cached aggregates. */
+    struct PairRoute
+    {
+        std::uint32_t begin = 0;
+        std::uint32_t count = 0; // 0 = no route (or from == to)
+        /** Narrowest link bytesPerCycle along the route. */
+        std::uint32_t bottleneckBpc = 0;
+        /** Uncontended per-leg base cost (routeBaseCycles). */
+        Cycles baseCycles = 0;
+    };
+
+    /** Compile every directed route into legs_/pairRoutes_. */
+    void buildRouteTables();
+
+    /**
+     * Charge every link of the a..b route; @p bytes 0 = plain leg.
+     * Inline so multi-hop traversals (every switched-fabric access)
+     * unroll the short leg walk at the call site.
+     */
+    Cycles
+    chargeRoute(NodeId from, NodeId to, Cycles now, std::uint64_t bytes)
+    {
+        const PairRoute &pr = pairRoute(from, to);
+        if (pr.count == 0)
+            fatal("fabric traverse between nodes ", from, " and ", to,
+                  " which share no route on topology '", topo_.name(),
+                  "'");
+        Cycles total = 0;
+        const RouteLeg *leg = &legs_[pr.begin];
+        for (std::uint32_t i = 0; i < pr.count; ++i, ++leg) {
+            ++transfers_;
+            ++perDir_[leg->meter];
+            // Later hops see the port state at their own arrival time.
+            const Cycles queue = meters_[leg->meter].record(now + total);
+            total += leg->hopCycles + queue;
+            // Crossing an intermediate switch pays the crossbar:
+            // shared by every route through this switch, whatever
+            // ports they use.
+            if (leg->crossbar >= 0) {
+                ++crossings_[leg->crossbar];
+                const Cycles xqueue =
+                    crossbarMeters_[leg->crossbar].record(now + total);
+                total += switchParams_.crossbarCycles + xqueue;
+            }
+        }
+        if (bytes > 0)
+            total += divCeil(bytes,
+                             static_cast<std::uint64_t>(pr.bottleneckBpc));
+        return total;
+    }
+
+    const PairRoute &pairRoute(NodeId from, NodeId to) const;
 
     /**
      * Slot in meters_/perDir_ of the directed from->to traversal of
@@ -200,6 +285,7 @@ class Fabric
                                      NodeId to) const;
 
     const Topology &topo_;
+    int numNodes_ = 0; // cached topo_.numNodes() for the inline path
     std::vector<LinkParams> params_; // one per link
     SwitchParams switchParams_;
     /** Two meters per link: switch-attached links use [0]=lo->hi and
@@ -210,6 +296,8 @@ class Fabric
     std::vector<ContentionMeter> crossbarMeters_;  // one per switch
     std::vector<std::uint64_t> perDir_;            // 2 per link
     std::vector<std::uint64_t> crossings_;         // one per switch
+    std::vector<RouteLeg> legs_;
+    std::vector<PairRoute> pairRoutes_; // numNodes * numNodes
     std::uint64_t transfers_ = 0;
 };
 

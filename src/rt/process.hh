@@ -7,9 +7,9 @@
 #ifndef GPUBOX_RT_PROCESS_HH
 #define GPUBOX_RT_PROCESS_HH
 
-#include <set>
+#include <array>
+#include <cstdint>
 #include <string>
-#include <utility>
 #include <vector>
 
 #include "mem/virtual_space.hh"
@@ -37,7 +37,11 @@ class Process
     bool
     peerEnabled(GpuId from, GpuId to) const
     {
-        return peers_.count({from, to}) != 0;
+        const auto f = static_cast<unsigned>(from);
+        const auto t = static_cast<unsigned>(to);
+        if (f >= kMaxGpus || t >= kMaxGpus)
+            return false;
+        return (peerBits_[f] >> t) & 1;
     }
 
     /** MIG slice this process' L2 traffic is confined to. */
@@ -55,7 +59,10 @@ class Process
     int id_;
     std::string name_;
     mem::VirtualSpace space_;
-    std::set<std::pair<GpuId, GpuId>> peers_;
+    /** Peer grants as a bit matrix: row = from, bit = to. Checked on
+     *  every remote access, so this must stay a couple of loads. */
+    static constexpr unsigned kMaxGpus = 64;
+    std::array<std::uint64_t, kMaxGpus> peerBits_{};
     std::vector<Stream *> streams_;
     unsigned partition_ = 0;
 };

@@ -51,14 +51,6 @@ Runtime::Runtime(const SystemConfig &config)
 
 Runtime::~Runtime() = default;
 
-gpu::Device &
-Runtime::device(GpuId id)
-{
-    if (id < 0 || id >= numGpus())
-        fatal("device id ", id, " out of range (", numGpus(), " GPUs)");
-    return *devices_[id];
-}
-
 Process &
 Runtime::createProcess(const std::string &name)
 {
@@ -175,7 +167,7 @@ Runtime::enablePeerAccess(Process &proc, GpuId from, GpuId to)
                 std::to_string(config_.topology.hopCount(from, to)) +
                 " hops)");
     }
-    proc.peers_.insert({from, to});
+    proc.peerBits_[static_cast<unsigned>(from)] |= 1ULL << to;
     return Status::okStatus();
 }
 
@@ -201,8 +193,7 @@ Runtime::makeBlocks(Stream &s, const gpu::KernelConfig &cfg)
     std::vector<BlockCtx *> blocks;
     blocks.reserve(cfg.numBlocks);
     for (std::uint32_t b = 0; b < cfg.numBlocks; ++b) {
-        blockCtxs_.push_back(std::make_unique<BlockCtx>());
-        BlockCtx *ctx = blockCtxs_.back().get();
+        BlockCtx *ctx = &blockCtxs_.emplace();
         ctx->rt_ = this;
         ctx->proc_ = &s.process();
         ctx->stream_ = &s;

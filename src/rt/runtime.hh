@@ -38,6 +38,7 @@
 #include "rt/process.hh"
 #include "rt/stream.hh"
 #include "sim/engine.hh"
+#include "util/arena.hh"
 #include "util/contention.hh"
 
 namespace gpubox::rt
@@ -61,7 +62,16 @@ class Runtime
     const noc::Topology &topology() const { return config_.topology; }
 
     sim::Engine &engine() { return *engine_; }
-    gpu::Device &device(GpuId id);
+
+    gpu::Device &
+    device(GpuId id)
+    {
+        if (id < 0 || id >= numGpus())
+            fatal("device id ", id, " out of range (", numGpus(),
+                  " GPUs)");
+        return *devices_[id];
+    }
+
     noc::Fabric &fabric() { return *fabric_; }
     int numGpus() const { return config_.topology.numGpus(); }
 
@@ -255,7 +265,10 @@ class Runtime
     std::vector<std::unique_ptr<mem::PageAllocator>> allocators_;
     std::vector<ContentionMeter> l2Ports_;
     std::deque<std::unique_ptr<Process>> processes_;
-    std::deque<std::unique_ptr<BlockCtx>> blockCtxs_;
+    /** Block contexts of every launch, arena-backed: one bump
+     *  allocation per block instead of a unique_ptr each, addresses
+     *  stable for the runtime's life (coroutine frames point here). */
+    Arena<BlockCtx> blockCtxs_;
     std::deque<std::unique_ptr<Stream>> streams_;
     std::deque<std::unique_ptr<Event>> events_;
     std::map<std::pair<int, GpuId>, Stream *> defaultStreams_;

@@ -1,15 +1,108 @@
 #include "sim/engine.hh"
 
+#include <utility>
+
 #include "util/log.hh"
 
 namespace gpubox::sim
 {
 
+void
+EngineProfile::add(const EngineStats &s)
+{
+    ++engines;
+    steps += s.steps;
+    spawned += s.spawned;
+    requeues += s.requeues;
+    fastRequeues += s.fastRequeues;
+    peakQueued = std::max<std::uint64_t>(peakQueued, s.peakQueued);
+    arenaBytes += s.arenaBytes;
+    arenaChunks += s.arenaChunks;
+}
+
+void
+EngineProfile::merge(const EngineProfile &p)
+{
+    engines += p.engines;
+    steps += p.steps;
+    spawned += p.spawned;
+    requeues += p.requeues;
+    fastRequeues += p.fastRequeues;
+    peakQueued = std::max(peakQueued, p.peakQueued);
+    arenaBytes += p.arenaBytes;
+    arenaChunks += p.arenaChunks;
+}
+
+EngineProfile &
+threadEngineProfile()
+{
+    thread_local EngineProfile profile;
+    return profile;
+}
+
 Engine::Engine(std::uint64_t seed)
     : seed_(seed)
 {}
 
-Engine::~Engine() = default;
+Engine::~Engine()
+{
+    threadEngineProfile().add(stats());
+}
+
+void
+Engine::siftUp(std::size_t pos)
+{
+    const HeapNode node = heap_[pos];
+    while (pos > 0) {
+        const std::size_t parent = (pos - 1) / 2;
+        if (!(node < heap_[parent]))
+            break;
+        heap_[pos] = heap_[parent];
+        heapPos_[heap_[pos].actor] = static_cast<std::uint32_t>(pos);
+        pos = parent;
+    }
+    heap_[pos] = node;
+    heapPos_[node.actor] = static_cast<std::uint32_t>(pos);
+}
+
+bool
+Engine::siftDown(std::size_t pos)
+{
+    const HeapNode node = heap_[pos];
+    const std::size_t count = heap_.size();
+    const std::size_t start = pos;
+    while (true) {
+        std::size_t child = pos * 2 + 1;
+        if (child >= count)
+            break;
+        if (child + 1 < count && heap_[child + 1] < heap_[child])
+            ++child;
+        if (!(heap_[child] < node))
+            break;
+        heap_[pos] = heap_[child];
+        heapPos_[heap_[pos].actor] = static_cast<std::uint32_t>(pos);
+        pos = child;
+    }
+    heap_[pos] = node;
+    heapPos_[node.actor] = static_cast<std::uint32_t>(pos);
+    return pos != start;
+}
+
+void
+Engine::heapRemove(std::size_t pos)
+{
+    heapPos_[heap_[pos].actor] = kNoSlot;
+    const std::size_t last = heap_.size() - 1;
+    if (pos != last) {
+        heap_[pos] = heap_[last];
+        heap_.pop_back();
+        heapPos_[heap_[pos].actor] = static_cast<std::uint32_t>(pos);
+        if (!siftDown(pos))
+            siftUp(pos);
+    } else {
+        heap_.pop_back();
+    }
+}
 
 ActorCtx &
 Engine::spawn(const std::string &name,
@@ -17,9 +110,7 @@ Engine::spawn(const std::string &name,
 {
     const std::size_t id = actors_.size();
     Rng stream = Rng(seed_).split(id + 1);
-    actors_.emplace_back(
-        std::unique_ptr<ActorCtx>(new ActorCtx(this, id, name, stream)));
-    ActorCtx &ctx = *actors_.back();
+    ActorCtx &ctx = actors_.emplace(this, id, name, stream);
     ctx.time_ = start_time;
     // Pin the closure in the actor before creating the coroutine from
     // it (see body_'s comment).
@@ -28,44 +119,64 @@ Engine::spawn(const std::string &name,
     if (!ctx.task_.valid())
         fatal("Engine::spawn: actor '", name, "' produced an invalid task");
     ++live_;
-    queue_.push(QueueEntry{ctx.time_, seqCounter_++, id});
+    heap_.push_back(HeapNode{ctx.time_, seqCounter_++,
+                             static_cast<std::uint32_t>(id)});
+    heapPos_.push_back(static_cast<std::uint32_t>(heap_.size() - 1));
+    siftUp(heap_.size() - 1);
+    peakQueued_ = std::max(peakQueued_, heap_.size());
     return ctx;
 }
 
 bool
 Engine::stepOne()
 {
-    while (!queue_.empty()) {
-        const QueueEntry e = queue_.top();
-        queue_.pop();
-        ActorCtx &ctx = *actors_[e.actor];
-        if (ctx.done_)
-            continue; // stale entry
+    if (heap_.empty())
+        return false;
 
-        lastTime_ = ctx.time_;
-        auto handle = ctx.task_.handle();
-        handle.promise().pendingDelay = 0;
-        handle.resume();
-        ++steps_;
+    const std::uint32_t id = heap_[0].actor;
+    ActorCtx &ctx = actors_[id];
 
-        if (handle.promise().exception)
-            std::rethrow_exception(handle.promise().exception);
+    lastTime_ = ctx.time_;
+    auto handle = ctx.task_.handle();
+    handle.promise().pendingDelay = 0;
+    // The actor keeps its heap slot (and its pre-resume key) while it
+    // runs: spawns performed inside the resume can grow and reorder
+    // the heap, so its slot is re-read from heapPos_ afterwards.
+    handle.resume();
+    ++steps_;
 
-        // Charge the co_await delay plus any non-suspending costs.
-        ctx.time_ += handle.promise().pendingDelay + ctx.extra_;
+    if (handle.promise().exception) {
+        // Leave the engine consistent before unwinding: the actor is
+        // finished as far as liveActors() and deadlock diagnostics are
+        // concerned, and it must not stay queued.
+        ctx.done_ = true;
         ctx.extra_ = 0;
-
-        if (handle.done()) {
-            ctx.done_ = true;
-            --live_;
-            if (ctx.onDone_)
-                ctx.onDone_(ctx);
-        } else {
-            queue_.push(QueueEntry{ctx.time_, seqCounter_++, e.actor});
-        }
-        return true;
+        --live_;
+        heapRemove(heapPos_[id]);
+        std::rethrow_exception(handle.promise().exception);
     }
-    return false;
+
+    // Charge the co_await delay plus any non-suspending costs.
+    ctx.time_ += handle.promise().pendingDelay + ctx.extra_;
+    ctx.extra_ = 0;
+
+    if (handle.done()) {
+        ctx.done_ = true;
+        --live_;
+        heapRemove(heapPos_[id]);
+        if (ctx.onDone_)
+            ctx.onDone_(ctx);
+    } else {
+        // Requeue in place: the key only grows (time advanced, fresh
+        // sequence number), so a downward sift restores the heap.
+        const std::uint32_t pos = heapPos_[id];
+        heap_[pos].time = ctx.time_;
+        heap_[pos].seq = seqCounter_++;
+        ++requeues_;
+        if (!siftDown(pos))
+            ++fastRequeues_;
+    }
+    return true;
 }
 
 void
@@ -78,7 +189,10 @@ Engine::run()
 void
 Engine::runUntil(Cycles t)
 {
-    while (!queue_.empty() && queue_.top().time < t) {
+    // heap_[0] is exactly the actor stepOne will resume next, so this
+    // guard is on the resumed actor's real clock — an actor whose
+    // local time is >= t is never resumed.
+    while (!heap_.empty() && heap_[0].time < t) {
         if (!stepOne())
             break;
     }
@@ -88,9 +202,9 @@ std::vector<std::string>
 Engine::unfinishedActorNames() const
 {
     std::vector<std::string> names;
-    for (const auto &a : actors_) {
-        if (!a->done_)
-            names.push_back(a->name_);
+    for (std::size_t i = 0; i < actors_.size(); ++i) {
+        if (!actors_[i].done_)
+            names.push_back(actors_[i].name_);
     }
     return names;
 }
@@ -98,9 +212,9 @@ Engine::unfinishedActorNames() const
 void
 Engine::requestStopAll()
 {
-    for (auto &a : actors_) {
-        if (!a->done_)
-            a->requestStop();
+    for (std::size_t i = 0; i < actors_.size(); ++i) {
+        if (!actors_[i].done_)
+            actors_[i].requestStop();
     }
 }
 

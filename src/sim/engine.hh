@@ -7,13 +7,13 @@
 #define GPUBOX_SIM_ENGINE_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
-#include <memory>
-#include <queue>
 #include <string>
 #include <vector>
 
 #include "sim/task.hh"
+#include "util/arena.hh"
 #include "util/rng.hh"
 #include "util/types.hh"
 
@@ -30,6 +30,7 @@ class Engine;
 class ActorCtx
 {
     friend class Engine;
+    template <typename, std::size_t> friend class gpubox::Arena;
 
   public:
     /** Actor-local current time in cycles. */
@@ -97,19 +98,62 @@ struct EngineStats
     std::size_t spawned = 0;
     std::size_t live = 0;
     Cycles now = 0;
+    /** Reschedules of a still-live actor after a resume. */
+    std::uint64_t requeues = 0;
+    /** Requeues that kept the actor in its heap slot (O(1) path). */
+    std::uint64_t fastRequeues = 0;
+    /** High-water mark of simultaneously queued actors. */
+    std::size_t peakQueued = 0;
+    /** Bytes of arena storage reserved for actor contexts. */
+    std::size_t arenaBytes = 0;
+    /** Arena chunks backing actor contexts. */
+    std::size_t arenaChunks = 0;
 
     bool operator==(const EngineStats &) const = default;
 };
 
 /**
+ * Cumulative engine activity on one thread, fed by every Engine
+ * destructor via threadEngineProfile(). The ExperimentRunner brackets
+ * each scenario with a reset/snapshot pair, so a scenario's profile is
+ * the same no matter which worker thread it lands on.
+ */
+struct EngineProfile
+{
+    std::uint64_t engines = 0;
+    std::uint64_t steps = 0;
+    std::uint64_t spawned = 0;
+    std::uint64_t requeues = 0;
+    std::uint64_t fastRequeues = 0;
+    std::uint64_t peakQueued = 0;
+    std::uint64_t arenaBytes = 0;
+    std::uint64_t arenaChunks = 0;
+
+    void add(const EngineStats &s);
+    /** Fold another profile in (sums; peakQueued takes the max). */
+    void merge(const EngineProfile &p);
+
+    bool operator==(const EngineProfile &) const = default;
+};
+
+/** Accumulator for engines destroyed on the calling thread. */
+EngineProfile &threadEngineProfile();
+
+/**
  * Min-time actor scheduler.
  *
  * The engine repeatedly resumes the live actor with the smallest local
- * clock (ties broken by spawn order), then advances that actor's clock
- * by the delay its last co_await deposited. This is a conservative
- * time-ordered simulation: any state mutation performed inside an
- * actor's resume happens while that actor holds the global minimum
- * time, so cross-actor interleavings are causally consistent.
+ * clock (ties broken by schedule order), then advances that actor's
+ * clock by the delay its last co_await deposited. This is a
+ * conservative time-ordered simulation: any state mutation performed
+ * inside an actor's resume happens while that actor holds the global
+ * minimum time, so cross-actor interleavings are causally consistent.
+ *
+ * Scheduling uses an indexed binary heap keyed by actor: each live
+ * actor owns exactly one heap slot (no stale entries), keyed by
+ * (local time, schedule sequence). The common post-resume requeue
+ * adjusts the actor's key in place, which usually means a short or
+ * empty sift instead of a pop+push pair.
  */
 class Engine
 {
@@ -160,7 +204,17 @@ class Engine
     EngineStats
     stats() const
     {
-        return {steps_, actors_.size(), live_, lastTime_};
+        EngineStats s;
+        s.steps = steps_;
+        s.spawned = actors_.size();
+        s.live = live_;
+        s.now = lastTime_;
+        s.requeues = requeues_;
+        s.fastRequeues = fastRequeues_;
+        s.peakQueued = peakQueued_;
+        s.arenaBytes = actors_.reservedBytes();
+        s.arenaChunks = actors_.chunkCount();
+        return s;
     }
 
     /** Request cooperative stop of every live actor. */
@@ -174,29 +228,46 @@ class Engine
     std::vector<std::string> unfinishedActorNames() const;
 
   private:
-    struct QueueEntry
+    static constexpr std::uint32_t kNoSlot = UINT32_MAX;
+
+    /**
+     * One queued actor with its scheduling key embedded, so sifting
+     * compares touch only the contiguous heap array (no pointer chase
+     * into the actor arena).
+     */
+    struct HeapNode
     {
         Cycles time;
         std::uint64_t seq;
-        std::size_t actor;
+        std::uint32_t actor;
 
         bool
-        operator>(const QueueEntry &other) const
+        operator<(const HeapNode &other) const
         {
             if (time != other.time)
-                return time > other.time;
-            return seq > other.seq;
+                return time < other.time;
+            return seq < other.seq;
         }
     };
 
+    void siftUp(std::size_t pos);
+    /** @return true when the node moved. */
+    bool siftDown(std::size_t pos);
+    void heapRemove(std::size_t pos);
+
     std::uint64_t seed_;
-    std::vector<std::unique_ptr<ActorCtx>> actors_;
-    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
-                        std::greater<QueueEntry>> queue_;
+    Arena<ActorCtx> actors_;
+    /** Live queued actors, binary-heap ordered by (time, seq). */
+    std::vector<HeapNode> heap_;
+    /** Actor id -> slot in heap_, or kNoSlot when dequeued. */
+    std::vector<std::uint32_t> heapPos_;
     std::uint64_t seqCounter_ = 0;
     std::size_t live_ = 0;
     Cycles lastTime_ = 0;
     std::uint64_t steps_ = 0;
+    std::uint64_t requeues_ = 0;
+    std::uint64_t fastRequeues_ = 0;
+    std::size_t peakQueued_ = 0;
 };
 
 } // namespace gpubox::sim

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Chunked object arena with stable addresses.
+ */
+
+#ifndef GPUBOX_UTIL_ARENA_HH
+#define GPUBOX_UTIL_ARENA_HH
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace gpubox
+{
+
+/**
+ * Bump allocator for objects of one type: objects are constructed into
+ * fixed-size chunks, addresses stay stable for the arena's lifetime
+ * (chunks never move), and everything is destroyed together when the
+ * arena goes away. Replaces the one-heap-allocation-per-object churn
+ * of vector<unique_ptr<T>> on hot spawn paths (simulation actors,
+ * kernel block contexts).
+ */
+template <typename T, std::size_t ChunkSlots = 64>
+class Arena
+{
+  public:
+    Arena() = default;
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    ~Arena() { clear(); }
+
+    /** Construct a new object; its address is stable until clear(). */
+    template <typename... Args>
+    T &
+    emplace(Args &&...args)
+    {
+        if (used_ == ChunkSlots) {
+            chunks_.push_back(std::make_unique<Chunk>());
+            used_ = 0;
+        }
+        T *obj = new (chunks_.back()->ptr(used_))
+            T(std::forward<Args>(args)...);
+        ++used_;
+        ++size_;
+        return *obj;
+    }
+
+    /** Object @p i in construction order. */
+    T &
+    operator[](std::size_t i)
+    {
+        return *chunks_[i / ChunkSlots]->ptr(i % ChunkSlots);
+    }
+
+    const T &
+    operator[](std::size_t i) const
+    {
+        return *chunks_[i / ChunkSlots]->ptr(i % ChunkSlots);
+    }
+
+    std::size_t size() const { return size_; }
+    std::size_t chunkCount() const { return chunks_.size(); }
+
+    /** Bytes of object storage currently reserved. */
+    std::size_t
+    reservedBytes() const
+    {
+        return chunks_.size() * sizeof(Chunk);
+    }
+
+    /** Destroy every object and release the chunks. */
+    void
+    clear()
+    {
+        for (std::size_t i = 0; i < size_; ++i)
+            (*this)[i].~T();
+        chunks_.clear();
+        used_ = ChunkSlots;
+        size_ = 0;
+    }
+
+  private:
+    struct Chunk
+    {
+        alignas(T) unsigned char raw[ChunkSlots * sizeof(T)];
+
+        T *
+        ptr(std::size_t slot)
+        {
+            return std::launder(
+                reinterpret_cast<T *>(raw + slot * sizeof(T)));
+        }
+
+        const T *
+        ptr(std::size_t slot) const
+        {
+            return std::launder(
+                reinterpret_cast<const T *>(raw + slot * sizeof(T)));
+        }
+    };
+
+    std::vector<std::unique_ptr<Chunk>> chunks_;
+    std::size_t used_ = ChunkSlots;
+    std::size_t size_ = 0;
+};
+
+} // namespace gpubox
+
+#endif // GPUBOX_UTIL_ARENA_HH

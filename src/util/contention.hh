@@ -32,7 +32,9 @@ class ContentionMeter
                     Cycles cycles_per_extra)
         : window_(window_cycles), freeSlots_(free_slots),
           perExtra_(cycles_per_extra)
-    {}
+    {
+        resetWindowEnd();
+    }
 
     /**
      * Record one request at time @p now and return its queueing delay.
@@ -42,13 +44,20 @@ class ContentionMeter
      * times interleaved with at-issue records) are counted toward the
      * current window instead of resetting it, so mixed-skew traffic
      * on a shared link cannot wipe the occupancy state.
+     *
+     * The hot path is division-free: a request inside the current
+     * window (the overwhelmingly common case) is a compare against the
+     * cached window end; the divide only happens when the window
+     * actually advances.
      */
     Cycles
     record(Cycles now)
     {
-        const Cycles win = window_ ? now / window_ : 0;
-        if (win > currentWindow_) {
-            currentWindow_ = win;
+        if (now >= windowEnd_) {
+            // windowEnd_ is saturated when window_ == 0, so window_ is
+            // nonzero here.
+            currentWindow_ = now / window_;
+            windowEnd_ = (currentWindow_ + 1) * window_;
             inWindow_ = 0;
         }
         ++inWindow_;
@@ -74,13 +83,24 @@ class ContentionMeter
         currentWindow_ = 0;
         inWindow_ = 0;
         total_ = 0;
+        resetWindowEnd();
     }
 
   private:
+    void
+    resetWindowEnd()
+    {
+        // window_ == 0 means "one window forever": saturate the end so
+        // record() never tries to advance (or divide).
+        windowEnd_ = window_ ? window_ : ~Cycles{0};
+    }
+
     Cycles window_;
     std::uint32_t freeSlots_;
     Cycles perExtra_;
     Cycles currentWindow_ = 0;
+    /** First cycle past the window currentWindow_ covers. */
+    Cycles windowEnd_ = 0;
     std::uint32_t inWindow_ = 0;
     std::uint64_t total_ = 0;
 };

@@ -7,17 +7,6 @@
 namespace gpubox
 {
 
-namespace
-{
-
-std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
-} // namespace
-
 Rng::Rng(std::uint64_t seed)
     : seed_(seed)
 {
@@ -31,54 +20,9 @@ Rng::Rng(std::uint64_t seed)
         s_[0] = 0x1ULL;
 }
 
-std::uint64_t
-Rng::next()
-{
-    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-    const std::uint64_t t = s_[1] << 17;
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = rotl(s_[3], 45);
-    return result;
-}
-
-std::uint64_t
-Rng::uniform(std::uint64_t bound)
-{
-    if (bound == 0)
-        return 0;
-    // Rejection sampling to avoid modulo bias.
-    const std::uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
-    std::uint64_t v;
-    do {
-        v = next();
-    } while (v >= limit);
-    return v % bound;
-}
-
-std::int64_t
-Rng::uniformRange(std::int64_t lo, std::int64_t hi)
-{
-    return lo + static_cast<std::int64_t>(
-        uniform(static_cast<std::uint64_t>(hi - lo + 1)));
-}
-
 double
-Rng::uniformReal()
+Rng::normalFresh(double mean, double sigma)
 {
-    return (next() >> 11) * 0x1.0p-53;
-}
-
-double
-Rng::normal(double mean, double sigma)
-{
-    if (hasSpare_) {
-        hasSpare_ = false;
-        return mean + sigma * spare_;
-    }
     double u, v, s;
     do {
         u = 2.0 * uniformReal() - 1.0;

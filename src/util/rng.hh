@@ -24,19 +24,60 @@ class Rng
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
     /** Next raw 64-bit output. */
-    std::uint64_t next();
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
 
     /** Uniform integer in [0, bound) using rejection sampling. */
-    std::uint64_t uniform(std::uint64_t bound);
+    std::uint64_t
+    uniform(std::uint64_t bound)
+    {
+        if (bound == 0)
+            return 0;
+        // Rejection sampling to avoid modulo bias.
+        const std::uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+        std::uint64_t v;
+        do {
+            v = next();
+        } while (v >= limit);
+        return v % bound;
+    }
 
     /** Uniform integer in [lo, hi] inclusive. */
-    std::int64_t uniformRange(std::int64_t lo, std::int64_t hi);
+    std::int64_t
+    uniformRange(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+                        uniform(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
 
     /** Uniform double in [0, 1). */
-    double uniformReal();
+    double uniformReal() { return (next() >> 11) * 0x1.0p-53; }
 
-    /** Normal deviate with the given mean and standard deviation. */
-    double normal(double mean, double sigma);
+    /**
+     * Normal deviate with the given mean and standard deviation
+     * (Marsaglia polar; consumes a deterministic number of raw draws
+     * and caches the spare deviate, so the stream is bit-stable).
+     */
+    double
+    normal(double mean, double sigma)
+    {
+        if (hasSpare_) {
+            hasSpare_ = false;
+            return mean + sigma * spare_;
+        }
+        return normalFresh(mean, sigma);
+    }
 
     /** Bernoulli trial with success probability @p p. */
     bool chance(double p);
@@ -67,6 +108,15 @@ class Rng
     }
 
   private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    /** Polar-method slow path of normal() (no spare cached). */
+    double normalFresh(double mean, double sigma);
+
     std::uint64_t s_[4];
     std::uint64_t seed_;
     bool hasSpare_ = false;

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for the calibration memo: a cached TimingThresholds must be
+ * bit-identical to a fresh TimingOracle run on a throwaway runtime of
+ * the same (platform, seed), and sweeps that consume calibration via
+ * RunContext must stay byte-identical for 1, 2 and 8 worker threads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "attack/calibration_cache.hh"
+#include "attack/timing_oracle.hh"
+#include "exp/experiment_runner.hh"
+#include "exp/scenario.hh"
+#include "rt/platform.hh"
+#include "rt/runtime.hh"
+
+namespace gpubox
+{
+namespace
+{
+
+/** Exact bit pattern of a double; EXPECT_EQ on doubles would accept
+ *  -0.0 == 0.0, which is not the bit-identity the cache promises. */
+std::uint64_t
+bits(double v)
+{
+    std::uint64_t u;
+    std::memcpy(&u, &v, sizeof(u));
+    return u;
+}
+
+void
+expectBitIdentical(const attack::TimingThresholds &a,
+                   const attack::TimingThresholds &b)
+{
+    EXPECT_EQ(bits(a.localBoundary), bits(b.localBoundary));
+    EXPECT_EQ(bits(a.remoteBoundary), bits(b.remoteBoundary));
+    EXPECT_EQ(bits(a.localHitCenter), bits(b.localHitCenter));
+    EXPECT_EQ(bits(a.localMissCenter), bits(b.localMissCenter));
+    EXPECT_EQ(bits(a.remoteHitCenter), bits(b.remoteHitCenter));
+    EXPECT_EQ(bits(a.remoteMissCenter), bits(b.remoteMissCenter));
+}
+
+/** The reference computation the cache claims to memoise: fresh
+ *  runtime from (platform, seed), one oracle run. */
+attack::TimingThresholds
+freshThresholds(const std::string &platform, std::uint64_t seed)
+{
+    rt::Runtime rt(rt::platformByName(platform).systemConfig(seed));
+    rt::Process &proc = rt.createProcess("calibration");
+    attack::TimingOracle oracle(rt, proc);
+    return oracle.calibrate(1, 0, 48, 6).thresholds;
+}
+
+TEST(CalibrationCache, HitIsBitIdenticalToFreshCompute)
+{
+    const std::string platform = rt::platformNames().front();
+    const attack::CalibrationKey key{platform, 2023, 1, 0, 48, 6};
+
+    attack::CalibrationCache cache;
+    const auto first = cache.thresholds(key);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 0u);
+
+    const auto cached = cache.thresholds(key);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.size(), 1u);
+
+    expectBitIdentical(first, cached);
+    expectBitIdentical(first, freshThresholds(platform, 2023));
+}
+
+TEST(CalibrationCache, DistinctKeysAreDistinctEntries)
+{
+    const std::string platform = rt::platformNames().front();
+    attack::CalibrationCache cache;
+    cache.thresholds({platform, 2023, 1, 0, 48, 6});
+    cache.thresholds({platform, 7, 1, 0, 48, 6}); // other seed
+    cache.thresholds({platform, 2023, 1, 0, 48, 3}); // other rounds
+    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_EQ(cache.misses(), 3u);
+    EXPECT_EQ(cache.hits(), 0u);
+
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.misses(), 0u);
+}
+
+/** Sweep rows carry the raw threshold bit patterns, so a byte-compare
+ *  of the CSVs is a bit-compare of every calibration value. */
+void
+calibrationScenario(const exp::Scenario &sc, exp::RunContext &ctx)
+{
+    const auto th = ctx.calibration();
+    char row[256];
+    std::snprintf(row, sizeof(row),
+                  "%016" PRIx64 ":%016" PRIx64 ":%016" PRIx64
+                  ":%016" PRIx64 ":%016" PRIx64 ":%016" PRIx64,
+                  static_cast<std::uint64_t>(bits(th.localBoundary)),
+                  static_cast<std::uint64_t>(bits(th.remoteBoundary)),
+                  static_cast<std::uint64_t>(bits(th.localHitCenter)),
+                  static_cast<std::uint64_t>(bits(th.localMissCenter)),
+                  static_cast<std::uint64_t>(bits(th.remoteHitCenter)),
+                  static_cast<std::uint64_t>(bits(th.remoteMissCenter)));
+    ctx.row(sc.name, sc.seed, row);
+}
+
+std::vector<exp::Scenario>
+calibrationScenarios()
+{
+    const std::string platform = rt::platformNames().front();
+    std::vector<exp::Scenario> scenarios;
+    // Several scenarios sharing one (platform, seed), plus one odd
+    // seed: the shared ones must all hit after the first compute.
+    for (int i = 0; i < 4; ++i) {
+        exp::Scenario sc;
+        sc.name = "calib/rep=" + std::to_string(i);
+        sc.setPlatform(platform);
+        scenarios.push_back(sc);
+    }
+    exp::Scenario odd;
+    odd.name = "calib/seed=7";
+    odd.setPlatform(platform);
+    odd.seed = 7;
+    odd.system.seed = 7;
+    scenarios.push_back(odd);
+    return scenarios;
+}
+
+TEST(CalibrationCache, SweepBitIdenticalAcrossThreadCounts)
+{
+    const auto scenarios = calibrationScenarios();
+
+    std::vector<std::vector<std::vector<std::string>>> rows;
+    for (unsigned threads : {1u, 2u, 8u}) {
+        // Private per-run cache: every thread count starts cold, so
+        // hits in the 8-thread run cannot be fresh computes leaking
+        // from an earlier run.
+        attack::CalibrationCache cache;
+        exp::RunnerConfig config;
+        config.threads = threads;
+        config.progress = false;
+        config.calibrationCache = &cache;
+        auto report =
+            exp::ExperimentRunner(config).run(scenarios,
+                                              calibrationScenario);
+        EXPECT_EQ(report.failures(), 0u);
+        // Two distinct (platform, seed) keys; everything else hits.
+        EXPECT_EQ(cache.misses(), 2u);
+        EXPECT_EQ(cache.hits(), scenarios.size() - 2);
+        rows.push_back(report.allRows());
+    }
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0], rows[1]);
+    EXPECT_EQ(rows[0], rows[2]);
+}
+
+TEST(CalibrationCache, RunContextMatchesDirectOracle)
+{
+    const auto scenarios = calibrationScenarios();
+    attack::CalibrationCache cache;
+    exp::RunnerConfig config;
+    config.threads = 1;
+    config.progress = false;
+    config.calibrationCache = &cache;
+    auto report =
+        exp::ExperimentRunner(config).run(scenarios,
+                                          calibrationScenario);
+    EXPECT_EQ(report.failures(), 0u);
+
+    // Recompute both keys from scratch and re-render the rows: the
+    // sweep (cached path) and the direct oracle (fresh path) must
+    // agree bit for bit.
+    const std::string platform = rt::platformNames().front();
+    for (const auto &res : report.results) {
+        ASSERT_EQ(res.rows.size(), 1u);
+        const std::uint64_t seed = res.name == "calib/seed=7" ? 7 : 2023;
+        const auto th = freshThresholds(platform, seed);
+        char row[256];
+        std::snprintf(row, sizeof(row),
+                      "%016" PRIx64 ":%016" PRIx64 ":%016" PRIx64
+                      ":%016" PRIx64 ":%016" PRIx64 ":%016" PRIx64,
+                      bits(th.localBoundary), bits(th.remoteBoundary),
+                      bits(th.localHitCenter), bits(th.localMissCenter),
+                      bits(th.remoteHitCenter),
+                      bits(th.remoteMissCenter));
+        EXPECT_EQ(res.rows[0][2], row) << res.name;
+    }
+}
+
+} // namespace
+} // namespace gpubox

@@ -538,8 +538,12 @@ TEST(BenchRegistry, ResultsJsonIsPopulated)
     std::remove(path.c_str());
     std::remove("json_bench.csv");
 
-    EXPECT_NE(js.find("\"schema\": \"gpubox-bench-results/v3\""),
+    EXPECT_NE(js.find("\"schema\": \"gpubox-bench-results/v4\""),
               std::string::npos);
+    // Profile objects are opt-in (--profile); the default sink stays
+    // compact.
+    EXPECT_EQ(js.find("\"profile\""), std::string::npos);
+    EXPECT_EQ(js.find("\"calibration_cache\""), std::string::npos);
     EXPECT_NE(js.find("\"seed\": 11"), std::string::npos);
     // No --platform override: the run records the default marker and
     // each bench entry lists the platforms its scenarios used.
@@ -556,6 +560,69 @@ TEST(BenchRegistry, ResultsJsonIsPopulated)
                       "\"remote_gpu\": 0, \"centers\": {\"local_hit\": "),
               std::string::npos);
     EXPECT_NE(js.find("\"remote_boundary\": "), std::string::npos);
+}
+
+TEST(BenchRegistry, ProfileFlagEmitsEngineCounters)
+{
+    setLogEnabled(false);
+    exp::BenchRegistry registry;
+    registry.add(simBenchSpec("profile_bench"));
+
+    exp::BenchOptions opt;
+    opt.seed = 11;
+    opt.threads = 2;
+    opt.progress = false;
+    opt.profile = true;
+
+    std::FILE *out = std::tmpfile();
+    ASSERT_NE(out, nullptr);
+    auto summary =
+        exp::runBench(*registry.find("profile_bench"), opt, out);
+    std::fclose(out);
+    std::remove("profile_bench.csv");
+
+    // The merged profile reflects real engine activity: one engine
+    // per scenario runtime, nonzero steps and spawned actors.
+    EXPECT_GE(summary.profile.engines, summary.scenarios);
+    EXPECT_GT(summary.profile.steps, 0u);
+    EXPECT_GT(summary.profile.spawned, 0u);
+    EXPECT_GT(summary.profile.arenaBytes, 0u);
+
+    const std::string path = "test_exp_profile_results.json";
+    exp::writeResultsJson(path, opt, 1.5, {summary});
+    const std::string js = slurp(path);
+    std::remove(path.c_str());
+
+    EXPECT_NE(js.find("\"profile\": {\"steps\": "),
+              std::string::npos);
+    EXPECT_NE(js.find("\"arena_bytes\": "), std::string::npos);
+    EXPECT_NE(js.find("\"calibration_cache\": {\"hits\": "),
+              std::string::npos);
+}
+
+TEST(ExperimentRunner, ProfileIdenticalAcrossThreadCounts)
+{
+    // Per-scenario engine profiles are simulated quantities: the same
+    // scenario must report the same counters no matter which worker
+    // thread executed it or how many workers ran the sweep.
+    const auto scenarios = determinismScenarios();
+
+    std::vector<std::vector<sim::EngineProfile>> profiles;
+    for (unsigned threads : {1u, 2u, 8u}) {
+        exp::ExperimentRunner runner({threads, /*progress=*/false});
+        auto report = runner.run(scenarios, simScenario);
+        EXPECT_EQ(report.failures(), 0u);
+        std::vector<sim::EngineProfile> per_run;
+        for (const auto &res : report.results) {
+            EXPECT_GT(res.profile.steps, 0u) << res.name;
+            EXPECT_EQ(res.profile.engines, 1u) << res.name;
+            per_run.push_back(res.profile);
+        }
+        profiles.push_back(std::move(per_run));
+    }
+    ASSERT_EQ(profiles.size(), 3u);
+    EXPECT_EQ(profiles[0], profiles[1]);
+    EXPECT_EQ(profiles[0], profiles[2]);
 }
 
 } // namespace

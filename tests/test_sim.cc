@@ -169,6 +169,38 @@ TEST(Engine, ExceptionPropagates)
     EXPECT_THROW(eng.run(), FatalError);
 }
 
+TEST(Engine, ExceptionLeavesEngineConsistent)
+{
+    Engine eng;
+    int survivors = 0;
+    eng.spawn("bad", [](ActorCtx &ctx) -> Task {
+        ctx.charge(3);
+        co_await Delay{5};
+        fatal("kernel fault");
+    });
+    for (int k = 0; k < 2; ++k) {
+        eng.spawn("ok", [&](ActorCtx &) -> Task {
+            co_await Delay{50};
+            ++survivors;
+        });
+    }
+    EXPECT_THROW(eng.run(), FatalError);
+
+    // The throwing actor must be fully retired: accounted as done,
+    // dequeued, and invisible to deadlock diagnostics.
+    EXPECT_EQ(eng.liveActors(), 2u);
+    const auto names = eng.unfinishedActorNames();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "ok");
+    EXPECT_EQ(names[1], "ok");
+
+    // And the engine must still be able to drain the rest.
+    eng.run();
+    EXPECT_EQ(survivors, 2);
+    EXPECT_EQ(eng.liveActors(), 0u);
+    EXPECT_TRUE(eng.unfinishedActorNames().empty());
+}
+
 TEST(Engine, StartTimeOffset)
 {
     Engine eng;
@@ -244,6 +276,94 @@ TEST(Engine, ZeroDelayActorsMakeProgress)
     });
     eng.run();
     EXPECT_EQ(count, 10);
+}
+
+TEST(Engine, RunUntilNeverResumesBeyondLimit)
+{
+    // Spawn-heavy workload: the root keeps creating children whose
+    // start times straddle the runUntil() limit, including exactly at
+    // it. No actor whose local clock is >= the limit may be resumed.
+    constexpr Cycles limit = 500;
+    Engine eng;
+    std::vector<Cycles> resumed;
+    auto child = [&](ActorCtx &ctx) -> Task {
+        resumed.push_back(ctx.now());
+        co_await Delay{40};
+        resumed.push_back(ctx.now());
+    };
+    eng.spawn("root", [&](ActorCtx &ctx) -> Task {
+        for (int i = 0; i < 20; ++i) {
+            resumed.push_back(ctx.now());
+            eng.spawn("early", child, ctx.now() + 1);
+            eng.spawn("edge", child, limit);
+            eng.spawn("late", child, limit + 30 * i);
+            co_await Delay{30};
+        }
+    });
+
+    eng.runUntil(limit);
+    for (const Cycles t : resumed)
+        EXPECT_LT(t, limit); // every resume strictly below the limit
+    EXPECT_LT(eng.now(), limit);
+    EXPECT_GT(eng.liveActors(), 0u); // at/after-limit actors untouched
+
+    eng.run();
+    EXPECT_EQ(eng.liveActors(), 0u);
+}
+
+TEST(Engine, RunUntilExactBoundaryExcluded)
+{
+    Engine eng;
+    bool at_limit_ran = false;
+    eng.spawn(
+        "edge",
+        [&](ActorCtx &) -> Task {
+            at_limit_ran = true;
+            co_return;
+        },
+        100);
+    eng.runUntil(100);
+    EXPECT_FALSE(at_limit_ran);
+    eng.runUntil(101);
+    EXPECT_TRUE(at_limit_ran);
+}
+
+TEST(Engine, ExtendedStatsConsistent)
+{
+    Engine eng;
+    for (int k = 0; k < 8; ++k) {
+        eng.spawn("w", [](ActorCtx &) -> Task {
+            for (int i = 0; i < 4; ++i)
+                co_await Delay{5};
+        });
+    }
+    eng.run();
+    const auto s = eng.stats();
+    EXPECT_EQ(s.spawned, 8u);
+    EXPECT_EQ(s.steps, 8u * 5u); // initial resume + 4 delays each
+    // Every resume either requeues the actor or retires it.
+    EXPECT_EQ(s.requeues, s.steps - s.spawned);
+    EXPECT_LE(s.fastRequeues, s.requeues);
+    EXPECT_EQ(s.peakQueued, 8u);
+    EXPECT_GE(s.arenaChunks, 1u);
+    EXPECT_GT(s.arenaBytes, 0u);
+}
+
+TEST(Engine, DestructorFeedsThreadProfile)
+{
+    const EngineProfile before = threadEngineProfile();
+    {
+        Engine eng;
+        eng.spawn("a", [](ActorCtx &) -> Task {
+            co_await Delay{1};
+            co_await Delay{1};
+        });
+        eng.run();
+    }
+    const EngineProfile &after = threadEngineProfile();
+    EXPECT_EQ(after.engines, before.engines + 1);
+    EXPECT_EQ(after.steps, before.steps + 3);
+    EXPECT_EQ(after.spawned, before.spawned + 1);
 }
 
 TEST(Engine, ManyActorsAllComplete)
