@@ -14,7 +14,7 @@
  * (quad-ring: two NVLink hops, switched fabrics: through real switch
  * nodes) are exercised alongside the paper's single-hop case.
  *
- * Two comparisons the switched-fabric refactor added:
+ * Three comparisons the switched-fabric and superpod layers added:
  *
  *  - On MIG-sliced descriptors (dgx2-mig2) the trojan and spy land in
  *    different L2 slices, so the prime+probe channel dies the way the
@@ -22,8 +22,14 @@
  *  - The cross-pair *port-contention* channel (attack::covert::
  *    PortChannel) signals through a shared switch crossbar or link
  *    between two fully disjoint GPU pairs: no eviction sets, immune
- *    to MIG, impossible on point-to-point boxes. The sweep quantifies
- *    where each machine's seam helps or hurts each attack.
+ *    to MIG, impossible on point-to-point boxes.
+ *  - The cross-*box* variant puts all four GPUs in four different
+ *    chassis of the dgx-superpod, so the only shared hardware is the
+ *    inter-box RDMA spine: the channel is impossible on every
+ *    single-chassis platform and invisible to every intra-box
+ *    defense, MIG included. Per-spine-port occupancy metrics report
+ *    the defender's best remaining vantage point. The sweep
+ *    quantifies where each machine's seam helps or hurts each attack.
  */
 
 #include <algorithm>
@@ -78,9 +84,10 @@ void
 runCrossPlatform(const exp::Scenario &sc, exp::RunContext &ctx)
 {
     rt::Runtime rt(sc.system);
+    const noc::Topology &topo = rt.config().topology;
     const GpuId victim_gpu = 0;
     const GpuId spy_gpu = farthestSpyGpu(rt);
-    const int hops = rt.config().topology.hopCount(spy_gpu, victim_gpu);
+    const int hops = topo.hopCount(spy_gpu, victim_gpu);
 
     rt::Process &trojan = rt.createProcess("trojan");
     rt::Process &spy = rt.createProcess("spy");
@@ -163,6 +170,11 @@ runCrossPlatform(const exp::Scenario &sc, exp::RunContext &ctx)
         text += strf("  L2 covert channel (%u sets): %6.3f Mbit/s, "
                      "error %.2f%%\n",
                      sc.attack.covertSets, covert_bw, covert_err_pct);
+        if (topo.crossIsland(spy_gpu, victim_gpu))
+            text += "    (spy probes the victim L2 from another "
+                    "chassis: the few-hundred-cycle hit/miss signal "
+                    "drowns in spine queueing -- prime+probe needs "
+                    "chassis locality)\n";
     } else {
         text += "  L2 covert channel: DEAD (no eviction-set pair "
                 "collides across the MIG slices)\n";
@@ -200,6 +212,47 @@ runCrossPlatform(const exp::Scenario &sc, exp::RunContext &ctx)
                 "route)\n";
     }
 
+    // Cross-box port channel: the same contention medium, but with
+    // all four GPUs in four *different* chassis, so the only hardware
+    // the two routes can share is the inter-box RDMA spine. No
+    // intra-box defense -- MIG slicing, plane partitioning, per-box
+    // link monitors -- can even observe this traffic, let alone stop
+    // it. On single-chassis platforms the channel is structurally
+    // impossible: there is no second box to signal to.
+    double xbox_bw = 0.0;
+    double xbox_err_pct = 50.0;
+    attack::covert::GpuPair xspair;
+    if (topo.numIslands() < 2) {
+        text += "  cross-box port channel: IMPOSSIBLE (single "
+                "chassis: every route stays inside the box; only a "
+                "multi-box spine offers a cross-chassis medium)\n";
+    } else if (attack::covert::PortChannel::findCrossBoxInterferingPair(
+                   rt, tpair, &xspair)) {
+        attack::covert::PortChannel xport(rt, trojan, spy, tpair,
+                                          xspair);
+        Rng rng(sc.seed ^ 0xb0c5);
+        std::vector<std::uint8_t> payload(kXPairBits);
+        for (auto &b : payload)
+            b = rng.chance(0.5) ? 1 : 0;
+        std::vector<std::uint8_t> rx;
+        auto stats = xport.transmit(payload, rx);
+        xbox_bw = stats.bandwidthMbitPerSec;
+        xbox_err_pct = 100.0 * stats.errorRate;
+        text += strf("  cross-box port channel %d-%d ~> %d-%d "
+                     "(chassis %d-%d ~> %d-%d) via %s: %6.3f Mbit/s, "
+                     "error %.2f%% (symbol %llu cycles)\n",
+                     tpair.src, tpair.dst, xspair.src, xspair.dst,
+                     topo.island(tpair.src), topo.island(tpair.dst),
+                     topo.island(xspair.src), topo.island(xspair.dst),
+                     xport.sharedResourceString().c_str(), xbox_bw,
+                     xbox_err_pct,
+                     static_cast<unsigned long long>(
+                         xport.symbolCycles()));
+    } else {
+        text += "  cross-box port channel: no four-chassis pair "
+                "shares a spine with the attack route\n";
+    }
+
     // Fingerprinting at a sweep-friendly sample count: enough to
     // separate the six applications, cheap enough to repeat per
     // platform.
@@ -224,7 +277,6 @@ runCrossPlatform(const exp::Scenario &sc, exp::RunContext &ctx)
     // Per-port occupancy of the fabric after the whole pipeline: how
     // much of the traffic actually crossed switch nodes, and how hot
     // the hottest directed port ran (schema v3 results sink).
-    const noc::Topology &topo = rt.config().topology;
     std::uint64_t switch_crossings = 0;
     for (noc::NodeId swn = topo.numGpus(); swn < topo.numNodes(); ++swn)
         switch_crossings += rt.fabric().switchCrossings(swn);
@@ -245,13 +297,46 @@ runCrossPlatform(const exp::Scenario &sc, exp::RunContext &ctx)
 
     const rt::Platform &plat = rt::platformByName(sc.system.platform);
     ctx.row(sc.system.platform, plat.linkGen, hops, covert_bw,
-            covert_err_pct, xpair_bw, xpair_err_pct,
-            100.0 * fpres.testAccuracy);
+            covert_err_pct, xpair_bw, xpair_err_pct, xbox_bw,
+            xbox_err_pct, 100.0 * fpres.testAccuracy);
     const char *pn = sc.system.platform.c_str();
+
+    // Per-spine-port occupancy: how the cross-chassis traffic spread
+    // over the spine switches and which NIC->spine port ran hottest.
+    // The defender's view from the spine, per switch.
+    for (noc::NodeId swn = topo.numGpus(); swn < topo.numNodes();
+         ++swn) {
+        if (topo.switchRole(swn) != noc::SwitchRole::Spine)
+            continue;
+        std::uint64_t hottest = 0;
+        for (noc::NodeId peer : topo.peersOf(swn)) {
+            hottest = std::max(hottest,
+                               rt.fabric().portTransfers(peer, swn));
+            hottest = std::max(hottest,
+                               rt.fabric().portTransfers(swn, peer));
+        }
+        const std::string sname = topo.nodeName(swn);
+        text += strf("  spine occupancy: %s %llu crossings, hottest "
+                     "port %llu transfers\n",
+                     sname.c_str(),
+                     static_cast<unsigned long long>(
+                         rt.fabric().switchCrossings(swn)),
+                     static_cast<unsigned long long>(hottest));
+        ctx.metric(strf("spine_crossings[platform=%s,spine=%s]", pn,
+                        sname.c_str()),
+                   static_cast<double>(
+                       rt.fabric().switchCrossings(swn)));
+        ctx.metric(strf("spine_port_max_transfers[platform=%s,"
+                        "spine=%s]",
+                        pn, sname.c_str()),
+                   static_cast<double>(hottest));
+    }
     ctx.metric(strf("covert_bw_mbit_s[platform=%s]", pn), covert_bw);
     ctx.metric(strf("covert_err_pct[platform=%s]", pn), covert_err_pct);
     ctx.metric(strf("xpair_bw_mbit_s[platform=%s]", pn), xpair_bw);
     ctx.metric(strf("xpair_err_pct[platform=%s]", pn), xpair_err_pct);
+    ctx.metric(strf("xbox_bw_mbit_s[platform=%s]", pn), xbox_bw);
+    ctx.metric(strf("xbox_err_pct[platform=%s]", pn), xbox_err_pct);
     ctx.metric(strf("fp_acc_pct[platform=%s]", pn),
                100.0 * fpres.testAccuracy);
     ctx.metric(strf("calib_center_lh[platform=%s]", pn),
@@ -299,32 +384,40 @@ renderCrossPlatform(const exp::Report &report, std::FILE *out)
     std::fprintf(out,
                  "%s",
                  headerText("cross-system summary: L2 channel vs "
-                            "cross-pair port channel per platform")
+                            "cross-pair and cross-box port channels "
+                            "per platform")
                      .c_str());
     std::fprintf(out,
-                 "  %-16s %-16s %4s  %19s  %19s  %7s\n", "platform",
-                 "link", "hops", "L2 covert (err)", "port ch. (err)",
-                 "fp acc");
+                 "  %-16s %-16s %4s  %19s  %19s  %19s  %7s\n",
+                 "platform", "link", "hops", "L2 covert (err)",
+                 "port ch. (err)", "xbox ch. (err)", "fp acc");
     for (const auto &res : report.results) {
         for (const auto &row : res.rows) {
             std::fprintf(
                 out,
                 "  %-16s %-16s %4s  %10.3f (%5.1f%%)  %10.3f "
-                "(%5.1f%%)  %6.1f%%\n",
+                "(%5.1f%%)  %10.3f (%5.1f%%)  %6.1f%%\n",
                 row[0].c_str(), row[1].c_str(), row[2].c_str(),
                 std::strtod(row[3].c_str(), nullptr),
                 std::strtod(row[4].c_str(), nullptr),
                 std::strtod(row[5].c_str(), nullptr),
                 std::strtod(row[6].c_str(), nullptr),
-                std::strtod(row[7].c_str(), nullptr));
+                std::strtod(row[7].c_str(), nullptr),
+                std::strtod(row[8].c_str(), nullptr),
+                std::strtod(row[9].c_str(), nullptr));
         }
     }
     std::fprintf(
         out,
-        "\n  the L2 channel survives every descriptor that shares an "
-        "L2 -- and dies on the MIG-sliced box -- while the cross-pair "
-        "port channel needs a switched fabric: zero on point-to-point "
-        "machines, alive through every shared crossbar, MIG or not\n");
+        "\n  the L2 channel survives every single-chassis descriptor "
+        "that shares an L2 -- it dies on the MIG-sliced box, and on "
+        "the superpod its cross-box probe drowns in spine queueing -- "
+        "while the cross-pair port channel needs a switched fabric: "
+        "zero on point-to-point machines, alive through every shared "
+        "crossbar, MIG or not; the cross-box channel goes further "
+        "still: it is impossible on every single-chassis machine and "
+        "survives on the superpod's shared spine, where no intra-box "
+        "defense can even see it\n");
 }
 
 } // namespace
@@ -335,12 +428,13 @@ registerExtensionMultiGpu()
     exp::BenchSpec spec;
     spec.name = "extension_multi_gpu";
     spec.description =
-        "cross-system sweep: L2 + cross-pair port covert channels and "
-        "fingerprint accuracy per platform descriptor";
+        "cross-system sweep: L2 + cross-pair + cross-box port covert "
+        "channels and fingerprint accuracy per platform descriptor";
     spec.csvHeader = {"platform",       "link_gen",
                       "hops",           "covert_mbit_s",
                       "covert_err_pct", "xpair_mbit_s",
-                      "xpair_err_pct",  "fp_acc_pct"};
+                      "xpair_err_pct",  "xbox_mbit_s",
+                      "xbox_err_pct",   "fp_acc_pct"};
     spec.scenarios = crossPlatformScenarios;
     spec.run = runCrossPlatform;
     spec.render = renderCrossPlatform;

@@ -67,6 +67,38 @@ PortChannel::findInterferingPair(const rt::Runtime &rt,
     return false;
 }
 
+bool
+PortChannel::findCrossBoxInterferingPair(const rt::Runtime &rt,
+                                         GpuPair trojan_pair,
+                                         GpuPair *spy_pair)
+{
+    const noc::Topology &topo = rt.topology();
+    if (topo.numIslands() < 2)
+        return false;
+    const int ti = topo.island(trojan_pair.src);
+    const int tj = topo.island(trojan_pair.dst);
+    if (ti < 0 || tj < 0 || ti == tj)
+        return false; // the trojan must load an inter-box route
+    for (GpuId c = 0; c < rt.numGpus(); ++c) {
+        const int ci = topo.island(c);
+        if (ci == ti || ci == tj)
+            continue;
+        for (GpuId d = c + 1; d < rt.numGpus(); ++d) {
+            const int di = topo.island(d);
+            if (di == ti || di == tj || di == ci)
+                continue;
+            if (!rt.peerReachable(c, d))
+                continue;
+            if (!routesInterfere(topo, trojan_pair, GpuPair{c, d}))
+                continue;
+            if (spy_pair)
+                *spy_pair = GpuPair{c, d};
+            return true;
+        }
+    }
+    return false;
+}
+
 PortChannel::PortChannel(rt::Runtime &rt, rt::Process &trojan_proc,
                          rt::Process &spy_proc, GpuPair trojan_pair,
                          GpuPair spy_pair,
@@ -136,9 +168,12 @@ PortChannel::PortChannel(rt::Runtime &rt, rt::Process &trojan_proc,
     windowCycles_ = rt_.config().link.windowCycles;
     for (const noc::LinkParams &p : rt_.config().perLink)
         windowCycles_ = std::max(windowCycles_, p.windowCycles);
-    if (topo.numSwitches() > 0)
+    // Heterogeneous switch fabrics (superpods) align to the widest
+    // switch window too -- the spine's, on the cross-box channel.
+    for (noc::NodeId sw = topo.numGpus(); sw < topo.numNodes(); ++sw)
         windowCycles_ = std::max(
-            windowCycles_, rt_.config().switchParams.windowCycles);
+            windowCycles_,
+            rt_.fabric().switchParamsOf(sw).windowCycles);
     if (windowCycles_ == 0)
         windowCycles_ = 1;
 

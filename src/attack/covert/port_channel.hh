@@ -142,6 +142,20 @@ class PortChannel
                                     GpuPair trojan_pair,
                                     GpuPair *spy_pair);
 
+    /**
+     * Like findInterferingPair, but cross-*chassis*: the spy pair's
+     * two GPUs must sit in two chassis islands distinct from each
+     * other AND from both trojan GPUs' islands, so all four GPUs
+     * occupy four different boxes and the interference the spy senses
+     * can only come from inter-box hardware (the shared spine).
+     * Requires the trojan pair itself to span two islands. @return
+     * false on single-chassis platforms (numIslands() < 2) -- the
+     * measurable "this channel is impossible inside one box" outcome.
+     */
+    static bool findCrossBoxInterferingPair(const rt::Runtime &rt,
+                                            GpuPair trojan_pair,
+                                            GpuPair *spy_pair);
+
   private:
     /** Uncontended duration estimate of one warp-parallel read of
      *  @p lines remote lines along @p pair's route. */

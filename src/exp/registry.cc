@@ -488,17 +488,21 @@ benchDriverMain(int argc, char **argv)
         const auto &platforms = rt::allPlatforms();
         for (std::size_t i = 0; i < platforms.size(); ++i) {
             const rt::Platform &p = platforms[i];
-            // Topology summary (node kinds + link presets) so CI can
-            // diff descriptor changes without running any bench.
+            // Topology summary (node kinds + roles + link presets) so
+            // CI can diff descriptor changes without running any
+            // bench; islands/nics/spines expose the superpod shape.
             std::printf(
                 "    {\"name\": \"%s\", \"description\": \"%s\", "
                 "\"gpus\": %d, \"switches\": %d, \"nodes\": %d, "
+                "\"islands\": %d, \"nics\": %d, \"spines\": %d, "
                 "\"topology\": \"%s\", \"links\": %zu, "
                 "\"link_gen\": \"%s\", \"link_mix\": {",
                 jsonEscape(p.name).c_str(),
                 jsonEscape(p.description).c_str(),
                 p.topology.numGpus(), p.topology.numSwitches(),
-                p.topology.numNodes(),
+                p.topology.numNodes(), p.topology.numIslands(),
+                p.topology.numSwitchesOfRole(noc::SwitchRole::Nic),
+                p.topology.numSwitchesOfRole(noc::SwitchRole::Spine),
                 jsonEscape(p.topology.name()).c_str(),
                 p.topology.links().size(),
                 jsonEscape(p.linkGen).c_str());

@@ -16,13 +16,32 @@ Fabric::Fabric(const Topology &topo, const LinkParams &params,
 
 Fabric::Fabric(const Topology &topo, std::vector<LinkParams> per_link,
                const SwitchParams &switch_params)
+    : Fabric(topo, std::move(per_link),
+             std::vector<SwitchParams>(
+                 static_cast<std::size_t>(topo.numSwitches()),
+                 switch_params))
+{}
+
+Fabric::Fabric(const Topology &topo, const LinkParams &params,
+               std::vector<SwitchParams> per_switch)
+    : Fabric(topo, std::vector<LinkParams>(topo.links().size(), params),
+             std::move(per_switch))
+{}
+
+Fabric::Fabric(const Topology &topo, std::vector<LinkParams> per_link,
+               std::vector<SwitchParams> per_switch)
     : topo_(topo), numNodes_(topo.numNodes()),
-      params_(std::move(per_link)), switchParams_(switch_params)
+      params_(std::move(per_link)), switchParams_(std::move(per_switch))
 {
     if (params_.size() != topo.links().size())
         fatal("fabric over '", topo.name(), "' needs ",
               topo.links().size(), " per-link parameter sets, got ",
               params_.size());
+    if (switchParams_.size() !=
+        static_cast<std::size_t>(topo.numSwitches()))
+        fatal("fabric over '", topo.name(), "' needs ",
+              topo.numSwitches(), " per-switch parameter sets, got ",
+              switchParams_.size());
     meters_.reserve(params_.size() * 2);
     isPortLink_.reserve(params_.size());
     for (std::size_t i = 0; i < params_.size(); ++i) {
@@ -38,10 +57,10 @@ Fabric::Fabric(const Topology &topo, std::vector<LinkParams> per_link,
         meters_.emplace_back(p.windowCycles, p.freeSlotsPerWindow,
                              p.queueCyclesPerExtra);
     }
-    for (int sw = 0; sw < topo.numSwitches(); ++sw) {
-        crossbarMeters_.emplace_back(switchParams_.windowCycles,
-                                     switchParams_.freeSlotsPerWindow,
-                                     switchParams_.queueCyclesPerExtra);
+    for (const SwitchParams &sp : switchParams_) {
+        crossbarMeters_.emplace_back(sp.windowCycles,
+                                     sp.freeSlotsPerWindow,
+                                     sp.queueCyclesPerExtra);
     }
     perDir_.assign(params_.size() * 2, 0);
     crossings_.assign(static_cast<std::size_t>(topo.numSwitches()), 0);
@@ -77,10 +96,14 @@ Fabric::buildRouteTables()
                         ? static_cast<std::int32_t>(v - topo_.numGpus())
                         : -1;
                 leg.hopCycles = p.hopCycles;
+                leg.crossbarCycles =
+                    leg.crossbar >= 0
+                        ? switchParams_[static_cast<std::size_t>(
+                                            leg.crossbar)]
+                              .crossbarCycles
+                        : 0;
                 legs_.push_back(leg);
-                pr.baseCycles += p.hopCycles;
-                if (leg.crossbar >= 0)
-                    pr.baseCycles += switchParams_.crossbarCycles;
+                pr.baseCycles += p.hopCycles + leg.crossbarCycles;
                 pr.bottleneckBpc =
                     pr.bottleneckBpc == 0
                         ? p.bytesPerCycle
@@ -160,6 +183,17 @@ Fabric::switchCrossings(NodeId sw) const
     if (!topo_.isSwitch(sw))
         return 0;
     return crossings_[static_cast<std::size_t>(sw - topo_.numGpus())];
+}
+
+const SwitchParams &
+Fabric::switchParamsOf(NodeId sw) const
+{
+    if (!topo_.isSwitch(sw))
+        fatal("fabric switch-parameter query on node ", sw,
+              " which is not a switch on topology '", topo_.name(),
+              "'");
+    return switchParams_[static_cast<std::size_t>(sw -
+                                                  topo_.numGpus())];
 }
 
 std::uint64_t

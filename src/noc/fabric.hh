@@ -98,6 +98,48 @@ struct LinkGen
     /** PCIe switches buffer deeply: many outstanding TLPs before
      *  queueing, but each extra one is costly on the narrow fabric. */
     static constexpr LinkParams pcie3() { return {700, 8, 256, 96, 6}; }
+    /** GPU to its ConnectX-class NIC (GPUDirect DMA into the HCA):
+     *  slower than an NVSwitch port, long queueing window, modest
+     *  per-extra cost -- the NIC pipelines deeply in each direction
+     *  (the ingress/egress split is the fabric's per-direction port
+     *  meters, which every switch-attached link gets). */
+    static constexpr LinkParams nicPort()
+    {
+        return {350, 32, 2000, 64, 2};
+    }
+    /** NIC-to-spine RDMA trunk: microsecond-class one-way latency at
+     *  GPU clocks and narrow per-lane bandwidth; the HCA pipelines
+     *  deeply, so over-credit transfers queue gently -- the sharp
+     *  bottleneck of a pod is the spine crossbar, not its trunks. */
+    static constexpr LinkParams rdmaSpine()
+    {
+        return {1400, 24, 4000, 48, 4};
+    }
+};
+
+/** Well-known switch flavors (calibration table in PAPER.md). */
+struct SwitchGen
+{
+    /** An NVSwitch crossbar plane (the SwitchParams defaults). */
+    static constexpr SwitchParams nvswitchPlane() { return {}; }
+    /** A NIC's internal forwarding engine: store-and-forward DMA,
+     *  fewer free crossings per window than an NVSwitch but deep
+     *  pipelining keeps the per-extra cost mild. */
+    static constexpr SwitchParams nicEngine()
+    {
+        return {200, 4000, 64, 4};
+    }
+    /** A spine switch: fast silicon, but every cross-chassis route in
+     *  the pod funnels through few of them. The spine arbitrates in
+     *  long scheduling epochs -- the window spans a whole remote
+     *  access (cross-box latency is several NVSwitch windows), so one
+     *  flooded epoch is visible to every route crossing the spine for
+     *  its entire duration. Few free crossings per epoch: this is the
+     *  pod's oversubscribed bottleneck. */
+    static constexpr SwitchParams rdmaSpine()
+    {
+        return {60, 24000, 48, 6};
+    }
 };
 
 /**
@@ -117,6 +159,16 @@ class Fabric
     /** Per-link parameters, indexed like Topology::links(). */
     Fabric(const Topology &topo, std::vector<LinkParams> per_link,
            const SwitchParams &switch_params = SwitchParams());
+
+    /** Uniform links over heterogeneous switches (one SwitchParams
+     *  per switch node, indexed like the topology's switch ids). */
+    Fabric(const Topology &topo, const LinkParams &params,
+           std::vector<SwitchParams> per_switch);
+
+    /** Fully heterogeneous fabric: per-link AND per-switch
+     *  parameters (crossbar planes vs NICs vs spines). */
+    Fabric(const Topology &topo, std::vector<LinkParams> per_link,
+           std::vector<SwitchParams> per_switch);
 
     /**
      * Charge one transfer leg (request or response) between two
@@ -184,6 +236,10 @@ class Fabric
     /** Total traversals crossing switch @p sw; 0 for non-switches. */
     std::uint64_t switchCrossings(NodeId sw) const;
 
+    /** Crossbar parameters of switch node @p sw; fatal for
+     *  non-switch ids. */
+    const SwitchParams &switchParamsOf(NodeId sw) const;
+
     /** Directed traversal count of the from->to port (either
      *  direction's total for a GPU-to-GPU link is linkTransfers). */
     std::uint64_t portTransfers(NodeId from, NodeId to) const;
@@ -211,6 +267,7 @@ class Fabric
         std::uint32_t meter;   // slot in meters_/perDir_
         std::int32_t crossbar; // switch index crossed after, or -1
         Cycles hopCycles;
+        Cycles crossbarCycles; // that switch's transit, 0 when none
     };
 
     /** Directed (from,to) route: a legs_ span plus cached aggregates. */
@@ -255,7 +312,7 @@ class Fabric
                 ++crossings_[leg->crossbar];
                 const Cycles xqueue =
                     crossbarMeters_[leg->crossbar].record(now + total);
-                total += switchParams_.crossbarCycles + xqueue;
+                total += leg->crossbarCycles + xqueue;
             }
         }
         if (bytes > 0)
@@ -287,7 +344,7 @@ class Fabric
     const Topology &topo_;
     int numNodes_ = 0; // cached topo_.numNodes() for the inline path
     std::vector<LinkParams> params_; // one per link
-    SwitchParams switchParams_;
+    std::vector<SwitchParams> switchParams_; // one per switch
     /** Two meters per link: switch-attached links use [0]=lo->hi and
      *  [1]=hi->lo (ingress/egress queues); GPU-to-GPU links share [0]
      *  for both directions (the legacy point-to-point model). */

@@ -34,6 +34,11 @@ Topology::Topology(std::string name, int num_gpus, int num_switches,
         linkOf_[a * numNodes_ + b] = static_cast<int>(i);
         linkOf_[b * numNodes_ + a] = static_cast<int>(i);
     }
+    switchRoles_.assign(
+        static_cast<std::size_t>(numNodes_ - numGpus_),
+        SwitchRole::Crossbar);
+    islandOf_.assign(static_cast<std::size_t>(numNodes_), 0);
+    recomputeRoleIndices();
     for (NodeId sw = numGpus_; sw < numNodes_; ++sw) {
         if (degree(sw) == 0)
             fatal("topology '", name_, "': switch ", nodeName(sw),
@@ -43,10 +48,33 @@ Topology::Topology(std::string name, int num_gpus, int num_switches,
 }
 
 void
+Topology::recomputeRoleIndices()
+{
+    roleIndex_.assign(switchRoles_.size(), 0);
+    int counts[3] = {0, 0, 0};
+    for (std::size_t k = 0; k < switchRoles_.size(); ++k)
+        roleIndex_[k] = counts[static_cast<int>(switchRoles_[k])]++;
+}
+
+void
 Topology::buildRouteTables()
 {
     const int n = numNodes_;
     dist_.assign(static_cast<std::size_t>(n) * n, -1);
+
+    // Adjacency lists, neighbours ascending. The previous
+    // implementation scanned every node pair at every BFS step --
+    // O(n^3) overall -- which was fine inside one chassis but not at
+    // superpod scale (a 308-node dgx-superpod); walking real edges
+    // keeps construction O(n * (V + E)) with routes byte-identical
+    // (ascending neighbour order is preserved).
+    std::vector<std::vector<NodeId>> adj(static_cast<std::size_t>(n));
+    for (const auto &[a, b] : links_) {
+        adj[static_cast<std::size_t>(a)].push_back(b);
+        adj[static_cast<std::size_t>(b)].push_back(a);
+    }
+    for (auto &peers : adj)
+        std::sort(peers.begin(), peers.end());
 
     // All-pairs BFS over the mixed GPU/switch graph. Neighbour
     // visitation order is by ascending id, so the distances (and
@@ -58,8 +86,8 @@ Topology::buildRouteTables()
         while (!frontier.empty()) {
             const NodeId at = frontier.front();
             frontier.pop_front();
-            for (NodeId next = 0; next < n; ++next) {
-                if (d[next] == -1 && connected(at, next)) {
+            for (NodeId next : adj[static_cast<std::size_t>(at)]) {
+                if (d[next] == -1) {
                     d[next] = d[at] + 1;
                     frontier.push_back(next);
                 }
@@ -72,9 +100,11 @@ Topology::buildRouteTables()
     // lowest id wins, except when every candidate is a switch -- then
     // the pair stripes across the candidates by (a + b) modulo their
     // count, spreading disjoint pairs over parallel crossbar planes
-    // while staying a pure (hence symmetric, byte-stable) function of
-    // the endpoints. The b -> a route is the exact reversal.
+    // (and cross-chassis pairs over parallel spines) while staying a
+    // pure (hence symmetric, byte-stable) function of the endpoints.
+    // The b -> a route is the exact reversal.
     routes_.assign(static_cast<std::size_t>(n) * n, {});
+    std::vector<NodeId> candidates;
     for (NodeId a = 0; a < n; ++a) {
         routes_[pairIndex(a, a)] = {a};
         for (NodeId b = a + 1; b < n; ++b) {
@@ -84,10 +114,9 @@ Topology::buildRouteTables()
             NodeId at = a;
             while (at != b) {
                 const int remaining = dist_[pairIndex(at, b)];
-                std::vector<NodeId> candidates;
-                for (NodeId next = 0; next < n; ++next) {
-                    if (connected(at, next) &&
-                        dist_[pairIndex(next, b)] == remaining - 1)
+                candidates.clear();
+                for (NodeId next : adj[static_cast<std::size_t>(at)]) {
+                    if (dist_[pairIndex(next, b)] == remaining - 1)
                         candidates.push_back(next); // ascending ids
                 }
                 bool all_switches = candidates.size() > 1;
@@ -189,6 +218,77 @@ Topology::switched(std::string name, int num_gpus, int num_switches,
                     std::move(links));
 }
 
+Topology
+Topology::superpod(std::string name, int num_boxes, int gpus_per_box,
+                   int planes_per_box, int num_spines)
+{
+    if (num_boxes < 2)
+        fatal("superpod topology needs at least 2 boxes, got ",
+              num_boxes, " (a single box is Topology::crossbar)");
+    if (gpus_per_box < 2)
+        fatal("superpod topology needs at least 2 GPUs per box, got ",
+              gpus_per_box);
+    if (planes_per_box < 1)
+        fatal("superpod topology needs at least 1 crossbar plane per "
+              "box, got ",
+              planes_per_box);
+    if (num_spines < 1)
+        fatal("superpod topology needs at least 1 spine switch, got ",
+              num_spines);
+
+    const int gpus = num_boxes * gpus_per_box;
+    const int planes = num_boxes * planes_per_box;
+    // Switch ids: planes box-major, then one NIC per GPU, then spines.
+    const int first_plane = gpus;
+    const int first_nic = first_plane + planes;
+    const int first_spine = first_nic + gpus;
+
+    std::vector<Link> links;
+    links.reserve(static_cast<std::size_t>(gpus) *
+                  (planes_per_box + 1 + num_spines));
+    for (int box = 0; box < num_boxes; ++box) {
+        for (int p = 0; p < planes_per_box; ++p) {
+            const NodeId plane =
+                first_plane + box * planes_per_box + p;
+            for (int g = 0; g < gpus_per_box; ++g)
+                links.emplace_back(box * gpus_per_box + g, plane);
+        }
+    }
+    for (NodeId g = 0; g < gpus; ++g)
+        links.emplace_back(g, first_nic + g);
+    for (NodeId g = 0; g < gpus; ++g)
+        for (int s = 0; s < num_spines; ++s)
+            links.emplace_back(first_nic + g, first_spine + s);
+
+    Topology t(std::move(name), gpus, planes + gpus + num_spines,
+               std::move(links));
+    for (int k = 0; k < planes; ++k)
+        t.switchRoles_[static_cast<std::size_t>(k)] =
+            SwitchRole::Crossbar;
+    for (int k = 0; k < gpus; ++k)
+        t.switchRoles_[static_cast<std::size_t>(planes + k)] =
+            SwitchRole::Nic;
+    for (int k = 0; k < num_spines; ++k)
+        t.switchRoles_[static_cast<std::size_t>(planes + gpus + k)] =
+            SwitchRole::Spine;
+    t.recomputeRoleIndices();
+
+    // Chassis islands: a GPU, its NIC and its box's planes share the
+    // box index; spines belong to no chassis.
+    for (NodeId g = 0; g < gpus; ++g) {
+        t.islandOf_[static_cast<std::size_t>(g)] = g / gpus_per_box;
+        t.islandOf_[static_cast<std::size_t>(first_nic + g)] =
+            g / gpus_per_box;
+    }
+    for (int k = 0; k < planes; ++k)
+        t.islandOf_[static_cast<std::size_t>(first_plane + k)] =
+            k / planes_per_box;
+    for (int s = 0; s < num_spines; ++s)
+        t.islandOf_[static_cast<std::size_t>(first_spine + s)] = -1;
+    t.numIslands_ = num_boxes;
+    return t;
+}
+
 NodeKind
 Topology::kind(NodeId n) const
 {
@@ -196,6 +296,34 @@ Topology::kind(NodeId n) const
         fatal("topology '", name_, "': node ", n, " out of range (",
               numNodes_, " nodes)");
     return n < numGpus_ ? NodeKind::Gpu : NodeKind::Switch;
+}
+
+SwitchRole
+Topology::switchRole(NodeId n) const
+{
+    if (!isSwitch(n))
+        fatal("topology '", name_, "': switch-role query on node ", n,
+              " which is not a switch (", numGpus_, " GPUs, ",
+              numNodes_, " nodes)");
+    return switchRoles_[static_cast<std::size_t>(n - numGpus_)];
+}
+
+int
+Topology::numSwitchesOfRole(SwitchRole role) const
+{
+    int count = 0;
+    for (SwitchRole r : switchRoles_)
+        count += r == role ? 1 : 0;
+    return count;
+}
+
+int
+Topology::island(NodeId n) const
+{
+    if (n < 0 || n >= numNodes_)
+        fatal("topology '", name_, "': island query on node ", n,
+              " out of range (", numNodes_, " nodes)");
+    return islandOf_[static_cast<std::size_t>(n)];
 }
 
 std::string
@@ -206,7 +334,19 @@ Topology::nodeName(NodeId n) const
               numNodes_, " nodes)");
     if (n < numGpus_)
         return std::to_string(n);
-    return "sw" + std::to_string(n - numGpus_);
+    const std::size_t k = static_cast<std::size_t>(n - numGpus_);
+    const char *prefix = "sw";
+    switch (switchRoles_[k]) {
+    case SwitchRole::Crossbar:
+        break;
+    case SwitchRole::Nic:
+        prefix = "nic";
+        break;
+    case SwitchRole::Spine:
+        prefix = "spine";
+        break;
+    }
+    return prefix + std::to_string(roleIndex_[k]);
 }
 
 bool

@@ -47,6 +47,22 @@ enum class NodeKind
     Switch,
 };
 
+/**
+ * What a switch node does in the fabric. Crossbar planes are the
+ * intra-chassis NVSwitch model of PR 5; NIC and Spine nodes extend
+ * the graph past one chassis: each GPU's NIC bridges it onto the
+ * inter-box spine switches (the per-direction NIC in/out port-meter
+ * model of the dycz0fx task-graph simulator, SNIPPETS.md Snippet 2).
+ * All three are NodeKind::Switch, so the fabric's per-direction port
+ * meters and per-switch crossbar contention apply uniformly.
+ */
+enum class SwitchRole
+{
+    Crossbar,
+    Nic,
+    Spine,
+};
+
 /** Undirected link between two nodes (GPU or switch endpoints). */
 using Link = std::pair<NodeId, NodeId>;
 
@@ -92,6 +108,24 @@ class Topology
     static Topology switched(std::string name, int num_gpus,
                              int num_switches, std::vector<Link> links);
 
+    /**
+     * Multi-chassis superpod: @p num_boxes switched islands of
+     * @p gpus_per_box GPUs behind @p planes_per_box NVSwitch crossbar
+     * planes each, joined through one NIC node per GPU onto
+     * @p num_spines shared spine switches (every NIC links to every
+     * spine). Intra-box routes stay two plane hops exactly like
+     * crossbar(); cross-box routes run gpu -> nic -> spine -> nic ->
+     * gpu and stripe across the spines by (src + dst) modulo
+     * @p num_spines, never touching a plane -- so the spine is the
+     * *only* hardware two cross-chassis pairs can share. Node order:
+     * GPUs box-major, then planes box-major, then NICs gpu-major,
+     * then spines. Fatal for num_boxes < 2, gpus_per_box < 2,
+     * planes_per_box < 1 or num_spines < 1.
+     */
+    static Topology superpod(std::string name, int num_boxes,
+                             int gpus_per_box, int planes_per_box,
+                             int num_spines);
+
     /** GPU endpoints only (devices a runtime instantiates). */
     int numGpus() const { return numGpus_; }
     /** GPUs + switches. */
@@ -109,8 +143,33 @@ class Topology
     }
     bool isGpu(NodeId n) const { return n >= 0 && n < numGpus_; }
 
-    /** Display name: GPUs print their id ("3"), switches "sw<k>" with
-     *  k the switch index (node numGpus+k). Fatal when out of range. */
+    /** Role of switch node @p n (Crossbar on every non-superpod
+     *  topology); fatal unless @p n is a switch. */
+    SwitchRole switchRole(NodeId n) const;
+
+    /** Switch nodes carrying @p role. */
+    int numSwitchesOfRole(SwitchRole role) const;
+
+    /**
+     * Chassis (island) of node @p n: the box index on superpod
+     * topologies, 0 everywhere on single-chassis graphs, -1 for
+     * chassis-less spine switches. Fatal for out-of-range ids.
+     */
+    int island(NodeId n) const;
+
+    /** Number of chassis islands (1 on single-box topologies). */
+    int numIslands() const { return numIslands_; }
+
+    /** True when both nodes sit in (different) chassis islands. */
+    bool crossIsland(NodeId a, NodeId b) const
+    {
+        return island(a) >= 0 && island(b) >= 0 &&
+               island(a) != island(b);
+    }
+
+    /** Display name: GPUs print their id ("3"), switches "sw<k>" /
+     *  "nic<k>" / "spine<k>" with k the index within the role. Fatal
+     *  when out of range. */
     std::string nodeName(NodeId n) const;
 
     /** @return true when a and b share a direct link. */
@@ -155,6 +214,9 @@ class Topology
     /** All-pairs BFS distances + materialized routes (see file doc). */
     void buildRouteTables();
 
+    /** Refresh per-role switch indices after assigning switchRoles_. */
+    void recomputeRoleIndices();
+
     std::size_t pairIndex(NodeId a, NodeId b) const;
 
     std::string name_;
@@ -164,6 +226,10 @@ class Topology
     std::vector<int> linkOf_;  // numNodes*numNodes -> link index or -1
     std::vector<int> dist_;    // numNodes*numNodes -> hops or -1
     std::vector<std::vector<NodeId>> routes_; // numNodes*numNodes paths
+    std::vector<SwitchRole> switchRoles_;     // one per switch
+    std::vector<int> roleIndex_; // per switch: index within its role
+    std::vector<int> islandOf_;  // per node: chassis id or -1
+    int numIslands_ = 1;
 };
 
 } // namespace gpubox::noc

@@ -129,6 +129,25 @@ struct SystemConfig
      *  graphs like the DGX-1). */
     noc::SwitchParams switchParams;
     /**
+     * Heterogeneous switch fabrics (superpods: NVSwitch planes vs
+     * NICs vs spines): per-switch parameters indexed like the
+     * topology's switch ids. Empty means "uniform `switchParams`
+     * everywhere"; non-empty must match the switch count (the Fabric
+     * validates).
+     */
+    std::vector<noc::SwitchParams> perSwitch;
+
+    /** perSwitch with the uniform default applied. */
+    std::vector<noc::SwitchParams>
+    resolvedPerSwitch() const
+    {
+        if (!perSwitch.empty())
+            return perSwitch;
+        return std::vector<noc::SwitchParams>(
+            static_cast<std::size_t>(topology.numSwitches()),
+            switchParams);
+    }
+    /**
      * Administrative MIG way-partitioning baked into the platform
      * (paper Sec. VII promoted from a per-scenario defense knob):
      * the runtime boots with every L2 split into this many isolated

@@ -181,6 +181,88 @@ pcieBox()
     return p;
 }
 
+/**
+ * Multi-chassis DGX superpod: eight dgx2-nvswitch class boxes (128
+ * V100s total) whose GPUs each own a ConnectX-class NIC, joined over
+ * four shared RDMA spine switches. Intra-box traffic is exactly the
+ * dgx2 model (two nvswitch-port hops plus a plane crossbar, striped
+ * over six planes); cross-box traffic runs gpu -> nic -> spine ->
+ * nic -> gpu with RDMA-class latency, striped over the spines by
+ * (src + dst) mod 4, and never touches an NVSwitch plane. The spine
+ * is therefore the *only* hardware two cross-chassis GPU pairs can
+ * share -- the medium of the cross-box port channel, invisible to
+ * every intra-box defense including MIG. At 308 nodes and 1408 links
+ * this descriptor is also the registry's route-table scale test (the
+ * construction perf budget is guarded in test_noc.cc).
+ */
+Platform
+dgxSuperpod()
+{
+    Platform p;
+    p.name = "dgx-superpod";
+    p.description = "8 DGX-2 class boxes (128x V100) with per-GPU "
+                    "NICs on a 4-spine RDMA fabric (cross-chassis "
+                    "routed peer access)";
+    p.linkGen = "nvswitch-port+rdma";
+    p.topology = noc::Topology::superpod("dgx-superpod", 8, 16, 6, 4);
+    p.peerOverRoutes = true;
+    p.link = noc::LinkGen::nvswitchPort();
+
+    // Parameters follow the node roles, not hand-counted link ranges:
+    // GPU-plane links are NVSwitch ports, GPU-NIC links the DMA hop
+    // into the HCA, NIC-spine links the RDMA trunks; planes, NICs and
+    // spines each get their own crossbar flavor.
+    std::size_t nvswitch_links = 0, nic_links = 0, rdma_links = 0;
+    for (const noc::Link &l : p.topology.links()) {
+        const bool spine_end =
+            (p.topology.isSwitch(l.first) &&
+             p.topology.switchRole(l.first) == noc::SwitchRole::Spine) ||
+            (p.topology.isSwitch(l.second) &&
+             p.topology.switchRole(l.second) == noc::SwitchRole::Spine);
+        const bool nic_end =
+            (p.topology.isSwitch(l.first) &&
+             p.topology.switchRole(l.first) == noc::SwitchRole::Nic) ||
+            (p.topology.isSwitch(l.second) &&
+             p.topology.switchRole(l.second) == noc::SwitchRole::Nic);
+        if (spine_end) {
+            p.perLink.push_back(noc::LinkGen::rdmaSpine());
+            ++rdma_links;
+        } else if (nic_end) {
+            p.perLink.push_back(noc::LinkGen::nicPort());
+            ++nic_links;
+        } else {
+            p.perLink.push_back(noc::LinkGen::nvswitchPort());
+            ++nvswitch_links;
+        }
+    }
+    p.linkMix = {{"nvswitch-port", nvswitch_links},
+                 {"nic-port", nic_links},
+                 {"rdma-spine", rdma_links}};
+    for (noc::NodeId sw = p.topology.numGpus();
+         sw < p.topology.numNodes(); ++sw) {
+        switch (p.topology.switchRole(sw)) {
+        case noc::SwitchRole::Crossbar:
+            p.perSwitch.push_back(noc::SwitchGen::nvswitchPlane());
+            break;
+        case noc::SwitchRole::Nic:
+            p.perSwitch.push_back(noc::SwitchGen::nicEngine());
+            break;
+        case noc::SwitchRole::Spine:
+            p.perSwitch.push_back(noc::SwitchGen::rdmaSpine());
+            break;
+        }
+    }
+
+    // Per-box hardware is the dgx2-nvswitch V100 calibration.
+    p.device.numSms = 80;
+    p.device.l2.sizeBytes = 8ULL << 20;
+    p.timing.l2HitCycles = 215;
+    p.timing.hbmCycles = 400;
+    p.timing.remoteMissExtra = 120;
+    p.timing.clockGhz = 1.53;
+    return p;
+}
+
 } // namespace
 
 std::vector<std::pair<std::string, std::size_t>>
@@ -206,6 +288,7 @@ Platform::systemConfig(std::uint64_t seed) const
     cfg.link = link;
     cfg.perLink = perLink;
     cfg.switchParams = switchParams;
+    cfg.perSwitch = perSwitch;
     cfg.migSlices = migSlices;
     return cfg;
 }
@@ -220,6 +303,7 @@ allPlatforms()
         hgxHybrid(),
         quadRing(),
         pcieBox(),
+        dgxSuperpod(),
     };
     return platforms;
 }

@@ -51,6 +51,10 @@ struct Platform
     std::vector<noc::LinkParams> perLink;
     /** Crossbar timing of the topology's switch nodes (if any). */
     noc::SwitchParams switchParams;
+    /** Heterogeneous switch fabrics: per-switch parameters indexed
+     *  like the topology's switch ids; empty = uniform
+     *  `switchParams`. */
+    std::vector<noc::SwitchParams> perSwitch;
     /** Administrative MIG L2 way-partitioning (1 = none). */
     unsigned migSlices = 1;
     /**

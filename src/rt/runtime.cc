@@ -20,15 +20,16 @@ Runtime::Runtime(const SystemConfig &config)
         config_.pageBytes, mix64(config_.seed ^ 0x5a17ULL));
 
     engine_ = std::make_unique<sim::Engine>(config_.seed);
-    // Heterogeneous descriptors carry per-link parameters; uniform
-    // ones stamp the single link generation across the topology.
+    // Heterogeneous descriptors carry per-link (and, on superpods,
+    // per-switch) parameters; uniform ones stamp the single link
+    // generation and switch flavor across the topology.
     fabric_ = config_.perLink.empty()
-                  ? std::make_unique<noc::Fabric>(config_.topology,
-                                                  config_.link,
-                                                  config_.switchParams)
-                  : std::make_unique<noc::Fabric>(config_.topology,
-                                                  config_.perLink,
-                                                  config_.switchParams);
+                  ? std::make_unique<noc::Fabric>(
+                        config_.topology, config_.link,
+                        config_.resolvedPerSwitch())
+                  : std::make_unique<noc::Fabric>(
+                        config_.topology, config_.perLink,
+                        config_.resolvedPerSwitch());
 
     const int n = config_.topology.numGpus();
     for (GpuId g = 0; g < n; ++g) {

@@ -278,6 +278,40 @@ TEST(PortChannel, PointToPointBoxesOfferNoInterferingPair)
         PortChannel::findInterferingPair(rt, GpuPair{0, 1}, nullptr));
 }
 
+TEST(PortChannel, CrossBoxFinderNeedsFourChassis)
+{
+    // On the superpod the finder must place all four GPUs in four
+    // different chassis and still land both routes on one spine.
+    rt::Runtime rt(
+        rt::platformByName("dgx-superpod").systemConfig(11));
+    GpuPair spy_pair;
+    ASSERT_TRUE(PortChannel::findCrossBoxInterferingPair(
+        rt, GpuPair{0, 16}, &spy_pair));
+    // Lowest candidate in fresh chassis striped onto the trojan's
+    // spine: (0+16) % 4 == (32+48) % 4.
+    EXPECT_EQ(spy_pair.src, 32);
+    EXPECT_EQ(spy_pair.dst, 48);
+    const noc::Topology &t = rt.topology();
+    EXPECT_TRUE(t.crossIsland(spy_pair.src, spy_pair.dst));
+    EXPECT_TRUE(t.crossIsland(spy_pair.src, 0));
+    EXPECT_TRUE(t.crossIsland(spy_pair.dst, 16));
+    EXPECT_TRUE(PortChannel::routesInterfere(t, GpuPair{0, 16},
+                                             spy_pair));
+    // An intra-box trojan pair has no cross-box route to flood.
+    EXPECT_FALSE(PortChannel::findCrossBoxInterferingPair(
+        rt, GpuPair{0, 1}, nullptr));
+}
+
+TEST(PortChannel, CrossBoxFinderIsImpossibleInsideOneChassis)
+{
+    // A single-chassis platform has one island: the cross-box channel
+    // is structurally impossible, whatever pairs are offered.
+    rt::Runtime rt(
+        rt::platformByName("dgx2-nvswitch").systemConfig(11));
+    EXPECT_FALSE(PortChannel::findCrossBoxInterferingPair(
+        rt, GpuPair{0, 1}, nullptr));
+}
+
 TEST(PortChannel, ConstructionValidatesPairs)
 {
     rt::Runtime rt(

@@ -20,13 +20,14 @@ namespace
 TEST(PlatformRegistry, KnownPlatformsAreRegistered)
 {
     const auto names = platformNames();
-    ASSERT_EQ(names.size(), 6u);
+    ASSERT_EQ(names.size(), 7u);
     EXPECT_EQ(names[0], "dgx1-p100");
     EXPECT_EQ(names[1], "dgx2-nvswitch");
     EXPECT_EQ(names[2], "dgx2-mig2");
     EXPECT_EQ(names[3], "hgx-hybrid");
     EXPECT_EQ(names[4], "quad-ring");
     EXPECT_EQ(names[5], "pcie-box");
+    EXPECT_EQ(names[6], "dgx-superpod");
     for (const auto &n : names) {
         EXPECT_TRUE(platformExists(n));
         EXPECT_EQ(platformByName(n).name, n);
@@ -144,6 +145,46 @@ TEST(PlatformRegistry, HgxHybridMixesLinkGenerations)
         platformByName("pcie-box").topology.links().size());
 }
 
+TEST(PlatformRegistry, SuperpodComposesBoxesOverASpine)
+{
+    const Platform &p = platformByName("dgx-superpod");
+    const noc::Topology &t = p.topology;
+    EXPECT_EQ(t.numGpus(), 128);
+    EXPECT_EQ(t.numSwitches(), 180); // 48 planes + 128 NICs + 4 spines
+    EXPECT_EQ(t.numNodes(), 308);
+    EXPECT_EQ(t.numIslands(), 8);
+    EXPECT_EQ(t.numSwitchesOfRole(noc::SwitchRole::Crossbar), 48);
+    EXPECT_EQ(t.numSwitchesOfRole(noc::SwitchRole::Nic), 128);
+    EXPECT_EQ(t.numSwitchesOfRole(noc::SwitchRole::Spine), 4);
+    EXPECT_TRUE(p.peerOverRoutes);
+    ASSERT_EQ(p.perLink.size(), t.links().size());
+    ASSERT_EQ(p.perSwitch.size(),
+              static_cast<std::size_t>(t.numSwitches()));
+    const auto mix = p.resolvedLinkMix();
+    ASSERT_EQ(mix.size(), 3u);
+    EXPECT_EQ(mix[0].first, "nvswitch-port");
+    EXPECT_EQ(mix[0].second, 768u);
+    EXPECT_EQ(mix[1].first, "nic-port");
+    EXPECT_EQ(mix[1].second, 128u);
+    EXPECT_EQ(mix[2].first, "rdma-spine");
+    EXPECT_EQ(mix[2].second, 512u);
+    // Intra-box pairs ride a plane; cross-box pairs ride the spine.
+    EXPECT_EQ(t.hopCount(0, 15), 2);
+    EXPECT_EQ(t.hopCount(0, 16), 4);
+    EXPECT_TRUE(t.crossIsland(0, 16));
+    // The resolved SystemConfig carries the per-switch parameters so
+    // the runtime's fabric charges the spine's own long window.
+    const SystemConfig cfg = p.systemConfig(11);
+    ASSERT_EQ(cfg.perSwitch.size(), 180u);
+    const auto sw = cfg.resolvedPerSwitch();
+    EXPECT_EQ(sw[0].windowCycles,
+              noc::SwitchGen::nvswitchPlane().windowCycles);
+    EXPECT_EQ(sw[48].crossbarCycles,
+              noc::SwitchGen::nicEngine().crossbarCycles);
+    EXPECT_EQ(sw[176].windowCycles,
+              noc::SwitchGen::rdmaSpine().windowCycles);
+}
+
 TEST(PlatformRegistry, GeometryFitsTheHashedIndexer)
 {
     // Every platform's L2 must satisfy the model's power-of-two
@@ -202,10 +243,17 @@ TEST(PlatformRegistry, LatencyClustersStayOrderedOnEveryPlatform)
     // direct link.
     for (const Platform &p : allPlatforms()) {
         const TimingParams &t = p.timing;
+        const std::vector<noc::SwitchParams> per_switch =
+            p.perSwitch.empty()
+                ? std::vector<noc::SwitchParams>(
+                      static_cast<std::size_t>(
+                          p.topology.numSwitches()),
+                      p.switchParams)
+                : p.perSwitch;
         const noc::Fabric fab =
             p.perLink.empty()
-                ? noc::Fabric(p.topology, p.link, p.switchParams)
-                : noc::Fabric(p.topology, p.perLink, p.switchParams);
+                ? noc::Fabric(p.topology, p.link, per_switch)
+                : noc::Fabric(p.topology, p.perLink, per_switch);
         const Cycles two_legs = 2 * fab.routeBaseCycles(1, 0);
         const Cycles lh = t.l2HitCycles;
         const Cycles lm = t.hbmCycles;
