@@ -15,9 +15,14 @@ namespace gpubox::exp
 namespace
 {
 
+// The only sanctioned wall-clock reads in the runner: they feed the
+// documented wall_seconds* report fields and never touch simulated
+// state (the bench_results_fields test pins that).
 double
+// detlint: allow(wall-clock) -- wall_seconds plumbing: clock type
 secondsSince(std::chrono::steady_clock::time_point t0)
 {
+    // detlint: allow(wall-clock) -- wall_seconds plumbing: host elapsed
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                          t0)
         .count();
@@ -136,6 +141,7 @@ Report
 ExperimentRunner::run(const std::vector<Scenario> &scenarios,
                       const ScenarioFn &fn) const
 {
+    // detlint: allow(wall-clock) -- feeds Report::wallSeconds only
     const auto sweep_t0 = std::chrono::steady_clock::now();
     Report report;
     report.results.resize(scenarios.size());
@@ -150,6 +156,7 @@ ExperimentRunner::run(const std::vector<Scenario> &scenarios,
         res.index = i;
         res.name = sc.name;
 
+        // detlint: allow(wall-clock) -- feeds RunResult::wallSeconds
         const auto t0 = std::chrono::steady_clock::now();
         // Keyed by seed + name (not list position): inserting or
         // reordering scenarios leaves every other stream untouched.

@@ -553,6 +553,7 @@ benchDriverMain(int argc, char **argv)
         args.opt.resultsPath =
             joinPath(args.opt.outDir, "BENCH_results.json");
 
+    // detlint: allow(wall-clock) -- feeds wall_seconds_total only
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<BenchRunSummary> summaries;
     summaries.reserve(selection.size());
@@ -564,6 +565,7 @@ benchDriverMain(int argc, char **argv)
         return 1;
     }
     const double total =
+        // detlint: allow(wall-clock) -- wall_seconds_total + summary
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t0)
             .count();

@@ -31,6 +31,9 @@ VirtualSpace::allocate(std::uint64_t bytes, GpuId gpu,
 
     for (std::uint64_t i = 0; i < pages; ++i) {
         const VAddr vpage = region.alloc.base + i * page;
+        GPUBOX_ASSERT(pageMap_.count(vpage) == 0,
+                      "VirtualSpace page map: page 0x", std::hex, vpage,
+                      " mapped twice");
         pageMap_[vpage] = codec_.pack(gpu, region.alloc.frames[i], 0);
     }
 
@@ -52,7 +55,10 @@ VirtualSpace::release(VAddr base, PageAllocator &allocator)
     const std::uint64_t page = codec_.pageBytes();
     for (std::uint64_t i = 0; i < alloc.frames.size(); ++i) {
         allocator.free(alloc.frames[i]);
-        pageMap_.erase(alloc.base + i * page);
+        const std::size_t erased = pageMap_.erase(alloc.base + i * page);
+        GPUBOX_ASSERT(erased == 1, "VirtualSpace page map: page 0x",
+                      std::hex, alloc.base + i * page,
+                      " of a live allocation was not mapped");
     }
     bytesAllocated_ -= alloc.size;
     regions_.erase(it);

@@ -20,6 +20,7 @@
 
 #include "mem/address.hh"
 #include "mem/page_allocator.hh"
+#include "util/check.hh"
 #include "util/log.hh"
 #include "util/types.hh"
 
@@ -78,6 +79,23 @@ class VirtualSpace
             tlbVpage_[slot] = vpage;
             tlbFrame_[slot] = it->second;
         }
+#if GPUBOX_CHECKED_ENABLED
+        else {
+            // TLB-vs-page-table coherence: a cached translation must
+            // agree with the page map it memoizes (release() flushes,
+            // so a stale hit here is a flush bug).
+            auto it = pageMap_.find(vpage);
+            GPUBOX_INVARIANT(it != pageMap_.end(),
+                             "VirtualSpace TLB coherence: cached page 0x",
+                             std::hex, vpage, " is no longer mapped");
+            GPUBOX_INVARIANT(it->second == tlbFrame_[slot],
+                             "VirtualSpace TLB coherence: page 0x",
+                             std::hex, vpage, " cached frame 0x",
+                             tlbFrame_[slot],
+                             " disagrees with the page map's 0x",
+                             it->second);
+        }
+#endif
         return tlbFrame_[slot] | (va & (page - 1));
     }
 
@@ -158,7 +176,15 @@ class VirtualSpace
     const AddressCodec &codec_;
     VAddr nextBase_;
     std::map<VAddr, Region> regions_;             // keyed by base VA
-    std::unordered_map<VAddr, PAddr> pageMap_;    // vpage base -> frame base
+    /**
+     * vpage base -> frame base. Deterministic despite the unordered
+     * container because it is only ever probed by key (find /
+     * count / erase-by-key) -- no code iterates it, so its hash
+     * order can never leak into results. detlint's unordered-iter
+     * rule enforces that this stays true; switch to std::map before
+     * adding any walk over the mappings.
+     */
+    std::unordered_map<VAddr, PAddr> pageMap_;
     std::uint64_t bytesAllocated_ = 0;
     /** translate() memo: 1 is never a page-aligned address, so it is a
      *  safe "empty" sentinel. */

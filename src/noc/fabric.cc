@@ -65,7 +65,125 @@ Fabric::Fabric(const Topology &topo, std::vector<LinkParams> per_link,
     perDir_.assign(params_.size() * 2, 0);
     crossings_.assign(static_cast<std::size_t>(topo.numSwitches()), 0);
     buildRouteTables();
+#if GPUBOX_CHECKED_ENABLED
+    auditRouteTables();
+#endif
 }
+
+void
+Fabric::auditRouteTables() const
+{
+#if GPUBOX_CHECKED_ENABLED
+    const int nodes = topo_.numNodes();
+    for (NodeId from = 0; from < nodes; ++from) {
+        for (NodeId to = 0; to < nodes; ++to) {
+            const PairRoute &pr =
+                pairRoutes_[static_cast<std::size_t>(from) * nodes + to];
+            if (from == to) {
+                GPUBOX_INVARIANT(pr.count == 0,
+                                 "route table: self-route of node ",
+                                 from, " has ", pr.count, " legs");
+                continue;
+            }
+            const PairRoute &rev =
+                pairRoutes_[static_cast<std::size_t>(to) * nodes + from];
+            GPUBOX_INVARIANT(pr.count == rev.count,
+                             "route table: asymmetric routes ", from,
+                             "->", to, " (", pr.count, " legs) vs ", to,
+                             "->", from, " (", rev.count, " legs) on '",
+                             topo_.name(), "'");
+            if (pr.count == 0)
+                continue;
+            GPUBOX_INVARIANT(
+                static_cast<int>(pr.count) == topo_.hopCount(from, to),
+                "route table: route ", from, "->", to, " has ",
+                pr.count, " legs but the topology distance is ",
+                topo_.hopCount(from, to), " on '", topo_.name(), "'");
+            GPUBOX_INVARIANT(pr.baseCycles == rev.baseCycles,
+                             "route table: asymmetric base cost ",
+                             pr.baseCycles, " vs ", rev.baseCycles,
+                             " for pair (", from, ",", to, ") on '",
+                             topo_.name(), "'");
+            GPUBOX_INVARIANT(pr.bottleneckBpc == rev.bottleneckBpc,
+                             "route table: asymmetric bottleneck ",
+                             pr.bottleneckBpc, " vs ", rev.bottleneckBpc,
+                             " for pair (", from, ",", to, ") on '",
+                             topo_.name(), "'");
+            GPUBOX_INVARIANT(
+                static_cast<std::size_t>(pr.begin) + pr.count <=
+                    legs_.size(),
+                "route table: route ", from, "->", to,
+                " points past the compiled leg store (", pr.begin, "+",
+                pr.count, " of ", legs_.size(), ")");
+            Cycles base = 0;
+            for (std::uint32_t i = 0; i < pr.count; ++i) {
+                const RouteLeg &leg = legs_[pr.begin + i];
+                GPUBOX_INVARIANT(leg.meter < meters_.size(),
+                                 "route table: leg ", i, " of route ",
+                                 from, "->", to, " names port meter ",
+                                 leg.meter, " of ", meters_.size());
+                GPUBOX_INVARIANT(
+                    leg.crossbar < static_cast<std::int32_t>(
+                                       crossbarMeters_.size()),
+                    "route table: leg ", i, " of route ", from, "->",
+                    to, " crosses switch ", leg.crossbar, " of ",
+                    crossbarMeters_.size());
+                base += leg.hopCycles + leg.crossbarCycles;
+            }
+            GPUBOX_INVARIANT(base == pr.baseCycles,
+                             "route table: cached base cost ",
+                             pr.baseCycles, " of route ", from, "->",
+                             to, " disagrees with its legs (", base,
+                             ") on '", topo_.name(), "'");
+        }
+    }
+#endif
+}
+
+void
+Fabric::auditPortConservation() const
+{
+#if GPUBOX_CHECKED_ENABLED
+    std::uint64_t legTotal = 0;
+    for (std::size_t i = 0; i < perDir_.size(); ++i) {
+        legTotal += perDir_[i];
+        GPUBOX_INVARIANT(meters_[i].totalRequests() == perDir_[i],
+                         "port conservation: meter ", i, " served ",
+                         meters_[i].totalRequests(),
+                         " requests but the directed counter says ",
+                         perDir_[i]);
+    }
+    GPUBOX_INVARIANT(legTotal == transfers_,
+                     "port conservation: ", legTotal,
+                     " directed port records vs ", transfers_,
+                     " charged legs on '", topo_.name(), "'");
+    std::uint64_t crossTotal = 0;
+    for (std::size_t s = 0; s < crossings_.size(); ++s) {
+        crossTotal += crossings_[s];
+        GPUBOX_INVARIANT(
+            crossbarMeters_[s].totalRequests() == crossings_[s],
+            "port conservation: crossbar ", s, " metered ",
+            crossbarMeters_[s].totalRequests(),
+            " crossings but the counter says ", crossings_[s]);
+    }
+    GPUBOX_INVARIANT(crossTotal <= transfers_,
+                     "port conservation: ", crossTotal,
+                     " crossbar crossings exceed ", transfers_,
+                     " charged legs on '", topo_.name(), "'");
+#endif
+}
+
+#if GPUBOX_CHECKED_ENABLED
+void
+Fabric::debugCorruptRouteForAudit()
+{
+    if (legs_.empty())
+        fatal("debugCorruptRouteForAudit needs a routed topology");
+    // Desynchronize one leg from its route's cached base cost: the
+    // next auditRouteTables() must report the stale aggregate.
+    ++legs_[0].hopCycles;
+}
+#endif
 
 void
 Fabric::buildRouteTables()
@@ -218,6 +336,10 @@ Fabric::linkTransfers(NodeId a, NodeId b) const
 void
 Fabric::resetStats()
 {
+#if GPUBOX_CHECKED_ENABLED
+    // The traffic about to be discarded must balance before it goes.
+    auditPortConservation();
+#endif
     for (auto &m : meters_)
         m.reset();
     for (auto &m : crossbarMeters_)

@@ -35,6 +35,7 @@
 
 #include "noc/topology.hh"
 #include "util/bitops.hh"
+#include "util/check.hh"
 #include "util/contention.hh"
 #include "util/log.hh"
 #include "util/types.hh"
@@ -253,6 +254,30 @@ class Fabric
     const Topology &topology() const { return topo_; }
 
     void resetStats();
+
+    /**
+     * @name Deep invariant audits (GPUBOX_CHECKED builds)
+     * Bodies compile only with -DGPUBOX_CHECKED=ON; both are no-ops
+     * otherwise. auditRouteTables verifies the compiled route tables
+     * against the topology -- symmetry (route(a,b) mirrors
+     * route(b,a) in length, base cost and bottleneck), BFS
+     * minimality (leg count equals the topology hop count), and
+     * leg/meter index coherence -- and runs at construction in
+     * checked builds. auditPortConservation verifies ingress/egress
+     * accounting: every charged leg is recorded exactly once in one
+     * directed port counter and its meter, and crossbar crossings
+     * never exceed charged legs; it runs on every resetStats().
+     * @{
+     */
+    void auditRouteTables() const;
+    void auditPortConservation() const;
+    /** @} */
+
+#if GPUBOX_CHECKED_ENABLED
+    /** Test-only: perturb one compiled route leg so the route-table
+     *  audit must fire. */
+    void debugCorruptRouteForAudit();
+#endif
 
   private:
     /**

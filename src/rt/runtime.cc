@@ -372,6 +372,7 @@ Runtime::reportDeadlock(const std::string &waitingFor)
     }
     for (const std::string &a : engine_->unfinishedActorNames())
         msg += "\n  unfinished actor '" + a + "'";
+    // detlint: allow(fatal-style) -- multi-line report built above
     fatal(msg);
 }
 

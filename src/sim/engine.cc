@@ -44,6 +44,64 @@ Engine::Engine(std::uint64_t seed)
     : seed_(seed)
 {}
 
+void
+Engine::auditSchedulerCoherence() const
+{
+#if GPUBOX_CHECKED_ENABLED
+    GPUBOX_INVARIANT(heap_.size() == live_,
+                     "engine scheduler: ", heap_.size(),
+                     " queued actors but ", live_, " live");
+    GPUBOX_INVARIANT(heapPos_.size() == actors_.size(),
+                     "engine scheduler: ", heapPos_.size(),
+                     " heap-slot entries for ", actors_.size(),
+                     " actors");
+    for (std::size_t i = 0; i < heap_.size(); ++i) {
+        const HeapNode &node = heap_[i];
+        GPUBOX_INVARIANT(node.actor < actors_.size(),
+                         "engine scheduler: heap slot ", i,
+                         " names actor ", node.actor, " of ",
+                         actors_.size());
+        GPUBOX_INVARIANT(heapPos_[node.actor] == i,
+                         "engine scheduler: actor ", node.actor,
+                         " ('", actors_[node.actor].name_,
+                         "') maps to heap slot ", heapPos_[node.actor],
+                         " but sits in slot ", i);
+        GPUBOX_INVARIANT(!actors_[node.actor].done_,
+                         "engine scheduler: finished actor '",
+                         actors_[node.actor].name_,
+                         "' still queued in heap slot ", i);
+        if (i > 0) {
+            const HeapNode &parent = heap_[(i - 1) / 2];
+            GPUBOX_INVARIANT(!(node < parent),
+                             "engine scheduler: heap order broken at "
+                             "slot ", i, " (actor '",
+                             actors_[node.actor].name_, "' at t=",
+                             node.time, " under parent t=",
+                             parent.time, ")");
+        }
+    }
+    for (std::size_t id = 0; id < actors_.size(); ++id) {
+        // Every live actor is queued, every finished one dequeued.
+        GPUBOX_INVARIANT(actors_[id].done_ == (heapPos_[id] == kNoSlot),
+                         "engine scheduler: actor '", actors_[id].name_,
+                         "' is ", actors_[id].done_ ? "finished" : "live",
+                         " but its heap slot says otherwise");
+    }
+#endif
+}
+
+#if GPUBOX_CHECKED_ENABLED
+void
+Engine::debugCorruptHeapForAudit()
+{
+    if (heap_.size() < 2)
+        fatal("debugCorruptHeapForAudit needs at least 2 queued actors");
+    // Push the root past its children without sifting: the next
+    // auditSchedulerCoherence() must report broken heap order.
+    heap_[0].time = ~Cycles{0};
+}
+#endif
+
 Engine::~Engine()
 {
     threadEngineProfile().add(stats());
@@ -124,6 +182,9 @@ Engine::spawn(const std::string &name,
     heapPos_.push_back(static_cast<std::uint32_t>(heap_.size() - 1));
     siftUp(heap_.size() - 1);
     peakQueued_ = std::max(peakQueued_, heap_.size());
+#if GPUBOX_CHECKED_ENABLED
+    auditSchedulerCoherence();
+#endif
     return ctx;
 }
 
@@ -164,6 +225,9 @@ Engine::stepOne()
         ctx.done_ = true;
         --live_;
         heapRemove(heapPos_[id]);
+#if GPUBOX_CHECKED_ENABLED
+        auditSchedulerCoherence();
+#endif
         if (ctx.onDone_)
             ctx.onDone_(ctx);
     } else {
@@ -175,6 +239,13 @@ Engine::stepOne()
         ++requeues_;
         if (!siftDown(pos))
             ++fastRequeues_;
+        GPUBOX_ASSERT(heap_[heapPos_[id]].actor == id,
+                      "engine scheduler: actor ", id,
+                      " lost its heap slot across a requeue");
+        // Requeues dominate step count; the O(live) audit runs on a
+        // sampled cadence here (every spawn/retire runs it in full).
+        if (GPUBOX_CHECKED_ENABLED && (steps_ & 0x3ff) == 0)
+            auditSchedulerCoherence();
     }
     return true;
 }

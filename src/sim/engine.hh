@@ -14,6 +14,7 @@
 
 #include "sim/task.hh"
 #include "util/arena.hh"
+#include "util/check.hh"
 #include "util/rng.hh"
 #include "util/types.hh"
 
@@ -219,6 +220,20 @@ class Engine
 
     /** Request cooperative stop of every live actor. */
     void requestStopAll();
+
+    /**
+     * Deep scheduler-coherence audit: heap order, heap-slot/actor
+     * index agreement, and liveness bookkeeping. Body compiles only
+     * with -DGPUBOX_CHECKED=ON (no-op otherwise); checked builds run
+     * it on every spawn/retire and on a sampled cadence inside
+     * stepOne, and the checked test suite calls it directly.
+     */
+    void auditSchedulerCoherence() const;
+
+#if GPUBOX_CHECKED_ENABLED
+    /** Test-only: break the heap order so the audit must fire. */
+    void debugCorruptHeapForAudit();
+#endif
 
     /**
      * Names of actors spawned but not yet completed, in spawn order.

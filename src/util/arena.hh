@@ -12,6 +12,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/check.hh"
+
 namespace gpubox
 {
 
@@ -53,12 +55,16 @@ class Arena
     T &
     operator[](std::size_t i)
     {
+        GPUBOX_ASSERT(i < size_, "arena index ", i,
+                      " out of bounds (", size_, " objects)");
         return *chunks_[i / ChunkSlots]->ptr(i % ChunkSlots);
     }
 
     const T &
     operator[](std::size_t i) const
     {
+        GPUBOX_ASSERT(i < size_, "arena index ", i,
+                      " out of bounds (", size_, " objects)");
         return *chunks_[i / ChunkSlots]->ptr(i % ChunkSlots);
     }
 

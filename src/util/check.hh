@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Deep invariant audits for the GPUBOX_CHECKED build tier.
+ *
+ * Configure with -DGPUBOX_CHECKED=ON to compile GPUBOX_ASSERT and
+ * GPUBOX_INVARIANT into real checks that fatal() with a named message
+ * when they fire (FatalError, so tests can assert on the text). In
+ * regular builds both macros compile to a never-taken branch: the
+ * condition and message arguments stay type-checked but are never
+ * evaluated, and any optimized build removes them entirely, so the
+ * Release timing profile is untouched.
+ *
+ * Conditions must be side-effect free -- a checked and an unchecked
+ * build must compute byte-identical results, the checked one just
+ * audits them. Use GPUBOX_ASSERT for cheap local preconditions (index
+ * bounds, argument sanity) and GPUBOX_INVARIANT for named subsystem
+ * invariants (heap order, route-table symmetry, meter monotonicity);
+ * the macro name is part of the emitted message so a failure says
+ * which tier fired. Expensive whole-structure audits belong in
+ * functions whose bodies are guarded with GPUBOX_CHECKED_ENABLED.
+ */
+
+#ifndef GPUBOX_UTIL_CHECK_HH
+#define GPUBOX_UTIL_CHECK_HH
+
+#include "util/log.hh"
+
+#if defined(GPUBOX_CHECKED) && GPUBOX_CHECKED
+#define GPUBOX_CHECKED_ENABLED 1
+#else
+#define GPUBOX_CHECKED_ENABLED 0
+#endif
+
+namespace gpubox
+{
+
+/** True in a -DGPUBOX_CHECKED=ON build (for runtime reporting). */
+inline constexpr bool kCheckedBuild = GPUBOX_CHECKED_ENABLED != 0;
+
+namespace detail
+{
+
+/** Swallows message arguments in unchecked builds without evaluating
+ *  them (the call sits in a never-taken branch), so variables that
+ *  exist only for a check never trip -Werror=unused. */
+template <typename... Args>
+inline void
+checkSink(const Args &...)
+{}
+
+} // namespace detail
+} // namespace gpubox
+
+#if GPUBOX_CHECKED_ENABLED
+
+#define GPUBOX_ASSERT(cond, ...)                                        \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::gpubox::fatal("GPUBOX_ASSERT [", #cond, "] failed: ",     \
+                            __VA_ARGS__);                               \
+        }                                                               \
+    } while (0)
+
+#define GPUBOX_INVARIANT(cond, ...)                                     \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::gpubox::fatal("GPUBOX_INVARIANT [", #cond,                \
+                            "] violated: ", __VA_ARGS__);               \
+        }                                                               \
+    } while (0)
+
+#else
+
+#define GPUBOX_ASSERT(cond, ...)                                        \
+    do {                                                                \
+        if (false) {                                                    \
+            (void)(cond);                                               \
+            ::gpubox::detail::checkSink(__VA_ARGS__);                   \
+        }                                                               \
+    } while (0)
+
+#define GPUBOX_INVARIANT(cond, ...)                                     \
+    do {                                                                \
+        if (false) {                                                    \
+            (void)(cond);                                               \
+            ::gpubox::detail::checkSink(__VA_ARGS__);                   \
+        }                                                               \
+    } while (0)
+
+#endif // GPUBOX_CHECKED_ENABLED
+
+#endif // GPUBOX_UTIL_CHECK_HH

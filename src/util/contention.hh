@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "util/check.hh"
 #include "util/types.hh"
 
 namespace gpubox
@@ -56,7 +57,16 @@ class ContentionMeter
         if (now >= windowEnd_) {
             // windowEnd_ is saturated when window_ == 0, so window_ is
             // nonzero here.
-            currentWindow_ = now / window_;
+            GPUBOX_INVARIANT(windowEnd_ == (currentWindow_ + 1) * window_,
+                             "contention meter window end ", windowEnd_,
+                             " detached from window ", currentWindow_,
+                             " (width ", window_, ")");
+            const Cycles advanced = now / window_;
+            GPUBOX_INVARIANT(advanced > currentWindow_,
+                             "contention meter window moved backwards: ",
+                             currentWindow_, " -> ", advanced,
+                             " at cycle ", now);
+            currentWindow_ = advanced;
             windowEnd_ = (currentWindow_ + 1) * window_;
             inWindow_ = 0;
         }

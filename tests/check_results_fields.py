@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Regression test: no wall-clock-derived value reaches
+BENCH_results.json or a bench CSV outside the documented fields.
+
+The results schema documents exactly three host-time fields --
+`wall_seconds_total` (driver), `wall_seconds` and `wall_seconds_mean`
+(per bench); `repeats` counts repetitions and is deterministic.
+Everything else in the JSON, and every byte of every CSV, must be
+identical across two runs of the same bench. A new timing field, a
+timestamp, or hash-order leakage would show up here as a diff.
+
+Usage: check_results_fields.py <path-to-gpubox_bench>
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+BENCH = "fig04_access_timing"  # fastest registered bench
+VOLATILE_KEYS = {"wall_seconds_total", "wall_seconds",
+                 "wall_seconds_mean"}
+# Substrings that smell like host time; any key matching one of these
+# outside VOLATILE_KEYS is an undocumented timing field.
+TIMEY = ("wall", "seconds", "timestamp", "date", "elapsed")
+
+
+def run_bench(bench_bin, outdir):
+    cmd = [bench_bin, "--only", BENCH, "--quiet",
+           "--out-dir", str(outdir),
+           "--results", str(outdir / "BENCH_results.json")]
+    proc = subprocess.run(cmd, capture_output=True, text=True,
+                          timeout=300)
+    if proc.returncode != 0:
+        print(f"FAIL: {' '.join(cmd)} exited {proc.returncode}\n"
+              f"{proc.stdout}\n{proc.stderr}", file=sys.stderr)
+        sys.exit(1)
+
+
+def walk_keys(node, path, out):
+    if isinstance(node, dict):
+        for k, v in node.items():
+            out.append((path + "/" + k, k))
+            walk_keys(v, path + "/" + k, out)
+    elif isinstance(node, list):
+        for i, v in enumerate(node):
+            walk_keys(v, f"{path}[{i}]", out)
+
+
+def strip_volatile(node):
+    if isinstance(node, dict):
+        return {k: strip_volatile(v) for k, v in node.items()
+                if k not in VOLATILE_KEYS}
+    if isinstance(node, list):
+        return [strip_volatile(v) for v in node]
+    return node
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    bench_bin = sys.argv[1]
+    failures = 0
+
+    with tempfile.TemporaryDirectory() as tmp:
+        dir_a = Path(tmp) / "a"
+        dir_b = Path(tmp) / "b"
+        dir_a.mkdir()
+        dir_b.mkdir()
+        run_bench(bench_bin, dir_a)
+        run_bench(bench_bin, dir_b)
+
+        ja = json.loads((dir_a / "BENCH_results.json").read_text())
+        jb = json.loads((dir_b / "BENCH_results.json").read_text())
+
+        # 1. The documented wall fields must actually exist (else the
+        #    allowlist has drifted from the schema).
+        if "wall_seconds_total" not in ja:
+            print("FAIL: wall_seconds_total missing from results")
+            failures += 1
+        for bench in ja.get("benches", []):
+            for key in ("wall_seconds", "wall_seconds_mean",
+                        "repeats"):
+                if key not in bench:
+                    print(f"FAIL: {key} missing from bench entry")
+                    failures += 1
+
+        # 2. No undocumented time-smelling key anywhere.
+        keys = []
+        walk_keys(ja, "", keys)
+        for path, key in keys:
+            if key in VOLATILE_KEYS:
+                continue
+            if any(t in key.lower() for t in TIMEY):
+                print(f"FAIL: undocumented timing field {path}")
+                failures += 1
+
+        # 3. Everything except the volatile fields is run-invariant.
+        sa = strip_volatile(ja)
+        sb = strip_volatile(jb)
+        if sa != sb:
+            print("FAIL: results differ outside wall_seconds* fields")
+            print(json.dumps(sa, indent=1)[:2000])
+            print("---- vs ----")
+            print(json.dumps(sb, indent=1)[:2000])
+            failures += 1
+
+        # 4. CSVs are byte-identical (no timing column can hide there).
+        csvs_a = sorted(p.name for p in dir_a.glob("*.csv"))
+        csvs_b = sorted(p.name for p in dir_b.glob("*.csv"))
+        if not csvs_a:
+            print(f"FAIL: bench {BENCH} produced no CSV")
+            failures += 1
+        if csvs_a != csvs_b:
+            print(f"FAIL: CSV sets differ: {csvs_a} vs {csvs_b}")
+            failures += 1
+        for name in csvs_a:
+            if (dir_a / name).read_bytes() != (dir_b / name).read_bytes():
+                print(f"FAIL: {name} differs between runs")
+                failures += 1
+
+    if failures:
+        return 1
+    print(f"OK: {BENCH} results stable outside "
+          f"{sorted(VOLATILE_KEYS)}; {len(csvs_a)} CSV(s) "
+          "byte-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "attack/calibration_cache.hh"
@@ -92,6 +93,42 @@ TEST(CalibrationCache, DistinctKeysAreDistinctEntries)
     cache.clear();
     EXPECT_EQ(cache.size(), 0u);
     EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(CalibrationCache, ConcurrentHitsShareOneCompute)
+{
+    const std::string platform = rt::platformNames().front();
+    const attack::CalibrationKey key{platform, 2023, 1, 0, 48, 6};
+
+    attack::CalibrationCache cache;
+    // Pay the single miss serially so the threads below exercise the
+    // pure concurrent-hit path (the same shape the 8-thread runner
+    // sweep produces after the first scenario of a key completes).
+    const auto reference = cache.thresholds(key);
+
+    constexpr unsigned kThreads = 8;
+    constexpr unsigned kItersPerThread = 16;
+    std::vector<attack::TimingThresholds> got(kThreads *
+                                              kItersPerThread);
+    {
+        std::vector<std::jthread> pool;
+        pool.reserve(kThreads);
+        for (unsigned t = 0; t < kThreads; ++t) {
+            pool.emplace_back([&cache, &got, key, t] {
+                for (unsigned i = 0; i < kItersPerThread; ++i)
+                    got[t * kItersPerThread + i] =
+                        cache.thresholds(key);
+            });
+        }
+    } // jthreads join here
+
+    // The lock is held across the miss compute, so concurrent lookups
+    // of one key can never split into two computes.
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), kThreads * kItersPerThread);
+    EXPECT_EQ(cache.size(), 1u);
+    for (const auto &th : got)
+        expectBitIdentical(reference, th);
 }
 
 /** Sweep rows carry the raw threshold bit patterns, so a byte-compare

@@ -1,0 +1,474 @@
+#!/usr/bin/env python3
+"""detlint -- determinism & concurrency static checks for gpubox.
+
+The repo's load-bearing contract is byte-identical stdout/CSV/metrics
+for any --threads N on every platform.  This linter statically bans
+the classic ways that contract dies: wall-clock values leaking into
+outputs, randomness outside the seeded util::Rng, iteration over
+hash-ordered containers, address-keyed hashing (ASLR order), floating
+accumulation in the integer-cycle simulator core, and sloppy fatal()
+diagnostics that make CI diffs unreadable.  tools/detlint/RULES.md is
+the reference; every rule id below matches a section there.
+
+Usage:
+  detlint.py [--root DIR] [--json] [--list-rules] [PATH...]
+  detlint.py --self-test
+
+PATHs (default: src) are files or directories scanned for *.cc, *.hh
+and *.cpp.  Exit status: 0 clean, 1 findings, 2 usage/internal error.
+
+Suppressions: a finding is silenced by an inline comment
+
+    // detlint: allow(rule-id) -- why this use is legitimate
+    // detlint: allow(rule-a,rule-b) -- one comment may name several
+
+on the offending line, or on its own line immediately above.  The
+justification text after `--` is mandatory: a bare allow() is itself
+reported (rule `bare-allow`), so every suppression explains itself.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+SCAN_EXTENSIONS = (".cc", ".hh", ".cpp")
+
+# Per-rule path allowlist (relative, '/'-separated). Deliberately
+# tiny: util/log.hh *defines* fatal(), so the style rule cannot apply
+# to it. Everything else must use an inline, justified suppression.
+ALLOWLIST = {
+    "fatal-style": ("src/util/log.hh",),
+}
+
+# float-accum only polices the integer-cycle simulator core.
+FLOAT_ACCUM_DIRS = re.compile(r"(^|/)(sim|noc|cache)/")
+
+SUPPRESS_RE = re.compile(
+    r"//\s*detlint:\s*allow\(\s*([a-z\-]+(?:\s*,\s*[a-z\-]+)*)\s*\)"
+    r"(?:\s*--\s*(\S.*))?")
+
+RULES = {
+    "wall-clock": "wall-clock time source outside the documented "
+                  "wall_seconds plumbing (simulated Cycles only)",
+    "raw-rand": "randomness outside the seeded util::Rng stream",
+    "unordered-iter": "iteration over a hash-ordered container "
+                      "(visit order is unspecified and can leak into "
+                      "output)",
+    "pointer-key": "pointer-keyed map/set/hash (ASLR makes the order "
+                   "and hashing nondeterministic across runs)",
+    "float-accum": "float/double accumulation in the integer-cycle "
+                   "simulator core (src/sim, src/noc, src/cache)",
+    "fatal-style": "fatal() must lead with a string-literal context "
+                   "message, not end in '.' or a newline",
+    "addr-leak": "raw pointer value formatted into output (ASLR "
+                 "leaks into logs/CSV)",
+    "thread-sleep": "wall-clock sleeps/timed waits (simulated time "
+                    "never needs them; they race the scheduler)",
+    "bare-allow": "detlint suppression without a justification "
+                  "comment ('-- why')",
+}
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def as_dict(self):
+        return {"file": self.path, "line": self.line,
+                "rule": self.rule, "message": self.message}
+
+
+def strip_code(text):
+    """Return (code_lines, literal_lines): per-line views with
+    comments+string/char literals blanked out of `code`, and with
+    everything *except* string-literal contents blanked out of
+    `literals`.  Line count and column positions are preserved."""
+    code = []
+    lits = []
+    in_block = False
+    for raw in text.split("\n"):
+        code_line = []
+        lit_line = []
+        i = 0
+        n = len(raw)
+        state = "block" if in_block else "code"
+        while i < n:
+            c = raw[i]
+            if state == "code":
+                if c == "/" and i + 1 < n and raw[i + 1] == "/":
+                    code_line.append(" " * (n - i))
+                    lit_line.append(" " * (n - i))
+                    i = n
+                elif c == "/" and i + 1 < n and raw[i + 1] == "*":
+                    state = "block"
+                    code_line.append("  ")
+                    lit_line.append("  ")
+                    i += 2
+                elif c == '"':
+                    state = "dq"
+                    code_line.append('"')
+                    lit_line.append(" ")
+                    i += 1
+                elif c == "'":
+                    state = "sq"
+                    code_line.append("'")
+                    lit_line.append(" ")
+                    i += 1
+                else:
+                    code_line.append(c)
+                    lit_line.append(" ")
+                    i += 1
+            elif state == "block":
+                if c == "*" and i + 1 < n and raw[i + 1] == "/":
+                    state = "code"
+                    code_line.append("  ")
+                    lit_line.append("  ")
+                    i += 2
+                else:
+                    code_line.append(" ")
+                    lit_line.append(" ")
+                    i += 1
+            elif state in ("dq", "sq"):
+                quote = '"' if state == "dq" else "'"
+                if c == "\\" and i + 1 < n:
+                    code_line.append("  ")
+                    lit_line.append(raw[i:i + 2] if state == "dq"
+                                    else "  ")
+                    i += 2
+                elif c == quote:
+                    state = "code"
+                    code_line.append(quote)
+                    lit_line.append(" ")
+                    i += 1
+                else:
+                    code_line.append(" ")
+                    lit_line.append(c if state == "dq" else " ")
+                    i += 1
+        in_block = state == "block"
+        code.append("".join(code_line))
+        lits.append("".join(lit_line))
+    return code, lits
+
+
+def parse_suppressions(raw_lines):
+    """Map line number (1-based) -> set of allowed rules, plus the
+    suppression records and any bare-allow findings."""
+    allowed = {}
+    records = []
+    bare = []
+    for idx, raw in enumerate(raw_lines, start=1):
+        m = SUPPRESS_RE.search(raw)
+        if not m:
+            continue
+        rules = {r.strip() for r in m.group(1).split(",")}
+        justification = m.group(2)
+        if not justification:
+            bare.append((idx, rules))
+        # A comment-only line covers the next line; a trailing
+        # comment covers its own line.
+        before = raw[:m.start()].strip()
+        target = idx if before else idx + 1
+        allowed.setdefault(target, set()).update(rules)
+        records.append({"line": idx, "rules": sorted(rules),
+                        "justification": justification or ""})
+    return allowed, records, bare
+
+
+WALL_CLOCK_RE = re.compile(
+    r"\bsystem_clock\b|\bsteady_clock\b|\bhigh_resolution_clock\b"
+    r"|\bclock_gettime\b|\bgettimeofday\b|(?<![\w.>])time\s*\(")
+RAW_RAND_RE = re.compile(
+    r"(?<![\w.>])rand\s*\(|(?<![\w.>])srand\s*\(|\brandom_device\b"
+    r"|\bmt19937(?:_64)?\b|\bdefault_random_engine\b"
+    r"|\bminstd_rand0?\b")
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;()]*?>\s+"
+    r"(\w+)\s*[;{=]")
+POINTER_KEY_RE = re.compile(
+    r"\b(?:unordered_)?(?:map|set|multimap|multiset)\s*<\s*"
+    r"(?:const\s+)?[\w:]+(?:\s*<[^<>]*>)?\s*\*[\s\w]*[,>]"
+    r"|\bstd::hash\s*<[^>]*\*")
+FLOAT_DECL_RE = re.compile(r"\b(?:float|double)\s+(\w+)\s*(?:=|;|\{)")
+ADDR_LEAK_CODE_RE = re.compile(r"<<\s*&[A-Za-z_]|<<\s*\bthis\b")
+ADDR_LEAK_LIT_RE = re.compile(r"%p\b")
+THREAD_SLEEP_RE = re.compile(
+    r"\bsleep_for\b|\bsleep_until\b|(?<![\w.>])usleep\s*\("
+    r"|\bnanosleep\b|\bwait_for\b|\bwait_until\b")
+FATAL_CALL_RE = re.compile(r"(?<![\w:])fatal\s*\(")
+
+
+def check_fatal_style(path, raw_text, code_text, findings):
+    """fatal() calls must lead with a string-literal context message;
+    the message must not end with '.' or an escaped newline."""
+    for m in FATAL_CALL_RE.finditer(code_text):
+        open_paren = code_text.index("(", m.start())
+        line_no = raw_text.count("\n", 0, m.start()) + 1
+        # Walk the code view to the matching close paren.
+        depth = 0
+        end = None
+        for i in range(open_paren, len(code_text)):
+            if code_text[i] == "(":
+                depth += 1
+            elif code_text[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    end = i
+                    break
+        if end is None:
+            continue  # unbalanced (macro soup); not our problem
+        # Skip the declaration/definition of fatal itself and any
+        # mention in comments (the code view already blanked those,
+        # so a blanked region yields no '(' match -- but a fatal(
+        # in a declarator has a type name first).
+        args_raw = raw_text[open_paren + 1:end]
+        args_code = code_text[open_paren + 1:end]
+        stripped = args_raw.lstrip()
+        if not args_raw.strip():
+            continue  # fatal() with no args: not the logging helper
+        if re.match(r"(?:const\s|[A-Z]\w*\s*&|void\b)", stripped):
+            continue  # parameter list, not a call
+        if not stripped.startswith('"'):
+            findings.append(Finding(
+                path, line_no, "fatal-style",
+                "fatal() must start with a string-literal context "
+                "message (got '" + stripped.split("\n")[0][:40] +
+                "...')"))
+            continue
+        first_lit = re.match(r'"((?:[^"\\]|\\.)*)"', stripped)
+        if first_lit and first_lit.group(1):
+            if first_lit.group(1)[0].isspace():
+                findings.append(Finding(
+                    path, line_no, "fatal-style",
+                    "fatal() message starts with whitespace"))
+        elif first_lit:
+            findings.append(Finding(
+                path, line_no, "fatal-style",
+                "fatal() message starts with an empty literal"))
+        # The last string literal before the close paren is the tail
+        # of the message.
+        tail = None
+        for lit in re.finditer(r'"((?:[^"\\]|\\.)*)"', args_raw):
+            # Only literals that the code view also sees as literals
+            # (i.e. not inside a nested comment).
+            if args_code[lit.start()] == '"':
+                tail = lit
+        if tail is not None and tail.end() == len(args_raw.rstrip()):
+            text = tail.group(1)
+            if text.endswith(".") and not text.endswith(".."):
+                findings.append(Finding(
+                    path, line_no, "fatal-style",
+                    "fatal() message ends with '.' (messages are "
+                    "embedded in larger diagnostics)"))
+            if text.endswith("\\n"):
+                findings.append(Finding(
+                    path, line_no, "fatal-style",
+                    "fatal() message ends with a newline"))
+
+
+def scan_file(path, rel, text):
+    raw_lines = text.split("\n")
+    code_lines, lit_lines = strip_code(text)
+    allowed, records, bare = parse_suppressions(raw_lines)
+    findings = []
+
+    for line_no, rules in bare:
+        findings.append(Finding(
+            rel, line_no, "bare-allow",
+            "suppression lacks a justification: write "
+            "`// detlint: allow(rule) -- why`"))
+
+    line_rules = [
+        ("wall-clock", WALL_CLOCK_RE,
+         "wall-clock time source (use simulated Cycles; the "
+         "wall_seconds plumbing must be suppressed explicitly)"),
+        ("raw-rand", RAW_RAND_RE,
+         "raw randomness (route it through util::Rng so the seed "
+         "reproduces it)"),
+        ("pointer-key", POINTER_KEY_RE,
+         "pointer-keyed associative container or hash"),
+        ("addr-leak", ADDR_LEAK_CODE_RE,
+         "raw pointer value streamed into output"),
+        ("thread-sleep", THREAD_SLEEP_RE,
+         "wall-clock sleep or timed wait"),
+    ]
+    for idx, code in enumerate(code_lines, start=1):
+        for rule, regex, msg in line_rules:
+            if rel in ALLOWLIST.get(rule, ()):
+                continue
+            if regex.search(code) and rule not in allowed.get(idx,
+                                                             set()):
+                findings.append(Finding(rel, idx, rule, msg))
+        if ADDR_LEAK_LIT_RE.search(lit_lines[idx - 1]) and \
+                "addr-leak" not in allowed.get(idx, set()):
+            findings.append(Finding(
+                rel, idx, "addr-leak",
+                "%p formats a raw pointer into output"))
+
+    # unordered-iter: collect hash-container names, then flag
+    # range-for or begin()/end() iteration over them.
+    code_text = "\n".join(code_lines)
+    unordered_names = set(UNORDERED_DECL_RE.findall(code_text))
+    if unordered_names:
+        names = "|".join(re.escape(n) for n in sorted(unordered_names))
+        # Only begin()/range-for start an iteration; the ubiquitous
+        # `it == m.end()` probe-result check is keyed access, and
+        # unordered containers have no reverse iterators at all.
+        iter_re = re.compile(
+            r"for\s*\([^;)]*:\s*(?:" + names + r")\b"
+            r"|\b(?:" + names + r")\s*\.\s*c?begin\s*\(")
+        for idx, code in enumerate(code_lines, start=1):
+            if iter_re.search(code) and \
+                    "unordered-iter" not in allowed.get(idx, set()):
+                findings.append(Finding(
+                    rel, idx, "unordered-iter",
+                    "iteration over a hash-ordered container "
+                    "(order is unspecified; use an ordered container "
+                    "or sort first)"))
+
+    # float-accum: only inside the integer-cycle simulator core.
+    if FLOAT_ACCUM_DIRS.search(rel.replace(os.sep, "/")):
+        float_names = set(FLOAT_DECL_RE.findall(code_text))
+        if float_names:
+            names = "|".join(re.escape(n) for n in sorted(float_names))
+            accum_re = re.compile(r"\b(?:" + names + r")\s*[+\-]=")
+            for idx, code in enumerate(code_lines, start=1):
+                if accum_re.search(code) and \
+                        "float-accum" not in allowed.get(idx, set()):
+                    findings.append(Finding(
+                        rel, idx, "float-accum",
+                        "floating accumulation in the cycle-accurate "
+                        "core (ordering-sensitive; accumulate in "
+                        "integers and convert at the edge)"))
+
+    if rel not in ALLOWLIST.get("fatal-style", ()):
+        style = []
+        check_fatal_style(rel, text, code_text, style)
+        for f in style:
+            if "fatal-style" not in allowed.get(f.line, set()):
+                findings.append(f)
+
+    return findings, records
+
+
+def collect_files(root, paths):
+    files = []
+    for p in paths:
+        full = p if os.path.isabs(p) else os.path.join(root, p)
+        if os.path.isfile(full):
+            files.append(full)
+        elif os.path.isdir(full):
+            for dirpath, _, names in os.walk(full):
+                for name in sorted(names):
+                    if name.endswith(SCAN_EXTENSIONS):
+                        files.append(os.path.join(dirpath, name))
+        else:
+            print(f"detlint: no such path: {p}", file=sys.stderr)
+            sys.exit(2)
+    return sorted(set(files))
+
+
+def run_scan(root, paths):
+    all_findings = []
+    all_suppressions = []
+    files = collect_files(root, paths)
+    for full in files:
+        rel = os.path.relpath(full, root).replace(os.sep, "/")
+        with open(full, encoding="utf-8") as fh:
+            text = fh.read()
+        findings, records = scan_file(full, rel, text)
+        all_findings.extend(findings)
+        for r in records:
+            r["file"] = rel
+        all_suppressions.extend(records)
+    return files, all_findings, all_suppressions
+
+
+def self_test(root):
+    """Every fixture under tools/detlint/fixtures/ carries
+    `// EXPECT: rule` annotations; the scan must produce exactly
+    those findings, and justified suppressions must silence theirs."""
+    fixdir = os.path.join(root, "tools", "detlint", "fixtures")
+    if not os.path.isdir(fixdir):
+        print("detlint --self-test: missing fixtures dir", fixdir,
+              file=sys.stderr)
+        return 2
+    failures = 0
+    fixtures = 0
+    for dirpath, _, names in os.walk(fixdir):
+        for name in sorted(names):
+            if not name.endswith(SCAN_EXTENSIONS):
+                continue
+            fixtures += 1
+            full = os.path.join(dirpath, name)
+            rel = os.path.relpath(full, fixdir).replace(os.sep, "/")
+            with open(full, encoding="utf-8") as fh:
+                text = fh.read()
+            expected = set()
+            for idx, raw in enumerate(text.split("\n"), start=1):
+                for m in re.finditer(r"//\s*EXPECT:\s*([a-z\-]+)",
+                                     raw):
+                    expected.add((idx, m.group(1)))
+            findings, _ = scan_file(full, rel, text)
+            got = {(f.line, f.rule) for f in findings}
+            if got != expected:
+                failures += 1
+                print(f"FAIL {rel}:", file=sys.stderr)
+                for line, rule in sorted(expected - got):
+                    print(f"  missing finding {rule} at line {line}",
+                          file=sys.stderr)
+                for line, rule in sorted(got - expected):
+                    print(f"  unexpected finding {rule} at line "
+                          f"{line}", file=sys.stderr)
+    if fixtures == 0:
+        print("detlint --self-test: no fixtures found", file=sys.stderr)
+        return 2
+    print(f"detlint self-test: {fixtures} fixtures, "
+          f"{failures} failures")
+    return 1 if failures else 0
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(prog="detlint", add_help=True)
+    ap.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))))
+    ap.add_argument("--json", action="store_true",
+                    help="machine-readable findings summary on stdout")
+    ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("--self-test", action="store_true")
+    ap.add_argument("paths", nargs="*", default=None)
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for rule in sorted(RULES):
+            print(f"{rule:16s} {RULES[rule]}")
+        return 0
+    if args.self_test:
+        return self_test(args.root)
+
+    paths = args.paths or ["src"]
+    files, findings, suppressions = run_scan(args.root, paths)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+
+    if args.json:
+        print(json.dumps({
+            "schema": "detlint-findings/v1",
+            "root": args.root,
+            "files_scanned": len(files),
+            "findings": [f.as_dict() for f in findings],
+            "suppressions": suppressions,
+        }, indent=2))
+    else:
+        for f in findings:
+            print(f"{f.path}:{f.line}: [{f.rule}] {f.message}")
+        print(f"detlint: {len(files)} files, {len(findings)} "
+              f"finding(s), {len(suppressions)} suppression(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,35 @@
+// detlint fixture: addr-leak rule. Never compiled, only scanned.
+#include <cstdio>
+#include <iostream>
+
+struct Probe
+{
+    void
+    dump(std::ostream &os) const
+    {
+        os << this;                        // EXPECT: addr-leak
+    }
+    int field = 0;
+};
+
+void
+positives(Probe &p)
+{
+    std::cout << &p;                       // EXPECT: addr-leak
+    std::printf("probe at %p\n", (void *)&p); // EXPECT: addr-leak
+}
+
+void
+negatives(Probe &p, int x)
+{
+    // Values (not addresses) and percent signs that are not %p.
+    std::cout << p.field << (x << 2);
+    std::printf("utilisation %d%%, %profit\n", x);
+}
+
+void
+suppressed(Probe &p)
+{
+    // detlint: allow(addr-leak) -- fixture: debug-only dump behind a flag, never in CSV
+    std::cout << &p;
+}

@@ -1,0 +1,23 @@
+// detlint fixture: bare-allow rule. Never compiled, only scanned.
+// A suppression with no `-- why` text still suppresses its target,
+// but is itself reported so every allow() carries a justification.
+#include <chrono>
+#include <cstdlib>
+
+void
+bare()
+{
+    // detlint: allow(wall-clock)                      // EXPECT: bare-allow
+    auto t = std::chrono::steady_clock::now();
+    int r = std::rand(); // detlint: allow(raw-rand)   // EXPECT: bare-allow
+    (void)t; (void)r;
+}
+
+void
+justified()
+{
+    // detlint: allow(wall-clock,raw-rand) -- fixture: one comment may name several rules
+    auto t = std::chrono::steady_clock::now().time_since_epoch().count() +
+             std::rand(); // detlint: allow(wall-clock,raw-rand) -- fixture: spans both rules
+    (void)t;
+}

@@ -1,0 +1,33 @@
+// detlint fixture: fatal-style rule. Never compiled, only scanned.
+#include <string>
+
+namespace gpubox
+{
+template <typename... Args> [[noreturn]] void fatal(const Args &...);
+}
+using gpubox::fatal;
+
+void
+positives(int id, const std::string &kind)
+{
+    fatal(kind, " failed");               // EXPECT: fatal-style
+    fatal("bad thing happened.");         // EXPECT: fatal-style
+    fatal(" leading whitespace");         // EXPECT: fatal-style
+    fatal("ends with a newline\n");       // EXPECT: fatal-style
+    (void)id;
+}
+
+void
+negatives(int id, int got, int want)
+{
+    fatal("device ", id, " missing");
+    fatal("expected ", want, " lanes, got ", got);
+    fatal("a long context message that wraps: "
+          "the concatenated tail carries no terminal period");
+}
+
+void
+suppressed(const std::string &msg)
+{
+    fatal(msg); // detlint: allow(fatal-style) -- fixture: message assembled by the caller
+}

@@ -1,0 +1,12 @@
+// detlint fixture: float accumulation OUTSIDE src/sim, src/noc and
+// src/cache is not policed (reporting/statistics code converts at
+// the edge by design). This file expects zero findings.
+
+void
+reportingEdge(const long long *sums, int n)
+{
+    double grand = 0;
+    for (int i = 0; i < n; ++i)
+        grand += double(sums[i]);
+    (void)grand;
+}

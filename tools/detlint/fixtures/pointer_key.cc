@@ -1,0 +1,25 @@
+// detlint fixture: pointer-key rule. Never compiled, only scanned.
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+struct Node;
+struct Widget;
+
+std::map<Node *, int> owners;                      // EXPECT: pointer-key
+std::set<const Widget *> live;                     // EXPECT: pointer-key
+std::unordered_map<Node *, long> slots;            // EXPECT: pointer-key
+std::hash<Widget *> widgetHash;                    // EXPECT: pointer-key
+
+// Pointer VALUES are fine; only pointer KEYS order a container.
+std::map<int, Node *> byId;
+std::map<long, const Widget *> byTag;
+
+void
+suppressed()
+{
+    // detlint: allow(pointer-key) -- fixture: container is scratch, never iterated or output
+    static std::map<Node *, int> scratch;
+    (void)scratch;
+}

@@ -1,0 +1,36 @@
+// detlint fixture: raw-rand rule. Never compiled, only scanned.
+#include <cstdlib>
+#include <random>
+
+void
+positives()
+{
+    int a = std::rand();                 // EXPECT: raw-rand
+    std::srand(42);                      // EXPECT: raw-rand
+    std::random_device rd;               // EXPECT: raw-rand
+    std::mt19937 gen32(1);               // EXPECT: raw-rand
+    std::mt19937_64 gen64(1);            // EXPECT: raw-rand
+    std::default_random_engine eng(1);   // EXPECT: raw-rand
+    (void)a; (void)rd; (void)gen32; (void)gen64; (void)eng;
+}
+
+int strand(int);
+int operand(int);
+
+void
+negatives()
+{
+    // Identifiers merely containing "rand" are fine.
+    int a = strand(1);
+    int b = operand(2);
+    (void)a; (void)b;
+}
+
+void
+suppressed()
+{
+    // detlint: allow(raw-rand) -- fixture: justified suppression on next line
+    int a = std::rand();
+    std::srand(7); // detlint: allow(raw-rand) -- fixture: same-line suppression
+    (void)a;
+}

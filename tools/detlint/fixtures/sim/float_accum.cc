@@ -1,0 +1,37 @@
+// detlint fixture: float-accum rule. Never compiled, only scanned.
+// Lives under a sim/ directory because the rule only polices the
+// cycle-accurate core (src/sim, src/noc, src/cache).
+
+void
+positives(const int *samples, int n)
+{
+    double acc = 0;
+    float total = 0;
+    for (int i = 0; i < n; ++i) {
+        acc += samples[i];                 // EXPECT: float-accum
+        total -= samples[i] * 0.5f;       // EXPECT: float-accum
+    }
+    (void)acc; (void)total;
+}
+
+void
+negatives(const int *samples, int n)
+{
+    // Integer accumulation is associative; convert at the edge.
+    long long sum = 0;
+    for (int i = 0; i < n; ++i)
+        sum += samples[i];
+    double mean = double(sum) / n;
+    double scaled = mean * 2.0; // assignment, not accumulation
+    (void)scaled;
+}
+
+void
+suppressed(const int *samples, int n)
+{
+    double acc = 0;
+    for (int i = 0; i < n; ++i) {
+        acc += samples[i]; // detlint: allow(float-accum) -- fixture: reporting edge, order fixed by index loop
+    }
+    (void)acc;
+}

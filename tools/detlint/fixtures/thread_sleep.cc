@@ -1,0 +1,37 @@
+// detlint fixture: thread-sleep rule. Never compiled, only scanned.
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+std::condition_variable cv;
+std::mutex m;
+struct FakeDeadline {}; // stands in for a clock::time_point
+
+void
+positives(FakeDeadline later)
+{
+    using namespace std::chrono_literals;
+    std::this_thread::sleep_for(1ms);        // EXPECT: thread-sleep
+    std::this_thread::sleep_until(later);    // EXPECT: thread-sleep
+    std::unique_lock<std::mutex> lk(m);
+    cv.wait_for(lk, 10ms);                   // EXPECT: thread-sleep
+    cv.wait_until(lk, later);                // EXPECT: thread-sleep
+    usleep(100);                             // EXPECT: thread-sleep
+}
+
+void
+negatives()
+{
+    // Untimed waits block on a condition, not on wall time.
+    std::unique_lock<std::mutex> lk(m);
+    cv.wait(lk, [] { return true; });
+    cv.notify_all();
+}
+
+void
+suppressed()
+{
+    // detlint: allow(thread-sleep) -- fixture: test harness backoff, not simulated time
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}

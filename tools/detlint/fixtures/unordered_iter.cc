@@ -1,0 +1,41 @@
+// detlint fixture: unordered-iter rule. Never compiled, only scanned.
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+std::unordered_map<int, int> table;
+std::unordered_set<long> seen = {};
+
+void
+positives()
+{
+    for (auto &kv : table) {              // EXPECT: unordered-iter
+        (void)kv;
+    }
+    auto it = table.begin();              // EXPECT: unordered-iter
+    auto cit = seen.cbegin();             // EXPECT: unordered-iter
+    (void)it; (void)cit;
+}
+
+void
+negatives()
+{
+    // Keyed probes never observe hash order; comparing a probe
+    // result against end() is keyed access, not iteration.
+    auto hit = table.find(3);
+    (void)(hit == table.end());
+    (void)table.count(4);
+    table.erase(5);
+    (void)seen.contains(6);
+}
+
+void
+suppressed()
+{
+    // detlint: allow(unordered-iter) -- fixture: order folded through a commutative reduction
+    for (auto &kv : table) {
+        (void)kv;
+    }
+    auto it = seen.begin(); // detlint: allow(unordered-iter) -- fixture: same-line suppression
+    (void)it;
+}

@@ -1,0 +1,40 @@
+// detlint fixture: wall-clock rule. Never compiled, only scanned;
+// the EXPECT annotations mark the findings --self-test requires.
+#include <chrono>
+#include <ctime>
+
+void
+positives()
+{
+    auto a = std::chrono::steady_clock::now();          // EXPECT: wall-clock
+    auto b = std::chrono::system_clock::now();          // EXPECT: wall-clock
+    auto c = std::chrono::high_resolution_clock::now(); // EXPECT: wall-clock
+    auto d = std::time(nullptr);                        // EXPECT: wall-clock
+    auto e = time(nullptr);                             // EXPECT: wall-clock
+    struct timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);                // EXPECT: wall-clock
+    (void)a; (void)b; (void)c; (void)d; (void)e;
+}
+
+struct Stamp; // has a member `long time() const`
+
+void
+negatives(Stamp &s, Stamp *p)
+{
+    // Member calls and identifiers merely containing "time" are fine.
+    long t = s.time();
+    long u = p->time();
+    long runtime(int);
+    long sim_time(int);
+    // Mentioning steady_clock in a comment is fine.
+    (void)t; (void)u;
+}
+
+void
+suppressed()
+{
+    // detlint: allow(wall-clock) -- fixture: justified suppression on next line
+    auto t = std::chrono::steady_clock::now();
+    auto u = std::time(nullptr); // detlint: allow(wall-clock) -- fixture: same-line suppression
+    (void)t; (void)u;
+}
