@@ -15,7 +15,7 @@ void
 routeResources(const noc::Topology &topo, const GpuPair &p,
                std::vector<noc::NodeId> *switches, std::vector<int> *links)
 {
-    const std::vector<noc::NodeId> &path = topo.route(p.src, p.dst);
+    const noc::RouteView path = topo.route(p.src, p.dst);
     for (std::size_t i = 0; i + 1 < path.size(); ++i) {
         links->push_back(topo.linkIndex(path[i], path[i + 1]));
         if (topo.isSwitch(path[i + 1]) && i + 2 < path.size())

@@ -496,6 +496,7 @@ benchDriverMain(int argc, char **argv)
                 "\"gpus\": %d, \"switches\": %d, \"nodes\": %d, "
                 "\"islands\": %d, \"nics\": %d, \"spines\": %d, "
                 "\"topology\": \"%s\", \"links\": %zu, "
+                "\"route_table_bytes\": %zu, "
                 "\"link_gen\": \"%s\", \"link_mix\": {",
                 jsonEscape(p.name).c_str(),
                 jsonEscape(p.description).c_str(),
@@ -505,6 +506,7 @@ benchDriverMain(int argc, char **argv)
                 p.topology.numSwitchesOfRole(noc::SwitchRole::Spine),
                 jsonEscape(p.topology.name()).c_str(),
                 p.topology.links().size(),
+                p.topology.routeTableBytes(),
                 jsonEscape(p.linkGen).c_str());
             const auto mix = p.resolvedLinkMix();
             for (std::size_t m = 0; m < mix.size(); ++m)

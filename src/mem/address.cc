@@ -10,7 +10,11 @@ namespace
 {
 constexpr unsigned kFrameBits = 32;
 constexpr std::uint64_t kFrameMask = (1ULL << kFrameBits) - 1;
-constexpr unsigned kGpuBits = 8;
+/** 12 bits admit pod-scale GPU counts (dgx-gigapod: 1024). Widening
+ *  the field moves no existing bit: ids below 256 pack to the same
+ *  PAddr bytes as the old 8-bit field, so per-platform results are
+ *  unchanged. */
+constexpr unsigned kGpuBits = 12;
 } // namespace
 
 AddressCodec::AddressCodec(std::uint64_t page_bytes)

@@ -30,7 +30,7 @@ Fabric::Fabric(const Topology &topo, const LinkParams &params,
 
 Fabric::Fabric(const Topology &topo, std::vector<LinkParams> per_link,
                std::vector<SwitchParams> per_switch)
-    : topo_(topo), numNodes_(topo.numNodes()),
+    : topo_(topo), numGpus_(topo.numGpus()),
       params_(std::move(per_link)), switchParams_(std::move(per_switch))
 {
     if (params_.size() != topo.links().size())
@@ -64,7 +64,10 @@ Fabric::Fabric(const Topology &topo, std::vector<LinkParams> per_link,
     }
     perDir_.assign(params_.size() * 2, 0);
     crossings_.assign(static_cast<std::size_t>(topo.numSwitches()), 0);
-    buildRouteTables();
+    // No eager route compilation: GPU-pair rows fill on first
+    // traversal (gpuPairRoute), switch-endpoint traffic is charged
+    // straight off the topology.
+    gpuRows_.resize(static_cast<std::size_t>(numGpus_));
 #if GPUBOX_CHECKED_ENABLED
     auditRouteTables();
 #endif
@@ -75,40 +78,71 @@ Fabric::auditRouteTables() const
 {
 #if GPUBOX_CHECKED_ENABLED
     const int nodes = topo_.numNodes();
-    for (NodeId from = 0; from < nodes; ++from) {
-        for (NodeId to = 0; to < nodes; ++to) {
-            const PairRoute &pr =
-                pairRoutes_[static_cast<std::size_t>(from) * nodes + to];
-            if (from == to) {
-                GPUBOX_INVARIANT(pr.count == 0,
-                                 "route table: self-route of node ",
-                                 from, " has ", pr.count, " legs");
+    // Part 1: the topology's on-demand routes themselves -- reverse
+    // symmetry, hop-count minimality and link adjacency. Exhaustive
+    // on anything up to superpod size, strided on pod-scale graphs
+    // (the route rule is uniform, so a stride still covers every
+    // node/role combination).
+    const int stride = nodes <= 320 ? 1 : nodes / 96 + 1;
+    for (NodeId a = 0; a < nodes; a += stride) {
+        for (NodeId b = a; b < nodes; b += stride) {
+            const std::vector<NodeId> fwd = topo_.route(a, b).toVector();
+            const RouteView rev = topo_.route(b, a);
+            GPUBOX_INVARIANT(
+                std::equal(fwd.rbegin(), fwd.rend(), rev.begin(),
+                           rev.end()),
+                "route audit: route ", a, "->", b,
+                " is not the reverse of ", b, "->", a, " on '",
+                topo_.name(), "'");
+            if (a == b) {
+                GPUBOX_INVARIANT(fwd.size() == 1 && fwd[0] == a,
+                                 "route audit: self-route of node ", a,
+                                 " is not {", a, "} on '", topo_.name(),
+                                 "'");
                 continue;
             }
-            const PairRoute &rev =
-                pairRoutes_[static_cast<std::size_t>(to) * nodes + from];
-            GPUBOX_INVARIANT(pr.count == rev.count,
-                             "route table: asymmetric routes ", from,
-                             "->", to, " (", pr.count, " legs) vs ", to,
-                             "->", from, " (", rev.count, " legs) on '",
-                             topo_.name(), "'");
-            if (pr.count == 0)
-                continue;
+            const int hops = topo_.hopCount(a, b);
             GPUBOX_INVARIANT(
-                static_cast<int>(pr.count) == topo_.hopCount(from, to),
-                "route table: route ", from, "->", to, " has ",
-                pr.count, " legs but the topology distance is ",
-                topo_.hopCount(from, to), " on '", topo_.name(), "'");
-            GPUBOX_INVARIANT(pr.baseCycles == rev.baseCycles,
-                             "route table: asymmetric base cost ",
-                             pr.baseCycles, " vs ", rev.baseCycles,
-                             " for pair (", from, ",", to, ") on '",
-                             topo_.name(), "'");
-            GPUBOX_INVARIANT(pr.bottleneckBpc == rev.bottleneckBpc,
-                             "route table: asymmetric bottleneck ",
-                             pr.bottleneckBpc, " vs ", rev.bottleneckBpc,
-                             " for pair (", from, ",", to, ") on '",
-                             topo_.name(), "'");
+                fwd.empty() ? hops == -1
+                            : static_cast<int>(fwd.size()) == hops + 1,
+                "route audit: route ", a, "->", b, " has ", fwd.size(),
+                " nodes but the topology distance is ", hops, " on '",
+                topo_.name(), "'");
+            for (std::size_t i = 0; i + 1 < fwd.size(); ++i) {
+                GPUBOX_INVARIANT(
+                    topo_.linkIndex(fwd[i], fwd[i + 1]) >= 0,
+                    "route audit: route ", a, "->", b, " hops ",
+                    fwd[i], "->", fwd[i + 1],
+                    " across a missing link on '", topo_.name(), "'");
+            }
+        }
+    }
+    // Part 2: every lazily compiled pair must match a fresh route
+    // walk leg for leg, and its cached aggregates must match its
+    // legs.
+    for (NodeId from = 0; from < numGpus_; ++from) {
+        const PairRoute *row = gpuRows_[static_cast<std::size_t>(from)]
+                                   .get();
+        if (!row)
+            continue;
+        for (NodeId to = 0; to < numGpus_; ++to) {
+            const PairRoute &pr = row[to];
+            if (pr.begin == kUncompiled)
+                continue;
+            const std::vector<NodeId> path =
+                topo_.route(from, to).toVector();
+            if (path.size() < 2) {
+                GPUBOX_INVARIANT(pr.count == 0,
+                                 "route table: routeless pair ", from,
+                                 "->", to, " compiled ", pr.count,
+                                 " legs on '", topo_.name(), "'");
+                continue;
+            }
+            GPUBOX_INVARIANT(
+                static_cast<std::size_t>(pr.count) + 1 == path.size(),
+                "route table: route ", from, "->", to, " compiled ",
+                pr.count, " legs but the topology path has ",
+                path.size() - 1, " hops on '", topo_.name(), "'");
             GPUBOX_INVARIANT(
                 static_cast<std::size_t>(pr.begin) + pr.count <=
                     legs_.size(),
@@ -116,25 +150,60 @@ Fabric::auditRouteTables() const
                 " points past the compiled leg store (", pr.begin, "+",
                 pr.count, " of ", legs_.size(), ")");
             Cycles base = 0;
+            std::uint32_t bottleneck = 0;
             for (std::uint32_t i = 0; i < pr.count; ++i) {
                 const RouteLeg &leg = legs_[pr.begin + i];
-                GPUBOX_INVARIANT(leg.meter < meters_.size(),
-                                 "route table: leg ", i, " of route ",
-                                 from, "->", to, " names port meter ",
-                                 leg.meter, " of ", meters_.size());
+                const NodeId u = path[i];
+                const NodeId v = path[i + 1];
+                const int link = topo_.linkIndex(u, v);
+                const LinkParams &p =
+                    params_[static_cast<std::size_t>(link)];
                 GPUBOX_INVARIANT(
-                    leg.crossbar < static_cast<std::int32_t>(
-                                       crossbarMeters_.size()),
+                    leg.meter == dirIndex(link, u, v),
                     "route table: leg ", i, " of route ", from, "->",
-                    to, " crosses switch ", leg.crossbar, " of ",
-                    crossbarMeters_.size());
+                    to, " meters slot ", leg.meter,
+                    " but the topology hop ", u, "->", v, " is slot ",
+                    dirIndex(link, u, v));
+                const std::int32_t xbar =
+                    topo_.isSwitch(v) && i + 1 < pr.count
+                        ? static_cast<std::int32_t>(v - topo_.numGpus())
+                        : -1;
+                GPUBOX_INVARIANT(leg.crossbar == xbar,
+                                 "route table: leg ", i, " of route ",
+                                 from, "->", to, " crosses crossbar ",
+                                 leg.crossbar, " but the topology says ",
+                                 xbar);
+                GPUBOX_INVARIANT(
+                    leg.hopCycles == p.hopCycles,
+                    "route table: leg ", i, " of route ", from, "->",
+                    to, " charges ", leg.hopCycles,
+                    " hop cycles but link ", link, " costs ",
+                    p.hopCycles);
+                const Cycles xcycles =
+                    xbar >= 0 ? switchParams_[static_cast<std::size_t>(
+                                                  xbar)]
+                                    .crossbarCycles
+                              : 0;
+                GPUBOX_INVARIANT(leg.crossbarCycles == xcycles,
+                                 "route table: leg ", i, " of route ",
+                                 from, "->", to, " charges ",
+                                 leg.crossbarCycles,
+                                 " crossbar cycles, expected ", xcycles);
                 base += leg.hopCycles + leg.crossbarCycles;
+                bottleneck = bottleneck == 0
+                                 ? p.bytesPerCycle
+                                 : std::min(bottleneck, p.bytesPerCycle);
             }
             GPUBOX_INVARIANT(base == pr.baseCycles,
                              "route table: cached base cost ",
                              pr.baseCycles, " of route ", from, "->",
                              to, " disagrees with its legs (", base,
                              ") on '", topo_.name(), "'");
+            GPUBOX_INVARIANT(bottleneck == pr.bottleneckBpc,
+                             "route table: cached bottleneck ",
+                             pr.bottleneckBpc, " of route ", from, "->",
+                             to, " disagrees with its links (",
+                             bottleneck, ") on '", topo_.name(), "'");
         }
     }
 #endif
@@ -177,73 +246,122 @@ Fabric::auditPortConservation() const
 void
 Fabric::debugCorruptRouteForAudit()
 {
+    // Lazy compilation may not have materialized any leg yet: force
+    // the first routed GPU pair in, then desynchronize one leg from
+    // its route's compiled form -- the next auditRouteTables() must
+    // report the mismatch.
+    if (legs_.empty()) {
+        for (NodeId to = 1; to < numGpus_ && legs_.empty(); ++to) {
+            if (topo_.reachable(0, to))
+                (void)gpuPairRoute(0, to);
+        }
+    }
     if (legs_.empty())
         fatal("debugCorruptRouteForAudit needs a routed topology");
-    // Desynchronize one leg from its route's cached base cost: the
-    // next auditRouteTables() must report the stale aggregate.
     ++legs_[0].hopCycles;
 }
 #endif
 
-void
-Fabric::buildRouteTables()
+const Fabric::PairRoute &
+Fabric::gpuPairRoute(NodeId from, NodeId to) const
 {
-    const int nodes = topo_.numNodes();
-    pairRoutes_.assign(static_cast<std::size_t>(nodes) * nodes,
-                       PairRoute{});
-    for (NodeId from = 0; from < nodes; ++from) {
-        for (NodeId to = 0; to < nodes; ++to) {
-            if (from == to)
-                continue;
-            const std::vector<NodeId> &path = topo_.route(from, to);
-            if (path.size() < 2)
-                continue; // unreachable; charge-time fatal
-            PairRoute pr;
-            pr.begin = static_cast<std::uint32_t>(legs_.size());
-            pr.count = static_cast<std::uint32_t>(path.size() - 1);
-            for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-                const NodeId u = path[i];
-                const NodeId v = path[i + 1];
-                const int link = topo_.linkIndex(u, v);
-                const LinkParams &p = params_[link];
-                RouteLeg leg;
-                leg.meter =
-                    static_cast<std::uint32_t>(dirIndex(link, u, v));
-                leg.crossbar =
-                    topo_.isSwitch(v) && i + 2 < path.size()
-                        ? static_cast<std::int32_t>(v - topo_.numGpus())
-                        : -1;
-                leg.hopCycles = p.hopCycles;
-                leg.crossbarCycles =
-                    leg.crossbar >= 0
-                        ? switchParams_[static_cast<std::size_t>(
-                                            leg.crossbar)]
-                              .crossbarCycles
-                        : 0;
-                legs_.push_back(leg);
-                pr.baseCycles += p.hopCycles + leg.crossbarCycles;
-                pr.bottleneckBpc =
-                    pr.bottleneckBpc == 0
-                        ? p.bytesPerCycle
-                        : std::min(pr.bottleneckBpc, p.bytesPerCycle);
-            }
-            pairRoutes_[static_cast<std::size_t>(from) * nodes + to] =
-                pr;
-        }
-    }
+    auto &row = gpuRows_[static_cast<std::size_t>(from)];
+    if (!row)
+        row = std::make_unique<PairRoute[]>(
+            static_cast<std::size_t>(numGpus_));
+    PairRoute &pr = row[static_cast<std::size_t>(to)];
+    if (pr.begin == kUncompiled)
+        compilePair(from, to, pr);
+    return pr;
 }
 
-const Fabric::PairRoute &
-Fabric::pairRoute(NodeId from, NodeId to) const
+void
+Fabric::compilePair(NodeId from, NodeId to, PairRoute &pr) const
 {
-    if (from < 0 || from >= topo_.numNodes() || to < 0 ||
-        to >= topo_.numNodes()) {
-        // Same out-of-range diagnostic as querying the topology.
-        topo_.route(from, to);
+    const RouteView path = topo_.route(from, to);
+    pr.begin = static_cast<std::uint32_t>(legs_.size());
+    if (path.size() < 2)
+        return; // self or unreachable: compiled as "no route"
+    pr.count = static_cast<std::uint32_t>(path.size() - 1);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const NodeId u = path[i];
+        const NodeId v = path[i + 1];
+        const int link = topo_.linkIndex(u, v);
+        const LinkParams &p = params_[static_cast<std::size_t>(link)];
+        RouteLeg leg;
+        leg.meter = static_cast<std::uint32_t>(dirIndex(link, u, v));
+        leg.crossbar =
+            topo_.isSwitch(v) && i + 2 < path.size()
+                ? static_cast<std::int32_t>(v - topo_.numGpus())
+                : -1;
+        leg.hopCycles = p.hopCycles;
+        leg.crossbarCycles =
+            leg.crossbar >= 0
+                ? switchParams_[static_cast<std::size_t>(leg.crossbar)]
+                      .crossbarCycles
+                : 0;
+        legs_.push_back(leg);
+        pr.baseCycles += p.hopCycles + leg.crossbarCycles;
+        pr.bottleneckBpc =
+            pr.bottleneckBpc == 0
+                ? p.bytesPerCycle
+                : std::min(pr.bottleneckBpc, p.bytesPerCycle);
     }
-    return pairRoutes_[static_cast<std::size_t>(from) *
-                           topo_.numNodes() +
-                       to];
+    ++compiledPairs_;
+}
+
+Cycles
+Fabric::chargeRoute(NodeId from, NodeId to, Cycles now,
+                    std::uint64_t bytes)
+{
+    if (from >= 0 && from < numGpus_ && to >= 0 && to < numGpus_) {
+        const PairRoute &pr = gpuPairRoute(from, to);
+        if (pr.count == 0)
+            fatal("fabric traverse between nodes ", from, " and ", to,
+                  " which share no route on topology '", topo_.name(),
+                  "'");
+        return chargeCompiled(pr, now, bytes);
+    }
+    return chargeUncached(from, to, now, bytes);
+}
+
+Cycles
+Fabric::chargeUncached(NodeId from, NodeId to, Cycles now,
+                       std::uint64_t bytes)
+{
+    // topo_.route carries the out-of-range diagnostic.
+    const RouteView path = topo_.route(from, to);
+    if (path.size() < 2)
+        fatal("fabric traverse between nodes ", from, " and ", to,
+              " which share no route on topology '", topo_.name(),
+              "'");
+    Cycles total = 0;
+    std::uint32_t bottleneck = 0;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const NodeId u = path[i];
+        const NodeId v = path[i + 1];
+        const int link = topo_.linkIndex(u, v);
+        const LinkParams &p = params_[static_cast<std::size_t>(link)];
+        const std::size_t slot = dirIndex(link, u, v);
+        ++transfers_;
+        ++perDir_[slot];
+        const Cycles queue = meters_[slot].record(now + total);
+        total += p.hopCycles + queue;
+        if (topo_.isSwitch(v) && i + 2 < path.size()) {
+            const std::size_t sw =
+                static_cast<std::size_t>(v - topo_.numGpus());
+            ++crossings_[sw];
+            const Cycles xqueue =
+                crossbarMeters_[sw].record(now + total);
+            total += switchParams_[sw].crossbarCycles + xqueue;
+        }
+        bottleneck = bottleneck == 0
+                         ? p.bytesPerCycle
+                         : std::min(bottleneck, p.bytesPerCycle);
+    }
+    if (bytes > 0)
+        total += divCeil(bytes, static_cast<std::uint64_t>(bottleneck));
+    return total;
 }
 
 ContentionMeter &
@@ -261,12 +379,30 @@ Fabric::portMeter(int link, NodeId from, NodeId to) const
 Cycles
 Fabric::routeBaseCycles(NodeId from, NodeId to) const
 {
-    const PairRoute &pr = pairRoute(from, to);
-    if (pr.count == 0)
+    if (from >= 0 && from < numGpus_ && to >= 0 && to < numGpus_) {
+        const PairRoute &pr = gpuPairRoute(from, to);
+        if (pr.count == 0)
+            fatal("fabric base-cost query between nodes ", from,
+                  " and ", to, " which share no route on topology '",
+                  topo_.name(), "'");
+        return pr.baseCycles;
+    }
+    const RouteView path = topo_.route(from, to);
+    if (path.size() < 2)
         fatal("fabric base-cost query between nodes ", from, " and ",
               to, " which share no route on topology '", topo_.name(),
               "'");
-    return pr.baseCycles;
+    Cycles base = 0;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const NodeId v = path[i + 1];
+        const int link = topo_.linkIndex(path[i], v);
+        base += params_[static_cast<std::size_t>(link)].hopCycles;
+        if (topo_.isSwitch(v) && i + 2 < path.size())
+            base += switchParams_[static_cast<std::size_t>(
+                                      v - topo_.numGpus())]
+                        .crossbarCycles;
+    }
+    return base;
 }
 
 Cycles

@@ -2,7 +2,7 @@
  * @file
  * Fabric timing over a mixed GPU/switch topology: per-link latency
  * and bandwidth, port-level queueing and per-switch crossbar
- * contention, charged along the topology's precomputed routes.
+ * contention, charged along the topology's deterministic routes.
  *
  * Contention granularity follows the hardware:
  *
@@ -19,6 +19,17 @@
  *    interfere measurably -- the cross-pair channel of the attack
  *    layer.
  *
+ * Route compilation is lazy and GPU-pair scoped: the first traversal
+ * of a GPU pair compiles its route into a flat leg array; later
+ * traversals replay the compiled legs with zero topology work. A
+ * compiled route is a pure function of its endpoints, so the compile
+ * order (hence thread schedule) cannot change any charged cycle.
+ * Pairs involving switch endpoints (introspection, a handful of
+ * direct switch probes in tests) are charged straight off the
+ * topology's on-demand route and never cached. The former eager
+ * numNodes^2 table would be ~6M entries on a 1024-GPU pod; the lazy
+ * rows cost O(pairs actually traversed).
+ *
  * Arbitration is deterministic: same-window contenders resolve in
  * record order, and record order is the simulation engine's actor
  * dispatch order -- (cycle, spawn sequence), where the spawn sequence
@@ -31,6 +42,7 @@
 #define GPUBOX_NOC_FABRIC_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "noc/topology.hh"
@@ -146,9 +158,9 @@ struct SwitchGen
 /**
  * Timing model over a Topology's links and switches. A traversal
  * between non-adjacent nodes is charged on every link of the
- * precomputed shortest route (hop latency plus that port's queueing)
- * and on the crossbar of every switch it crosses; traversing
- * unreachable pairs is fatal.
+ * deterministic shortest route (hop latency plus that port's
+ * queueing) and on the crossbar of every switch it crosses;
+ * traversing unreachable pairs is fatal.
  */
 class Fabric
 {
@@ -175,9 +187,10 @@ class Fabric
      * Charge one transfer leg (request or response) between two
      * reachable nodes, multi-hop routes included.
      *
-     * The overwhelmingly common case — two directly linked nodes —
-     * stays inline: one precompiled leg, one meter record. Multi-hop
-     * routes (and all error handling) go through chargeRoute.
+     * The overwhelmingly common case — a GPU pair whose route is
+     * already compiled — stays inline: one leg, one meter record (or
+     * the unrolled compiled-leg walk). First-touch compilation,
+     * switch endpoints and all error handling go through chargeRoute.
      *
      * @param from source node (normally a GPU)
      * @param to destination node (any reachable peer)
@@ -188,16 +201,20 @@ class Fabric
     Cycles
     traverse(NodeId from, NodeId to, Cycles now)
     {
-        if (from >= 0 && from < numNodes_ && to >= 0 && to < numNodes_) {
-            const PairRoute &pr =
-                pairRoutes_[static_cast<std::size_t>(from) * numNodes_ +
-                            to];
-            // A single-leg route never crosses a switch crossbar.
-            if (pr.count == 1) {
-                const RouteLeg &leg = legs_[pr.begin];
-                ++transfers_;
-                ++perDir_[leg.meter];
-                return leg.hopCycles + meters_[leg.meter].record(now);
+        if (from >= 0 && from < numGpus_ && to >= 0 && to < numGpus_) {
+            const PairRoute *row = gpuRows_[from].get();
+            if (row && row[to].begin != kUncompiled) {
+                const PairRoute &pr = row[to];
+                // A single-leg route never crosses a switch crossbar.
+                if (pr.count == 1) {
+                    const RouteLeg &leg = legs_[pr.begin];
+                    ++transfers_;
+                    ++perDir_[leg.meter];
+                    return leg.hopCycles +
+                           meters_[leg.meter].record(now);
+                }
+                if (pr.count > 1)
+                    return chargeCompiled(pr, now, 0);
             }
         }
         return chargeRoute(from, to, now, 0);
@@ -253,20 +270,26 @@ class Fabric
 
     const Topology &topology() const { return topo_; }
 
+    /** GPU pairs whose routes have been compiled so far (stats). */
+    std::uint64_t compiledPairs() const { return compiledPairs_; }
+
     void resetStats();
 
     /**
      * @name Deep invariant audits (GPUBOX_CHECKED builds)
      * Bodies compile only with -DGPUBOX_CHECKED=ON; both are no-ops
-     * otherwise. auditRouteTables verifies the compiled route tables
-     * against the topology -- symmetry (route(a,b) mirrors
-     * route(b,a) in length, base cost and bottleneck), BFS
-     * minimality (leg count equals the topology hop count), and
-     * leg/meter index coherence -- and runs at construction in
-     * checked builds. auditPortConservation verifies ingress/egress
-     * accounting: every charged leg is recorded exactly once in one
-     * directed port counter and its meter, and crossbar crossings
-     * never exceed charged legs; it runs on every resetStats().
+     * otherwise. auditRouteTables re-derives every lazily compiled
+     * pair from the topology -- leg-for-leg equality against a fresh
+     * route walk, cached base cost and bottleneck agreement, and
+     * meter/crossbar index bounds -- and additionally audits the
+     * topology's on-demand routes themselves (reverse symmetry,
+     * hop-count minimality, link adjacency), exhaustively on small
+     * graphs and strided on pod-scale ones. It runs at construction
+     * in checked builds (topology part only; nothing is compiled
+     * yet). auditPortConservation verifies ingress/egress accounting:
+     * every charged leg is recorded exactly once in one directed port
+     * counter and its meter, and crossbar crossings never exceed
+     * charged legs; it runs on every resetStats().
      * @{
      */
     void auditRouteTables() const;
@@ -274,8 +297,8 @@ class Fabric
     /** @} */
 
 #if GPUBOX_CHECKED_ENABLED
-    /** Test-only: perturb one compiled route leg so the route-table
-     *  audit must fire. */
+    /** Test-only: compile one route (if none is yet) and perturb a
+     *  compiled leg so the route-table audit must fire. */
     void debugCorruptRouteForAudit();
 #endif
 
@@ -283,9 +306,9 @@ class Fabric
     /**
      * One precompiled hop of a directed route: the meter/counter slot
      * of its directed link traversal, the hop latency, and the switch
-     * crossbar crossed after the hop (or -1). chargeRoute walks these
-     * instead of re-deriving link indices and directions from the
-     * topology's node path on every traversal.
+     * crossbar crossed after the hop (or -1). chargeCompiled walks
+     * these instead of re-deriving link indices and directions from
+     * the topology's node path on every traversal.
      */
     struct RouteLeg
     {
@@ -295,10 +318,13 @@ class Fabric
         Cycles crossbarCycles; // that switch's transit, 0 when none
     };
 
+    /** Sentinel 'begin' of a pair not yet compiled. */
+    static constexpr std::uint32_t kUncompiled = 0xffffffffu;
+
     /** Directed (from,to) route: a legs_ span plus cached aggregates. */
     struct PairRoute
     {
-        std::uint32_t begin = 0;
+        std::uint32_t begin = kUncompiled;
         std::uint32_t count = 0; // 0 = no route (or from == to)
         /** Narrowest link bytesPerCycle along the route. */
         std::uint32_t bottleneckBpc = 0;
@@ -306,22 +332,23 @@ class Fabric
         Cycles baseCycles = 0;
     };
 
-    /** Compile every directed route into legs_/pairRoutes_. */
-    void buildRouteTables();
-
     /**
-     * Charge every link of the a..b route; @p bytes 0 = plain leg.
-     * Inline so multi-hop traversals (every switched-fabric access)
-     * unroll the short leg walk at the call site.
+     * Compiled route of the GPU pair (from,to), compiling it on first
+     * use. The compiled content is a pure function of the endpoints,
+     * so when in the program two pairs get compiled (and hence how
+     * legs_ is laid out) cannot change any charged cycle.
      */
+    const PairRoute &gpuPairRoute(NodeId from, NodeId to) const;
+
+    /** Compile topo_.route(from, to) into legs_ and @p pr. */
+    void compilePair(NodeId from, NodeId to, PairRoute &pr) const;
+
+    /** Charge every compiled leg of @p pr; @p bytes 0 = plain leg.
+     *  Inline so multi-hop traversals (every switched-fabric access)
+     *  unroll the short leg walk at the call site. */
     Cycles
-    chargeRoute(NodeId from, NodeId to, Cycles now, std::uint64_t bytes)
+    chargeCompiled(const PairRoute &pr, Cycles now, std::uint64_t bytes)
     {
-        const PairRoute &pr = pairRoute(from, to);
-        if (pr.count == 0)
-            fatal("fabric traverse between nodes ", from, " and ", to,
-                  " which share no route on topology '", topo_.name(),
-                  "'");
         Cycles total = 0;
         const RouteLeg *leg = &legs_[pr.begin];
         for (std::uint32_t i = 0; i < pr.count; ++i, ++leg) {
@@ -346,7 +373,15 @@ class Fabric
         return total;
     }
 
-    const PairRoute &pairRoute(NodeId from, NodeId to) const;
+    /** Slow path: compile-on-miss for GPU pairs, on-the-fly charge
+     *  for switch endpoints, fatal diagnostics. */
+    Cycles chargeRoute(NodeId from, NodeId to, Cycles now,
+                       std::uint64_t bytes);
+
+    /** Charge an uncached traversal straight off the topology route
+     *  (switch-endpoint pairs); same arithmetic as chargeCompiled. */
+    Cycles chargeUncached(NodeId from, NodeId to, Cycles now,
+                          std::uint64_t bytes);
 
     /**
      * Slot in meters_/perDir_ of the directed from->to traversal of
@@ -367,7 +402,7 @@ class Fabric
                                      NodeId to) const;
 
     const Topology &topo_;
-    int numNodes_ = 0; // cached topo_.numNodes() for the inline path
+    int numGpus_ = 0; // cached topo_.numGpus() for the inline path
     std::vector<LinkParams> params_; // one per link
     std::vector<SwitchParams> switchParams_; // one per switch
     /** Two meters per link: switch-attached links use [0]=lo->hi and
@@ -378,8 +413,13 @@ class Fabric
     std::vector<ContentionMeter> crossbarMeters_;  // one per switch
     std::vector<std::uint64_t> perDir_;            // 2 per link
     std::vector<std::uint64_t> crossings_;         // one per switch
-    std::vector<RouteLeg> legs_;
-    std::vector<PairRoute> pairRoutes_; // numNodes * numNodes
+    /** Lazily compiled GPU-pair routes: one numGpus-sized row per
+     *  source GPU, allocated on first touch. mutable so the const
+     *  read paths (routeBaseCycles) can share the cache; a Fabric is
+     *  owned by one Runtime, which is single-threaded by design. */
+    mutable std::vector<std::unique_ptr<PairRoute[]>> gpuRows_;
+    mutable std::vector<RouteLeg> legs_;
+    mutable std::uint64_t compiledPairs_ = 0;
     std::uint64_t transfers_ = 0;
 };
 

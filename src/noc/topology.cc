@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <numeric>
 
 #include "util/log.hh"
 
@@ -9,9 +10,10 @@ namespace gpubox::noc
 {
 
 Topology::Topology(std::string name, int num_gpus, int num_switches,
-                   std::vector<Link> links)
+                   std::vector<Link> links, PodSpec pod)
     : name_(std::move(name)), numGpus_(num_gpus),
-      numNodes_(num_gpus + num_switches), links_(std::move(links))
+      numNodes_(num_gpus + num_switches), links_(std::move(links)),
+      pod_(pod)
 {
     if (num_gpus <= 0)
         fatal("topology '", name_, "' needs at least one GPU, got ",
@@ -19,7 +21,13 @@ Topology::Topology(std::string name, int num_gpus, int num_switches,
     if (num_switches < 0)
         fatal("topology '", name_, "' has negative switch count ",
               num_switches);
-    linkOf_.assign(static_cast<std::size_t>(numNodes_) * numNodes_, -1);
+
+    // CSR adjacency: two directed entries per undirected link, peers
+    // ascending per node. This replaces the former numNodes^2 link
+    // matrix -- O(V + E) bytes instead of O(V^2) -- while keeping the
+    // ascending neighbour order every route tie-break depends on.
+    const std::size_t n = static_cast<std::size_t>(numNodes_);
+    adjOff_.assign(n + 1, 0);
     for (std::size_t i = 0; i < links_.size(); ++i) {
         auto [a, b] = links_[i];
         if (a < 0 || b < 0 || a >= numNodes_ || b >= numNodes_)
@@ -28,23 +36,69 @@ Topology::Topology(std::string name, int num_gpus, int num_switches,
         if (a == b)
             fatal("topology '", name_, "': node ", a,
                   " cannot be linked to itself");
-        if (linkOf_[a * numNodes_ + b] != -1)
-            fatal("topology '", name_, "': duplicate link (", a, ",", b,
-                  ")");
-        linkOf_[a * numNodes_ + b] = static_cast<int>(i);
-        linkOf_[b * numNodes_ + a] = static_cast<int>(i);
+        ++adjOff_[static_cast<std::size_t>(a) + 1];
+        ++adjOff_[static_cast<std::size_t>(b) + 1];
     }
+    std::partial_sum(adjOff_.begin(), adjOff_.end(), adjOff_.begin());
+    adjPeers_.resize(2 * links_.size());
+    adjLinks_.resize(2 * links_.size());
+    std::vector<int> fill(adjOff_.begin(), adjOff_.end() - 1);
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+        const auto [a, b] = links_[i];
+        const int slot_a = fill[static_cast<std::size_t>(a)]++;
+        const int slot_b = fill[static_cast<std::size_t>(b)]++;
+        adjPeers_[static_cast<std::size_t>(slot_a)] = b;
+        adjLinks_[static_cast<std::size_t>(slot_a)] =
+            static_cast<int>(i);
+        adjPeers_[static_cast<std::size_t>(slot_b)] = a;
+        adjLinks_[static_cast<std::size_t>(slot_b)] =
+            static_cast<int>(i);
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+        const int lo = adjOff_[v];
+        const int hi = adjOff_[v + 1];
+        std::vector<std::pair<NodeId, int>> row;
+        row.reserve(static_cast<std::size_t>(hi - lo));
+        for (int k = lo; k < hi; ++k)
+            row.emplace_back(adjPeers_[static_cast<std::size_t>(k)],
+                             adjLinks_[static_cast<std::size_t>(k)]);
+        std::sort(row.begin(), row.end());
+        for (std::size_t k = 1; k < row.size(); ++k) {
+            if (row[k].first == row[k - 1].first) {
+                const auto [a, b] =
+                    links_[static_cast<std::size_t>(row[k].second)];
+                fatal("topology '", name_, "': duplicate link (", a,
+                      ",", b, ")");
+            }
+        }
+        for (int k = lo; k < hi; ++k) {
+            adjPeers_[static_cast<std::size_t>(k)] =
+                row[static_cast<std::size_t>(k - lo)].first;
+            adjLinks_[static_cast<std::size_t>(k)] =
+                row[static_cast<std::size_t>(k - lo)].second;
+        }
+    }
+
     switchRoles_.assign(
         static_cast<std::size_t>(numNodes_ - numGpus_),
         SwitchRole::Crossbar);
-    islandOf_.assign(static_cast<std::size_t>(numNodes_), 0);
+    islandOf_.assign(n, 0);
     recomputeRoleIndices();
     for (NodeId sw = numGpus_; sw < numNodes_; ++sw) {
         if (degree(sw) == 0)
             fatal("topology '", name_, "': switch ", nodeName(sw),
                   " has no attached link");
     }
-    buildRouteTables();
+    // Pods (regular shape) use the closed-form distance rule; only
+    // irregular graphs pay for a stored all-pairs table. Either way
+    // no per-pair paths are materialized: route() replays the greedy
+    // walk on demand.
+    if (pod_.boxes == 0)
+        buildDistanceTable();
+    adjOff_.shrink_to_fit();
+    adjPeers_.shrink_to_fit();
+    adjLinks_.shrink_to_fit();
+    dist_.shrink_to_fit();
 }
 
 void
@@ -57,90 +111,97 @@ Topology::recomputeRoleIndices()
 }
 
 void
-Topology::buildRouteTables()
+Topology::buildDistanceTable()
 {
+    // All-pairs BFS over the mixed GPU/switch graph, walking the CSR
+    // edges (O(V * (V + E))). 16-bit entries: any graph small enough
+    // to warrant a stored table is far below 32k hops.
     const int n = numNodes_;
     dist_.assign(static_cast<std::size_t>(n) * n, -1);
-
-    // Adjacency lists, neighbours ascending. The previous
-    // implementation scanned every node pair at every BFS step --
-    // O(n^3) overall -- which was fine inside one chassis but not at
-    // superpod scale (a 308-node dgx-superpod); walking real edges
-    // keeps construction O(n * (V + E)) with routes byte-identical
-    // (ascending neighbour order is preserved).
-    std::vector<std::vector<NodeId>> adj(static_cast<std::size_t>(n));
-    for (const auto &[a, b] : links_) {
-        adj[static_cast<std::size_t>(a)].push_back(b);
-        adj[static_cast<std::size_t>(b)].push_back(a);
-    }
-    for (auto &peers : adj)
-        std::sort(peers.begin(), peers.end());
-
-    // All-pairs BFS over the mixed GPU/switch graph. Neighbour
-    // visitation order is by ascending id, so the distances (and
-    // everything derived below) are deterministic.
     for (NodeId src = 0; src < n; ++src) {
-        int *d = &dist_[static_cast<std::size_t>(src) * n];
+        std::int16_t *d = &dist_[static_cast<std::size_t>(src) * n];
         d[src] = 0;
         std::deque<NodeId> frontier{src};
         while (!frontier.empty()) {
             const NodeId at = frontier.front();
             frontier.pop_front();
-            for (NodeId next : adj[static_cast<std::size_t>(at)]) {
+            for (int k = adjOff_[static_cast<std::size_t>(at)];
+                 k < adjOff_[static_cast<std::size_t>(at) + 1]; ++k) {
+                const NodeId next =
+                    adjPeers_[static_cast<std::size_t>(k)];
                 if (d[next] == -1) {
-                    d[next] = d[at] + 1;
+                    d[next] = static_cast<std::int16_t>(d[at] + 1);
                     frontier.push_back(next);
                 }
             }
         }
     }
+}
 
-    // Materialized routes. For a <= b walk greedily from a, picking at
-    // every step among the neighbours still on a shortest path: the
-    // lowest id wins, except when every candidate is a switch -- then
-    // the pair stripes across the candidates by (a + b) modulo their
-    // count, spreading disjoint pairs over parallel crossbar planes
-    // (and cross-chassis pairs over parallel spines) while staying a
-    // pure (hence symmetric, byte-stable) function of the endpoints.
-    // The b -> a route is the exact reversal.
-    routes_.assign(static_cast<std::size_t>(n) * n, {});
-    std::vector<NodeId> candidates;
-    for (NodeId a = 0; a < n; ++a) {
-        routes_[pairIndex(a, a)] = {a};
-        for (NodeId b = a + 1; b < n; ++b) {
-            if (dist_[pairIndex(a, b)] < 0)
-                continue; // unreachable: leave both routes empty
-            std::vector<NodeId> path{a};
-            NodeId at = a;
-            while (at != b) {
-                const int remaining = dist_[pairIndex(at, b)];
-                candidates.clear();
-                for (NodeId next : adj[static_cast<std::size_t>(at)]) {
-                    if (dist_[pairIndex(next, b)] == remaining - 1)
-                        candidates.push_back(next); // ascending ids
-                }
-                bool all_switches = candidates.size() > 1;
-                for (NodeId c : candidates)
-                    all_switches = all_switches && isSwitch(c);
-                const std::size_t pick =
-                    all_switches
-                        ? static_cast<std::size_t>(a + b) %
-                              candidates.size()
-                        : 0;
-                at = candidates[pick];
-                path.push_back(at);
-            }
-            std::vector<NodeId> back(path.rbegin(), path.rend());
-            routes_[pairIndex(a, b)] = std::move(path);
-            routes_[pairIndex(b, a)] = std::move(back);
+int
+Topology::podDistance(NodeId a, NodeId b) const
+{
+    if (a == b)
+        return 0;
+    const int gpus = numGpus_;
+    const int first_nic = gpus + pod_.boxes * pod_.planesPerBox;
+    const int first_spine = first_nic + gpus;
+    // kind 0 = gpu, 1 = plane, 2 = nic, 3 = spine; box -1 for spines;
+    // owner: the GPU a NIC serves, -1 elsewhere.
+    struct Cls
+    {
+        int kind;
+        int box;
+        NodeId id;
+        NodeId owner;
+    };
+    const auto classify = [&](NodeId v) -> Cls {
+        if (v < gpus)
+            return {0, v / pod_.gpusPerBox, v, -1};
+        if (v < first_nic)
+            return {1, (v - gpus) / pod_.planesPerBox, v, -1};
+        if (v < first_spine) {
+            const NodeId g = v - first_nic;
+            return {2, g / pod_.gpusPerBox, v, g};
         }
+        return {3, -1, v, -1};
+    };
+    Cls x = classify(a);
+    Cls y = classify(b);
+    if (x.kind > y.kind)
+        std::swap(x, y);
+    const bool same_box = x.box == y.box;
+    switch (x.kind * 4 + y.kind) {
+    case 0 * 4 + 0: // gpu - gpu: planes inside a box, else nic/spine
+        return same_box ? 2 : 4;
+    case 0 * 4 + 1: // gpu - plane
+        return same_box ? 1 : 5;
+    case 0 * 4 + 2: // gpu - nic: its own is adjacent, any other is
+                    // one spine (or plane detour) away
+        return y.owner == x.id ? 1 : 3;
+    case 0 * 4 + 3: // gpu - spine: via the GPU's NIC
+        return 2;
+    case 1 * 4 + 1: // plane - plane
+        return same_box ? 2 : 6;
+    case 1 * 4 + 2: // plane - nic
+        return same_box ? 2 : 4;
+    case 1 * 4 + 3: // plane - spine
+        return 3;
+    case 2 * 4 + 2: // nic - nic: always via a spine
+        return 2;
+    case 2 * 4 + 3: // nic - spine: directly linked
+        return 1;
+    default: // spine - spine: via any NIC
+        return 2;
     }
 }
 
-std::size_t
-Topology::pairIndex(NodeId a, NodeId b) const
+int
+Topology::nodeDistance(NodeId a, NodeId b) const
 {
-    return static_cast<std::size_t>(a) * numNodes_ + b;
+    if (pod_.boxes > 0)
+        return podDistance(a, b);
+    return dist_[static_cast<std::size_t>(a) * numNodes_ + b];
 }
 
 Topology
@@ -157,7 +218,7 @@ Topology::dgx1()
         {5, 6}, {5, 7},
         {6, 7},
     };
-    return Topology("dgx1", 8, 0, std::move(links));
+    return Topology("dgx1", 8, 0, std::move(links), PodSpec{});
 }
 
 Topology
@@ -170,7 +231,8 @@ Topology::fullyConnected(int num_gpus)
     for (NodeId a = 0; a < num_gpus; ++a)
         for (NodeId b = a + 1; b < num_gpus; ++b)
             links.emplace_back(a, b);
-    return Topology("fully-connected", num_gpus, 0, std::move(links));
+    return Topology("fully-connected", num_gpus, 0, std::move(links),
+                    PodSpec{});
 }
 
 Topology
@@ -183,7 +245,7 @@ Topology::ring(int num_gpus)
     std::vector<Link> links;
     for (NodeId a = 0; a < num_gpus; ++a)
         links.emplace_back(a, (a + 1) % num_gpus);
-    return Topology("ring", num_gpus, 0, std::move(links));
+    return Topology("ring", num_gpus, 0, std::move(links), PodSpec{});
 }
 
 Topology
@@ -201,13 +263,14 @@ Topology::crossbar(std::string name, int num_gpus, int num_planes)
         for (NodeId g = 0; g < num_gpus; ++g)
             links.emplace_back(g, num_gpus + plane);
     return Topology(std::move(name), num_gpus, num_planes,
-                    std::move(links));
+                    std::move(links), PodSpec{});
 }
 
 Topology
 Topology::custom(std::string name, int num_gpus, std::vector<Link> links)
 {
-    return Topology(std::move(name), num_gpus, 0, std::move(links));
+    return Topology(std::move(name), num_gpus, 0, std::move(links),
+                    PodSpec{});
 }
 
 Topology
@@ -215,7 +278,7 @@ Topology::switched(std::string name, int num_gpus, int num_switches,
                    std::vector<Link> links)
 {
     return Topology(std::move(name), num_gpus, num_switches,
-                    std::move(links));
+                    std::move(links), PodSpec{});
 }
 
 Topology
@@ -261,7 +324,9 @@ Topology::superpod(std::string name, int num_boxes, int gpus_per_box,
             links.emplace_back(first_nic + g, first_spine + s);
 
     Topology t(std::move(name), gpus, planes + gpus + num_spines,
-               std::move(links));
+               std::move(links),
+               PodSpec{num_boxes, gpus_per_box, planes_per_box,
+                       num_spines});
     for (int k = 0; k < planes; ++k)
         t.switchRoles_[static_cast<std::size_t>(k)] =
             SwitchRole::Crossbar;
@@ -358,29 +423,35 @@ Topology::connected(NodeId a, NodeId b) const
 int
 Topology::linkIndex(NodeId a, NodeId b) const
 {
-    if (a < 0 || b < 0 || a >= numNodes_ || b >= numNodes_)
+    if (a < 0 || b < 0 || a >= numNodes_ || b >= numNodes_ || a == b)
         return -1;
-    return linkOf_[static_cast<std::size_t>(a) * numNodes_ + b];
+    const auto first =
+        adjPeers_.begin() + adjOff_[static_cast<std::size_t>(a)];
+    const auto last =
+        adjPeers_.begin() + adjOff_[static_cast<std::size_t>(a) + 1];
+    const auto it = std::lower_bound(first, last, b);
+    if (it == last || *it != b)
+        return -1;
+    return adjLinks_[static_cast<std::size_t>(it - adjPeers_.begin())];
 }
 
 int
 Topology::degree(NodeId n) const
 {
-    int d = 0;
-    for (NodeId other = 0; other < numNodes_; ++other)
-        if (other != n && connected(n, other))
-            ++d;
-    return d;
+    if (n < 0 || n >= numNodes_)
+        return 0;
+    return adjOff_[static_cast<std::size_t>(n) + 1] -
+           adjOff_[static_cast<std::size_t>(n)];
 }
 
 std::vector<NodeId>
 Topology::peersOf(NodeId n) const
 {
-    std::vector<NodeId> peers;
-    for (NodeId other = 0; other < numNodes_; ++other)
-        if (other != n && connected(n, other))
-            peers.push_back(other);
-    return peers;
+    if (n < 0 || n >= numNodes_)
+        return {};
+    return {adjPeers_.begin() + adjOff_[static_cast<std::size_t>(n)],
+            adjPeers_.begin() +
+                adjOff_[static_cast<std::size_t>(n) + 1]};
 }
 
 int
@@ -388,7 +459,7 @@ Topology::hopCount(NodeId a, NodeId b) const
 {
     if (a < 0 || b < 0 || a >= numNodes_ || b >= numNodes_)
         return -1;
-    return dist_[pairIndex(a, b)];
+    return nodeDistance(a, b);
 }
 
 bool
@@ -397,19 +468,66 @@ Topology::reachable(NodeId a, NodeId b) const
     return hopCount(a, b) >= 0;
 }
 
-const std::vector<NodeId> &
+RouteView
 Topology::route(NodeId a, NodeId b) const
 {
     if (a < 0 || b < 0 || a >= numNodes_ || b >= numNodes_)
         fatal("topology '", name_, "': route query (", a, ",", b,
               ") is out of range (", numNodes_, " nodes)");
-    return routes_[pairIndex(a, b)];
+    // One scratch per thread, shared by every Topology instance: the
+    // returned view is valid until the next route() on this thread.
+    static thread_local std::vector<NodeId> scratch;
+    static thread_local std::vector<NodeId> candidates;
+    scratch.clear();
+    if (a == b) {
+        scratch.push_back(a);
+        return {scratch.data(), 1};
+    }
+    if (nodeDistance(a, b) < 0)
+        return {scratch.data(), 0};
+
+    // Greedy shortest-path walk from the lower endpoint, picking at
+    // every step among the neighbours still on a shortest path: the
+    // lowest id wins, except when every candidate is a switch -- then
+    // the pair stripes across the candidates by (a + b) modulo their
+    // count, spreading disjoint pairs over parallel crossbar planes
+    // (and cross-chassis pairs over parallel spines) while staying a
+    // pure (hence symmetric, byte-stable) function of the endpoints.
+    // The higher-to-lower route is the exact reversal. This replays,
+    // hop for hop, the walk the retired all-pairs materializer ran at
+    // construction time, so routes are byte-identical to it.
+    const NodeId lo = std::min(a, b);
+    const NodeId hi = std::max(a, b);
+    scratch.push_back(lo);
+    NodeId at = lo;
+    while (at != hi) {
+        const int remaining = nodeDistance(at, hi);
+        candidates.clear();
+        for (int k = adjOff_[static_cast<std::size_t>(at)];
+             k < adjOff_[static_cast<std::size_t>(at) + 1]; ++k) {
+            const NodeId next = adjPeers_[static_cast<std::size_t>(k)];
+            if (nodeDistance(next, hi) == remaining - 1)
+                candidates.push_back(next); // ascending ids
+        }
+        bool all_switches = candidates.size() > 1;
+        for (NodeId c : candidates)
+            all_switches = all_switches && isSwitch(c);
+        const std::size_t pick =
+            all_switches
+                ? static_cast<std::size_t>(lo + hi) % candidates.size()
+                : 0;
+        at = candidates[pick];
+        scratch.push_back(at);
+    }
+    if (a > b)
+        std::reverse(scratch.begin(), scratch.end());
+    return {scratch.data(), scratch.size()};
 }
 
 std::string
 Topology::routeString(NodeId a, NodeId b) const
 {
-    const std::vector<NodeId> &path = route(a, b);
+    const RouteView path = route(a, b);
     if (path.empty())
         return "(none)";
     std::string out;
@@ -419,6 +537,15 @@ Topology::routeString(NodeId a, NodeId b) const
         out += nodeName(path[i]);
     }
     return out;
+}
+
+std::size_t
+Topology::routeTableBytes() const
+{
+    return adjOff_.capacity() * sizeof(int) +
+           adjPeers_.capacity() * sizeof(NodeId) +
+           adjLinks_.capacity() * sizeof(int) +
+           dist_.capacity() * sizeof(std::int16_t);
 }
 
 } // namespace gpubox::noc

@@ -10,24 +10,36 @@
  * links attached to it, so routes between GPUs traverse the switch
  * and contention becomes visible to every pair sharing it.
  *
- * Every topology precomputes deterministic shortest-path route tables
- * at construction time: the route between two nodes is the
- * minimal-hop path whose ties break toward the lowest next-hop id
- * (computed from the lower endpoint; the reverse direction reuses the
- * reversed path, so routes are symmetric by construction). One
- * deliberate exception keeps switched fabrics from collapsing onto a
- * single plane: when *all* tied next-hop candidates are switches, the
- * pair stripes across them by (src + dst) modulo the candidate count
- * -- still a pure function of the endpoints, so routes stay symmetric
- * and byte-stable, but disjoint pairs spread over the planes the way
- * real NVSwitch traffic does. Whether a runtime lets peer access ride
- * those routes is a *platform* decision (rt::Platform::peerOverRoutes),
- * not a property of the graph.
+ * Routes are deterministic shortest paths computed *on demand*: the
+ * route between two nodes is the minimal-hop path whose ties break
+ * toward the lowest next-hop id (walked from the lower endpoint; the
+ * reverse direction is the reversed path, so routes are symmetric by
+ * construction). One deliberate exception keeps switched fabrics from
+ * collapsing onto a single plane: when *all* tied next-hop candidates
+ * are switches, the pair stripes across them by (src + dst) modulo
+ * the candidate count -- still a pure function of the endpoints, so
+ * routes stay symmetric and byte-stable, but disjoint pairs spread
+ * over the planes the way real NVSwitch traffic does. Whether a
+ * runtime lets peer access ride those routes is a *platform* decision
+ * (rt::Platform::peerOverRoutes), not a property of the graph.
+ *
+ * Storage is O(nodes + links), not O(nodes^2) paths: the constructor
+ * retains only a CSR adjacency structure plus a distance oracle --
+ * a BFS-filled 16-bit all-pairs table on small flat graphs, or the
+ * closed-form chassis/NIC/spine distance rule on superpods (where an
+ * n^2 table would already be megabytes at one thousand GPUs). route()
+ * replays the greedy tie-break walk against that oracle into a
+ * thread-local scratch buffer and returns a non-owning RouteView, so
+ * the hot path never allocates and a 1024-GPU pod constructs in
+ * microseconds instead of materializing ~6M path vectors.
  */
 
 #ifndef GPUBOX_NOC_TOPOLOGY_HH
 #define GPUBOX_NOC_TOPOLOGY_HH
 
+#include <algorithm>
+#include <cstdint>
+#include <ostream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -66,7 +78,63 @@ enum class SwitchRole
 /** Undirected link between two nodes (GPU or switch endpoints). */
 using Link = std::pair<NodeId, NodeId>;
 
-/** Static interconnect graph with precomputed route tables. */
+/**
+ * Non-owning view of one route, inclusive of both endpoints. Returned
+ * by Topology::route(); the nodes live in a thread-local scratch
+ * buffer, so a view is INVALIDATED by the next route()/routeString()
+ * call on the same thread -- copy (toVector()) before requesting a
+ * second route if both must be held.
+ */
+class RouteView
+{
+  public:
+    using value_type = NodeId;
+    using const_iterator = const NodeId *;
+
+    RouteView() = default;
+    RouteView(const NodeId *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    const NodeId *begin() const { return data_; }
+    const NodeId *end() const { return data_ + size_; }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    NodeId operator[](std::size_t i) const { return data_[i]; }
+    NodeId front() const { return data_[0]; }
+    NodeId back() const { return data_[size_ - 1]; }
+
+    /** Owning copy, for callers that must outlive the scratch. */
+    std::vector<NodeId> toVector() const { return {begin(), end()}; }
+
+  private:
+    const NodeId *data_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+inline bool
+operator==(RouteView a, RouteView b)
+{
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+}
+
+inline bool
+operator==(RouteView a, const std::vector<NodeId> &b)
+{
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+}
+
+inline std::ostream &
+operator<<(std::ostream &os, RouteView v)
+{
+    os << '[';
+    for (std::size_t i = 0; i < v.size(); ++i)
+        os << (i ? " " : "") << v[i];
+    return os << ']';
+}
+
+/** Static interconnect graph with on-demand deterministic routing. */
 class Topology
 {
   public:
@@ -121,6 +189,10 @@ class Topology
      * GPUs box-major, then planes box-major, then NICs gpu-major,
      * then spines. Fatal for num_boxes < 2, gpus_per_box < 2,
      * planes_per_box < 1 or num_spines < 1.
+     *
+     * Because the shape is regular, distances follow a closed form
+     * and the constructor skips the all-pairs BFS entirely -- a pod
+     * constructs in O(links) regardless of size.
      */
     static Topology superpod(std::string name, int num_boxes,
                              int gpus_per_box, int planes_per_box,
@@ -184,7 +256,7 @@ class Topology
     /** All single-hop neighbours of @p n (GPUs and switches). */
     std::vector<NodeId> peersOf(NodeId n) const;
 
-    /** @name Precomputed shortest-path routes @{ */
+    /** @name On-demand shortest-path routes @{ */
 
     /**
      * Links on the shortest route between @p a and @p b: 0 for a==b,
@@ -198,35 +270,68 @@ class Topology
     /**
      * The deterministic shortest route from @p a to @p b, inclusive of
      * both endpoints ({a} when a==b, empty when unreachable). Fatal
-     * for out-of-range ids.
+     * for out-of-range ids. The returned view aliases a thread-local
+     * scratch buffer and is invalidated by the next route() call on
+     * this thread (any Topology instance) -- see RouteView.
      */
-    const std::vector<NodeId> &route(NodeId a, NodeId b) const;
+    RouteView route(NodeId a, NodeId b) const;
 
     /** Human-readable route, e.g. "0 -> sw1 -> 5"; "(none)" absent. */
     std::string routeString(NodeId a, NodeId b) const;
 
+    /**
+     * Bytes retained for routing after construction: the CSR
+     * adjacency arrays plus the BFS distance table (zero-sized on
+     * superpods, which use the closed-form oracle). This is the whole
+     * per-instance routing footprint -- there is no per-pair state.
+     */
+    std::size_t routeTableBytes() const;
+
+    /** True when distances come from the closed-form superpod rule
+     *  instead of a stored BFS table. */
+    bool usesClosedFormDistances() const { return pod_.boxes > 0; }
+
     /** @} */
 
   private:
-    Topology(std::string name, int num_gpus, int num_switches,
-             std::vector<Link> links);
+    /** Regular-shape descriptor; boxes == 0 on non-pod graphs. */
+    struct PodSpec
+    {
+        int boxes = 0;
+        int gpusPerBox = 0;
+        int planesPerBox = 0;
+        int spines = 0;
+    };
 
-    /** All-pairs BFS distances + materialized routes (see file doc). */
-    void buildRouteTables();
+    Topology(std::string name, int num_gpus, int num_switches,
+             std::vector<Link> links, PodSpec pod);
+
+    /** All-pairs BFS into the 16-bit dist_ table (flat graphs only). */
+    void buildDistanceTable();
+
+    /** Closed-form superpod distance (pod_ set); -1 never occurs. */
+    int podDistance(NodeId a, NodeId b) const;
+
+    /** Distance oracle: dist_ lookup or podDistance(). Both ids must
+     *  be in range. */
+    int nodeDistance(NodeId a, NodeId b) const;
 
     /** Refresh per-role switch indices after assigning switchRoles_. */
     void recomputeRoleIndices();
-
-    std::size_t pairIndex(NodeId a, NodeId b) const;
 
     std::string name_;
     int numGpus_;
     int numNodes_;
     std::vector<Link> links_;
-    std::vector<int> linkOf_;  // numNodes*numNodes -> link index or -1
-    std::vector<int> dist_;    // numNodes*numNodes -> hops or -1
-    std::vector<std::vector<NodeId>> routes_; // numNodes*numNodes paths
-    std::vector<SwitchRole> switchRoles_;     // one per switch
+    /** @name CSR adjacency (peers ascending per node) @{ */
+    std::vector<int> adjOff_;      // numNodes_+1 offsets
+    std::vector<NodeId> adjPeers_; // neighbour ids
+    std::vector<int> adjLinks_;    // parallel index into links_
+    /** @} */
+    std::vector<std::int16_t> dist_; // n*n BFS hops (-1 unreachable);
+                                     // empty on pods
+    PodSpec pod_;
+    std::vector<SwitchRole> switchRoles_; // one per switch
     std::vector<int> roleIndex_; // per switch: index within its role
     std::vector<int> islandOf_;  // per node: chassis id or -1
     int numIslands_ = 1;

@@ -263,6 +263,85 @@ dgxSuperpod()
     return p;
 }
 
+/**
+ * Production-scale gigapod: sixty-four DGX-2 class boxes (1024 V100s,
+ * 2440 fabric nodes, 15360 links) behind eight shared RDMA spines --
+ * the ROADMAP's thousand-GPU north star. The descriptor exists to
+ * prove the route layer's O(n) scaling: with on-demand routing a pod
+ * this size constructs in the time the 308-node superpod used to, and
+ * Topology::routeTableBytes() stays within a few hundred kilobytes
+ * where materialized all-pairs paths would be hundreds of megabytes
+ * (the memory-ceiling regression test in tests/test_route_scaling.cc
+ * pins the ratio). Per-box hardware, link generations and switch
+ * flavors are exactly the dgx-superpod model, so every attack result
+ * transfers; only the scale (and the spine fan-in: 1024 NICs over 8
+ * spines vs 128 over 4) changes.
+ */
+Platform
+dgxGigapod()
+{
+    Platform p;
+    p.name = "dgx-gigapod";
+    p.description = "64 DGX-2 class boxes (1024x V100) with per-GPU "
+                    "NICs on an 8-spine RDMA fabric (pod-scale O(n) "
+                    "routing)";
+    p.linkGen = "nvswitch-port+rdma";
+    p.topology = noc::Topology::superpod("dgx-gigapod", 64, 16, 6, 8);
+    p.peerOverRoutes = true;
+    p.link = noc::LinkGen::nvswitchPort();
+
+    // Same role-driven parameter assignment as the superpod.
+    std::size_t nvswitch_links = 0, nic_links = 0, rdma_links = 0;
+    for (const noc::Link &l : p.topology.links()) {
+        const bool spine_end =
+            (p.topology.isSwitch(l.first) &&
+             p.topology.switchRole(l.first) == noc::SwitchRole::Spine) ||
+            (p.topology.isSwitch(l.second) &&
+             p.topology.switchRole(l.second) == noc::SwitchRole::Spine);
+        const bool nic_end =
+            (p.topology.isSwitch(l.first) &&
+             p.topology.switchRole(l.first) == noc::SwitchRole::Nic) ||
+            (p.topology.isSwitch(l.second) &&
+             p.topology.switchRole(l.second) == noc::SwitchRole::Nic);
+        if (spine_end) {
+            p.perLink.push_back(noc::LinkGen::rdmaSpine());
+            ++rdma_links;
+        } else if (nic_end) {
+            p.perLink.push_back(noc::LinkGen::nicPort());
+            ++nic_links;
+        } else {
+            p.perLink.push_back(noc::LinkGen::nvswitchPort());
+            ++nvswitch_links;
+        }
+    }
+    p.linkMix = {{"nvswitch-port", nvswitch_links},
+                 {"nic-port", nic_links},
+                 {"rdma-spine", rdma_links}};
+    for (noc::NodeId sw = p.topology.numGpus();
+         sw < p.topology.numNodes(); ++sw) {
+        switch (p.topology.switchRole(sw)) {
+        case noc::SwitchRole::Crossbar:
+            p.perSwitch.push_back(noc::SwitchGen::nvswitchPlane());
+            break;
+        case noc::SwitchRole::Nic:
+            p.perSwitch.push_back(noc::SwitchGen::nicEngine());
+            break;
+        case noc::SwitchRole::Spine:
+            p.perSwitch.push_back(noc::SwitchGen::rdmaSpine());
+            break;
+        }
+    }
+
+    // Per-box hardware is the dgx2-nvswitch V100 calibration.
+    p.device.numSms = 80;
+    p.device.l2.sizeBytes = 8ULL << 20;
+    p.timing.l2HitCycles = 215;
+    p.timing.hbmCycles = 400;
+    p.timing.remoteMissExtra = 120;
+    p.timing.clockGhz = 1.53;
+    return p;
+}
+
 } // namespace
 
 std::vector<std::pair<std::string, std::size_t>>
@@ -304,6 +383,7 @@ allPlatforms()
         quadRing(),
         pcieBox(),
         dgxSuperpod(),
+        dgxGigapod(),
     };
     return platforms;
 }

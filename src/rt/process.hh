@@ -39,9 +39,9 @@ class Process
     {
         const auto f = static_cast<unsigned>(from);
         const auto t = static_cast<unsigned>(to);
-        if (f >= kMaxGpus || t >= kMaxGpus)
+        if (f >= numGpus_ || t >= numGpus_)
             return false;
-        return (peerBits_[f] >> t) & 1;
+        return (peerBits_[f * peerWords_ + t / 64] >> (t % 64)) & 1;
     }
 
     /** MIG slice this process' L2 traffic is confined to. */
@@ -52,17 +52,24 @@ class Process
     const std::vector<Stream *> &streams() const { return streams_; }
 
   private:
-    Process(int id, std::string name, const mem::AddressCodec &codec)
-        : id_(id), name_(std::move(name)), space_(codec)
+    Process(int id, std::string name, const mem::AddressCodec &codec,
+            int num_gpus)
+        : id_(id), name_(std::move(name)), space_(codec),
+          numGpus_(static_cast<unsigned>(num_gpus)),
+          peerWords_((numGpus_ + 63) / 64),
+          peerBits_(static_cast<std::size_t>(numGpus_) * peerWords_)
     {}
 
     int id_;
     std::string name_;
     mem::VirtualSpace space_;
-    /** Peer grants as a bit matrix: row = from, bit = to. Checked on
-     *  every remote access, so this must stay a couple of loads. */
-    static constexpr unsigned kMaxGpus = 64;
-    std::array<std::uint64_t, kMaxGpus> peerBits_{};
+    /** Peer grants as a bit matrix sized to the platform's GPU count
+     *  (a pod has a thousand GPUs; the old fixed 64x64 array silently
+     *  overflowed beyond it). Row = from, bit = to; checked on every
+     *  remote access, so this must stay a couple of loads. */
+    unsigned numGpus_;
+    unsigned peerWords_;
+    std::vector<std::uint64_t> peerBits_;
     std::vector<Stream *> streams_;
     unsigned partition_ = 0;
 };

@@ -13,8 +13,6 @@ Runtime::Runtime(const SystemConfig &config)
     : config_(config), codec_(config.pageBytes),
       jitterRng_(Rng(config.seed).split(0xc0ffee))
 {
-    Rng root(config_.seed);
-
     l2Indexer_ = std::make_unique<cache::HashedPageIndexer>(
         config_.device.l2.numSets(), config_.device.l2.lineBytes,
         config_.pageBytes, mix64(config_.seed ^ 0x5a17ULL));
@@ -31,12 +29,14 @@ Runtime::Runtime(const SystemConfig &config)
                         config_.topology, config_.perLink,
                         config_.resolvedPerSwitch());
 
+    // Devices and frame pools materialize on first use (device(),
+    // allocator()): their RNG streams are split off the root seed by
+    // GPU id, so a device built lazily is byte-identical to one built
+    // here. Only the cheap per-GPU bookkeeping is laid out up front.
     const int n = config_.topology.numGpus();
+    devices_.resize(static_cast<std::size_t>(n));
+    allocators_.resize(static_cast<std::size_t>(n));
     for (GpuId g = 0; g < n; ++g) {
-        devices_.push_back(std::make_unique<gpu::Device>(
-            g, config_.device, *l2Indexer_, root.split(100 + g)));
-        allocators_.push_back(std::make_unique<mem::PageAllocator>(
-            config_.framesPerGpu, root.split(200 + g)));
         l2Ports_.emplace_back(config_.timing.l2PortWindow,
                               config_.timing.l2PortFreeSlots,
                               config_.timing.l2PortQueuePerExtra);
@@ -50,13 +50,34 @@ Runtime::Runtime(const SystemConfig &config)
         enableMigPartitioning(config_.migSlices);
 }
 
+void
+Runtime::materializeDevice(GpuId id)
+{
+    devices_[static_cast<std::size_t>(id)] =
+        std::make_unique<gpu::Device>(id, config_.device, *l2Indexer_,
+                                      Rng(config_.seed).split(100 + id));
+    if (migSlices_ > 1)
+        devices_[static_cast<std::size_t>(id)]->l2().setWayPartitions(
+            migSlices_);
+}
+
+mem::PageAllocator &
+Runtime::allocator(GpuId gpu)
+{
+    auto &pool = allocators_[static_cast<std::size_t>(gpu)];
+    if (!pool)
+        pool = std::make_unique<mem::PageAllocator>(
+            config_.framesPerGpu, Rng(config_.seed).split(200 + gpu));
+    return *pool;
+}
+
 Runtime::~Runtime() = default;
 
 Process &
 Runtime::createProcess(const std::string &name)
 {
     processes_.push_back(std::unique_ptr<Process>(
-        new Process(nextProcessId_++, name, codec_)));
+        new Process(nextProcessId_++, name, codec_, numGpus())));
     return *processes_.back();
 }
 
@@ -107,7 +128,7 @@ Runtime::deviceMalloc(Process &proc, GpuId gpu, std::uint64_t bytes)
 {
     if (gpu < 0 || gpu >= numGpus())
         fatal("deviceMalloc on invalid GPU ", gpu);
-    return proc.space().allocate(bytes, gpu, *allocators_[gpu]);
+    return proc.space().allocate(bytes, gpu, allocator(gpu));
 }
 
 void
@@ -125,7 +146,7 @@ Runtime::deviceFree(Process &proc, VAddr base)
     }
     for (int sm = 0; sm < device(gpu).numSms(); ++sm)
         device(gpu).l1(sm).flush();
-    proc.space().release(base, *allocators_[gpu]);
+    proc.space().release(base, allocator(gpu));
 }
 
 Status
@@ -168,23 +189,29 @@ Runtime::enablePeerAccess(Process &proc, GpuId from, GpuId to)
                 std::to_string(config_.topology.hopCount(from, to)) +
                 " hops)");
     }
-    proc.peerBits_[static_cast<unsigned>(from)] |= 1ULL << to;
+    proc.peerBits_[static_cast<std::size_t>(from) * proc.peerWords_ +
+                   static_cast<unsigned>(to) / 64] |=
+        1ULL << (static_cast<unsigned>(to) % 64);
     return Status::okStatus();
 }
 
 void
 Runtime::enableMigPartitioning(unsigned slices)
 {
+    migSlices_ = slices;
+    // Devices not yet materialized pick the partitioning up in
+    // materializeDevice(); re-partitioning an already-running device
+    // keeps the old flush semantics.
     for (auto &dev : devices_)
-        dev->l2().setWayPartitions(slices);
+        if (dev)
+            dev->l2().setWayPartitions(slices);
 }
 
 void
 Runtime::assignPartition(Process &proc, unsigned slice)
 {
-    const unsigned parts = devices_.front()->l2().numWayPartitions();
-    if (slice >= parts)
-        fatal("assignPartition: slice ", slice, " of ", parts);
+    if (slice >= migSlices_)
+        fatal("assignPartition: slice ", slice, " of ", migSlices_);
     proc.partition_ = slice;
 }
 

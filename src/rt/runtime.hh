@@ -63,12 +63,21 @@ class Runtime
 
     sim::Engine &engine() { return *engine_; }
 
+    /**
+     * Device @p id, materialized on first use: a pod-scale platform
+     * declares a thousand GPUs but a scenario touches a handful, and
+     * each gpu::Device carries megabytes of cache directory. The
+     * per-device RNG streams are split off the root seed by device id,
+     * so materialization order cannot change any simulated byte.
+     */
     gpu::Device &
     device(GpuId id)
     {
         if (id < 0 || id >= numGpus())
             fatal("device id ", id, " out of range (", numGpus(),
                   " GPUs)");
+        if (!devices_[id])
+            materializeDevice(id);
         return *devices_[id];
     }
 
@@ -256,6 +265,13 @@ class Runtime
     /** fatal() with every blocked stream/actor named. */
     [[noreturn]] void reportDeadlock(const std::string &waitingFor);
 
+    /** Build devices_[id] (see device()). */
+    void materializeDevice(GpuId id);
+
+    /** Frame pool of @p gpu, materialized on first use like its
+     *  device (the pool's shuffle RNG is split by GPU id). */
+    mem::PageAllocator &allocator(GpuId gpu);
+
     SystemConfig config_;
     mem::AddressCodec codec_;
     std::unique_ptr<cache::SetIndexer> l2Indexer_;
@@ -274,6 +290,9 @@ class Runtime
     std::map<std::pair<int, GpuId>, Stream *> defaultStreams_;
     std::vector<std::deque<PendingBlock>> pending_; // per GPU
     Rng jitterRng_;
+    /** Active L2 way-partition count (applied to every device,
+     *  including ones materialized later). */
+    unsigned migSlices_ = 1;
     int nextProcessId_ = 0;
     int nextStreamId_ = 0;
     int nextEventId_ = 0;

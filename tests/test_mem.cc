@@ -51,7 +51,9 @@ TEST(AddressCodec, RejectsBadInputs)
     AddressCodec codec(4096);
     EXPECT_THROW(codec.pack(0, 0, 4096), FatalError); // offset too big
     EXPECT_THROW(codec.pack(-1, 0, 0), FatalError);
-    EXPECT_THROW(codec.pack(256, 0, 0), FatalError);
+    // 12-bit gpu field: pod-scale ids pack, 4096 is the first to not.
+    EXPECT_NO_THROW(codec.pack(1023, 0, 0));
+    EXPECT_THROW(codec.pack(4096, 0, 0), FatalError);
     EXPECT_THROW(codec.pack(0, 1ULL << 33, 0), FatalError);
 }
 

@@ -20,7 +20,7 @@ namespace
 TEST(PlatformRegistry, KnownPlatformsAreRegistered)
 {
     const auto names = platformNames();
-    ASSERT_EQ(names.size(), 7u);
+    ASSERT_EQ(names.size(), 8u);
     EXPECT_EQ(names[0], "dgx1-p100");
     EXPECT_EQ(names[1], "dgx2-nvswitch");
     EXPECT_EQ(names[2], "dgx2-mig2");
@@ -28,6 +28,7 @@ TEST(PlatformRegistry, KnownPlatformsAreRegistered)
     EXPECT_EQ(names[4], "quad-ring");
     EXPECT_EQ(names[5], "pcie-box");
     EXPECT_EQ(names[6], "dgx-superpod");
+    EXPECT_EQ(names[7], "dgx-gigapod");
     for (const auto &n : names) {
         EXPECT_TRUE(platformExists(n));
         EXPECT_EQ(platformByName(n).name, n);
@@ -183,6 +184,43 @@ TEST(PlatformRegistry, SuperpodComposesBoxesOverASpine)
               noc::SwitchGen::nicEngine().crossbarCycles);
     EXPECT_EQ(sw[176].windowCycles,
               noc::SwitchGen::rdmaSpine().windowCycles);
+}
+
+TEST(PlatformRegistry, GigapodScalesTheSuperpodShape)
+{
+    // 64 boxes x 16 V100s behind 8 spines: the thousand-GPU pod the
+    // O(n) route layer exists for. Same box hardware and link
+    // generations as dgx-superpod, ~8x the scale.
+    const Platform &p = platformByName("dgx-gigapod");
+    const noc::Topology &t = p.topology;
+    EXPECT_EQ(t.numGpus(), 1024);
+    EXPECT_EQ(t.numSwitches(), 1416); // 384 planes + 1024 NICs + 8 spines
+    EXPECT_EQ(t.numNodes(), 2440);
+    EXPECT_EQ(t.numIslands(), 64);
+    EXPECT_EQ(t.numSwitchesOfRole(noc::SwitchRole::Crossbar), 384);
+    EXPECT_EQ(t.numSwitchesOfRole(noc::SwitchRole::Nic), 1024);
+    EXPECT_EQ(t.numSwitchesOfRole(noc::SwitchRole::Spine), 8);
+    EXPECT_EQ(t.links().size(), 15360u);
+    EXPECT_TRUE(p.peerOverRoutes);
+    ASSERT_EQ(p.perLink.size(), t.links().size());
+    ASSERT_EQ(p.perSwitch.size(),
+              static_cast<std::size_t>(t.numSwitches()));
+    const auto mix = p.resolvedLinkMix();
+    ASSERT_EQ(mix.size(), 3u);
+    EXPECT_EQ(mix[0].first, "nvswitch-port");
+    EXPECT_EQ(mix[0].second, 6144u);
+    EXPECT_EQ(mix[1].first, "nic-port");
+    EXPECT_EQ(mix[1].second, 1024u);
+    EXPECT_EQ(mix[2].first, "rdma-spine");
+    EXPECT_EQ(mix[2].second, 8192u);
+    // Pod routing: plane hop inside a box, NIC-spine-NIC across.
+    EXPECT_EQ(t.hopCount(0, 15), 2);
+    EXPECT_EQ(t.hopCount(0, 1023), 4);
+    EXPECT_TRUE(t.crossIsland(0, 1023));
+    // Same V100 calibration as dgx2-nvswitch / dgx-superpod.
+    EXPECT_EQ(p.device.numSms, 80);
+    EXPECT_EQ(p.device.l2.sizeBytes, 8ULL << 20);
+    EXPECT_EQ(p.timing.clockGhz, 1.53);
 }
 
 TEST(PlatformRegistry, GeometryFitsTheHashedIndexer)
