@@ -14,6 +14,7 @@ namespace gpubox::bench
 {
 
 void registerPerfSim();
+void registerPerfShard();
 void registerFig04AccessTiming();
 void registerFig05EvsetValidation();
 void registerFig06Aliasing();

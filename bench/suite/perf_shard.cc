@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Sharded-engine scaling sweep (registry entry `perf_shard`).
+ *
+ * The workload the island-sharded engine exists for: K independent
+ * per-island tenants on a multi-chassis platform, each running
+ * island-local kernels and an intra-island DMA on its own process.
+ * Tenants never touch each other's islands, so under `--shards N` the
+ * runtime keeps them in disjoint schedule groups and the conduction
+ * loop advances them on parallel workers -- while every row below is
+ * a simulated quantity (per-tenant latency checksums, merged engine
+ * counters) and stays byte-identical at any shard count.
+ *
+ * The phase structure is deliberately bulk-synchronous -- enqueue all
+ * tenants' work, then sync the streams in tenant order -- which is
+ * the pattern the sharded engine makes exact at any shard count (see
+ * sim/sharded_engine.hh's window-granularity note).
+ */
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "bench/suite/benches.hh"
+#include "bench/suite/suite_common.hh"
+#include "exp/registry.hh"
+#include "noc/topology.hh"
+#include "rt/runtime.hh"
+
+namespace gpubox::bench
+{
+namespace
+{
+
+/** Tenants are capped so the gigapod sweep stays bench-sized; the cap
+ *  still leaves every shard count up to 16 with distinct islands. */
+constexpr int kMaxTenants = 16;
+
+void
+runShardScaling(const exp::Scenario &sc, exp::RunContext &ctx)
+{
+    rt::Runtime rt(sc.system);
+    const noc::Topology &topo = rt.config().topology;
+    const std::uint32_t line = sc.system.device.l2.lineBytes;
+    const int lines_n = 512;
+    const int launches = static_cast<int>(
+        std::strtoul(sc.paramOr("launches").c_str(), nullptr, 0));
+    const int tenants = std::min(topo.numIslands(), kMaxTenants);
+
+    // First two GPUs of each occupied island: the tenant's compute
+    // GPU and its intra-island DMA peer.
+    std::vector<GpuId> gpu_a(tenants, -1), gpu_b(tenants, -1);
+    for (GpuId g = 0; g < rt.numGpus(); ++g) {
+        const int isl = topo.island(g);
+        if (isl < 0 || isl >= tenants)
+            continue;
+        if (gpu_a[isl] < 0)
+            gpu_a[isl] = g;
+        else if (gpu_b[isl] < 0)
+            gpu_b[isl] = g;
+    }
+
+    std::vector<rt::Process *> procs(tenants);
+    std::vector<rt::Stream *> streams(tenants);
+    std::vector<std::uint64_t> sums(tenants, 0);
+    std::uint64_t items = 0;
+
+    // Enqueue phase: every tenant's kernels and DMA go in before any
+    // sync. Each tenant touches only its own island's GPUs, memory
+    // and stream, so the schedule groups stay disjoint.
+    for (int t = 0; t < tenants; ++t) {
+        const GpuId a = gpu_a[t];
+        const GpuId b = gpu_b[t] >= 0 ? gpu_b[t] : a;
+        procs[t] = &rt.createProcess(strf("tenant%d", t));
+        rt::Process &p = *procs[t];
+        const VAddr buf = rt.deviceMalloc(
+            p, a, static_cast<std::uint64_t>(lines_n) * line);
+        const VAddr peer = rt.deviceMalloc(
+            p, b, static_cast<std::uint64_t>(lines_n) * line);
+        streams[t] = &rt.stream(p, a);
+        rt::Stream &stream = *streams[t];
+
+        // Intra-island DMA: exercises the coupling hooks without
+        // leaving the island (a and b share a chassis).
+        stream.memcpyAsync(buf, peer,
+                           static_cast<std::uint64_t>(lines_n) * line);
+
+        for (int l = 0; l < launches; ++l) {
+            // Tenant-keyed stride so tenants do distinct (but
+            // island-local) access patterns.
+            const int stride = 1 + (t % 7);
+            auto kernel = [=, &sum = sums[static_cast<std::size_t>(t)]](
+                              rt::BlockCtx &bctx) -> sim::Task {
+                for (int i = 0; i < lines_n; ++i) {
+                    const Cycles t0 = bctx.actor().now();
+                    co_await bctx.ldcg64(
+                        buf + ((i * stride) % lines_n) * line);
+                    sum += bctx.actor().now() - t0;
+                }
+            };
+            gpu::KernelConfig kcfg;
+            stream.launch(kcfg, kernel);
+        }
+        items += static_cast<std::uint64_t>(lines_n) * launches;
+    }
+
+    // Sync phase, in tenant order (deterministic drain order).
+    for (int t = 0; t < tenants; ++t)
+        rt.sync(*streams[t]);
+
+    std::uint64_t checksum = 0;
+    for (int t = 0; t < tenants; ++t)
+        checksum += sums[static_cast<std::size_t>(t)] *
+                    static_cast<std::uint64_t>(t + 1);
+
+    const auto stats = rt.metrics().engine;
+    ctx.row(sc.system.platform, tenants, launches, sc.seed, items,
+            checksum, stats.steps, stats.now);
+    ctx.metric("items", static_cast<double>(items));
+    ctx.metric("engine_steps", static_cast<double>(stats.steps));
+    simCyclesMetric(ctx, rt);
+}
+
+std::vector<exp::Scenario>
+shardScenarios(const exp::ScenarioDefaults &d)
+{
+    exp::Scenario base;
+    base.name = "shard";
+    base.applyDefaults(d.seed, d.platform);
+    const auto keep = [](exp::Scenario &) {};
+
+    // Multi-island platforms only (the bench is about island
+    // parallelism); `--platform` focuses the sweep as usual.
+    std::vector<exp::ScenarioMatrix::Point> points;
+    if (d.platform.empty()) {
+        for (const char *name : {"dgx-superpod", "dgx-gigapod"}) {
+            points.emplace_back(name, [name](exp::Scenario &sc) {
+                sc.setPlatform(name);
+            });
+        }
+    } else {
+        const std::string name = d.platform;
+        points.emplace_back(name, [name](exp::Scenario &sc) {
+            sc.setPlatform(name);
+        });
+    }
+    return exp::ScenarioMatrix(base)
+        .axis("platform", points)
+        .axis("launches", {{"4", keep}, {"16", keep}})
+        .expand();
+}
+
+void
+renderShard(const exp::Report &report, std::FILE *out)
+{
+    std::fprintf(out, "\n  %-16s %8s %9s %12s %18s %12s %14s\n",
+                 "platform", "tenants", "launches", "items",
+                 "checksum", "steps", "sim_cycles");
+    for (const auto &res : report.results) {
+        for (const auto &row : res.rows) {
+            std::fprintf(out,
+                         "  %-16s %8s %9s %12s %18s %12s %14s\n",
+                         row[0].c_str(), row[1].c_str(), row[2].c_str(),
+                         row[4].c_str(), row[5].c_str(), row[6].c_str(),
+                         row[7].c_str());
+        }
+    }
+}
+
+} // namespace
+
+void
+registerPerfShard()
+{
+    exp::BenchSpec spec;
+    spec.name = "perf_shard";
+    spec.description =
+        "island-sharded engine scaling: independent per-island "
+        "tenants on the multi-chassis platforms";
+    spec.csvHeader = {"platform", "tenants",  "launches",
+                      "seed",     "items",    "checksum",
+                      "engine_steps", "sim_cycles"};
+    spec.scenarios = shardScenarios;
+    spec.run = runShardScaling;
+    spec.render = renderShard;
+    exp::BenchRegistry::instance().add(std::move(spec));
+}
+
+} // namespace gpubox::bench

@@ -12,6 +12,7 @@ registerAllBenches()
     done = true;
 
     registerPerfSim();
+    registerPerfShard();
     registerTable01CacheParams();
     registerFig04AccessTiming();
     registerFig05EvsetValidation();

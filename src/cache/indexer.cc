@@ -23,9 +23,12 @@ HashedPageIndexer::HashedPageIndexer(std::uint32_t num_sets,
     numColors_ = colorCount(num_sets, line_bytes, page_bytes);
     pageShift_ = floorLog2(page_bytes);
     lineShift_ = floorLog2(line_bytes);
+    if (num_sets > (1u << 16))
+        fatal("HashedPageIndexer: more than 2^16 sets breaks the packed "
+              "page memo");
     frameFieldBits_ = 32; // matches mem::AddressCodec's layout
-    memoKey_.fill(~0ULL);
-    memoStart_.fill(0);
+    for (auto &e : memo_)
+        e.store(~0ULL, std::memory_order_relaxed);
 }
 
 std::uint32_t

@@ -18,6 +18,7 @@
 #define GPUBOX_CACHE_INDEXER_HH
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 
 #include "util/types.hh"
@@ -80,20 +81,34 @@ class HashedPageIndexer final : public SetIndexer
      * Inline hot path with a small direct-mapped page memo: probe
      * loops cycle through a handful of pages, so the color hash is
      * only recomputed on a memo miss. The memo is pure caching -- the
-     * returned index is a function of the address alone.
+     * returned index is a function of the address alone -- and each
+     * entry packs (page key << 16 | page start) into one word loaded
+     * and stored atomically (relaxed), so concurrent shard groups can
+     * never observe a key paired with another page's start. Any value
+     * another thread raced in is either the sentinel (recompute) or
+     * the correct packed pair for its key.
      */
     SetIndex
     setFor(PAddr line_addr) const override
     {
         const std::uint64_t page_key = line_addr >> pageShift_;
-        const std::size_t slot = page_key & (kMemoSlots - 1);
-        if (page_key != memoKey_[slot]) {
-            memoStart_[slot] = startOfPage(page_key);
-            memoKey_[slot] = page_key;
-        }
         const std::uint64_t line_in_page =
             (line_addr & (pageBytes_ - 1)) >> lineShift_;
-        return static_cast<SetIndex>((memoStart_[slot] + line_in_page) &
+        if (page_key >= (1ULL << kMemoKeyBits)) {
+            // Key too wide to pack (pod-scale GPU ids): straight
+            // recompute, still branch-free of any shared state.
+            return static_cast<SetIndex>(
+                (startOfPage(page_key) + line_in_page) & (numSets_ - 1));
+        }
+        const std::size_t slot = page_key & (kMemoSlots - 1);
+        std::uint64_t entry =
+            memo_[slot].load(std::memory_order_relaxed);
+        if ((entry >> kMemoStartBits) != page_key) {
+            entry = (page_key << kMemoStartBits) | startOfPage(page_key);
+            memo_[slot].store(entry, std::memory_order_relaxed);
+        }
+        const std::uint64_t start = entry & ((1ULL << kMemoStartBits) - 1);
+        return static_cast<SetIndex>((start + line_in_page) &
                                      (numSets_ - 1));
     }
 
@@ -131,11 +146,14 @@ class HashedPageIndexer final : public SetIndexer
     unsigned pageShift_;
     unsigned lineShift_;
     unsigned frameFieldBits_;
-    /** Direct-mapped page memo (pure cache; see setFor). ~0 is never a
-     *  real page key: addresses don't use the top bits. */
+    /** Direct-mapped page memo (pure cache; see setFor). Each entry
+     *  is (page key << kMemoStartBits) | page start in one atomic
+     *  word; the all-ones sentinel is never a real entry (its key
+     *  field exceeds the packable range). */
     static constexpr std::size_t kMemoSlots = 256;
-    mutable std::array<std::uint64_t, kMemoSlots> memoKey_;
-    mutable std::array<std::uint64_t, kMemoSlots> memoStart_;
+    static constexpr unsigned kMemoStartBits = 16;
+    static constexpr unsigned kMemoKeyBits = 64 - kMemoStartBits;
+    mutable std::array<std::atomic<std::uint64_t>, kMemoSlots> memo_;
 };
 
 } // namespace gpubox::cache

@@ -151,7 +151,11 @@ ExperimentRunner::run(const std::vector<Scenario> &scenarios,
     std::mutex progress_mu;
 
     auto run_one = [&](std::size_t i) {
-        const Scenario &sc = scenarios[i];
+        // Local copy so the runner-level shard override never mutates
+        // the caller's scenario list (repeats would observe it).
+        Scenario sc = scenarios[i];
+        if (config_.shards)
+            sc.system.shards = config_.shards;
         RunResult &res = report.results[i];
         res.index = i;
         res.name = sc.name;

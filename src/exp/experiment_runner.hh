@@ -189,6 +189,15 @@ struct RunnerConfig
      *  process-wide attack::CalibrationCache::global(). Injectable so
      *  tests can run against a private cache. */
     attack::CalibrationCache *calibrationCache = nullptr;
+    /**
+     * Intra-scenario shard-count override applied to every scenario's
+     * SystemConfig before it runs (0 keeps each scenario's own
+     * setting). Shards partition one scenario's actors by fabric
+     * island inside sim::ShardedEngine; the recorded rows, texts and
+     * metrics are byte-identical at any value -- sharding is a speed
+     * knob, like `threads`, not a modeling knob.
+     */
+    unsigned shards = 0;
 };
 
 /** Executes scenario sweeps. */

@@ -86,9 +86,9 @@ usageExit(const char *argv0, const std::string &msg)
         stderr,
         "usage: %s [--list] [--list-json] [--only a,b]\n"
         "          [--platform P] [seed] [--seed N]\n"
-        "          [--threads N] [--repeat N] [--out-dir D]\n"
-        "          [--results F] [--no-results] [--quiet]\n"
-        "          [--profile]\n",
+        "          [--threads N] [--shards N] [--repeat N]\n"
+        "          [--out-dir D] [--results F] [--no-results]\n"
+        "          [--quiet] [--profile]\n",
         argv0);
     std::exit(2);
 }
@@ -128,6 +128,9 @@ parseDriverArgs(int argc, char **argv)
             args.opt.seed = parse_u64(a, next_val());
         else if (a == "--threads")
             args.opt.threads =
+                static_cast<unsigned>(parse_u64(a, next_val()));
+        else if (a == "--shards")
+            args.opt.shards =
                 static_cast<unsigned>(parse_u64(a, next_val()));
         else if (a == "--repeat") {
             args.opt.repeat =
@@ -289,7 +292,9 @@ runBench(const BenchSpec &spec, const BenchOptions &opt, std::FILE *out)
                  "  scenarios: %zu, seed: %" PRIu64 ", platform: %s\n",
                  scenarios.size(), opt.seed, platform_label.c_str());
 
-    ExperimentRunner runner({opt.threads, opt.progress});
+    ExperimentRunner runner({.threads = opt.threads,
+                             .progress = opt.progress,
+                             .shards = opt.shards});
     const unsigned repeat = opt.repeat ? opt.repeat : 1;
     const Report report = runner.run(scenarios, spec.run);
 
@@ -370,12 +375,13 @@ writeResultsJson(const std::string &path, const BenchOptions &opt,
         fatal("cannot open results sink '", path, "' for writing");
 
     js << "{\n";
-    js << "  \"schema\": \"gpubox-bench-results/v4\",\n";
+    js << "  \"schema\": \"gpubox-bench-results/v5\",\n";
     js << "  \"seed\": " << opt.seed << ",\n";
     js << "  \"platform\": \""
        << jsonEscape(opt.platform.empty() ? "default" : opt.platform)
        << "\",\n";
     js << "  \"threads\": " << opt.threads << ",\n";
+    js << "  \"shards\": " << opt.shards << ",\n";
     js << "  \"repeat\": " << (opt.repeat ? opt.repeat : 1) << ",\n";
     js << "  \"wall_seconds_total\": " << jsonNumber(totalWallSeconds)
        << ",\n";
@@ -406,7 +412,7 @@ writeResultsJson(const std::string &path, const BenchOptions &opt,
         }
         js << "}" << (opt.profile ? "," : "") << "\n";
         if (opt.profile) {
-            // Deterministic work counters (v4): perf trajectories can
+            // Deterministic work counters (v5): perf trajectories can
             // separate "the code got faster" from "the bench now
             // simulates less".
             const sim::EngineProfile &pr = s.profile;

@@ -96,6 +96,13 @@ struct BenchOptions
     std::string platform;
     /** Worker threads per bench sweep; 0 = hardware concurrency. */
     unsigned threads = 1;
+    /**
+     * Intra-scenario shard count (`--shards`); 0 keeps every
+     * scenario's own SystemConfig.shards. Byte-identical output at
+     * any value (same contract as `threads`); recorded per run in
+     * the v5 results schema.
+     */
+    unsigned shards = 0;
     /** Directory receiving the per-bench CSVs. */
     std::string outDir = ".";
     /** Structured results sink; empty disables it. */
@@ -162,8 +169,8 @@ BenchRunSummary runBench(const BenchSpec &spec, const BenchOptions &opt,
 
 /**
  * Write the structured results sink: schema
- * `gpubox-bench-results/v4`, run-level seed/platform/threads/repeat/
- * wall clock, one entry per bench (scenarios, failures, rows,
+ * `gpubox-bench-results/v5`, run-level seed/platform/threads/shards/
+ * repeat/wall clock, one entry per bench (scenarios, failures, rows,
  * per-entry platforms, repeats, wall_seconds = min over repeats,
  * wall_seconds_mean, aggregated metrics, and -- under `--profile` --
  * an engine-counter `profile` object) and a `calibration` section

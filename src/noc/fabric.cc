@@ -121,12 +121,12 @@ Fabric::auditRouteTables() const
     // walk leg for leg, and its cached aggregates must match its
     // legs.
     for (NodeId from = 0; from < numGpus_; ++from) {
-        const PairRoute *row = gpuRows_[static_cast<std::size_t>(from)]
-                                   .get();
+        const GpuRow *row = gpuRows_[static_cast<std::size_t>(from)]
+                                .get();
         if (!row)
             continue;
         for (NodeId to = 0; to < numGpus_; ++to) {
-            const PairRoute &pr = row[to];
+            const PairRoute &pr = row->pairs[static_cast<std::size_t>(to)];
             if (pr.begin == kUncompiled)
                 continue;
             const std::vector<NodeId> path =
@@ -145,14 +145,14 @@ Fabric::auditRouteTables() const
                 path.size() - 1, " hops on '", topo_.name(), "'");
             GPUBOX_INVARIANT(
                 static_cast<std::size_t>(pr.begin) + pr.count <=
-                    legs_.size(),
+                    row->legs.size(),
                 "route table: route ", from, "->", to,
                 " points past the compiled leg store (", pr.begin, "+",
-                pr.count, " of ", legs_.size(), ")");
+                pr.count, " of ", row->legs.size(), ")");
             Cycles base = 0;
             std::uint32_t bottleneck = 0;
             for (std::uint32_t i = 0; i < pr.count; ++i) {
-                const RouteLeg &leg = legs_[pr.begin + i];
+                const RouteLeg &leg = row->legs[pr.begin + i];
                 const NodeId u = path[i];
                 const NodeId v = path[i + 1];
                 const int link = topo_.linkIndex(u, v);
@@ -222,9 +222,11 @@ Fabric::auditPortConservation() const
                          " requests but the directed counter says ",
                          perDir_[i]);
     }
-    GPUBOX_INVARIANT(legTotal == transfers_,
+    const std::uint64_t charged =
+        transfers_.load(std::memory_order_relaxed);
+    GPUBOX_INVARIANT(legTotal == charged,
                      "port conservation: ", legTotal,
-                     " directed port records vs ", transfers_,
+                     " directed port records vs ", charged,
                      " charged legs on '", topo_.name(), "'");
     std::uint64_t crossTotal = 0;
     for (std::size_t s = 0; s < crossings_.size(); ++s) {
@@ -235,9 +237,9 @@ Fabric::auditPortConservation() const
             crossbarMeters_[s].totalRequests(),
             " crossings but the counter says ", crossings_[s]);
     }
-    GPUBOX_INVARIANT(crossTotal <= transfers_,
+    GPUBOX_INVARIANT(crossTotal <= charged,
                      "port conservation: ", crossTotal,
-                     " crossbar crossings exceed ", transfers_,
+                     " crossbar crossings exceed ", charged,
                      " charged legs on '", topo_.name(), "'");
 #endif
 }
@@ -250,36 +252,39 @@ Fabric::debugCorruptRouteForAudit()
     // the first routed GPU pair in, then desynchronize one leg from
     // its route's compiled form -- the next auditRouteTables() must
     // report the mismatch.
-    if (legs_.empty()) {
-        for (NodeId to = 1; to < numGpus_ && legs_.empty(); ++to) {
-            if (topo_.reachable(0, to))
-                (void)gpuPairRoute(0, to);
+    GpuRow *row = gpuRows_.empty() ? nullptr : gpuRows_[0].get();
+    if (!row || row->legs.empty()) {
+        for (NodeId to = 1; to < numGpus_; ++to) {
+            if (topo_.reachable(0, to)) {
+                (void)gpuRowFor(0, to);
+                break;
+            }
         }
+        row = gpuRows_.empty() ? nullptr : gpuRows_[0].get();
     }
-    if (legs_.empty())
+    if (!row || row->legs.empty())
         fatal("debugCorruptRouteForAudit needs a routed topology");
-    ++legs_[0].hopCycles;
+    ++row->legs[0].hopCycles;
 }
 #endif
 
-const Fabric::PairRoute &
-Fabric::gpuPairRoute(NodeId from, NodeId to) const
+const Fabric::GpuRow &
+Fabric::gpuRowFor(NodeId from, NodeId to) const
 {
     auto &row = gpuRows_[static_cast<std::size_t>(from)];
     if (!row)
-        row = std::make_unique<PairRoute[]>(
-            static_cast<std::size_t>(numGpus_));
-    PairRoute &pr = row[static_cast<std::size_t>(to)];
-    if (pr.begin == kUncompiled)
-        compilePair(from, to, pr);
-    return pr;
+        row = std::make_unique<GpuRow>(static_cast<std::size_t>(numGpus_));
+    if (row->pairs[static_cast<std::size_t>(to)].begin == kUncompiled)
+        compilePair(from, to, *row);
+    return *row;
 }
 
 void
-Fabric::compilePair(NodeId from, NodeId to, PairRoute &pr) const
+Fabric::compilePair(NodeId from, NodeId to, GpuRow &row) const
 {
+    PairRoute &pr = row.pairs[static_cast<std::size_t>(to)];
     const RouteView path = topo_.route(from, to);
-    pr.begin = static_cast<std::uint32_t>(legs_.size());
+    pr.begin = static_cast<std::uint32_t>(row.legs.size());
     if (path.size() < 2)
         return; // self or unreachable: compiled as "no route"
     pr.count = static_cast<std::uint32_t>(path.size() - 1);
@@ -300,14 +305,14 @@ Fabric::compilePair(NodeId from, NodeId to, PairRoute &pr) const
                 ? switchParams_[static_cast<std::size_t>(leg.crossbar)]
                       .crossbarCycles
                 : 0;
-        legs_.push_back(leg);
+        row.legs.push_back(leg);
         pr.baseCycles += p.hopCycles + leg.crossbarCycles;
         pr.bottleneckBpc =
             pr.bottleneckBpc == 0
                 ? p.bytesPerCycle
                 : std::min(pr.bottleneckBpc, p.bytesPerCycle);
     }
-    ++compiledPairs_;
+    compiledPairs_.fetch_add(1, std::memory_order_relaxed);
 }
 
 Cycles
@@ -315,12 +320,13 @@ Fabric::chargeRoute(NodeId from, NodeId to, Cycles now,
                     std::uint64_t bytes)
 {
     if (from >= 0 && from < numGpus_ && to >= 0 && to < numGpus_) {
-        const PairRoute &pr = gpuPairRoute(from, to);
+        const GpuRow &row = gpuRowFor(from, to);
+        const PairRoute &pr = row.pairs[static_cast<std::size_t>(to)];
         if (pr.count == 0)
             fatal("fabric traverse between nodes ", from, " and ", to,
                   " which share no route on topology '", topo_.name(),
                   "'");
-        return chargeCompiled(pr, now, bytes);
+        return chargeCompiled(row, pr, now, bytes);
     }
     return chargeUncached(from, to, now, bytes);
 }
@@ -343,7 +349,7 @@ Fabric::chargeUncached(NodeId from, NodeId to, Cycles now,
         const int link = topo_.linkIndex(u, v);
         const LinkParams &p = params_[static_cast<std::size_t>(link)];
         const std::size_t slot = dirIndex(link, u, v);
-        ++transfers_;
+        transfers_.fetch_add(1, std::memory_order_relaxed);
         ++perDir_[slot];
         const Cycles queue = meters_[slot].record(now + total);
         total += p.hopCycles + queue;
@@ -380,7 +386,8 @@ Cycles
 Fabric::routeBaseCycles(NodeId from, NodeId to) const
 {
     if (from >= 0 && from < numGpus_ && to >= 0 && to < numGpus_) {
-        const PairRoute &pr = gpuPairRoute(from, to);
+        const GpuRow &row = gpuRowFor(from, to);
+        const PairRoute &pr = row.pairs[static_cast<std::size_t>(to)];
         if (pr.count == 0)
             fatal("fabric base-cost query between nodes ", from,
                   " and ", to, " which share no route on topology '",
@@ -469,6 +476,53 @@ Fabric::linkTransfers(NodeId a, NodeId b) const
            perDir_[static_cast<std::size_t>(link) * 2 + 1];
 }
 
+Cycles
+Fabric::minCrossIslandBaseCycles() const
+{
+    // One representative GPU per island (the first in id order): the
+    // route rule is uniform within an island, so representative pairs
+    // cover every distinct cross-island route shape.
+    std::vector<NodeId> reps;
+    std::vector<int> seen;
+    for (NodeId g = 0; g < numGpus_; ++g) {
+        const int isl = topo_.island(g);
+        if (std::find(seen.begin(), seen.end(), isl) == seen.end()) {
+            seen.push_back(isl);
+            reps.push_back(g);
+        }
+    }
+    if (reps.size() < 2)
+        fatal("minCrossIslandBaseCycles on topology '", topo_.name(),
+              "' which has fewer than two islands");
+    Cycles best = ~Cycles{0};
+    for (std::size_t i = 0; i < reps.size(); ++i) {
+        for (std::size_t j = i + 1; j < reps.size(); ++j) {
+            // Straight off the on-demand route: no pair compilation,
+            // no meter traffic (routes are reverse-symmetric, so one
+            // direction suffices).
+            const RouteView path = topo_.route(reps[i], reps[j]);
+            if (path.size() < 2)
+                continue;
+            Cycles base = 0;
+            for (std::size_t k = 0; k + 1 < path.size(); ++k) {
+                const NodeId v = path[k + 1];
+                const int link = topo_.linkIndex(path[k], v);
+                base += params_[static_cast<std::size_t>(link)].hopCycles;
+                if (topo_.isSwitch(v) && k + 2 < path.size())
+                    base += switchParams_[static_cast<std::size_t>(
+                                              v - topo_.numGpus())]
+                                .crossbarCycles;
+            }
+            best = std::min(best, base);
+        }
+    }
+    if (best == ~Cycles{0})
+        fatal("minCrossIslandBaseCycles: no island pair is routable on "
+              "topology '",
+              topo_.name(), "'");
+    return best;
+}
+
 void
 Fabric::resetStats()
 {
@@ -482,7 +536,7 @@ Fabric::resetStats()
         m.reset();
     std::fill(perDir_.begin(), perDir_.end(), 0);
     std::fill(crossings_.begin(), crossings_.end(), 0);
-    transfers_ = 0;
+    transfers_.store(0, std::memory_order_relaxed);
 }
 
 } // namespace gpubox::noc

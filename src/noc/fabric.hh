@@ -41,6 +41,7 @@
 #ifndef GPUBOX_NOC_FABRIC_HH
 #define GPUBOX_NOC_FABRIC_HH
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -202,19 +203,19 @@ class Fabric
     traverse(NodeId from, NodeId to, Cycles now)
     {
         if (from >= 0 && from < numGpus_ && to >= 0 && to < numGpus_) {
-            const PairRoute *row = gpuRows_[from].get();
-            if (row && row[to].begin != kUncompiled) {
-                const PairRoute &pr = row[to];
+            const GpuRow *row = gpuRows_[from].get();
+            if (row && row->pairs[to].begin != kUncompiled) {
+                const PairRoute &pr = row->pairs[to];
                 // A single-leg route never crosses a switch crossbar.
                 if (pr.count == 1) {
-                    const RouteLeg &leg = legs_[pr.begin];
-                    ++transfers_;
+                    const RouteLeg &leg = row->legs[pr.begin];
+                    transfers_.fetch_add(1, std::memory_order_relaxed);
                     ++perDir_[leg.meter];
                     return leg.hopCycles +
                            meters_[leg.meter].record(now);
                 }
                 if (pr.count > 1)
-                    return chargeCompiled(pr, now, 0);
+                    return chargeCompiled(*row, pr, now, 0);
             }
         }
         return chargeRoute(from, to, now, 0);
@@ -239,6 +240,16 @@ class Fabric
      */
     Cycles routeBaseCycles(NodeId from, NodeId to) const;
 
+    /**
+     * Minimum routeBaseCycles over one representative GPU pair per
+     * island pair: the latency floor of *any* island-crossing leg.
+     * The ShardedEngine derives its conduction-window lookahead from
+     * this at boot (island-sharded runs only). Walks the topology's
+     * on-demand routes directly -- no pair compilation, no meter
+     * mutation; fatal when the topology has fewer than two islands.
+     */
+    Cycles minCrossIslandBaseCycles() const;
+
     /** @name Port/crossbar introspection (defense + results sink) @{ */
 
     /** Occupancy of the (from,to) link in the current window. For a
@@ -262,7 +273,11 @@ class Fabric
      *  direction's total for a GPU-to-GPU link is linkTransfers). */
     std::uint64_t portTransfers(NodeId from, NodeId to) const;
 
-    std::uint64_t totalTransfers() const { return transfers_; }
+    std::uint64_t
+    totalTransfers() const
+    {
+        return transfers_.load(std::memory_order_relaxed);
+    }
     /** Both directions of the (a,b) link. */
     std::uint64_t linkTransfers(NodeId a, NodeId b) const;
 
@@ -271,7 +286,11 @@ class Fabric
     const Topology &topology() const { return topo_; }
 
     /** GPU pairs whose routes have been compiled so far (stats). */
-    std::uint64_t compiledPairs() const { return compiledPairs_; }
+    std::uint64_t
+    compiledPairs() const
+    {
+        return compiledPairs_.load(std::memory_order_relaxed);
+    }
 
     void resetStats();
 
@@ -321,7 +340,8 @@ class Fabric
     /** Sentinel 'begin' of a pair not yet compiled. */
     static constexpr std::uint32_t kUncompiled = 0xffffffffu;
 
-    /** Directed (from,to) route: a legs_ span plus cached aggregates. */
+    /** Directed (from,to) route: a span of the owning row's legs
+     *  plus cached aggregates. */
     struct PairRoute
     {
         std::uint32_t begin = kUncompiled;
@@ -333,26 +353,45 @@ class Fabric
     };
 
     /**
-     * Compiled route of the GPU pair (from,to), compiling it on first
-     * use. The compiled content is a pure function of the endpoints,
-     * so when in the program two pairs get compiled (and hence how
-     * legs_ is laid out) cannot change any charged cycle.
+     * Per-source-GPU route cache: the pair table and the compiled leg
+     * storage of every route *out of* one GPU live together, so
+     * compiling a new pair appends only to its own row -- no other
+     * row's replay walk can observe the growth. Under island sharding
+     * a row is only ever touched by the schedule group owning its
+     * GPU's island (a traversal's endpoints are always coupled), so
+     * rows are single-writer by construction.
      */
-    const PairRoute &gpuPairRoute(NodeId from, NodeId to) const;
+    struct GpuRow
+    {
+        std::vector<PairRoute> pairs;
+        std::vector<RouteLeg> legs;
 
-    /** Compile topo_.route(from, to) into legs_ and @p pr. */
-    void compilePair(NodeId from, NodeId to, PairRoute &pr) const;
+        explicit GpuRow(std::size_t n) : pairs(n) {}
+    };
+
+    /**
+     * Row of @p from with the (from,to) pair compiled, compiling it
+     * on first use. The compiled content is a pure function of the
+     * endpoints, so when in the program two pairs get compiled (and
+     * hence how a row's legs are laid out) cannot change any charged
+     * cycle.
+     */
+    const GpuRow &gpuRowFor(NodeId from, NodeId to) const;
+
+    /** Compile topo_.route(from, to) into @p row. */
+    void compilePair(NodeId from, NodeId to, GpuRow &row) const;
 
     /** Charge every compiled leg of @p pr; @p bytes 0 = plain leg.
      *  Inline so multi-hop traversals (every switched-fabric access)
      *  unroll the short leg walk at the call site. */
     Cycles
-    chargeCompiled(const PairRoute &pr, Cycles now, std::uint64_t bytes)
+    chargeCompiled(const GpuRow &row, const PairRoute &pr, Cycles now,
+                   std::uint64_t bytes)
     {
         Cycles total = 0;
-        const RouteLeg *leg = &legs_[pr.begin];
+        const RouteLeg *leg = &row.legs[pr.begin];
         for (std::uint32_t i = 0; i < pr.count; ++i, ++leg) {
-            ++transfers_;
+            transfers_.fetch_add(1, std::memory_order_relaxed);
             ++perDir_[leg->meter];
             // Later hops see the port state at their own arrival time.
             const Cycles queue = meters_[leg->meter].record(now + total);
@@ -410,17 +449,25 @@ class Fabric
      *  for both directions (the legacy point-to-point model). */
     std::vector<ContentionMeter> meters_;
     std::vector<bool> isPortLink_; // link has a switch endpoint
+    /**
+     * Meters and per-direction/per-switch counters are plain (not
+     * atomic): each element belongs to links/switches of one island
+     * -- or to the spine, whose users the runtime all couples into
+     * one schedule group -- so under island sharding every element is
+     * only ever mutated by a single schedule group. The whole-fabric
+     * tallies below (transfers_, compiledPairs_) are the only
+     * counters shared across groups; they are relaxed atomics.
+     */
     std::vector<ContentionMeter> crossbarMeters_;  // one per switch
     std::vector<std::uint64_t> perDir_;            // 2 per link
     std::vector<std::uint64_t> crossings_;         // one per switch
-    /** Lazily compiled GPU-pair routes: one numGpus-sized row per
-     *  source GPU, allocated on first touch. mutable so the const
-     *  read paths (routeBaseCycles) can share the cache; a Fabric is
-     *  owned by one Runtime, which is single-threaded by design. */
-    mutable std::vector<std::unique_ptr<PairRoute[]>> gpuRows_;
-    mutable std::vector<RouteLeg> legs_;
-    mutable std::uint64_t compiledPairs_ = 0;
-    std::uint64_t transfers_ = 0;
+    /** Lazily compiled GPU-pair routes, one row per source GPU,
+     *  allocated on first touch (see GpuRow for the sharding
+     *  single-writer argument). mutable so the const read paths
+     *  (routeBaseCycles) can share the cache. */
+    mutable std::vector<std::unique_ptr<GpuRow>> gpuRows_;
+    mutable std::atomic<std::uint64_t> compiledPairs_ = 0;
+    std::atomic<std::uint64_t> transfers_ = 0;
 };
 
 } // namespace gpubox::noc

@@ -155,6 +155,21 @@ struct SystemConfig
      * Runtime::assignPartition (default slice 0).
      */
     unsigned migSlices = 1;
+    /**
+     * Schedule shards for intra-scenario parallelism: actors are
+     * placed by fabric island (Topology::island) onto shards 0..N-1
+     * of a sim::ShardedEngine, and shards whose islands interact are
+     * coupled back into one schedule group at enqueue time, keeping
+     * stdout/CSV/metrics byte-identical to shards=1. 1 = the plain
+     * sequential engine behind the same facade.
+     */
+    unsigned shards = 1;
+    /**
+     * Worker threads driving shard windows; 0 = min(shards, hardware
+     * concurrency). Tests pin this to exercise real parallelism on
+     * small CI machines.
+     */
+    unsigned shardWorkers = 0;
 };
 
 } // namespace gpubox::rt

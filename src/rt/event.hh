@@ -65,6 +65,13 @@ class Event
     Runtime *rt_;
     int id_;
     std::string name_;
+    /**
+     * Last GPU that recorded or waited on this event. Each new
+     * record/wait couples its GPU's shard with this one (union-find
+     * transitivity chains every stream the event ever synchronized),
+     * so cross-stream wakeups stay inside one schedule group.
+     */
+    GpuId lastCoupleGpu_ = -1;
     bool fired_ = false;
     unsigned pendingRecords_ = 0;
     Cycles time_ = 0;

@@ -10,14 +10,12 @@ namespace gpubox::rt
 {
 
 Runtime::Runtime(const SystemConfig &config)
-    : config_(config), codec_(config.pageBytes),
-      jitterRng_(Rng(config.seed).split(0xc0ffee))
+    : config_(config), codec_(config.pageBytes)
 {
     l2Indexer_ = std::make_unique<cache::HashedPageIndexer>(
         config_.device.l2.numSets(), config_.device.l2.lineBytes,
         config_.pageBytes, mix64(config_.seed ^ 0x5a17ULL));
 
-    engine_ = std::make_unique<sim::Engine>(config_.seed);
     // Heterogeneous descriptors carry per-link (and, on superpods,
     // per-switch) parameters; uniform ones stamp the single link
     // generation and switch flavor across the topology.
@@ -28,6 +26,17 @@ Runtime::Runtime(const SystemConfig &config)
                   : std::make_unique<noc::Fabric>(
                         config_.topology, config_.perLink,
                         config_.resolvedPerSwitch());
+
+    // The engine follows the fabric: an island-sharded run derives
+    // its conduction-window width from the cheapest island-crossing
+    // route -- the latency floor of any future cross-group message.
+    sim::ShardedEngine::Config ec;
+    ec.shards = config_.shards ? config_.shards : 1;
+    ec.seed = config_.seed;
+    ec.workers = config_.shardWorkers;
+    if (ec.shards > 1 && config_.topology.numIslands() > 1)
+        ec.lookahead = fabric_->minCrossIslandBaseCycles();
+    engine_ = std::make_unique<sim::ShardedEngine>(ec);
 
     // Devices and frame pools materialize on first use (device(),
     // allocator()): their RNG streams are split off the root seed by
@@ -42,6 +51,11 @@ Runtime::Runtime(const SystemConfig &config)
                               config_.timing.l2PortQueuePerExtra);
     }
     pending_.resize(n);
+    jitterRngs_.reserve(static_cast<std::size_t>(n));
+    for (GpuId g = 0; g < n; ++g)
+        jitterRngs_.push_back(
+            Rng(config_.seed).split(0xc0ffee).split(
+                static_cast<std::uint64_t>(g) + 1));
 
     // Platform-level MIG slicing (e.g. dgx2-mig2): the box boots
     // already way-partitioned, as a privileged administrator would
@@ -73,6 +87,49 @@ Runtime::allocator(GpuId gpu)
 
 Runtime::~Runtime() = default;
 
+unsigned
+Runtime::shardOf(GpuId gpu) const
+{
+    const unsigned shards = engine_->shards();
+    if (shards <= 1)
+        return 0;
+    const int isl = config_.topology.island(gpu);
+    if (isl < 0)
+        return 0; // single-box topology: one island, one shard
+    return static_cast<unsigned>(isl) % shards;
+}
+
+void
+Runtime::coupleGpus(GpuId a, GpuId b)
+{
+    if (engine_->shards() <= 1)
+        return;
+    const unsigned sa = shardOf(a);
+    const unsigned sb = shardOf(b);
+    engine_->couple(sa, sb);
+    if (config_.topology.crossIsland(a, b)) {
+        // Every island-crossing route rides the pod spine, and the
+        // spine's crossbar/port meters are shared by all of them: any
+        // shard that talks across islands joins the one spine group.
+        if (spineShard_ == kNoSpineShard)
+            spineShard_ = std::min(sa, sb);
+        else
+            engine_->couple(sa, spineShard_);
+    }
+}
+
+void
+Runtime::coupleForEvent(Event &e, GpuId gpu)
+{
+    if (engine_->shards() <= 1)
+        return;
+    // Union-find transitivity chains every stream this event ever
+    // synchronized into one group, whichever order they touched it.
+    if (e.lastCoupleGpu_ >= 0)
+        coupleGpus(e.lastCoupleGpu_, gpu);
+    e.lastCoupleGpu_ = gpu;
+}
+
 Process &
 Runtime::createProcess(const std::string &name)
 {
@@ -94,6 +151,12 @@ Runtime::createStream(Process &proc, GpuId gpu, const std::string &name)
     streams_.push_back(std::unique_ptr<Stream>(
         new Stream(*this, proc, gpu, id, std::move(n))));
     Stream *s = streams_.back().get();
+    // A process' streams share its VirtualSpace: kernels it runs on
+    // GPUs of different shards could mutate that space concurrently,
+    // so every GPU a process opens a stream on shares one schedule
+    // group.
+    for (Stream *other : proc.streams_)
+        coupleGpus(other->gpu(), gpu);
     proc.streams_.push_back(s);
     return *s;
 }
@@ -192,6 +255,10 @@ Runtime::enablePeerAccess(Process &proc, GpuId from, GpuId to)
     proc.peerBits_[static_cast<std::size_t>(from) * proc.peerWords_ +
                    static_cast<unsigned>(to) / 64] |=
         1ULL << (static_cast<unsigned>(to) % 64);
+    // Peer access is the license for device-side remote traffic:
+    // from now on kernels on either GPU may touch the other's L2 and
+    // links, so their shards must schedule together.
+    coupleGpus(from, to);
     return Status::okStatus();
 }
 
@@ -281,7 +348,7 @@ Runtime::startTransferOp(Stream &s, const Stream::Op &op)
 
     const std::string name =
         s.name() + (is_copy ? ".memcpy#" : ".memset#") +
-        std::to_string(transferCounter_++);
+        std::to_string(s.transferSeq_++);
     // Values move when the simulated transfer completes; gpubox data
     // lives in the VirtualSpace (caches only track presence), so the
     // DMA leaves L2 residency untouched.
@@ -292,8 +359,8 @@ Runtime::startTransferOp(Stream &s, const Stream::Op &op)
         else
             proc.space().setBytes(op.dst, op.value, op.bytes);
     };
-    sim::ActorCtx &actor =
-        engine_->spawn(name, std::move(body), engine_->now());
+    sim::ActorCtx &actor = engine_->spawnOn(
+        shardOf(s.gpu()), name, std::move(body), engine_->now());
     actor.setOnDone([&s](sim::ActorCtx &) { s.opDone(); });
 }
 
@@ -306,8 +373,8 @@ Runtime::startBlock(BlockCtx *ctx, const std::shared_ptr<const KernelFn> &fn,
     ctx->kernelFn_ = fn; // pin the closure for the coroutine's lifetime
     const GpuId gpu = ctx->gpu_;
     const gpu::BlockRequirements req = ctx->req_;
-    sim::ActorCtx &actor = engine_->spawn(
-        name, [&](sim::ActorCtx &) { return (*fn)(*ctx); },
+    sim::ActorCtx &actor = engine_->spawnOn(
+        shardOf(gpu), name, [&](sim::ActorCtx &) { return (*fn)(*ctx); },
         engine_->now());
     if (ctx->earlyStop_)
         actor.requestStop(); // stop arrived while the block was queued
@@ -338,10 +405,8 @@ Runtime::dispatchPending(GpuId gpu)
 void
 Runtime::sync(Stream &s)
 {
-    while (!s.idle()) {
-        if (!engine_->stepOne())
-            reportDeadlock("stream '" + s.name() + "'");
-    }
+    if (!engine_->drive([&s] { return s.idle(); }))
+        reportDeadlock("stream '" + s.name() + "'");
 }
 
 void
@@ -350,24 +415,20 @@ Runtime::sync(Event &e)
     // cudaEventSynchronize semantics: block on the most recent
     // outstanding record; an event that already completed -- or was
     // never recorded -- does not block.
-    while (e.pending()) {
-        if (!engine_->stepOne())
-            reportDeadlock("event '" + e.name() + "'");
-    }
+    if (!engine_->drive([&e] { return !e.pending(); }))
+        reportDeadlock("event '" + e.name() + "'");
 }
 
 void
 Runtime::sync(const KernelHandle &handle)
 {
-    while (!handle.finished()) {
-        if (!engine_->stepOne()) {
-            std::size_t done = 0;
-            for (const BlockCtx *b : handle.blocks())
-                done += b->finished() ? 1 : 0;
-            reportDeadlock("kernel handle (" + std::to_string(done) +
-                           "/" + std::to_string(handle.blocks().size()) +
-                           " blocks finished)");
-        }
+    if (!engine_->drive([&handle] { return handle.finished(); })) {
+        std::size_t done = 0;
+        for (const BlockCtx *b : handle.blocks())
+            done += b->finished() ? 1 : 0;
+        reportDeadlock("kernel handle (" + std::to_string(done) + "/" +
+                       std::to_string(handle.blocks().size()) +
+                       " blocks finished)");
     }
 }
 
@@ -433,7 +494,9 @@ Runtime::accessLatency(BlockCtx &ctx, PAddr paddr, bool bypass_l1)
         auto l1out = device(local).l1(ctx.sm()).access(paddr);
         if (l1out.hit) {
             lat = t.l1HitCycles;
-            const double jit = jitterRng_.normal(0.0, t.jitterSigma);
+            const double jit =
+                jitterRngs_[static_cast<std::size_t>(local)].normal(
+                    0.0, t.jitterSigma);
             return std::max<double>(1.0, static_cast<double>(lat) + jit);
         }
     }
@@ -460,7 +523,9 @@ Runtime::accessLatency(BlockCtx &ctx, PAddr paddr, bool bypass_l1)
     if (home != local)
         lat += fabric_->traverse(home, local, now + lat);
 
-    const double jit = jitterRng_.normal(0.0, t.jitterSigma);
+    const double jit =
+        jitterRngs_[static_cast<std::size_t>(local)].normal(
+            0.0, t.jitterSigma);
     const double total = std::max(1.0, static_cast<double>(lat) + jit);
     return static_cast<Cycles>(std::llround(total));
 }

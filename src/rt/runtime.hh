@@ -38,6 +38,7 @@
 #include "rt/process.hh"
 #include "rt/stream.hh"
 #include "sim/engine.hh"
+#include "sim/sharded_engine.hh"
 #include "util/arena.hh"
 #include "util/contention.hh"
 
@@ -61,7 +62,14 @@ class Runtime
     const mem::AddressCodec &codec() const { return codec_; }
     const noc::Topology &topology() const { return config_.topology; }
 
-    sim::Engine &engine() { return *engine_; }
+    sim::ShardedEngine &engine() { return *engine_; }
+
+    /**
+     * Schedule shard of @p gpu: its fabric island folded onto the
+     * configured shard count. Single-box topologies (island() < 0)
+     * and shards=1 place everything on shard 0.
+     */
+    unsigned shardOf(GpuId gpu) const;
 
     /**
      * Device @p id, materialized on first use: a pod-scale platform
@@ -265,6 +273,19 @@ class Runtime
     /** fatal() with every blocked stream/actor named. */
     [[noreturn]] void reportDeadlock(const std::string &waitingFor);
 
+    /**
+     * @name Shard coupling hooks (host enqueue time)
+     * Called by the host API wherever two GPUs start sharing
+     * simulated state -- peer access, one process spanning islands, a
+     * cross-GPU transfer, an event chaining streams -- *before* the
+     * interacting actors run, so the ShardedEngine merges their
+     * schedule groups ahead of any shared-state access.
+     * @{
+     */
+    void coupleGpus(GpuId a, GpuId b);
+    void coupleForEvent(Event &e, GpuId gpu);
+    /** @} */
+
     /** Build devices_[id] (see device()). */
     void materializeDevice(GpuId id);
 
@@ -275,7 +296,7 @@ class Runtime
     SystemConfig config_;
     mem::AddressCodec codec_;
     std::unique_ptr<cache::SetIndexer> l2Indexer_;
-    std::unique_ptr<sim::Engine> engine_;
+    std::unique_ptr<sim::ShardedEngine> engine_;
     std::unique_ptr<noc::Fabric> fabric_;
     std::vector<std::unique_ptr<gpu::Device>> devices_;
     std::vector<std::unique_ptr<mem::PageAllocator>> allocators_;
@@ -289,15 +310,28 @@ class Runtime
     std::deque<std::unique_ptr<Event>> events_;
     std::map<std::pair<int, GpuId>, Stream *> defaultStreams_;
     std::vector<std::deque<PendingBlock>> pending_; // per GPU
-    Rng jitterRng_;
+    /**
+     * Per-GPU measurement-jitter streams, keyed by the *accessing*
+     * block's GPU (remote accesses require peer access, which couples
+     * the shards, so the accessor's GPU pins the stream to one
+     * schedule group). One shared stream would serialize every shard
+     * on a single RNG -- the one piece of cross-island state no
+     * coupling rule could justify.
+     */
+    std::vector<Rng> jitterRngs_;
+    /** Shard holding every spine user (kNoSpineShard until the first
+     *  cross-island coupling; see coupleGpus). */
+    static constexpr unsigned kNoSpineShard = ~0u;
+    unsigned spineShard_ = kNoSpineShard;
     /** Active L2 way-partition count (applied to every device,
      *  including ones materialized later). */
     unsigned migSlices_ = 1;
     int nextProcessId_ = 0;
     int nextStreamId_ = 0;
     int nextEventId_ = 0;
+    /** Launch ordinal naming kernels; only ever advanced host-side
+     *  (Stream::launch), so it stays a single global sequence. */
     std::uint64_t kernelCounter_ = 0;
-    std::uint64_t transferCounter_ = 0;
 };
 
 } // namespace gpubox::rt

@@ -61,6 +61,12 @@ Stream::memcpyAsync(VAddr dst, VAddr src, std::uint64_t bytes)
     proc_->space().translate(dst);
     proc_->space().translate(dst + bytes - 1);
 
+    // Couple at enqueue time, before the DMA actor can run: the
+    // transfer touches both pages' home GPUs (route legs, meters) and
+    // completes back into this stream.
+    rt_->coupleGpus(gpu_, rt_->homeGpuOf(*proc_, src));
+    rt_->coupleGpus(gpu_, rt_->homeGpuOf(*proc_, dst));
+
     Op op;
     op.kind = Op::Kind::Memcpy;
     op.dst = dst;
@@ -77,6 +83,8 @@ Stream::memsetAsync(VAddr dst, std::uint8_t value, std::uint64_t bytes)
     proc_->space().translate(dst);
     proc_->space().translate(dst + bytes - 1);
 
+    rt_->coupleGpus(gpu_, rt_->homeGpuOf(*proc_, dst));
+
     Op op;
     op.kind = Op::Kind::Memset;
     op.dst = dst;
@@ -88,6 +96,8 @@ Stream::memsetAsync(VAddr dst, std::uint8_t value, std::uint64_t bytes)
 void
 Stream::record(Event &event)
 {
+    rt_->coupleForEvent(event, gpu_);
+
     Op op;
     op.kind = Op::Kind::Record;
     op.event = &event;
@@ -98,6 +108,8 @@ Stream::record(Event &event)
 void
 Stream::wait(Event &event)
 {
+    rt_->coupleForEvent(event, gpu_);
+
     Op op;
     op.kind = Op::Kind::Wait;
     op.event = &event;

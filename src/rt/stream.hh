@@ -166,6 +166,13 @@ class Stream
     int id_;
     std::string name_;
     std::deque<Op> queue_;
+    /**
+     * Per-stream transfer ordinal naming memcpy/memset actors. A
+     * stream's transfers are numbered by its own enqueue order -- a
+     * runtime-global counter would interleave nondeterministically
+     * across schedule groups.
+     */
+    std::uint64_t transferSeq_ = 0;
     /** The head op started and has not completed yet. */
     bool inFlight_ = false;
     /** The head op is a Wait parked on an uncompleted event. */

@@ -193,6 +193,20 @@ class Engine
     /** Global clock: local time of the most recently resumed actor. */
     Cycles now() const { return lastTime_; }
 
+    /** Sentinel nextEventTime() of an engine with no queued actor. */
+    static constexpr Cycles kIdle = ~Cycles{0};
+
+    /**
+     * Local time of the actor stepOne would resume next, or kIdle when
+     * the queue is empty. The ShardedEngine's conduction loop merges
+     * engines on this key.
+     */
+    Cycles
+    nextEventTime() const
+    {
+        return heap_.empty() ? kIdle : heap_[0].time;
+    }
+
     std::size_t liveActors() const { return live_; }
     std::size_t totalSpawned() const { return actors_.size(); }
     std::uint64_t stepsExecuted() const { return steps_; }

@@ -1,0 +1,540 @@
+/**
+ * @file
+ * ShardedEngine: union-find shard groups, lazy per-group Engines,
+ * fused-group merged stepping, and the windowed conduction loop with
+ * its generation-barrier worker pool.
+ */
+
+#include "sim/sharded_engine.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/log.hh"
+
+namespace gpubox::sim
+{
+
+ShardedEngine::Group *&
+ShardedEngine::activeGroup()
+{
+    thread_local Group *active = nullptr;
+    return active;
+}
+
+ShardedEngine::ShardedEngine(Config config)
+    : shards_(config.shards ? config.shards : 1),
+      seed_(config.seed),
+      lookahead_(config.lookahead ? config.lookahead : 1),
+      workerTarget_(config.workers)
+{
+    if (!workerTarget_) {
+        unsigned hw = std::thread::hardware_concurrency();
+        workerTarget_ = std::min(shards_, hw ? hw : 1u);
+    }
+    parent_.resize(shards_);
+    for (unsigned s = 0; s < shards_; ++s)
+        parent_[s] = s;
+    groupsByRoot_.resize(shards_);
+}
+
+ShardedEngine::~ShardedEngine()
+{
+    {
+        std::lock_guard lk(poolMu_);
+        shutdown_ = true;
+    }
+    workCv_.notify_all();
+    workers_.clear(); // jthread joins
+
+    // Engines die here, on the owning (scenario) thread, in creation
+    // order: their destructors feed threadEngineProfile(), and the
+    // ExperimentRunner brackets that accumulator per scenario thread,
+    // so profiles stay independent of shard/worker counts.
+    for (auto it = engines_.begin(); it != engines_.end(); ++it)
+        it->reset();
+}
+
+void
+ShardedEngine::setLookahead(Cycles la)
+{
+    lookahead_ = la ? la : 1;
+}
+
+unsigned
+ShardedEngine::findRoot(unsigned shard) const
+{
+    unsigned r = shard;
+    while (parent_[r] != r)
+        r = parent_[r];
+    // Path compression: safe under the host-only mutation contract.
+    while (parent_[shard] != r) {
+        unsigned next = parent_[shard];
+        parent_[shard] = r;
+        shard = next;
+    }
+    return r;
+}
+
+void
+ShardedEngine::couple(unsigned a, unsigned b)
+{
+    if (a >= shards_ || b >= shards_)
+        fatal("ShardedEngine::couple: shard out of range (", a, ", ", b,
+              " of ", shards_, ")");
+    unsigned ra = findRoot(a);
+    unsigned rb = findRoot(b);
+    if (ra == rb)
+        return;
+    // Min root wins: the surviving root is a pure function of the
+    // coupling set, never of call order.
+    unsigned keep = std::min(ra, rb);
+    unsigned drop = std::max(ra, rb);
+    parent_[drop] = keep;
+
+    auto &dropGroup = groupsByRoot_[drop];
+    auto &keepGroup = groupsByRoot_[keep];
+    if (!dropGroup)
+        return; // dropped side never spawned; nothing to merge
+    if (!keepGroup) {
+        keepGroup = std::move(dropGroup);
+        return;
+    }
+    // Fusion: both sides already run. The kept group absorbs the
+    // dropped group's engines; merged stepping orders them by
+    // (time, engine creation index, sequence), which is deterministic
+    // because engine creation order is itself deterministic.
+    auto &ke = keepGroup->engines;
+    auto &de = dropGroup->engines;
+    ke.insert(ke.end(), de.begin(), de.end());
+    std::sort(ke.begin(), ke.end(), [this](Engine *x, Engine *y) {
+        auto idx = [this](Engine *e) {
+            for (std::size_t i = 0; i < engines_.size(); ++i)
+                if (engines_[i].get() == e)
+                    return i;
+            panic("ShardedEngine: engine missing from registry");
+        };
+        return idx(x) < idx(y);
+    });
+    keepGroup->order = std::min(keepGroup->order, dropGroup->order);
+    std::erase(liveGroups_, dropGroup.get());
+    dropGroup.reset();
+}
+
+void
+ShardedEngine::coupleAll()
+{
+    for (unsigned s = 1; s < shards_; ++s)
+        couple(0, s);
+}
+
+bool
+ShardedEngine::coupled(unsigned a, unsigned b) const
+{
+    if (a >= shards_ || b >= shards_)
+        fatal("ShardedEngine::coupled: shard out of range (", a, ", ", b,
+              " of ", shards_, ")");
+    return findRoot(a) == findRoot(b);
+}
+
+std::size_t
+ShardedEngine::groupCount() const
+{
+    return liveGroups_.size();
+}
+
+ShardedEngine::Group &
+ShardedEngine::groupOf(unsigned shard)
+{
+    unsigned root = findRoot(shard);
+    auto &slot = groupsByRoot_[root];
+    if (!slot) {
+        slot = std::make_unique<Group>();
+        slot->order = nextGroupOrder_++;
+    }
+    if (slot->engines.empty()) {
+        // Lazy first engine. Every group engine gets the *same* seed:
+        // an actor's RNG stream is Rng(seed).split(id + 1), and ids
+        // count per engine exactly as they count in the sequential
+        // run when coupling keeps interacting actors together -- so a
+        // single-group scenario reproduces sequential streams bit for
+        // bit at any shard count.
+        engines_.push_back(std::make_unique<Engine>(seed_));
+        slot->engines.push_back(engines_.back().get());
+        liveGroups_.push_back(slot.get());
+    }
+    return *slot;
+}
+
+ActorCtx &
+ShardedEngine::spawnOn(unsigned shard, const std::string &name,
+                       std::function<Task(ActorCtx &)> body,
+                       Cycles start_time)
+{
+    if (shard >= shards_)
+        fatal("ShardedEngine::spawnOn: shard ", shard, " out of range (",
+              shards_, " shards)");
+    Group *active = activeGroup();
+    if (active) {
+        // Worker context: the caller may only extend its own group.
+        // A cross-group spawn means a coupling edge was missed at
+        // host enqueue time; failing loudly beats a silent data race.
+        unsigned root = findRoot(shard);
+        Group *target = groupsByRoot_[root].get();
+        if (target != active)
+            fatal("ShardedEngine: actor spawn of '", name,
+                  "' targets shard ", shard,
+                  " outside the caller's schedule group; couple the "
+                  "shards at enqueue time before handing work across");
+        // Spawn into the engine the caller is being stepped by: the
+        // last engine of the group whose clock is the group clock
+        // would be ambiguous under fusion, so extend the group's
+        // first engine -- creation order is deterministic either way.
+        return target->engines.front()->spawn(name, std::move(body),
+                                              start_time);
+    }
+    Group &g = groupOf(shard);
+    return g.engines.front()->spawn(name, std::move(body), start_time);
+}
+
+ActorCtx &
+ShardedEngine::spawn(const std::string &name,
+                     std::function<Task(ActorCtx &)> body,
+                     Cycles start_time)
+{
+    Group *active = activeGroup();
+    if (active) {
+        if (liveGroups_.size() > 1)
+            fatal("ShardedEngine: global spawn of '", name,
+                  "' from a running actor with multiple schedule "
+                  "groups live; global observers must be installed "
+                  "host-side");
+        return active->engines.front()->spawn(name, std::move(body),
+                                              start_time);
+    }
+    // Global-state observer: it may watch any shard's meters, so all
+    // shards must share its schedule group.
+    coupleAll();
+    return spawnOn(0, name, std::move(body), start_time);
+}
+
+Cycles
+ShardedEngine::groupNext(const Group &g)
+{
+    Cycles best = Engine::kIdle;
+    for (Engine *e : g.engines)
+        best = std::min(best, e->nextEventTime());
+    return best;
+}
+
+bool
+ShardedEngine::groupStep(Group &g)
+{
+    Engine *pick = nullptr;
+    Cycles best = Engine::kIdle;
+    for (Engine *e : g.engines) {
+        Cycles t = e->nextEventTime();
+        if (t < best) { // strict: ties keep the earlier engine
+            best = t;
+            pick = e;
+        }
+    }
+    if (!pick)
+        return false;
+    return pick->stepOne();
+}
+
+void
+ShardedEngine::groupRunUntil(Group &g, Cycles t)
+{
+    if (g.engines.size() == 1) {
+        g.engines.front()->runUntil(t);
+        return;
+    }
+    // Fused group: merge-step the engines on (time, creation index).
+    while (true) {
+        Engine *pick = nullptr;
+        Cycles best = Engine::kIdle;
+        for (Engine *e : g.engines) {
+            Cycles nt = e->nextEventTime();
+            if (nt < best) {
+                best = nt;
+                pick = e;
+            }
+        }
+        if (!pick || best >= t)
+            return;
+        pick->stepOne();
+    }
+}
+
+Engine *
+ShardedEngine::soleRunnableEngine() const
+{
+    Engine *only = nullptr;
+    for (Group *g : liveGroups_) {
+        if (groupNext(*g) == Engine::kIdle)
+            continue;
+        if (only)
+            return nullptr; // second runnable group
+        if (g->engines.size() != 1)
+            return nullptr; // fused group needs merged stepping
+        only = g->engines.front();
+    }
+    return only;
+}
+
+bool
+ShardedEngine::onlyRunnable(const Engine *e) const
+{
+    for (Group *g : liveGroups_) {
+        for (Engine *ge : g->engines) {
+            if (ge == e)
+                continue;
+            if (ge->nextEventTime() != Engine::kIdle)
+                return false;
+        }
+    }
+    return e->nextEventTime() != Engine::kIdle;
+}
+
+bool
+ShardedEngine::stepOne()
+{
+    Group *pick = nullptr;
+    Cycles best = Engine::kIdle;
+    for (Group *g : liveGroups_) {
+        Cycles t = groupNext(*g);
+        if (t < best) { // strict: ties resolve to creation order
+            best = t;
+            pick = g;
+        }
+    }
+    if (!pick)
+        return false;
+    activeGroup() = pick;
+    bool stepped = groupStep(*pick);
+    activeGroup() = nullptr;
+    return stepped;
+}
+
+void
+ShardedEngine::run()
+{
+    drive([this] {
+        for (Group *g : liveGroups_)
+            if (groupNext(*g) != Engine::kIdle)
+                return false;
+        return true;
+    });
+}
+
+void
+ShardedEngine::runUntil(Cycles t)
+{
+    drive([this, t] {
+        for (Group *g : liveGroups_)
+            if (groupNext(*g) < t)
+                return false;
+        return true;
+    });
+}
+
+Cycles
+ShardedEngine::now() const
+{
+    if (Group *active = activeGroup()) {
+        Cycles n = 0;
+        for (Engine *e : active->engines)
+            n = std::max(n, e->now());
+        return n;
+    }
+    Cycles n = 0;
+    for (const auto &e : engines_)
+        if (e)
+            n = std::max(n, e->now());
+    return n;
+}
+
+void
+ShardedEngine::requestStopAll()
+{
+    for (const auto &e : engines_)
+        if (e)
+            e->requestStopAll();
+}
+
+std::size_t
+ShardedEngine::liveActors() const
+{
+    std::size_t n = 0;
+    for (const auto &e : engines_)
+        if (e)
+            n += e->liveActors();
+    return n;
+}
+
+std::size_t
+ShardedEngine::totalSpawned() const
+{
+    std::size_t n = 0;
+    for (const auto &e : engines_)
+        if (e)
+            n += e->totalSpawned();
+    return n;
+}
+
+EngineStats
+ShardedEngine::stats() const
+{
+    EngineStats merged;
+    for (const auto &e : engines_) {
+        if (!e)
+            continue;
+        EngineStats s = e->stats();
+        merged.steps += s.steps;
+        merged.spawned += s.spawned;
+        merged.live += s.live;
+        merged.now = std::max(merged.now, s.now);
+        merged.requeues += s.requeues;
+        merged.fastRequeues += s.fastRequeues;
+        merged.peakQueued += s.peakQueued;
+        merged.arenaBytes += s.arenaBytes;
+        merged.arenaChunks += s.arenaChunks;
+    }
+    return merged;
+}
+
+std::vector<std::string>
+ShardedEngine::unfinishedActorNames() const
+{
+    std::vector<std::string> names;
+    // Group creation order, engines in creation order within a group:
+    // deterministic diagnostics at any shard count.
+    std::vector<Group *> ordered = liveGroups_;
+    std::sort(ordered.begin(), ordered.end(),
+              [](Group *a, Group *b) { return a->order < b->order; });
+    for (Group *g : ordered) {
+        for (Engine *e : g->engines) {
+            auto part = e->unfinishedActorNames();
+            names.insert(names.end(), part.begin(), part.end());
+        }
+    }
+    return names;
+}
+
+void
+ShardedEngine::runGroupWindow(Group &g, Cycles end)
+{
+    activeGroup() = &g;
+    try {
+        groupRunUntil(g, end);
+    } catch (...) {
+        activeGroup() = nullptr;
+        throw;
+    }
+    activeGroup() = nullptr;
+}
+
+bool
+ShardedEngine::windowOnce(Cycles limit)
+{
+    Cycles start = Engine::kIdle;
+    for (Group *g : liveGroups_)
+        start = std::min(start, groupNext(*g));
+    if (start == Engine::kIdle || start >= limit)
+        return false;
+
+    Cycles end = start + lookahead_;
+    if (end < start) // overflow near kIdle
+        end = Engine::kIdle;
+    end = std::min(end, limit);
+
+    std::vector<WindowTask> tasks;
+    std::vector<Group *> ordered = liveGroups_;
+    std::sort(ordered.begin(), ordered.end(),
+              [](Group *a, Group *b) { return a->order < b->order; });
+    for (Group *g : ordered)
+        if (groupNext(*g) < end)
+            tasks.push_back({g, end, nullptr});
+
+    ++windowsRun_;
+    dispatchWindow(tasks);
+    return true;
+}
+
+void
+ShardedEngine::dispatchWindow(std::vector<WindowTask> &tasks)
+{
+    if (tasks.empty())
+        return;
+    const bool parallel = workerTarget_ > 1 && tasks.size() > 1;
+    if (!parallel) {
+        // Serial windows (one core, or one busy group): group
+        // creation order -- still byte-identical, the groups are
+        // disjoint so any order produces the same simulated bytes.
+        for (auto &t : tasks)
+            runGroupWindow(*t.group, t.end);
+        return;
+    }
+
+    ++parallelWindows_;
+    {
+        std::unique_lock lk(poolMu_);
+        startWorkersLocked();
+        tasks_ = &tasks;
+        nextTask_ = 0;
+        doneTasks_ = 0;
+        ++generation_;
+        workCv_.notify_all();
+        doneCv_.wait(lk, [&] { return doneTasks_ == tasks.size(); });
+        tasks_ = nullptr;
+    }
+    // Rethrow the first failure in group order: which error surfaces
+    // is deterministic even when several groups throw in one window.
+    for (auto &t : tasks)
+        if (t.error)
+            std::rethrow_exception(t.error);
+}
+
+void
+ShardedEngine::startWorkersLocked()
+{
+    while (workers_.size() < workerTarget_)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+void
+ShardedEngine::workerLoop()
+{
+    std::uint64_t seen = 0;
+    std::unique_lock lk(poolMu_);
+    for (;;) {
+        workCv_.wait(lk, [&] {
+            return shutdown_ || (tasks_ && generation_ != seen &&
+                                 nextTask_ < tasks_->size());
+        });
+        if (shutdown_)
+            return;
+        if (!tasks_ || nextTask_ >= tasks_->size()) {
+            seen = generation_;
+            continue;
+        }
+        while (tasks_ && nextTask_ < tasks_->size()) {
+            WindowTask &t = (*tasks_)[nextTask_++];
+            lk.unlock();
+            try {
+                runGroupWindow(*t.group, t.end);
+            } catch (...) {
+                t.error = std::current_exception();
+            }
+            lk.lock();
+            ++doneTasks_;
+            if (doneTasks_ == tasks_->size())
+                doneCv_.notify_all();
+        }
+        seen = generation_;
+    }
+}
+
+} // namespace gpubox::sim

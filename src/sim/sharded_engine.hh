@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Conservative parallel discrete-event layer over sim::Engine.
+ *
+ * A ShardedEngine partitions a scenario's actors across a fixed number
+ * of *shards* (the runtime places actors by fabric island). Shards
+ * that interact through simulated state -- peer access, cross-GPU DMA,
+ * cross-stream events, spine routes -- are *coupled* into one schedule
+ * group; every group owns one sim::Engine, so all actors that can
+ * observe each other execute in exactly the sequential engine's
+ * (time, spawn/requeue sequence) order. Groups that remain disjoint
+ * share no simulated state at all, and only those run concurrently:
+ * the conduction loop advances all runnable groups in bounded time
+ * windows of `lookahead` cycles on a persistent worker pool, with a
+ * barrier between windows.
+ *
+ * Determinism argument, in two halves:
+ *
+ *  1. Coupling preserves exactness. Any two actors that touch the same
+ *     meter, cache, stream or RNG stream are in the same group (the
+ *     runtime couples shards on every interaction edge *at host
+ *     enqueue time*, before the interacting actors run), so their
+ *     interleaving is the single-engine interleaving, byte for byte.
+ *     With one live group -- every current attack scenario, since an
+ *     attack by construction touches everything it measures -- the
+ *     facade degenerates to stepping that engine inline, and the
+ *     stdout/CSV/metrics surface is *identical* to `shards=1`,
+ *     including actor ids and their derived RNG streams.
+ *
+ *  2. Windows cannot reorder anything observable. Disjoint groups
+ *     share no simulated state, so the window width (and the worker
+ *     count, and the OS schedule) affects only host-side progress
+ *     granularity: host predicates (Runtime::sync) are evaluated at
+ *     window barriers, and every simulated byte each group produces is
+ *     a pure function of that group's own event stream. The lookahead
+ *     is derived from the fabric's minimum cross-island route cost --
+ *     the latency floor any future cross-group message would pay -- so
+ *     group clocks never drift apart further than one cross-fabric
+ *     flight time.
+ *
+ * Known limitation (documented, tested): host code that interleaves
+ * mid-run enqueues with sync() on a *multi-group* scenario observes
+ * window-granular completion times; bulk-synchronous phases (enqueue
+ * everything, then sync) are exact at any shard count. Single-group
+ * scenarios are always exact.
+ */
+
+#ifndef GPUBOX_SIM_SHARDED_ENGINE_HH
+#define GPUBOX_SIM_SHARDED_ENGINE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/engine.hh"
+#include "sim/task.hh"
+#include "util/types.hh"
+
+namespace gpubox::sim
+{
+
+/** Island-sharded conservative front end over per-group Engines. */
+class ShardedEngine
+{
+  public:
+    struct Config
+    {
+        /** Shard slots actors can be placed on (>= 1). */
+        unsigned shards = 1;
+        /** Seed handed to every group engine (actor RNG streams). */
+        std::uint64_t seed = 1;
+        /**
+         * Width of one conduction window in cycles. Derived by the
+         * runtime from the fabric's minimum cross-island route cost;
+         * any positive value is *correct* (groups are disjoint), the
+         * width only sets host-predicate granularity and clock skew.
+         */
+        Cycles lookahead = 4096;
+        /** Worker threads for multi-group windows; 0 = min(shards,
+         *  hardware_concurrency). 1 runs windows on the caller. */
+        unsigned workers = 0;
+    };
+
+    explicit ShardedEngine(Config config);
+    ~ShardedEngine();
+
+    ShardedEngine(const ShardedEngine &) = delete;
+    ShardedEngine &operator=(const ShardedEngine &) = delete;
+
+    unsigned shards() const { return shards_; }
+    Cycles lookahead() const { return lookahead_; }
+    void setLookahead(Cycles la);
+    unsigned workers() const { return workerTarget_; }
+
+    /** @name Shard coupling (host side, any time) @{ */
+
+    /**
+     * Merge the schedule groups of shards @p a and @p b. Coupling
+     * before either group spawned is free (they will share one
+     * engine, preserving sequential actor ids); coupling two groups
+     * that both already run is a *fusion*: their engines keep their
+     * actors and are stepped merged by (time, engine creation order,
+     * sequence) from then on.
+     */
+    void couple(unsigned a, unsigned b);
+
+    /** Merge every shard into one group (global-state observers). */
+    void coupleAll();
+
+    /** True when @p a and @p b are in the same schedule group. */
+    bool coupled(unsigned a, unsigned b) const;
+
+    /** Live schedule groups (groups that have spawned). */
+    std::size_t groupCount() const;
+
+    /** @} */
+
+    /**
+     * Spawn an actor on shard @p shard. From inside a running actor
+     * (worker context) the target must resolve to the caller's own
+     * group -- a cross-group spawn means a missing coupling edge and
+     * is fatal rather than silently racy.
+     */
+    ActorCtx &spawnOn(unsigned shard, const std::string &name,
+                      std::function<Task(ActorCtx &)> body,
+                      Cycles start_time = 0);
+
+    /**
+     * Spawn an actor that observes global simulated state (defense
+     * monitors watching the whole fabric): couples every shard first,
+     * then spawns into the merged group.
+     */
+    ActorCtx &spawn(const std::string &name,
+                    std::function<Task(ActorCtx &)> body,
+                    Cycles start_time = 0);
+
+    /** @name Driving (host side only) @{ */
+
+    /** Resume the globally minimal actor (serial; ties across groups
+     *  break by group creation order). @return false when drained. */
+    bool stepOne();
+
+    /** Run until every actor of every group has completed. */
+    void run();
+
+    /** Run until every group's next event is >= @p t (or drained).
+     *  Multi-group progress is window-granular, capped at @p t. */
+    void runUntil(Cycles t);
+
+    /**
+     * Drive until @p pred() returns true. With one runnable group the
+     * predicate is checked after every step (exact sequential sync
+     * semantics); with several it is checked at window barriers.
+     *
+     * @return true when the predicate was satisfied; false when every
+     *         group drained with the predicate still false (the
+     *         runtime turns this into its deadlock diagnostics).
+     */
+    template <typename Pred>
+    bool
+    drive(Pred &&pred)
+    {
+        for (;;) {
+            if (pred())
+                return true;
+            Engine *only = soleRunnableEngine();
+            if (only) {
+                // Exact path: one runnable engine, predicate per step.
+                do {
+                    if (!only->stepOne())
+                        break;
+                    if (pred())
+                        return true;
+                } while (onlyRunnable(only));
+                continue; // re-resolve (drained, or a group woke up)
+            }
+            if (!windowOnce(Engine::kIdle))
+                return false;
+        }
+    }
+
+    /**
+     * Current simulated time. Inside a running actor this is its own
+     * group's clock (exactly Engine::now() of the sequential run);
+     * host side it is the maximum over all group clocks -- a safe
+     * (conservative) start time for newly enqueued work.
+     */
+    Cycles now() const;
+
+    /** Request cooperative stop of every live actor of every group. */
+    void requestStopAll();
+
+    std::size_t liveActors() const;
+    std::size_t totalSpawned() const;
+
+    /**
+     * Merged progress counters. steps/spawned/live/now/requeues are
+     * invariant under the shard count (the same resumes happen in
+     * every partitioning); fastRequeues/peakQueued/arena* describe
+     * per-engine heap and arena *shape* and are deterministic at a
+     * fixed shard count but naturally differ between one big heap and
+     * N small ones -- they are profile diagnostics, not part of the
+     * byte-identity surface (which is stdout/CSV/metrics).
+     */
+    EngineStats stats() const;
+
+    /** Unfinished actor names across groups, in group creation order
+     *  (deadlock diagnostics). */
+    std::vector<std::string> unfinishedActorNames() const;
+
+    /** Conduction windows executed (multi-group progress only). */
+    std::uint64_t windowsRun() const { return windowsRun_; }
+    /** Windows whose groups ran on the worker pool concurrently. */
+    std::uint64_t parallelWindows() const { return parallelWindows_; }
+
+    /** @} */
+
+  private:
+    /** One schedule group: the engines owning its actors. A group has
+     *  one engine unless a post-spawn coupling fused two live groups;
+     *  engines are ordered by creation index (the merge tie-break). */
+    struct Group
+    {
+        std::vector<Engine *> engines;
+        /** Creation order of the group's first engine; orders groups
+         *  deterministically in window dispatch and diagnostics. */
+        std::uint64_t order = 0;
+    };
+
+    struct WindowTask
+    {
+        Group *group = nullptr;
+        Cycles end = 0;
+        std::exception_ptr error;
+    };
+
+    /**
+     * Group the calling thread is currently stepping, or null on the
+     * host thread. Published by the conduction loop so spawns
+     * performed inside an actor's resume route to the caller's own
+     * group (and so now() reads the active group's clock).
+     */
+    static Group *&activeGroup();
+
+    unsigned findRoot(unsigned shard) const;
+    Group &groupOf(unsigned shard);
+
+    /** Earliest next event over the group's engines (kIdle if none). */
+    static Cycles groupNext(const Group &g);
+
+    /** Resume the group's minimal actor (ties: engine creation order). */
+    static bool groupStep(Group &g);
+
+    /** Run the group's events with time < @p t. */
+    static void groupRunUntil(Group &g, Cycles t);
+
+    /** The single runnable engine, or nullptr when zero or several
+     *  groups are runnable (or a runnable group is fused). */
+    Engine *soleRunnableEngine() const;
+    bool onlyRunnable(const Engine *e) const;
+
+    /**
+     * Execute one conduction window over all runnable groups, capped
+     * at @p limit: [T, min(T + lookahead, limit)) where T is the
+     * global minimum next-event time. @return false when nothing was
+     * runnable below @p limit (no progress possible).
+     */
+    bool windowOnce(Cycles limit);
+
+    /** Run @p tasks on the pool (or inline), barrier, rethrow the
+     *  first error in group order. */
+    void dispatchWindow(std::vector<WindowTask> &tasks);
+
+    void startWorkersLocked();
+    void workerLoop();
+
+    /** Execute one group's window slice, publishing the worker-side
+     *  spawn context. */
+    static void runGroupWindow(Group &g, Cycles end);
+
+    unsigned shards_;
+    std::uint64_t seed_;
+    Cycles lookahead_;
+    unsigned workerTarget_;
+
+    /** Union-find over shard ids; the root indexes groupsByRoot_. */
+    mutable std::vector<unsigned> parent_;
+    /** Group of each root shard (null until coupled into another). */
+    std::vector<std::unique_ptr<Group>> groupsByRoot_;
+    /** Groups that own at least one engine, in creation order. */
+    std::vector<Group *> liveGroups_;
+    /** All engines, in creation order (owns; destruction order). */
+    std::vector<std::unique_ptr<Engine>> engines_;
+    std::uint64_t nextGroupOrder_ = 0;
+
+    std::uint64_t windowsRun_ = 0;
+    std::uint64_t parallelWindows_ = 0;
+
+    /** @name Worker pool (lazy; conduction windows only) @{ */
+    std::vector<std::jthread> workers_;
+    std::mutex poolMu_;
+    std::condition_variable workCv_;
+    std::condition_variable doneCv_;
+    std::vector<WindowTask> *tasks_ = nullptr;
+    std::size_t nextTask_ = 0;
+    std::size_t doneTasks_ = 0;
+    std::uint64_t generation_ = 0;
+    bool shutdown_ = false;
+    /** @} */
+};
+
+} // namespace gpubox::sim
+
+#endif // GPUBOX_SIM_SHARDED_ENGINE_HH

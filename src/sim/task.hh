@@ -32,49 +32,100 @@ namespace gpubox::sim
  * churn through millions of short-lived block coroutines of a handful
  * of distinct frame sizes; recycling frames instead of round-tripping
  * the global allocator is one of the engine's biggest hot-path wins.
- * A scenario runs entirely on one worker thread, so frames alloc and
- * free on the same list. Frames above the pooled range (or an exotic
- * cross-thread free) fall back to the global allocator.
+ * A schedule group's frames normally alloc and free on the same worker
+ * thread, so the fast path never synchronizes. Every frame carries an
+ * ownership header naming the thread pool it came from: a frame freed
+ * on a different thread (shard windows migrating across pool workers)
+ * is returned to the global allocator instead of being adopted into a
+ * foreign freelist, and frames above the pooled range always go
+ * through the global allocator. The header only ever compares pool
+ * addresses -- a dead thread's pool is never dereferenced.
  */
 class FramePool
 {
   public:
     static constexpr std::size_t kGranule = 64;
-    static constexpr std::size_t kBuckets = 64; // pools up to 4 KiB
+    static constexpr std::size_t kBuckets = 64; // pools up to ~4 KiB
+    /** Ownership tag prepended to every frame; sized to the strictest
+     *  alignment so the frame behind it stays new-aligned. */
+    static constexpr std::size_t kHeaderBytes = alignof(std::max_align_t);
 
     static void *
     allocate(std::size_t n)
     {
         const std::size_t b = bucket(n);
-        if (b >= kBuckets)
-            return ::operator new(n);
-        auto &list = lists()[b];
-        if (!list.empty()) {
-            void *p = list.back();
-            list.pop_back();
-            return p;
+        PoolSet &pools = threadPools();
+        void *raw;
+        if (b >= kBuckets) {
+            raw = ::operator new(n + kHeaderBytes);
+            *static_cast<PoolSet **>(raw) = nullptr; // never pooled
+        } else {
+            auto &list = pools.lists[b];
+            if (!list.empty()) {
+                raw = list.back();
+                list.pop_back();
+            } else {
+                raw = ::operator new((b + 1) * kGranule);
+            }
+            *static_cast<PoolSet **>(raw) = &pools;
         }
-        return ::operator new((b + 1) * kGranule);
+        return static_cast<char *>(raw) + kHeaderBytes;
     }
 
     static void
     release(void *p, std::size_t n)
     {
+        void *raw = static_cast<char *>(p) - kHeaderBytes;
+        PoolSet *owner = *static_cast<PoolSet **>(raw);
         const std::size_t b = bucket(n);
-        if (b >= kBuckets) {
-            ::operator delete(p);
+        if (b >= kBuckets || owner != &threadPools()) {
+            // Oversize frame, or a cross-thread free: the block must
+            // not enter this thread's freelist (its owner may recycle
+            // or die at any time), so it goes back whole.
+            ::operator delete(raw);
             return;
         }
-        lists()[b].push_back(p);
+        owner->lists[b].push_back(raw);
+    }
+
+    /** Test hook: frames currently parked in the calling thread's
+     *  freelists (cross-thread frees must leave this untouched). */
+    static std::size_t
+    pooledBlocks()
+    {
+        std::size_t n = 0;
+        for (const auto &list : threadPools().lists)
+            n += list.size();
+        return n;
     }
 
   private:
-    static std::size_t bucket(std::size_t n) { return n / kGranule; }
-
-    static std::vector<void *> *
-    lists()
+    struct PoolSet
     {
-        thread_local std::vector<void *> pools[kBuckets];
+        std::vector<void *> lists[kBuckets];
+
+        /** Thread exit drains the freelists; in-flight frames owned by
+         *  other threads are unaffected (they compare the pool address
+         *  and fall back to the global allocator). */
+        ~PoolSet()
+        {
+            for (auto &list : lists)
+                for (void *raw : list)
+                    ::operator delete(raw);
+        }
+    };
+
+    /** Bucket by gross size (frame + header). */
+    static std::size_t
+    bucket(std::size_t n)
+    {
+        return (n + kHeaderBytes) / kGranule;
+    }
+
+    static PoolSet &
+    threadPools()
+    {
+        thread_local PoolSet pools;
         return pools;
     }
 };

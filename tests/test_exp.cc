@@ -538,8 +538,10 @@ TEST(BenchRegistry, ResultsJsonIsPopulated)
     std::remove(path.c_str());
     std::remove("json_bench.csv");
 
-    EXPECT_NE(js.find("\"schema\": \"gpubox-bench-results/v4\""),
+    EXPECT_NE(js.find("\"schema\": \"gpubox-bench-results/v5\""),
               std::string::npos);
+    // v5 records the run-level shard override (0 = scenario default).
+    EXPECT_NE(js.find("\"shards\": 0"), std::string::npos);
     // Profile objects are opt-in (--profile); the default sink stays
     // compact.
     EXPECT_EQ(js.find("\"profile\""), std::string::npos);

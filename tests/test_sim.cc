@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <thread>
 #include <vector>
 
 #include "sim/engine.hh"
@@ -379,6 +381,71 @@ TEST(Engine, ManyActorsAllComplete)
     eng.run();
     EXPECT_EQ(done, 200);
     EXPECT_EQ(eng.totalSpawned(), 200u);
+}
+
+TEST(FramePool, SameThreadReleaseParksAndReuses)
+{
+    const std::size_t n = 100; // small frame, well inside the buckets
+    void *p = FramePool::allocate(n);
+    ASSERT_NE(p, nullptr);
+    // Earlier tests park frames in the same bucket, so take the
+    // baseline after the allocate (which may have popped one).
+    const std::size_t base = FramePool::pooledBlocks();
+    FramePool::release(p, n);
+    EXPECT_EQ(FramePool::pooledBlocks(), base + 1);
+    // Same-size allocation pops the freshly parked block (LIFO).
+    void *q = FramePool::allocate(n);
+    EXPECT_EQ(q, p);
+    EXPECT_EQ(FramePool::pooledBlocks(), base);
+    FramePool::release(q, n);
+}
+
+TEST(FramePool, CrossThreadFreeBypassesBothPools)
+{
+    // The sharded-engine regression: a coroutine frame allocated on
+    // one conduction worker may be destroyed on another (or on the
+    // host thread). The ownership header must route such frees to the
+    // global allocator -- neither the allocating thread's pool nor
+    // the freeing thread's pool may absorb the block.
+    const std::size_t n = 100;
+    void *p = FramePool::allocate(n);
+    // Measured after the allocate: it may have popped a parked block.
+    const std::size_t host_before = FramePool::pooledBlocks();
+    std::size_t worker_delta = 1;
+    std::thread worker([&] {
+        const std::size_t before = FramePool::pooledBlocks();
+        FramePool::release(p, n);
+        worker_delta = FramePool::pooledBlocks() - before;
+    });
+    worker.join();
+    EXPECT_EQ(worker_delta, 0u);
+    EXPECT_EQ(FramePool::pooledBlocks(), host_before);
+}
+
+TEST(FramePool, WorkerAllocationFreedOnHostBypassesPools)
+{
+    // Mirror direction: allocated on a pool thread whose freelists may
+    // be recycled (or the thread dead) by the time the host frees it.
+    const std::size_t n = 100;
+    void *p = nullptr;
+    std::thread worker([&] { p = FramePool::allocate(n); });
+    worker.join();
+    ASSERT_NE(p, nullptr);
+    const std::size_t host_before = FramePool::pooledBlocks();
+    FramePool::release(p, n);
+    EXPECT_EQ(FramePool::pooledBlocks(), host_before);
+}
+
+TEST(FramePool, OversizeFramesAreNeverPooled)
+{
+    // Above the bucket ceiling the header is tagged null: release goes
+    // straight to operator delete on every thread.
+    const std::size_t n = FramePool::kBuckets * FramePool::kGranule + 64;
+    const std::size_t before = FramePool::pooledBlocks();
+    void *p = FramePool::allocate(n);
+    ASSERT_NE(p, nullptr);
+    FramePool::release(p, n);
+    EXPECT_EQ(FramePool::pooledBlocks(), before);
 }
 
 } // namespace

@@ -37,9 +37,15 @@ SCAN_EXTENSIONS = (".cc", ".hh", ".cpp")
 
 # Per-rule path allowlist (relative, '/'-separated). Deliberately
 # tiny: util/log.hh *defines* fatal(), so the style rule cannot apply
-# to it. Everything else must use an inline, justified suppression.
+# to it, and the two deterministic worker pools (the ExperimentRunner
+# scenario fan-out and the ShardedEngine conduction pool) are the
+# sanctioned raw-thread sites every other thread use must go through.
+# Everything else must use an inline, justified suppression.
 ALLOWLIST = {
     "fatal-style": ("src/util/log.hh",),
+    "raw-thread": ("src/exp/experiment_runner.cc",
+                   "src/sim/sharded_engine.hh",
+                   "src/sim/sharded_engine.cc"),
 }
 
 # float-accum only polices the integer-cycle simulator core.
@@ -66,6 +72,9 @@ RULES = {
                  "leaks into logs/CSV)",
     "thread-sleep": "wall-clock sleeps/timed waits (simulated time "
                     "never needs them; they race the scheduler)",
+    "raw-thread": "std::thread/std::jthread outside the sanctioned "
+                  "deterministic worker pools (exp runner, sharded "
+                  "engine)",
     "bare-allow": "detlint suppression without a justification "
                   "comment ('-- why')",
 }
@@ -199,6 +208,9 @@ ADDR_LEAK_LIT_RE = re.compile(r"%p\b")
 THREAD_SLEEP_RE = re.compile(
     r"\bsleep_for\b|\bsleep_until\b|(?<![\w.>])usleep\s*\("
     r"|\bnanosleep\b|\bwait_for\b|\bwait_until\b")
+# The type itself, not static queries: std::thread::hardware_
+# concurrency() is a capacity probe, not a spawn.
+RAW_THREAD_RE = re.compile(r"\bstd\s*::\s*j?thread\b(?!\s*::)")
 FATAL_CALL_RE = re.compile(r"(?<![\w:])fatal\s*\(")
 
 
@@ -295,6 +307,9 @@ def scan_file(path, rel, text):
          "raw pointer value streamed into output"),
         ("thread-sleep", THREAD_SLEEP_RE,
          "wall-clock sleep or timed wait"),
+        ("raw-thread", RAW_THREAD_RE,
+         "raw std::thread/std::jthread (route concurrency through "
+         "the ExperimentRunner pool or sim::ShardedEngine shards)"),
     ]
     for idx, code in enumerate(code_lines, start=1):
         for rule, regex, msg in line_rules:

@@ -1,0 +1,34 @@
+// Fixture for the raw-thread rule: spawning std::thread/std::jthread
+// outside the sanctioned worker pools. Never compiled.
+
+#include <thread>
+#include <vector>
+
+void
+positives()
+{
+    std::thread t([] {});                       // EXPECT: raw-thread
+    std::jthread j([] {});                      // EXPECT: raw-thread
+    std::vector<std::jthread> pool;             // EXPECT: raw-thread
+    std :: thread spaced([] {});                // EXPECT: raw-thread
+    t.join();
+}
+
+unsigned
+negatives()
+{
+    // Static capacity probe, not a spawn.
+    unsigned hw = std::thread::hardware_concurrency();
+    // Unqualified identifiers and comments mentioning std::thread
+    // never fire; neither does the thread_local keyword.
+    thread_local int counter = 0;
+    return hw + static_cast<unsigned>(counter);
+}
+
+void
+suppressed()
+{
+    // detlint: allow(raw-thread) -- fixture: justified one-off helper
+    std::thread t([] {});
+    t.join();
+}
